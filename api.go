@@ -1,0 +1,220 @@
+package eslev
+
+import (
+	"time"
+
+	"repro/internal/ale"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/esl"
+	"repro/internal/rfid"
+	"repro/internal/stream"
+)
+
+// ---- values, tuples, time ---------------------------------------------------
+
+// Value is one SQL value (a compact tagged union: NULL, INT, FLOAT,
+// STRING, BOOL, TIME).
+type Value = stream.Value
+
+// Null is the SQL NULL value.
+var Null = stream.Null
+
+// Int builds an integer value.
+func Int(v int64) Value { return stream.Int(v) }
+
+// Float builds a floating-point value.
+func Float(v float64) Value { return stream.Float(v) }
+
+// Str builds a string value.
+func Str(v string) Value { return stream.Str(v) }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return stream.Bool(v) }
+
+// Time builds a timestamp value.
+func Time(ts Timestamp) Value { return stream.Time(ts) }
+
+// Timestamp is an event-time instant (nanoseconds since the simulation
+// epoch). All windows and sequence ordering use event time, never the wall
+// clock.
+type Timestamp = stream.Timestamp
+
+// TS converts a duration offset from the epoch into a Timestamp.
+func TS(d time.Duration) Timestamp { return stream.TS(d) }
+
+// Tuple is one stream record.
+type Tuple = stream.Tuple
+
+// Schema describes the columns of a stream or table.
+type Schema = stream.Schema
+
+// Field is one schema column.
+type Field = stream.Field
+
+// NewSchema declares a schema programmatically (streams declared via
+// Exec(CREATE STREAM ...) get theirs automatically).
+func NewSchema(name string, fields ...Field) (*Schema, error) {
+	return stream.NewSchema(name, fields...)
+}
+
+// NewTuple builds a tuple against a schema, validating types and
+// synchronizing the event-time column.
+func NewTuple(s *Schema, ts Timestamp, vals ...Value) (*Tuple, error) {
+	return stream.NewTuple(s, ts, vals...)
+}
+
+// Item is a merged element: a tuple or a heartbeat.
+type Item = stream.Item
+
+// Heartbeat builds a punctuation item carrying only a timestamp.
+func Heartbeat(ts Timestamp) Item { return stream.Heartbeat(ts) }
+
+// Source is one ordered input to a Merger.
+type Source = stream.Source
+
+// Merger combines concurrent sources into one deterministic event-time
+// sequence; feed its output to Engine.Feed.
+type Merger = stream.Merger
+
+// NewMerger builds a merger over the sources.
+func NewMerger(sources ...Source) *Merger { return stream.NewMerger(sources...) }
+
+// ---- the engine --------------------------------------------------------------
+
+// Engine is the ESL-EV continuous-query engine. See esl.Engine for the
+// execution model; this alias is the supported public entry point.
+type Engine = esl.Engine
+
+// Row is one output row of a continuous or snapshot query.
+type Row = esl.Row
+
+// Query is a registered continuous query handle.
+type Query = esl.Query
+
+// ScalarFunc is a user-defined scalar function callable from queries.
+type ScalarFunc = esl.ScalarFunc
+
+// Accumulator is a custom (Go-level) aggregate implementation; SQL-bodied
+// UDAs are declared in the language via CREATE AGGREGATE.
+type Accumulator = esl.Accumulator
+
+// New builds an empty engine with the built-in functions (extract_serial,
+// epc_match, ...) and aggregates (COUNT/SUM/AVG/MIN/MAX) installed.
+func New() *Engine { return esl.New() }
+
+// Table is a persistent in-memory relation reachable from stream–DB
+// spanning queries.
+type Table = db.Table
+
+// ---- the temporal-event core as a direct Go API ------------------------------
+//
+// The SEQ machinery is also usable without SQL: build a PatternDef, feed
+// tuples to a Matcher. This is the paper's §3 contribution as a library.
+
+// PatternDef declares a SEQ pattern (steps, pairing mode, window).
+type PatternDef = core.Def
+
+// PatternStep is one position of a pattern.
+type PatternStep = core.Step
+
+// PairingMode is a Tuple Pairing Mode.
+type PairingMode = core.Mode
+
+// The four pairing modes of §3.1.1.
+const (
+	Unrestricted = core.ModeUnrestricted
+	Recent       = core.ModeRecent
+	Chronicle    = core.ModeChronicle
+	Consecutive  = core.ModeConsecutive
+)
+
+// PatternWindow anchors a sliding window on a pattern step.
+type PatternWindow = core.WindowAnchor
+
+// Match is one detected event.
+type Match = core.Match
+
+// Matcher evaluates a SEQ pattern incrementally.
+type Matcher = core.Matcher
+
+// NewMatcher validates the pattern and builds a matcher.
+func NewMatcher(def PatternDef) (*Matcher, error) { return core.NewMatcher(def) }
+
+// ExceptionMatcher evaluates EXCEPTION_SEQ / CLEVEL_SEQ patterns.
+type ExceptionMatcher = core.ExceptionMatcher
+
+// SeqException is one detected sequence violation.
+type SeqException = core.Exception
+
+// NewExceptionMatcher builds the violation detector.
+func NewExceptionMatcher(def PatternDef) (*ExceptionMatcher, error) {
+	return core.NewExceptionMatcher(def)
+}
+
+// ---- RFID workload simulation -------------------------------------------------
+
+// Trace is a generated RFID workload (readings in event-time order).
+type Trace = rfid.Trace
+
+// Reading is one raw RFID observation.
+type Reading = rfid.Reading
+
+// NoiseModel injects duplicate and missed reads into a trace.
+type NoiseModel = rfid.NoiseModel
+
+// PackingConfig / PackingLine generate the Figure 1 packing workload.
+type PackingConfig = rfid.PackingConfig
+
+// PackingLine generates the packing workload with ground truth.
+func PackingLine(cfg PackingConfig) (*Trace, []rfid.PackingCase) { return rfid.PackingLine(cfg) }
+
+// QualityConfig / QualityLine generate the Example 6 pipeline workload.
+type QualityConfig = rfid.QualityConfig
+
+// QualityLine generates the quality-check workload with ground truth.
+func QualityLine(cfg QualityConfig) (*Trace, []rfid.QualityItem) { return rfid.QualityLine(cfg) }
+
+// ClinicConfig / ClinicWorkflow generate the Example 5 lab workload.
+type ClinicConfig = rfid.ClinicConfig
+
+// ClinicWorkflow generates the clinic workload with ground truth.
+func ClinicWorkflow(cfg ClinicConfig) (*Trace, []rfid.ClinicTest) { return rfid.ClinicWorkflow(cfg) }
+
+// DoorConfig / DoorTraffic generate the Example 8 door workload.
+type DoorConfig = rfid.DoorConfig
+
+// DoorTraffic generates the door-security workload with ground truth.
+func DoorTraffic(cfg DoorConfig) (*Trace, []rfid.DoorEvent) { return rfid.DoorTraffic(cfg) }
+
+// UniformReadings generates a generic high-volume reading stream.
+func UniformReadings(streamName string, n, tagCardinality int, period time.Duration, seed int64) *Trace {
+	return rfid.UniformReadings(streamName, n, tagCardinality, period, seed)
+}
+
+// ---- ALE reporting -------------------------------------------------------------
+
+// ECSpec is an ALE-style event-cycle specification.
+type ECSpec = ale.ECSpec
+
+// ReportSpec defines one report within an ECSpec.
+type ReportSpec = ale.ReportSpec
+
+// Report is one produced ALE report.
+type Report = ale.Report
+
+// EventCycle drives an ECSpec over event time.
+type EventCycle = ale.EventCycle
+
+// ALE report set types.
+const (
+	ReportCurrent   = ale.ReportCurrent
+	ReportAdditions = ale.ReportAdditions
+	ReportDeletions = ale.ReportDeletions
+)
+
+// NewEventCycle compiles an ECSpec; onReport receives reports as cycles
+// close.
+func NewEventCycle(spec ECSpec, onReport func(Report)) (*EventCycle, error) {
+	return ale.NewEventCycle(spec, onReport)
+}

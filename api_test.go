@@ -1,0 +1,149 @@
+package eslev
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The public facade end-to-end: declare streams, run a SEQ query, feed
+// tuples via concurrent sources through the merger.
+func TestFacadeMergerToEngine(t *testing.T) {
+	e := New()
+	if _, err := e.Exec(`
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var events int32
+	if _, err := e.RegisterQuery("containment", `
+		SELECT COUNT(R1*), R2.tagid FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS`,
+		func(Row) { atomic.AddInt32(&events, 1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, truth := PackingLine(PackingConfig{Cases: 10, Seed: 13})
+	m := NewMerger(trace.Sources(32)...)
+	if err := m.Run(e.Feed); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range truth {
+		if !c.LateCase && !c.Missed {
+			want++
+		}
+	}
+	if int(events) != want {
+		t.Fatalf("events = %d, want %d", events, want)
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("numeric equality across kinds")
+	}
+	if Null.Kind().String() != "NULL" || !Bool(true).Equal(Int(1)) {
+		t.Error("value constructors")
+	}
+	if Time(TS(time.Second)).String() != "1s" {
+		t.Error("time rendering")
+	}
+	s, err := NewSchema("s", Field{Name: "a"}, Field{Name: "ts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := NewTuple(s, TS(time.Second), Str("x"), Null)
+	if err != nil || tu.TS != TS(time.Second) {
+		t.Fatalf("tuple: %v %v", tu, err)
+	}
+	hb := Heartbeat(TS(5 * time.Second))
+	if !hb.IsHeartbeat() || hb.TS != TS(5*time.Second) {
+		t.Error("heartbeat item")
+	}
+}
+
+// The direct Go CEP API (no SQL): the §3.1.1 walkthrough via the facade.
+func TestFacadeDirectMatcher(t *testing.T) {
+	m, err := NewMatcher(PatternDef{
+		Steps: []PatternStep{{Alias: "C1"}, {Alias: "C2"}},
+		Mode:  Recent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSchema("C1", Field{Name: "tagid"}, Field{Name: "tagtime"})
+	s2, _ := NewSchema("C2", Field{Name: "tagid"}, Field{Name: "tagtime"})
+	t1, _ := NewTuple(s, TS(time.Second), Str("x"), Null)
+	t2, _ := NewTuple(s2, TS(2*time.Second), Str("x"), Null)
+	t1.Seq, t2.Seq = 1, 2
+	if ms, err := m.Push(t1, "C1"); err != nil || len(ms) != 0 {
+		t.Fatalf("push C1: %v %v", ms, err)
+	}
+	ms, err := m.Push(t2, "C2")
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("push C2: %v %v", ms, err)
+	}
+	if ms[0].Count(0) != 1 || ms[0].Last(1) != t2 {
+		t.Fatalf("match: %v", ms[0])
+	}
+
+	xm, err := NewExceptionMatcher(PatternDef{
+		Steps: []PatternStep{{Alias: "A"}, {Alias: "B"}},
+		Mode:  Consecutive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, _ := NewTuple(s2, TS(3*time.Second), Str("x"), Null)
+	t3.Seq = 3
+	_, exs, err := xm.Push(t3, "B") // B cannot start
+	if err != nil || len(exs) != 1 || exs[0].Level != 0 {
+		t.Fatalf("exception: %v %v", exs, err)
+	}
+}
+
+// ALE via the facade.
+func TestFacadeALE(t *testing.T) {
+	var reports []Report
+	ec, err := NewEventCycle(ECSpec{
+		Name:     "door",
+		Duration: 10 * time.Second,
+		Reports:  []ReportSpec{{Name: "all", Type: ReportCurrent}},
+	}, func(r Report) { reports = append(reports, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.Observe("r1", "20.1.5001", TS(time.Second))
+	ec.Flush()
+	if len(reports) != 1 || reports[0].Count != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+// Every scenario generator is reachable and deterministic via the facade.
+func TestFacadeGenerators(t *testing.T) {
+	q1, _ := QualityLine(QualityConfig{Items: 5, Seed: 1})
+	q2, _ := QualityLine(QualityConfig{Items: 5, Seed: 1})
+	if q1.Len() != q2.Len() || q1.Len() == 0 {
+		t.Error("QualityLine not deterministic")
+	}
+	d, _ := DoorTraffic(DoorConfig{Events: 5, Seed: 1})
+	if d.Len() == 0 {
+		t.Error("DoorTraffic empty")
+	}
+	c, _ := ClinicWorkflow(ClinicConfig{Tests: 3, Seed: 1})
+	if c.Len() == 0 {
+		t.Error("ClinicWorkflow empty")
+	}
+	u := UniformReadings("readings", 10, 3, time.Second, 1)
+	if u.Len() != 10 {
+		t.Error("UniformReadings size")
+	}
+	n := NoiseModel{DupProb: 1, DupSpread: time.Millisecond}
+	if n.Apply(u, 1).Len() <= u.Len() {
+		t.Error("NoiseModel inert")
+	}
+}

@@ -1,0 +1,486 @@
+// Command eslev runs ESL-EV scripts over CSV-recorded RFID streams and
+// ships demos of the paper's examples, including the §3.1.1 pairing-mode
+// walkthrough with the exact joint tuple history from the text.
+//
+// Usage:
+//
+//	eslev demo modes                 reproduce the §3.1.1 walkthrough
+//	eslev demo examples              run paper examples 1-8 on simulated data
+//	eslev run script.esl [s=f.csv]   execute a script, feeding stream s
+//	                                 from CSV file f (repeatable)
+//
+// CSV files carry a header row naming the stream's columns; a column named
+// read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
+// integer nanoseconds. Rows must be in non-decreasing time order.
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	eslev "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		switch os.Args[2] {
+		case "modes":
+			err = demoModes()
+		case "examples":
+			err = demoExamples()
+		default:
+			usage()
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		err = runScript(os.Args[2], os.Args[3:])
+	case "explain":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		err = explainScript(os.Args[2])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eslev:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
+  eslev demo examples              run the paper's examples on simulated data
+  eslev run script.esl [s=f.csv]   execute a script over CSV streams
+  eslev explain script.esl         show the plan of each query in a script`)
+	os.Exit(2)
+}
+
+// demoModes replays the paper's worked example — the joint tuple history
+// [t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4] — through
+// SEQ(C1, C2, C3, C4) under each Tuple Pairing Mode.
+func demoModes() error {
+	history := []struct {
+		at     int
+		stream string
+	}{
+		{1, "C1"}, {2, "C1"}, {3, "C2"}, {4, "C3"}, {5, "C3"}, {6, "C2"}, {7, "C4"},
+	}
+	fmt.Println("joint tuple history: [t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]")
+	fmt.Println("operator: SEQ(C1, C2, C3, C4)")
+	for _, mode := range []eslev.PairingMode{eslev.Unrestricted, eslev.Recent, eslev.Chronicle, eslev.Consecutive} {
+		m, err := eslev.NewMatcher(eslev.PatternDef{
+			Steps: []eslev.PatternStep{{Alias: "C1"}, {Alias: "C2"}, {Alias: "C3"}, {Alias: "C4"}},
+			Mode:  mode,
+		})
+		if err != nil {
+			return err
+		}
+		var events []string
+		for _, h := range history {
+			tu, err := tupleOn(h.stream, time.Duration(h.at)*time.Second)
+			if err != nil {
+				return err
+			}
+			ms, err := m.Push(tu, h.stream)
+			if err != nil {
+				return err
+			}
+			for _, match := range ms {
+				var parts []string
+				for _, g := range match.Groups {
+					for _, t := range g {
+						parts = append(parts, fmt.Sprintf("t%d:%s", time.Duration(t.TS)/time.Second, t.Schema.Name()))
+					}
+				}
+				events = append(events, "("+strings.Join(parts, ", ")+")")
+			}
+		}
+		fmt.Printf("\nMODE %s:\n", mode)
+		if len(events) == 0 {
+			fmt.Println("  (no sequence returned)")
+		}
+		sort.Strings(events)
+		for _, ev := range events {
+			fmt.Println("  " + ev)
+		}
+	}
+	return nil
+}
+
+var demoSchemas = map[string]*eslev.Schema{}
+
+func tupleOn(streamName string, at time.Duration) (*eslev.Tuple, error) {
+	s, ok := demoSchemas[streamName]
+	if !ok {
+		var err error
+		s, err = eslev.NewSchema(streamName,
+			eslev.Field{Name: "readerid"}, eslev.Field{Name: "tagid"}, eslev.Field{Name: "tagtime"})
+		if err != nil {
+			return nil, err
+		}
+		demoSchemas[streamName] = s
+	}
+	return eslev.NewTuple(s, eslev.TS(at), eslev.Str(streamName), eslev.Str("x"), eslev.Null)
+}
+
+// demoExamples runs the paper's example queries over simulated workloads,
+// printing a short summary per example.
+func demoExamples() error {
+	fmt.Println("== Example 1: duplicate filtering ==")
+	base := eslev.UniformReadings("readings", 300, 15, 2*time.Second, 1)
+	noisy := eslev.NoiseModel{DupProb: 0.4, DupSpread: 700 * time.Millisecond}.Apply(base, 2)
+	e := eslev.New()
+	if _, err := e.Exec(`
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+		INSERT INTO cleaned_readings
+		SELECT * FROM readings AS r1
+		WHERE NOT EXISTS
+		  (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+		   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);`); err != nil {
+		return err
+	}
+	kept := 0
+	e.Subscribe("cleaned_readings", func(*eslev.Tuple) { kept++ })
+	if err := noisy.Feed(e.PushTuple); err != nil {
+		return err
+	}
+	fmt.Printf("  %d raw readings (%d clean + duplicates) -> %d after dedup\n\n", noisy.Len(), base.Len(), kept)
+
+	fmt.Println("== Example 6/7: containment on the packing line ==")
+	trace, truth := eslev.PackingLine(eslev.PackingConfig{Cases: 20, Seed: 4, LateCaseEvery: 5})
+	e2 := eslev.New()
+	if _, err := e2.Exec(`
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);`); err != nil {
+		return err
+	}
+	found := 0
+	if _, err := e2.RegisterQuery("c", `
+		SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`,
+		func(eslev.Row) { found++ }); err != nil {
+		return err
+	}
+	if err := trace.Feed(e2.PushTuple); err != nil {
+		return err
+	}
+	onTime := 0
+	for _, c := range truth {
+		if !c.LateCase && !c.Missed {
+			onTime++
+		}
+	}
+	fmt.Printf("  %d cases staged (%d on time) -> %d containments detected\n\n", len(truth), onTime, found)
+
+	fmt.Println("== Example 5: clinic workflow violations ==")
+	ctrace, ctruth := eslev.ClinicWorkflow(eslev.ClinicConfig{Tests: 15, WrongOrderEvery: 5, StallEvery: 4, Seed: 6})
+	e3 := eslev.New()
+	if _, err := e3.Exec(`
+		CREATE STREAM A1(readerid, tagid, tagtime);
+		CREATE STREAM A2(readerid, tagid, tagtime);
+		CREATE STREAM A3(readerid, tagid, tagtime);`); err != nil {
+		return err
+	}
+	alerts := 0
+	if _, err := e3.RegisterQuery("w", `
+		SELECT exception.level, exception.reason FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]`,
+		func(eslev.Row) { alerts++ }); err != nil {
+		return err
+	}
+	if err := ctrace.Feed(e3.PushTuple); err != nil {
+		return err
+	}
+	if err := e3.Heartbeat(e3.Now().Add(2 * time.Hour)); err != nil {
+		return err
+	}
+	bad := 0
+	for _, tst := range ctruth {
+		if tst.WrongOrder || tst.Stalled {
+			bad++
+		}
+	}
+	fmt.Printf("  %d tests (%d violating) -> %d alerts\n\n", len(ctruth), bad, alerts)
+
+	fmt.Println("== Example 8: door security ==")
+	dtrace, dtruth := eslev.DoorTraffic(eslev.DoorConfig{Events: 25, TheftEvery: 5, Seed: 8})
+	e4 := eslev.New()
+	if _, err := e4.Exec(`CREATE STREAM tag_readings(tagid, tagtype, tagtime);`); err != nil {
+		return err
+	}
+	thefts := 0
+	if _, err := e4.RegisterQuery("t", `
+		SELECT item.tagid FROM tag_readings AS item
+		WHERE item.tagtype = 'item' AND NOT EXISTS
+		  (SELECT * FROM tag_readings AS person
+		   OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+		   WHERE person.tagtype = 'person')`,
+		func(eslev.Row) { thefts++ }); err != nil {
+		return err
+	}
+	for _, tu := range dtrace.DoorTuples("tag_readings") {
+		if err := e4.PushTuple("tag_readings", tu); err != nil {
+			return err
+		}
+	}
+	if err := e4.Heartbeat(e4.Now().Add(5 * time.Minute)); err != nil {
+		return err
+	}
+	staged := 0
+	for _, ev := range dtruth {
+		if ev.Theft {
+			staged++
+		}
+	}
+	fmt.Printf("  %d passages (%d thefts staged) -> %d alerts\n", len(dtruth), staged, thefts)
+	return nil
+}
+
+// explainScript applies a script's DDL and prints the plan of each query.
+func explainScript(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Split on semicolons at statement level by re-parsing statement by
+	// statement: apply DDL, explain queries.
+	e := eslev.New()
+	stmts, err := splitStatements(string(src))
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		up := strings.ToUpper(strings.TrimSpace(stmt))
+		if strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "INSERT") {
+			plan, err := e.Explain(stmt)
+			if err != nil {
+				return fmt.Errorf("explain %q: %v", firstLine(stmt), err)
+			}
+			fmt.Printf("-- %s\n%s\n\n", firstLine(stmt), plan)
+			// Also register it so later queries see derived streams.
+			if _, err := e.Exec(stmt + ";"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := e.Exec(stmt + ";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitStatements splits a script into statements using the lexer-aware
+// engine parser (comments and quoted strings are respected by a simple
+// state machine over quotes).
+func splitStatements(src string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	inComment := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			inComment = true
+		case c == ';':
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+			continue
+		}
+		if !inComment {
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}
+
+// runScript executes an .esl file, feeding the named streams from CSVs and
+// printing every row produced by top-level SELECT statements.
+func runScript(path string, feeds []string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	e := eslev.New()
+	if _, err := e.Exec(string(src)); err != nil {
+		return err
+	}
+	var fs []csvFeed
+	for _, f := range feeds {
+		parts := strings.SplitN(f, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("feed %q must be stream=file.csv", f)
+		}
+		fs = append(fs, csvFeed{stream: parts[0], file: parts[1]})
+	}
+	// Echo derived streams prefixed "out" so scripts have a place to send
+	// results: INSERT INTO out_alerts SELECT ...
+	for _, name := range []string{"out", "out_alerts", "out_events", "out_rows"} {
+		_ = e.Subscribe(name, func(t *eslev.Tuple) { fmt.Println(t) })
+	}
+	rows, err := loadCSVs(e, fs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "eslev: processed %d tuples from %d streams\n", rows, len(fs))
+	return nil
+}
+
+type csvFeed struct {
+	stream string
+	file   string
+}
+
+type csvRow struct {
+	stream string
+	at     eslev.Timestamp
+	vals   []eslev.Value
+}
+
+func loadCSVs(e *eslev.Engine, feeds []csvFeed) (int, error) {
+	var all []csvRow
+	for _, f := range feeds {
+		rows, err := readCSV(e, f.stream, f.file)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, rows...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	for _, r := range all {
+		if err := e.Push(r.stream, r.at, r.vals...); err != nil {
+			return 0, err
+		}
+	}
+	return len(all), nil
+}
+
+func readCSV(e *eslev.Engine, streamName, file string) ([]csvRow, error) {
+	schema, ok := e.StreamSchema(streamName)
+	if !ok {
+		return nil, fmt.Errorf("stream %s not declared by the script", streamName)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%s: missing header: %v", file, err)
+	}
+	cols := make([]int, len(header))
+	for i, h := range header {
+		pos, ok := schema.Col(strings.TrimSpace(h))
+		if !ok {
+			return nil, fmt.Errorf("%s: column %q not in stream %s", file, h, streamName)
+		}
+		cols[i] = pos
+	}
+	tc := schema.TimeColumn()
+	var out []csvRow
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]eslev.Value, schema.Len())
+		var at eslev.Timestamp
+		for i, field := range rec {
+			field = strings.TrimSpace(field)
+			pos := cols[i]
+			if pos == tc {
+				ts, err := parseEventTime(field)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad time %q: %v", file, field, err)
+				}
+				at = ts
+				vals[pos] = eslev.Time(ts)
+				continue
+			}
+			vals[pos] = parseCSVValue(field)
+		}
+		out = append(out, csvRow{stream: streamName, at: at, vals: vals})
+	}
+	return out, nil
+}
+
+func parseEventTime(s string) (eslev.Timestamp, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return eslev.Timestamp(n), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return eslev.TS(d), nil
+}
+
+func parseCSVValue(s string) eslev.Value {
+	if s == "" {
+		return eslev.Null
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return eslev.Int(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return eslev.Float(f)
+	}
+	if s == "true" || s == "false" {
+		return eslev.Bool(s == "true")
+	}
+	return eslev.Str(s)
+}

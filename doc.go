@@ -1,0 +1,49 @@
+// Package eslev is ESL-EV: a data stream management system with a SQL-based
+// continuous query language extended for temporal event detection on RFID
+// data, reproducing "RFID Data Processing with a Data Stream Query
+// Language" (Bai, Wang, Liu, Zaniolo, Liu — ICDE 2007).
+//
+// The language is SQL plus the paper's temporal extensions:
+//
+//   - SEQ(E1, ..., En) detects tuple sequences across streams, usable as a
+//     WHERE-clause predicate, with sliding windows anchored on any step
+//     (OVER [30 MINUTES PRECEDING C4], OVER [1 HOURS FOLLOWING A1]).
+//   - Star sequences — SEQ(R1*, R2) — match repeating tuples with
+//     longest-run semantics, FIRST/LAST/COUNT star aggregates, and the
+//     `previous` operator for inter-arrival constraints.
+//   - Tuple Pairing Modes (MODE UNRESTRICTED | RECENT | CHRONICLE |
+//     CONSECUTIVE) control which tuple combinations form events and how
+//     aggressively history is purged.
+//   - EXCEPTION_SEQ / CLEVEL_SEQ detect sequence violations via Sequence
+//     Completion Levels, including violation by window expiry without any
+//     arrival (Active Expiration).
+//   - Sliding windows synchronized across a correlated sub-query boundary
+//     (OVER [1 MINUTES PRECEDING AND FOLLOWING person]) for the
+//     before-and-after patterns of door security.
+//
+// Plus the stock stream-SQL the paper's §2 relies on: stream transducers,
+// windowed NOT EXISTS (duplicate elimination), stream–DB spanning queries
+// (context retrieval, movement history), built-in and SQL-bodied
+// user-defined aggregates, UDFs (extract_serial, epc_match), EPC pattern
+// matching, ad-hoc snapshot queries over retained stream history, and an
+// ALE-style event-cycle reporting layer.
+//
+// # Quick start
+//
+//	e := eslev.New()
+//	e.Exec(`
+//	    CREATE STREAM readings(reader_id, tag_id, read_time);
+//	    CREATE STREAM cleaned(reader_id, tag_id, read_time);
+//	    INSERT INTO cleaned
+//	    SELECT * FROM readings AS r1
+//	    WHERE NOT EXISTS
+//	      (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+//	       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+//	`)
+//	e.Subscribe("cleaned", func(t *eslev.Tuple) { fmt.Println(t) })
+//	e.Push("readings", eslev.TS(time.Second), eslev.Str("r1"), eslev.Str("tag-9"), eslev.Null)
+//
+// The engine is event-time driven and deterministic: feed tuples in global
+// timestamp order (use Merger to combine concurrent sources) and drive
+// quiet periods with Heartbeat so Active Expiration fires.
+package eslev

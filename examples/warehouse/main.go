@@ -1,0 +1,91 @@
+// Warehouse packing: the paper's Figure 1 / Example 7 scenario. Reader r1
+// scans products being packed; reader r2 scans packing cases. The star
+// sequence SEQ(R1*, R2) under CHRONICLE pairing groups each maximal run of
+// product readings (inter-arrival gap <= 1s) with the case reading that
+// follows within 5s, reporting the containment relationship.
+//
+// The workload comes from the deterministic packing-line simulator, so the
+// program can check the query's output against ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eslev "repro"
+)
+
+func main() {
+	trace, truth := eslev.PackingLine(eslev.PackingConfig{
+		Cases:         8,
+		ItemsPerCase:  3,
+		Seed:          7,
+		LateCaseEvery: 4, // every 4th case is scanned too late (> 5s)
+	})
+
+	e := eslev.New()
+	if _, err := e.Exec(`
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	detected := map[string]int64{}
+	if _, err := e.RegisterQuery("containment", `
+		SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`,
+		func(r eslev.Row) {
+			n, _ := r.Get("count_R1").AsInt()
+			caseTag := r.Get("tagid").String()
+			detected[caseTag] = n
+			fmt.Printf("PACKED   %-10s items=%d  first-item@%s  case@%s\n",
+				caseTag, n, r.Get("first_tagtime"), r.Get("tagtime"))
+		},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// The per-item variant (§3.1.2 multi-return): list every product that
+	// went into each case.
+	if _, err := e.RegisterQuery("manifest", `
+		SELECT R1.tagid, R2.tagid AS case_tag
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`,
+		func(r eslev.Row) {
+			fmt.Printf("  item %-14s -> %s\n", r.Get("tagid"), r.Get("case_tag"))
+		},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := trace.Feed(e.PushTuple); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare with ground truth.
+	fmt.Println("\n--- reconciliation ---")
+	ok := true
+	for _, c := range truth {
+		got, found := detected[c.CaseTag]
+		switch {
+		case c.LateCase && !found:
+			fmt.Printf("%-10s correctly skipped (case scan exceeded 5s deadline)\n", c.CaseTag)
+		case !c.LateCase && found && int(got) == len(c.Items):
+			fmt.Printf("%-10s OK (%d items)\n", c.CaseTag, got)
+		default:
+			ok = false
+			fmt.Printf("%-10s MISMATCH: truth=%d late=%v detected=%d found=%v\n",
+				c.CaseTag, len(c.Items), c.LateCase, got, found)
+		}
+	}
+	if !ok {
+		log.Fatal("containment detection disagreed with ground truth")
+	}
+	fmt.Println("all cases reconciled")
+}

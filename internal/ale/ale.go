@@ -1,0 +1,235 @@
+// Package ale implements an Application Level Events (ALE)-style reporting
+// layer, the EPCglobal standard interface the paper's introduction cites as
+// a core requirement: "a common interface to process raw RFID events,
+// including data filtering, windows-based aggregation, and reporting".
+//
+// An ECSpec defines event cycles of fixed duration over a set of logical
+// readers; each cycle produces reports that filter tags by EPC patterns and
+// render them as the current set, the additions/deletions relative to the
+// previous cycle, or a count. Cycles are driven by event time, so the layer
+// composes with the deterministic engine and simulator.
+package ale
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/epc"
+	"repro/internal/stream"
+)
+
+// ReportType selects how a report renders the filtered tag set (per the
+// ALE standard's report set specs).
+type ReportType uint8
+
+// Report set types.
+const (
+	// ReportCurrent lists every tag seen in the cycle.
+	ReportCurrent ReportType = iota
+	// ReportAdditions lists tags seen this cycle but not the previous one.
+	ReportAdditions
+	// ReportDeletions lists tags seen the previous cycle but not this one.
+	ReportDeletions
+)
+
+// String names the report type.
+func (r ReportType) String() string {
+	switch r {
+	case ReportCurrent:
+		return "CURRENT"
+	case ReportAdditions:
+		return "ADDITIONS"
+	case ReportDeletions:
+		return "DELETIONS"
+	default:
+		return fmt.Sprintf("ReportType(%d)", uint8(r))
+	}
+}
+
+// ReportSpec defines one report within an ECSpec.
+type ReportSpec struct {
+	Name string
+	Type ReportType
+	// IncludePatterns admit a tag when any pattern matches (empty = all);
+	// ExcludePatterns then reject it. Patterns use the EPC pattern
+	// language, e.g. "20.*.[5000-9999]".
+	IncludePatterns []string
+	ExcludePatterns []string
+	// CountOnly reports only the group count, not the EPC list.
+	CountOnly bool
+
+	include []*epc.Pattern
+	exclude []*epc.Pattern
+}
+
+// ECSpec is an event-cycle specification.
+type ECSpec struct {
+	Name string
+	// Readers restricts which reader ids contribute (empty = all).
+	Readers []string
+	// Duration is the event-cycle length in event time.
+	Duration time.Duration
+	Reports  []ReportSpec
+}
+
+// Report is one produced report.
+type Report struct {
+	Spec  string
+	Cycle int
+	Type  ReportType
+	Tags  []string // sorted; nil when CountOnly
+	Count int
+}
+
+// EventCycle drives an ECSpec over event time.
+type EventCycle struct {
+	spec     ECSpec
+	readers  map[string]bool
+	cycleNo  int
+	started  bool
+	start    stream.Timestamp
+	seen     map[string]bool
+	prev     map[string]bool
+	onReport func(Report)
+}
+
+// NewEventCycle validates and compiles the spec; onReport receives each
+// report as cycles close.
+func NewEventCycle(spec ECSpec, onReport func(Report)) (*EventCycle, error) {
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("ale: ECSpec %q needs a positive duration", spec.Name)
+	}
+	if len(spec.Reports) == 0 {
+		return nil, fmt.Errorf("ale: ECSpec %q declares no reports", spec.Name)
+	}
+	for i := range spec.Reports {
+		r := &spec.Reports[i]
+		if r.Name == "" {
+			return nil, fmt.Errorf("ale: ECSpec %q report %d has no name", spec.Name, i)
+		}
+		for _, p := range r.IncludePatterns {
+			cp, err := epc.CompilePattern(p)
+			if err != nil {
+				return nil, fmt.Errorf("ale: report %q: %v", r.Name, err)
+			}
+			r.include = append(r.include, cp)
+		}
+		for _, p := range r.ExcludePatterns {
+			cp, err := epc.CompilePattern(p)
+			if err != nil {
+				return nil, fmt.Errorf("ale: report %q: %v", r.Name, err)
+			}
+			r.exclude = append(r.exclude, cp)
+		}
+	}
+	ec := &EventCycle{
+		spec:     spec,
+		seen:     make(map[string]bool),
+		prev:     make(map[string]bool),
+		onReport: onReport,
+	}
+	if len(spec.Readers) > 0 {
+		ec.readers = make(map[string]bool, len(spec.Readers))
+		for _, r := range spec.Readers {
+			ec.readers[r] = true
+		}
+	}
+	return ec, nil
+}
+
+// Observe feeds one raw reading. Cycle boundaries are detected from event
+// time, closing (and reporting) as many cycles as the reading's timestamp
+// has passed.
+func (ec *EventCycle) Observe(readerID, tagID string, at stream.Timestamp) {
+	ec.AdvanceTo(at)
+	if ec.readers != nil && !ec.readers[readerID] {
+		return
+	}
+	if !ec.started {
+		ec.started = true
+		ec.start = at
+	}
+	ec.seen[tagID] = true
+}
+
+// AdvanceTo moves event time forward (heartbeats), closing elapsed cycles.
+func (ec *EventCycle) AdvanceTo(at stream.Timestamp) {
+	for ec.started && at >= ec.start.Add(ec.spec.Duration) {
+		ec.closeCycle()
+		ec.start = ec.start.Add(ec.spec.Duration)
+	}
+}
+
+// Flush closes the in-progress cycle regardless of elapsed time.
+func (ec *EventCycle) Flush() {
+	if ec.started {
+		ec.closeCycle()
+		ec.started = false
+	}
+}
+
+func (ec *EventCycle) closeCycle() {
+	ec.cycleNo++
+	for i := range ec.spec.Reports {
+		r := &ec.spec.Reports[i]
+		var members map[string]bool
+		switch r.Type {
+		case ReportCurrent:
+			members = ec.seen
+		case ReportAdditions:
+			members = diff(ec.seen, ec.prev)
+		case ReportDeletions:
+			members = diff(ec.prev, ec.seen)
+		}
+		var tags []string
+		count := 0
+		for tag := range members {
+			if !r.admits(tag) {
+				continue
+			}
+			count++
+			if !r.CountOnly {
+				tags = append(tags, tag)
+			}
+		}
+		sort.Strings(tags)
+		if ec.onReport != nil {
+			ec.onReport(Report{Spec: r.Name, Cycle: ec.cycleNo, Type: r.Type, Tags: tags, Count: count})
+		}
+	}
+	ec.prev = ec.seen
+	ec.seen = make(map[string]bool)
+}
+
+func (r *ReportSpec) admits(tag string) bool {
+	if len(r.include) > 0 {
+		ok := false
+		for _, p := range r.include {
+			if p.Match(tag) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, p := range r.exclude {
+		if p.Match(tag) {
+			return false
+		}
+	}
+	return true
+}
+
+// diff returns keys in a but not in b.
+func diff(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if !b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package ale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func ts(d time.Duration) stream.Timestamp { return stream.TS(d) }
+
+func spec(reports ...ReportSpec) ECSpec {
+	return ECSpec{Name: "dock-door", Duration: 10 * time.Second, Reports: reports}
+}
+
+func TestEventCycleCurrent(t *testing.T) {
+	var got []Report
+	ec, err := NewEventCycle(spec(ReportSpec{Name: "all", Type: ReportCurrent}), func(r Report) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.Observe("r1", "20.1.5001", ts(1*time.Second))
+	ec.Observe("r1", "20.1.5002", ts(2*time.Second))
+	ec.Observe("r1", "20.1.5001", ts(3*time.Second))  // dedup within cycle
+	ec.Observe("r1", "20.1.5003", ts(12*time.Second)) // crosses boundary: closes cycle 1
+	if len(got) != 1 {
+		t.Fatalf("reports = %v", got)
+	}
+	r := got[0]
+	if r.Cycle != 1 || r.Count != 2 || len(r.Tags) != 2 || r.Tags[0] != "20.1.5001" {
+		t.Fatalf("report = %+v", r)
+	}
+	ec.Flush()
+	if len(got) != 2 || got[1].Count != 1 {
+		t.Fatalf("flush report = %+v", got)
+	}
+}
+
+func TestEventCycleAdditionsDeletions(t *testing.T) {
+	var got []Report
+	ec, _ := NewEventCycle(spec(
+		ReportSpec{Name: "in", Type: ReportAdditions},
+		ReportSpec{Name: "out", Type: ReportDeletions},
+	), func(r Report) { got = append(got, r) })
+	// Cycle 1: a, b.
+	ec.Observe("r1", "a", ts(1*time.Second))
+	ec.Observe("r1", "b", ts(2*time.Second))
+	// Cycle 2: b, c -> additions {c}, deletions {a}.
+	ec.Observe("r1", "b", ts(11*time.Second))
+	ec.Observe("r1", "c", ts(12*time.Second))
+	ec.AdvanceTo(ts(25 * time.Second)) // close cycle 2
+	if len(got) != 4 {
+		t.Fatalf("reports = %v", got)
+	}
+	// Cycle 2's reports are got[2] (in) and got[3] (out).
+	if got[2].Count != 1 || got[2].Tags[0] != "c" {
+		t.Fatalf("additions = %+v", got[2])
+	}
+	if got[3].Count != 1 || got[3].Tags[0] != "a" {
+		t.Fatalf("deletions = %+v", got[3])
+	}
+}
+
+// The ALE-standard aggregation from the paper's introduction: everything
+// from company 20 with serials 5000-9999.
+func TestEventCyclePatternFiltering(t *testing.T) {
+	var got []Report
+	ec, err := NewEventCycle(spec(ReportSpec{
+		Name:            "company20",
+		Type:            ReportCurrent,
+		IncludePatterns: []string{"20.*.[5000-9999]"},
+		CountOnly:       true,
+	}), func(r Report) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.Observe("r1", "20.7.5001", ts(1*time.Second))  // in
+	ec.Observe("r1", "20.7.4999", ts(2*time.Second))  // serial too low
+	ec.Observe("r1", "21.7.5001", ts(3*time.Second))  // wrong company
+	ec.Observe("r1", "20.99.9999", ts(4*time.Second)) // in
+	ec.Flush()
+	if len(got) != 1 || got[0].Count != 2 || got[0].Tags != nil {
+		t.Fatalf("report = %+v", got)
+	}
+}
+
+func TestEventCycleExcludePatterns(t *testing.T) {
+	var got []Report
+	ec, _ := NewEventCycle(spec(ReportSpec{
+		Name:            "no-pallets",
+		Type:            ReportCurrent,
+		IncludePatterns: []string{"20.*.*"},
+		ExcludePatterns: []string{"20.999.*"},
+	}), func(r Report) { got = append(got, r) })
+	ec.Observe("r1", "20.1.1", ts(1*time.Second))
+	ec.Observe("r1", "20.999.1", ts(2*time.Second)) // excluded
+	ec.Flush()
+	if got[0].Count != 1 || got[0].Tags[0] != "20.1.1" {
+		t.Fatalf("report = %+v", got[0])
+	}
+}
+
+func TestEventCycleReaderScope(t *testing.T) {
+	var got []Report
+	ec, _ := NewEventCycle(ECSpec{
+		Name: "scoped", Duration: 10 * time.Second,
+		Readers: []string{"dock-1"},
+		Reports: []ReportSpec{{Name: "r", Type: ReportCurrent}},
+	}, func(r Report) { got = append(got, r) })
+	ec.Observe("dock-1", "a", ts(1*time.Second))
+	ec.Observe("office-9", "b", ts(2*time.Second)) // ignored
+	ec.Flush()
+	if got[0].Count != 1 {
+		t.Fatalf("report = %+v", got[0])
+	}
+}
+
+func TestEventCycleMultipleBoundaries(t *testing.T) {
+	var got []Report
+	ec, _ := NewEventCycle(spec(ReportSpec{Name: "r", Type: ReportCurrent}), func(r Report) { got = append(got, r) })
+	ec.Observe("r1", "a", ts(1*time.Second))
+	// 35s later: cycles at 10s, 20s, 30s all close.
+	ec.Observe("r1", "b", ts(36*time.Second))
+	if len(got) != 3 {
+		t.Fatalf("reports = %d, want 3 (one per elapsed cycle)", len(got))
+	}
+	if got[0].Count != 1 || got[1].Count != 0 || got[2].Count != 0 {
+		t.Fatalf("reports = %+v", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := NewEventCycle(ECSpec{Name: "x", Reports: []ReportSpec{{Name: "r"}}}, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewEventCycle(ECSpec{Name: "x", Duration: time.Second}, nil); err == nil {
+		t.Error("no reports accepted")
+	}
+	if _, err := NewEventCycle(spec(ReportSpec{Type: ReportCurrent}), nil); err == nil {
+		t.Error("unnamed report accepted")
+	}
+	if _, err := NewEventCycle(spec(ReportSpec{Name: "r", IncludePatterns: []string{"[bad"}}), nil); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if ReportCurrent.String() != "CURRENT" || ReportAdditions.String() != "ADDITIONS" || ReportDeletions.String() != "DELETIONS" {
+		t.Error("report type names")
+	}
+}

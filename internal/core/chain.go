@@ -1,0 +1,231 @@
+package core
+
+import (
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// chainEngine matches plain (star-free) sequences under the UNRESTRICTED,
+// RECENT and CHRONICLE pairing modes.
+//
+//   - UNRESTRICTED keeps a windowed history buffer per non-final step and,
+//     on each final-step arrival, enumerates every time-ordered combination
+//     (§3.1.1's "all possible sequences of the correct time order").
+//   - CHRONICLE keeps FIFO history per step; on a final-step arrival it
+//     binds the chronologically earliest qualifying chain and consumes the
+//     participants.
+//   - RECENT keeps exactly one chain per prefix length: an arriving step-i
+//     tuple extends a copy of the prefix chain of length i and replaces the
+//     stored length-i+1 chain, implementing "earlier tuples are constantly
+//     replaced by later tuples as the candidate".
+type chainEngine struct {
+	def *Def
+	key stream.Value
+
+	// bufs[i] is the retained history for step i (UNRESTRICTED/CHRONICLE);
+	// the final step needs no history.
+	bufs []*window.TimeBuffer
+
+	// chains[i] is the RECENT-mode chain covering steps 0..i (final step
+	// excluded: completions are emitted, not stored).
+	chains []*Match
+}
+
+func newChainEngine(def *Def, key stream.Value) engine {
+	e := &chainEngine{def: def, key: key}
+	n := len(def.Steps)
+	if def.Mode == ModeRecent {
+		e.chains = make([]*Match, n-1)
+	} else {
+		e.bufs = make([]*window.TimeBuffer, n-1)
+		for i := range e.bufs {
+			e.bufs[i] = &window.TimeBuffer{}
+		}
+	}
+	return e
+}
+
+func (e *chainEngine) push(steps []int, t *stream.Tuple) []*Match {
+	var out []*Match
+	last := len(e.def.Steps) - 1
+	for _, si := range steps { // already descending
+		if si == last {
+			out = append(out, e.complete(t)...)
+			continue
+		}
+		switch e.def.Mode {
+		case ModeRecent:
+			e.extendChain(si, t)
+		default:
+			e.bufs[si].Add(t)
+		}
+	}
+	e.evict(t.TS)
+	return out
+}
+
+// extendChain implements RECENT binding of t at non-final step si.
+func (e *chainEngine) extendChain(si int, t *stream.Tuple) {
+	var c *Match
+	if si == 0 {
+		c = &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key}
+	} else {
+		prev := e.chains[si-1]
+		if prev == nil {
+			return // no qualifying prefix
+		}
+		if lastT := prev.Last(si - 1); lastT == nil || !lastT.BeforeInOrder(t) {
+			return
+		}
+		if !windowAdmits(e.def, prev, si, t) || !predAdmits(e.def, prev, si, t) {
+			return
+		}
+		c = prev.clone()
+	}
+	c.Groups[si] = []*stream.Tuple{t}
+	e.chains[si] = c
+}
+
+// complete handles a final-step arrival, emitting completed matches.
+func (e *chainEngine) complete(t *stream.Tuple) []*Match {
+	last := len(e.def.Steps) - 1
+	switch e.def.Mode {
+	case ModeRecent:
+		if last == 0 {
+			m := &Match{Groups: [][]*stream.Tuple{{t}}, Key: e.key}
+			if predAdmits(e.def, &Match{Groups: make([][]*stream.Tuple, 1), Key: e.key}, 0, t) {
+				return []*Match{m}
+			}
+			return nil
+		}
+		prev := e.chains[last-1]
+		if prev == nil {
+			return nil
+		}
+		if lastT := prev.Last(last - 1); lastT == nil || !lastT.BeforeInOrder(t) {
+			return nil
+		}
+		if !windowAdmits(e.def, prev, last, t) || !predAdmits(e.def, prev, last, t) {
+			return nil
+		}
+		m := prev.clone()
+		m.Groups[last] = []*stream.Tuple{t}
+		return []*Match{m}
+
+	case ModeChronicle:
+		partial := &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key}
+		if e.searchEarliest(partial, 0, t) {
+			partial.Groups[last] = []*stream.Tuple{t}
+			// Consume participants: each tuple forms at most one event.
+			for i := 0; i < last; i++ {
+				e.bufs[i].Remove(partial.Groups[i][0])
+			}
+			return []*Match{partial}
+		}
+		return nil
+
+	default: // ModeUnrestricted
+		partial := &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key}
+		var out []*Match
+		e.enumerate(partial, 0, t, &out)
+		return out
+	}
+}
+
+// searchEarliest binds steps si..last-1 with the chronologically earliest
+// qualifying tuples (DFS with backtracking so that a constraint failure on
+// a later step tries the next candidate). Returns true when a full prefix
+// chain was bound into partial, and finally validates the terminal tuple.
+func (e *chainEngine) searchEarliest(partial *Match, si int, t *stream.Tuple) bool {
+	last := len(e.def.Steps) - 1
+	if si == last {
+		return windowAdmits(e.def, partial, last, t) && predAdmits(e.def, partial, last, t)
+	}
+	ok := false
+	e.bufs[si].Each(func(cand *stream.Tuple) bool {
+		if si > 0 {
+			prev := partial.Last(si - 1)
+			if !prev.BeforeInOrder(cand) {
+				return true // too early; keep scanning
+			}
+		}
+		if !cand.BeforeInOrder(t) {
+			return false // at/after the terminal tuple; no later candidate helps
+		}
+		if !windowAdmits(e.def, partial, si, cand) || !predAdmits(e.def, partial, si, cand) {
+			return true
+		}
+		partial.Groups[si] = []*stream.Tuple{cand}
+		if e.searchEarliest(partial, si+1, t) {
+			ok = true
+			return false
+		}
+		partial.Groups[si] = nil
+		return true
+	})
+	return ok
+}
+
+// enumerate emits every qualifying combination (UNRESTRICTED).
+func (e *chainEngine) enumerate(partial *Match, si int, t *stream.Tuple, out *[]*Match) {
+	last := len(e.def.Steps) - 1
+	if si == last {
+		if windowAdmits(e.def, partial, last, t) && predAdmits(e.def, partial, last, t) {
+			m := partial.clone()
+			m.Groups[last] = []*stream.Tuple{t}
+			*out = append(*out, m)
+		}
+		return
+	}
+	e.bufs[si].Each(func(cand *stream.Tuple) bool {
+		if si > 0 {
+			prev := partial.Last(si - 1)
+			if !prev.BeforeInOrder(cand) {
+				return true
+			}
+		}
+		if !cand.BeforeInOrder(t) {
+			return false
+		}
+		if !windowAdmits(e.def, partial, si, cand) || !predAdmits(e.def, partial, si, cand) {
+			return true
+		}
+		partial.Groups[si] = []*stream.Tuple{cand}
+		e.enumerate(partial, si+1, t, out)
+		partial.Groups[si] = nil
+		return true
+	})
+}
+
+// evict drops history that no future match can use. With a PRECEDING window
+// anchored on the final step, every bound tuple must lie within the span
+// before a future terminal tuple, whose timestamp is at least the current
+// event time — so anything older than now-span is dead.
+func (e *chainEngine) evict(now stream.Timestamp) {
+	w := e.def.Window
+	if w == nil || w.Following || w.Step != len(e.def.Steps)-1 || e.bufs == nil {
+		return
+	}
+	cut := now.Add(-w.Span)
+	for _, b := range e.bufs {
+		b.EvictBefore(cut)
+	}
+}
+
+func (e *chainEngine) advance(ts stream.Timestamp) { e.evict(ts) }
+
+func (e *chainEngine) stateSize() int {
+	n := 0
+	for _, b := range e.bufs {
+		n += b.Len()
+	}
+	for _, c := range e.chains {
+		if c == nil {
+			continue
+		}
+		for _, g := range c.Groups {
+			n += len(g)
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+// Package core implements the paper's primary contribution: the ESL-EV
+// temporal event operators. It provides SEQ over multiple streams, star
+// sequences (repeating steps with longest-match semantics, FIRST/LAST/COUNT
+// star aggregates and the `previous` inter-arrival constraint), the four
+// Tuple Pairing Modes (UNRESTRICTED, RECENT, CHRONICLE, CONSECUTIVE),
+// sliding windows anchored on any step (PRECEDING and FOLLOWING), and the
+// EXCEPTION_SEQ / CLEVEL_SEQ violation detectors with Active Expiration.
+//
+// The language layer (internal/esl) compiles WHERE-clause SEQ predicates
+// into the Def/Matcher types here; the matchers are also directly usable as
+// a Go complex-event-processing API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Mode is a Tuple Pairing Mode: the event-consumption policy that dictates
+// how tuple history is kept and which combinations form events (§3.1.1).
+type Mode uint8
+
+// The four pairing modes of the paper. ModeUnrestricted is the default.
+const (
+	// ModeUnrestricted generates every combination of qualifying tuples in
+	// the correct time order.
+	ModeUnrestricted Mode = iota
+	// ModeRecent matches an incoming tuple with the most recent qualifying
+	// tuple on each other stream; earlier candidates are replaced by later
+	// ones, bounding history to one chain per prefix.
+	ModeRecent
+	// ModeChronicle matches with the earliest qualifying tuples; each tuple
+	// participates in at most one event and is consumed on match.
+	ModeChronicle
+	// ModeConsecutive only matches tuples that are adjacent on the joint
+	// tuple history (the timestamp-ordered union of all participating
+	// streams); any interleaved tuple breaks the pattern.
+	ModeConsecutive
+)
+
+// String returns the mode's ESL-EV spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModeUnrestricted:
+		return "UNRESTRICTED"
+	case ModeRecent:
+		return "RECENT"
+	case ModeChronicle:
+		return "CHRONICLE"
+	case ModeConsecutive:
+		return "CONSECUTIVE"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ModeFromName parses a pairing-mode name (case-sensitive, upper case, as
+// written in queries).
+func ModeFromName(name string) (Mode, bool) {
+	switch name {
+	case "UNRESTRICTED":
+		return ModeUnrestricted, true
+	case "RECENT":
+		return ModeRecent, true
+	case "CHRONICLE":
+		return ModeChronicle, true
+	case "CONSECUTIVE":
+		return ModeConsecutive, true
+	default:
+		return ModeUnrestricted, false
+	}
+}
+
+// Step is one position of a SEQ pattern.
+type Step struct {
+	// Alias names the step as written in the query (the FROM alias). It is
+	// how arriving tuples are routed: the engine tags each tuple with the
+	// alias(es) of the stream it arrived on.
+	Alias string
+	// Star marks a repeating step (E*). A star step matches a maximal run
+	// of one or more consecutive tuples (longest-match, per §3.1.2).
+	Star bool
+	// Filter, when non-nil, is the per-tuple qualifying predicate for this
+	// step (attribute conditions pushed down from the WHERE clause). A
+	// tuple failing the filter does not bind to the step.
+	Filter func(t *stream.Tuple) bool
+	// MaxGap bounds the inter-arrival gap between consecutive tuples of a
+	// star run — the paper's `R1.tagtime - R1.previous.tagtime <= g`
+	// constraint. Zero means unconstrained. Only meaningful when Star.
+	MaxGap time.Duration
+	// Key, when non-nil, extracts this step's partition key. When every
+	// step has a Key, matching state is partitioned: tuples only pair with
+	// tuples of equal key (the planner derives this from equality
+	// predicates like C1.tagid = C2.tagid).
+	Key func(t *stream.Tuple) stream.Value
+}
+
+// WindowAnchor applies a sliding window to the operator, measured from the
+// tuple bound at the anchor step (§3.1.1 "Sliding Windows on SEQ" and the
+// FOLLOWING windows of §3.1.3).
+type WindowAnchor struct {
+	Span time.Duration
+	// Step is the index of the anchoring step.
+	Step int
+	// Following selects [anchor, anchor+Span] (FOLLOWING); otherwise the
+	// window is [anchor-Span, anchor] (PRECEDING).
+	Following bool
+}
+
+// Covers reports whether a tuple at ts is admissible given the anchor bound
+// at anchorTS.
+func (w *WindowAnchor) Covers(anchorTS, ts stream.Timestamp) bool {
+	if w == nil {
+		return true
+	}
+	if w.Following {
+		return ts >= anchorTS && ts <= anchorTS.Add(w.Span)
+	}
+	return ts >= anchorTS.Add(-w.Span) && ts <= anchorTS
+}
+
+// Def declares a complete SEQ pattern.
+type Def struct {
+	Steps  []Step
+	Mode   Mode
+	Window *WindowAnchor
+	// Pred, when non-nil, is a cross-step predicate consulted whenever a
+	// tuple is about to bind to a step, given the tuples already bound. It
+	// carries the residual WHERE conditions that reference several steps
+	// (e.g. R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS, evaluated when R2
+	// binds). partial holds groups for steps < step; t is the candidate.
+	Pred func(partial *Match, step int, t *stream.Tuple) bool
+	// ExpireAfter, when positive, prunes pending partial matches that have
+	// not bound a new tuple for this long. It bounds state for patterns
+	// whose timing constraints live in Pred (where the matcher cannot
+	// deduce an eviction horizon itself), such as Example 7's
+	// "R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS".
+	ExpireAfter time.Duration
+}
+
+// Validate checks structural soundness of the pattern.
+func (d *Def) Validate() error {
+	if len(d.Steps) == 0 {
+		return fmt.Errorf("core: pattern needs at least one step")
+	}
+	seen := make(map[string]bool, len(d.Steps))
+	keyed := 0
+	for i, s := range d.Steps {
+		if s.Alias == "" {
+			return fmt.Errorf("core: step %d has empty alias", i)
+		}
+		if seen[s.Alias] {
+			return fmt.Errorf("core: duplicate step alias %q", s.Alias)
+		}
+		seen[s.Alias] = true
+		if s.MaxGap < 0 {
+			return fmt.Errorf("core: step %d has negative MaxGap", i)
+		}
+		if s.MaxGap > 0 && !s.Star {
+			return fmt.Errorf("core: step %d: MaxGap only applies to star steps", i)
+		}
+		if s.Key != nil {
+			keyed++
+		}
+	}
+	if keyed != 0 && keyed != len(d.Steps) {
+		return fmt.Errorf("core: partition keys must be set on all steps or none")
+	}
+	if d.Window != nil {
+		if d.Window.Span <= 0 {
+			return fmt.Errorf("core: window span must be positive")
+		}
+		if d.Window.Step < 0 || d.Window.Step >= len(d.Steps) {
+			return fmt.Errorf("core: window anchor step %d out of range", d.Window.Step)
+		}
+	}
+	return nil
+}
+
+// Partitioned reports whether matching state is split by key.
+func (d *Def) Partitioned() bool { return len(d.Steps) > 0 && d.Steps[0].Key != nil }
+
+// StepIndex returns the index of the step with the given alias.
+func (d *Def) StepIndex(alias string) (int, bool) {
+	for i, s := range d.Steps {
+		if s.Alias == alias {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Match is one detected event: for each step, the group of tuples bound to
+// it (singletons for non-star steps).
+type Match struct {
+	// Groups has one entry per pattern step, in step order. Group slices
+	// are owned by the Match.
+	Groups [][]*stream.Tuple
+	// Key is the partition key the match was formed under (Null when the
+	// pattern is unpartitioned).
+	Key stream.Value
+}
+
+// First returns the first tuple bound to step i — the FIRST(E*) aggregate.
+func (m *Match) First(i int) *stream.Tuple {
+	if i < 0 || i >= len(m.Groups) || len(m.Groups[i]) == 0 {
+		return nil
+	}
+	return m.Groups[i][0]
+}
+
+// Last returns the last tuple bound to step i — the LAST(E*) aggregate.
+func (m *Match) Last(i int) *stream.Tuple {
+	if i < 0 || i >= len(m.Groups) || len(m.Groups[i]) == 0 {
+		return nil
+	}
+	g := m.Groups[i]
+	return g[len(g)-1]
+}
+
+// Count returns the number of tuples bound to step i — the COUNT(E*)
+// aggregate.
+func (m *Match) Count(i int) int {
+	if i < 0 || i >= len(m.Groups) {
+		return 0
+	}
+	return len(m.Groups[i])
+}
+
+// End returns the event time of the match: the timestamp of the last bound
+// tuple.
+func (m *Match) End() stream.Timestamp {
+	for i := len(m.Groups) - 1; i >= 0; i-- {
+		if g := m.Groups[i]; len(g) > 0 {
+			return g[len(g)-1].TS
+		}
+	}
+	return stream.MinTimestamp
+}
+
+// clone deep-copies the group structure (tuples shared).
+func (m *Match) clone() *Match {
+	c := &Match{Groups: make([][]*stream.Tuple, len(m.Groups)), Key: m.Key}
+	for i, g := range m.Groups {
+		c.Groups[i] = append([]*stream.Tuple(nil), g...)
+	}
+	return c
+}
+
+// String renders the match in the paper's (t1:C1, t3:C2, ...) notation.
+func (m *Match) String() string {
+	s := "("
+	first := true
+	for _, g := range m.Groups {
+		for _, t := range g {
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += fmt.Sprintf("%s:%s", t.TS, t.Schema.Name())
+		}
+	}
+	return s + ")"
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// BreakReason classifies why a sequence failed to complete (§3.1.3's three
+// scenarios).
+type BreakReason uint8
+
+// The exception causes of §3.1.3.
+const (
+	// BreakWrongTuple: an existing partial sequence can no longer correctly
+	// extend due to a wrong incoming tuple.
+	BreakWrongTuple BreakReason = iota
+	// BreakBadStart: an incoming tuple is not the correct event to start a
+	// new sequence and cannot extend an existing one (completion level 0).
+	BreakBadStart
+	// BreakWindowExpired: the sliding window expired on a tuple of a
+	// partial sequence — detected actively, without any new arrival.
+	BreakWindowExpired
+)
+
+// String names the reason.
+func (r BreakReason) String() string {
+	switch r {
+	case BreakWrongTuple:
+		return "WRONG_TUPLE"
+	case BreakBadStart:
+		return "BAD_START"
+	case BreakWindowExpired:
+		return "WINDOW_EXPIRED"
+	default:
+		return fmt.Sprintf("BreakReason(%d)", uint8(r))
+	}
+}
+
+// Exception is one EXCEPTION_SEQ event: a sequence stuck at a Sequence
+// Completion Level below the pattern length.
+type Exception struct {
+	// Level is the Sequence Completion Level reached: the number of steps
+	// the partial sequence completed (0 when the trigger could not even
+	// start a sequence). The exception occurs at Level+1.
+	Level int
+	// Partial carries the tuples bound before the violation; it has empty
+	// groups beyond Level. Nil for a bad start with no active sequence.
+	Partial *Match
+	// Trigger is the offending incoming tuple; nil for window expiration.
+	Trigger *stream.Tuple
+	Reason  BreakReason
+	// TS is the event time of the exception: the trigger's timestamp, or
+	// the window deadline for expirations.
+	TS stream.Timestamp
+}
+
+// String renders the exception for alerts and logs.
+func (x *Exception) String() string {
+	s := fmt.Sprintf("exception[%s level=%d @%s]", x.Reason, x.Level, x.TS)
+	if x.Partial != nil {
+		s += " partial=" + x.Partial.String()
+	}
+	if x.Trigger != nil {
+		s += fmt.Sprintf(" trigger=%s", x.Trigger)
+	}
+	return s
+}
+
+// ExceptionMatcher implements EXCEPTION_SEQ and CLEVEL_SEQ: it tracks one
+// sequence at a time over the joint tuple history (per partition key) and
+// reports every violation. The default semantics follow the paper's
+// Example 5 analysis — "the correct sequence corresponds to SEQ(A,B,C)
+// under the CONSECUTIVE mode with a sliding window" — so any joint-history
+// tuple that cannot extend the active partial sequence raises an exception.
+// ModeRecent is also supported: there, a repeat of an already-bound step
+// replaces the earlier binding (raising the exception the paper describes),
+// while other non-extending tuples are ignored rather than breaking the
+// sequence.
+//
+// Window expiry is detected actively: deadlines are scheduled on a timer
+// queue when the anchor step binds, and Advance fires them from heartbeats
+// even when no tuple arrives.
+type ExceptionMatcher struct {
+	def    Def
+	parts  map[uint64][]*exPartition
+	single *exState
+	timers window.Timers
+}
+
+type exPartition struct {
+	key stream.Value
+	st  *exState
+}
+
+type exState struct {
+	key   stream.Value
+	run   *Match
+	cur   int // next step to bind; level == cur for the active run
+	timer *window.Timer
+}
+
+// NewExceptionMatcher builds the matcher. Star steps are not supported in
+// exception patterns (the paper defers them); ModeChronicle and
+// ModeUnrestricted have no exception semantics and are rejected.
+func NewExceptionMatcher(def Def) (*ExceptionMatcher, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	for i, s := range def.Steps {
+		if s.Star {
+			return nil, fmt.Errorf("core: EXCEPTION_SEQ step %d: star steps are not supported", i)
+		}
+	}
+	if def.Mode != ModeConsecutive && def.Mode != ModeRecent && def.Mode != ModeUnrestricted {
+		return nil, fmt.Errorf("core: EXCEPTION_SEQ does not support mode %s", def.Mode)
+	}
+	if def.Mode == ModeUnrestricted {
+		// The paper's exception semantics presume a single tracked
+		// sequence; treat the default mode as CONSECUTIVE.
+		def.Mode = ModeConsecutive
+	}
+	m := &ExceptionMatcher{def: def}
+	if def.Partitioned() {
+		m.parts = make(map[uint64][]*exPartition)
+	} else {
+		m.single = &exState{key: stream.Null}
+	}
+	return m, nil
+}
+
+// MustExceptionMatcher panics on error, for tests and examples.
+func MustExceptionMatcher(def Def) *ExceptionMatcher {
+	m, err := NewExceptionMatcher(def)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Def returns the pattern.
+func (m *ExceptionMatcher) Def() *Def { return &m.def }
+
+// Push offers one joint-history tuple under its aliases. It returns the
+// completed matches (callers running pure EXCEPTION_SEQ may ignore them)
+// and the exceptions raised by this arrival.
+func (m *ExceptionMatcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, []*Exception, error) {
+	if len(aliases) == 0 {
+		return nil, nil, fmt.Errorf("core: Push without aliases")
+	}
+	// Resolve which steps this tuple may bind (filters applied). Exception
+	// patterns track steps in ascending positions.
+	var steps []int
+	for i := range m.def.Steps {
+		st := &m.def.Steps[i]
+		for _, a := range aliases {
+			if st.Alias == a && (st.Filter == nil || st.Filter(t)) {
+				steps = append(steps, i)
+			}
+		}
+	}
+	if len(steps) == 0 {
+		return nil, nil, nil
+	}
+	var matches []*Match
+	var exs []*Exception
+	if m.single != nil {
+		m.step(m.single, steps, t, &matches, &exs)
+		return matches, exs, nil
+	}
+	key := m.def.Steps[steps[0]].Key(t)
+	st := m.partitionFor(key)
+	m.step(st, steps, t, &matches, &exs)
+	return matches, exs, nil
+}
+
+func (m *ExceptionMatcher) partitionFor(key stream.Value) *exState {
+	h := key.Hash()
+	for _, p := range m.parts[h] {
+		if p.key.Equal(key) {
+			return p.st
+		}
+	}
+	p := &exPartition{key: key, st: &exState{key: key}}
+	m.parts[h] = append(m.parts[h], p)
+	return p.st
+}
+
+// step advances one partition's automaton with an arriving tuple.
+func (m *ExceptionMatcher) step(st *exState, steps []int, t *stream.Tuple, matches *[]*Match, exs *[]*Exception) {
+	n := len(m.def.Steps)
+	if st.run == nil {
+		if stepIn(steps, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
+			m.start(st, t, matches)
+			return
+		}
+		// §3.1.3 scenario 2: cannot start a new sequence.
+		*exs = append(*exs, &Exception{Level: 0, Trigger: t, Reason: BreakBadStart, TS: t.TS})
+		return
+	}
+	// Active run: does t bind the expected next step?
+	if stepIn(steps, st.cur) &&
+		windowAdmits(&m.def, st.run, st.cur, t) && predAdmits(&m.def, st.run, st.cur, t) {
+		st.run.Groups[st.cur] = []*stream.Tuple{t}
+		m.armTimer(st, st.cur, t)
+		st.cur++
+		if st.cur == n {
+			*matches = append(*matches, st.run)
+			m.reset(st)
+		}
+		return
+	}
+	if m.def.Mode == ModeRecent {
+		// A repeat of an already-bound step replaces the binding and makes
+		// the previous partial impossible to extend — the paper's RECENT
+		// example ((A,B) then B).
+		for _, s := range steps {
+			if s < st.cur {
+				*exs = append(*exs, &Exception{
+					Level: st.cur, Partial: st.run.clone(), Trigger: t,
+					Reason: BreakWrongTuple, TS: t.TS,
+				})
+				st.run.Groups[s] = []*stream.Tuple{t}
+				for i := s + 1; i < st.cur; i++ {
+					st.run.Groups[i] = nil
+				}
+				st.cur = s + 1
+				return
+			}
+		}
+		// Other non-extending tuples are ignored under RECENT pairing.
+		return
+	}
+	// CONSECUTIVE: §3.1.3 scenario 1 — the wrong incoming tuple breaks the
+	// partial sequence.
+	*exs = append(*exs, &Exception{
+		Level: st.cur, Partial: st.run.clone(), Trigger: t,
+		Reason: BreakWrongTuple, TS: t.TS,
+	})
+	m.reset(st)
+	// The breaking tuple may itself start a new sequence; otherwise it is
+	// additionally a bad start (scenario 2).
+	if stepIn(steps, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
+		m.start(st, t, matches)
+		return
+	}
+	*exs = append(*exs, &Exception{Level: 0, Trigger: t, Reason: BreakBadStart, TS: t.TS})
+}
+
+func (m *ExceptionMatcher) emptyMatch(st *exState) *Match {
+	return &Match{Groups: make([][]*stream.Tuple, len(m.def.Steps)), Key: st.key}
+}
+
+func (m *ExceptionMatcher) start(st *exState, t *stream.Tuple, matches *[]*Match) {
+	st.run = m.emptyMatch(st)
+	st.run.Groups[0] = []*stream.Tuple{t}
+	st.cur = 1
+	m.armTimer(st, 0, t)
+	if st.cur == len(m.def.Steps) {
+		*matches = append(*matches, st.run)
+		m.reset(st)
+	}
+}
+
+// armTimer schedules the active-expiration deadline when the window's
+// anchor step has just bound at position justBound (FOLLOWING windows; a
+// PRECEDING window anchored at the final step is equivalently armed from
+// the first binding, since the sequence must then finish within the span
+// of its first tuple).
+func (m *ExceptionMatcher) armTimer(st *exState, justBound int, t *stream.Tuple) {
+	w := m.def.Window
+	if w == nil {
+		return
+	}
+	var deadline stream.Timestamp
+	switch {
+	case w.Following && justBound == w.Step:
+		deadline = t.TS.Add(w.Span)
+	case !w.Following && w.Step == len(m.def.Steps)-1 && justBound == 0:
+		// The whole sequence must finish within span of the first tuple.
+		deadline = t.TS.Add(w.Span)
+	default:
+		return
+	}
+	m.timers.Cancel(st.timer)
+	st.timer = m.timers.Schedule(deadline, st)
+}
+
+func (m *ExceptionMatcher) reset(st *exState) {
+	m.timers.Cancel(st.timer)
+	st.timer = nil
+	st.run = nil
+	st.cur = 0
+}
+
+// Advance moves event time forward, firing expired windows (§3.1.3
+// scenario 3). It must be driven by heartbeats as well as tuples so that
+// expirations surface without new arrivals — Active Expiration.
+func (m *ExceptionMatcher) Advance(ts stream.Timestamp) []*Exception {
+	var exs []*Exception
+	for _, tm := range m.timers.PopDue(ts) {
+		st := tm.Payload.(*exState)
+		if st.timer != tm || st.run == nil {
+			continue
+		}
+		st.timer = nil
+		exs = append(exs, &Exception{
+			Level: st.cur, Partial: st.run, Reason: BreakWindowExpired, TS: tm.At,
+		})
+		m.reset(st)
+	}
+	return exs
+}
+
+// CompletionLevel returns the current Sequence Completion Level of the
+// (single or per-key) active sequence — the CLEVEL_SEQ operator's value
+// between arrivals. A full pattern completion resets to 0.
+func (m *ExceptionMatcher) CompletionLevel(key stream.Value) int {
+	if m.single != nil {
+		return m.single.cur
+	}
+	for _, p := range m.parts[key.Hash()] {
+		if p.key.Equal(key) {
+			return p.st.cur
+		}
+	}
+	return 0
+}
+
+// StateSize reports retained tuples across partitions.
+func (m *ExceptionMatcher) StateSize() int {
+	count := func(st *exState) int {
+		if st.run == nil {
+			return 0
+		}
+		n := 0
+		for _, g := range st.run.Groups {
+			n += len(g)
+		}
+		return n
+	}
+	if m.single != nil {
+		return count(m.single)
+	}
+	n := 0
+	for _, chain := range m.parts {
+		for _, p := range chain {
+			n += count(p.st)
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// engine is the mode-specific matching state for one partition.
+type engine interface {
+	// push offers a tuple that qualifies for the given step indexes
+	// (filters already applied; descending processing order is the
+	// engine's responsibility) and returns completed matches.
+	push(steps []int, t *stream.Tuple) []*Match
+	// advance moves event time forward (heartbeats), evicting state whose
+	// window can no longer be satisfied.
+	advance(ts stream.Timestamp)
+	// stateSize counts retained tuples, for benchmarks and tests of the
+	// paper's state-bounding claims.
+	stateSize() int
+}
+
+// Matcher evaluates one SEQ pattern incrementally. Feed it the merged joint
+// tuple history via Push (tagging each tuple with the alias(es) it arrives
+// under) and heartbeats via Advance; it returns completed matches. When the
+// pattern is partitioned (Step.Key set), state is kept per key.
+type Matcher struct {
+	def    Def
+	single engine
+	parts  map[uint64][]*partition // key hash -> partitions (collision chain)
+	nparts int
+}
+
+type partition struct {
+	key stream.Value
+	eng engine
+}
+
+// NewMatcher validates the pattern and builds a matcher.
+func NewMatcher(def Def) (*Matcher, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Matcher{def: def}
+	if def.Partitioned() {
+		m.parts = make(map[uint64][]*partition)
+	} else {
+		m.single = newEngine(&m.def, stream.Null)
+	}
+	return m, nil
+}
+
+// MustMatcher is NewMatcher that panics on error, for tests and examples.
+func MustMatcher(def Def) *Matcher {
+	m, err := NewMatcher(def)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// newEngine picks the implementation: star patterns and CONSECUTIVE mode
+// need the run engine; plain sequences in the other modes use the cheaper
+// chain engine.
+func newEngine(def *Def, key stream.Value) engine {
+	if def.Mode == ModeConsecutive || hasStar(def) {
+		return newRunEngine(def, key)
+	}
+	return newChainEngine(def, key)
+}
+
+func hasStar(def *Def) bool {
+	for _, s := range def.Steps {
+		if s.Star {
+			return true
+		}
+	}
+	return false
+}
+
+// Def returns the pattern the matcher was built with.
+func (m *Matcher) Def() *Def { return &m.def }
+
+// Push offers one tuple of the joint history under the given aliases (the
+// aliases of the pattern steps whose source stream produced the tuple; a
+// stream aliased twice yields both). It returns completed matches in
+// deterministic order.
+func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
+	if len(aliases) == 0 {
+		return nil, fmt.Errorf("core: Push without aliases")
+	}
+	// Resolve aliases to qualifying step indexes (descending for correct
+	// same-arrival processing: a tuple acting as a later step must see
+	// pre-arrival state of earlier steps).
+	var steps []int
+	for i := len(m.def.Steps) - 1; i >= 0; i-- {
+		st := &m.def.Steps[i]
+		for _, a := range aliases {
+			if st.Alias != a {
+				continue
+			}
+			if st.Filter != nil && !st.Filter(t) {
+				continue
+			}
+			steps = append(steps, i)
+		}
+	}
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	if !m.def.Partitioned() {
+		return m.single.push(steps, t), nil
+	}
+	// Partitioned: group qualifying steps by their extracted key.
+	var out []*Match
+	remaining := steps
+	for len(remaining) > 0 {
+		key := m.def.Steps[remaining[0]].Key(t)
+		var same, rest []int
+		for _, si := range remaining {
+			if m.def.Steps[si].Key(t).Equal(key) {
+				same = append(same, si)
+			} else {
+				rest = append(rest, si)
+			}
+		}
+		remaining = rest
+		out = append(out, m.partitionFor(key).eng.push(same, t)...)
+	}
+	return out, nil
+}
+
+func (m *Matcher) partitionFor(key stream.Value) *partition {
+	h := key.Hash()
+	for _, p := range m.parts[h] {
+		if p.key.Equal(key) {
+			return p
+		}
+	}
+	p := &partition{key: key, eng: newEngine(&m.def, key)}
+	m.parts[h] = append(m.parts[h], p)
+	m.nparts++
+	return p
+}
+
+// Advance moves event time to ts (from a heartbeat or a non-participating
+// tuple), evicting expired matching state.
+func (m *Matcher) Advance(ts stream.Timestamp) {
+	if m.single != nil {
+		m.single.advance(ts)
+		return
+	}
+	for _, chain := range m.parts {
+		for _, p := range chain {
+			p.eng.advance(ts)
+		}
+	}
+}
+
+// StateSize reports the number of tuples currently retained across all
+// partitions — the measure behind the paper's claim that pairing modes and
+// windows allow aggressive history purging.
+func (m *Matcher) StateSize() int {
+	if m.single != nil {
+		return m.single.stateSize()
+	}
+	n := 0
+	for _, chain := range m.parts {
+		for _, p := range chain {
+			n += p.eng.stateSize()
+		}
+	}
+	return n
+}
+
+// Partitions reports how many distinct keys have live state.
+func (m *Matcher) Partitions() int { return m.nparts }
+
+// windowAdmits checks the sliding window when binding t at step, given the
+// already-bound partial. PRECEDING windows anchored at step a constrain the
+// earlier steps once the anchor binds; FOLLOWING windows constrain the
+// later steps as they bind.
+func windowAdmits(def *Def, partial *Match, step int, t *stream.Tuple) bool {
+	w := def.Window
+	if w == nil {
+		return true
+	}
+	if w.Following {
+		if step > w.Step {
+			anchor := partial.Last(w.Step)
+			if anchor == nil {
+				return true // anchor unbound (shouldn't happen: steps bind in order)
+			}
+			return t.TS <= anchor.TS.Add(w.Span)
+		}
+		return true
+	}
+	// PRECEDING: when the anchor itself binds, every earlier tuple must be
+	// within span before it.
+	if step == w.Step {
+		for i := 0; i < step; i++ {
+			if f := partial.First(i); f != nil && f.TS < t.TS.Add(-w.Span) {
+				return false
+			}
+		}
+		// Star tuples already bound at the anchor step (t extends the
+		// anchor's own star group) must also be covered.
+		if f := partial.First(step); f != nil && f.TS < t.TS.Add(-w.Span) {
+			return false
+		}
+	}
+	return true
+}
+
+// predAdmits applies the cross-step residual predicate, if any.
+func predAdmits(def *Def, partial *Match, step int, t *stream.Tuple) bool {
+	return def.Pred == nil || def.Pred(partial, step, t)
+}
+
+// gapAdmits applies the star inter-arrival constraint when t would extend
+// an existing star group whose last element is prev.
+func gapAdmits(st *Step, prev, t *stream.Tuple) bool {
+	return st.MaxGap == 0 || t.TS.Sub(prev.TS) <= st.MaxGap
+}

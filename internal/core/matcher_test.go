@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Shared test scaffolding: four quality-check streams C1..C4 with the
+// paper's (readerid, tagid, tagtime) schema.
+var qcSchema = map[string]*stream.Schema{}
+
+func init() {
+	for _, n := range []string{"C1", "C2", "C3", "C4", "R1", "R2", "A1", "A2", "A3"} {
+		qcSchema[n] = stream.MustSchema(n,
+			stream.Field{Name: "readerid"},
+			stream.Field{Name: "tagid"},
+			stream.Field{Name: "tagtime"})
+	}
+}
+
+var seq uint64
+
+// mk builds a tuple on stream name at the given offset with a tag id, with
+// a process-wide Seq for joint-history ordering (the engine normally
+// assigns these).
+func mk(name string, at time.Duration, tag string) *stream.Tuple {
+	t := stream.MustTuple(qcSchema[name], stream.TS(at), stream.Str(name), stream.Str(tag), stream.Null)
+	seq++
+	t.Seq = seq
+	return t
+}
+
+// seqDef builds SEQ over the given aliases (non-star) in the given mode.
+func seqDef(mode Mode, aliases ...string) Def {
+	steps := make([]Step, len(aliases))
+	for i, a := range aliases {
+		steps[i] = Step{Alias: a}
+	}
+	return Def{Steps: steps, Mode: mode}
+}
+
+// feed pushes the tuples (each under its schema name as alias) and collects
+// all matches.
+func feed(t *testing.T, m *Matcher, tuples ...*stream.Tuple) []*Match {
+	t.Helper()
+	var out []*Match
+	for _, tu := range tuples {
+		got, err := m.Push(tu, tu.Schema.Name())
+		if err != nil {
+			t.Fatalf("push %v: %v", tu, err)
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+// jointHistory is the §3.1.1 worked example:
+// [t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4]
+func jointHistory() []*stream.Tuple {
+	return []*stream.Tuple{
+		mk("C1", 1*time.Second, "x"),
+		mk("C1", 2*time.Second, "x"),
+		mk("C2", 3*time.Second, "x"),
+		mk("C3", 4*time.Second, "x"),
+		mk("C3", 5*time.Second, "x"),
+		mk("C2", 6*time.Second, "x"),
+		mk("C4", 7*time.Second, "x"),
+	}
+}
+
+// sig renders a match as "t1,t3,t4,t7" (seconds of each bound tuple).
+func sig(m *Match) string {
+	s := ""
+	for _, g := range m.Groups {
+		for _, t := range g {
+			if s != "" {
+				s += ","
+			}
+			s += fmt.Sprintf("t%d", time.Duration(t.TS)/time.Second)
+		}
+	}
+	return s
+}
+
+func sigs(ms []*Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = sig(m)
+	}
+	return out
+}
+
+func wantSigs(t *testing.T, got []*Match, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches %v, want %d %v", len(got), sigs(got), len(want), want)
+	}
+	gs := sigs(got)
+	for _, w := range want {
+		found := false
+		for _, g := range gs {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing match %s in %v", w, gs)
+		}
+	}
+}
+
+// --- The paper's §3.1.1 mode walkthrough, pinned exactly. -----------------
+
+func TestPaperWalkthroughUnrestricted(t *testing.T) {
+	m := MustMatcher(seqDef(ModeUnrestricted, "C1", "C2", "C3", "C4"))
+	got := feed(t, m, jointHistory()...)
+	wantSigs(t, got,
+		"t1,t3,t4,t7",
+		"t1,t3,t5,t7",
+		"t2,t3,t4,t7",
+		"t2,t3,t5,t7")
+}
+
+func TestPaperWalkthroughRecent(t *testing.T) {
+	m := MustMatcher(seqDef(ModeRecent, "C1", "C2", "C3", "C4"))
+	got := feed(t, m, jointHistory()...)
+	wantSigs(t, got, "t2,t3,t5,t7")
+}
+
+func TestPaperWalkthroughChronicle(t *testing.T) {
+	m := MustMatcher(seqDef(ModeChronicle, "C1", "C2", "C3", "C4"))
+	got := feed(t, m, jointHistory()...)
+	wantSigs(t, got, "t1,t3,t4,t7")
+}
+
+func TestPaperWalkthroughConsecutive(t *testing.T) {
+	m := MustMatcher(seqDef(ModeConsecutive, "C1", "C2", "C3", "C4"))
+	got := feed(t, m, jointHistory()...)
+	wantSigs(t, got) // "It will not return true for any sequence in this case."
+}
+
+func TestConsecutivePositive(t *testing.T) {
+	m := MustMatcher(seqDef(ModeConsecutive, "C1", "C2", "C3", "C4"))
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"),
+		mk("C2", 2*time.Second, "x"),
+		mk("C3", 3*time.Second, "x"),
+		mk("C4", 4*time.Second, "x"),
+		// Second full run: state must have reset cleanly.
+		mk("C1", 5*time.Second, "x"),
+		mk("C2", 6*time.Second, "x"),
+		mk("C3", 7*time.Second, "x"),
+		mk("C4", 8*time.Second, "x"),
+	)
+	wantSigs(t, got, "t1,t2,t3,t4", "t5,t6,t7,t8")
+}
+
+func TestChronicleConsumesParticipants(t *testing.T) {
+	// After (t1,t3,t4,t7) matches, a second C4 can only use leftovers
+	// (t2:C1, t6:C2, and no C3 remains before it except t5).
+	m := MustMatcher(seqDef(ModeChronicle, "C1", "C2", "C3", "C4"))
+	h := jointHistory()
+	got := feed(t, m, h...)
+	wantSigs(t, got, "t1,t3,t4,t7")
+	got2 := feed(t, m, mk("C3", 8*time.Second, "x"), mk("C4", 9*time.Second, "x"))
+	// Leftovers: C1:t2, C2:t6, C3:(t5, t8): earliest C3 after t6 is t8.
+	wantSigs(t, got2, "t2,t6,t8,t9")
+}
+
+func TestRecentReplacement(t *testing.T) {
+	// A newer C1 replaces the older as candidate; the chain follows it.
+	m := MustMatcher(seqDef(ModeRecent, "C1", "C2"))
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"),
+		mk("C1", 2*time.Second, "x"),
+		mk("C2", 3*time.Second, "x"),
+		mk("C2", 4*time.Second, "x"), // tuples are reusable under RECENT
+	)
+	wantSigs(t, got, "t2,t3", "t2,t4")
+}
+
+func TestUnrestrictedCombinationCount(t *testing.T) {
+	// k C1-tuples and k C2-tuples before one C3 yield k*k matches.
+	const k = 5
+	m := MustMatcher(seqDef(ModeUnrestricted, "C1", "C2", "C3"))
+	var tuples []*stream.Tuple
+	for i := 0; i < k; i++ {
+		tuples = append(tuples, mk("C1", time.Duration(i)*time.Second, "x"))
+	}
+	for i := 0; i < k; i++ {
+		tuples = append(tuples, mk("C2", time.Duration(10+i)*time.Second, "x"))
+	}
+	tuples = append(tuples, mk("C3", 30*time.Second, "x"))
+	got := feed(t, m, tuples...)
+	if len(got) != k*k {
+		t.Fatalf("got %d matches, want %d", len(got), k*k)
+	}
+}
+
+// --- Windows on SEQ --------------------------------------------------------
+
+func TestSeqPrecedingWindow(t *testing.T) {
+	// Sequence must finish within 5s of the final tuple: the old C1 at t1
+	// is outside [t10-5, t10].
+	def := seqDef(ModeUnrestricted, "C1", "C2")
+	def.Window = &WindowAnchor{Span: 5 * time.Second, Step: 1}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"),
+		mk("C1", 7*time.Second, "x"),
+		mk("C2", 10*time.Second, "x"),
+	)
+	wantSigs(t, got, "t7,t10")
+}
+
+func TestSeqPrecedingWindowEvictsState(t *testing.T) {
+	def := seqDef(ModeUnrestricted, "C1", "C2")
+	def.Window = &WindowAnchor{Span: 2 * time.Second, Step: 1}
+	m := MustMatcher(def)
+	for i := 0; i < 100; i++ {
+		feed(t, m, mk("C1", time.Duration(i)*time.Second, "x"))
+	}
+	if s := m.StateSize(); s > 4 {
+		t.Fatalf("windowed state not bounded: %d tuples retained", s)
+	}
+	// Heartbeat-driven eviction too.
+	m.Advance(stream.TS(500 * time.Second))
+	if s := m.StateSize(); s != 0 {
+		t.Fatalf("advance did not evict: %d", s)
+	}
+}
+
+func TestSeqFollowingWindow(t *testing.T) {
+	// OVER [3 SECONDS FOLLOWING C1]: whole sequence within 3s of C1.
+	def := seqDef(ModeRecent, "C1", "C2", "C3")
+	def.Window = &WindowAnchor{Span: 3 * time.Second, Step: 0, Following: true}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"),
+		mk("C2", 2*time.Second, "x"),
+		mk("C3", 10*time.Second, "x"), // too late
+	)
+	wantSigs(t, got)
+	got = feed(t, m,
+		mk("C1", 20*time.Second, "x"),
+		mk("C2", 21*time.Second, "x"),
+		mk("C3", 22*time.Second, "x"),
+	)
+	wantSigs(t, got, "t20,t21,t22")
+}
+
+func TestSeqFollowingWindowMidAnchor(t *testing.T) {
+	// The paper's point: FOLLOWING can anchor mid-sequence, which PRECEDING
+	// cannot express. OVER [2 SECONDS FOLLOWING C2]: C3 within 2s of C2;
+	// C1 arbitrarily earlier.
+	def := seqDef(ModeRecent, "C1", "C2", "C3")
+	def.Window = &WindowAnchor{Span: 2 * time.Second, Step: 1, Following: true}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"), // far before C2 — fine
+		mk("C2", 60*time.Second, "x"),
+		mk("C3", 61*time.Second, "x"),
+	)
+	wantSigs(t, got, "t1,t60,t61")
+	got = feed(t, m,
+		mk("C1", 70*time.Second, "x"),
+		mk("C2", 71*time.Second, "x"),
+		mk("C3", 80*time.Second, "x"), // > 2s after C2
+	)
+	wantSigs(t, got)
+}
+
+// --- Partitioned matching (C1.tagid = C2.tagid = ...) ----------------------
+
+func TestPartitionedByTag(t *testing.T) {
+	def := seqDef(ModeChronicle, "C1", "C2")
+	for i := range def.Steps {
+		def.Steps[i].Key = func(tu *stream.Tuple) stream.Value { return tu.Field("tagid") }
+	}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "a"),
+		mk("C1", 2*time.Second, "b"),
+		mk("C2", 3*time.Second, "b"), // pairs with t2 only
+		mk("C2", 4*time.Second, "a"), // pairs with t1 only
+	)
+	wantSigs(t, got, "t2,t3", "t1,t4")
+	if m.Partitions() != 2 {
+		t.Errorf("partitions = %d", m.Partitions())
+	}
+	for _, g := range got {
+		if g.Key.IsNull() {
+			t.Error("match should carry its partition key")
+		}
+	}
+}
+
+func TestStepFilter(t *testing.T) {
+	def := seqDef(ModeRecent, "C1", "C2")
+	def.Steps[0].Filter = func(tu *stream.Tuple) bool { return tu.Field("tagid").String() == "keep" }
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "drop"),
+		mk("C2", 2*time.Second, "x"),
+	)
+	wantSigs(t, got)
+	got = feed(t, m,
+		mk("C1", 3*time.Second, "keep"),
+		mk("C2", 4*time.Second, "x"),
+	)
+	wantSigs(t, got, "t3,t4")
+}
+
+func TestCrossStepPred(t *testing.T) {
+	// Residual predicate: C2 must carry the same tag as C1 (unpartitioned
+	// formulation).
+	def := seqDef(ModeUnrestricted, "C1", "C2")
+	def.Pred = func(partial *Match, step int, tu *stream.Tuple) bool {
+		if step != 1 {
+			return true
+		}
+		return partial.Last(0).Field("tagid").Equal(tu.Field("tagid"))
+	}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "a"),
+		mk("C1", 2*time.Second, "b"),
+		mk("C2", 3*time.Second, "a"),
+	)
+	wantSigs(t, got, "t1,t3")
+}
+
+// --- Same stream aliased at several steps ----------------------------------
+
+func TestSelfSequence(t *testing.T) {
+	// SEQ(A, A) over one stream: consecutive pairs, RECENT mode.
+	def := Def{Steps: []Step{{Alias: "first"}, {Alias: "second"}}, Mode: ModeRecent}
+	m := MustMatcher(def)
+	var got []*Match
+	for i := 1; i <= 3; i++ {
+		tu := mk("C1", time.Duration(i)*time.Second, "x")
+		ms, err := m.Push(tu, "first", "second")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	// t2 pairs with t1; t3 pairs with t2 (most recent).
+	wantSigs(t, got, "t1,t2", "t2,t3")
+}
+
+// --- Validation ------------------------------------------------------------
+
+func TestDefValidate(t *testing.T) {
+	bad := []Def{
+		{},
+		{Steps: []Step{{Alias: ""}}},
+		{Steps: []Step{{Alias: "a"}, {Alias: "a"}}},
+		{Steps: []Step{{Alias: "a", MaxGap: -1, Star: true}}},
+		{Steps: []Step{{Alias: "a", MaxGap: time.Second}}}, // gap without star
+		{Steps: []Step{{Alias: "a", Key: func(*stream.Tuple) stream.Value { return stream.Null }}, {Alias: "b"}}},
+		{Steps: []Step{{Alias: "a"}}, Window: &WindowAnchor{Span: 0}},
+		{Steps: []Step{{Alias: "a"}}, Window: &WindowAnchor{Span: time.Second, Step: 5}},
+	}
+	for i, d := range bad {
+		if _, err := NewMatcher(d); err == nil {
+			t.Errorf("case %d: invalid def accepted", i)
+		}
+	}
+	if _, err := m0(); err != nil {
+		t.Errorf("valid def rejected: %v", err)
+	}
+	if _, err := (&Matcher{}).Push(mk("C1", time.Second, "x")); err == nil {
+		t.Error("Push without aliases should error")
+	}
+}
+
+func m0() (*Matcher, error) {
+	return NewMatcher(seqDef(ModeRecent, "C1", "C2"))
+}
+
+func TestModeNames(t *testing.T) {
+	for name, mode := range map[string]Mode{
+		"UNRESTRICTED": ModeUnrestricted, "RECENT": ModeRecent,
+		"CHRONICLE": ModeChronicle, "CONSECUTIVE": ModeConsecutive,
+	} {
+		got, ok := ModeFromName(name)
+		if !ok || got != mode {
+			t.Errorf("ModeFromName(%q) = %v, %v", name, got, ok)
+		}
+		if mode.String() != name {
+			t.Errorf("%v.String() = %q", mode, mode.String())
+		}
+	}
+	if _, ok := ModeFromName("recent"); ok {
+		t.Error("mode names are upper-case keywords")
+	}
+}
+
+func TestMatchAccessors(t *testing.T) {
+	a, b := mk("C1", 1*time.Second, "x"), mk("C1", 2*time.Second, "y")
+	m := &Match{Groups: [][]*stream.Tuple{{a, b}, nil}}
+	if m.First(0) != a || m.Last(0) != b || m.Count(0) != 2 {
+		t.Error("star aggregates wrong")
+	}
+	if m.First(1) != nil || m.Last(1) != nil || m.Count(1) != 0 {
+		t.Error("empty group accessors wrong")
+	}
+	if m.First(9) != nil || m.Count(-1) != 0 {
+		t.Error("out-of-range accessors wrong")
+	}
+	if m.End() != stream.TS(2*time.Second) {
+		t.Errorf("End = %v", m.End())
+	}
+	if s := m.String(); s != "(1s:C1, 2s:C1)" {
+		t.Errorf("String = %q", s)
+	}
+}

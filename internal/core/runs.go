@@ -1,0 +1,396 @@
+package core
+
+import (
+	"repro/internal/stream"
+)
+
+// runEngine matches patterns that need run-at-a-time state: star sequences
+// (repeating steps with longest-match semantics) and everything in
+// CONSECUTIVE mode, where only tuples adjacent on the joint history form
+// events.
+//
+// A run is a partial match filling its steps left to right. Non-star steps
+// bind one tuple and advance; a star step stays "open", absorbing further
+// tuples of its stream (subject to the MaxGap inter-arrival constraint)
+// until a tuple of the following step closes it — longest match, per
+// §3.1.2. A trailing star emits online: one event per absorbed tuple, since
+// "there might be no valid indicator to tell us to stop matching".
+type runEngine struct {
+	def  *Def
+	key  stream.Value
+	runs []*run // in start order (oldest first); CONSECUTIVE keeps <= 1
+}
+
+type run struct {
+	m    *Match
+	cur  int              // step being filled; groups[cur] empty = waiting, non-empty = open star
+	last stream.Timestamp // event time of the most recently bound tuple
+}
+
+func newRunEngine(def *Def, key stream.Value) engine {
+	return &runEngine{def: def, key: key}
+}
+
+func (e *runEngine) newRun() *run {
+	return &run{m: &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key}}
+}
+
+// open reports whether the run's current step is a star group already
+// holding tuples (still absorbing).
+func (e *runEngine) open(r *run) bool {
+	return r.cur < len(e.def.Steps) && len(r.m.Groups[r.cur]) > 0
+}
+
+// level counts completed steps: steps before cur, plus the current star
+// group once it holds at least one tuple.
+func (e *runEngine) level(r *run) int {
+	if e.open(r) {
+		return r.cur + 1
+	}
+	return r.cur
+}
+
+func (e *runEngine) push(steps []int, t *stream.Tuple) []*Match {
+	if e.def.Mode == ModeConsecutive {
+		return e.pushConsecutive(steps, t)
+	}
+	return e.pushPending(steps, t)
+}
+
+// ---- CONSECUTIVE ----------------------------------------------------------
+
+// pushConsecutive advances the single active run over the joint history.
+// Every pushed tuple is part of the joint history; one that cannot extend
+// the run breaks it, and may start a fresh run at step 0.
+func (e *runEngine) pushConsecutive(steps []int, t *stream.Tuple) []*Match {
+	var out []*Match
+	if len(e.runs) == 1 {
+		r := e.runs[0]
+		if done, matched := e.tryExtend(r, steps, t, &out); matched {
+			if done {
+				e.runs = e.runs[:0]
+			}
+			return out
+		}
+		// Break: the run dies; the breaking tuple may start a new one.
+		e.runs = e.runs[:0]
+	}
+	if r, ok := e.tryStart(steps, t, &out); ok {
+		e.runs = append(e.runs, r)
+	}
+	return out
+}
+
+// tryExtend attempts to absorb t into r's open star group or bind it to the
+// next step. done reports the run completed (emitted); matched reports t
+// was accepted at all.
+func (e *runEngine) tryExtend(r *run, steps []int, t *stream.Tuple, out *[]*Match) (done, matched bool) {
+	last := len(e.def.Steps) - 1
+	// Absorb into the open star group (longest match: prefer absorbing over
+	// closing the group).
+	if e.open(r) && e.def.Steps[r.cur].Star && stepIn(steps, r.cur) {
+		g := r.m.Groups[r.cur]
+		st := &e.def.Steps[r.cur]
+		if gapAdmits(st, g[len(g)-1], t) &&
+			windowAdmits(e.def, r.m, r.cur, t) && predAdmits(e.def, r.m, r.cur, t) {
+			r.m.Groups[r.cur] = append(g, t)
+			r.last = t.TS
+			if r.cur == last {
+				*out = append(*out, r.m.clone()) // online emission
+			}
+			return false, true
+		}
+		// Gap or constraint violation: fall through to try closing the
+		// group and binding the next step; otherwise it is a break.
+	}
+	target := r.cur
+	if e.open(r) {
+		target = r.cur + 1
+	}
+	if target > last || !stepIn(steps, target) {
+		return false, false
+	}
+	if !windowAdmits(e.def, r.m, target, t) || !predAdmits(e.def, r.m, target, t) {
+		return false, false
+	}
+	r.m.Groups[target] = []*stream.Tuple{t}
+	r.last = t.TS
+	r.cur = target
+	if e.def.Steps[target].Star {
+		if target == last {
+			*out = append(*out, r.m.clone())
+		}
+		return false, true
+	}
+	if target == last {
+		*out = append(*out, r.m.clone())
+		return true, true
+	}
+	r.cur = target + 1
+	return false, true
+}
+
+// tryStart begins a new run with t at step 0.
+func (e *runEngine) tryStart(steps []int, t *stream.Tuple, out *[]*Match) (*run, bool) {
+	if !stepIn(steps, 0) {
+		return nil, false
+	}
+	r := e.newRun()
+	if !windowAdmits(e.def, r.m, 0, t) || !predAdmits(e.def, r.m, 0, t) {
+		return nil, false
+	}
+	last := len(e.def.Steps) - 1
+	r.m.Groups[0] = []*stream.Tuple{t}
+	r.last = t.TS
+	if e.def.Steps[0].Star {
+		if last == 0 {
+			*out = append(*out, r.m.clone())
+		}
+		return r, true
+	}
+	if last == 0 {
+		*out = append(*out, r.m.clone())
+		return nil, false // complete; nothing pending
+	}
+	r.cur = 1
+	return r, true
+}
+
+// ---- UNRESTRICTED / RECENT / CHRONICLE with stars -------------------------
+
+// pushPending maintains a set of pending runs. Mode picks which runs an
+// arriving tuple binds to: CHRONICLE the earliest qualifying run (and the
+// tuple participates only once), RECENT the most recent qualifying run,
+// UNRESTRICTED every qualifying run (advancing forks a copy so the original
+// remains available to later combinations).
+func (e *runEngine) pushPending(steps []int, t *stream.Tuple) []*Match {
+	var out []*Match
+	consumed := false // CHRONICLE: tuple participates at most once
+	for _, s := range steps {
+		if consumed {
+			break
+		}
+		absorbed := e.absorb(s, t, &out)
+		if absorbed && e.def.Mode == ModeChronicle {
+			consumed = true
+			break
+		}
+		bound := false
+		if !absorbed {
+			bound = e.bind(s, t, &out)
+			if bound && e.def.Mode == ModeChronicle {
+				consumed = true
+				break
+			}
+		}
+		// A step-0 tuple that joined no existing star run starts a new run.
+		// (Non-star step 0 in UNRESTRICTED always forks a new run, since
+		// every choice of step-0 tuple is a distinct combination.)
+		if s == 0 && !absorbed && (!bound || (e.def.Mode == ModeUnrestricted && !e.def.Steps[0].Star)) {
+			if r, ok := e.tryStart(steps, t, &out); ok {
+				e.startRun(r)
+			}
+		}
+	}
+	return out
+}
+
+// startRun appends a new run, applying RECENT's one-run-per-level purge.
+func (e *runEngine) startRun(r *run) {
+	if e.def.Mode == ModeRecent {
+		e.replaceAtLevel(r)
+		return
+	}
+	e.runs = append(e.runs, r)
+}
+
+// replaceAtLevel keeps at most one run per completion level under RECENT:
+// the newest (the "most recent qualifying" candidate).
+func (e *runEngine) replaceAtLevel(r *run) {
+	lvl := e.level(r)
+	for i, x := range e.runs {
+		if e.level(x) == lvl {
+			e.runs[i] = r
+			return
+		}
+	}
+	e.runs = append(e.runs, r)
+}
+
+// absorb extends open star groups at step s. Returns whether t was absorbed
+// anywhere.
+func (e *runEngine) absorb(s int, t *stream.Tuple, out *[]*Match) bool {
+	if !e.def.Steps[s].Star {
+		return false
+	}
+	last := len(e.def.Steps) - 1
+	any := false
+	// CHRONICLE scans oldest-first, RECENT newest-first; UNRESTRICTED
+	// extends all open groups.
+	e.eachRun(func(r *run) bool {
+		if r.cur != s || !e.open(r) {
+			return true
+		}
+		g := r.m.Groups[s]
+		st := &e.def.Steps[s]
+		if !gapAdmits(st, g[len(g)-1], t) ||
+			!windowAdmits(e.def, r.m, s, t) || !predAdmits(e.def, r.m, s, t) {
+			return true
+		}
+		r.m.Groups[s] = append(g, t)
+		r.last = t.TS
+		any = true
+		if s == last {
+			*out = append(*out, r.m.clone())
+		}
+		return e.def.Mode == ModeUnrestricted // others bind a single run
+	})
+	return any
+}
+
+// bind attaches t at step s to qualifying runs waiting there (group empty
+// and cur == s) or closes an open star group at s-1. Completed runs are
+// emitted; CHRONICLE removes them (participants consumed).
+func (e *runEngine) bind(s int, t *stream.Tuple, out *[]*Match) bool {
+	last := len(e.def.Steps) - 1
+	bound := false
+	var dead []*run
+	e.eachRun(func(r *run) bool {
+		ready := (r.cur == s && !e.open(r)) || (r.cur == s-1 && e.open(r))
+		if !ready {
+			return true
+		}
+		if !windowAdmits(e.def, r.m, s, t) || !predAdmits(e.def, r.m, s, t) {
+			return true
+		}
+		target := r // CHRONICLE/RECENT advance in place
+		if e.def.Mode == ModeUnrestricted {
+			target = &run{m: r.m.clone(), cur: r.cur}
+		}
+		target.m.Groups[s] = []*stream.Tuple{t}
+		target.last = t.TS
+		target.cur = s
+		bound = true
+		switch {
+		case e.def.Steps[s].Star:
+			if s == last {
+				*out = append(*out, target.m.clone())
+			}
+			if target != r {
+				e.runs = append(e.runs, target)
+			}
+		case s == last:
+			*out = append(*out, target.m.clone())
+			if target == r {
+				dead = append(dead, r)
+			}
+		default:
+			target.cur = s + 1
+			if target != r {
+				e.runs = append(e.runs, target)
+			}
+		}
+		// RECENT binds the single most recent qualifying run; CHRONICLE the
+		// earliest; UNRESTRICTED continues over all.
+		return e.def.Mode == ModeUnrestricted
+	})
+	for _, d := range dead {
+		e.removeRun(d)
+	}
+	return bound
+}
+
+// eachRun visits pending runs in mode order: CHRONICLE and UNRESTRICTED
+// oldest-first, RECENT newest-first. The visit snapshot tolerates appends
+// made by the callback.
+func (e *runEngine) eachRun(fn func(*run) bool) {
+	snapshot := e.runs
+	if e.def.Mode == ModeRecent {
+		for i := len(snapshot) - 1; i >= 0; i-- {
+			if !fn(snapshot[i]) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range snapshot {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+func (e *runEngine) removeRun(r *run) {
+	for i, x := range e.runs {
+		if x == r {
+			e.runs = append(e.runs[:i], e.runs[i+1:]...)
+			return
+		}
+	}
+}
+
+// advance evicts runs whose window can no longer be satisfied at event time
+// ts: with a PRECEDING window anchored at an unbound step, a run whose
+// earliest tuple has fallen out of every possible future window is dead;
+// with a FOLLOWING window whose anchor is bound, the run dies once the span
+// after the anchor has fully elapsed.
+func (e *runEngine) advance(ts stream.Timestamp) {
+	if len(e.runs) == 0 || (e.def.Window == nil && e.def.ExpireAfter == 0) {
+		return
+	}
+	kept := e.runs[:0]
+	for _, r := range e.runs {
+		if e.expired(r, ts) || e.idle(r, ts) {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(e.runs); i++ {
+		e.runs[i] = nil
+	}
+	e.runs = kept
+}
+
+// idle applies Def.ExpireAfter to runs that stopped making progress.
+func (e *runEngine) idle(r *run, ts stream.Timestamp) bool {
+	return e.def.ExpireAfter > 0 && r.last < ts.Add(-e.def.ExpireAfter)
+}
+
+func (e *runEngine) expired(r *run, ts stream.Timestamp) bool {
+	w := e.def.Window
+	if w == nil {
+		return false
+	}
+	anchorBound := e.level(r) > w.Step
+	if w.Following {
+		if !anchorBound {
+			return false
+		}
+		anchor := r.m.Last(w.Step)
+		return ts > anchor.TS.Add(w.Span)
+	}
+	if anchorBound {
+		return false
+	}
+	first := r.m.First(0)
+	return first != nil && first.TS < ts.Add(-w.Span)
+}
+
+func (e *runEngine) stateSize() int {
+	n := 0
+	for _, r := range e.runs {
+		for _, g := range r.m.Groups {
+			n += len(g)
+		}
+	}
+	return n
+}
+
+func stepIn(steps []int, s int) bool {
+	for _, x := range steps {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

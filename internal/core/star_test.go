@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// starDef builds SEQ(R1*, R2) in the given mode with the paper's Example 7
+// constraints: inter-arrival gap <= 1s within the star, and R2 within 5s of
+// the last R1.
+func containmentDef(mode Mode) Def {
+	return Def{
+		Steps: []Step{
+			{Alias: "R1", Star: true, MaxGap: time.Second},
+			{Alias: "R2"},
+		},
+		Mode: mode,
+		Pred: func(partial *Match, step int, t *stream.Tuple) bool {
+			if step != 1 {
+				return true
+			}
+			last := partial.Last(0)
+			return last != nil && t.TS.Sub(last.TS) <= 5*time.Second
+		},
+	}
+}
+
+// Figure 1(a): products read by r1, then the case read by r2 within t0.
+func TestContainmentBasic(t *testing.T) {
+	m := MustMatcher(containmentDef(ModeChronicle))
+	got := feed(t, m,
+		mk("R1", 1000*time.Millisecond, "p1"),
+		mk("R1", 1500*time.Millisecond, "p2"),
+		mk("R1", 2000*time.Millisecond, "p3"),
+		mk("R2", 4*time.Second, "case1"),
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", sigs(got))
+	}
+	ev := got[0]
+	// FIRST / LAST / COUNT star aggregates (Example 7's SELECT list).
+	if ev.Count(0) != 3 {
+		t.Errorf("COUNT(R1*) = %d", ev.Count(0))
+	}
+	if ev.First(0).TS != stream.TS(time.Second) {
+		t.Errorf("FIRST(R1*).tagtime = %v", ev.First(0).TS)
+	}
+	if ev.Last(0).TS != stream.TS(2*time.Second) {
+		t.Errorf("LAST(R1*).tagtime = %v", ev.Last(0).TS)
+	}
+	if ev.Last(1).Field("tagid").String() != "case1" {
+		t.Errorf("R2.tagid = %v", ev.Last(1).Field("tagid"))
+	}
+}
+
+// Figure 1(b): the next case's products start before the previous case is
+// read; the >t1 gap separates the groups.
+func TestContainmentGapSplitsCases(t *testing.T) {
+	m := MustMatcher(containmentDef(ModeChronicle))
+	got := feed(t, m,
+		// Case 1 products at 1.0, 1.5.
+		mk("R1", 1000*time.Millisecond, "p1"),
+		mk("R1", 1500*time.Millisecond, "p2"),
+		// Gap > 1s: case 2 products at 3.0, 3.5.
+		mk("R1", 3000*time.Millisecond, "p3"),
+		mk("R1", 3500*time.Millisecond, "p4"),
+		// Case 1 detected at 4.0 (within 5s of p2), then case 2 at 5.0.
+		mk("R2", 4*time.Second, "case1"),
+		mk("R2", 5*time.Second, "case2"),
+	)
+	if len(got) != 2 {
+		t.Fatalf("matches = %v", sigs(got))
+	}
+	if got[0].Count(0) != 2 || got[0].Last(1).Field("tagid").String() != "case1" {
+		t.Errorf("case1 grouped wrong: %s (count %d)", sig(got[0]), got[0].Count(0))
+	}
+	if got[1].Count(0) != 2 || got[1].Last(1).Field("tagid").String() != "case2" {
+		t.Errorf("case2 grouped wrong: %s (count %d)", sig(got[1]), got[1].Count(0))
+	}
+	// CHRONICLE pairs the earliest pending group with the first case.
+	if got[0].First(0).Field("tagid").String() != "p1" {
+		t.Errorf("case1 should take the earliest product run")
+	}
+}
+
+// Longest-match semantics: no events for sub-runs of the star.
+func TestStarLongestMatchOnly(t *testing.T) {
+	for _, mode := range []Mode{ModeUnrestricted, ModeRecent, ModeChronicle, ModeConsecutive} {
+		def := Def{Steps: []Step{{Alias: "R1", Star: true}, {Alias: "R2"}}, Mode: mode}
+		m := MustMatcher(def)
+		got := feed(t, m,
+			mk("R1", 1*time.Second, "a"),
+			mk("R1", 2*time.Second, "b"),
+			mk("R1", 3*time.Second, "c"),
+			mk("R2", 4*time.Second, "case"),
+		)
+		if len(got) != 1 {
+			t.Fatalf("mode %v: got %d events %v, want exactly the longest", mode, len(got), sigs(got))
+		}
+		if got[0].Count(0) != 3 {
+			t.Errorf("mode %v: star bound %d tuples, want 3", mode, got[0].Count(0))
+		}
+	}
+}
+
+// §3.1.2: "in SEQ(E1*, E2*), if there are three E2 tuples coming in after
+// the E1 tuples, we generate one event for each E2 tuple."
+func TestTrailingStarEmitsOnline(t *testing.T) {
+	def := Def{Steps: []Step{{Alias: "R1", Star: true}, {Alias: "R2", Star: true}}, Mode: ModeConsecutive}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "a"),
+		mk("R1", 2*time.Second, "b"),
+		mk("R2", 3*time.Second, "x"),
+		mk("R2", 4*time.Second, "y"),
+		mk("R2", 5*time.Second, "z"),
+	)
+	if len(got) != 3 {
+		t.Fatalf("got %d events, want one per E2 tuple: %v", len(got), sigs(got))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i].Count(1) != want {
+			t.Errorf("event %d has %d E2 tuples, want %d", i, got[i].Count(1), want)
+		}
+		if got[i].Count(0) != 2 {
+			t.Errorf("event %d lost the E1 run", i)
+		}
+	}
+}
+
+// SEQ(A*, B, C*, D): mixed stars and singletons.
+func TestMixedStarPattern(t *testing.T) {
+	def := Def{Steps: []Step{
+		{Alias: "A1", Star: true},
+		{Alias: "A2"},
+		{Alias: "A3", Star: true},
+		{Alias: "C4"},
+	}, Mode: ModeConsecutive}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("A1", 1*time.Second, "a"),
+		mk("A1", 2*time.Second, "a"),
+		mk("A2", 3*time.Second, "b"),
+		mk("A3", 4*time.Second, "c"),
+		mk("A3", 5*time.Second, "c"),
+		mk("A3", 6*time.Second, "c"),
+		mk("C4", 7*time.Second, "d"),
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", sigs(got))
+	}
+	ev := got[0]
+	if ev.Count(0) != 2 || ev.Count(1) != 1 || ev.Count(2) != 3 || ev.Count(3) != 1 {
+		t.Fatalf("group sizes = %d,%d,%d,%d", ev.Count(0), ev.Count(1), ev.Count(2), ev.Count(3))
+	}
+}
+
+// Consecutive mode: an interleaved foreign tuple breaks the star run.
+func TestConsecutiveStarBrokenByInterleaving(t *testing.T) {
+	def := Def{Steps: []Step{{Alias: "R1", Star: true}, {Alias: "R2"}}, Mode: ModeConsecutive}
+	m := MustMatcher(def)
+	// R2 arrives mid-run then again: first R2 closes a 1-tuple run; the
+	// second R2 cannot start (needs R1 first).
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "a"),
+		mk("R2", 2*time.Second, "case"),
+		mk("R2", 3*time.Second, "case2"),
+	)
+	if len(got) != 1 || got[0].Count(0) != 1 {
+		t.Fatalf("got %v", sigs(got))
+	}
+}
+
+// RECENT star: the most recent pending run wins.
+func TestRecentStarTakesLatestRun(t *testing.T) {
+	def := Def{Steps: []Step{{Alias: "R1", Star: true, MaxGap: time.Second}, {Alias: "R2"}}, Mode: ModeRecent}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "old"),
+		// gap > 1s: new run replaces the old one at its level
+		mk("R1", 5*time.Second, "new"),
+		mk("R2", 6*time.Second, "case"),
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", sigs(got))
+	}
+	if got[0].First(0).Field("tagid").String() != "new" {
+		t.Errorf("RECENT should bind the most recent run, got %s", sig(got[0]))
+	}
+}
+
+// UNRESTRICTED with a non-star first step and star second step forks per
+// first-step choice.
+func TestUnrestrictedForksOverNonStarChoices(t *testing.T) {
+	def := Def{Steps: []Step{{Alias: "C1"}, {Alias: "R1", Star: true}, {Alias: "C4"}}, Mode: ModeUnrestricted}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "a"),
+		mk("C1", 2*time.Second, "b"),
+		mk("R1", 3*time.Second, "x"),
+		mk("R1", 4*time.Second, "y"),
+		mk("C4", 5*time.Second, "z"),
+	)
+	// Two C1 choices, each with the (longest) star run (x,y).
+	if len(got) != 2 {
+		t.Fatalf("got %d matches %v", len(got), sigs(got))
+	}
+	for _, ev := range got {
+		if ev.Count(1) != 2 {
+			t.Errorf("star not longest: %s", sig(ev))
+		}
+	}
+}
+
+// Chronicle consumes the matched run; the next case needs fresh products.
+func TestChronicleStarConsumes(t *testing.T) {
+	m := MustMatcher(containmentDef(ModeChronicle))
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "p1"),
+		mk("R2", 2*time.Second, "case1"),
+		mk("R2", 3*time.Second, "case2"), // nothing left to pair
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", sigs(got))
+	}
+	if m.StateSize() != 0 {
+		t.Errorf("state after consume = %d", m.StateSize())
+	}
+}
+
+// Def.ExpireAfter prunes stale pending runs (the state-bound for
+// containment workloads whose timing bound lives in Pred).
+func TestExpireAfterPrunesIdleRuns(t *testing.T) {
+	def := containmentDef(ModeChronicle)
+	def.ExpireAfter = 6 * time.Second
+	m := MustMatcher(def)
+	feed(t, m, mk("R1", 1*time.Second, "p1"))
+	if m.StateSize() != 1 {
+		t.Fatalf("state = %d", m.StateSize())
+	}
+	m.Advance(stream.TS(3 * time.Second))
+	if m.StateSize() != 1 {
+		t.Fatalf("pruned too early")
+	}
+	m.Advance(stream.TS(8 * time.Second))
+	if m.StateSize() != 0 {
+		t.Fatalf("idle run not pruned: %d", m.StateSize())
+	}
+}
+
+// Star with window: PRECEDING window anchored at the final step evicts
+// pending runs whose products fell out of range.
+func TestStarWindowEviction(t *testing.T) {
+	def := Def{
+		Steps:  []Step{{Alias: "R1", Star: true}, {Alias: "R2"}},
+		Mode:   ModeChronicle,
+		Window: &WindowAnchor{Span: 5 * time.Second, Step: 1},
+	}
+	m := MustMatcher(def)
+	feed(t, m, mk("R1", 1*time.Second, "p1"))
+	m.Advance(stream.TS(100 * time.Second))
+	if m.StateSize() != 0 {
+		t.Fatalf("expired run not evicted: %d", m.StateSize())
+	}
+	// And a too-late R2 does not match a fresh run either.
+	got := feed(t, m,
+		mk("R1", 200*time.Second, "p2"),
+		mk("R2", 210*time.Second, "case"),
+	)
+	if len(got) != 0 {
+		t.Fatalf("window should reject: %v", sigs(got))
+	}
+}
+
+// Partitioned star pattern: per-tag containment.
+func TestPartitionedStar(t *testing.T) {
+	def := Def{
+		Steps: []Step{
+			{Alias: "R1", Star: true, Key: func(tu *stream.Tuple) stream.Value { return tu.Field("tagid") }},
+			{Alias: "R2", Key: func(tu *stream.Tuple) stream.Value { return tu.Field("tagid") }},
+		},
+		Mode: ModeChronicle,
+	}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "a"),
+		mk("R1", 2*time.Second, "b"),
+		mk("R1", 3*time.Second, "a"),
+		mk("R2", 4*time.Second, "a"),
+	)
+	if len(got) != 1 || got[0].Count(0) != 2 {
+		t.Fatalf("per-key grouping wrong: %v", sigs(got))
+	}
+}

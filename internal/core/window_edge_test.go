@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// PRECEDING window anchored mid-sequence: steps before the anchor must fall
+// within the span before it; steps after are unconstrained.
+func TestPrecedingWindowMidAnchor(t *testing.T) {
+	def := seqDef(ModeRecent, "C1", "C2", "C3")
+	def.Window = &WindowAnchor{Span: 5 * time.Second, Step: 1} // PRECEDING C2
+	m := MustMatcher(def)
+	// C1 far before C2: rejected when C2 binds.
+	got := feed(t, m,
+		mk("C1", 1*time.Second, "x"),
+		mk("C2", 60*time.Second, "x"),
+		mk("C3", 61*time.Second, "x"),
+	)
+	wantSigs(t, got)
+	// C1 within 5s of C2; C3 arbitrarily later: accepted.
+	got = feed(t, m,
+		mk("C1", 100*time.Second, "x"),
+		mk("C2", 103*time.Second, "x"),
+		mk("C3", 500*time.Second, "x"),
+	)
+	wantSigs(t, got, "t100,t103,t500")
+}
+
+// FOLLOWING window: pending runs die once the span after the bound anchor
+// elapses, via Advance.
+func TestFollowingWindowPendingEviction(t *testing.T) {
+	def := Def{
+		Steps:  []Step{{Alias: "R1", Star: true}, {Alias: "R2"}},
+		Mode:   ModeChronicle,
+		Window: &WindowAnchor{Span: 5 * time.Second, Step: 0, Following: true},
+	}
+	m := MustMatcher(def)
+	feed(t, m, mk("R1", 1*time.Second, "p"))
+	if m.StateSize() != 1 {
+		t.Fatalf("state = %d", m.StateSize())
+	}
+	m.Advance(stream.TS(3 * time.Second))
+	if m.StateSize() != 1 {
+		t.Fatal("evicted too early")
+	}
+	m.Advance(stream.TS(10 * time.Second))
+	if m.StateSize() != 0 {
+		t.Fatalf("pending run survived its FOLLOWING window: %d", m.StateSize())
+	}
+}
+
+// UNRESTRICTED without a window retains full history — the behaviour the
+// paper tells you to bound with windows.
+func TestUnrestrictedUnboundedWithoutWindow(t *testing.T) {
+	m := MustMatcher(seqDef(ModeUnrestricted, "C1", "C2"))
+	for i := 0; i < 500; i++ {
+		feed(t, m, mk("C1", time.Duration(i)*time.Second, "x"))
+	}
+	if m.StateSize() != 500 {
+		t.Fatalf("state = %d, want full history", m.StateSize())
+	}
+	m.Advance(stream.TS(time.Hour)) // no window: advance cannot purge
+	if m.StateSize() != 500 {
+		t.Fatalf("state = %d after advance", m.StateSize())
+	}
+}
+
+// Tuples arriving exactly on the window boundary are admitted (inclusive
+// bounds, as the paper's "within time t0" reads).
+func TestWindowBoundaryInclusive(t *testing.T) {
+	def := seqDef(ModeRecent, "C1", "C2")
+	def.Window = &WindowAnchor{Span: 5 * time.Second, Step: 1}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("C1", 10*time.Second, "x"),
+		mk("C2", 15*time.Second, "x"), // exactly 5s later
+	)
+	wantSigs(t, got, "t10,t15")
+	def2 := seqDef(ModeRecent, "C1", "C2")
+	def2.Window = &WindowAnchor{Span: 5 * time.Second, Step: 0, Following: true}
+	m2 := MustMatcher(def2)
+	got = feed(t, m2,
+		mk("C1", 20*time.Second, "x"),
+		mk("C2", 25*time.Second, "x"),
+	)
+	wantSigs(t, got, "t20,t25")
+}
+
+// Same-timestamp tuples: order is decided by arrival sequence, so a C2
+// arriving at the same instant but after a C1 still forms a sequence.
+func TestSameInstantOrdering(t *testing.T) {
+	m := MustMatcher(seqDef(ModeRecent, "C1", "C2"))
+	a := mk("C1", time.Second, "x")
+	b := mk("C2", time.Second, "x") // same ts, later Seq (mk increments)
+	got := feed(t, m, a, b)
+	wantSigs(t, got, "t1,t1")
+	// Reversed arrival: C2 first cannot pair with a later-arriving C1.
+	m2 := MustMatcher(seqDef(ModeRecent, "C1", "C2"))
+	c := mk("C2", 2*time.Second, "x")
+	d := mk("C1", 2*time.Second, "x")
+	got = feed(t, m2, c, d)
+	wantSigs(t, got)
+}
+
+// A star run may span the entire match under CONSECUTIVE with windows:
+// window checked per absorbed tuple.
+func TestConsecutiveStarWindow(t *testing.T) {
+	def := Def{
+		Steps:  []Step{{Alias: "R1", Star: true}, {Alias: "R2"}},
+		Mode:   ModeConsecutive,
+		Window: &WindowAnchor{Span: 3 * time.Second, Step: 1},
+	}
+	m := MustMatcher(def)
+	got := feed(t, m,
+		mk("R1", 1*time.Second, "a"),
+		mk("R1", 2*time.Second, "b"),
+		mk("R1", 3*time.Second, "c"),
+		mk("R2", 5*time.Second, "case"), // window [2s,5s]: t1 falls outside
+	)
+	// The anchor check rejects the run containing t1 — the run breaks and
+	// nothing matches (consecutive semantics have no partial salvage).
+	wantSigs(t, got)
+	got = feed(t, m,
+		mk("R1", 10*time.Second, "d"),
+		mk("R1", 11*time.Second, "e"),
+		mk("R2", 12*time.Second, "case2"),
+	)
+	if len(got) != 1 || got[0].Count(0) != 2 {
+		t.Fatalf("got %v", sigs(got))
+	}
+}
+
+// Exceptions carry deep-copied partials: later matcher state changes must
+// not mutate reported exceptions.
+func TestExceptionPartialIsolation(t *testing.T) {
+	m := MustExceptionMatcher(clinicDef(ModeConsecutive))
+	pushEx(t, m, mk("A1", 1*time.Minute, "s"))
+	_, exs := pushEx(t, m, mk("A3", 2*time.Minute, "s"))
+	if len(exs) == 0 || exs[0].Partial == nil {
+		t.Fatal("missing partial")
+	}
+	snapshot := exs[0].Partial.First(0)
+	// Drive more activity.
+	pushEx(t, m, mk("A1", 10*time.Minute, "s"))
+	pushEx(t, m, mk("A2", 11*time.Minute, "s"))
+	if exs[0].Partial.First(0) != snapshot {
+		t.Fatal("partial mutated by later activity")
+	}
+}

@@ -1,0 +1,270 @@
+// Package db implements the in-memory persistent tables that ESL-EV
+// stream–DB spanning queries read and update: context retrieval (meta-data
+// lookup for tag IDs), movement-history tracking (Example 2), and any other
+// TABLE declared in an ESL-EV script. Tables support hash indexes on single
+// columns, predicate scans in deterministic insertion order, and are safe
+// for concurrent readers (ad-hoc snapshot queries) alongside the engine's
+// single writer.
+package db
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Row is one stored record. Vals must be treated as immutable by readers;
+// updates replace the slice.
+type Row struct {
+	ID   uint64
+	Vals []stream.Value
+}
+
+// Get returns the value at column i, Null when out of range.
+func (r *Row) Get(i int) stream.Value {
+	if i < 0 || i >= len(r.Vals) {
+		return stream.Null
+	}
+	return r.Vals[i]
+}
+
+// Table is an indexed, insertion-ordered in-memory relation.
+type Table struct {
+	mu      sync.RWMutex
+	schema  *stream.Schema
+	rows    []*Row
+	byID    map[uint64]int // row id -> position in rows
+	nextID  uint64
+	indexes map[int]*index // column position -> index
+}
+
+type index struct {
+	col     int
+	buckets map[uint64][]*Row
+}
+
+// NewTable builds an empty table with the given schema.
+func NewTable(schema *stream.Schema) *Table {
+	return &Table{
+		schema:  schema,
+		byID:    make(map[uint64]int),
+		indexes: make(map[int]*index),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *stream.Schema { return t.schema }
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column.
+func (t *Table) CreateIndex(col string) error {
+	pos, ok := t.schema.Col(col)
+	if !ok {
+		return fmt.Errorf("db: table %s: no column %q to index", t.schema.Name(), col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := &index{col: pos, buckets: make(map[uint64][]*Row)}
+	for _, r := range t.rows {
+		idx.add(r)
+	}
+	t.indexes[pos] = idx
+	return nil
+}
+
+func (ix *index) add(r *Row) {
+	h := r.Vals[ix.col].Hash()
+	ix.buckets[h] = append(ix.buckets[h], r)
+}
+
+func (ix *index) remove(r *Row) {
+	h := r.Vals[ix.col].Hash()
+	b := ix.buckets[h]
+	for i, x := range b {
+		if x == r {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(ix.buckets, h)
+	} else {
+		ix.buckets[h] = b
+	}
+}
+
+// Insert validates and appends a row, returning its id.
+func (t *Table) Insert(vals []stream.Value) (uint64, error) {
+	if err := t.schema.Validate(vals); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	r := &Row{ID: t.nextID, Vals: append([]stream.Value(nil), vals...)}
+	t.byID[r.ID] = len(t.rows)
+	t.rows = append(t.rows, r)
+	for _, ix := range t.indexes {
+		ix.add(r)
+	}
+	return r.ID, nil
+}
+
+// Scan visits all rows in insertion order; fn returning false stops. The
+// table lock is held for reading throughout, so fn must not call mutating
+// table methods.
+func (t *Table) Scan(fn func(*Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// LookupEqual returns rows whose column equals v, using a hash index when
+// one exists and falling back to a scan otherwise. The result slice is
+// fresh and owned by the caller; rows appear in arbitrary (indexed) or
+// insertion (scanned) order.
+func (t *Table) LookupEqual(col string, v stream.Value) ([]*Row, error) {
+	pos, ok := t.schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("db: table %s: no column %q", t.schema.Name(), col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ix, indexed := t.indexes[pos]; indexed {
+		var out []*Row
+		for _, r := range ix.buckets[v.Hash()] {
+			if r.Vals[pos].Equal(v) {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	var out []*Row
+	for _, r := range t.rows {
+		if r.Vals[pos].Equal(v) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Update applies set (column position -> new value) to every row satisfying
+// pred and returns the number updated.
+func (t *Table) Update(pred func(*Row) bool, set map[int]stream.Value) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.rows {
+		if !pred(r) {
+			continue
+		}
+		vals := append([]stream.Value(nil), r.Vals...)
+		for pos, v := range set {
+			if pos < 0 || pos >= len(vals) {
+				return n, fmt.Errorf("db: table %s: update position %d out of range", t.schema.Name(), pos)
+			}
+			if !t.schema.Fields()[pos].Type.Admits(v.Kind()) {
+				return n, fmt.Errorf("db: table %s: column %s cannot hold %s",
+					t.schema.Name(), t.schema.Fields()[pos].Name, v.Kind())
+			}
+			vals[pos] = v
+		}
+		for _, ix := range t.indexes {
+			ix.remove(r)
+		}
+		r.Vals = vals
+		for _, ix := range t.indexes {
+			ix.add(r)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes every row satisfying pred and returns the number removed.
+func (t *Table) Delete(pred func(*Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			for _, ix := range t.indexes {
+				ix.remove(r)
+			}
+			delete(t.byID, r.ID)
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	for i, r := range t.rows {
+		t.byID[r.ID] = i
+	}
+	return n
+}
+
+// Snapshot returns a copy of all rows (values shared, slice fresh), giving
+// ad-hoc queries a stable view.
+func (t *Table) Snapshot() []*Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Row(nil), t.rows...)
+}
+
+// Store is a named-table registry: the "persistent database" side of the
+// stream–DB spanning queries.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create registers a new table for the schema. Re-creating an existing name
+// is an error.
+func (s *Store) Create(schema *stream.Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[schema.Name()]; dup {
+		return nil, fmt.Errorf("db: table %s already exists", schema.Name())
+	}
+	t := NewTable(schema)
+	s.tables[schema.Name()] = t
+	return t, nil
+}
+
+// Get returns the named table.
+func (s *Store) Get(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Names returns the registered table names (unordered).
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	return names
+}

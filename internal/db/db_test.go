@@ -1,0 +1,225 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func movementSchema() *stream.Schema {
+	return stream.MustSchema("object_movement",
+		stream.Field{Name: "tagid"},
+		stream.Field{Name: "location"},
+		stream.Field{Name: "start_time"})
+}
+
+func row(tag, loc string, at int64) []stream.Value {
+	return []stream.Value{stream.Str(tag), stream.Str(loc), stream.Int(at)}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Insert(row(fmt.Sprintf("t%d", i), "dock", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	var tags []string
+	tbl.Scan(func(r *Row) bool {
+		tags = append(tags, r.Get(0).String())
+		return true
+	})
+	for i, tag := range tags {
+		if tag != fmt.Sprintf("t%d", i) {
+			t.Fatalf("scan order broken: %v", tags)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.Scan(func(*Row) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	s := stream.MustSchema("typed", stream.Field{Name: "n", Type: stream.TInt})
+	tbl := NewTable(s)
+	if _, err := tbl.Insert([]stream.Value{stream.Str("no")}); err == nil {
+		t.Error("type violation should be rejected")
+	}
+	if _, err := tbl.Insert([]stream.Value{stream.Int(1), stream.Int(2)}); err == nil {
+		t.Error("arity violation should be rejected")
+	}
+}
+
+func TestLookupEqualScanVsIndex(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	for i := 0; i < 100; i++ {
+		tbl.Insert(row(fmt.Sprintf("t%d", i%10), "dock", int64(i)))
+	}
+	// Without index.
+	rows, err := tbl.LookupEqual("tagid", stream.Str("t3"))
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("scan lookup: %d rows, %v", len(rows), err)
+	}
+	// With index: same result set.
+	if err := tbl.CreateIndex("tagid"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := tbl.LookupEqual("tagid", stream.Str("t3"))
+	if err != nil || len(rows2) != 10 {
+		t.Fatalf("indexed lookup: %d rows, %v", len(rows2), err)
+	}
+	if _, err := tbl.LookupEqual("nope", stream.Null); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestUpdateMaintainsIndex(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	tbl.CreateIndex("location")
+	tbl.Insert(row("t1", "dock", 1))
+	tbl.Insert(row("t2", "dock", 2))
+	locCol, _ := tbl.Schema().Col("location")
+	n, err := tbl.Update(
+		func(r *Row) bool { return r.Get(0).Equal(stream.Str("t1")) },
+		map[int]stream.Value{locCol: stream.Str("floor")})
+	if err != nil || n != 1 {
+		t.Fatalf("Update: n=%d err=%v", n, err)
+	}
+	atDock, _ := tbl.LookupEqual("location", stream.Str("dock"))
+	atFloor, _ := tbl.LookupEqual("location", stream.Str("floor"))
+	if len(atDock) != 1 || len(atFloor) != 1 {
+		t.Fatalf("index stale after update: dock=%d floor=%d", len(atDock), len(atFloor))
+	}
+	// Type-checked update.
+	s := stream.MustSchema("typed", stream.Field{Name: "n", Type: stream.TInt})
+	tt := NewTable(s)
+	tt.Insert([]stream.Value{stream.Int(1)})
+	if _, err := tt.Update(func(*Row) bool { return true }, map[int]stream.Value{0: stream.Str("x")}); err == nil {
+		t.Error("update violating column type should error")
+	}
+}
+
+func TestDeleteMaintainsIndexAndOrder(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 6; i++ {
+		tbl.Insert(row(fmt.Sprintf("t%d", i), "dock", int64(i)))
+	}
+	n := tbl.Delete(func(r *Row) bool {
+		v, _ := r.Get(2).AsInt()
+		return v%2 == 0
+	})
+	if n != 3 || tbl.Len() != 3 {
+		t.Fatalf("Delete: n=%d len=%d", n, tbl.Len())
+	}
+	var tags []string
+	tbl.Scan(func(r *Row) bool { tags = append(tags, r.Get(0).String()); return true })
+	want := []string{"t1", "t3", "t5"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("order after delete = %v", tags)
+		}
+	}
+	if rows, _ := tbl.LookupEqual("tagid", stream.Str("t0")); len(rows) != 0 {
+		t.Error("index stale after delete")
+	}
+	if rows, _ := tbl.LookupEqual("tagid", stream.Str("t1")); len(rows) != 1 {
+		t.Error("surviving row lost from index")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	tbl.Insert(row("t1", "dock", 1))
+	snap := tbl.Snapshot()
+	tbl.Insert(row("t2", "dock", 2))
+	if len(snap) != 1 {
+		t.Errorf("snapshot should not see later inserts: %d", len(snap))
+	}
+}
+
+func TestStore(t *testing.T) {
+	st := NewStore()
+	tbl, err := st.Create(movementSchema())
+	if err != nil || tbl == nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(movementSchema()); err == nil {
+		t.Error("duplicate create should error")
+	}
+	if got, ok := st.Get("object_movement"); !ok || got != tbl {
+		t.Error("Get failed")
+	}
+	if _, ok := st.Get("missing"); ok {
+		t.Error("Get(missing) should fail")
+	}
+	if names := st.Names(); len(names) != 1 || names[0] != "object_movement" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tbl := NewTable(movementSchema())
+	tbl.CreateIndex("tagid")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tbl.LookupEqual("tagid", stream.Str("t5"))
+					tbl.Scan(func(*Row) bool { return true })
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		tbl.Insert(row(fmt.Sprintf("t%d", i%10), "dock", int64(i)))
+	}
+	close(stop)
+	wg.Wait()
+	if tbl.Len() != 500 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+// Property: LookupEqual via index always agrees with a predicate scan.
+func TestIndexScanAgreementProperty(t *testing.T) {
+	f := func(keys []uint8, probe uint8) bool {
+		tbl := NewTable(movementSchema())
+		tbl.CreateIndex("tagid")
+		for i, k := range keys {
+			tbl.Insert(row(fmt.Sprintf("t%d", k%16), "dock", int64(i)))
+		}
+		target := stream.Str(fmt.Sprintf("t%d", probe%16))
+		indexed, err := tbl.LookupEqual("tagid", target)
+		if err != nil {
+			return false
+		}
+		scanCount := 0
+		tbl.Scan(func(r *Row) bool {
+			if r.Get(0).Equal(target) {
+				scanCount++
+			}
+			return true
+		})
+		return len(indexed) == scanCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package epc implements the Electronic Product Code support that the
+// paper's EPC-pattern queries rely on: dotted tag codes of the form
+// "company.product.serial", the ALE-style pattern language with literals,
+// '*' wildcards and "[lo-hi]" serial ranges (e.g. "20.*.[5000-9999]"), and
+// the extract_serial / extract_company / extract_product helpers exposed to
+// ESL-EV as UDFs.
+package epc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Code is a parsed EPC tag code. The paper's examples use the three-field
+// dotted form "company.productcode.serialnumber"; Segments preserves any
+// additional dotted fields so deeper ALE patterns also work.
+type Code struct {
+	Segments []string
+}
+
+// Parse splits a dotted EPC code, accepting the "urn:epc:id:" URI prefix.
+// Codes must have at least two non-empty segments.
+func Parse(s string) (Code, error) {
+	s = strings.TrimPrefix(s, "urn:epc:id:sgtin:")
+	s = strings.TrimPrefix(s, "urn:epc:id:")
+	if s == "" {
+		return Code{}, fmt.Errorf("epc: empty code")
+	}
+	segs := strings.Split(s, ".")
+	if len(segs) < 2 {
+		return Code{}, fmt.Errorf("epc: code %q needs at least 2 dotted segments", s)
+	}
+	for i, seg := range segs {
+		if seg == "" {
+			return Code{}, fmt.Errorf("epc: code %q has empty segment %d", s, i)
+		}
+	}
+	return Code{Segments: segs}, nil
+}
+
+// MustParse is Parse that panics on error, for static test data.
+func MustParse(s string) Code {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Format builds the canonical three-field code used throughout the paper.
+func Format(company, product, serial int64) string {
+	return fmt.Sprintf("%d.%d.%d", company, product, serial)
+}
+
+// String renders the code in dotted form.
+func (c Code) String() string { return strings.Join(c.Segments, ".") }
+
+// URI renders the code as an EPC identity URI.
+func (c Code) URI() string { return "urn:epc:id:sgtin:" + c.String() }
+
+// Company returns the first (company manager) segment.
+func (c Code) Company() string { return c.Segments[0] }
+
+// Product returns the second (product/object-class) segment, or "".
+func (c Code) Product() string {
+	if len(c.Segments) < 2 {
+		return ""
+	}
+	return c.Segments[1]
+}
+
+// Serial returns the final segment, which by EPC convention is the serial
+// number.
+func (c Code) Serial() string { return c.Segments[len(c.Segments)-1] }
+
+// SerialInt returns the serial number as an integer; ok is false when the
+// serial is not numeric.
+func (c Code) SerialInt() (int64, bool) {
+	n, err := strconv.ParseInt(c.Serial(), 10, 64)
+	return n, err == nil
+}
+
+// ExtractSerial is the paper's extract_serial UDF: pull the serial-number
+// segment of a dotted EPC string and return it as an integer. It returns an
+// error for malformed codes or non-numeric serials, which the query layer
+// surfaces as NULL.
+func ExtractSerial(code string) (int64, error) {
+	c, err := Parse(code)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := c.SerialInt()
+	if !ok {
+		return 0, fmt.Errorf("epc: serial %q of code %q is not numeric", c.Serial(), code)
+	}
+	return n, nil
+}
+
+// ExtractCompany returns the company segment of a dotted EPC string.
+func ExtractCompany(code string) (string, error) {
+	c, err := Parse(code)
+	if err != nil {
+		return "", err
+	}
+	return c.Company(), nil
+}
+
+// ExtractProduct returns the product segment of a dotted EPC string.
+func ExtractProduct(code string) (string, error) {
+	c, err := Parse(code)
+	if err != nil {
+		return "", err
+	}
+	return c.Product(), nil
+}
+
+// segMatcher matches one dotted segment of a pattern.
+type segMatcher struct {
+	kind    segKind
+	literal string
+	lo, hi  int64
+}
+
+type segKind uint8
+
+const (
+	segLiteral segKind = iota
+	segStar            // '*' — any single segment
+	segRange           // '[lo-hi]' — numeric inclusive range
+)
+
+// Pattern is a compiled ALE-style EPC pattern such as "20.*.[5000-9999]":
+// per-segment matchers over the dotted form. A code matches when it has the
+// same number of segments and every segment matches.
+type Pattern struct {
+	src  string
+	segs []segMatcher
+}
+
+// CompilePattern parses and compiles a pattern. Supported segment forms:
+// a literal ("20"), the wildcard "*", and an inclusive numeric range
+// "[5000-9999]".
+func CompilePattern(pat string) (*Pattern, error) {
+	if pat == "" {
+		return nil, fmt.Errorf("epc: empty pattern")
+	}
+	parts := strings.Split(pat, ".")
+	p := &Pattern{src: pat, segs: make([]segMatcher, 0, len(parts))}
+	for i, part := range parts {
+		switch {
+		case part == "*":
+			p.segs = append(p.segs, segMatcher{kind: segStar})
+		case strings.HasPrefix(part, "[") && strings.HasSuffix(part, "]"):
+			body := part[1 : len(part)-1]
+			dash := strings.Index(body, "-")
+			if dash <= 0 || dash == len(body)-1 {
+				return nil, fmt.Errorf("epc: pattern %q segment %d: range %q must be [lo-hi]", pat, i, part)
+			}
+			lo, err1 := strconv.ParseInt(body[:dash], 10, 64)
+			hi, err2 := strconv.ParseInt(body[dash+1:], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("epc: pattern %q segment %d: non-numeric range bounds in %q", pat, i, part)
+			}
+			if lo > hi {
+				return nil, fmt.Errorf("epc: pattern %q segment %d: empty range %q", pat, i, part)
+			}
+			p.segs = append(p.segs, segMatcher{kind: segRange, lo: lo, hi: hi})
+		case strings.HasPrefix(part, "[") || strings.HasSuffix(part, "]"):
+			return nil, fmt.Errorf("epc: pattern %q segment %d: unbalanced range brackets in %q", pat, i, part)
+		case part == "":
+			return nil, fmt.Errorf("epc: pattern %q has empty segment %d", pat, i)
+		default:
+			p.segs = append(p.segs, segMatcher{kind: segLiteral, literal: part})
+		}
+	}
+	return p, nil
+}
+
+// MustCompilePattern is CompilePattern that panics on error.
+func MustCompilePattern(pat string) *Pattern {
+	p, err := CompilePattern(pat)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the pattern source text.
+func (p *Pattern) String() string { return p.src }
+
+// Match reports whether the dotted code string matches the pattern.
+// Malformed codes simply do not match.
+func (p *Pattern) Match(code string) bool {
+	c, err := Parse(code)
+	if err != nil {
+		return false
+	}
+	return p.MatchCode(c)
+}
+
+// MatchCode reports whether a parsed code matches the pattern.
+func (p *Pattern) MatchCode(c Code) bool {
+	if len(c.Segments) != len(p.segs) {
+		return false
+	}
+	for i, m := range p.segs {
+		seg := c.Segments[i]
+		switch m.kind {
+		case segStar:
+			// any segment
+		case segLiteral:
+			if seg != m.literal {
+				return false
+			}
+		case segRange:
+			n, err := strconv.ParseInt(seg, 10, 64)
+			if err != nil || n < m.lo || n > m.hi {
+				return false
+			}
+		}
+	}
+	return true
+}

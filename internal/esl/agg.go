@@ -1,0 +1,523 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/stream"
+)
+
+// Accumulator is one aggregate computation instance (per group, per
+// window). Add feeds one input row's argument values; Result produces the
+// current aggregate value and must be callable repeatedly (continuous
+// queries emit on every arrival).
+type Accumulator interface {
+	Add(args []stream.Value) error
+	Result() (stream.Value, error)
+}
+
+// Remover is implemented by accumulators that support incremental removal,
+// enabling O(1) sliding-window maintenance. Aggregates without it are
+// recomputed from the window buffer on eviction.
+type Remover interface {
+	Remove(args []stream.Value) error
+}
+
+// AggFactory creates accumulator instances.
+type AggFactory func() Accumulator
+
+// AggRegistry resolves aggregate names: the five SQL built-ins plus
+// SQL-bodied UDAs declared with CREATE AGGREGATE.
+type AggRegistry struct {
+	aggs  map[string]AggFactory
+	funcs *FuncRegistry
+}
+
+// NewAggRegistry builds a registry with the built-ins installed.
+func NewAggRegistry(funcs *FuncRegistry) *AggRegistry {
+	r := &AggRegistry{aggs: make(map[string]AggFactory), funcs: funcs}
+	r.aggs["COUNT"] = func() Accumulator { return &countAcc{} }
+	r.aggs["SUM"] = func() Accumulator { return &sumAcc{} }
+	r.aggs["AVG"] = func() Accumulator { return &avgAcc{} }
+	r.aggs["MIN"] = func() Accumulator { return &minmaxAcc{min: true} }
+	r.aggs["MAX"] = func() Accumulator { return &minmaxAcc{} }
+	return r
+}
+
+// Register installs a custom aggregate factory.
+func (r *AggRegistry) Register(name string, f AggFactory) {
+	r.aggs[strings.ToUpper(name)] = f
+}
+
+// Lookup resolves an aggregate by name.
+func (r *AggRegistry) Lookup(name string) (AggFactory, bool) {
+	f, ok := r.aggs[strings.ToUpper(name)]
+	return f, ok
+}
+
+// Has reports whether name denotes an aggregate (built-in or UDA).
+func (r *AggRegistry) Has(name string) bool {
+	_, ok := r.aggs[strings.ToUpper(name)]
+	return ok
+}
+
+// ---- built-in accumulators -------------------------------------------------
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) Add(args []stream.Value) error {
+	// COUNT(*) passes no args; COUNT(expr) skips NULLs per SQL.
+	if len(args) == 1 && args[0].IsNull() {
+		return nil
+	}
+	a.n++
+	return nil
+}
+func (a *countAcc) Remove(args []stream.Value) error {
+	if len(args) == 1 && args[0].IsNull() {
+		return nil
+	}
+	a.n--
+	return nil
+}
+func (a *countAcc) Result() (stream.Value, error) { return stream.Int(a.n), nil }
+
+type sumAcc struct {
+	i       int64
+	f       float64
+	isFloat bool
+	n       int64
+}
+
+func (a *sumAcc) add(v stream.Value, sign int64) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case stream.KindInt, stream.KindBool:
+		x, _ := v.AsInt()
+		a.i += sign * x
+	case stream.KindFloat:
+		x, _ := v.AsFloat()
+		a.isFloat = true
+		a.f += float64(sign) * x
+	default:
+		return fmt.Errorf("esl: SUM over %s", v.Kind())
+	}
+	a.n += sign
+	return nil
+}
+func (a *sumAcc) Add(args []stream.Value) error {
+	if len(args) != 1 {
+		return fmt.Errorf("esl: SUM needs one argument")
+	}
+	return a.add(args[0], 1)
+}
+func (a *sumAcc) Remove(args []stream.Value) error { return a.add(args[0], -1) }
+func (a *sumAcc) Result() (stream.Value, error) {
+	if a.n == 0 {
+		return stream.Null, nil
+	}
+	if a.isFloat {
+		return stream.Float(a.f + float64(a.i)), nil
+	}
+	return stream.Int(a.i), nil
+}
+
+type avgAcc struct{ sum sumAcc }
+
+func (a *avgAcc) Add(args []stream.Value) error {
+	if len(args) != 1 {
+		return fmt.Errorf("esl: AVG needs one argument")
+	}
+	return a.sum.add(args[0], 1)
+}
+func (a *avgAcc) Remove(args []stream.Value) error { return a.sum.add(args[0], -1) }
+func (a *avgAcc) Result() (stream.Value, error) {
+	if a.sum.n == 0 {
+		return stream.Null, nil
+	}
+	total := a.sum.f + float64(a.sum.i)
+	return stream.Float(total / float64(a.sum.n)), nil
+}
+
+// minmaxAcc keeps a value->count multiset so Remove works for sliding
+// windows.
+type minmaxAcc struct {
+	min    bool
+	counts map[uint64][]mmEntry
+}
+
+type mmEntry struct {
+	v stream.Value
+	n int
+}
+
+func (a *minmaxAcc) Add(args []stream.Value) error {
+	if len(args) != 1 {
+		return fmt.Errorf("esl: MIN/MAX need one argument")
+	}
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	if a.counts == nil {
+		a.counts = make(map[uint64][]mmEntry)
+	}
+	h := v.Hash()
+	for i, e := range a.counts[h] {
+		if e.v.Equal(v) {
+			a.counts[h][i].n++
+			return nil
+		}
+	}
+	a.counts[h] = append(a.counts[h], mmEntry{v: v, n: 1})
+	return nil
+}
+
+func (a *minmaxAcc) Remove(args []stream.Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	h := v.Hash()
+	bucket := a.counts[h]
+	for i := range bucket {
+		if bucket[i].v.Equal(v) {
+			bucket[i].n--
+			if bucket[i].n == 0 {
+				bucket[i] = bucket[len(bucket)-1]
+				a.counts[h] = bucket[:len(bucket)-1]
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("esl: MIN/MAX removal of absent value %s", v)
+}
+
+func (a *minmaxAcc) Result() (stream.Value, error) {
+	best := stream.Null
+	for _, bucket := range a.counts {
+		for _, e := range bucket {
+			if best.IsNull() {
+				best = e.v
+				continue
+			}
+			c, ok := e.v.Compare(best)
+			if !ok {
+				return stream.Null, fmt.Errorf("esl: MIN/MAX over mixed types")
+			}
+			if (a.min && c < 0) || (!a.min && c > 0) {
+				best = e.v
+			}
+		}
+	}
+	return best, nil
+}
+
+// ---- SQL-bodied UDAs (the ESL INITIALIZE/ITERATE/TERMINATE form) ----------
+
+// udaDef is a compiled CREATE AGGREGATE declaration.
+type udaDef struct {
+	decl  *CreateAggregate
+	state []*stream.Schema
+	funcs *FuncRegistry
+}
+
+// compileUDA validates the declaration and returns a factory.
+func compileUDA(decl *CreateAggregate, funcs *FuncRegistry) (AggFactory, error) {
+	if len(decl.Params) == 0 {
+		return nil, fmt.Errorf("esl: aggregate %s needs at least one parameter", decl.Name)
+	}
+	if len(decl.State) == 0 {
+		return nil, fmt.Errorf("esl: aggregate %s declares no state TABLE", decl.Name)
+	}
+	def := &udaDef{decl: decl, funcs: funcs}
+	for _, st := range decl.State {
+		fields := make([]stream.Field, len(st.Cols))
+		for i, c := range st.Cols {
+			fields[i] = stream.Field{Name: c.Name, Type: c.Type}
+		}
+		schema, err := stream.NewSchema(st.Name, fields...)
+		if err != nil {
+			return nil, fmt.Errorf("esl: aggregate %s: %v", decl.Name, err)
+		}
+		def.state = append(def.state, schema)
+	}
+	// Validate the bodies are made of supported statements.
+	for _, section := range [][]Statement{decl.Init, decl.Iter, decl.Term} {
+		for _, s := range section {
+			switch s.(type) {
+			case *InsertValues, *InsertSelect, *UpdateStmt, *DeleteStmt:
+			default:
+				return nil, fmt.Errorf("esl: aggregate %s: unsupported statement %T in body", decl.Name, s)
+			}
+		}
+	}
+	return func() Accumulator { return newUDAAccum(def) }, nil
+}
+
+// udaAccum is one running UDA instance: private state tables, the
+// INITIALIZE body on first input, ITERATE on the rest, TERMINATE to read
+// the result off the RETURN pseudo-table.
+type udaAccum struct {
+	def     *udaDef
+	tables  map[string]*db.Table
+	started bool
+}
+
+func newUDAAccum(def *udaDef) *udaAccum {
+	a := &udaAccum{def: def, tables: make(map[string]*db.Table)}
+	for _, s := range def.state {
+		a.tables[strings.ToLower(s.Name())] = db.NewTable(s)
+	}
+	return a
+}
+
+func (a *udaAccum) Add(args []stream.Value) error {
+	if len(args) != len(a.def.decl.Params) {
+		return fmt.Errorf("esl: aggregate %s called with %d args, want %d",
+			a.def.decl.Name, len(args), len(a.def.decl.Params))
+	}
+	env := a.paramEnv(args)
+	body := a.def.decl.Iter
+	if !a.started {
+		body = a.def.decl.Init
+		a.started = true
+	}
+	_, err := a.exec(body, env)
+	return err
+}
+
+func (a *udaAccum) Result() (stream.Value, error) {
+	env := a.paramEnv(nil)
+	rows, err := a.exec(a.def.decl.Term, env)
+	if err != nil {
+		return stream.Null, err
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return stream.Null, nil
+	}
+	return rows[0][0], nil
+}
+
+// paramEnv binds parameter names to the current argument values.
+func (a *udaAccum) paramEnv(args []stream.Value) *Env {
+	env := NewEnv(a.def.funcs)
+	if args != nil {
+		params := a.def.decl.Params
+		fields := make([]stream.Field, len(params))
+		for i, p := range params {
+			fields[i] = stream.Field{Name: p.Name}
+		}
+		schema, _ := stream.NewSchema("$params", fields...)
+		env.BindRow("$params", schema, args)
+	}
+	return env
+}
+
+// exec runs a UDA body; INSERT INTO RETURN rows are collected and returned.
+func (a *udaAccum) exec(body []Statement, env *Env) ([][]stream.Value, error) {
+	var returned [][]stream.Value
+	for _, s := range body {
+		switch st := s.(type) {
+		case *InsertValues:
+			if strings.EqualFold(st.Target, "RETURN") {
+				for _, rowExprs := range st.Rows {
+					row, err := evalRow(rowExprs, env)
+					if err != nil {
+						return nil, err
+					}
+					returned = append(returned, row)
+				}
+				continue
+			}
+			tbl, err := a.table(st.Target)
+			if err != nil {
+				return nil, err
+			}
+			for _, rowExprs := range st.Rows {
+				row, err := evalRow(rowExprs, env)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := tbl.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+
+		case *InsertSelect:
+			rows, err := a.runSelect(st.Sel, env)
+			if err != nil {
+				return nil, err
+			}
+			if strings.EqualFold(st.Target, "RETURN") {
+				returned = append(returned, rows...)
+				continue
+			}
+			tbl, err := a.table(st.Target)
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				if _, err := tbl.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+
+		case *UpdateStmt:
+			tbl, err := a.table(st.Table)
+			if err != nil {
+				return nil, err
+			}
+			if err := a.runUpdate(tbl, st, env); err != nil {
+				return nil, err
+			}
+
+		case *DeleteStmt:
+			tbl, err := a.table(st.Table)
+			if err != nil {
+				return nil, err
+			}
+			if err := a.runDelete(tbl, st, env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return returned, nil
+}
+
+func (a *udaAccum) table(name string) (*db.Table, error) {
+	tbl, ok := a.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("esl: aggregate %s: unknown state table %s", a.def.decl.Name, name)
+	}
+	return tbl, nil
+}
+
+// runSelect evaluates a body SELECT over a single state table (scalar
+// per-row projection with an optional WHERE).
+func (a *udaAccum) runSelect(sel *Select, env *Env) ([][]stream.Value, error) {
+	if len(sel.From) != 1 {
+		return nil, fmt.Errorf("esl: aggregate bodies support single-table SELECT")
+	}
+	tbl, err := a.table(sel.From[0].Source)
+	if err != nil {
+		return nil, err
+	}
+	alias := sel.From[0].Alias
+	var out [][]stream.Value
+	var scanErr error
+	tbl.Scan(func(r *db.Row) bool {
+		rowEnv := env.Child()
+		rowEnv.BindRow(alias, tbl.Schema(), r.Vals)
+		if sel.Where != nil {
+			ok, known, err := rowEnv.EvalBool(sel.Where)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok || !known {
+				return true
+			}
+		}
+		var row []stream.Value
+		for _, item := range sel.Items {
+			if item.Star {
+				row = append(row, r.Vals...)
+				continue
+			}
+			v, err := rowEnv.Eval(item.Expr)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+		return true
+	})
+	return out, scanErr
+}
+
+func (a *udaAccum) runUpdate(tbl *db.Table, st *UpdateStmt, env *Env) error {
+	// Collect updates outside the scan (db.Table locks preclude nested
+	// mutation), then apply per-row values.
+	type pending struct {
+		row *db.Row
+		set map[int]stream.Value
+	}
+	var updates []pending
+	var scanErr error
+	tbl.Scan(func(r *db.Row) bool {
+		rowEnv := env.Child()
+		rowEnv.BindRow(st.Table, tbl.Schema(), r.Vals)
+		if st.Where != nil {
+			ok, known, err := rowEnv.EvalBool(st.Where)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok || !known {
+				return true
+			}
+		}
+		set := make(map[int]stream.Value, len(st.Set))
+		for _, sc := range st.Set {
+			pos, ok := tbl.Schema().Col(sc.Col)
+			if !ok {
+				scanErr = fmt.Errorf("esl: unknown column %s in UPDATE %s", sc.Col, st.Table)
+				return false
+			}
+			v, err := rowEnv.Eval(sc.Expr)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			set[pos] = v
+		}
+		updates = append(updates, pending{row: r, set: set})
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	for _, u := range updates {
+		target := u.row
+		if _, err := tbl.Update(func(r *db.Row) bool { return r == target }, u.set); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *udaAccum) runDelete(tbl *db.Table, st *DeleteStmt, env *Env) error {
+	var scanErr error
+	tbl.Delete(func(r *db.Row) bool {
+		if st.Where == nil {
+			return true
+		}
+		rowEnv := env.Child()
+		rowEnv.BindRow(st.Table, tbl.Schema(), r.Vals)
+		ok, known, err := rowEnv.EvalBool(st.Where)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return ok && known
+	})
+	return scanErr
+}
+
+func evalRow(exprs []Expr, env *Env) ([]stream.Value, error) {
+	row := make([]stream.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := env.Eval(e)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}

@@ -1,0 +1,438 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Statement is any top-level ESL-EV statement.
+type Statement interface{ stmtNode() }
+
+// ColDef declares one column, optionally typed (the paper's examples omit
+// types).
+type ColDef struct {
+	Name string
+	Type stream.Type
+}
+
+// CreateStream declares a data stream: CREATE STREAM s(a, b, c) — the bare
+// "STREAM s(...)" spelling used in the paper is also accepted.
+type CreateStream struct {
+	Name string
+	Cols []ColDef
+}
+
+// CreateTable declares a persistent table.
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+// CreateIndex declares a hash index: CREATE INDEX ON t(col).
+type CreateIndex struct {
+	Table  string
+	Column string
+}
+
+// CreateAggregate is an ESL SQL-bodied UDA:
+//
+//	CREATE AGGREGATE myavg(next FLOAT) : FLOAT {
+//	    TABLE state(tsum FLOAT, cnt INT);
+//	    INITIALIZE : { INSERT INTO state VALUES (next, 1); }
+//	    ITERATE    : { UPDATE state SET tsum = tsum + next, cnt = cnt + 1; }
+//	    TERMINATE  : { INSERT INTO RETURN SELECT tsum / cnt FROM state; }
+//	}
+type CreateAggregate struct {
+	Name       string
+	Params     []ColDef
+	ReturnType stream.Type
+	State      []CreateTable
+	Init       []Statement
+	Iter       []Statement
+	Term       []Statement
+}
+
+// InsertSelect is a continuous (or snapshot) INSERT INTO target SELECT ...
+type InsertSelect struct {
+	Target string
+	Sel    *Select
+}
+
+// InsertValues inserts literal rows (used in UDA bodies and setup scripts):
+// INSERT INTO t VALUES (e1, e2), (...).
+type InsertValues struct {
+	Target string
+	Rows   [][]Expr
+}
+
+// UpdateStmt is UPDATE t SET col = e, ... [WHERE e].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE e].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// Select is a query block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// OrderItem is one ORDER BY key (snapshot queries only; a continuous
+// stream has no end to order at).
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star bool
+	Expr Expr
+	As   string
+}
+
+// FromItem is one source in the FROM list: a stream or table, optionally
+// aliased and windowed. Both the SQL:2003-ish TABLE(s OVER (RANGE ...))
+// form and the paper's bracket form s OVER [...] are represented here.
+type FromItem struct {
+	Source string
+	Alias  string
+	Window *WindowClause
+}
+
+// WindowClause is a parsed sliding-window specification.
+type WindowClause struct {
+	Rows  bool
+	NRows int
+	// Preceding/Following spans; the Has flags distinguish "0" from
+	// "absent" and drive the PRECEDING AND FOLLOWING form of Example 8.
+	Preceding    time.Duration
+	Following    time.Duration
+	HasPreceding bool
+	HasFollowing bool
+	// Anchor is the alias the window is measured from; "" means the
+	// current tuple (CURRENT).
+	Anchor string
+}
+
+func (*CreateStream) stmtNode()    {}
+func (*CreateTable) stmtNode()     {}
+func (*CreateIndex) stmtNode()     {}
+func (*CreateAggregate) stmtNode() {}
+func (*InsertSelect) stmtNode()    {}
+func (*InsertValues) stmtNode()    {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*Select) stmtNode()          {}
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// Literal is a constant value.
+type Literal struct{ Val stream.Value }
+
+// Interval is a duration literal: 5 SECONDS, 1 HOURS, ...
+type Interval struct{ D time.Duration }
+
+// ColRef references a column, optionally qualified: r1.tag_id or tagid.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+// PrevRef is the paper's previous operator: R1.previous.tagtime — the tuple
+// preceding the current tuple in a star sequence.
+type PrevRef struct {
+	Alias string
+	Name  string
+}
+
+// StarAgg is a star-sequence aggregate: FIRST(R1*).tagtime, LAST(R1*).c,
+// COUNT(R1*). Name is empty for COUNT.
+type StarAgg struct {
+	Fn    string // FIRST, LAST, COUNT
+	Alias string
+	Name  string
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation; Op is the upper-cased operator text
+// (AND, OR, =, <>, <, <=, >, >=, +, -, *, /, %, ||, LIKE, NOT LIKE).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// Call is a function or aggregate invocation. COUNT(*) is represented as
+// Call{Name: "COUNT", StarArg: true}.
+type Call struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	StarArg  bool
+}
+
+// Exists is [NOT] EXISTS (subquery).
+type Exists struct {
+	Sub    *Select
+	Negate bool
+}
+
+// SeqArg is one argument of a SEQ-family operator: an alias, optionally
+// starred.
+type SeqArg struct {
+	Alias string
+	Star  bool
+}
+
+// SeqExpr is a SEQ / EXCEPTION_SEQ / CLEVEL_SEQ operator applied in a WHERE
+// clause, with its optional window and pairing mode.
+type SeqExpr struct {
+	Kind    string // "SEQ", "EXCEPTION_SEQ", "CLEVEL_SEQ"
+	Args    []SeqArg
+	Window  *WindowClause
+	Mode    core.Mode
+	HasMode bool
+	// ExpireAfter is the optional EXPIRE AFTER n unit clause bounding idle
+	// partial-match state (an ESL-EV extension; see core.Def.ExpireAfter).
+	ExpireAfter time.Duration
+}
+
+func (*Literal) exprNode()  {}
+func (*Interval) exprNode() {}
+func (*ColRef) exprNode()   {}
+func (*PrevRef) exprNode()  {}
+func (*StarAgg) exprNode()  {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Between) exprNode()  {}
+func (*IsNull) exprNode()   {}
+func (*Call) exprNode()     {}
+func (*Exists) exprNode()   {}
+func (*SeqExpr) exprNode()  {}
+
+// ExprString renders an expression back to ESL-EV text (used in error
+// messages, EXPLAIN output and parser round-trip tests).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		if x.Val.Kind() == stream.KindString {
+			return "'" + strings.ReplaceAll(x.Val.String(), "'", "''") + "'"
+		}
+		return x.Val.String()
+	case *Interval:
+		return intervalString(x.D)
+	case *ColRef:
+		if x.Qualifier != "" {
+			return x.Qualifier + "." + x.Name
+		}
+		return x.Name
+	case *PrevRef:
+		return x.Alias + ".previous." + x.Name
+	case *StarAgg:
+		if x.Fn == "COUNT" {
+			return fmt.Sprintf("COUNT(%s*)", x.Alias)
+		}
+		return fmt.Sprintf("%s(%s*).%s", x.Fn, x.Alias, x.Name)
+	case *Unary:
+		if x.Op == "NOT" {
+			// Parenthesized so precedence survives a round-trip (NOT binds
+			// looser than comparison in the grammar).
+			return "(NOT " + ExprString(x.X) + ")"
+		}
+		return x.Op + ExprString(x.X)
+	case *Binary:
+		return "(" + ExprString(x.L) + " " + x.Op + " " + ExprString(x.R) + ")"
+	case *Between:
+		neg := ""
+		if x.Negate {
+			neg = "NOT "
+		}
+		return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", ExprString(x.X), neg, ExprString(x.Lo), ExprString(x.Hi))
+	case *IsNull:
+		if x.Negate {
+			return "(" + ExprString(x.X) + " IS NOT NULL)"
+		}
+		return "(" + ExprString(x.X) + " IS NULL)"
+	case *Call:
+		if x.StarArg {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return x.Name + "(" + d + strings.Join(args, ", ") + ")"
+	case *Exists:
+		neg := ""
+		if x.Negate {
+			neg = "NOT "
+		}
+		return neg + "EXISTS (" + SelectString(x.Sub) + ")"
+	case *SeqExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = a.Alias
+			if a.Star {
+				args[i] += "*"
+			}
+		}
+		s := x.Kind + "(" + strings.Join(args, ", ") + ")"
+		if x.Window != nil {
+			s += " OVER " + windowString(x.Window)
+		}
+		if x.HasMode {
+			s += " MODE " + x.Mode.String()
+		}
+		if x.ExpireAfter > 0 {
+			s += " EXPIRE AFTER " + intervalString(x.ExpireAfter)
+		}
+		return s
+	default:
+		return fmt.Sprintf("<expr %T>", e)
+	}
+}
+
+// SelectString renders a select block back to text.
+func SelectString(s *Select) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(ExprString(it.Expr))
+		if it.As != "" {
+			b.WriteString(" AS " + it.As)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Source)
+		if f.Alias != "" && f.Alias != f.Source {
+			b.WriteString(" AS " + f.Alias)
+		}
+		if f.Window != nil {
+			b.WriteString(" OVER " + windowString(f.Window))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + ExprString(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(g))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + ExprString(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+func windowString(w *WindowClause) string {
+	if w.Rows {
+		return fmt.Sprintf("[%d ROWS PRECEDING %s]", w.NRows, anchorOrCurrent(w.Anchor))
+	}
+	switch {
+	case w.HasPreceding && w.HasFollowing:
+		return fmt.Sprintf("[%s PRECEDING AND FOLLOWING %s]", intervalString(w.Preceding), anchorOrCurrent(w.Anchor))
+	case w.HasFollowing:
+		return fmt.Sprintf("[%s FOLLOWING %s]", intervalString(w.Following), anchorOrCurrent(w.Anchor))
+	default:
+		return fmt.Sprintf("[%s PRECEDING %s]", intervalString(w.Preceding), anchorOrCurrent(w.Anchor))
+	}
+}
+
+func anchorOrCurrent(a string) string {
+	if a == "" {
+		return "CURRENT"
+	}
+	return a
+}
+
+func intervalString(d time.Duration) string {
+	type unit struct {
+		span time.Duration
+		name string
+	}
+	for _, u := range []unit{{24 * time.Hour, "DAYS"}, {time.Hour, "HOURS"}, {time.Minute, "MINUTES"}, {time.Second, "SECONDS"}, {time.Millisecond, "MILLISECONDS"}} {
+		if d >= u.span && d%u.span == 0 {
+			return fmt.Sprintf("%d %s", d/u.span, u.name)
+		}
+	}
+	return d.String()
+}

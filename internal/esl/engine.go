@@ -1,0 +1,545 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Row is one output row of a continuous or snapshot query.
+type Row struct {
+	Names []string
+	Vals  []stream.Value
+	TS    stream.Timestamp
+}
+
+// Get returns the value of the named output column.
+func (r Row) Get(name string) stream.Value {
+	for i, n := range r.Names {
+		if strings.EqualFold(n, name) {
+			return r.Vals[i]
+		}
+	}
+	return stream.Null
+}
+
+// String renders the row as "name=v, name=v @ts".
+func (r Row) String() string {
+	var b strings.Builder
+	for i, n := range r.Names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", n, r.Vals[i])
+	}
+	fmt.Fprintf(&b, " @%s", r.TS)
+	return b.String()
+}
+
+// Engine is the ESL-EV continuous-query engine: it owns stream and table
+// declarations, compiled continuous queries, and advances event time as
+// tuples and heartbeats arrive. Tuples must be fed in joint-history order
+// (use stream.Merger to combine concurrent sources); all processing is
+// synchronous and deterministic.
+type Engine struct {
+	mu      sync.Mutex
+	streams map[string]*streamInfo
+	store   *db.Store
+	funcs   *FuncRegistry
+	aggs    *AggRegistry
+	queries []*Query
+	now     stream.Timestamp
+	seq     uint64
+	depth   int // derived-stream recursion guard
+}
+
+type streamInfo struct {
+	schema *stream.Schema
+	// readers: continuous queries consuming this stream, with the FROM
+	// aliases each one reads it under.
+	readers []reader
+	// subscribers receive raw derived tuples (external sinks).
+	subscribers []func(*stream.Tuple)
+	// retain keeps recent history for ad-hoc snapshot queries.
+	retain  time.Duration
+	history *window.TimeBuffer
+}
+
+type reader struct {
+	q       *Query
+	aliases []string
+}
+
+// Query is one registered continuous query.
+type Query struct {
+	Name string
+	stmt *Select
+	op   queryOp
+	// sink receives each output row (wired to a derived stream, a table,
+	// or the user's callback).
+	sink    func(Row) error
+	emitted int
+}
+
+// queryOp is a compiled continuous-query runtime.
+type queryOp interface {
+	// push offers one tuple that arrived on a stream this query reads,
+	// with the FROM aliases it is visible under.
+	push(aliases []string, t *stream.Tuple) error
+	// advance moves event time (heartbeats and other streams' arrivals),
+	// driving window eviction and active expiration.
+	advance(ts stream.Timestamp) error
+}
+
+// New builds an empty engine.
+func New() *Engine {
+	funcs := NewFuncRegistry()
+	return &Engine{
+		streams: make(map[string]*streamInfo),
+		store:   db.NewStore(),
+		funcs:   funcs,
+		aggs:    NewAggRegistry(funcs),
+	}
+}
+
+// Funcs returns the scalar-function registry (for registering UDFs).
+func (e *Engine) Funcs() *FuncRegistry { return e.funcs }
+
+// Aggs returns the aggregate registry (for registering Go UDAs).
+func (e *Engine) Aggs() *AggRegistry { return e.aggs }
+
+// Store returns the persistent table store.
+func (e *Engine) Store() *db.Store { return e.store }
+
+// Now returns the engine's current event time.
+func (e *Engine) Now() stream.Timestamp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// CreateStream declares a stream.
+func (e *Engine) CreateStream(name string, cols ...stream.Field) (*stream.Schema, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.createStreamLocked(name, cols)
+}
+
+func (e *Engine) createStreamLocked(name string, cols []stream.Field) (*stream.Schema, error) {
+	key := strings.ToLower(name)
+	if _, dup := e.streams[key]; dup {
+		return nil, fmt.Errorf("esl: stream %s already exists", name)
+	}
+	if _, dup := e.store.Get(name); dup {
+		return nil, fmt.Errorf("esl: %s already exists as a table", name)
+	}
+	schema, err := stream.NewSchema(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	e.streams[key] = &streamInfo{schema: schema}
+	return schema, nil
+}
+
+// StreamSchema returns a declared stream's schema.
+func (e *Engine) StreamSchema(name string) (*stream.Schema, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return si.schema, true
+}
+
+// RetainHistory keeps d of recent history on the stream so ad-hoc snapshot
+// queries can read it (the paper's "current status" inquiries without
+// persistent storage).
+func (e *Engine) RetainHistory(name string, d time.Duration) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("esl: unknown stream %s", name)
+	}
+	si.retain = d
+	if si.history == nil {
+		si.history = &window.TimeBuffer{}
+	}
+	return nil
+}
+
+// Subscribe registers a callback invoked for every tuple that enters the
+// named stream (source or derived).
+func (e *Engine) Subscribe(name string, fn func(*stream.Tuple)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("esl: unknown stream %s", name)
+	}
+	si.subscribers = append(si.subscribers, fn)
+	return nil
+}
+
+// Exec parses and applies a script: DDL statements take effect, CREATE
+// AGGREGATE registers UDAs, and INSERT INTO ... SELECT with stream sources
+// registers continuous queries. It returns the registered queries.
+func (e *Engine) Exec(script string) ([]*Query, error) {
+	stmts, err := Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var queries []*Query
+	for _, s := range stmts {
+		q, err := e.execStatement(s)
+		if err != nil {
+			return queries, err
+		}
+		if q != nil {
+			queries = append(queries, q)
+		}
+	}
+	return queries, nil
+}
+
+func (e *Engine) execStatement(s Statement) (*Query, error) {
+	switch st := s.(type) {
+	case *CreateStream:
+		fields := colFields(st.Cols)
+		_, err := e.CreateStream(st.Name, fields...)
+		return nil, err
+
+	case *CreateTable:
+		schema, err := stream.NewSchema(st.Name, colFields(st.Cols)...)
+		if err != nil {
+			return nil, err
+		}
+		if _, exists := e.streams[strings.ToLower(st.Name)]; exists {
+			return nil, fmt.Errorf("esl: %s already exists as a stream", st.Name)
+		}
+		_, err = e.store.Create(schema)
+		return nil, err
+
+	case *CreateIndex:
+		tbl, ok := e.store.Get(st.Table)
+		if !ok {
+			return nil, fmt.Errorf("esl: unknown table %s", st.Table)
+		}
+		return nil, tbl.CreateIndex(st.Column)
+
+	case *CreateAggregate:
+		factory, err := compileUDA(st, e.funcs)
+		if err != nil {
+			return nil, err
+		}
+		e.aggs.Register(st.Name, factory)
+		return nil, nil
+
+	case *InsertValues:
+		tbl, ok := e.store.Get(st.Target)
+		if !ok {
+			return nil, fmt.Errorf("esl: INSERT VALUES target %s is not a table", st.Target)
+		}
+		env := NewEnv(e.funcs)
+		for _, rowExprs := range st.Rows {
+			row, err := evalRow(rowExprs, env)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := tbl.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+
+	case *UpdateStmt, *DeleteStmt:
+		return nil, e.execTableDML(s)
+
+	case *InsertSelect:
+		if e.selectReadsStream(st.Sel) {
+			return e.registerContinuous(st.Target, st.Sel, nil)
+		}
+		// Table-only source: run once now.
+		rows, err := e.snapshotSelect(st.Sel)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		sink, err := e.sinkFor(st.Target, st.Sel)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if err := sink(r); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+
+	case *Select:
+		if e.selectReadsStream(st) {
+			return e.registerContinuous("", st, func(Row) error { return nil })
+		}
+		return nil, fmt.Errorf("esl: table-only SELECT in a script has no destination; use Engine.Query")
+
+	default:
+		return nil, fmt.Errorf("esl: unsupported statement %T", s)
+	}
+}
+
+func (e *Engine) execTableDML(s Statement) error {
+	// Reuse the UDA body executors against store tables.
+	a := &udaAccum{def: &udaDef{decl: &CreateAggregate{Name: "$dml"}, funcs: e.funcs}, tables: map[string]*db.Table{}}
+	env := NewEnv(e.funcs)
+	switch st := s.(type) {
+	case *UpdateStmt:
+		tbl, ok := e.store.Get(st.Table)
+		if !ok {
+			return fmt.Errorf("esl: unknown table %s", st.Table)
+		}
+		return a.runUpdate(tbl, st, env)
+	case *DeleteStmt:
+		tbl, ok := e.store.Get(st.Table)
+		if !ok {
+			return fmt.Errorf("esl: unknown table %s", st.Table)
+		}
+		return a.runDelete(tbl, st, env)
+	}
+	return nil
+}
+
+func colFields(cols []ColDef) []stream.Field {
+	fields := make([]stream.Field, len(cols))
+	for i, c := range cols {
+		fields[i] = stream.Field{Name: c.Name, Type: c.Type}
+	}
+	return fields
+}
+
+// selectReadsStream reports whether any FROM source is a declared stream.
+func (e *Engine) selectReadsStream(sel *Select) bool {
+	for _, f := range sel.From {
+		if _, ok := e.streams[strings.ToLower(f.Source)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterQuery compiles a continuous SELECT and routes its rows to onRow.
+func (e *Engine) RegisterQuery(name, sql string, onRow func(Row)) (*Query, error) {
+	s, err := ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	var target string
+	var sel *Select
+	switch st := s.(type) {
+	case *Select:
+		sel = st
+	case *InsertSelect:
+		target, sel = st.Target, st.Sel
+	default:
+		return nil, fmt.Errorf("esl: RegisterQuery needs a SELECT, got %T", s)
+	}
+	var sink func(Row) error
+	if onRow != nil {
+		sink = func(r Row) error { onRow(r); return nil }
+	}
+	q, err := e.registerContinuous(target, sel, sink)
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name
+	return q, nil
+}
+
+// registerContinuous compiles and wires a continuous query. extraSink, when
+// non-nil, also receives every row (in addition to the target).
+func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(Row) error) (*Query, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := &Query{stmt: sel}
+	targetSink := func(Row) error { return nil }
+	if target != "" {
+		var err error
+		targetSink, err = e.sinkFor(target, sel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	q.sink = func(r Row) error {
+		q.emitted++
+		if err := targetSink(r); err != nil {
+			return err
+		}
+		if extraSink != nil {
+			return extraSink(r)
+		}
+		return nil
+	}
+	op, inputs, err := e.compile(sel, q)
+	if err != nil {
+		return nil, err
+	}
+	q.op = op
+	for streamName, aliases := range inputs {
+		si := e.streams[strings.ToLower(streamName)]
+		si.readers = append(si.readers, reader{q: q, aliases: aliases})
+	}
+	e.queries = append(e.queries, q)
+	return q, nil
+}
+
+// sinkFor wires query output to a derived stream or a table. An undeclared
+// target becomes a new derived stream whose schema is inferred from the
+// projection.
+func (e *Engine) sinkFor(target string, sel *Select) (func(Row) error, error) {
+	if tbl, ok := e.store.Get(target); ok {
+		return func(r Row) error {
+			_, err := tbl.Insert(r.Vals)
+			return err
+		}, nil
+	}
+	key := strings.ToLower(target)
+	si, ok := e.streams[key]
+	if !ok {
+		// Auto-declare the derived stream from the projection names.
+		names, err := e.projectionNames(sel)
+		if err != nil {
+			return nil, fmt.Errorf("esl: cannot infer schema for derived stream %s: %v", target, err)
+		}
+		fields := make([]stream.Field, len(names))
+		for i, n := range names {
+			fields[i] = stream.Field{Name: n}
+		}
+		schema, err := stream.NewSchema(target, fields...)
+		if err != nil {
+			return nil, err
+		}
+		si = &streamInfo{schema: schema}
+		e.streams[key] = si
+	}
+	return func(r Row) error {
+		if len(r.Vals) != si.schema.Len() {
+			return fmt.Errorf("esl: stream %s expects %d columns, query produced %d",
+				target, si.schema.Len(), len(r.Vals))
+		}
+		t, err := stream.NewTuple(si.schema, r.TS, append([]stream.Value(nil), r.Vals...)...)
+		if err != nil {
+			return err
+		}
+		// Deferred decisions (FOLLOWING windows) produce rows whose logical
+		// time predates the watermark; the derived tuple is stamped at
+		// emission time so downstream event-time order holds, while its
+		// column values keep the original reading times.
+		if t.TS < e.now {
+			t.TS = e.now
+		}
+		return e.routeLocked(si, t)
+	}, nil
+}
+
+// Push appends one tuple to a source stream and processes it through every
+// continuous query. vals must match the stream's schema.
+func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		return fmt.Errorf("esl: unknown stream %s", streamName)
+	}
+	t, err := stream.NewTuple(si.schema, ts, vals...)
+	if err != nil {
+		return err
+	}
+	return e.routeLocked(si, t)
+}
+
+// PushTuple appends a pre-built tuple (its schema must be the stream's).
+func (e *Engine) PushTuple(streamName string, t *stream.Tuple) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	si, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		return fmt.Errorf("esl: unknown stream %s", streamName)
+	}
+	return e.routeLocked(si, t)
+}
+
+// routeLocked delivers a tuple: sequence-stamp it, advance event time,
+// retain history, notify queries reading the stream, then advance all other
+// queries' clocks.
+func (e *Engine) routeLocked(si *streamInfo, t *stream.Tuple) error {
+	if e.depth > 64 {
+		return fmt.Errorf("esl: derived-stream recursion exceeds 64 (query cycle?)")
+	}
+	e.depth++
+	defer func() { e.depth-- }()
+
+	if t.TS < e.now {
+		return fmt.Errorf("esl: out-of-order arrival on %s: %s is before engine time %s (merge concurrent sources with stream.Merger and per-source slack)",
+			si.schema.Name(), t.TS, e.now)
+	}
+	e.seq++
+	t.Seq = e.seq
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	if si.history != nil {
+		si.history.Add(t)
+		si.history.EvictBefore(e.now.Add(-si.retain))
+	}
+	for _, fn := range si.subscribers {
+		fn(t)
+	}
+	for _, rd := range si.readers {
+		if err := rd.q.op.push(rd.aliases, t); err != nil {
+			return err
+		}
+	}
+	// Event time advanced for everyone (active expiration across queries
+	// that did not see this tuple).
+	return e.advanceLocked(e.now)
+}
+
+// Heartbeat advances event time without a tuple (punctuation), firing
+// expirations — Active Expiration per §3.1.3.
+func (e *Engine) Heartbeat(ts stream.Timestamp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ts > e.now {
+		e.now = ts
+	}
+	return e.advanceLocked(e.now)
+}
+
+func (e *Engine) advanceLocked(ts stream.Timestamp) error {
+	for _, q := range e.queries {
+		if err := q.op.advance(ts); err != nil {
+			return err
+		}
+	}
+	for _, si := range e.streams {
+		if si.history != nil {
+			si.history.EvictBefore(ts.Add(-si.retain))
+		}
+	}
+	return nil
+}
+
+// Feed connects a stream.Merger emission to the engine: source names must
+// equal stream names; heartbeats advance event time.
+func (e *Engine) Feed(name string, it stream.Item) error {
+	if it.IsHeartbeat() {
+		return e.Heartbeat(it.TS)
+	}
+	return e.PushTuple(name, it.Tuple)
+}

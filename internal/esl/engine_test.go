@@ -1,0 +1,529 @@
+package esl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func ts(d time.Duration) stream.Timestamp { return stream.TS(d) }
+
+// collect registers the query and gathers emitted rows.
+func collect(t *testing.T, e *Engine, sql string) *[]Row {
+	t.Helper()
+	rows := &[]Row{}
+	if _, err := e.RegisterQuery("t", sql, func(r Row) { *rows = append(*rows, r) }); err != nil {
+		t.Fatalf("register %q: %v", sql, err)
+	}
+	return rows
+}
+
+func mustExec(t *testing.T, e *Engine, script string) {
+	t.Helper()
+	if _, err := e.Exec(script); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+}
+
+func mustPush(t *testing.T, e *Engine, name string, at time.Duration, vals ...stream.Value) {
+	t.Helper()
+	if err := e.Push(name, ts(at), vals...); err != nil {
+		t.Fatalf("push %s: %v", name, err)
+	}
+}
+
+// ---- Example 1: duplicate filtering ----------------------------------------
+
+func TestExample1DuplicateFiltering(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+	`)
+	var cleaned []*stream.Tuple
+	if err := e.Subscribe("cleaned_readings", func(tu *stream.Tuple) { cleaned = append(cleaned, tu) }); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, paperQueries["example1_dedup"])
+
+	push := func(at time.Duration, reader, tag string) {
+		mustPush(t, e, "readings", at, stream.Str(reader), stream.Str(tag), stream.Null)
+	}
+	push(0, "r1", "t1")                    // kept
+	push(200*time.Millisecond, "r1", "t1") // dup within 1s
+	push(400*time.Millisecond, "r1", "t2") // different tag: kept
+	push(600*time.Millisecond, "r2", "t1") // different reader: kept
+	push(1500*time.Millisecond, "r1", "t1")
+	// ^ 1.3s after the last (r1,t1) duplicate at 0.2s — the threshold is
+	// against ANY identical reading in the past second, so kept.
+	push(2000*time.Millisecond, "r1", "t1") // 0.5s after previous: dup
+
+	if len(cleaned) != 4 {
+		for _, c := range cleaned {
+			t.Logf("cleaned: %v", c)
+		}
+		t.Fatalf("cleaned count = %d, want 4", len(cleaned))
+	}
+	wantTags := []string{"t1", "t2", "t1", "t1"}
+	for i, c := range cleaned {
+		if c.Field("tag_id").String() != wantTags[i] {
+			t.Errorf("row %d: %v", i, c)
+		}
+	}
+}
+
+// ---- Example 2: location tracking (stream -> DB update) --------------------
+
+func TestExample2LocationTracking(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		STREAM tag_locations(readerid, tid, tagtime, loc);
+		TABLE object_movement(tagid, location, start_time);
+		CREATE INDEX ON object_movement(tagid);
+	`)
+	mustExec(t, e, paperQueries["example2_location"])
+
+	move := func(at time.Duration, tag, loc string) {
+		mustPush(t, e, "tag_locations", at, stream.Str("rd"), stream.Str(tag), stream.Null, stream.Str(loc))
+	}
+	move(1*time.Second, "obj1", "dock")
+	move(2*time.Second, "obj1", "dock") // unchanged: no insert
+	move(3*time.Second, "obj1", "floor")
+	move(4*time.Second, "obj2", "dock")
+	move(5*time.Second, "obj1", "floor") // unchanged
+	move(6*time.Second, "obj1", "dock")  // obj1 was at dock before: the paper's
+	// query checks the full movement history, so no new row
+
+	tbl, _ := e.Store().Get("object_movement")
+	if tbl.Len() != 3 {
+		t.Fatalf("object_movement rows = %d, want 3", tbl.Len())
+	}
+	rows, err := e.Query(`SELECT tagid, location FROM object_movement WHERE tagid = 'obj1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("obj1 history = %v", rows)
+	}
+}
+
+// ---- Example 3: EPC-pattern aggregation -------------------------------------
+
+func TestExample3EPCAggregation(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM readings(reader_id, tag_id, read_time);`)
+	// The paper's query counts tid; our stream uses tag_id per the schema
+	// declared earlier in the paper, so alias it in the query.
+	rows := collect(t, e, `
+		SELECT count(tag_id) FROM readings WHERE tag_id LIKE '20.%.%'
+		AND extract_serial(tag_id) > 5000
+		AND extract_serial(tag_id) < 9999`)
+
+	push := func(at time.Duration, tid string) {
+		mustPush(t, e, "readings", at, stream.Str("r1"), stream.Str(tid), stream.Null)
+	}
+	push(1*time.Second, "20.77.6000") // match
+	push(2*time.Second, "21.77.6000") // wrong company
+	push(3*time.Second, "20.77.4000") // serial too low
+	push(4*time.Second, "20.88.9000") // match
+	push(5*time.Second, "garbage")    // malformed: UDF yields NULL, filtered
+	push(6*time.Second, "20.1.10000") // serial too high
+	push(7*time.Second, "20.2.9998")  // match
+	push(8*time.Second, "20.2.abc")   // non-numeric serial: NULL
+	if len(*rows) != 3 {              // cumulative count emits once per match
+		t.Fatalf("emissions = %d: %v", len(*rows), *rows)
+	}
+	if got, _ := (*rows)[2].Vals[0].AsInt(); got != 3 {
+		t.Fatalf("final count = %v", (*rows)[2].Vals[0])
+	}
+}
+
+// ---- Example 6: SEQ over the quality-check pipeline -------------------------
+
+func declareQC(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);
+		CREATE STREAM C3(readerid, tagid, tagtime);
+		CREATE STREAM C4(readerid, tagid, tagtime);
+	`)
+}
+
+func pushQC(t *testing.T, e *Engine, name string, at time.Duration, tag string) {
+	t.Helper()
+	mustPush(t, e, name, at, stream.Str(name), stream.Str(tag), stream.Null)
+}
+
+func TestExample6SEQ(t *testing.T) {
+	e := New()
+	declareQC(t, e)
+	rows := collect(t, e, paperQueries["example6_seq"])
+
+	// Tag "a" goes through all four checks; tag "b" stops at C2.
+	pushQC(t, e, "C1", 1*time.Second, "a")
+	pushQC(t, e, "C1", 2*time.Second, "b")
+	pushQC(t, e, "C2", 3*time.Second, "a")
+	pushQC(t, e, "C2", 4*time.Second, "b")
+	pushQC(t, e, "C3", 5*time.Second, "a")
+	pushQC(t, e, "C4", 6*time.Second, "a")
+	if len(*rows) != 1 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	r := (*rows)[0]
+	if r.Get("tagid").String() != "a" {
+		t.Errorf("tagid = %v", r.Get("tagid"))
+	}
+	// All four tagtimes projected.
+	if len(r.Vals) != 5 {
+		t.Errorf("cols = %d: %v", len(r.Vals), r)
+	}
+	if tt, _ := r.Vals[1].AsTime(); tt != ts(1*time.Second) {
+		t.Errorf("C1.tagtime = %v", r.Vals[1])
+	}
+	if tt, _ := r.Vals[4].AsTime(); tt != ts(6*time.Second) {
+		t.Errorf("C4.tagtime = %v", r.Vals[4])
+	}
+	// Tag b completing later still matches (partitioned by tagid).
+	pushQC(t, e, "C3", 7*time.Second, "b")
+	pushQC(t, e, "C4", 8*time.Second, "b")
+	if len(*rows) != 2 || (*rows)[1].Get("tagid").String() != "b" {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+func TestExample6WindowedSEQ(t *testing.T) {
+	e := New()
+	declareQC(t, e)
+	rows := collect(t, e, paperQueries["example6_windowed"])
+	// Sequence spanning more than 30 minutes: rejected.
+	pushQC(t, e, "C1", 1*time.Minute, "slow")
+	pushQC(t, e, "C2", 2*time.Minute, "slow")
+	pushQC(t, e, "C3", 3*time.Minute, "slow")
+	pushQC(t, e, "C4", 45*time.Minute, "slow")
+	if len(*rows) != 0 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	pushQC(t, e, "C1", 50*time.Minute, "fast")
+	pushQC(t, e, "C2", 51*time.Minute, "fast")
+	pushQC(t, e, "C3", 52*time.Minute, "fast")
+	pushQC(t, e, "C4", 53*time.Minute, "fast")
+	if len(*rows) != 1 || (*rows)[0].Get("tagid").String() != "fast" {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+// ---- Example 7 / Figure 1: star-sequence containment ------------------------
+
+func declareContainment(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+	`)
+}
+
+func TestExample7Containment(t *testing.T) {
+	e := New()
+	declareContainment(t, e)
+	rows := collect(t, e, paperQueries["example7_containment"])
+
+	push := func(s string, at time.Duration, tag string) { pushQC(t, e, s, at, tag) }
+	// Case 1: three products tightly packed, case read 2s after last.
+	push("R1", 1000*time.Millisecond, "p1")
+	push("R1", 1800*time.Millisecond, "p2")
+	push("R1", 2500*time.Millisecond, "p3")
+	push("R2", 4*time.Second, "case1")
+	// Case 2 products arrive with >1s gap from case 1 products (Figure 1b).
+	push("R1", 6*time.Second, "p4")
+	push("R1", 6500*time.Millisecond, "p5")
+	push("R2", 8*time.Second, "case2")
+
+	if len(*rows) != 2 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	r0 := (*rows)[0]
+	if n, _ := r0.Get("count_R1").AsInt(); n != 3 {
+		t.Errorf("COUNT(R1*) = %v (row %v)", r0.Get("count_R1"), r0)
+	}
+	if tt, _ := r0.Get("first_tagtime").AsTime(); tt != ts(time.Second) {
+		t.Errorf("FIRST(R1*).tagtime = %v", r0.Get("first_tagtime"))
+	}
+	if r0.Get("tagid").String() != "case1" {
+		t.Errorf("case tag = %v", r0.Get("tagid"))
+	}
+	r1 := (*rows)[1]
+	if n, _ := r1.Get("count_R1").AsInt(); n != 2 {
+		t.Errorf("case2 COUNT = %v", r1.Get("count_R1"))
+	}
+	if r1.Get("tagid").String() != "case2" {
+		t.Errorf("case2 tag = %v", r1.Get("tagid"))
+	}
+}
+
+func TestExample7CaseTooLate(t *testing.T) {
+	e := New()
+	declareContainment(t, e)
+	rows := collect(t, e, paperQueries["example7_containment"])
+	pushQC(t, e, "R1", 1*time.Second, "p1")
+	pushQC(t, e, "R2", 10*time.Second, "case1") // > 5s after LAST(R1*)
+	if len(*rows) != 0 {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+// The multi-return variant: one output row per contained product.
+func TestExample7PerItem(t *testing.T) {
+	e := New()
+	declareContainment(t, e)
+	rows := collect(t, e, paperQueries["example7_per_item"])
+	pushQC(t, e, "R1", 1000*time.Millisecond, "p1")
+	pushQC(t, e, "R1", 1500*time.Millisecond, "p2")
+	pushQC(t, e, "R1", 2000*time.Millisecond, "p3")
+	pushQC(t, e, "R2", 3*time.Second, "case1")
+	if len(*rows) != 3 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	for i, want := range []string{"p1", "p2", "p3"} {
+		r := (*rows)[i]
+		if r.Vals[0].String() != want || r.Vals[2].String() != "case1" {
+			t.Errorf("row %d = %v", i, r)
+		}
+	}
+}
+
+// ---- Example 5: clinic workflow enforcement ---------------------------------
+
+func declareClinic(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `
+		CREATE STREAM A1(readerid, tagid, tagtime);
+		CREATE STREAM A2(readerid, tagid, tagtime);
+		CREATE STREAM A3(readerid, tagid, tagtime);
+	`)
+}
+
+func TestExample5ExceptionSeq(t *testing.T) {
+	e := New()
+	declareClinic(t, e)
+	rows := collect(t, e, paperQueries["example5_exception"])
+
+	// Correct workflow: no alerts.
+	pushQC(t, e, "A1", 1*time.Minute, "staff")
+	pushQC(t, e, "A2", 2*time.Minute, "staff")
+	pushQC(t, e, "A3", 3*time.Minute, "staff")
+	if len(*rows) != 0 {
+		t.Fatalf("false alerts: %v", *rows)
+	}
+	// Violation: C directly follows A (wrong tuple + bad start).
+	pushQC(t, e, "A1", 10*time.Minute, "staff")
+	pushQC(t, e, "A3", 11*time.Minute, "staff")
+	if len(*rows) != 2 {
+		t.Fatalf("alerts = %v", *rows)
+	}
+	// Active expiration: a started sequence times out after 1 hour.
+	*rows = (*rows)[:0]
+	pushQC(t, e, "A1", 2*time.Hour, "staff")
+	if err := e.Heartbeat(ts(4 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*rows) != 1 {
+		t.Fatalf("expiry alerts = %v", *rows)
+	}
+	// Partial projection: A1 bound, A2/A3 NULL.
+	r := (*rows)[0]
+	if r.Vals[0].IsNull() || !r.Vals[1].IsNull() || !r.Vals[2].IsNull() {
+		t.Errorf("partial projection = %v", r)
+	}
+}
+
+func TestExample5CLevel(t *testing.T) {
+	e := New()
+	declareClinic(t, e)
+	rows := collect(t, e, paperQueries["example5_clevel"])
+	pushQC(t, e, "A1", 1*time.Minute, "staff")
+	pushQC(t, e, "A3", 2*time.Minute, "staff") // violation -> level 1 < 3 and level 0 < 3
+	if len(*rows) != 2 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	// Completion emits nothing.
+	pushQC(t, e, "A1", 10*time.Minute, "staff")
+	pushQC(t, e, "A2", 11*time.Minute, "staff")
+	pushQC(t, e, "A3", 12*time.Minute, "staff")
+	if len(*rows) != 2 {
+		t.Fatalf("completion should not emit: %v", *rows)
+	}
+}
+
+// exception.level / exception.reason pseudo-columns.
+func TestExceptionPseudoColumns(t *testing.T) {
+	e := New()
+	declareClinic(t, e)
+	rows := collect(t, e, `
+		SELECT exception.level, exception.reason, A1.tagid
+		FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]`)
+	pushQC(t, e, "A2", 1*time.Minute, "staff") // bad start
+	if len(*rows) != 1 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	r := (*rows)[0]
+	if lv, _ := r.Get("level").AsInt(); lv != 0 {
+		t.Errorf("level = %v", r.Get("level"))
+	}
+	if r.Get("reason").String() != "BAD_START" {
+		t.Errorf("reason = %v", r.Get("reason"))
+	}
+}
+
+// ---- Example 8: theft detection (PRECEDING AND FOLLOWING) -------------------
+
+func TestExample8TheftDetection(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM tag_readings(tagid, tagtype, tagtime);`)
+	// Inverted form of the paper's Example 8 text scenario: an item with no
+	// person around is a potential theft. (The paper's literal query — a
+	// person with no items — parses and runs too; see the parser tests.)
+	rows := collect(t, e, `
+		SELECT item.tagid
+		FROM tag_readings AS item
+		WHERE item.tagtype = 'item' AND NOT EXISTS
+		  (SELECT * FROM tag_readings AS person
+		   OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+		   WHERE person.tagtype = 'person')`)
+
+	push := func(at time.Duration, tag, typ string) {
+		mustPush(t, e, "tag_readings", at, stream.Str(tag), stream.Str(typ), stream.Null)
+	}
+	// Item with a person 30s before: not a theft.
+	push(1*time.Minute, "alice", "person")
+	push(90*time.Second, "tv-1", "item")
+	// Item with a person 30s after: not a theft.
+	push(10*time.Minute, "tv-2", "item")
+	push(630*time.Second, "bob", "person")
+	// Item with no person within a minute either way: theft.
+	push(20*time.Minute, "tv-3", "item")
+	push(30*time.Minute, "carol", "person") // far away
+	// Decisions are deferred one minute past each item; advance time.
+	if err := e.Heartbeat(ts(40 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*rows) != 1 {
+		t.Fatalf("alerts = %v", *rows)
+	}
+	if (*rows)[0].Get("tagid").String() != "tv-3" {
+		t.Fatalf("alert = %v", (*rows)[0])
+	}
+}
+
+// The paper's literal Example 8 query also runs end-to-end.
+func TestExample8LiteralQuery(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM tag_readings(tagid, tagtype, tagtime);`)
+	rows := collect(t, e, paperQueries["example8_theft"])
+	push := func(at time.Duration, tag, typ string) {
+		mustPush(t, e, "tag_readings", at, stream.Str(tag), stream.Str(typ), stream.Null)
+	}
+	push(1*time.Minute, "alice", "person") // no item within ±1min
+	push(5*time.Minute, "tv-1", "item")
+	push(5*time.Minute+30*time.Second, "bob", "person") // item 30s before
+	if err := e.Heartbeat(ts(10 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*rows) != 1 || (*rows)[0].Get("tagid").String() != "alice" {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+// ---- derived streams chain --------------------------------------------------
+
+func TestDerivedStreamChaining(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM raw(reader_id, tag_id, read_time);
+		CREATE STREAM cleaned(reader_id, tag_id, read_time);
+	`)
+	mustExec(t, e, `
+		INSERT INTO cleaned
+		SELECT * FROM raw AS r1
+		WHERE NOT EXISTS
+		  (SELECT * FROM TABLE( raw OVER (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+		   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+	`)
+	// Downstream query over the derived stream.
+	rows := collect(t, e, `SELECT count(tag_id) FROM cleaned`)
+	for i := 0; i < 6; i++ {
+		// Three distinct readings, each duplicated 100ms later.
+		at := time.Duration(i/2)*2*time.Second + time.Duration(i%2)*100*time.Millisecond
+		mustPush(t, e, "raw", at, stream.Str("r"), stream.Str(fmt.Sprintf("t%d", i/2)), stream.Null)
+	}
+	if len(*rows) != 3 {
+		t.Fatalf("emissions = %v", *rows)
+	}
+	if n, _ := (*rows)[2].Vals[0].AsInt(); n != 3 {
+		t.Fatalf("count = %v", (*rows)[2].Vals[0])
+	}
+}
+
+// ---- context retrieval: stream-table lookup join ----------------------------
+
+func TestContextRetrievalJoin(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE TABLE tag_info(tagid, owner, category);
+		CREATE INDEX ON tag_info(tagid);
+		INSERT INTO tag_info VALUES ('t1', 'alice', 'laptop'), ('t2', 'bob', 'monitor');
+	`)
+	rows := collect(t, e, `
+		SELECT r.tag_id, i.owner, i.category
+		FROM readings AS r, tag_info AS i
+		WHERE r.tag_id = i.tagid`)
+	mustPush(t, e, "readings", 1*time.Second, stream.Str("rd"), stream.Str("t1"), stream.Null)
+	mustPush(t, e, "readings", 2*time.Second, stream.Str("rd"), stream.Str("t9"), stream.Null) // no context
+	mustPush(t, e, "readings", 3*time.Second, stream.Str("rd"), stream.Str("t2"), stream.Null)
+	if len(*rows) != 2 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	if (*rows)[0].Get("owner").String() != "alice" || (*rows)[1].Get("owner").String() != "bob" {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+// ---- ad-hoc snapshot queries -------------------------------------------------
+
+func TestAdHocSnapshotQuery(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM tag_locations(readerid, tid, tagtime, loc);`)
+	if err := e.RetainHistory("tag_locations", 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, e, "tag_locations", 1*time.Minute, stream.Str("rd1"), stream.Str("patient7"), stream.Null, stream.Str("ward-a"))
+	mustPush(t, e, "tag_locations", 5*time.Minute, stream.Str("rd2"), stream.Str("patient7"), stream.Null, stream.Str("radiology"))
+	mustPush(t, e, "tag_locations", 6*time.Minute, stream.Str("rd2"), stream.Str("patient8"), stream.Null, stream.Str("ward-b"))
+
+	// Where is patient7 right now? (Physician's ad-hoc inquiry, §2.1.)
+	rows, err := e.Query(`SELECT loc FROM tag_locations WHERE tid = 'patient7'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].Get("loc").String() != "radiology" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Windowed snapshot: only the last 2 minutes.
+	rows, err = e.Query(`SELECT tid FROM TABLE(tag_locations OVER (RANGE 2 MINUTES PRECEDING CURRENT)) AS x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("windowed rows = %v", rows)
+	}
+	// History eviction: push far in the future, old rows gone.
+	mustPush(t, e, "tag_locations", 1*time.Hour, stream.Str("rd1"), stream.Str("patient9"), stream.Null, stream.Str("er"))
+	rows, _ = e.Query(`SELECT tid FROM tag_locations`)
+	if len(rows) != 1 {
+		t.Fatalf("retention failed: %v", rows)
+	}
+}

@@ -1,0 +1,159 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain compiles a query without registering it and renders a plan
+// description: which operator runs it, pushed-down filters, partition
+// keys, windows and sinks. Useful for the CLI and for understanding how
+// the planner treated a WHERE clause.
+func (e *Engine) Explain(sql string) (string, error) {
+	s, err := ParseOne(sql)
+	if err != nil {
+		return "", err
+	}
+	var target string
+	var sel *Select
+	switch st := s.(type) {
+	case *Select:
+		sel = st
+	case *InsertSelect:
+		target, sel = st.Target, st.Sel
+	default:
+		return "", fmt.Errorf("esl: EXPLAIN supports SELECT and INSERT...SELECT, got %T", s)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.selectReadsStream(sel) {
+		for _, f := range sel.From {
+			if _, ok := e.store.Get(f.Source); !ok {
+				return "", fmt.Errorf("esl: unknown stream or table %q", f.Source)
+			}
+		}
+		return "snapshot query (tables/retained history, evaluated once)\n  " + SelectString(sel), nil
+	}
+	q := &Query{stmt: sel, sink: func(Row) error { return nil }}
+	op, inputs, err := e.compile(sel, q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	switch x := op.(type) {
+	case *eventOp:
+		fmt.Fprintf(&b, "temporal event query (%s)\n", x.kindName)
+		fmt.Fprintf(&b, "  pattern: ")
+		for i, st := range x.def.Steps {
+			if i > 0 {
+				b.WriteString(" ; ")
+			}
+			b.WriteString(st.Alias)
+			if st.Star {
+				b.WriteString("*")
+			}
+			if st.Filter != nil {
+				b.WriteString("[filtered]")
+			}
+			if st.MaxGap > 0 {
+				fmt.Fprintf(&b, "[gap<=%s]", st.MaxGap)
+			}
+		}
+		fmt.Fprintf(&b, "\n  mode: %s\n", x.def.Mode)
+		if x.def.Partitioned() {
+			b.WriteString("  partitioned: per-key matching state (equality chain detected)\n")
+		}
+		if w := x.def.Window; w != nil {
+			dir := "PRECEDING"
+			if w.Following {
+				dir = "FOLLOWING"
+			}
+			fmt.Fprintf(&b, "  window: %s %s %s\n", w.Span, dir, x.def.Steps[w.Step].Alias)
+		}
+		if x.def.Pred != nil {
+			b.WriteString("  residual predicates evaluated at bind time\n")
+		}
+		if x.def.ExpireAfter > 0 {
+			fmt.Fprintf(&b, "  idle partial matches expire after %s\n", x.def.ExpireAfter)
+		}
+		if x.starItemStep >= 0 {
+			fmt.Fprintf(&b, "  multi-return: one row per %s tuple\n", x.starItemAlias)
+		}
+		if x.levelFilter != nil {
+			b.WriteString("  CLEVEL comparison filters emissions by completion level\n")
+		}
+
+	case *aggregateOp:
+		b.WriteString("continuous aggregation\n")
+		if x.win == nil {
+			b.WriteString("  cumulative (emits running value per arrival)\n")
+		} else if x.win.Rows {
+			fmt.Fprintf(&b, "  sliding window: last %d rows\n", x.win.NRows)
+		} else {
+			fmt.Fprintf(&b, "  sliding window: RANGE %s PRECEDING (incremental removal: %v)\n", x.win.Preceding, x.removal)
+		}
+		fmt.Fprintf(&b, "  aggregates: %d; grouped: %v\n", len(x.aggs), len(x.groupBy) > 0)
+
+	case *filterProjectOp:
+		b.WriteString("stream transducer (filter/project)\n")
+		if len(x.tables) > 0 {
+			for _, jt := range x.tables {
+				if jt.eqCol != "" {
+					fmt.Fprintf(&b, "  lookup join %s via index candidate on %s\n", jt.alias, jt.eqCol)
+				} else {
+					fmt.Fprintf(&b, "  lookup join %s via scan\n", jt.alias)
+				}
+			}
+		}
+		for _, ex := range x.exists {
+			kind := "EXISTS"
+			if ex.node.Negate {
+				kind = "NOT EXISTS"
+			}
+			fmt.Fprintf(&b, "  windowed %s over %s %s\n", kind, ex.alias, ex.win.windowText())
+		}
+		for _, te := range x.tableExists {
+			kind := "EXISTS"
+			if te.node.Negate {
+				kind = "NOT EXISTS"
+			}
+			path := "scan"
+			if te.eqCol != "" {
+				path = "indexed lookup on " + te.eqCol
+			}
+			fmt.Fprintf(&b, "  table %s over %s via %s\n", kind, te.alias, path)
+		}
+		if x.deferred {
+			fmt.Fprintf(&b, "  deferred decisions: FOLLOWING window holds outers %s past their arrival\n", x.maxFol)
+		}
+
+	default:
+		fmt.Fprintf(&b, "%T\n", op)
+	}
+
+	var streams []string
+	for s, aliases := range inputs {
+		streams = append(streams, fmt.Sprintf("%s as %s", s, strings.Join(aliases, ",")))
+	}
+	fmt.Fprintf(&b, "  reads: %s\n", strings.Join(streams, "; "))
+	if target != "" {
+		fmt.Fprintf(&b, "  sink: %s\n", target)
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+// windowText renders a window clause briefly for EXPLAIN.
+func (w *WindowClause) windowText() string {
+	if w == nil {
+		return ""
+	}
+	switch {
+	case w.HasPreceding && w.HasFollowing:
+		return fmt.Sprintf("[%s PRECEDING AND FOLLOWING %s]", w.Preceding, anchorOrCurrent(w.Anchor))
+	case w.HasFollowing:
+		return fmt.Sprintf("[%s FOLLOWING %s]", w.Following, anchorOrCurrent(w.Anchor))
+	default:
+		return fmt.Sprintf("[%s PRECEDING %s]", w.Preceding, anchorOrCurrent(w.Anchor))
+	}
+}

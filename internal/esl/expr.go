@@ -1,0 +1,549 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Env is an expression-evaluation environment: an ordered scope of named
+// bindings (stream tuples or table rows), optionally chained to an outer
+// scope (for correlated sub-queries) and optionally carrying a temporal
+// match (for star aggregates and the previous operator).
+type Env struct {
+	binds  []binding
+	parent *Env
+	// match + stepOf support FIRST/LAST/COUNT(X*) and X.previous.col when
+	// evaluating over a (partial) temporal match.
+	match  *core.Match
+	stepOf map[string]int
+	// prev maps a star alias to the tuple preceding the current candidate
+	// during star-extension predicate checks.
+	prev map[string]*stream.Tuple
+	// funcs resolves scalar function calls (UDFs and built-ins).
+	funcs *FuncRegistry
+	// hooks evaluate planned sub-expressions (EXISTS sub-queries) that the
+	// generic evaluator cannot compute itself. Keyed by AST node identity.
+	hooks map[Expr]func(*Env) (stream.Value, error)
+}
+
+type binding struct {
+	alias string
+	get   func(col string) (stream.Value, bool)
+}
+
+// NewEnv builds an empty environment using the given function registry
+// (nil means built-ins only).
+func NewEnv(funcs *FuncRegistry) *Env {
+	if funcs == nil {
+		funcs = builtinFuncs
+	}
+	return &Env{funcs: funcs}
+}
+
+// Child builds a nested scope (inner bindings shadow outer ones).
+func (e *Env) Child() *Env {
+	return &Env{parent: e, funcs: e.funcs, match: e.match, stepOf: e.stepOf, prev: e.prev, hooks: e.hooks}
+}
+
+// SetHook installs an evaluator for a planned sub-expression node.
+func (e *Env) SetHook(node Expr, fn func(*Env) (stream.Value, error)) {
+	if e.hooks == nil {
+		e.hooks = make(map[Expr]func(*Env) (stream.Value, error))
+	}
+	e.hooks[node] = fn
+}
+
+// hook resolves a planned sub-expression evaluator up the scope chain.
+func (e *Env) hook(node Expr) (func(*Env) (stream.Value, error), bool) {
+	for env := e; env != nil; env = env.parent {
+		if fn, ok := env.hooks[node]; ok {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// BindTuple makes a stream tuple visible under alias.
+func (e *Env) BindTuple(alias string, t *stream.Tuple) {
+	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), get: func(col string) (stream.Value, bool) {
+		if t == nil {
+			return stream.Null, true // unbound step of a partial match: NULLs
+		}
+		if i, ok := t.Schema.Col(col); ok {
+			return t.Get(i), true
+		}
+		return stream.Null, false
+	}})
+}
+
+// BindRow makes a table row visible under alias with the given schema.
+func (e *Env) BindRow(alias string, schema *stream.Schema, vals []stream.Value) {
+	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), get: func(col string) (stream.Value, bool) {
+		if i, ok := schema.Col(col); ok {
+			if i < len(vals) {
+				return vals[i], true
+			}
+			return stream.Null, true
+		}
+		return stream.Null, false
+	}})
+}
+
+// BindMatch attaches a temporal match: each step alias is bound to its last
+// tuple (per the paper, predicates like R2.tagtime reference the bound
+// tuple; for star steps the last tuple of the run), and star aggregates
+// resolve against the groups.
+func (e *Env) BindMatch(m *core.Match, def *core.Def) {
+	e.match = m
+	e.stepOf = make(map[string]int, len(def.Steps))
+	for i, s := range def.Steps {
+		e.stepOf[strings.ToLower(s.Alias)] = i
+		e.BindTuple(s.Alias, m.Last(i))
+	}
+}
+
+// BindStarTuple rebinds a star alias to one specific tuple of its group
+// (the per-item projection of §3.1.2) along with its predecessor.
+func (e *Env) BindStarTuple(alias string, t, prev *stream.Tuple) {
+	e.BindTuple(alias, t)
+	if e.prev == nil {
+		e.prev = map[string]*stream.Tuple{}
+	}
+	e.prev[strings.ToLower(alias)] = prev
+}
+
+// lookup resolves a possibly-qualified column reference: innermost scope
+// first, bindings in declaration order.
+func (e *Env) lookup(qualifier, col string) (stream.Value, bool) {
+	q := strings.ToLower(qualifier)
+	c := strings.ToLower(col)
+	for env := e; env != nil; env = env.parent {
+		for i := len(env.binds) - 1; i >= 0; i-- {
+			b := env.binds[i]
+			if q != "" && b.alias != q {
+				continue
+			}
+			if v, ok := b.get(c); ok {
+				return v, true
+			}
+			if q != "" {
+				// Qualifier matched but the column does not exist.
+				return stream.Null, false
+			}
+		}
+	}
+	return stream.Null, false
+}
+
+// Eval evaluates an expression to a value, applying SQL three-valued logic
+// (NULL propagates; AND/OR follow Kleene semantics).
+func (e *Env) Eval(x Expr) (stream.Value, error) {
+	switch n := x.(type) {
+	case *Literal:
+		return n.Val, nil
+
+	case *Interval:
+		return stream.Int(n.D.Nanoseconds()), nil
+
+	case *ColRef:
+		v, ok := e.lookup(n.Qualifier, n.Name)
+		if !ok {
+			return stream.Null, fmt.Errorf("esl: unknown column %s", ExprString(n))
+		}
+		return v, nil
+
+	case *PrevRef:
+		t := e.prevTuple(n.Alias)
+		if t == nil {
+			return stream.Null, nil
+		}
+		if i, ok := t.Schema.Col(n.Name); ok {
+			return t.Get(i), nil
+		}
+		return stream.Null, fmt.Errorf("esl: unknown column %s", ExprString(n))
+
+	case *StarAgg:
+		return e.evalStarAgg(n)
+
+	case *Unary:
+		v, err := e.Eval(n.X)
+		if err != nil {
+			return stream.Null, err
+		}
+		switch n.Op {
+		case "NOT":
+			if v.IsNull() {
+				return stream.Null, nil
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return stream.Null, fmt.Errorf("esl: NOT applied to non-boolean %s", v)
+			}
+			return stream.Bool(!b), nil
+		case "-":
+			switch v.Kind() {
+			case stream.KindNull:
+				return stream.Null, nil
+			case stream.KindInt:
+				i, _ := v.AsInt()
+				return stream.Int(-i), nil
+			case stream.KindFloat:
+				f, _ := v.AsFloat()
+				return stream.Float(-f), nil
+			default:
+				return stream.Null, fmt.Errorf("esl: unary minus on %s", v.Kind())
+			}
+		}
+		return stream.Null, fmt.Errorf("esl: unknown unary op %q", n.Op)
+
+	case *Binary:
+		return e.evalBinary(n)
+
+	case *Between:
+		v, err := e.Eval(n.X)
+		if err != nil {
+			return stream.Null, err
+		}
+		lo, err := e.Eval(n.Lo)
+		if err != nil {
+			return stream.Null, err
+		}
+		hi, err := e.Eval(n.Hi)
+		if err != nil {
+			return stream.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return stream.Null, nil
+		}
+		c1, ok1 := v.Compare(lo)
+		c2, ok2 := v.Compare(hi)
+		if !ok1 || !ok2 {
+			return stream.Null, fmt.Errorf("esl: BETWEEN over incomparable types")
+		}
+		in := c1 >= 0 && c2 <= 0
+		if n.Negate {
+			in = !in
+		}
+		return stream.Bool(in), nil
+
+	case *IsNull:
+		v, err := e.Eval(n.X)
+		if err != nil {
+			return stream.Null, err
+		}
+		r := v.IsNull()
+		if n.Negate {
+			r = !r
+		}
+		return stream.Bool(r), nil
+
+	case *Call:
+		if fn, ok := e.hook(n); ok { // aggregate call sites bound by the planner
+			return fn(e)
+		}
+		return e.evalCall(n)
+
+	case *Exists:
+		if fn, ok := e.hook(n); ok {
+			return fn(e)
+		}
+		return stream.Null, fmt.Errorf("esl: EXISTS must be planned, not evaluated directly")
+
+	case *SeqExpr:
+		if fn, ok := e.hook(n); ok {
+			return fn(e)
+		}
+		return stream.Null, fmt.Errorf("esl: %s must be planned, not evaluated directly", n.Kind)
+
+	default:
+		return stream.Null, fmt.Errorf("esl: cannot evaluate %T", x)
+	}
+}
+
+func (e *Env) prevTuple(alias string) *stream.Tuple {
+	a := strings.ToLower(alias)
+	for env := e; env != nil; env = env.parent {
+		if t, ok := env.prev[a]; ok {
+			return t
+		}
+		if env.match != nil {
+			if step, ok := env.stepOf[a]; ok {
+				g := env.match.Groups[step]
+				if len(g) >= 2 {
+					return g[len(g)-2]
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Env) evalStarAgg(n *StarAgg) (stream.Value, error) {
+	a := strings.ToLower(n.Alias)
+	for env := e; env != nil; env = env.parent {
+		if env.match == nil {
+			continue
+		}
+		step, ok := env.stepOf[a]
+		if !ok {
+			continue
+		}
+		switch n.Fn {
+		case "COUNT":
+			return stream.Int(int64(env.match.Count(step))), nil
+		case "FIRST", "LAST":
+			var t *stream.Tuple
+			if n.Fn == "FIRST" {
+				t = env.match.First(step)
+			} else {
+				t = env.match.Last(step)
+			}
+			if t == nil {
+				return stream.Null, nil
+			}
+			if i, ok := t.Schema.Col(n.Name); ok {
+				return t.Get(i), nil
+			}
+			return stream.Null, fmt.Errorf("esl: unknown column %s", ExprString(n))
+		}
+	}
+	return stream.Null, fmt.Errorf("esl: %s used outside a temporal match", ExprString(n))
+}
+
+func (e *Env) evalBinary(n *Binary) (stream.Value, error) {
+	// Short-circuit three-valued AND/OR.
+	if n.Op == "AND" || n.Op == "OR" {
+		l, err := e.Eval(n.L)
+		if err != nil {
+			return stream.Null, err
+		}
+		lb, lok := l.AsBool()
+		if n.Op == "AND" && lok && !lb {
+			return stream.Bool(false), nil
+		}
+		if n.Op == "OR" && lok && lb {
+			return stream.Bool(true), nil
+		}
+		r, err := e.Eval(n.R)
+		if err != nil {
+			return stream.Null, err
+		}
+		rb, rok := r.AsBool()
+		switch n.Op {
+		case "AND":
+			switch {
+			case rok && !rb:
+				return stream.Bool(false), nil
+			case !lok || !rok: // at least one NULL, none false
+				return stream.Null, nil
+			default:
+				return stream.Bool(true), nil
+			}
+		default: // OR
+			switch {
+			case rok && rb:
+				return stream.Bool(true), nil
+			case !lok || !rok:
+				return stream.Null, nil
+			default:
+				return stream.Bool(false), nil
+			}
+		}
+	}
+
+	l, err := e.Eval(n.L)
+	if err != nil {
+		return stream.Null, err
+	}
+	r, err := e.Eval(n.R)
+	if err != nil {
+		return stream.Null, err
+	}
+	switch n.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return stream.Null, nil
+		}
+		c, ok := l.Compare(r)
+		if !ok {
+			return stream.Null, fmt.Errorf("esl: cannot compare %s with %s", l.Kind(), r.Kind())
+		}
+		var b bool
+		switch n.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return stream.Bool(b), nil
+
+	case "LIKE", "NOT LIKE":
+		if l.IsNull() || r.IsNull() {
+			return stream.Null, nil
+		}
+		s, ok1 := l.AsString()
+		pat, ok2 := r.AsString()
+		if !ok1 || !ok2 {
+			return stream.Null, fmt.Errorf("esl: LIKE needs string operands")
+		}
+		m := likeMatch(s, pat)
+		if n.Op == "NOT LIKE" {
+			m = !m
+		}
+		return stream.Bool(m), nil
+
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return stream.Null, nil
+		}
+		return stream.Str(valueText(l) + valueText(r)), nil
+
+	case "+", "-", "*", "/", "%":
+		return arith(n.Op, l, r)
+	}
+	return stream.Null, fmt.Errorf("esl: unknown operator %q", n.Op)
+}
+
+// valueText renders a value for string concatenation.
+func valueText(v stream.Value) string {
+	return v.String()
+}
+
+// arith applies numeric (and event-time) arithmetic: Time - Time yields a
+// duration (INT nanoseconds), Time ± duration yields Time, otherwise the
+// usual int/float promotion applies.
+func arith(op string, l, r stream.Value) (stream.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return stream.Null, nil
+	}
+	lt, rt := l.Kind() == stream.KindTime, r.Kind() == stream.KindTime
+	switch {
+	case lt && rt && op == "-":
+		a, _ := l.AsInt()
+		b, _ := r.AsInt()
+		return stream.Int(a - b), nil
+	case lt && !rt && (op == "+" || op == "-"):
+		a, _ := l.AsInt()
+		d, ok := r.AsInt()
+		if !ok {
+			return stream.Null, fmt.Errorf("esl: time %s %s", op, r.Kind())
+		}
+		if op == "-" {
+			d = -d
+		}
+		return stream.Time(stream.Timestamp(a + d)), nil
+	case !lt && rt && op == "+":
+		a, ok := l.AsInt()
+		b, _ := r.AsInt()
+		if !ok {
+			return stream.Null, fmt.Errorf("esl: %s + time", l.Kind())
+		}
+		return stream.Time(stream.Timestamp(a + b)), nil
+	case lt || rt:
+		return stream.Null, fmt.Errorf("esl: unsupported time arithmetic %s %s %s", l.Kind(), op, r.Kind())
+	}
+
+	if l.Kind() == stream.KindFloat || r.Kind() == stream.KindFloat {
+		a, ok1 := l.AsFloat()
+		b, ok2 := r.AsFloat()
+		if !ok1 || !ok2 {
+			return stream.Null, fmt.Errorf("esl: arithmetic on %s and %s", l.Kind(), r.Kind())
+		}
+		switch op {
+		case "+":
+			return stream.Float(a + b), nil
+		case "-":
+			return stream.Float(a - b), nil
+		case "*":
+			return stream.Float(a * b), nil
+		case "/":
+			if b == 0 {
+				return stream.Null, nil // SQL-ish: division by zero yields NULL
+			}
+			return stream.Float(a / b), nil
+		case "%":
+			return stream.Null, fmt.Errorf("esl: %% needs integer operands")
+		}
+	}
+	a, ok1 := l.AsInt()
+	b, ok2 := r.AsInt()
+	if !ok1 || !ok2 {
+		return stream.Null, fmt.Errorf("esl: arithmetic on %s and %s", l.Kind(), r.Kind())
+	}
+	switch op {
+	case "+":
+		return stream.Int(a + b), nil
+	case "-":
+		return stream.Int(a - b), nil
+	case "*":
+		return stream.Int(a * b), nil
+	case "/":
+		if b == 0 {
+			return stream.Null, nil
+		}
+		return stream.Int(a / b), nil
+	case "%":
+		if b == 0 {
+			return stream.Null, nil
+		}
+		return stream.Int(a % b), nil
+	}
+	return stream.Null, fmt.Errorf("esl: unknown arithmetic op %q", op)
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ one character.
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer matcher with backtracking on the last %.
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// EvalBool evaluates a predicate to the SQL boolean triple. Unknown (NULL)
+// is reported as (false, false): not satisfied, not known.
+func (e *Env) EvalBool(x Expr) (val, known bool, err error) {
+	v, err := e.Eval(x)
+	if err != nil {
+		return false, false, err
+	}
+	if v.IsNull() {
+		return false, false, nil
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, false, fmt.Errorf("esl: predicate %s evaluated to non-boolean %s", ExprString(x), v)
+	}
+	return b, true, nil
+}

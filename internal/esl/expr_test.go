@@ -1,0 +1,225 @@
+package esl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// evalStr evaluates a standalone expression with an optional bound tuple.
+func evalExpr(t *testing.T, exprSQL string, tuple *stream.Tuple, alias string) stream.Value {
+	t.Helper()
+	s, err := ParseOne("SELECT " + exprSQL + " FROM dual")
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprSQL, err)
+	}
+	env := NewEnv(nil)
+	if tuple != nil {
+		env.BindTuple(alias, tuple)
+	}
+	v, err := env.Eval(s.(*Select).Items[0].Expr)
+	if err != nil {
+		t.Fatalf("eval %q: %v", exprSQL, err)
+	}
+	return v
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	cases := map[string]stream.Value{
+		"1 + 2":                 stream.Int(3),
+		"7 - 2 * 3":             stream.Int(1),
+		"(7 - 2) * 3":           stream.Int(15),
+		"7 / 2":                 stream.Int(3),
+		"7.0 / 2":               stream.Float(3.5),
+		"7 % 3":                 stream.Int(1),
+		"-5 + 2":                stream.Int(-3),
+		"1 / 0":                 stream.Null, // SQL-ish: NULL, not panic
+		"5 % 0":                 stream.Null,
+		"1 < 2":                 stream.Bool(true),
+		"2 <= 2":                stream.Bool(true),
+		"3 <> 4":                stream.Bool(true),
+		"3 != 4":                stream.Bool(true),
+		"'a' < 'b'":             stream.Bool(true),
+		"2 BETWEEN 1 AND 3":     stream.Bool(true),
+		"0 NOT BETWEEN 1 AND 3": stream.Bool(true),
+		"NULL IS NULL":          stream.Bool(true),
+		"1 IS NOT NULL":         stream.Bool(true),
+		"'a' || 'b'":            stream.Str("ab"),
+		"1 || 'b'":              stream.Str("1b"),
+		"TRUE AND FALSE":        stream.Bool(false),
+		"TRUE OR FALSE":         stream.Bool(true),
+		"NOT TRUE":              stream.Bool(false),
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src, nil, "")
+		if !got.Equal(want) || got.IsNull() != want.IsNull() {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// NULL short-circuits per Kleene logic.
+	cases := map[string]stream.Value{
+		"NULL AND TRUE":  stream.Null,
+		"NULL AND FALSE": stream.Bool(false),
+		"FALSE AND NULL": stream.Bool(false),
+		"NULL OR TRUE":   stream.Bool(true),
+		"TRUE OR NULL":   stream.Bool(true),
+		"NULL OR FALSE":  stream.Null,
+		"NOT NULL":       stream.Null,
+		"NULL = 1":       stream.Null,
+		"NULL + 1":       stream.Null,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src, nil, "")
+		if got.IsNull() != want.IsNull() || (!want.IsNull() && !got.Equal(want)) {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"20.123.456", "20.%.%", true},
+		{"21.123.456", "20.%.%", false},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"hello world", "%world", true},
+		{"hello world", "hello%", true},
+		{"hello world", "%lo wo%", true},
+		{"aaa", "a%a", true},
+		{"ab", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.pat, got)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	sch := stream.MustSchema("s", stream.Field{Name: "a"}, stream.Field{Name: "tagtime"})
+	tu := stream.MustTuple(sch, stream.TS(10*time.Second), stream.Int(1), stream.Null)
+	// Time - Time -> duration (ns), comparable with INTERVAL.
+	v := evalExpr(t, "s.tagtime - s.tagtime", tu, "s")
+	if n, _ := v.AsInt(); n != 0 {
+		t.Errorf("self-difference = %v", v)
+	}
+	v = evalExpr(t, "s.tagtime + 5 SECONDS", tu, "s")
+	if ts, ok := v.AsTime(); !ok || ts != stream.TS(15*time.Second) {
+		t.Errorf("time + interval = %v", v)
+	}
+	v = evalExpr(t, "s.tagtime - 5 SECONDS", tu, "s")
+	if ts, ok := v.AsTime(); !ok || ts != stream.TS(5*time.Second) {
+		t.Errorf("time - interval = %v", v)
+	}
+	// Interval literal itself.
+	v = evalExpr(t, "90 SECONDS", nil, "")
+	if n, _ := v.AsInt(); n != int64(90*time.Second) {
+		t.Errorf("interval = %v", v)
+	}
+	v = evalExpr(t, "1.5 MINUTES", nil, "")
+	if n, _ := v.AsInt(); n != int64(90*time.Second) {
+		t.Errorf("fractional interval = %v", v)
+	}
+}
+
+func TestColumnResolution(t *testing.T) {
+	sch := stream.MustSchema("s", stream.Field{Name: "a"}, stream.Field{Name: "b"})
+	tu := stream.MustTuple(sch, 0, stream.Int(1), stream.Int(2))
+	if v := evalExpr(t, "s.a + s.b", tu, "s"); !v.Equal(stream.Int(3)) {
+		t.Errorf("qualified = %v", v)
+	}
+	if v := evalExpr(t, "a + b", tu, "s"); !v.Equal(stream.Int(3)) {
+		t.Errorf("unqualified = %v", v)
+	}
+	// Unknown columns error.
+	env := NewEnv(nil)
+	env.BindTuple("s", tu)
+	if _, err := env.Eval(&ColRef{Qualifier: "s", Name: "zz"}); err == nil {
+		t.Error("unknown qualified column should error")
+	}
+	if _, err := env.Eval(&ColRef{Name: "zz"}); err == nil {
+		t.Error("unknown unqualified column should error")
+	}
+	if _, err := env.Eval(&ColRef{Qualifier: "nope", Name: "a"}); err == nil {
+		t.Error("unknown qualifier should error")
+	}
+}
+
+func TestScopeShadowing(t *testing.T) {
+	sch := stream.MustSchema("x", stream.Field{Name: "v"})
+	outerT := stream.MustTuple(sch, 0, stream.Int(1))
+	innerT := stream.MustTuple(sch, 0, stream.Int(2))
+	outer := NewEnv(nil)
+	outer.BindTuple("o", outerT)
+	inner := outer.Child()
+	inner.BindTuple("i", innerT)
+	// Unqualified resolves innermost-first.
+	v, err := inner.Eval(&ColRef{Name: "v"})
+	if err != nil || !v.Equal(stream.Int(2)) {
+		t.Errorf("inner-first resolution: %v, %v", v, err)
+	}
+	// Outer still reachable by qualifier.
+	v, _ = inner.Eval(&ColRef{Qualifier: "o", Name: "v"})
+	if !v.Equal(stream.Int(1)) {
+		t.Errorf("outer qualified: %v", v)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := map[string]stream.Value{
+		"extract_serial('20.1.555')":                 stream.Int(555),
+		"extract_company('20.1.555')":                stream.Str("20"),
+		"extract_product('20.1.555')":                stream.Str("1"),
+		"extract_serial('garbage')":                  stream.Null, // failure -> NULL
+		"epc_match('20.1.5555', '20.*.[5000-9999]')": stream.Bool(true),
+		"epc_match('20.1.4', '20.*.[5000-9999]')":    stream.Bool(false),
+		"length('abc')":                              stream.Int(3),
+		"upper('ab')":                                stream.Str("AB"),
+		"lower('AB')":                                stream.Str("ab"),
+		"abs(-3)":                                    stream.Int(3),
+		"abs(-2.5)":                                  stream.Float(2.5),
+		"coalesce(NULL, 2, 3)":                       stream.Int(2),
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src, nil, "")
+		if got.IsNull() != want.IsNull() || (!want.IsNull() && !got.Equal(want)) {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestUserDefinedFunction(t *testing.T) {
+	e := New()
+	e.Funcs().Register("double_it", func(args []stream.Value) (stream.Value, error) {
+		n, _ := args[0].AsInt()
+		return stream.Int(2 * n), nil
+	})
+	mustExec(t, e, `CREATE STREAM s(v, ts);`)
+	rows := collect(t, e, `SELECT double_it(v) FROM s WHERE double_it(v) > 5`)
+	mustPush(t, e, "s", time.Second, stream.Int(2), stream.Null)   // 4: filtered
+	mustPush(t, e, "s", 2*time.Second, stream.Int(5), stream.Null) // 10: kept
+	if len(*rows) != 1 || !(*rows)[0].Vals[0].Equal(stream.Int(10)) {
+		t.Fatalf("rows = %v", *rows)
+	}
+}
+
+func TestUnknownFunctionErrors(t *testing.T) {
+	env := NewEnv(nil)
+	if _, err := env.Eval(&Call{Name: "NOPE"}); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := env.Eval(&Call{Name: "SUM", Args: []Expr{&Literal{Val: stream.Int(1)}}}); err == nil {
+		t.Error("aggregate outside aggregation context should error")
+	}
+}

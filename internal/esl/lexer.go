@@ -1,0 +1,169 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes ESL-EV source text. Comments run from "--" to end of
+// line. String literals use single quotes with ” as the escape. Symbols
+// cover SQL operators plus the bracket window syntax OVER [...].
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer builds a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, appending a TokEOF sentinel.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *Lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("esl: line %d col %d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '-' && lx.peekAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+
+scan:
+	line, col := lx.line, lx.col
+	b := lx.peekByte()
+	switch {
+	case isIdentStart(b):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+
+	case b >= '0' && b <= '9':
+		start := lx.pos
+		seenDot := false
+		for lx.pos < len(lx.src) {
+			c := lx.peekByte()
+			if c >= '0' && c <= '9' {
+				lx.advance()
+				continue
+			}
+			// A dot is part of the number only when followed by a digit;
+			// "readings.tag" style qualified refs never start with digits,
+			// but EPC-ish text should be quoted anyway.
+			if c == '.' && !seenDot && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9' {
+				seenDot = true
+				lx.advance()
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+
+	case b == '\'':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errorf("unterminated string literal")
+			}
+			c := lx.advance()
+			if c == '\'' {
+				if lx.peekByte() == '\'' { // escaped quote
+					lx.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				return Token{Kind: TokString, Text: sb.String(), Line: line, Col: col}, nil
+			}
+			sb.WriteByte(c)
+		}
+
+	default:
+		// Multi-byte symbols first.
+		for _, sym := range []string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(lx.src[lx.pos:], sym) {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokSymbol, Text: sym, Line: line, Col: col}, nil
+			}
+		}
+		if strings.ContainsRune("(),;.*+-/%<>=[]{}:", rune(b)) {
+			lx.advance()
+			return Token{Kind: TokSymbol, Text: string(b), Line: line, Col: col}, nil
+		}
+		if b < 0x80 && unicode.IsPrint(rune(b)) {
+			return Token{}, lx.errorf("unexpected character %q", string(b))
+		}
+		return Token{}, lx.errorf("unexpected byte 0x%02x", b)
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9')
+}

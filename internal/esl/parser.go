@@ -1,0 +1,1110 @@
+package esl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Parser is a recursive-descent parser for ESL-EV.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a script of semicolon-separated statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.cur().Is(";") {
+			p.next()
+		}
+		if p.cur().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.cur().Is(";") && p.cur().Kind != TokEOF && !p.cur().Is("}") {
+			return nil, p.errf("expected ';' after statement, got %s", p.cur())
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("esl: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.at(1) }
+func (p *Parser) at(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+off]
+}
+func (p *Parser) next() Token { t := p.cur(); p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("esl: line %d col %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the token if it matches the keyword/symbol.
+func (p *Parser) accept(text string) bool {
+	if p.cur().Is(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a required keyword/symbol.
+func (p *Parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+// ident consumes an identifier (or non-reserved keyword usable as a name).
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.next()
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %s", t)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch {
+	case p.cur().Is("CREATE"):
+		switch {
+		case p.peek().Is("STREAM"):
+			p.next()
+			return p.parseCreateStream()
+		case p.peek().Is("TABLE"):
+			p.next()
+			return p.parseCreateTable()
+		case p.peek().Is("INDEX"):
+			p.next()
+			return p.parseCreateIndex()
+		case p.peek().Is("AGGREGATE"):
+			p.next()
+			return p.parseCreateAggregate()
+		default:
+			return nil, p.errf("expected STREAM, TABLE, INDEX or AGGREGATE after CREATE")
+		}
+	case p.cur().Is("STREAM"): // the paper's bare "STREAM s(...)" form
+		return p.parseCreateStream()
+	case p.cur().Is("TABLE"):
+		return p.parseCreateTable()
+	case p.cur().Is("AGGREGATE"):
+		return p.parseCreateAggregate()
+	case p.cur().Is("INSERT"):
+		return p.parseInsert()
+	case p.cur().Is("UPDATE"):
+		return p.parseUpdate()
+	case p.cur().Is("DELETE"):
+		return p.parseDelete()
+	case p.cur().Is("SELECT"):
+		return p.parseSelect()
+	default:
+		return nil, p.errf("unexpected %s at start of statement", p.cur())
+	}
+}
+
+func (p *Parser) parseColDefs() ([]ColDef, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []ColDef
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		col := ColDef{Name: name, Type: stream.TAny}
+		if p.cur().Kind == TokIdent { // optional type name
+			if ty, ok := stream.TypeFromName(p.cur().Text); ok {
+				col.Type = ty
+				p.next()
+			} else {
+				return nil, p.errf("unknown column type %q", p.cur().Text)
+			}
+		}
+		cols = append(cols, col)
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return cols, nil
+	}
+}
+
+func (p *Parser) parseCreateStream() (Statement, error) {
+	if err := p.expect("STREAM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColDefs()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateStream{Name: name, Cols: cols}, nil
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColDefs()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Cols: cols}, nil
+}
+
+func (p *Parser) parseCreateIndex() (Statement, error) {
+	if err := p.expect("INDEX"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Table: table, Column: col}, nil
+}
+
+// parseCreateAggregate parses the ESL SQL-bodied UDA form.
+func (p *Parser) parseCreateAggregate() (Statement, error) {
+	if err := p.expect("AGGREGATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseColDefs()
+	if err != nil {
+		return nil, err
+	}
+	agg := &CreateAggregate{Name: name, Params: params, ReturnType: stream.TAny}
+	if p.accept(":") {
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected return type after ':'")
+		}
+		ty, ok := stream.TypeFromName(p.cur().Text)
+		if !ok {
+			return nil, p.errf("unknown return type %q", p.cur().Text)
+		}
+		agg.ReturnType = ty
+		p.next()
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.cur().Is("}") {
+		switch {
+		case p.cur().Is("TABLE"):
+			st, err := p.parseCreateTable()
+			if err != nil {
+				return nil, err
+			}
+			agg.State = append(agg.State, *st.(*CreateTable))
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.cur().Is("INITIALIZE"), p.cur().Is("ITERATE"), p.cur().Is("TERMINATE"):
+			section := p.next().Text
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			switch section {
+			case "INITIALIZE":
+				agg.Init = body
+			case "ITERATE":
+				agg.Iter = body
+			case "TERMINATE":
+				agg.Term = body
+			}
+		default:
+			return nil, p.errf("expected TABLE, INITIALIZE, ITERATE or TERMINATE in aggregate body, got %s", p.cur())
+		}
+	}
+	p.next() // consume '}'
+	return agg, nil
+}
+
+// parseBlock parses { stmt; stmt; ... }.
+func (p *Parser) parseBlock() ([]Statement, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var body []Statement
+	for !p.cur().Is("}") {
+		if p.accept(";") {
+			continue
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+		if !p.cur().Is(";") && !p.cur().Is("}") {
+			return nil, p.errf("expected ';' in block, got %s", p.cur())
+		}
+	}
+	p.next()
+	return body, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expect("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	var target string
+	if p.cur().Is("RETURN") { // UDA bodies insert into the RETURN pseudo-table
+		p.next()
+		target = "RETURN"
+	} else {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		target = t
+	}
+	if p.cur().Is("VALUES") {
+		p.next()
+		iv := &InsertValues{Target: target}
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.accept(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			iv.Rows = append(iv.Rows, row)
+			if p.accept(",") {
+				continue
+			}
+			return iv, nil
+		}
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &InsertSelect{Target: target, Sel: sel}, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.expect("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, SetClause{Col: col, Expr: e})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	return u, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.expect("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: table}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+func (p *Parser) parseSelect() (*Select, error) {
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &Select{Limit: -1}
+	s.Distinct = p.accept("DISTINCT")
+	for {
+		if p.cur().Is("*") {
+			p.next()
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.As = a
+			} else if p.cur().Kind == TokIdent {
+				item.As = p.next().Text
+			}
+			s.Items = append(s.Items, item)
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		f, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, *f)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.cur().Is("GROUP") {
+		p.next()
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.cur().Is("ORDER") {
+		p.next()
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept("DESC") {
+				item.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept("LIMIT") {
+		if p.cur().Kind != TokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.next().Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT value")
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+// parseFromItem handles: name [AS alias] [OVER window]
+// and TABLE( name OVER (RANGE ...) ) [AS alias].
+func (p *Parser) parseFromItem() (*FromItem, error) {
+	f := &FromItem{}
+	if p.cur().Is("TABLE") && p.peek().Is("(") {
+		p.next()
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f.Source = name
+		if err := p.expect("OVER"); err != nil {
+			return nil, err
+		}
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		f.Window = w
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f.Source = name
+	}
+	if p.accept("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		f.Alias = p.next().Text
+	}
+	if f.Alias == "" {
+		f.Alias = f.Source
+	}
+	if p.accept("OVER") {
+		if f.Window != nil {
+			return nil, p.errf("duplicate window on FROM item %s", f.Source)
+		}
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		f.Window = w
+	}
+	return f, nil
+}
+
+// parseWindow parses both spellings:
+//
+//	(RANGE 1 SECONDS PRECEDING CURRENT)       — SQL:2003-ish
+//	(ROWS 10 PRECEDING)
+//	[30 MINUTES PRECEDING C4]                 — the paper's bracket form
+//	[1 HOURS FOLLOWING A1]
+//	[1 MINUTES PRECEDING AND FOLLOWING person]
+func (p *Parser) parseWindow() (*WindowClause, error) {
+	if p.accept("(") {
+		w := &WindowClause{}
+		switch {
+		case p.accept("RANGE"):
+			d, err := p.parseIntervalLiteral()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("PRECEDING"); err != nil {
+				return nil, err
+			}
+			w.Preceding, w.HasPreceding = d, true
+			p.accept("CURRENT") // optional
+		case p.accept("ROWS"):
+			if p.cur().Kind != TokNumber {
+				return nil, p.errf("expected row count")
+			}
+			n, err := strconv.Atoi(p.next().Text)
+			if err != nil || n <= 0 {
+				return nil, p.errf("bad row count")
+			}
+			w.Rows, w.NRows = true, n
+			if err := p.expect("PRECEDING"); err != nil {
+				return nil, err
+			}
+			p.accept("CURRENT")
+		default:
+			return nil, p.errf("expected RANGE or ROWS in window, got %s", p.cur())
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	w := &WindowClause{}
+	if p.cur().Kind != TokNumber {
+		return nil, p.errf("expected window span, got %s", p.cur())
+	}
+	// ROWS form: [5 ROWS PRECEDING x]
+	if p.peek().Is("ROWS") {
+		n, err := strconv.Atoi(p.next().Text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad row count")
+		}
+		p.next() // ROWS
+		w.Rows, w.NRows = true, n
+		if err := p.expect("PRECEDING"); err != nil {
+			return nil, err
+		}
+	} else {
+		d, err := p.parseIntervalLiteral()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept("PRECEDING"):
+			w.Preceding, w.HasPreceding = d, true
+			if p.accept("AND") {
+				if err := p.expect("FOLLOWING"); err != nil {
+					return nil, err
+				}
+				w.Following, w.HasFollowing = d, true
+			}
+		case p.accept("FOLLOWING"):
+			w.Following, w.HasFollowing = d, true
+		default:
+			return nil, p.errf("expected PRECEDING or FOLLOWING, got %s", p.cur())
+		}
+	}
+	// Anchor: CURRENT or an alias.
+	if p.accept("CURRENT") {
+		w.Anchor = ""
+	} else if p.cur().Kind == TokIdent {
+		w.Anchor = p.next().Text
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseIntervalLiteral parses "5 SECONDS" style durations.
+func (p *Parser) parseIntervalLiteral() (time.Duration, error) {
+	if p.cur().Kind != TokNumber {
+		return 0, p.errf("expected number, got %s", p.cur())
+	}
+	n, err := strconv.ParseFloat(p.next().Text, 64)
+	if err != nil {
+		return 0, p.errf("bad number in interval")
+	}
+	unit := p.cur()
+	ns, ok := timeUnits[unit.Text]
+	if unit.Kind != TokKeyword || !ok {
+		return 0, p.errf("expected time unit, got %s", unit)
+	}
+	p.next()
+	return time.Duration(n * float64(ns)), nil
+}
+
+// ---- expressions -----------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Is("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.cur().Is("NOT") && !p.peek().Is("EXISTS") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept("IS") {
+		neg := p.accept("NOT")
+		if err := p.expect("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: neg}, nil
+	}
+	// [NOT] BETWEEN / [NOT] LIKE
+	neg := false
+	if p.cur().Is("NOT") && (p.peek().Is("BETWEEN") || p.peek().Is("LIKE")) {
+		p.next()
+		neg = true
+	}
+	if p.accept("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi, Negate: neg}, nil
+	}
+	if p.accept("LIKE") {
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		op := "LIKE"
+		if neg {
+			op = "NOT LIKE"
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	if neg {
+		return nil, p.errf("dangling NOT")
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.cur().Is(op) {
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().Is("+"), p.cur().Is("-"), p.cur().Is("||"):
+			op := p.next().Text
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().Is("*"), p.cur().Is("/"), p.cur().Is("%"):
+			op := p.next().Text
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.cur().Is("-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	if p.cur().Is("+") {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		// Interval literal: 5 SECONDS.
+		if _, isUnit := timeUnits[p.cur().Text]; p.cur().Kind == TokKeyword && isUnit {
+			ns := timeUnits[p.next().Text]
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Interval{D: time.Duration(f * float64(ns))}, nil
+		}
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Literal{Val: stream.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Literal{Val: stream.Int(n)}, nil
+
+	case t.Kind == TokString:
+		p.next()
+		return &Literal{Val: stream.Str(t.Text)}, nil
+
+	case t.Is("NULL"):
+		p.next()
+		return &Literal{Val: stream.Null}, nil
+	case t.Is("TRUE"):
+		p.next()
+		return &Literal{Val: stream.Bool(true)}, nil
+	case t.Is("FALSE"):
+		p.next()
+		return &Literal{Val: stream.Bool(false)}, nil
+
+	case t.Is("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Is("EXISTS"), t.Is("NOT") && p.peek().Is("EXISTS"):
+		neg := false
+		if p.accept("NOT") {
+			neg = true
+		}
+		p.next() // EXISTS
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub, Negate: neg}, nil
+
+	case t.Is("SEQ"), t.Is("EXCEPTION_SEQ"), t.Is("CLEVEL_SEQ"):
+		return p.parseSeqExpr()
+
+	case t.Is("FIRST"), t.Is("LAST"):
+		return p.parseStarAgg(t.Text)
+
+	case t.Is("COUNT"):
+		// COUNT(R1*) is a star aggregate; COUNT(*) and COUNT(expr) are
+		// regular aggregates.
+		if p.peek().Is("(") && p.at(2).Kind == TokIdent && p.at(3).Is("*") && p.at(4).Is(")") {
+			return p.parseStarAgg("COUNT")
+		}
+		return p.parseCall()
+
+	case t.Kind == TokKeyword && p.peek().Is("("):
+		// Aggregate keywords used as calls (COUNT handled above).
+		return p.parseCall()
+
+	case t.Kind == TokIdent:
+		if p.peek().Is("(") {
+			return p.parseCall()
+		}
+		name := p.next().Text
+		if p.accept(".") {
+			// alias.previous.col or alias.col
+			if p.cur().Is("PREVIOUS") {
+				p.next()
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				return &PrevRef{Alias: name, Name: col}, nil
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: name, Name: col}, nil
+		}
+		return &ColRef{Name: name}, nil
+
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}
+
+// parseCall parses name(args) with optional DISTINCT and the COUNT(*) form.
+func (p *Parser) parseCall() (Expr, error) {
+	name := strings.ToUpper(p.next().Text)
+	if p.cur().Kind == TokIdent {
+		// keep user-defined function case as written (registry lookups are
+		// case-insensitive anyway)
+		name = strings.ToUpper(name)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	c := &Call{Name: name}
+	if p.accept("*") {
+		c.StarArg = true
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if p.accept(")") {
+		return c, nil
+	}
+	c.Distinct = p.accept("DISTINCT")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, e)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseStarAgg parses FIRST(R1*).col, LAST(R1*).col, COUNT(R1*).
+func (p *Parser) parseStarAgg(fn string) (Expr, error) {
+	p.next() // fn keyword
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	alias, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	agg := &StarAgg{Fn: fn, Alias: alias}
+	if fn != "COUNT" {
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		agg.Name = col
+	}
+	return agg, nil
+}
+
+// parseSeqExpr parses SEQ(...)/EXCEPTION_SEQ(...)/CLEVEL_SEQ(...) with the
+// optional OVER window, MODE and EXPIRE AFTER clauses.
+func (p *Parser) parseSeqExpr() (Expr, error) {
+	kind := p.next().Text
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	se := &SeqExpr{Kind: kind}
+	for {
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		arg := SeqArg{Alias: alias}
+		if p.accept("*") {
+			arg.Star = true
+		}
+		se.Args = append(se.Args, arg)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.accept("OVER") {
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		se.Window = w
+	}
+	if p.accept("MODE") {
+		mode, ok := core.ModeFromName(p.cur().Text)
+		if p.cur().Kind != TokKeyword || !ok {
+			return nil, p.errf("unknown pairing mode %s", p.cur())
+		}
+		p.next()
+		se.Mode, se.HasMode = mode, true
+	}
+	if p.cur().Is("EXPIRE") {
+		p.next()
+		if err := p.expect("AFTER"); err != nil {
+			return nil, err
+		}
+		d, err := p.parseIntervalLiteral()
+		if err != nil {
+			return nil, err
+		}
+		se.ExpireAfter = d
+	}
+	return se, nil
+}

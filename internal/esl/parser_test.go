@@ -1,0 +1,442 @@
+package esl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// The paper's queries, verbatim (modulo ≤ spelled <=). Every one of these
+// must parse.
+var paperQueries = map[string]string{
+	"schema_readings":      `STREAM readings(reader_id, tag_id, read_time);`,
+	"schema_tag_locations": `STREAM tag_locations(readerid, tid, tagtime, loc);`,
+	"schema_movement":      `TABLE object_movement(tagid, location, start_time);`,
+
+	"example1_dedup": `
+		INSERT INTO cleaned_readings
+		SELECT * FROM readings AS r1
+		WHERE NOT EXISTS
+		  (SELECT * FROM TABLE( readings OVER
+		      (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+		   WHERE r2.reader_id = r1.reader_id
+		     AND r2.tag_id = r1.tag_id);`,
+
+	"example2_location": `
+		INSERT INTO object_movement
+		SELECT tid, loc, tagtime
+		FROM tag_locations WHERE NOT EXISTS
+		  (SELECT tagid FROM object_movement
+		   WHERE tagid = tid AND location = loc);`,
+
+	"example3_epc": `
+		SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+		AND extract_serial(tid) > 5000
+		AND extract_serial(tid) < 9999;`,
+
+	"example6_seq": `
+		SELECT C1.tagid, C1.tagtime,
+		       C2.tagtime, C3.tagtime, C4.tagtime
+		FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+		AND C1.tagid=C4.tagid;`,
+
+	"example6_windowed": `
+		SELECT C4.tagid, C1.tagtime
+		FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		  OVER [30 MINUTES PRECEDING C4]
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+		AND C1.tagid=C4.tagid;`,
+
+	"seq_mode_consecutive": `
+		SELECT C1.tagid FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		OVER [30 MINUTES PRECEDING C4]
+		MODE CONSECUTIVE;`,
+
+	"example7_containment": `
+		SELECT FIRST(R1*).tagtime, COUNT(R1*),
+		       R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS;`,
+
+	"example7_per_item": `
+		SELECT R1.tagid, R1.tagtime,
+		       R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime < 1 SECONDS;`,
+
+	"example5_exception": `
+		SELECT A1.tagid, A2.tagid, A3.tagid
+		FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3)
+		OVER [1 HOURS FOLLOWING A1];`,
+
+	"example5_clevel": `
+		SELECT A1.tagid, A2.tagid, A3.tagid
+		FROM A1, A2, A3
+		WHERE (CLEVEL_SEQ(A1, A2, A3)
+		OVER [1 HOURS FOLLOWING A1]) < 3;`,
+
+	"exception_mid_anchor": `
+		SELECT A1.tagid FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3)
+		OVER [1 HOURS FOLLOWING A2];`,
+
+	"example8_theft": `
+		SELECT person.tagid
+		FROM tag_readings AS person
+		WHERE person.tagtype = 'person' AND NOT EXISTS
+		  (SELECT * FROM tag_readings AS item
+		   OVER [1 MINUTES
+		     PRECEDING AND FOLLOWING person]
+		   WHERE item.tagtype = 'item');`,
+}
+
+func TestPaperQueriesParse(t *testing.T) {
+	for name, q := range paperQueries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseCreateStream(t *testing.T) {
+	s, err := ParseOne(`CREATE STREAM readings(reader_id, tag_id, read_time)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.(*CreateStream)
+	if cs.Name != "readings" || len(cs.Cols) != 3 || cs.Cols[1].Name != "tag_id" {
+		t.Fatalf("parsed: %+v", cs)
+	}
+	// Typed columns.
+	s, err = ParseOne(`CREATE TABLE t(a INT, b VARCHAR, c TIMESTAMP)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.(*CreateTable)
+	if ct.Cols[0].Type != stream.TInt || ct.Cols[1].Type != stream.TString || ct.Cols[2].Type != stream.TTime {
+		t.Fatalf("types: %+v", ct.Cols)
+	}
+}
+
+func TestParseSeqExpr(t *testing.T) {
+	s, err := ParseOne(paperQueries["example7_containment"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*Select)
+	// WHERE is SEQ(...) AND cond AND cond.
+	b := sel.Where.(*Binary)
+	if b.Op != "AND" {
+		t.Fatal("top-level AND expected")
+	}
+	// Left-assoc: ((SEQ AND c1) AND c2)
+	inner := b.L.(*Binary)
+	se := inner.L.(*SeqExpr)
+	if se.Kind != "SEQ" || len(se.Args) != 2 || !se.Args[0].Star || se.Args[1].Star {
+		t.Fatalf("seq args: %+v", se.Args)
+	}
+	if !se.HasMode || se.Mode != core.ModeChronicle {
+		t.Fatalf("mode: %v %v", se.HasMode, se.Mode)
+	}
+	// The previous-operator constraint.
+	prevCond := b.R.(*Binary)
+	lhs := prevCond.L.(*Binary)
+	if _, ok := lhs.R.(*PrevRef); !ok {
+		t.Fatalf("previous ref not parsed: %T", lhs.R)
+	}
+	if iv, ok := prevCond.R.(*Interval); !ok || iv.D != time.Second {
+		t.Fatalf("interval: %+v", prevCond.R)
+	}
+}
+
+func TestParseSeqWindow(t *testing.T) {
+	s, err := ParseOne(paperQueries["example6_windowed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := findSeq(s.(*Select).Where)
+	if se == nil || se.Window == nil {
+		t.Fatal("window missing")
+	}
+	w := se.Window
+	if !w.HasPreceding || w.Preceding != 30*time.Minute || w.Anchor != "C4" {
+		t.Fatalf("window: %+v", w)
+	}
+	s, err = ParseOne(paperQueries["example5_exception"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	se = findSeq(s.(*Select).Where)
+	if se.Kind != "EXCEPTION_SEQ" || !se.Window.HasFollowing ||
+		se.Window.Following != time.Hour || se.Window.Anchor != "A1" {
+		t.Fatalf("exception window: %+v", se.Window)
+	}
+}
+
+func findSeq(e Expr) *SeqExpr {
+	switch x := e.(type) {
+	case *SeqExpr:
+		return x
+	case *Binary:
+		if s := findSeq(x.L); s != nil {
+			return s
+		}
+		return findSeq(x.R)
+	case *Unary:
+		return findSeq(x.X)
+	default:
+		return nil
+	}
+}
+
+func TestParseClevelComparison(t *testing.T) {
+	s, err := ParseOne(paperQueries["example5_clevel"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := s.(*Select).Where.(*Binary)
+	if cmp.Op != "<" {
+		t.Fatalf("op = %s", cmp.Op)
+	}
+	if se, ok := cmp.L.(*SeqExpr); !ok || se.Kind != "CLEVEL_SEQ" {
+		t.Fatalf("lhs: %T", cmp.L)
+	}
+	if lit, ok := cmp.R.(*Literal); !ok || !lit.Val.Equal(stream.Int(3)) {
+		t.Fatalf("rhs: %+v", cmp.R)
+	}
+}
+
+func TestParseSubqueryWindows(t *testing.T) {
+	// Example 1: TABLE(s OVER (RANGE ...)) AS alias.
+	s, err := ParseOne(paperQueries["example1_dedup"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertSelect)
+	if ins.Target != "cleaned_readings" {
+		t.Fatalf("target = %s", ins.Target)
+	}
+	ex := ins.Sel.Where.(*Exists)
+	if !ex.Negate {
+		t.Fatal("NOT EXISTS expected")
+	}
+	f := ex.Sub.From[0]
+	if f.Source != "readings" || f.Alias != "r2" || f.Window == nil ||
+		f.Window.Preceding != time.Second || f.Window.HasFollowing {
+		t.Fatalf("from: %+v %+v", f, f.Window)
+	}
+	// Example 8: bracket window with PRECEDING AND FOLLOWING person.
+	s, err = ParseOne(paperQueries["example8_theft"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := s.(*Select).Where.(*Binary)
+	ex = cond.R.(*Exists)
+	w := ex.Sub.From[0].Window
+	if w == nil || !w.HasPreceding || !w.HasFollowing ||
+		w.Preceding != time.Minute || w.Following != time.Minute || w.Anchor != "person" {
+		t.Fatalf("window: %+v", w)
+	}
+}
+
+func TestParseStarAggForms(t *testing.T) {
+	s, err := ParseOne(`SELECT FIRST(R1*).tagtime, LAST(R1*).tagid, COUNT(R1*), COUNT(*), COUNT(tid) FROM R1, R2 WHERE SEQ(R1*, R2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := s.(*Select).Items
+	if sa := items[0].Expr.(*StarAgg); sa.Fn != "FIRST" || sa.Alias != "R1" || sa.Name != "tagtime" {
+		t.Fatalf("FIRST: %+v", sa)
+	}
+	if sa := items[1].Expr.(*StarAgg); sa.Fn != "LAST" || sa.Name != "tagid" {
+		t.Fatalf("LAST: %+v", sa)
+	}
+	if sa := items[2].Expr.(*StarAgg); sa.Fn != "COUNT" || sa.Alias != "R1" || sa.Name != "" {
+		t.Fatalf("COUNT(R1*): %+v", sa)
+	}
+	if c := items[3].Expr.(*Call); !c.StarArg {
+		t.Fatalf("COUNT(*): %+v", c)
+	}
+	if c := items[4].Expr.(*Call); c.StarArg || len(c.Args) != 1 {
+		t.Fatalf("COUNT(tid): %+v", c)
+	}
+}
+
+func TestParseUDA(t *testing.T) {
+	src := `
+	CREATE AGGREGATE myavg(nextval FLOAT) : FLOAT {
+		TABLE state(tsum FLOAT, cnt INT);
+		INITIALIZE : { INSERT INTO state VALUES (nextval, 1); }
+		ITERATE : { UPDATE state SET tsum = tsum + nextval, cnt = cnt + 1; }
+		TERMINATE : { INSERT INTO RETURN SELECT tsum / cnt FROM state; }
+	};`
+	s, err := ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := s.(*CreateAggregate)
+	if agg.Name != "myavg" || len(agg.Params) != 1 || agg.ReturnType != stream.TFloat {
+		t.Fatalf("header: %+v", agg)
+	}
+	if len(agg.State) != 1 || agg.State[0].Name != "state" {
+		t.Fatalf("state: %+v", agg.State)
+	}
+	if len(agg.Init) != 1 || len(agg.Iter) != 1 || len(agg.Term) != 1 {
+		t.Fatalf("bodies: %d %d %d", len(agg.Init), len(agg.Iter), len(agg.Term))
+	}
+	if _, ok := agg.Init[0].(*InsertValues); !ok {
+		t.Fatalf("init: %T", agg.Init[0])
+	}
+	if _, ok := agg.Iter[0].(*UpdateStmt); !ok {
+		t.Fatalf("iterate: %T", agg.Iter[0])
+	}
+	term := agg.Term[0].(*InsertSelect)
+	if term.Target != "RETURN" {
+		t.Fatalf("terminate target: %s", term.Target)
+	}
+}
+
+func TestParseMiscStatements(t *testing.T) {
+	cases := []string{
+		`CREATE INDEX ON object_movement(tagid)`,
+		`INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', 3.5)`,
+		`UPDATE t SET a = a + 1 WHERE b = 'x'`,
+		`DELETE FROM t WHERE a > 5`,
+		`SELECT a, b AS bee FROM t WHERE a BETWEEN 1 AND 3 GROUP BY a HAVING count(*) > 1 LIMIT 10`,
+		`SELECT DISTINCT a FROM t`,
+		`SELECT * FROM s OVER (ROWS 10 PRECEDING)`,
+		`SELECT a FROM t WHERE a IS NOT NULL AND b IS NULL`,
+		`SELECT a FROM t WHERE a NOT LIKE 'x%' AND a NOT BETWEEN 1 AND 2`,
+		`SELECT a FROM t WHERE NOT (a = 1 OR a = 2)`,
+		`SELECT tagid FROM s WHERE SEQ(A, B) EXPIRE AFTER 10 SECONDS`,
+		`SELECT -a, a * (b + 2) % 3, a || 'x' FROM t`,
+	}
+	for _, src := range cases {
+		if _, err := ParseOne(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`SELECT`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`CREATE STREAM s(a`,
+		`CREATE STREAM s(a BLOB)`,
+		`CREATE FOO x`,
+		`INSERT INTO`,
+		`SELECT a FROM t WHERE a <=`,
+		`SELECT a FROM s OVER [5 PRECEDING x]`,      // missing unit
+		`SELECT a FROM s OVER [5 SECONDS SIDEWAYS]`, // bad direction
+		`SELECT a FROM t WHERE SEQ()`,
+		`SELECT a FROM t WHERE SEQ(A) MODE FANCY`,
+		`SELECT a FROM t WHERE a BETWEEN 1`,
+		`SELECT 'unterminated FROM t`,
+		`SELECT a FROM t; garbage`,
+		`SELECT a FROM t LIMIT x`,
+		`UPDATE t SET`,
+		`SELECT a FROM t WHERE NOT`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q should fail to parse", src)
+		}
+	}
+}
+
+// Round-trip: parse → print → parse → print is a fixpoint.
+func TestParsePrintRoundTrip(t *testing.T) {
+	for name, q := range paperQueries {
+		if strings.HasPrefix(name, "schema_") {
+			continue
+		}
+		stmts, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sel *Select
+		switch s := stmts[0].(type) {
+		case *Select:
+			sel = s
+		case *InsertSelect:
+			sel = s.Sel
+		}
+		printed := SelectString(sel)
+		stmts2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse of %q: %v", name, printed, err)
+		}
+		var sel2 *Select
+		switch s := stmts2[0].(type) {
+		case *Select:
+			sel2 = s
+		}
+		if sel2 == nil {
+			t.Fatalf("%s: reparse gave %T", name, stmts2[0])
+		}
+		if again := SelectString(sel2); again != printed {
+			t.Errorf("%s: print not a fixpoint:\n  %s\n  %s", name, printed, again)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Lex("SELECT a1_x, 'it''s', 2.5 -- comment\n FROM t <= >= <> !=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "a1_x"}, {TokSymbol, ","},
+		{TokString, "it's"}, {TokSymbol, ","}, {TokNumber, "2.5"},
+		{TokKeyword, "FROM"}, {TokIdent, "t"},
+		{TokSymbol, "<="}, {TokSymbol, ">="}, {TokSymbol, "<>"}, {TokSymbol, "!="},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, w := range kinds {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("a ~ b"); err == nil {
+		t.Error("unknown char should fail")
+	}
+}
+
+func TestLexerNumberDotHandling(t *testing.T) {
+	// "20.5" is a float; "r1.tag" is ident-dot-ident; "1.2.3" lexes as
+	// number "1.2" then ".3" pieces (EPC codes must be quoted strings).
+	toks, _ := Lex("20.5 r1.tag")
+	if toks[0].Text != "20.5" || toks[0].Kind != TokNumber {
+		t.Errorf("float: %+v", toks[0])
+	}
+	if toks[1].Text != "r1" || !toks[2].Is(".") || toks[3].Text != "tag" {
+		t.Errorf("qualified ref: %+v %+v %+v", toks[1], toks[2], toks[3])
+	}
+}

@@ -1,0 +1,706 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// compile turns a SELECT into a continuous-query runtime. It returns the
+// operator and the streams the engine must route to it (stream name ->
+// FROM aliases). Caller holds the engine lock.
+func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, error) {
+	if len(sel.OrderBy) > 0 {
+		return nil, nil, fmt.Errorf("esl: ORDER BY applies to snapshot queries only; a continuous stream has no end to order at")
+	}
+	// Temporal event queries are handled by the event planner.
+	if se := findSeqExpr(sel.Where); se != nil {
+		return e.compileEventQuery(sel, se, q)
+	}
+
+	// Classify FROM items.
+	var streamItems, tableItems []FromItem
+	for _, f := range sel.From {
+		if _, ok := e.streams[strings.ToLower(f.Source)]; ok {
+			streamItems = append(streamItems, f)
+		} else if _, ok := e.store.Get(f.Source); ok {
+			tableItems = append(tableItems, f)
+		} else {
+			return nil, nil, fmt.Errorf("esl: unknown stream or table %q", f.Source)
+		}
+	}
+	if len(streamItems) == 0 {
+		return nil, nil, fmt.Errorf("esl: continuous query needs a stream source")
+	}
+	if len(streamItems) > 1 {
+		return nil, nil, fmt.Errorf("esl: joining multiple streams requires a SEQ-family operator (see §3 of the paper)")
+	}
+	outer := streamItems[0]
+	si := e.streams[strings.ToLower(outer.Source)]
+
+	aliasSchemas := []aliasSchema{{alias: outer.Alias, schema: si.schema}}
+	for _, ti := range tableItems {
+		tbl, _ := e.store.Get(ti.Source)
+		aliasSchemas = append(aliasSchemas, aliasSchema{alias: ti.Alias, schema: tbl.Schema()})
+	}
+
+	if e.hasAggregates(sel) {
+		if len(tableItems) > 0 {
+			return nil, nil, fmt.Errorf("esl: aggregates over stream-table joins are not supported")
+		}
+		op, err := e.compileAggregate(sel, outer, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, map[string][]string{outer.Source: {outer.Alias}}, nil
+	}
+
+	proj, err := e.compileProjection(sel, aliasSchemas)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	op := &filterProjectOp{
+		e:          e,
+		q:          q,
+		outerAlias: outer.Alias,
+		where:      sel.Where,
+		proj:       proj,
+		distinct:   sel.Distinct,
+		limit:      sel.Limit,
+	}
+	inputs := map[string][]string{outer.Source: {outer.Alias}}
+
+	// Stream-table lookup joins (context retrieval).
+	for _, ti := range tableItems {
+		tbl, _ := e.store.Get(ti.Source)
+		jt := joinTable{alias: ti.Alias, tbl: tbl}
+		jt.eqCol, jt.eqExpr = findEqualityLookup(sel.Where, ti.Alias, tbl.Schema())
+		op.tables = append(op.tables, jt)
+	}
+
+	// Plan EXISTS sub-queries.
+	if err := e.planExists(sel.Where, op, inputs); err != nil {
+		return nil, nil, err
+	}
+	return op, inputs, nil
+}
+
+type aliasSchema struct {
+	alias  string
+	schema *stream.Schema
+}
+
+// ---- projections -----------------------------------------------------------
+
+type projection struct {
+	names []string
+	// builders produce one value each; star items expand in place.
+	items []projItem
+}
+
+type projItem struct {
+	star    bool
+	schemas []aliasSchema // for star expansion
+	expr    Expr
+}
+
+// compileProjection resolves the select list against the in-scope aliases.
+func (e *Engine) compileProjection(sel *Select, schemas []aliasSchema) (*projection, error) {
+	p := &projection{}
+	for i, item := range sel.Items {
+		if item.Star {
+			p.items = append(p.items, projItem{star: true, schemas: schemas})
+			for _, as := range schemas {
+				for _, f := range as.schema.Fields() {
+					p.names = append(p.names, f.Name)
+				}
+			}
+			continue
+		}
+		p.items = append(p.items, projItem{expr: item.Expr})
+		p.names = append(p.names, projName(item, i))
+	}
+	return p, nil
+}
+
+func projName(item SelectItem, i int) string {
+	if item.As != "" {
+		return item.As
+	}
+	switch x := item.Expr.(type) {
+	case *ColRef:
+		return x.Name
+	case *PrevRef:
+		return x.Name
+	case *StarAgg:
+		if x.Name == "" {
+			return strings.ToLower(x.Fn) + "_" + x.Alias
+		}
+		return strings.ToLower(x.Fn) + "_" + x.Name
+	case *Call:
+		return strings.ToLower(x.Name)
+	default:
+		return fmt.Sprintf("col%d", i+1)
+	}
+}
+
+// build evaluates the projection in env. Star items read bound tuples/rows
+// column-wise via the environment.
+func (p *projection) build(env *Env) ([]stream.Value, error) {
+	var out []stream.Value
+	for _, item := range p.items {
+		if item.star {
+			for _, as := range item.schemas {
+				for _, f := range as.schema.Fields() {
+					v, _ := env.lookup(as.alias, f.Name)
+					out = append(out, v)
+				}
+			}
+			continue
+		}
+		v, err := env.Eval(item.expr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// projectionNames infers output column names (for derived-stream schemas).
+// Caller holds the engine lock.
+func (e *Engine) projectionNames(sel *Select) ([]string, error) {
+	var schemas []aliasSchema
+	for _, f := range sel.From {
+		if si, ok := e.streams[strings.ToLower(f.Source)]; ok {
+			schemas = append(schemas, aliasSchema{alias: f.Alias, schema: si.schema})
+		} else if tbl, ok := e.store.Get(f.Source); ok {
+			schemas = append(schemas, aliasSchema{alias: f.Alias, schema: tbl.Schema()})
+		} else {
+			return nil, fmt.Errorf("unknown source %q", f.Source)
+		}
+	}
+	p, err := e.compileProjection(sel, schemas)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]int{}
+	names := make([]string, len(p.names))
+	for i, n := range p.names {
+		key := strings.ToLower(n)
+		seen[key]++
+		if seen[key] > 1 {
+			n = fmt.Sprintf("%s_%d", n, seen[key])
+		}
+		names[i] = n
+	}
+	return names, nil
+}
+
+// ---- filter/project (+ lookup join, + EXISTS) ------------------------------
+
+type joinTable struct {
+	alias string
+	tbl   *db.Table
+	// eqCol/eqExpr, when set, drive an index lookup instead of a scan: the
+	// WHERE clause contains alias.eqCol = eqExpr with eqExpr free of inner
+	// references.
+	eqCol  string
+	eqExpr Expr
+}
+
+// existsState is one windowed stream sub-query inside [NOT] EXISTS.
+type existsState struct {
+	node   *Exists
+	alias  string // inner FROM alias
+	win    *WindowClause
+	buffer window.TimeBuffer
+	// anchorAlias: the outer alias the window is synchronized on ("" =
+	// CURRENT outer tuple). Evaluation resolves the anchor timestamp from
+	// the environment.
+	anchorAlias string
+	inner       *Select
+}
+
+// pendingOuter is an outer tuple whose decision is deferred until its
+// FOLLOWING window closes (Example 8).
+type pendingOuter struct {
+	t        *stream.Tuple
+	deadline stream.Timestamp
+}
+
+type filterProjectOp struct {
+	e          *Engine
+	q          *Query
+	outerAlias string
+	where      Expr
+	proj       *projection
+	distinct   bool
+	limit      int
+	emitted    int
+	seen       map[uint64]int
+
+	tables      []joinTable
+	exists      []*existsState
+	tableExists []tableExistsState
+
+	// deferred is set when any EXISTS window has a FOLLOWING component:
+	// outer tuples wait in pending until event time passes their deadline.
+	deferred bool
+	maxFol   time.Duration
+	maxPre   time.Duration
+	pending  []pendingOuter
+}
+
+func (op *filterProjectOp) push(aliases []string, t *stream.Tuple) error {
+	isOuter := containsFold(aliases, op.outerAlias)
+	// Outer role first: PRECEDING windows see only previously-arrived
+	// tuples (the Example 1 dedup semantics exclude the current tuple).
+	if isOuter && !op.deferred {
+		if err := op.emit(t); err != nil {
+			return err
+		}
+	}
+	// Inner roles: feed sub-query buffers.
+	for _, ex := range op.exists {
+		if containsFold(aliases, ex.alias) {
+			ex.buffer.Add(t)
+		}
+	}
+	if isOuter && op.deferred {
+		op.pending = append(op.pending, pendingOuter{t: t, deadline: t.TS.Add(op.maxFol)})
+	}
+	return nil
+}
+
+func (op *filterProjectOp) advance(ts stream.Timestamp) error {
+	// Fire deferred outers whose window has closed.
+	for len(op.pending) > 0 && op.pending[0].deadline <= ts {
+		p := op.pending[0]
+		op.pending = op.pending[1:]
+		if err := op.emit(p.t); err != nil {
+			return err
+		}
+	}
+	// Evict sub-query buffers: a buffered tuple at τ matters while some
+	// live or future outer anchor p >= oldest-pending (or now - maxFol)
+	// could still cover it: τ >= p - maxPre.
+	horizon := ts.Add(-op.maxFol - op.maxPre)
+	if len(op.pending) > 0 {
+		h2 := op.pending[0].t.TS.Add(-op.maxPre)
+		if h2 < horizon {
+			horizon = h2
+		}
+	}
+	for _, ex := range op.exists {
+		ex.buffer.EvictBefore(horizon)
+	}
+	return nil
+}
+
+// emit runs the WHERE clause (with EXISTS hooks bound) and projects.
+func (op *filterProjectOp) emit(t *stream.Tuple) error {
+	env := NewEnv(op.e.funcs)
+	env.BindTuple(op.outerAlias, t)
+	for _, ex := range op.exists {
+		op.bindExistsHook(env, ex)
+	}
+	for i := range op.tableExists {
+		op.bindTableExistsHook(env, &op.tableExists[i])
+	}
+	// Nested-loop (usually index) join over context tables.
+	return op.joinTables(env, t, 0)
+}
+
+func (op *filterProjectOp) joinTables(env *Env, t *stream.Tuple, i int) error {
+	if i == len(op.tables) {
+		if op.where != nil {
+			ok, known, err := env.EvalBool(op.where)
+			if err != nil {
+				return err
+			}
+			if !ok || !known {
+				return nil
+			}
+		}
+		vals, err := op.proj.build(env)
+		if err != nil {
+			return err
+		}
+		return op.sinkRow(Row{Names: op.proj.names, Vals: vals, TS: t.TS})
+	}
+	jt := op.tables[i]
+	var rows []*db.Row
+	if jt.eqCol != "" {
+		v, err := env.Eval(jt.eqExpr)
+		if err != nil {
+			return err
+		}
+		rows, err = jt.tbl.LookupEqual(jt.eqCol, v)
+		if err != nil {
+			return err
+		}
+	} else {
+		rows = jt.tbl.Snapshot()
+	}
+	for _, r := range rows {
+		child := env.Child()
+		child.BindRow(jt.alias, jt.tbl.Schema(), r.Vals)
+		if err := op.joinTables(child, t, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (op *filterProjectOp) sinkRow(r Row) error {
+	if op.distinct {
+		if op.seen == nil {
+			op.seen = map[uint64]int{}
+		}
+		h := hashRow(r.Vals)
+		if op.seen[h] > 0 {
+			return nil
+		}
+		op.seen[h]++
+	}
+	if op.limit >= 0 && op.emitted >= op.limit {
+		return nil
+	}
+	op.emitted++
+	return op.q.sink(r)
+}
+
+// bindExistsHook wires one EXISTS node to its runtime evaluation.
+func (op *filterProjectOp) bindExistsHook(env *Env, ex *existsState) {
+	env.SetHook(ex.node, func(cur *Env) (stream.Value, error) {
+		anchorTS, err := resolveAnchorTS(cur, ex.anchorAlias, op.outerAlias)
+		if err != nil {
+			return stream.Null, err
+		}
+		lo := anchorTS.Add(-windowPre(ex.win))
+		hi := anchorTS.Add(windowFol(ex.win))
+		found := false
+		var scanErr error
+		ex.buffer.EachInRange(lo, hi, func(inner *stream.Tuple) bool {
+			child := cur.Child()
+			child.BindTuple(ex.alias, inner)
+			if ex.inner.Where != nil {
+				ok, known, err := child.EvalBool(ex.inner.Where)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !ok || !known {
+					return true
+				}
+			}
+			found = true
+			return false
+		})
+		if scanErr != nil {
+			return stream.Null, scanErr
+		}
+		if ex.node.Negate {
+			return stream.Bool(!found), nil
+		}
+		return stream.Bool(found), nil
+	})
+}
+
+// bindTableExistsHook evaluates [NOT] EXISTS over a persistent table
+// (Example 2's movement check), using an index lookup when the correlation
+// is a simple equality.
+func (op *filterProjectOp) bindTableExistsHook(env *Env, ex *tableExistsState) {
+	env.SetHook(ex.node, func(cur *Env) (stream.Value, error) {
+		var rows []*db.Row
+		if ex.eqCol != "" {
+			v, err := cur.Eval(ex.eqExpr)
+			if err != nil {
+				return stream.Null, err
+			}
+			rows, err = ex.tbl.LookupEqual(ex.eqCol, v)
+			if err != nil {
+				return stream.Null, err
+			}
+		} else {
+			rows = ex.tbl.Snapshot()
+		}
+		found := false
+		for _, r := range rows {
+			child := cur.Child()
+			child.BindRow(ex.alias, ex.tbl.Schema(), r.Vals)
+			if ex.inner.Where != nil {
+				ok, known, err := child.EvalBool(ex.inner.Where)
+				if err != nil {
+					return stream.Null, err
+				}
+				if !ok || !known {
+					continue
+				}
+			}
+			found = true
+			break
+		}
+		if ex.node.Negate {
+			return stream.Bool(!found), nil
+		}
+		return stream.Bool(found), nil
+	})
+}
+
+func resolveAnchorTS(env *Env, anchorAlias, outerAlias string) (stream.Timestamp, error) {
+	alias := anchorAlias
+	if alias == "" {
+		alias = outerAlias
+	}
+	// The anchor tuple's designated event time: look for its time column;
+	// fall back to any column named like a timestamp.
+	for _, col := range []string{"read_time", "tagtime", "ts", "timestamp", "time"} {
+		if v, ok := env.lookup(alias, col); ok && !v.IsNull() {
+			if ts, ok := v.AsTime(); ok {
+				return ts, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("esl: cannot resolve event time of window anchor %q", alias)
+}
+
+func windowPre(w *WindowClause) time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.Preceding
+}
+
+func windowFol(w *WindowClause) time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.Following
+}
+
+// planExists finds EXISTS nodes in the predicate and attaches their
+// runtimes to the operator: windowed stream sub-queries get buffers (and
+// defer the outer decision when the window has a FOLLOWING part); table
+// sub-queries evaluate immediately against the store.
+func (e *Engine) planExists(where Expr, op *filterProjectOp, inputs map[string][]string) error {
+	var nodes []*Exists
+	collectExists(where, &nodes)
+	for _, node := range nodes {
+		sub := node.Sub
+		if len(sub.From) != 1 {
+			return fmt.Errorf("esl: EXISTS sub-queries support a single source")
+		}
+		f := sub.From[0]
+		if si, isStream := e.streams[strings.ToLower(f.Source)]; isStream {
+			_ = si
+			if f.Window == nil {
+				return fmt.Errorf("esl: EXISTS over stream %s needs a window (unbounded otherwise)", f.Source)
+			}
+			if f.Window.Rows {
+				return fmt.Errorf("esl: EXISTS over ROWS windows is not supported")
+			}
+			ex := &existsState{
+				node:        node,
+				alias:       f.Alias,
+				win:         f.Window,
+				anchorAlias: f.Window.Anchor,
+				inner:       sub,
+			}
+			op.exists = append(op.exists, ex)
+			inputs[f.Source] = appendUnique(inputs[f.Source], f.Alias)
+			if f.Window.Following > op.maxFol {
+				op.maxFol = f.Window.Following
+			}
+			if f.Window.Preceding > op.maxPre {
+				op.maxPre = f.Window.Preceding
+			}
+			if f.Window.HasFollowing {
+				op.deferred = true
+			}
+			continue
+		}
+		if tbl, isTable := e.store.Get(f.Source); isTable {
+			// Table EXISTS: evaluated against current table contents.
+			eqCol, eqExpr := findEqualityLookup(sub.Where, f.Alias, tbl.Schema())
+			node := node
+			f := f
+			sub := sub
+			op.tableExists = append(op.tableExists, tableExistsState{
+				node: node, alias: f.Alias, tbl: tbl, inner: sub, eqCol: eqCol, eqExpr: eqExpr,
+			})
+			continue
+		}
+		return fmt.Errorf("esl: EXISTS over unknown source %q", f.Source)
+	}
+	return nil
+}
+
+type tableExistsState struct {
+	node   *Exists
+	alias  string
+	tbl    *db.Table
+	inner  *Select
+	eqCol  string
+	eqExpr Expr
+}
+
+func collectExists(x Expr, out *[]*Exists) {
+	switch n := x.(type) {
+	case *Exists:
+		*out = append(*out, n)
+	case *Binary:
+		collectExists(n.L, out)
+		collectExists(n.R, out)
+	case *Unary:
+		collectExists(n.X, out)
+	case *Between:
+		collectExists(n.X, out)
+		collectExists(n.Lo, out)
+		collectExists(n.Hi, out)
+	case *IsNull:
+		collectExists(n.X, out)
+	case *Call:
+		for _, a := range n.Args {
+			collectExists(a, out)
+		}
+	}
+}
+
+// findEqualityLookup finds a conjunct alias.col = expr (or expr = alias.col)
+// where expr does not reference alias, enabling an index lookup.
+func findEqualityLookup(where Expr, alias string, schema *stream.Schema) (string, Expr) {
+	var conjuncts []Expr
+	splitConjuncts(where, &conjuncts)
+	for _, c := range conjuncts {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		for _, try := range [][2]Expr{{b.L, b.R}, {b.R, b.L}} {
+			ref, ok := try[0].(*ColRef)
+			if !ok {
+				continue
+			}
+			if _, has := schema.Col(ref.Name); !has {
+				continue
+			}
+			// The ref must belong to the inner alias: either qualified
+			// with it, or unqualified with the column existing in the
+			// inner schema (SQL inner-first resolution, Example 2).
+			if ref.Qualifier != "" && !strings.EqualFold(ref.Qualifier, alias) {
+				continue
+			}
+			if referencesAlias(try[1], alias) {
+				continue
+			}
+			// Unqualified other-side columns that also exist in the inner
+			// schema would resolve inner-first; skip those.
+			if refsUnqualifiedOf(try[1], schema) {
+				continue
+			}
+			return ref.Name, try[1]
+		}
+	}
+	return "", nil
+}
+
+func splitConjuncts(x Expr, out *[]Expr) {
+	if b, ok := x.(*Binary); ok && b.Op == "AND" {
+		splitConjuncts(b.L, out)
+		splitConjuncts(b.R, out)
+		return
+	}
+	if x != nil {
+		*out = append(*out, x)
+	}
+}
+
+func referencesAlias(x Expr, alias string) bool {
+	found := false
+	walkExpr(x, func(n Expr) {
+		if ref, ok := n.(*ColRef); ok && strings.EqualFold(ref.Qualifier, alias) {
+			found = true
+		}
+	})
+	return found
+}
+
+func refsUnqualifiedOf(x Expr, schema *stream.Schema) bool {
+	found := false
+	walkExpr(x, func(n Expr) {
+		if ref, ok := n.(*ColRef); ok && ref.Qualifier == "" {
+			if _, has := schema.Col(ref.Name); has {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func walkExpr(x Expr, fn func(Expr)) {
+	if x == nil {
+		return
+	}
+	fn(x)
+	switch n := x.(type) {
+	case *Binary:
+		walkExpr(n.L, fn)
+		walkExpr(n.R, fn)
+	case *Unary:
+		walkExpr(n.X, fn)
+	case *Between:
+		walkExpr(n.X, fn)
+		walkExpr(n.Lo, fn)
+		walkExpr(n.Hi, fn)
+	case *IsNull:
+		walkExpr(n.X, fn)
+	case *Call:
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	case *Exists:
+		// sub-query predicates handled separately
+	}
+}
+
+func findSeqExpr(x Expr) *SeqExpr {
+	var found *SeqExpr
+	walkExpr(x, func(n Expr) {
+		if se, ok := n.(*SeqExpr); ok && found == nil {
+			found = se
+		}
+	})
+	return found
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(list []string, s string) []string {
+	if containsFold(list, s) {
+		return list
+	}
+	return append(list, s)
+}
+
+func hashRow(vals []stream.Value) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		h = (h ^ v.Hash()) * prime
+	}
+	return h
+}

@@ -1,0 +1,635 @@
+package esl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// hasAggregates reports whether the select list or HAVING clause calls an
+// aggregate (built-in or UDA).
+func (e *Engine) hasAggregates(sel *Select) bool {
+	found := false
+	check := func(n Expr) {
+		if c, ok := n.(*Call); ok && (c.StarArg || e.aggs.Has(c.Name)) {
+			found = true
+		}
+	}
+	for _, item := range sel.Items {
+		if !item.Star {
+			walkExpr(item.Expr, check)
+		}
+	}
+	walkExpr(sel.Having, check)
+	return found || len(sel.GroupBy) > 0
+}
+
+// aggSpec is one aggregate call site within the projection/HAVING.
+type aggSpec struct {
+	call     *Call
+	factory  AggFactory
+	distinct bool
+}
+
+// groupState is the running state for one GROUP BY key.
+type groupState struct {
+	keyVals []stream.Value
+	accs    []Accumulator
+	// seen supports DISTINCT aggregates: per-agg value multiset.
+	seen []map[uint64]int
+	n    int
+}
+
+// winEntry remembers the per-aggregate argument values of a buffered tuple
+// (and its group) so eviction can incrementally Remove them.
+type winEntry struct {
+	group *groupState
+	args  [][]stream.Value
+}
+
+// aggregateOp implements continuous aggregation: cumulative when no window
+// is declared (emitting the running value per arrival, as Example 3's
+// running EPC count), windowed when the FROM item carries a RANGE/ROWS
+// window.
+type aggregateOp struct {
+	e     *Engine
+	q     *Query
+	alias string
+	where Expr
+	win   *WindowClause
+
+	groupBy []Expr
+	aggs    []aggSpec
+	// items: for each select item, either an aggregate index (>= 0) or -1
+	// with a scalar expression evaluated on the triggering tuple.
+	proj    *projection
+	aggIdx  map[*Call]int
+	having  Expr
+	removal bool // all accumulators support Remove (incremental windows)
+
+	groups map[uint64][]*groupState
+	// window buffers (time or rows) of winEntry + the triggering tuple.
+	timeBuf *window.TimeBuffer
+	entries map[*stream.Tuple]*winEntry
+	rowBuf  []*stream.Tuple
+}
+
+func (e *Engine) compileAggregate(sel *Select, outer FromItem, q *Query) (queryOp, error) {
+	si := e.streams[strings.ToLower(outer.Source)]
+	op := &aggregateOp{
+		e:       e,
+		q:       q,
+		alias:   outer.Alias,
+		where:   sel.Where,
+		win:     outer.Window,
+		groupBy: sel.GroupBy,
+		having:  sel.Having,
+		groups:  make(map[uint64][]*groupState),
+		aggIdx:  make(map[*Call]int),
+	}
+	// Collect aggregate call sites from items and HAVING.
+	collect := func(n Expr) {
+		if c, ok := n.(*Call); ok && (c.StarArg || e.aggs.Has(c.Name)) {
+			if _, dup := op.aggIdx[c]; dup {
+				return
+			}
+			factory, ok := e.aggs.Lookup(c.Name)
+			if !ok && c.StarArg {
+				factory, ok = e.aggs.Lookup("COUNT")
+			}
+			if !ok {
+				return
+			}
+			op.aggIdx[c] = len(op.aggs)
+			op.aggs = append(op.aggs, aggSpec{call: c, factory: factory, distinct: c.Distinct})
+		}
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("esl: SELECT * cannot be combined with aggregates")
+		}
+		walkExpr(item.Expr, collect)
+	}
+	walkExpr(sel.Having, collect)
+	if len(op.aggs) == 0 && len(op.groupBy) == 0 {
+		return nil, fmt.Errorf("esl: aggregate query without aggregate calls")
+	}
+	proj, err := e.compileProjection(sel, []aliasSchema{{alias: outer.Alias, schema: si.schema}})
+	if err != nil {
+		return nil, err
+	}
+	op.proj = proj
+	// Incremental window maintenance requires every accumulator to support
+	// removal; probe one instance of each.
+	op.removal = true
+	for _, a := range op.aggs {
+		if _, ok := a.factory().(Remover); !ok {
+			op.removal = false
+			break
+		}
+	}
+	if op.win != nil {
+		if op.win.HasFollowing {
+			return nil, fmt.Errorf("esl: FOLLOWING windows on aggregates are not supported")
+		}
+		op.timeBuf = &window.TimeBuffer{}
+		op.entries = make(map[*stream.Tuple]*winEntry)
+	}
+	return op, nil
+}
+
+func (op *aggregateOp) push(aliases []string, t *stream.Tuple) error {
+	if !containsFold(aliases, op.alias) {
+		return nil
+	}
+	env := NewEnv(op.e.funcs)
+	env.BindTuple(op.alias, t)
+	if op.where != nil {
+		ok, known, err := env.EvalBool(op.where)
+		if err != nil {
+			return err
+		}
+		if !ok || !known {
+			return nil
+		}
+	}
+	// Group key.
+	keyVals, keyHash, err := op.groupKey(env)
+	if err != nil {
+		return err
+	}
+	gs := op.groupFor(keyHash, keyVals)
+	// Evaluate aggregate arguments once.
+	args := make([][]stream.Value, len(op.aggs))
+	for i, a := range op.aggs {
+		if a.call.StarArg {
+			args[i] = nil
+			continue
+		}
+		vals, err := evalRow(a.call.Args, env)
+		if err != nil {
+			return err
+		}
+		args[i] = vals
+	}
+	if err := op.addToGroup(gs, args); err != nil {
+		return err
+	}
+	// Window maintenance.
+	if op.win != nil {
+		if op.win.Rows {
+			op.rowBuf = append(op.rowBuf, t)
+			op.entries[t] = &winEntry{group: gs, args: args}
+			if len(op.rowBuf) > op.win.NRows {
+				old := op.rowBuf[0]
+				op.rowBuf = op.rowBuf[1:]
+				if err := op.evictTuple(old); err != nil {
+					return err
+				}
+			}
+		} else {
+			op.timeBuf.Add(t)
+			op.entries[t] = &winEntry{group: gs, args: args}
+			if err := op.evictBefore(t.TS.Add(-op.win.Preceding)); err != nil {
+				return err
+			}
+		}
+	}
+	// Emit the affected group's current row.
+	return op.emitGroup(gs, env, t.TS)
+}
+
+func (op *aggregateOp) advance(ts stream.Timestamp) error {
+	// Time windows also shrink as event time advances without arrivals;
+	// ESL emits on arrival, so eviction here only trims state.
+	if op.win != nil && !op.win.Rows {
+		return op.evictBefore(ts.Add(-op.win.Preceding))
+	}
+	return nil
+}
+
+func (op *aggregateOp) evictBefore(cut stream.Timestamp) error {
+	var dead []*stream.Tuple
+	op.timeBuf.Each(func(t *stream.Tuple) bool {
+		if t.TS < cut {
+			dead = append(dead, t)
+			return true
+		}
+		return false
+	})
+	for _, t := range dead {
+		op.timeBuf.Remove(t)
+		if err := op.evictTuple(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (op *aggregateOp) evictTuple(t *stream.Tuple) error {
+	entry := op.entries[t]
+	delete(op.entries, t)
+	if entry == nil {
+		return nil
+	}
+	return op.removeFromGroup(entry.group, entry.args)
+}
+
+func (op *aggregateOp) groupKey(env *Env) ([]stream.Value, uint64, error) {
+	if len(op.groupBy) == 0 {
+		return nil, 0, nil
+	}
+	vals, err := evalRow(op.groupBy, env)
+	if err != nil {
+		return nil, 0, err
+	}
+	return vals, hashRow(vals), nil
+}
+
+func (op *aggregateOp) groupFor(hash uint64, keyVals []stream.Value) *groupState {
+	for _, gs := range op.groups[hash] {
+		if rowsEqual(gs.keyVals, keyVals) {
+			return gs
+		}
+	}
+	gs := &groupState{keyVals: keyVals}
+	for _, a := range op.aggs {
+		gs.accs = append(gs.accs, a.factory())
+		gs.seen = append(gs.seen, nil)
+	}
+	op.groups[hash] = append(op.groups[hash], gs)
+	return gs
+}
+
+func (op *aggregateOp) addToGroup(gs *groupState, args [][]stream.Value) error {
+	gs.n++
+	for i, acc := range gs.accs {
+		if op.aggs[i].distinct {
+			if gs.seen[i] == nil {
+				gs.seen[i] = map[uint64]int{}
+			}
+			h := hashRow(args[i])
+			gs.seen[i][h]++
+			if gs.seen[i][h] > 1 {
+				continue
+			}
+		}
+		if err := acc.Add(args[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (op *aggregateOp) removeFromGroup(gs *groupState, args [][]stream.Value) error {
+	if !op.removal {
+		return fmt.Errorf("esl: windowed aggregate lacks removal support")
+	}
+	gs.n--
+	for i, acc := range gs.accs {
+		if op.aggs[i].distinct {
+			h := hashRow(args[i])
+			gs.seen[i][h]--
+			if gs.seen[i][h] > 0 {
+				continue
+			}
+			delete(gs.seen[i], h)
+		}
+		if err := acc.(Remover).Remove(args[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitGroup projects and emits the current row for one group. Aggregate
+// call sites are resolved via a hook bound on the environment.
+func (op *aggregateOp) emitGroup(gs *groupState, env *Env, ts stream.Timestamp) error {
+	for call, idx := range op.aggIdx {
+		idx := idx
+		env.SetHook(call, func(*Env) (stream.Value, error) {
+			return gs.accs[idx].Result()
+		})
+	}
+	if op.having != nil {
+		ok, known, err := env.EvalBool(op.having)
+		if err != nil {
+			return err
+		}
+		if !ok || !known {
+			return nil
+		}
+	}
+	vals, err := op.proj.build(env)
+	if err != nil {
+		return err
+	}
+	return op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: ts})
+}
+
+func rowsEqual(a, b []stream.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- snapshot (ad-hoc) queries ---------------------------------------------
+
+// Query runs an ad-hoc snapshot SELECT over tables and retained stream
+// history: the "current status" inquiries of §2.1, answered without
+// persisting the stream.
+func (e *Engine) Query(sql string) ([]Row, error) {
+	s, err := ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("esl: Query needs a SELECT, got %T", s)
+	}
+	return e.snapshotSelect(sel)
+}
+
+// snapshotSelect evaluates a SELECT once against current state.
+func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now
+
+	// Materialize each FROM source.
+	type sourceRows struct {
+		alias  string
+		schema *stream.Schema
+		rows   [][]stream.Value
+	}
+	var sources []sourceRows
+	var schemas []aliasSchema
+	for _, f := range sel.From {
+		if si, isStream := e.streams[strings.ToLower(f.Source)]; isStream {
+			if si.history == nil {
+				return nil, fmt.Errorf("esl: stream %s has no retained history; call RetainHistory or use TABLE(%s OVER (...)) on a retained stream", f.Source, f.Source)
+			}
+			lo := stream.MinTimestamp
+			if f.Window != nil && !f.Window.Rows {
+				lo = now.Add(-f.Window.Preceding)
+			}
+			src := sourceRows{alias: f.Alias, schema: si.schema}
+			si.history.EachInRange(lo, now, func(t *stream.Tuple) bool {
+				src.rows = append(src.rows, t.Vals)
+				return true
+			})
+			if f.Window != nil && f.Window.Rows && len(src.rows) > f.Window.NRows {
+				src.rows = src.rows[len(src.rows)-f.Window.NRows:]
+			}
+			sources = append(sources, src)
+			schemas = append(schemas, aliasSchema{alias: f.Alias, schema: si.schema})
+			continue
+		}
+		if tbl, isTable := e.store.Get(f.Source); isTable {
+			src := sourceRows{alias: f.Alias, schema: tbl.Schema()}
+			for _, r := range tbl.Snapshot() {
+				src.rows = append(src.rows, r.Vals)
+			}
+			sources = append(sources, src)
+			schemas = append(schemas, aliasSchema{alias: f.Alias, schema: tbl.Schema()})
+			continue
+		}
+		return nil, fmt.Errorf("esl: unknown source %q", f.Source)
+	}
+
+	proj, err := e.compileProjection(sel, schemas)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the cross product, filter, and either project per row or
+	// feed aggregates.
+	aggregating := e.hasAggregates(sel)
+	var out []Row
+	var groups []*groupState
+	groupByHash := map[uint64]*groupState{}
+	var aggCalls []*Call
+	if aggregating {
+		collect := func(n Expr) {
+			if c, ok := n.(*Call); ok && (c.StarArg || e.aggs.Has(c.Name)) {
+				for _, seen := range aggCalls {
+					if seen == c {
+						return
+					}
+				}
+				aggCalls = append(aggCalls, c)
+			}
+		}
+		for _, item := range sel.Items {
+			if !item.Star {
+				walkExpr(item.Expr, collect)
+			}
+		}
+		walkExpr(sel.Having, collect)
+	}
+	groupEnvs := map[*groupState]*Env{}
+
+	var iterate func(i int, env *Env) error
+	iterate = func(i int, env *Env) error {
+		if i < len(sources) {
+			src := sources[i]
+			for _, row := range src.rows {
+				child := env.Child()
+				child.BindRow(src.alias, src.schema, row)
+				if err := iterate(i+1, child); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if sel.Where != nil {
+			ok, known, err := env.EvalBool(sel.Where)
+			if err != nil {
+				return err
+			}
+			if !ok || !known {
+				return nil
+			}
+		}
+		if !aggregating {
+			vals, err := proj.build(env)
+			if err != nil {
+				return err
+			}
+			out = append(out, Row{Names: proj.names, Vals: vals, TS: now})
+			return nil
+		}
+		// Aggregating: accumulate per group.
+		var keyVals []stream.Value
+		if len(sel.GroupBy) > 0 {
+			keyVals, err = evalRow(sel.GroupBy, env)
+			if err != nil {
+				return err
+			}
+		}
+		h := hashRow(keyVals)
+		gs := groupByHash[h]
+		if gs == nil || !rowsEqual(gs.keyVals, keyVals) {
+			gs = &groupState{keyVals: keyVals}
+			for range aggCalls {
+				factory, _ := e.aggs.Lookup("COUNT")
+				gs.accs = append(gs.accs, factory())
+			}
+			for i, c := range aggCalls {
+				if !c.StarArg {
+					if f, ok := e.aggs.Lookup(c.Name); ok {
+						gs.accs[i] = f()
+					}
+				}
+			}
+			groupByHash[h] = gs
+			groups = append(groups, gs)
+			groupEnvs[gs] = env
+		}
+		for i, c := range aggCalls {
+			var args []stream.Value
+			if !c.StarArg {
+				args, err = evalRow(c.Args, env)
+				if err != nil {
+					return err
+				}
+			}
+			if err := gs.accs[i].Add(args); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	root := NewEnv(e.funcs)
+	if err := iterate(0, root); err != nil {
+		return nil, err
+	}
+
+	if aggregating {
+		if len(groups) == 0 && len(sel.GroupBy) == 0 {
+			// Empty input still yields one row of empty aggregates.
+			gs := &groupState{}
+			for _, c := range aggCalls {
+				f, ok := e.aggs.Lookup(c.Name)
+				if !ok {
+					f, _ = e.aggs.Lookup("COUNT")
+				}
+				gs.accs = append(gs.accs, f())
+			}
+			groups = append(groups, gs)
+			groupEnvs[gs] = root
+		}
+		for _, gs := range groups {
+			env := groupEnvs[gs]
+			for i, c := range aggCalls {
+				idx := i
+				g := gs
+				env.SetHook(c, func(*Env) (stream.Value, error) { return g.accs[idx].Result() })
+			}
+			if sel.Having != nil {
+				ok, known, err := env.EvalBool(sel.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !ok || !known {
+					continue
+				}
+			}
+			vals, err := proj.build(env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Row{Names: proj.names, Vals: vals, TS: now})
+		}
+	}
+
+	if sel.Distinct {
+		seen := map[uint64]bool{}
+		dedup := out[:0]
+		for _, r := range out {
+			h := hashRow(r.Vals)
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
+			dedup = append(dedup, r)
+		}
+		out = dedup
+	}
+	if len(sel.OrderBy) > 0 {
+		keys, err := resolveOrderColumns(sel, proj)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			for k, col := range keys {
+				c, ok := out[i].Vals[col].Compare(out[j].Vals[col])
+				if !ok || c == 0 {
+					continue
+				}
+				if sel.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	} else if aggregating && len(sel.GroupBy) > 0 {
+		// Deterministic output order for grouped results.
+		sort.SliceStable(out, func(i, j int) bool {
+			for k := range out[i].Vals {
+				c, ok := out[i].Vals[k].Compare(out[j].Vals[k])
+				if ok && c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if sel.Limit >= 0 && len(out) > sel.Limit {
+		out = out[:sel.Limit]
+	}
+	return out, nil
+}
+
+// resolveOrderColumns maps ORDER BY keys onto projected columns: by output
+// name, or by textual equality with a projected expression. Ordering by an
+// unprojected expression is rejected (the row environments are gone by
+// sort time).
+func resolveOrderColumns(sel *Select, proj *projection) ([]int, error) {
+	cols := make([]int, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		found := -1
+		if ref, ok := o.Expr.(*ColRef); ok && ref.Qualifier == "" {
+			for j, name := range proj.names {
+				if strings.EqualFold(name, ref.Name) {
+					found = j
+					break
+				}
+			}
+		}
+		if found < 0 {
+			want := ExprString(o.Expr)
+			for j, item := range proj.items {
+				if !item.star && item.expr != nil && ExprString(item.expr) == want {
+					found = j
+					break
+				}
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("esl: ORDER BY key %s must appear in the select list", ExprString(o.Expr))
+		}
+		cols[i] = found
+	}
+	return cols, nil
+}

@@ -1,0 +1,258 @@
+package esl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Out-of-order arrivals are rejected at the engine boundary with a
+// diagnostic pointing at the merger, instead of corrupting window state.
+func TestOutOfOrderPushRejected(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(v, ts);`)
+	mustPush(t, e, "s", 10*time.Second, stream.Int(1), stream.Null)
+	err := e.Push("s", ts(5*time.Second), stream.Int(2), stream.Null)
+	if err == nil || !strings.Contains(err.Error(), "out-of-order") {
+		t.Fatalf("err = %v", err)
+	}
+	// Equal timestamps are fine (ties broken by arrival sequence).
+	if err := e.Push("s", ts(10*time.Second), stream.Int(3), stream.Null); err != nil {
+		t.Fatalf("same-instant push rejected: %v", err)
+	}
+	// Heartbeats advance time; older tuples then rejected too.
+	if err := e.Heartbeat(ts(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("s", ts(30*time.Second), stream.Int(4), stream.Null); err == nil {
+		t.Fatal("push behind heartbeat should fail")
+	}
+}
+
+// Deferred decisions (Example 8) insert into derived streams after the
+// watermark has passed their logical time; the derived tuple is stamped at
+// emission time so downstream queries still see ordered input.
+func TestDeferredEmissionIntoDerivedStream(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM tag_readings(tagid, tagtype, tagtime);
+		CREATE STREAM thefts(tagid, tagtime);
+		INSERT INTO thefts
+		SELECT item.tagid, item.tagtime
+		FROM tag_readings AS item
+		WHERE item.tagtype = 'item' AND NOT EXISTS
+		  (SELECT * FROM tag_readings AS person
+		   OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+		   WHERE person.tagtype = 'person');
+	`)
+	// Chain a counting query downstream of the derived stream.
+	rows := collect(t, e, `SELECT count(*) FROM thefts`)
+	var derived []*stream.Tuple
+	e.Subscribe("thefts", func(tu *stream.Tuple) { derived = append(derived, tu) })
+
+	mustPush(t, e, "tag_readings", 10*time.Minute, stream.Str("tv"), stream.Str("item"), stream.Null)
+	mustPush(t, e, "tag_readings", 30*time.Minute, stream.Str("later"), stream.Str("item"), stream.Null)
+	if err := e.Heartbeat(ts(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 2 {
+		t.Fatalf("derived = %v", derived)
+	}
+	// The tuple's event time is the decision time; the column keeps the
+	// original reading time.
+	if derived[0].TS < ts(11*time.Minute) {
+		t.Errorf("derived TS = %v, want >= decision time", derived[0].TS)
+	}
+	if got, _ := derived[0].Field("tagtime").AsTime(); got != ts(10*time.Minute) {
+		t.Errorf("tagtime column = %v, want original 10m", derived[0].Field("tagtime"))
+	}
+	if n, _ := (*rows)[len(*rows)-1].Vals[0].AsInt(); n != 2 {
+		t.Errorf("downstream count = %v", (*rows)[len(*rows)-1].Vals[0])
+	}
+}
+
+// A scalar UDF returning an error yields NULL rather than killing the
+// query (malformed EPC tolerance).
+func TestUDFFailureToleratedAsNull(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(code, ts);`)
+	rows := collect(t, e, `SELECT extract_serial(code) AS serial FROM s`)
+	mustPush(t, e, "s", time.Second, stream.Str("not-an-epc"), stream.Null)
+	mustPush(t, e, "s", 2*time.Second, stream.Str("20.1.42"), stream.Null)
+	if len(*rows) != 2 {
+		t.Fatalf("rows = %v", *rows)
+	}
+	if !(*rows)[0].Get("serial").IsNull() {
+		t.Errorf("malformed EPC should project NULL, got %v", (*rows)[0])
+	}
+	if n, _ := (*rows)[1].Get("serial").AsInt(); n != 42 {
+		t.Errorf("serial = %v", (*rows)[1])
+	}
+}
+
+// Heartbeat starvation: without heartbeats, EXCEPTION_SEQ expirations
+// surface at the next tuple arrival (time still advances via tuples).
+func TestExpirationWithoutHeartbeats(t *testing.T) {
+	e := New()
+	declareClinic(t, e)
+	rows := collect(t, e, paperQueries["example5_exception"])
+	pushQC(t, e, "A1", 1*time.Minute, "s")
+	// No heartbeat; a much later unrelated A1 arrival advances event time
+	// past the 1h deadline, firing the expiration before the new tuple is
+	// processed... the new tuple itself starts a fresh sequence.
+	pushQC(t, e, "A1", 3*time.Hour, "s")
+	foundExpiry := false
+	for _, r := range *rows {
+		if !r.Vals[0].IsNull() {
+			foundExpiry = true
+		}
+	}
+	if !foundExpiry {
+		t.Fatalf("expiration not surfaced by tuple-driven time: %v", *rows)
+	}
+}
+
+// Duplicate-storm stress: dedup output stays duplicate-free under a heavy
+// duplicate model with reader overlap.
+func TestDuplicateStorm(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE STREAM cleaned(reader_id, tag_id, read_time);
+		INSERT INTO cleaned
+		SELECT * FROM readings AS r1
+		WHERE NOT EXISTS
+		  (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+		   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+	`)
+	out := 0
+	e.Subscribe("cleaned", func(*stream.Tuple) { out++ })
+	// One tag read 50 times within half a second by one reader.
+	for i := 0; i < 50; i++ {
+		mustPush(t, e, "readings", time.Duration(i)*10*time.Millisecond,
+			stream.Str("r1"), stream.Str("tag"), stream.Null)
+	}
+	if out != 1 {
+		t.Fatalf("kept %d, want 1", out)
+	}
+}
+
+func TestOrderByOnSnapshot(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE TABLE inv(sku, qty);
+		INSERT INTO inv VALUES ('b', 5), ('a', 3), ('c', 9), ('a', 2);
+	`)
+	rows, err := e.Query(`SELECT sku, qty FROM inv ORDER BY qty DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Get("sku").String() != "c" || rows[1].Get("sku").String() != "b" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Order by output alias, ascending default, with grouped aggregates.
+	rows, err = e.Query(`SELECT sku, sum(qty) AS total FROM inv GROUP BY sku ORDER BY total`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b tie at 5; c (9) must come last.
+	if len(rows) != 3 || rows[2].Get("sku").String() != "c" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if n, _ := rows[0].Get("total").AsInt(); n != 5 {
+		t.Fatalf("ascending order broken: %v", rows)
+	}
+	// Unprojected key rejected.
+	if _, err := e.Query(`SELECT sku FROM inv ORDER BY qty`); err == nil {
+		t.Error("unprojected ORDER BY key should be rejected")
+	}
+	// ORDER BY on a continuous query rejected.
+	mustExec(t, e, `CREATE STREAM s(v, ts);`)
+	if _, err := e.RegisterQuery("x", `SELECT v FROM s ORDER BY v`, nil); err == nil {
+		t.Error("ORDER BY on continuous query should be rejected")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE TABLE tag_info(tagid, owner);
+	`)
+	out, err := e.Explain(`
+		SELECT COUNT(R1*), R2.tagid FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"temporal event query", "R1*", "gap<=1s", "CHRONICLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	out, err = e.Explain(`
+		INSERT INTO cleaned SELECT * FROM readings AS r1
+		WHERE NOT EXISTS (SELECT * FROM TABLE(readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+		 WHERE r2.tag_id = r1.tag_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stream transducer", "NOT EXISTS", "sink: cleaned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	out, err = e.Explain(`SELECT count(*) FROM readings OVER (RANGE 10 SECONDS PRECEDING CURRENT)`)
+	if err != nil || !strings.Contains(out, "sliding window") {
+		t.Errorf("agg explain: %v\n%s", err, out)
+	}
+	out, err = e.Explain(`SELECT owner FROM tag_info`)
+	if err != nil || !strings.Contains(out, "snapshot") {
+		t.Errorf("snapshot explain: %v\n%s", err, out)
+	}
+	if _, err := e.Explain(`UPDATE tag_info SET owner = 'x'`); err == nil {
+		t.Error("EXPLAIN of DML should error")
+	}
+	if _, err := e.Explain(`SELECT * FROM nosuch`); err == nil {
+		t.Error("EXPLAIN of bad query should error")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+	`)
+	_, err := e.RegisterQuery("pairs", `
+		SELECT a.tagid FROM R1 AS a, R2 AS b
+		WHERE SEQ(a, b) OVER [10 SECONDS PRECEDING b] MODE RECENT`, func(Row) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.RegisterQuery("agg", `SELECT count(*) FROM R1 OVER (RANGE 60 SECONDS PRECEDING CURRENT)`, func(Row) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushQC(t, e, "R1", 1*time.Second, "x")
+	pushQC(t, e, "R2", 2*time.Second, "x")
+	stats := e.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	byName := map[string]QueryStats{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	if byName["pairs"].Emitted != 1 || byName["pairs"].Kind != "event(SEQ)" {
+		t.Errorf("pairs stats = %+v", byName["pairs"])
+	}
+	if byName["agg"].Emitted != 1 || byName["agg"].State == 0 || byName["agg"].Kind != "aggregate" {
+		t.Errorf("agg stats = %+v", byName["agg"])
+	}
+}

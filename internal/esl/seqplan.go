@@ -1,0 +1,680 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// exceptionSchema is the pseudo-row bound under the alias "exception" when
+// projecting EXCEPTION_SEQ / CLEVEL_SEQ output, so queries can select
+// exception.level, exception.reason and exception.at.
+var exceptionSchema = stream.MustSchema("exception",
+	stream.Field{Name: "level"},
+	stream.Field{Name: "reason"},
+	stream.Field{Name: "at"})
+
+// eventOp runs one temporal event query: a core matcher plus projection.
+type eventOp struct {
+	e   *Engine
+	q   *Query
+	sel *Select
+
+	def      core.Def
+	kindName string // SEQ, EXCEPTION_SEQ, CLEVEL_SEQ
+	seq      *core.Matcher
+	exc      *core.ExceptionMatcher
+	aliases  []string // step aliases in order
+
+	proj *projection
+	// starItemAlias is set when the projection references a star step's
+	// individual tuples (the multi-return form of §3.1.2).
+	starItemAlias string
+	starItemStep  int
+	// levelFilter gates CLEVEL_SEQ emissions (e.g. "< 3").
+	levelFilter func(level int) bool
+}
+
+// compileEventQuery plans a SELECT whose WHERE contains a SEQ-family
+// operator.
+func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp, map[string][]string, error) {
+	op := &eventOp{e: e, q: q, sel: sel, kindName: se.Kind}
+
+	// Map FROM aliases to stream schemas; every operator argument must be
+	// a FROM alias naming a stream.
+	aliasStream := map[string]string{} // lower alias -> stream name
+	aliasSchemaMap := map[string]*stream.Schema{}
+	var schemas []aliasSchema
+	for _, f := range sel.From {
+		si, ok := e.streams[strings.ToLower(f.Source)]
+		if !ok {
+			return nil, nil, fmt.Errorf("esl: %s queries need stream sources; %q is not a stream", se.Kind, f.Source)
+		}
+		if f.Window != nil {
+			return nil, nil, fmt.Errorf("esl: windows on FROM items are not combined with %s; put the window on the operator (OVER [...])", se.Kind)
+		}
+		key := strings.ToLower(f.Alias)
+		if _, dup := aliasStream[key]; dup {
+			return nil, nil, fmt.Errorf("esl: duplicate FROM alias %q", f.Alias)
+		}
+		aliasStream[key] = f.Source
+		aliasSchemaMap[key] = si.schema
+		schemas = append(schemas, aliasSchema{alias: f.Alias, schema: si.schema})
+	}
+
+	// Build pattern steps from the operator arguments.
+	stepOf := map[string]int{}
+	for i, arg := range se.Args {
+		key := strings.ToLower(arg.Alias)
+		if _, ok := aliasStream[key]; !ok {
+			return nil, nil, fmt.Errorf("esl: %s argument %q is not a FROM alias", se.Kind, arg.Alias)
+		}
+		if _, dup := stepOf[key]; dup {
+			return nil, nil, fmt.Errorf("esl: alias %q appears twice in %s", arg.Alias, se.Kind)
+		}
+		stepOf[key] = i
+		op.def.Steps = append(op.def.Steps, core.Step{Alias: arg.Alias, Star: arg.Star})
+		op.aliases = append(op.aliases, arg.Alias)
+	}
+	if se.HasMode {
+		op.def.Mode = se.Mode
+	} else if se.Kind != "SEQ" {
+		op.def.Mode = core.ModeConsecutive
+	}
+	op.def.ExpireAfter = se.ExpireAfter
+
+	// Operator window.
+	if w := se.Window; w != nil {
+		if w.Rows {
+			return nil, nil, fmt.Errorf("esl: ROWS windows are not supported on %s", se.Kind)
+		}
+		if w.HasPreceding && w.HasFollowing {
+			return nil, nil, fmt.Errorf("esl: PRECEDING AND FOLLOWING is not supported on %s", se.Kind)
+		}
+		anchor := len(op.def.Steps) - 1
+		if w.HasFollowing {
+			anchor = 0
+		}
+		if w.Anchor != "" {
+			i, ok := stepOf[strings.ToLower(w.Anchor)]
+			if !ok {
+				return nil, nil, fmt.Errorf("esl: window anchor %q is not a %s argument", w.Anchor, se.Kind)
+			}
+			anchor = i
+		}
+		span := w.Preceding
+		if w.HasFollowing {
+			span = w.Following
+		}
+		op.def.Window = &core.WindowAnchor{Span: span, Step: anchor, Following: w.HasFollowing}
+	}
+
+	// Classify the WHERE conjuncts.
+	var conjuncts []Expr
+	splitConjuncts(sel.Where, &conjuncts)
+	resolveAlias := func(ref *ColRef) (string, error) {
+		if ref.Qualifier != "" {
+			key := strings.ToLower(ref.Qualifier)
+			if _, ok := stepOf[key]; !ok {
+				return "", fmt.Errorf("esl: %q does not name a %s argument", ref.Qualifier, se.Kind)
+			}
+			return key, nil
+		}
+		var found string
+		for alias := range stepOf {
+			if _, ok := aliasSchemaMap[alias].Col(ref.Name); ok {
+				if found != "" {
+					return "", fmt.Errorf("esl: unqualified column %q is ambiguous across %s arguments", ref.Name, se.Kind)
+				}
+				found = alias
+			}
+		}
+		if found == "" {
+			return "", fmt.Errorf("esl: unknown column %q", ref.Name)
+		}
+		return found, nil
+	}
+
+	type classified struct {
+		expr    Expr
+		refs    map[string]bool // lower aliases referenced
+		hasPrev bool
+		evalAt  int
+	}
+	var residual []classified
+	var partitionEdges [][2]colKey
+
+	var levelCmp *Binary
+	for _, c := range conjuncts {
+		// The operator conjunct itself.
+		if c == Expr(se) {
+			continue
+		}
+		// CLEVEL comparison: cmp(CLEVEL_SEQ(...), literal) either side.
+		if b, ok := c.(*Binary); ok && se.Kind == "CLEVEL_SEQ" {
+			if b.L == Expr(se) || b.R == Expr(se) {
+				levelCmp = b
+				continue
+			}
+		}
+		if inner := findSeqExpr(c); inner != nil {
+			return nil, nil, fmt.Errorf("esl: only one %s-family operator per query", se.Kind)
+		}
+
+		// Partition-key candidates: alias1.col = alias2.col.
+		if b, ok := c.(*Binary); ok && b.Op == "=" {
+			l, lok := b.L.(*ColRef)
+			r, rok := b.R.(*ColRef)
+			if lok && rok {
+				la, lerr := resolveAlias(l)
+				ra, rerr := resolveAlias(r)
+				if lerr == nil && rerr == nil && la != ra {
+					partitionEdges = append(partitionEdges, [2]colKey{
+						{alias: la, col: strings.ToLower(l.Name)},
+						{alias: ra, col: strings.ToLower(r.Name)},
+					})
+					continue
+				}
+			}
+		}
+
+		// General conjunct: find referenced aliases.
+		cl := classified{expr: c, refs: map[string]bool{}}
+		var resolveErr error
+		walkExpr(c, func(n Expr) {
+			switch x := n.(type) {
+			case *ColRef:
+				a, err := resolveAlias(x)
+				if err != nil && resolveErr == nil {
+					resolveErr = err
+				}
+				if err == nil {
+					cl.refs[a] = true
+				}
+			case *PrevRef:
+				cl.refs[strings.ToLower(x.Alias)] = true
+				cl.hasPrev = true
+			case *StarAgg:
+				cl.refs[strings.ToLower(x.Alias)] = true
+			}
+		})
+		if resolveErr != nil {
+			return nil, nil, resolveErr
+		}
+		cl.evalAt = 0
+		for a := range cl.refs {
+			if i, ok := stepOf[a]; ok && i > cl.evalAt {
+				cl.evalAt = i
+			}
+		}
+		residual = append(residual, cl)
+	}
+	if se.Kind == "CLEVEL_SEQ" {
+		if levelCmp == nil {
+			return nil, nil, fmt.Errorf("esl: CLEVEL_SEQ must appear in a comparison (e.g. CLEVEL_SEQ(...) < n)")
+		}
+		lf, err := compileLevelFilter(levelCmp, se, e.funcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		op.levelFilter = lf
+	}
+
+	// Partition keys: a column-equality class covering every step.
+	if keyCols := solvePartition(partitionEdges, op.aliases); keyCols != nil {
+		for i, alias := range op.aliases {
+			col := keyCols[strings.ToLower(alias)]
+			schema := aliasSchemaMap[strings.ToLower(alias)]
+			pos, ok := schema.Col(col)
+			if !ok {
+				return nil, nil, fmt.Errorf("esl: partition column %q missing on %s", col, alias)
+			}
+			keyPos := pos
+			op.def.Steps[i].Key = func(t *stream.Tuple) stream.Value { return t.Get(keyPos) }
+		}
+	} else {
+		// No full cover: the equality conjuncts become residual predicates.
+		for _, edge := range partitionEdges {
+			l, r := edge[0], edge[1]
+			cl := classified{
+				expr: &Binary{Op: "=",
+					L: &ColRef{Qualifier: l.alias, Name: l.col},
+					R: &ColRef{Qualifier: r.alias, Name: r.col}},
+				refs: map[string]bool{l.alias: true, r.alias: true},
+			}
+			for a := range cl.refs {
+				if i := stepOf[a]; i > cl.evalAt {
+					cl.evalAt = i
+				}
+			}
+			residual = append(residual, cl)
+		}
+	}
+
+	// Single-alias conjuncts without previous/star references become step
+	// filters (cheap pushdown); a MaxGap shape becomes the star gap bound.
+	predsByStep := make([][]classified, len(op.def.Steps))
+	for _, cl := range residual {
+		stepIdx := cl.evalAt
+		step := &op.def.Steps[stepIdx]
+		if len(cl.refs) == 1 && !cl.hasPrev && !exprHasStarAgg(cl.expr) && !step.Star {
+			expr := cl.expr
+			alias := step.Alias
+			funcs := e.funcs
+			prevFilter := step.Filter
+			step.Filter = func(t *stream.Tuple) bool {
+				if prevFilter != nil && !prevFilter(t) {
+					return false
+				}
+				env := NewEnv(funcs)
+				env.BindTuple(alias, t)
+				ok, known, err := env.EvalBool(expr)
+				return err == nil && ok && known
+			}
+			continue
+		}
+		if gap, ok := maxGapShape(cl.expr, step, aliasSchemaMap); ok && step.Star {
+			if step.MaxGap == 0 || gap < step.MaxGap {
+				step.MaxGap = gap
+			}
+			continue
+		}
+		predsByStep[stepIdx] = append(predsByStep[stepIdx], cl)
+	}
+
+	// The residual predicate closure.
+	hasPreds := false
+	for _, ps := range predsByStep {
+		if len(ps) > 0 {
+			hasPreds = true
+		}
+	}
+	if hasPreds {
+		def := &op.def
+		funcs := e.funcs
+		op.def.Pred = func(partial *core.Match, stepIdx int, t *stream.Tuple) bool {
+			for _, cl := range predsByStep[stepIdx] {
+				env := NewEnv(funcs)
+				env.BindMatch(partial, def)
+				step := &def.Steps[stepIdx]
+				if cl.hasPrev {
+					env.BindStarTuple(step.Alias, t, partial.Last(stepIdx))
+					// The previous-operator constraint only applies from
+					// the second tuple of a run.
+					if partial.Last(stepIdx) == nil {
+						continue
+					}
+				} else {
+					env.BindTuple(step.Alias, t)
+				}
+				ok, known, err := env.EvalBool(cl.expr)
+				if err != nil || !ok || !known {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Build the matcher.
+	var err error
+	if se.Kind == "SEQ" {
+		op.seq, err = core.NewMatcher(op.def)
+	} else {
+		op.exc, err = core.NewExceptionMatcher(op.def)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Projection: detect the per-item star form.
+	schemas = append(schemas, aliasSchema{alias: "exception", schema: exceptionSchema})
+	op.proj, err = e.compileProjection(sel, schemas[:len(schemas)-boolToInt(se.Kind == "SEQ")])
+	if err != nil {
+		return nil, nil, err
+	}
+	// Validate projection references at registration time.
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		var vErr error
+		walkExpr(item.Expr, func(n Expr) {
+			if vErr != nil {
+				return
+			}
+			switch x := n.(type) {
+			case *ColRef:
+				if se.Kind != "SEQ" && strings.EqualFold(x.Qualifier, "exception") {
+					if _, ok := exceptionSchema.Col(x.Name); !ok {
+						vErr = fmt.Errorf("esl: unknown exception column %q", x.Name)
+					}
+					return
+				}
+				alias, err := resolveAlias(x)
+				if err != nil {
+					vErr = err
+					return
+				}
+				if _, ok := aliasSchemaMap[alias].Col(x.Name); !ok {
+					vErr = fmt.Errorf("esl: stream %s has no column %q", alias, x.Name)
+				}
+			case *PrevRef:
+				key := strings.ToLower(x.Alias)
+				schema, ok := aliasSchemaMap[key]
+				if !ok {
+					vErr = fmt.Errorf("esl: %q does not name a %s argument", x.Alias, se.Kind)
+					return
+				}
+				if _, ok := schema.Col(x.Name); !ok {
+					vErr = fmt.Errorf("esl: stream %s has no column %q", x.Alias, x.Name)
+				}
+			case *StarAgg:
+				key := strings.ToLower(x.Alias)
+				i, ok := stepOf[key]
+				if !ok || !op.def.Steps[i].Star {
+					vErr = fmt.Errorf("esl: %s(%s*) needs a star argument of %s", x.Fn, x.Alias, se.Kind)
+					return
+				}
+				if x.Name != "" {
+					if _, ok := aliasSchemaMap[key].Col(x.Name); !ok {
+						vErr = fmt.Errorf("esl: stream %s has no column %q", x.Alias, x.Name)
+					}
+				}
+			}
+		})
+		if vErr != nil {
+			return nil, nil, vErr
+		}
+	}
+
+	op.starItemStep = -1
+	for _, item := range sel.Items {
+		walkExpr(item.Expr, func(n Expr) {
+			var alias string
+			switch x := n.(type) {
+			case *ColRef:
+				alias = strings.ToLower(x.Qualifier)
+			case *PrevRef:
+				alias = strings.ToLower(x.Alias)
+			default:
+				return
+			}
+			if i, ok := stepOf[alias]; ok && op.def.Steps[i].Star {
+				if op.starItemStep >= 0 && op.starItemStep != i {
+					err = fmt.Errorf("esl: multi-return projection over more than one star sequence is not allowed (§3.1.2)")
+				}
+				op.starItemAlias = op.def.Steps[i].Alias
+				op.starItemStep = i
+			}
+		})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Routing: each step's alias reads its FROM source stream.
+	inputs := map[string][]string{}
+	for _, alias := range op.aliases {
+		src := aliasStream[strings.ToLower(alias)]
+		inputs[src] = appendUnique(inputs[src], alias)
+	}
+	return op, inputs, nil
+}
+
+type colKey struct{ alias, col string }
+
+// solvePartition finds an equality class covering all step aliases and
+// returns alias -> column, or nil.
+func solvePartition(edges [][2]colKey, aliases []string) map[string]string {
+	if len(edges) == 0 {
+		return nil
+	}
+	parent := map[colKey]colKey{}
+	var find func(k colKey) colKey
+	find = func(k colKey) colKey {
+		if p, ok := parent[k]; ok && p != k {
+			root := find(p)
+			parent[k] = root
+			return root
+		}
+		if _, ok := parent[k]; !ok {
+			parent[k] = k
+		}
+		return parent[k]
+	}
+	union := func(a, b colKey) { parent[find(a)] = find(b) }
+	for _, e := range edges {
+		union(e[0], e[1])
+	}
+	// Group members by root; look for a class with one column per alias.
+	classes := map[colKey][]colKey{}
+	for k := range parent {
+		root := find(k)
+		classes[root] = append(classes[root], k)
+	}
+	for _, members := range classes {
+		cover := map[string]string{}
+		for _, m := range members {
+			if _, dup := cover[m.alias]; !dup {
+				cover[m.alias] = m.col
+			}
+		}
+		full := true
+		for _, a := range aliases {
+			if _, ok := cover[strings.ToLower(a)]; !ok {
+				full = false
+				break
+			}
+		}
+		if full {
+			return cover
+		}
+	}
+	return nil
+}
+
+// maxGapShape matches X.tc - X.previous.tc <= INTERVAL (or <) on a star
+// step's time column, turning the previous-operator constraint into the
+// matcher's MaxGap fast path.
+func maxGapShape(e Expr, step *core.Step, schemas map[string]*stream.Schema) (time.Duration, bool) {
+	b, ok := e.(*Binary)
+	if !ok || (b.Op != "<=" && b.Op != "<") {
+		return 0, false
+	}
+	diff, ok := b.L.(*Binary)
+	if !ok || diff.Op != "-" {
+		return 0, false
+	}
+	iv, ok := b.R.(*Interval)
+	if !ok {
+		return 0, false
+	}
+	cur, ok := diff.L.(*ColRef)
+	if !ok || !strings.EqualFold(cur.Qualifier, step.Alias) {
+		return 0, false
+	}
+	prev, ok := diff.R.(*PrevRef)
+	if !ok || !strings.EqualFold(prev.Alias, step.Alias) || !strings.EqualFold(prev.Name, cur.Name) {
+		return 0, false
+	}
+	schema := schemas[strings.ToLower(step.Alias)]
+	tc := schema.TimeColumn()
+	if tc < 0 {
+		return 0, false
+	}
+	if pos, ok := schema.Col(cur.Name); !ok || pos != tc {
+		return 0, false
+	}
+	d := iv.D
+	if b.Op == "<" {
+		d -= time.Nanosecond
+	}
+	return d, true
+}
+
+func exprHasStarAgg(e Expr) bool {
+	found := false
+	walkExpr(e, func(n Expr) {
+		if _, ok := n.(*StarAgg); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// compileLevelFilter turns "CLEVEL_SEQ(...) < 3" into a level predicate.
+func compileLevelFilter(cmp *Binary, se *SeqExpr, funcs *FuncRegistry) (func(int) bool, error) {
+	other := cmp.R
+	flip := false
+	if cmp.R == Expr(se) {
+		other = cmp.L
+		flip = true
+	}
+	env := NewEnv(funcs)
+	v, err := env.Eval(other)
+	if err != nil {
+		return nil, fmt.Errorf("esl: CLEVEL_SEQ comparison operand must be constant: %v", err)
+	}
+	bound, ok := v.AsInt()
+	if !ok {
+		return nil, fmt.Errorf("esl: CLEVEL_SEQ comparison operand must be an integer")
+	}
+	op := cmp.Op
+	if flip { // const OP clevel  ->  clevel OP' const
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	return func(level int) bool {
+		l := int64(level)
+		switch op {
+		case "<":
+			return l < bound
+		case "<=":
+			return l <= bound
+		case ">":
+			return l > bound
+		case ">=":
+			return l >= bound
+		case "=":
+			return l == bound
+		case "<>":
+			return l != bound
+		default:
+			return false
+		}
+	}, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- runtime ---------------------------------------------------------------
+
+func (op *eventOp) push(aliases []string, t *stream.Tuple) error {
+	if op.seq != nil {
+		matches, err := op.seq.Push(t, aliases...)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := op.emitMatch(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, exs, err := op.exc.Push(t, aliases...)
+	if err != nil {
+		return err
+	}
+	return op.emitExceptions(exs)
+}
+
+func (op *eventOp) advance(ts stream.Timestamp) error {
+	if op.seq != nil {
+		op.seq.Advance(ts)
+		return nil
+	}
+	return op.emitExceptions(op.exc.Advance(ts))
+}
+
+// emitMatch projects one completed SEQ match — one row normally, one row
+// per star tuple in the multi-return form.
+func (op *eventOp) emitMatch(m *core.Match) error {
+	base := NewEnv(op.e.funcs)
+	base.BindMatch(m, &op.def)
+	if op.starItemStep < 0 {
+		vals, err := op.proj.build(base)
+		if err != nil {
+			return err
+		}
+		return op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: m.End()})
+	}
+	group := m.Groups[op.starItemStep]
+	for i, t := range group {
+		env := base.Child()
+		var prev *stream.Tuple
+		if i > 0 {
+			prev = group[i-1]
+		}
+		env.BindStarTuple(op.starItemAlias, t, prev)
+		vals, err := op.proj.build(env)
+		if err != nil {
+			return err
+		}
+		if err := op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: m.End()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitExceptions projects EXCEPTION_SEQ / CLEVEL_SEQ events. Unbound steps
+// project as NULL; the pseudo-alias "exception" carries (level, reason, at).
+func (op *eventOp) emitExceptions(exs []*core.Exception) error {
+	for _, x := range exs {
+		if op.levelFilter != nil && !op.levelFilter(x.Level) {
+			continue
+		}
+		env := NewEnv(op.e.funcs)
+		partial := x.Partial
+		if partial == nil {
+			partial = &core.Match{Groups: make([][]*stream.Tuple, len(op.def.Steps))}
+		}
+		env.BindMatch(partial, &op.def)
+		if x.Trigger != nil && x.Reason == core.BreakBadStart {
+			// A bad-start trigger is the (failed) first step's tuple; bind
+			// it so projections of the first alias show the offender.
+			env.BindTuple(op.def.Steps[0].Alias, x.Trigger)
+		}
+		env.BindRow("exception", exceptionSchema, []stream.Value{
+			stream.Int(int64(x.Level)),
+			stream.Str(x.Reason.String()),
+			stream.Time(x.TS),
+		})
+		vals, err := op.proj.build(env)
+		if err != nil {
+			return err
+		}
+		if err := op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: x.TS}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package esl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rfid"
+	"repro/internal/stream"
+)
+
+// Soak: one engine, seven concurrent continuous queries spanning every
+// operator family, fed tens of thousands of tuples across five streams.
+// Asserts liveness (no panics/errors), output sanity, and that windowed
+// state stays bounded.
+func TestSoakManyQueriesLargeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+		CREATE STREAM A1(readerid, tagid, tagtime);
+		CREATE STREAM A2(readerid, tagid, tagtime);
+		CREATE STREAM A3(readerid, tagid, tagtime);
+		CREATE STREAM containments(first_at, n, case_tag, case_at);
+		TABLE case_log(case_tag, item_count);
+	`)
+
+	counts := map[string]*int{}
+	reg := func(name, sql string) {
+		n := new(int)
+		counts[name] = n
+		if _, err := e.RegisterQuery(name, sql, func(Row) { *n++ }); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	// Star containment into a derived stream AND a callback.
+	mustExec(t, e, `
+		INSERT INTO containments
+		SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS;
+	`)
+	reg("downstream-count", `SELECT count(*) FROM containments`)
+	reg("downstream-agg", `SELECT max(n), avg(n) FROM containments`)
+	reg("clinic", `
+		SELECT exception.level, exception.reason FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]
+		AND A1.tagid = A2.tagid AND A1.tagid = A3.tagid`)
+	reg("recent-pairs", `
+		SELECT a.tagid FROM R1 AS a, R2 AS b
+		WHERE SEQ(a, b) OVER [30 SECONDS PRECEDING b] MODE RECENT`)
+	reg("epc", `
+		SELECT count(tagid) FROM R1 WHERE tagid LIKE '20.%.%'
+		AND extract_serial(tagid) >= 5000`)
+	reg("windowed", `
+		SELECT count(*) FROM R1 OVER (RANGE 30 SECONDS PRECEDING CURRENT)`)
+
+	// Also persist into a table from the derived stream.
+	mustExec(t, e, `
+		INSERT INTO case_log SELECT case_tag, n FROM containments;
+	`)
+
+	packing, truth := rfid.PackingLine(rfid.PackingConfig{Cases: 3000, Seed: 42, LateCaseEvery: 9})
+	clinic, _ := rfid.ClinicWorkflow(rfid.ClinicConfig{
+		Tests: 300, Staff: []string{"a", "b", "c", "d", "e"},
+		WrongOrderEvery: 6, StallEvery: 5, Seed: 43})
+
+	// Interleave both traces into one ordered feed.
+	all := append(append([]rfid.Reading(nil), packing.Readings...), clinic.Readings...)
+	schemas := map[string]*stream.Schema{}
+	for n, s := range packing.Schemas() {
+		schemas[n] = s
+	}
+	for n, s := range clinic.Schemas() {
+		schemas[n] = s
+	}
+	// Sort by time.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].At < all[j-1].At; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	total := 0
+	for _, r := range all {
+		tu := stream.MustTuple(schemas[r.Stream], r.At,
+			stream.Str(r.ReaderID), stream.Str(r.TagID), stream.Time(r.At))
+		if err := e.PushTuple(r.Stream, tu); err != nil {
+			t.Fatalf("push %d: %v", total, err)
+		}
+		total++
+	}
+	if err := e.Heartbeat(e.Now().Add(3 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	onTime := 0
+	for _, c := range truth {
+		if !c.LateCase && !c.Missed {
+			onTime++
+		}
+	}
+	tbl, _ := e.Store().Get("case_log")
+	if tbl.Len() != onTime {
+		t.Errorf("case_log rows = %d, want %d", tbl.Len(), onTime)
+	}
+	if *counts["downstream-count"] != onTime {
+		t.Errorf("downstream emissions = %d, want %d", *counts["downstream-count"], onTime)
+	}
+	if *counts["clinic"] == 0 {
+		t.Error("clinic produced no alerts")
+	}
+	if *counts["recent-pairs"] == 0 || *counts["epc"] == 0 || *counts["windowed"] == 0 {
+		t.Errorf("starved queries: %v %v %v",
+			*counts["recent-pairs"], *counts["epc"], *counts["windowed"])
+	}
+	// Snapshot over the persisted table still works afterwards.
+	rows, err := e.Query(`SELECT count(*), sum(item_count) FROM case_log`)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("snapshot: %v %v", rows, err)
+	}
+	if n, _ := rows[0].Vals[0].AsInt(); int(n) != onTime {
+		t.Errorf("snapshot count = %d", n)
+	}
+	t.Logf("soak: %d tuples, %d cases detected, %d clinic alerts",
+		total, *counts["downstream-count"], *counts["clinic"])
+}

@@ -1,0 +1,72 @@
+package esl
+
+import "sort"
+
+// QueryStats is an observability snapshot for one continuous query.
+type QueryStats struct {
+	Name string
+	// Emitted counts output rows since registration.
+	Emitted int
+	// State counts tuples/rows retained by the query's operators (window
+	// buffers, pending matches, group accumulators' inputs).
+	State int
+	// Kind names the operator family running the query.
+	Kind string
+}
+
+// stateSizer is implemented by operators that can report retained state.
+type stateSizer interface {
+	stateSize() int
+	kind() string
+}
+
+func (op *eventOp) stateSize() int {
+	if op.seq != nil {
+		return op.seq.StateSize()
+	}
+	return op.exc.StateSize()
+}
+
+func (op *eventOp) kind() string { return "event(" + op.kindName + ")" }
+
+func (op *filterProjectOp) stateSize() int {
+	n := len(op.pending)
+	for _, ex := range op.exists {
+		n += ex.buffer.Len()
+	}
+	return n
+}
+
+func (op *filterProjectOp) kind() string { return "transducer" }
+
+func (op *aggregateOp) stateSize() int {
+	n := 0
+	if op.timeBuf != nil {
+		n += op.timeBuf.Len()
+	}
+	n += len(op.rowBuf)
+	for _, chain := range op.groups {
+		n += len(chain)
+	}
+	return n
+}
+
+func (op *aggregateOp) kind() string { return "aggregate" }
+
+// Stats returns a snapshot for every registered continuous query, sorted
+// by name (unnamed queries sort first, in registration order).
+func (e *Engine) Stats() []QueryStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]QueryStats, 0, len(e.queries))
+	for _, q := range e.queries {
+		st := QueryStats{Name: q.Name, Emitted: q.emitted}
+		if s, ok := q.op.(stateSizer); ok {
+			st.State = s.stateSize()
+			st.Kind = s.kind()
+		}
+		out = append(out, st)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,83 @@
+// Package esl implements the ESL-EV stream query language of the paper: a
+// SQL-based continuous query language with the temporal extensions of
+// §3 — the SEQ operator, star sequences, EXCEPTION_SEQ / CLEVEL_SEQ,
+// Tuple Pairing Modes, sliding windows on event operators (PRECEDING and
+// FOLLOWING, including windows synchronized across a correlated sub-query
+// boundary), plus the stock ESL features the paper's §2 relies on:
+// stream transducers, windowed NOT EXISTS, stream–DB spanning queries,
+// built-in and SQL-bodied user-defined aggregates, and UDFs.
+//
+// The package contains the lexer, parser, AST, semantic analyzer/planner
+// and the continuous-query execution engine.
+package esl
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based line/col).
+type Token struct {
+	Kind TokKind
+	Text string // keywords upper-cased; identifiers as written
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is the given keyword (upper case) or symbol.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TokKeyword || t.Kind == TokSymbol) && t.Text == text
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords are the reserved words of ESL-EV. Identifiers matching these
+// (case-insensitively) lex as keywords with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "STREAM": true, "TABLE": true, "INDEX": true, "ON": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "EXISTS": true,
+	"LIKE": true, "BETWEEN": true, "IN": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"OVER": true, "RANGE": true, "ROWS": true, "PRECEDING": true,
+	"FOLLOWING": true, "CURRENT": true, "MODE": true,
+	"SEQ": true, "EXCEPTION_SEQ": true, "CLEVEL_SEQ": true,
+	"UNRESTRICTED": true, "RECENT": true, "CHRONICLE": true, "CONSECUTIVE": true,
+	"FIRST": true, "LAST": true, "COUNT": true, "PREVIOUS": true,
+	"AGGREGATE": true, "INITIALIZE": true, "ITERATE": true, "TERMINATE": true,
+	"RETURN": true, "EXPIRE": true, "AFTER": true, "DISTINCT": true,
+	"MILLISECONDS": true, "SECONDS": true, "MINUTES": true, "HOURS": true, "DAYS": true,
+	"MILLISECOND": true, "SECOND": true, "MINUTE": true, "HOUR": true, "DAY": true,
+	"LIMIT": true,
+}
+
+// timeUnits maps interval unit keywords to nanoseconds.
+var timeUnits = map[string]int64{
+	"MILLISECOND": 1e6, "MILLISECONDS": 1e6,
+	"SECOND": 1e9, "SECONDS": 1e9,
+	"MINUTE": 60e9, "MINUTES": 60e9,
+	"HOUR": 3600e9, "HOURS": 3600e9,
+	"DAY": 86400e9, "DAYS": 86400e9,
+}

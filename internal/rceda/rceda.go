@@ -1,0 +1,334 @@
+// Package rceda reimplements the baseline the paper compares against: the
+// graph-based composite-event engine of [23] (Wang et al., "Complex Event
+// Processing for RFID Data Streams" / RCEDA). Primitive RFID events feed an
+// operator graph of SEQ / AND / OR / NOT nodes under Snoop-style event
+// consumption contexts, and ECA rules fire actions on detected composites.
+//
+// The package deliberately reproduces the published processing model's
+// limitations, which motivate the paper's DSMS approach: there are no
+// sliding windows (state is purged only by consumption context), no
+// EPC-pattern grouping/aggregation, and matching is graph propagation
+// without the per-key partitioning or window-driven eviction of
+// internal/core. The benchmarks measure exactly these gaps.
+package rceda
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Context is the Snoop event-consumption context used by an operator node.
+type Context uint8
+
+// Supported consumption contexts.
+const (
+	// Unrestricted keeps every constituent event and emits all pairings.
+	Unrestricted Context = iota
+	// Recent pairs with the most recent constituent and replaces older
+	// ones.
+	Recent
+	// Chronicle pairs oldest-first and consumes constituents.
+	Chronicle
+)
+
+// Instance is one (possibly composite) event occurrence: the constituent
+// tuples in time order, spanning [Start, End].
+type Instance struct {
+	Tuples []*stream.Tuple
+	Start  stream.Timestamp
+	End    stream.Timestamp
+}
+
+func instanceOf(t *stream.Tuple) *Instance {
+	return &Instance{Tuples: []*stream.Tuple{t}, Start: t.TS, End: t.TS}
+}
+
+func combine(l, r *Instance) *Instance {
+	tuples := make([]*stream.Tuple, 0, len(l.Tuples)+len(r.Tuples))
+	tuples = append(tuples, l.Tuples...)
+	tuples = append(tuples, r.Tuples...)
+	start, end := l.Start, r.End
+	if r.Start < start {
+		start = r.Start
+	}
+	if l.End > end {
+		end = l.End
+	}
+	return &Instance{Tuples: tuples, Start: start, End: end}
+}
+
+// Node is a vertex of the event graph.
+type Node interface {
+	// offer delivers a new event instance from the given child (0 = left /
+	// only, 1 = right) and returns the composite instances detected.
+	offer(child int, in *Instance) []*Instance
+	// stateSize counts retained constituent instances below this node.
+	stateSize() int
+}
+
+// PrimitiveNode matches tuples of one stream.
+type PrimitiveNode struct {
+	Stream string
+	Filter func(*stream.Tuple) bool
+}
+
+func (n *PrimitiveNode) offer(_ int, in *Instance) []*Instance { return []*Instance{in} }
+func (n *PrimitiveNode) stateSize() int                        { return 0 }
+
+// SeqNode detects E1 ; E2 (left strictly before right).
+type SeqNode struct {
+	Ctx   Context
+	left  []*Instance
+	right []*Instance
+}
+
+func (n *SeqNode) offer(child int, in *Instance) []*Instance {
+	if child == 0 {
+		switch n.Ctx {
+		case Recent:
+			n.left = n.left[:0]
+			n.left = append(n.left, in)
+		default:
+			n.left = append(n.left, in)
+		}
+		return nil
+	}
+	// Right constituent: pair with stored lefts that end before it starts.
+	var out []*Instance
+	switch n.Ctx {
+	case Unrestricted:
+		for _, l := range n.left {
+			if l.End < in.Start {
+				out = append(out, combine(l, in))
+			}
+		}
+	case Recent:
+		for i := len(n.left) - 1; i >= 0; i-- {
+			if n.left[i].End < in.Start {
+				out = append(out, combine(n.left[i], in))
+				break
+			}
+		}
+	case Chronicle:
+		for i, l := range n.left {
+			if l.End < in.Start {
+				out = append(out, combine(l, in))
+				n.left = append(n.left[:i], n.left[i+1:]...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (n *SeqNode) stateSize() int { return len(n.left) + len(n.right) }
+
+// AndNode detects E1 ∧ E2 in either order.
+type AndNode struct {
+	Ctx   Context
+	left  []*Instance
+	right []*Instance
+}
+
+func (n *AndNode) offer(child int, in *Instance) []*Instance {
+	mine, other := &n.left, &n.right
+	if child == 1 {
+		mine, other = &n.right, &n.left
+	}
+	var out []*Instance
+	switch n.Ctx {
+	case Unrestricted:
+		*mine = append(*mine, in)
+		for _, o := range *other {
+			if o.End <= in.Start {
+				out = append(out, combine(o, in))
+			} else {
+				out = append(out, combine(in, o))
+			}
+		}
+	case Recent:
+		*mine = append((*mine)[:0], in)
+		if len(*other) > 0 {
+			o := (*other)[len(*other)-1]
+			out = append(out, combine(o, in))
+		}
+	case Chronicle:
+		if len(*other) > 0 {
+			o := (*other)[0]
+			*other = (*other)[1:]
+			out = append(out, combine(o, in))
+		} else {
+			*mine = append(*mine, in)
+		}
+	}
+	return out
+}
+
+func (n *AndNode) stateSize() int { return len(n.left) + len(n.right) }
+
+// OrNode detects E1 ∨ E2: every constituent is an occurrence.
+type OrNode struct{}
+
+func (n *OrNode) offer(_ int, in *Instance) []*Instance { return []*Instance{in} }
+func (n *OrNode) stateSize() int                        { return 0 }
+
+// NotNode implements negation between two framing events: NOT(E2)[E1, E3]
+// — fires when E3 follows E1 with no intervening E2. Children: 0 = opener
+// E1, 1 = negated E2, 2 = closer E3.
+type NotNode struct {
+	opened  *Instance
+	blocked bool
+}
+
+func (n *NotNode) offer(child int, in *Instance) []*Instance {
+	switch child {
+	case 0:
+		n.opened = in
+		n.blocked = false
+	case 1:
+		if n.opened != nil {
+			n.blocked = true
+		}
+	case 2:
+		if n.opened != nil && !n.blocked {
+			out := []*Instance{combine(n.opened, in)}
+			n.opened = nil
+			return out
+		}
+		n.opened = nil
+		n.blocked = false
+	}
+	return nil
+}
+
+func (n *NotNode) stateSize() int {
+	if n.opened != nil {
+		return 1
+	}
+	return 0
+}
+
+// edge wires a child node's detections into a parent port.
+type edge struct {
+	parent Node
+	port   int
+}
+
+// Rule is one ECA rule: when the composite event at Node is detected and
+// Condition holds, run Action.
+type Rule struct {
+	Name      string
+	Node      Node
+	Condition func(*Instance) bool
+	Action    func(*Instance)
+}
+
+// Engine is the event graph plus rules.
+type Engine struct {
+	primitives map[string][]*PrimitiveNode
+	nodes      []Node
+	children   map[Node][]edge
+	rules      map[Node][]*Rule
+}
+
+// NewEngine builds an empty graph.
+func NewEngine() *Engine {
+	return &Engine{
+		primitives: make(map[string][]*PrimitiveNode),
+		children:   make(map[Node][]edge),
+		rules:      make(map[Node][]*Rule),
+	}
+}
+
+// Primitive declares (and registers) a primitive event node on a stream.
+func (e *Engine) Primitive(streamName string, filter func(*stream.Tuple) bool) *PrimitiveNode {
+	n := &PrimitiveNode{Stream: streamName, Filter: filter}
+	e.primitives[streamName] = append(e.primitives[streamName], n)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// Seq composes left ; right.
+func (e *Engine) Seq(left, right Node, ctx Context) *SeqNode {
+	n := &SeqNode{Ctx: ctx}
+	e.connect(left, n, 0)
+	e.connect(right, n, 1)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// And composes left ∧ right.
+func (e *Engine) And(left, right Node, ctx Context) *AndNode {
+	n := &AndNode{Ctx: ctx}
+	e.connect(left, n, 0)
+	e.connect(right, n, 1)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// Or composes left ∨ right.
+func (e *Engine) Or(left, right Node) *OrNode {
+	n := &OrNode{}
+	e.connect(left, n, 0)
+	e.connect(right, n, 1)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// Not composes NOT(negated)[opener, closer].
+func (e *Engine) Not(opener, negated, closer Node) *NotNode {
+	n := &NotNode{}
+	e.connect(opener, n, 0)
+	e.connect(negated, n, 1)
+	e.connect(closer, n, 2)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+func (e *Engine) connect(child, parent Node, port int) {
+	e.children[child] = append(e.children[child], edge{parent: parent, port: port})
+}
+
+// AddRule attaches an ECA rule to a node's detections.
+func (e *Engine) AddRule(r *Rule) error {
+	if r.Node == nil || r.Action == nil {
+		return fmt.Errorf("rceda: rule %q needs a node and an action", r.Name)
+	}
+	e.rules[r.Node] = append(e.rules[r.Node], r)
+	return nil
+}
+
+// Push injects one tuple; detections propagate bottom-up through the graph
+// and fire rules along the way.
+func (e *Engine) Push(streamName string, t *stream.Tuple) {
+	for _, p := range e.primitives[streamName] {
+		if p.Filter != nil && !p.Filter(t) {
+			continue
+		}
+		e.propagate(p, instanceOf(t))
+	}
+}
+
+func (e *Engine) propagate(n Node, in *Instance) {
+	for _, r := range e.rules[n] {
+		if r.Condition == nil || r.Condition(in) {
+			r.Action(in)
+		}
+	}
+	for _, ed := range e.children[n] {
+		for _, det := range ed.parent.offer(ed.port, in) {
+			e.propagate(ed.parent, det)
+		}
+	}
+}
+
+// StateSize reports retained constituent instances across the graph — the
+// unbounded-state behaviour the paper criticizes (no windows to purge it).
+func (e *Engine) StateSize() int {
+	total := 0
+	for _, n := range e.nodes {
+		total += n.stateSize()
+	}
+	return total
+}

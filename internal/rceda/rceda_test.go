@@ -1,0 +1,174 @@
+package rceda
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+var sch = stream.MustSchema("s",
+	stream.Field{Name: "readerid"},
+	stream.Field{Name: "tagid"},
+	stream.Field{Name: "tagtime"})
+
+var seqNo uint64
+
+func tup(at time.Duration, tag string) *stream.Tuple {
+	t := stream.MustTuple(sch, stream.TS(at), stream.Str("r"), stream.Str(tag), stream.Null)
+	seqNo++
+	t.Seq = seqNo
+	return t
+}
+
+func TestSeqNodeContexts(t *testing.T) {
+	for _, tc := range []struct {
+		ctx  Context
+		want int // detections when 2 As precede 1 B
+	}{
+		{Unrestricted, 2},
+		{Recent, 1},
+		{Chronicle, 1},
+	} {
+		e := NewEngine()
+		a := e.Primitive("A", nil)
+		b := e.Primitive("B", nil)
+		seq := e.Seq(a, b, tc.ctx)
+		var got []*Instance
+		e.AddRule(&Rule{Name: "r", Node: seq, Action: func(in *Instance) { got = append(got, in) }})
+		e.Push("A", tup(1*time.Second, "a1"))
+		e.Push("A", tup(2*time.Second, "a2"))
+		e.Push("B", tup(3*time.Second, "b1"))
+		if len(got) != tc.want {
+			t.Errorf("ctx %v: detections = %d, want %d", tc.ctx, len(got), tc.want)
+		}
+	}
+}
+
+func TestSeqChronicleConsumes(t *testing.T) {
+	e := NewEngine()
+	a := e.Primitive("A", nil)
+	b := e.Primitive("B", nil)
+	seq := e.Seq(a, b, Chronicle)
+	n := 0
+	e.AddRule(&Rule{Name: "r", Node: seq, Action: func(*Instance) { n++ }})
+	e.Push("A", tup(1*time.Second, "a1"))
+	e.Push("B", tup(2*time.Second, "b1"))
+	e.Push("B", tup(3*time.Second, "b2")) // a1 consumed: no detection
+	if n != 1 {
+		t.Fatalf("detections = %d", n)
+	}
+	if e.StateSize() != 0 {
+		t.Fatalf("state = %d", e.StateSize())
+	}
+}
+
+func TestNestedSeqFourStage(t *testing.T) {
+	// SEQ(SEQ(SEQ(C1,C2),C3),C4) — the paper's Example 6 in graph form.
+	e := NewEngine()
+	c1 := e.Primitive("C1", nil)
+	c2 := e.Primitive("C2", nil)
+	c3 := e.Primitive("C3", nil)
+	c4 := e.Primitive("C4", nil)
+	s12 := e.Seq(c1, c2, Chronicle)
+	s123 := e.Seq(s12, c3, Chronicle)
+	s1234 := e.Seq(s123, c4, Chronicle)
+	var got []*Instance
+	e.AddRule(&Rule{Node: s1234, Action: func(in *Instance) { got = append(got, in) }})
+	e.Push("C1", tup(1*time.Second, "x"))
+	e.Push("C2", tup(2*time.Second, "x"))
+	e.Push("C3", tup(3*time.Second, "x"))
+	e.Push("C4", tup(4*time.Second, "x"))
+	if len(got) != 1 || len(got[0].Tuples) != 4 {
+		t.Fatalf("got = %v", got)
+	}
+	if got[0].Start != stream.TS(time.Second) || got[0].End != stream.TS(4*time.Second) {
+		t.Fatalf("span = %v..%v", got[0].Start, got[0].End)
+	}
+}
+
+func TestAndNode(t *testing.T) {
+	e := NewEngine()
+	a := e.Primitive("A", nil)
+	b := e.Primitive("B", nil)
+	and := e.And(a, b, Recent)
+	n := 0
+	e.AddRule(&Rule{Node: and, Action: func(*Instance) { n++ }})
+	e.Push("B", tup(1*time.Second, "b"))
+	e.Push("A", tup(2*time.Second, "a")) // both orders detect
+	if n != 1 {
+		t.Fatalf("detections = %d", n)
+	}
+}
+
+func TestOrNode(t *testing.T) {
+	e := NewEngine()
+	a := e.Primitive("A", nil)
+	b := e.Primitive("B", nil)
+	or := e.Or(a, b)
+	n := 0
+	e.AddRule(&Rule{Node: or, Action: func(*Instance) { n++ }})
+	e.Push("A", tup(1*time.Second, "a"))
+	e.Push("B", tup(2*time.Second, "b"))
+	if n != 2 {
+		t.Fatalf("detections = %d", n)
+	}
+}
+
+func TestNotNode(t *testing.T) {
+	e := NewEngine()
+	open := e.Primitive("OPEN", nil)
+	mid := e.Primitive("MID", nil)
+	closeN := e.Primitive("CLOSE", nil)
+	not := e.Not(open, mid, closeN)
+	n := 0
+	e.AddRule(&Rule{Node: not, Action: func(*Instance) { n++ }})
+	// open -> close with no mid: fires.
+	e.Push("OPEN", tup(1*time.Second, "o"))
+	e.Push("CLOSE", tup(2*time.Second, "c"))
+	if n != 1 {
+		t.Fatalf("detections = %d", n)
+	}
+	// open -> mid -> close: suppressed.
+	e.Push("OPEN", tup(3*time.Second, "o"))
+	e.Push("MID", tup(4*time.Second, "m"))
+	e.Push("CLOSE", tup(5*time.Second, "c"))
+	if n != 1 {
+		t.Fatalf("negation failed: %d", n)
+	}
+}
+
+func TestRuleConditionAndFilter(t *testing.T) {
+	e := NewEngine()
+	a := e.Primitive("A", func(t *stream.Tuple) bool { return t.Field("tagid").String() != "skip" })
+	n := 0
+	e.AddRule(&Rule{
+		Node:      a,
+		Condition: func(in *Instance) bool { return in.Tuples[0].Field("tagid").String() == "hit" },
+		Action:    func(*Instance) { n++ },
+	})
+	e.Push("A", tup(1*time.Second, "skip"))
+	e.Push("A", tup(2*time.Second, "miss"))
+	e.Push("A", tup(3*time.Second, "hit"))
+	if n != 1 {
+		t.Fatalf("detections = %d", n)
+	}
+	if err := e.AddRule(&Rule{}); err == nil {
+		t.Error("invalid rule accepted")
+	}
+}
+
+// The unbounded-state behaviour the paper criticizes: without windows,
+// unmatched constituents accumulate forever.
+func TestUnboundedStateWithoutWindows(t *testing.T) {
+	e := NewEngine()
+	a := e.Primitive("A", nil)
+	b := e.Primitive("B", nil)
+	e.Seq(a, b, Unrestricted)
+	for i := 0; i < 1000; i++ {
+		e.Push("A", tup(time.Duration(i)*time.Second, "a"))
+	}
+	if e.StateSize() != 1000 {
+		t.Fatalf("state = %d, want 1000 (no purging possible)", e.StateSize())
+	}
+}

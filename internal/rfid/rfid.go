@@ -1,0 +1,207 @@
+// Package rfid simulates RFID deployments: readers with configurable read
+// periods, miss rates and duplicate generation, tag populations with EPC
+// codes, and the scenario generators behind the paper's application
+// workloads — the packing line of Figure 1, the four-stage quality-check
+// pipeline of Example 6, the clinic workflow of Example 5, and the door
+// security scenario of Example 8.
+//
+// The simulator substitutes for physical readers and tags: the language
+// layer only ever sees (reader_id, tag_id, read_time) tuples, and the
+// generators produce exactly those streams, including the duplicate and
+// missed reads that the paper's cleaning queries exist to handle. All
+// generation is deterministic under a seed.
+package rfid
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/epc"
+	"repro/internal/stream"
+)
+
+// Reading is one raw RFID observation: the paper's primitive event.
+type Reading struct {
+	Stream   string // destination stream name
+	ReaderID string
+	TagID    string
+	At       stream.Timestamp
+}
+
+// Trace is a generated workload: readings across all streams in global
+// event-time order, plus the schemas of the streams they belong to.
+type Trace struct {
+	Readings []Reading
+	schemas  map[string]*stream.Schema
+}
+
+// ReadingSchema builds the paper's canonical three-column reading schema
+// with the given column names (e.g. "reader_id", "tag_id", "read_time" for
+// §2.1 or "readerid", "tagid", "tagtime" for §3).
+func ReadingSchema(name, readerCol, tagCol, timeCol string) *stream.Schema {
+	return stream.MustSchema(name,
+		stream.Field{Name: readerCol},
+		stream.Field{Name: tagCol},
+		stream.Field{Name: timeCol})
+}
+
+// NewTrace builds an empty trace.
+func NewTrace() *Trace {
+	return &Trace{schemas: make(map[string]*stream.Schema)}
+}
+
+// DeclareStream registers a destination stream schema (§3-style columns by
+// default).
+func (tr *Trace) DeclareStream(name string) *stream.Schema {
+	if s, ok := tr.schemas[name]; ok {
+		return s
+	}
+	s := ReadingSchema(name, "readerid", "tagid", "tagtime")
+	tr.schemas[name] = s
+	return s
+}
+
+// DeclareStreamAs registers a destination stream with explicit column names.
+func (tr *Trace) DeclareStreamAs(name, readerCol, tagCol, timeCol string) *stream.Schema {
+	s := ReadingSchema(name, readerCol, tagCol, timeCol)
+	tr.schemas[name] = s
+	return s
+}
+
+// Schemas returns the declared stream schemas.
+func (tr *Trace) Schemas() map[string]*stream.Schema { return tr.schemas }
+
+// Add appends one reading (stream must be declared).
+func (tr *Trace) Add(r Reading) {
+	if _, ok := tr.schemas[r.Stream]; !ok {
+		tr.DeclareStream(r.Stream)
+	}
+	tr.Readings = append(tr.Readings, r)
+}
+
+// Sort orders readings by time (stable on insertion order for ties), which
+// generators call before handing the trace to the engine.
+func (tr *Trace) Sort() {
+	sort.SliceStable(tr.Readings, func(i, j int) bool {
+		return tr.Readings[i].At < tr.Readings[j].At
+	})
+}
+
+// Len returns the number of readings.
+func (tr *Trace) Len() int { return len(tr.Readings) }
+
+// Tuples materializes the trace as stream tuples in order.
+func (tr *Trace) Tuples() []*stream.Tuple {
+	out := make([]*stream.Tuple, 0, len(tr.Readings))
+	for _, r := range tr.Readings {
+		out = append(out, tr.tuple(r))
+	}
+	return out
+}
+
+func (tr *Trace) tuple(r Reading) *stream.Tuple {
+	s := tr.schemas[r.Stream]
+	return stream.MustTuple(s, r.At,
+		stream.Str(r.ReaderID), stream.Str(r.TagID), stream.Time(r.At))
+}
+
+// Feed pushes the whole trace into sink(streamName, tuple) in order —
+// typically esl.Engine.PushTuple.
+func (tr *Trace) Feed(sink func(streamName string, t *stream.Tuple) error) error {
+	for _, r := range tr.Readings {
+		if err := sink(r.Stream, tr.tuple(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sources splits the trace into per-stream channels for stream.Merger,
+// preserving per-stream order.
+func (tr *Trace) Sources(buffer int) []stream.Source {
+	byStream := map[string][]Reading{}
+	var order []string
+	for _, r := range tr.Readings {
+		if _, ok := byStream[r.Stream]; !ok {
+			order = append(order, r.Stream)
+		}
+		byStream[r.Stream] = append(byStream[r.Stream], r)
+	}
+	var sources []stream.Source
+	for _, name := range order {
+		ch := make(chan stream.Item, buffer)
+		readings := byStream[name]
+		go func(ch chan stream.Item, readings []Reading) {
+			for _, r := range readings {
+				ch <- stream.Of(tr.tuple(r))
+			}
+			close(ch)
+		}(ch, readings)
+		sources = append(sources, stream.Source{Name: name, Ch: ch})
+	}
+	return sources
+}
+
+// TagSet generates EPC tag identities for one product class.
+type TagSet struct {
+	Company int64
+	Product int64
+	next    int64
+}
+
+// NewTagSet starts serials at firstSerial.
+func NewTagSet(company, product, firstSerial int64) *TagSet {
+	return &TagSet{Company: company, Product: product, next: firstSerial}
+}
+
+// Next mints the next tag's EPC code.
+func (ts *TagSet) Next() string {
+	code := epc.Format(ts.Company, ts.Product, ts.next)
+	ts.next++
+	return code
+}
+
+// NoiseModel injects the read imperfections RFID middleware must clean:
+// duplicate reads (tags answered on several inventory rounds or by
+// overlapping readers) and missed reads.
+type NoiseModel struct {
+	// DupProb is the chance each reading gains an extra duplicate; each
+	// duplicate lands within DupSpread after the original.
+	DupProb   float64
+	DupSpread time.Duration
+	// MissProb drops the reading entirely.
+	MissProb float64
+	// DupReaders, when set, attributes duplicates to a second reader id
+	// (reader overlap), not just repeated reads.
+	DupReaders bool
+}
+
+// Apply returns a noisy copy of the trace, deterministic under seed.
+func (n NoiseModel) Apply(tr *Trace, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewTrace()
+	for name, s := range tr.schemas {
+		out.schemas[name] = s
+	}
+	for _, r := range tr.Readings {
+		if n.MissProb > 0 && rng.Float64() < n.MissProb {
+			continue
+		}
+		out.Add(r)
+		// Geometric duplicate count, capped so a DupProb of 1.0 stays
+		// finite (at most 8 extra reads per original).
+		for extra := 0; extra < 8 && n.DupProb > 0 && rng.Float64() < n.DupProb; extra++ {
+			dup := r
+			if n.DupSpread > 0 {
+				dup.At = r.At.Add(time.Duration(rng.Int63n(int64(n.DupSpread))))
+			}
+			if n.DupReaders {
+				dup.ReaderID = r.ReaderID + "-b"
+			}
+			out.Add(dup)
+		}
+	}
+	out.Sort()
+	return out
+}

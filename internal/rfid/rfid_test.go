@@ -1,0 +1,294 @@
+package rfid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := NewTrace()
+	tr.DeclareStream("R1")
+	tr.Add(Reading{Stream: "R1", ReaderID: "r", TagID: "t2", At: stream.TS(2 * time.Second)})
+	tr.Add(Reading{Stream: "R1", ReaderID: "r", TagID: "t1", At: stream.TS(1 * time.Second)})
+	tr.Add(Reading{Stream: "R2", ReaderID: "r", TagID: "t3", At: stream.TS(3 * time.Second)}) // auto-declared
+	tr.Sort()
+	if tr.Len() != 3 || tr.Readings[0].TagID != "t1" {
+		t.Fatalf("sort failed: %+v", tr.Readings)
+	}
+	tuples := tr.Tuples()
+	if len(tuples) != 3 || tuples[0].Field("tagid").String() != "t1" {
+		t.Fatalf("tuples: %v", tuples)
+	}
+	if tuples[0].TS != stream.TS(time.Second) {
+		t.Fatalf("tuple TS: %v", tuples[0].TS)
+	}
+}
+
+func TestTagSet(t *testing.T) {
+	ts := NewTagSet(20, 100, 5000)
+	if a, b := ts.Next(), ts.Next(); a != "20.100.5000" || b != "20.100.5001" {
+		t.Fatalf("tags: %s %s", a, b)
+	}
+}
+
+func TestNoiseModelDeterministic(t *testing.T) {
+	base := UniformReadings("readings", 200, 10, time.Second, 1)
+	noisy1 := NoiseModel{DupProb: 0.3, DupSpread: 500 * time.Millisecond}.Apply(base, 42)
+	noisy2 := NoiseModel{DupProb: 0.3, DupSpread: 500 * time.Millisecond}.Apply(base, 42)
+	if noisy1.Len() != noisy2.Len() {
+		t.Fatalf("nondeterministic noise: %d vs %d", noisy1.Len(), noisy2.Len())
+	}
+	if noisy1.Len() <= base.Len() {
+		t.Fatalf("duplicates not injected: %d vs %d", noisy1.Len(), base.Len())
+	}
+	dropped := NoiseModel{MissProb: 0.5}.Apply(base, 7)
+	if dropped.Len() >= base.Len() {
+		t.Fatalf("misses not applied: %d", dropped.Len())
+	}
+}
+
+// End-to-end: the packing-line scenario through the Example 7 query finds
+// exactly the ground-truth cases.
+func TestPackingLineThroughEngine(t *testing.T) {
+	tr, truth := PackingLine(PackingConfig{Cases: 25, Seed: 3, LateCaseEvery: 5})
+	e := esl.New()
+	if _, err := e.Exec(`
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []esl.Row
+	_, err := e.RegisterQuery("containment", `
+		SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`,
+		func(r esl.Row) { rows = append(rows, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Feed(e.PushTuple); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: all cases that were read in time.
+	want := map[string]int{}
+	for _, c := range truth {
+		if !c.LateCase && !c.Missed {
+			want[c.CaseTag] = len(c.Items)
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("detected %d cases, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		caseTag := r.Get("tagid").String()
+		n, _ := r.Get("count_R1").AsInt()
+		if want[caseTag] != int(n) {
+			t.Errorf("case %s: counted %d items, want %d", caseTag, n, want[caseTag])
+		}
+	}
+}
+
+// End-to-end: the quality line through Example 6's query detects exactly
+// the completed items.
+func TestQualityLineThroughEngine(t *testing.T) {
+	tr, truth := QualityLine(QualityConfig{Items: 40, DropRate: 0.2, Seed: 9})
+	e := esl.New()
+	if _, err := e.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);
+		CREATE STREAM C3(readerid, tagid, tagtime);
+		CREATE STREAM C4(readerid, tagid, tagtime);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []esl.Row
+	_, err := e.RegisterQuery("qc", `
+		SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+		FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+		func(r esl.Row) { rows = append(rows, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Feed(e.PushTuple); err != nil {
+		t.Fatal(err)
+	}
+	completed := map[string]bool{}
+	for _, item := range truth {
+		if item.Completed {
+			completed[item.Tag] = true
+		}
+	}
+	if len(rows) != len(completed) {
+		t.Fatalf("detected %d completions, want %d", len(rows), len(completed))
+	}
+	for _, r := range rows {
+		if !completed[r.Get("tagid").String()] {
+			t.Errorf("false completion: %v", r)
+		}
+	}
+}
+
+// End-to-end: clinic workflow violations through EXCEPTION_SEQ match the
+// generated wrong-order and stalled tests.
+func TestClinicWorkflowThroughEngine(t *testing.T) {
+	tr, truth := ClinicWorkflow(ClinicConfig{Tests: 12, WrongOrderEvery: 4, StallEvery: 3, Seed: 5})
+	e := esl.New()
+	if _, err := e.Exec(`
+		CREATE STREAM A1(readerid, tagid, tagtime);
+		CREATE STREAM A2(readerid, tagid, tagtime);
+		CREATE STREAM A3(readerid, tagid, tagtime);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var alerts []esl.Row
+	_, err := e.RegisterQuery("clinic", `
+		SELECT exception.level, exception.reason, A1.tagid
+		FROM A1, A2, A3
+		WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]`,
+		func(r esl.Row) { alerts = append(alerts, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Feed(e.PushTuple); err != nil {
+		t.Fatal(err)
+	}
+	// Drain trailing expirations.
+	if err := e.Heartbeat(e.Now().Add(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, c := range truth {
+		if c.WrongOrder || c.Stalled {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("scenario generated no violations")
+	}
+	if len(alerts) < bad {
+		t.Fatalf("alerts = %d, want >= %d (one per bad test at minimum)", len(alerts), bad)
+	}
+	// Clean tests must not alert: count distinct violation instants is at
+	// least the bad count but no alert may carry reason names outside the
+	// three classes.
+	for _, a := range alerts {
+		switch a.Get("reason").String() {
+		case "WRONG_TUPLE", "BAD_START", "WINDOW_EXPIRED":
+		default:
+			t.Errorf("unknown reason: %v", a)
+		}
+	}
+}
+
+// End-to-end: door traffic through the theft query finds exactly the
+// generated thefts.
+func TestDoorTrafficThroughEngine(t *testing.T) {
+	tr, truth := DoorTraffic(DoorConfig{Events: 30, TheftEvery: 6, Seed: 11})
+	e := esl.New()
+	if _, err := e.Exec(`CREATE STREAM tag_readings(tagid, tagtype, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	var alerts []esl.Row
+	_, err := e.RegisterQuery("theft", `
+		SELECT item.tagid
+		FROM tag_readings AS item
+		WHERE item.tagtype = 'item' AND NOT EXISTS
+		  (SELECT * FROM tag_readings AS person
+		   OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+		   WHERE person.tagtype = 'person')`,
+		func(r esl.Row) { alerts = append(alerts, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tr.DoorTuples("tag_readings") {
+		if err := e.PushTuple("tag_readings", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Heartbeat(e.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, ev := range truth {
+		if ev.Theft {
+			want[ev.ItemTag] = true
+		}
+	}
+	if len(alerts) != len(want) {
+		t.Fatalf("alerts = %d, want %d", len(alerts), len(want))
+	}
+	for _, a := range alerts {
+		if !want[a.Get("tagid").String()] {
+			t.Errorf("false theft: %v", a)
+		}
+	}
+}
+
+// Dedup over noisy uniform readings: the cleaned stream carries no
+// duplicates within the threshold.
+func TestDedupOverNoisyTrace(t *testing.T) {
+	base := UniformReadings("readings", 500, 20, 2*time.Second, 21)
+	noisy := NoiseModel{DupProb: 0.4, DupSpread: 800 * time.Millisecond}.Apply(base, 22)
+	e := esl.New()
+	if _, err := e.Exec(`
+		CREATE STREAM readings(reader_id, tag_id, read_time);
+		CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+		INSERT INTO cleaned_readings
+		SELECT * FROM readings AS r1
+		WHERE NOT EXISTS
+		  (SELECT * FROM TABLE( readings OVER
+		      (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+		   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var out []*stream.Tuple
+	e.Subscribe("cleaned_readings", func(tu *stream.Tuple) { out = append(out, tu) })
+	if err := noisy.Feed(e.PushTuple); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= noisy.Len() || len(out) == 0 {
+		t.Fatalf("dedup ineffective: %d in, %d out", noisy.Len(), len(out))
+	}
+	// Invariant: no two identical (reader, tag) readings within 1s remain.
+	last := map[string]stream.Timestamp{}
+	for _, tu := range out {
+		key := tu.Field("reader_id").String() + "|" + tu.Field("tag_id").String()
+		if prev, ok := last[key]; ok && tu.TS.Sub(prev) < time.Second {
+			t.Fatalf("duplicate survived: %v (prev at %v)", tu, prev)
+		}
+		last[key] = tu.TS
+	}
+}
+
+func TestSourcesMergeDeterministic(t *testing.T) {
+	tr, _ := QualityLine(QualityConfig{Items: 15, Seed: 2})
+	run := func() []string {
+		m := stream.NewMerger(tr.Sources(16)...)
+		var tags []string
+		if err := m.Run(func(name string, it stream.Item) error {
+			tags = append(tags, it.Tuple.Field("tagid").String())
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return tags
+	}
+	a, b := run(), run()
+	if len(a) != tr.Len() {
+		t.Fatalf("merged %d, want %d", len(a), tr.Len())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic merge at %d", i)
+		}
+	}
+}

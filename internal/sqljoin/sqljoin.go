@@ -1,0 +1,103 @@
+// Package sqljoin implements the paper's footnote-3 semantics for SEQ as a
+// plain SQL n-way join: "For each incoming C4 tuple, we join it with all
+// the tuples that have arrived so far in the other 3 streams, apply the
+// join conditions and the timing conditions". It keeps the full history of
+// every non-terminal stream and enumerates combinations by nested-loop
+// join on each terminal arrival.
+//
+// This is the baseline that shows why the ESL-EV operator with sliding
+// windows and Tuple Pairing Modes matters: state grows without bound and
+// per-arrival cost grows with the history product. It intentionally has no
+// windows, no modes and no partitioned state.
+package sqljoin
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// JoinSeq evaluates SEQ(S1, ..., Sn) by full-history join.
+type JoinSeq struct {
+	streams []string
+	history [][]*stream.Tuple // per non-terminal step
+	// Cond, when non-nil, filters candidate combinations (e.g. equal tag
+	// ids), mirroring the WHERE clause's join conditions.
+	Cond func(combo []*stream.Tuple) bool
+	// Emit receives each detected combination; the slice is reused, so
+	// implementations must copy if they retain it.
+	Emit func(combo []*stream.Tuple)
+
+	combos int
+}
+
+// New builds the join evaluator over n stream names (the last one is the
+// terminal whose arrivals trigger evaluation).
+func New(streams ...string) (*JoinSeq, error) {
+	if len(streams) < 2 {
+		return nil, fmt.Errorf("sqljoin: need at least 2 streams")
+	}
+	return &JoinSeq{
+		streams: streams,
+		history: make([][]*stream.Tuple, len(streams)-1),
+	}, nil
+}
+
+// Push feeds one tuple arriving on the named stream and returns how many
+// combinations were detected by this arrival.
+func (j *JoinSeq) Push(streamName string, t *stream.Tuple) int {
+	found := 0
+	last := len(j.streams) - 1
+	for i, s := range j.streams {
+		if s != streamName {
+			continue
+		}
+		if i == last {
+			combo := make([]*stream.Tuple, len(j.streams))
+			combo[last] = t
+			found += j.enumerate(combo, 0, t)
+			continue
+		}
+		j.history[i] = append(j.history[i], t)
+	}
+	return found
+}
+
+// enumerate nested-loops over the full history of step si.
+func (j *JoinSeq) enumerate(combo []*stream.Tuple, si int, terminal *stream.Tuple) int {
+	if si == len(j.streams)-1 {
+		if j.Cond == nil || j.Cond(combo) {
+			j.combos++
+			if j.Emit != nil {
+				j.Emit(combo)
+			}
+			return 1
+		}
+		return 0
+	}
+	found := 0
+	for _, cand := range j.history[si] {
+		if si > 0 && !combo[si-1].BeforeInOrder(cand) {
+			continue
+		}
+		if !cand.BeforeInOrder(terminal) {
+			continue
+		}
+		combo[si] = cand
+		found += j.enumerate(combo, si+1, terminal)
+	}
+	combo[si] = nil
+	return found
+}
+
+// StateSize reports retained history tuples (unbounded, by design).
+func (j *JoinSeq) StateSize() int {
+	n := 0
+	for _, h := range j.history {
+		n += len(h)
+	}
+	return n
+}
+
+// Detected reports the total number of combinations found.
+func (j *JoinSeq) Detected() int { return j.combos }

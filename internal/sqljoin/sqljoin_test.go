@@ -1,0 +1,96 @@
+package sqljoin
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+var sch = stream.MustSchema("s",
+	stream.Field{Name: "readerid"},
+	stream.Field{Name: "tagid"},
+	stream.Field{Name: "tagtime"})
+
+var seqNo uint64
+
+func tup(at time.Duration, tag string) *stream.Tuple {
+	t := stream.MustTuple(sch, stream.TS(at), stream.Str("r"), stream.Str(tag), stream.Null)
+	seqNo++
+	t.Seq = seqNo
+	return t
+}
+
+func TestJoinSeqBasic(t *testing.T) {
+	j, err := New("C1", "C2", "C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var combos [][]string
+	j.Emit = func(combo []*stream.Tuple) {
+		row := make([]string, len(combo))
+		for i, c := range combo {
+			row[i] = c.Field("tagid").String()
+		}
+		combos = append(combos, row)
+	}
+	j.Push("C1", tup(1*time.Second, "a"))
+	j.Push("C1", tup(2*time.Second, "b"))
+	j.Push("C2", tup(3*time.Second, "c"))
+	if n := j.Push("C3", tup(4*time.Second, "d")); n != 2 {
+		t.Fatalf("combinations = %d, want 2", n)
+	}
+	if j.Detected() != 2 || len(combos) != 2 {
+		t.Fatalf("emit count = %d", len(combos))
+	}
+	if combos[0][0] != "a" || combos[1][0] != "b" {
+		t.Fatalf("combos = %v", combos)
+	}
+}
+
+func TestJoinSeqTimingOrder(t *testing.T) {
+	j, _ := New("C1", "C2")
+	// C2 before C1: no detection.
+	j.Push("C2", tup(1*time.Second, "early"))
+	j.Push("C1", tup(2*time.Second, "late"))
+	if n := j.Push("C2", tup(3*time.Second, "x")); n != 1 {
+		t.Fatalf("combinations = %d", n)
+	}
+}
+
+func TestJoinSeqCondition(t *testing.T) {
+	j, _ := New("C1", "C2")
+	j.Cond = func(combo []*stream.Tuple) bool {
+		return combo[0].Field("tagid").Equal(combo[1].Field("tagid"))
+	}
+	j.Push("C1", tup(1*time.Second, "a"))
+	j.Push("C1", tup(2*time.Second, "b"))
+	if n := j.Push("C2", tup(3*time.Second, "a")); n != 1 {
+		t.Fatalf("combinations = %d, want 1 (tag filter)", n)
+	}
+}
+
+func TestJoinSeqProductGrowth(t *testing.T) {
+	// k tuples on each of 2 feeder streams -> k*k combinations per
+	// terminal arrival, and state never shrinks: the footnote-3 cost.
+	j, _ := New("C1", "C2", "C3")
+	const k = 20
+	for i := 0; i < k; i++ {
+		j.Push("C1", tup(time.Duration(i)*time.Second, "x"))
+	}
+	for i := 0; i < k; i++ {
+		j.Push("C2", tup(time.Duration(100+i)*time.Second, "x"))
+	}
+	if n := j.Push("C3", tup(1000*time.Second, "x")); n != k*k {
+		t.Fatalf("combinations = %d, want %d", n, k*k)
+	}
+	if j.StateSize() != 2*k {
+		t.Fatalf("state = %d (must retain full history)", j.StateSize())
+	}
+}
+
+func TestJoinSeqErrors(t *testing.T) {
+	if _, err := New("only"); err == nil {
+		t.Fatal("single stream should be rejected")
+	}
+}

@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Source is one named input to a Merger: a channel of items whose event
+// timestamps are (approximately) non-decreasing. RFID readers in the
+// simulator each produce one Source.
+type Source struct {
+	Name string
+	Ch   <-chan Item
+	// Slack bounds how far out-of-order this source may deliver items.
+	// Items are held back until the source's high-water mark passes
+	// ts+Slack, then released in timestamp order. Zero means the source
+	// promises strict order; a regression beyond slack is an error.
+	Slack time.Duration
+}
+
+// Emit receives merged items in global event-time order. name identifies
+// the originating source ("" for merger-generated heartbeats). Returning an
+// error aborts the merge.
+type Emit func(name string, it Item) error
+
+// Merger combines multiple concurrent sources into one deterministic
+// event-time sequence: the k-way merge only releases the globally minimal
+// timestamp once every still-open source has an item available, so two runs
+// over the same source contents produce the same joint tuple history. It
+// also assigns the global arrival sequence numbers (Tuple.Seq) that break
+// timestamp ties.
+type Merger struct {
+	sources []Source
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	states []*sourceState
+	seq    uint64
+
+	// HeartbeatEvery, when positive, synthesizes heartbeats so that the
+	// downstream engine observes time advancing at least this often in
+	// event time, even across quiet stretches — required for Active
+	// Expiration (§3.1.3) when no tuples arrive.
+	HeartbeatEvery time.Duration
+}
+
+type sourceState struct {
+	src     Source
+	pending itemHeap // held back for slack reordering
+	ready   []Item   // released, in order, not yet merged
+	maxSeen Timestamp
+	closed  bool
+	err     error
+}
+
+// NewMerger builds a merger over the given sources.
+func NewMerger(sources ...Source) *Merger {
+	m := &Merger{sources: sources}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Run pumps all sources to completion, invoking emit in global order. It
+// returns the first error from a source ordering violation or from emit.
+// Run blocks until all source channels are closed.
+func (m *Merger) Run(emit Emit) error {
+	m.mu.Lock()
+	m.states = make([]*sourceState, len(m.sources))
+	for i, s := range m.sources {
+		m.states[i] = &sourceState{src: s, maxSeen: MinTimestamp}
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, st := range m.states {
+		wg.Add(1)
+		go func(st *sourceState) {
+			defer wg.Done()
+			m.pump(st)
+		}(st)
+	}
+
+	err := m.merge(emit)
+	// Drain remaining source goroutines so Run never leaks them: after an
+	// emit error the pumps still consume their channels to completion.
+	wg.Wait()
+	return err
+}
+
+// pump moves items from the source channel into the per-source buffers,
+// applying slack reordering and monotonicity checks.
+func (m *Merger) pump(st *sourceState) {
+	for it := range st.src.Ch {
+		m.mu.Lock()
+		if st.err == nil {
+			if st.maxSeen != MinTimestamp && it.TS < st.maxSeen.Add(-st.src.Slack) {
+				st.err = fmt.Errorf("source %s: timestamp %s regressed more than slack %s behind high-water %s",
+					st.src.Name, it.TS, st.src.Slack, st.maxSeen)
+			} else {
+				if it.TS > st.maxSeen {
+					st.maxSeen = it.TS
+				}
+				heap.Push(&st.pending, it)
+				// Release everything at or below the source watermark.
+				wm := st.maxSeen.Add(-st.src.Slack)
+				for st.pending.Len() > 0 && st.pending.min().TS <= wm {
+					st.ready = append(st.ready, heap.Pop(&st.pending).(Item))
+				}
+			}
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	st.closed = true
+	for st.pending.Len() > 0 { // flush held-back items at close
+		st.ready = append(st.ready, heap.Pop(&st.pending).(Item))
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// merge repeatedly emits the minimal ready item once every open source can
+// participate in the comparison.
+func (m *Merger) merge(emit Emit) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lastBeat := MinTimestamp
+	for {
+		// Wait until every source is decided: has a ready item or is closed
+		// with nothing pending to become ready.
+		undecided := false
+		allDone := true
+		for _, st := range m.states {
+			if st.err != nil {
+				return st.err
+			}
+			if len(st.ready) > 0 {
+				allDone = false
+				continue
+			}
+			if !st.closed {
+				undecided = true
+				allDone = false
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if undecided {
+			m.cond.Wait()
+			continue
+		}
+		// Pick the source whose head is globally minimal; ties resolved by
+		// source position for determinism.
+		best := -1
+		for i, st := range m.states {
+			if len(st.ready) == 0 {
+				continue
+			}
+			if best == -1 || st.ready[0].TS < m.states[best].ready[0].TS {
+				best = i
+			}
+		}
+		st := m.states[best]
+		it := st.ready[0]
+		st.ready = st.ready[1:]
+		if it.Tuple != nil {
+			m.seq++
+			it.Tuple.Seq = m.seq
+		}
+		// Interleave synthetic heartbeats up to the item's event time.
+		if m.HeartbeatEvery > 0 {
+			if lastBeat == MinTimestamp {
+				lastBeat = it.TS
+			}
+			for next := lastBeat.Add(m.HeartbeatEvery); next < it.TS; next = next.Add(m.HeartbeatEvery) {
+				if err := m.emitUnlocked(emit, "", Heartbeat(next)); err != nil {
+					return err
+				}
+				lastBeat = next
+			}
+			if it.TS > lastBeat {
+				lastBeat = it.TS
+			}
+		}
+		if err := m.emitUnlocked(emit, st.src.Name, it); err != nil {
+			return err
+		}
+	}
+}
+
+// emitUnlocked invokes emit without holding the merger lock so that emit may
+// feed derived streams without deadlocking.
+func (m *Merger) emitUnlocked(emit Emit, name string, it Item) error {
+	m.mu.Unlock()
+	err := emit(name, it)
+	m.mu.Lock()
+	return err
+}
+
+// itemHeap is a min-heap of items by timestamp.
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].TS < h[j].TS }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+func (h itemHeap) min() Item { return h[0] }

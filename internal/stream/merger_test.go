@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+var testSchema = MustSchema("readings",
+	Field{Name: "reader_id"}, Field{Name: "tag_id"}, Field{Name: "read_time"})
+
+func tup(reader, tag string, at time.Duration) *Tuple {
+	return MustTuple(testSchema, TS(at), Str(reader), Str(tag), Null)
+}
+
+func TestTupleBasics(t *testing.T) {
+	tu := tup("r1", "t1", 5*time.Second)
+	if tu.TS != TS(5*time.Second) {
+		t.Fatalf("TS = %v", tu.TS)
+	}
+	// Time column back-filled from ts.
+	if got, _ := tu.Field("read_time").AsTime(); got != TS(5*time.Second) {
+		t.Errorf("read_time not back-filled: %v", tu.Field("read_time"))
+	}
+	if tu.Field("tag_id").String() != "t1" {
+		t.Errorf("Field(tag_id) = %v", tu.Field("tag_id"))
+	}
+	if !tu.Field("missing").IsNull() {
+		t.Error("missing field should be NULL")
+	}
+	c := tu.Clone()
+	c.Vals[0] = Str("other")
+	if tu.Vals[0].String() != "r1" {
+		t.Error("Clone must not share Vals")
+	}
+}
+
+func TestTupleTimeColumnPriority(t *testing.T) {
+	// When the time column holds a value, it wins over the ts argument.
+	tu := MustTuple(testSchema, TS(time.Second), Str("r"), Str("t"), Time(TS(9*time.Second)))
+	if tu.TS != TS(9*time.Second) {
+		t.Errorf("TS should come from time column: %v", tu.TS)
+	}
+}
+
+func TestTupleOrdering(t *testing.T) {
+	a := tup("r", "a", time.Second)
+	b := tup("r", "b", time.Second)
+	a.Seq, b.Seq = 1, 2
+	if !a.BeforeInOrder(b) || b.BeforeInOrder(a) {
+		t.Error("Seq must break timestamp ties")
+	}
+	c := tup("r", "c", 2*time.Second)
+	if !a.BeforeInOrder(c) {
+		t.Error("timestamp order first")
+	}
+}
+
+// runMerge feeds the given per-source tuples through a Merger and returns
+// the emitted items in order.
+func runMerge(t *testing.T, m *Merger, feeds map[string][]*Tuple, chans map[string]chan Item) []Item {
+	t.Helper()
+	for name, tuples := range feeds {
+		go func(ch chan Item, tuples []*Tuple) {
+			for _, tu := range tuples {
+				ch <- Of(tu)
+			}
+			close(ch)
+		}(chans[name], tuples)
+	}
+	var got []Item
+	if err := m.Run(func(name string, it Item) error {
+		got = append(got, it)
+		return nil
+	}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return got
+}
+
+func TestMergerGlobalOrder(t *testing.T) {
+	c1 := make(chan Item, 8)
+	c2 := make(chan Item, 8)
+	m := NewMerger(Source{Name: "a", Ch: c1}, Source{Name: "b", Ch: c2})
+	got := runMerge(t, m,
+		map[string][]*Tuple{
+			"a": {tup("a", "x1", 1*time.Second), tup("a", "x3", 3*time.Second), tup("a", "x5", 5*time.Second)},
+			"b": {tup("b", "y2", 2*time.Second), tup("b", "y4", 4*time.Second)},
+		},
+		map[string]chan Item{"a": c1, "b": c2})
+	if len(got) != 5 {
+		t.Fatalf("got %d items", len(got))
+	}
+	var lastTS Timestamp = MinTimestamp
+	var lastSeq uint64
+	for i, it := range got {
+		if it.TS < lastTS {
+			t.Fatalf("item %d out of order: %v after %v", i, it.TS, lastTS)
+		}
+		lastTS = it.TS
+		if it.Tuple.Seq != lastSeq+1 {
+			t.Fatalf("seq not dense: %d after %d", it.Tuple.Seq, lastSeq)
+		}
+		lastSeq = it.Tuple.Seq
+	}
+	wantTags := []string{"x1", "y2", "x3", "y4", "x5"}
+	for i, w := range wantTags {
+		if got[i].Tuple.Field("tag_id").String() != w {
+			t.Errorf("position %d = %v, want %s", i, got[i].Tuple, w)
+		}
+	}
+}
+
+func TestMergerSlackReordering(t *testing.T) {
+	ch := make(chan Item, 8)
+	m := NewMerger(Source{Name: "s", Ch: ch, Slack: time.Second})
+	// 3s arrives before 2.5s; slack 1s must reorder them.
+	go func() {
+		ch <- Of(tup("s", "a", 1*time.Second))
+		ch <- Of(tup("s", "b", 3*time.Second))
+		ch <- Of(tup("s", "c", 2500*time.Millisecond))
+		ch <- Of(tup("s", "d", 5*time.Second))
+		close(ch)
+	}()
+	var tags []string
+	if err := m.Run(func(name string, it Item) error {
+		tags = append(tags, it.Tuple.Field("tag_id").String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "b", "d"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("order = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestMergerRegressionBeyondSlack(t *testing.T) {
+	ch := make(chan Item, 4)
+	m := NewMerger(Source{Name: "s", Ch: ch, Slack: time.Second})
+	go func() {
+		ch <- Of(tup("s", "a", 10*time.Second))
+		ch <- Of(tup("s", "late", 1*time.Second)) // 9s late, slack 1s
+		close(ch)
+	}()
+	err := m.Run(func(string, Item) error { return nil })
+	if err == nil {
+		t.Fatal("regression beyond slack must error")
+	}
+}
+
+func TestMergerHeartbeats(t *testing.T) {
+	ch := make(chan Item, 4)
+	m := NewMerger(Source{Name: "s", Ch: ch})
+	m.HeartbeatEvery = time.Second
+	go func() {
+		ch <- Of(tup("s", "a", 1*time.Second))
+		ch <- Of(tup("s", "b", 4*time.Second)) // 3s gap: beats at 2s, 3s
+		close(ch)
+	}()
+	var beats []Timestamp
+	var tuples int
+	if err := m.Run(func(name string, it Item) error {
+		if it.IsHeartbeat() {
+			beats = append(beats, it.TS)
+		} else {
+			tuples++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tuples != 2 {
+		t.Fatalf("tuples = %d", tuples)
+	}
+	if len(beats) != 2 || beats[0] != TS(2*time.Second) || beats[1] != TS(3*time.Second) {
+		t.Fatalf("beats = %v, want [2s 3s]", beats)
+	}
+}
+
+func TestMergerEmitErrorAborts(t *testing.T) {
+	ch := make(chan Item, 4)
+	m := NewMerger(Source{Name: "s", Ch: ch})
+	go func() {
+		for i := 1; i <= 4; i++ {
+			ch <- Of(tup("s", "t", time.Duration(i)*time.Second))
+		}
+		close(ch)
+	}()
+	n := 0
+	err := m.Run(func(string, Item) error {
+		n++
+		if n == 2 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBoom = &mergeTestError{}
+
+type mergeTestError struct{}
+
+func (*mergeTestError) Error() string { return "boom" }

@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a declared column type. The paper's examples omit column types
+// ("for simplicity the data types are omitted"), so TAny — accept any value
+// kind — is the default; typed columns are validated on append.
+type Type uint8
+
+// Declared column types.
+const (
+	TAny Type = iota
+	TInt
+	TFloat
+	TString
+	TBool
+	TTime
+)
+
+// String returns the DDL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TAny:
+		return "ANY"
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOL"
+	case TTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// TypeFromName parses a DDL type name (case-insensitive), accepting common
+// SQL aliases. Unknown names map to TAny with ok=false.
+func TypeFromName(name string) (Type, bool) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TInt, true
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return TFloat, true
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return TString, true
+	case "BOOL", "BOOLEAN":
+		return TBool, true
+	case "TIMESTAMP", "TIME", "DATETIME":
+		return TTime, true
+	case "ANY":
+		return TAny, true
+	default:
+		return TAny, false
+	}
+}
+
+// Admits reports whether a value of kind k may be stored in a column of
+// this type. NULL is admitted everywhere; ints widen into float columns.
+func (t Type) Admits(k Kind) bool {
+	if k == KindNull || t == TAny {
+		return true
+	}
+	switch t {
+	case TInt:
+		return k == KindInt
+	case TFloat:
+		return k == KindFloat || k == KindInt
+	case TString:
+		return k == KindString
+	case TBool:
+		return k == KindBool
+	case TTime:
+		return k == KindTime || k == KindInt
+	default:
+		return false
+	}
+}
+
+// Field is one named, typed column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema describes the columns of a stream or table. Column-name lookup is
+// case-insensitive, as in SQL. A Schema is immutable after construction.
+type Schema struct {
+	name   string
+	fields []Field
+	index  map[string]int // lower-cased name -> position
+	tsCol  int            // designated event-time column, or -1
+}
+
+// NewSchema builds a schema. Duplicate column names (case-insensitive) are
+// an error. If a column is named like a timestamp column used in the paper's
+// examples (read_time, tagtime, ...), it is remembered as the designated
+// event-time column; SetTimeColumn overrides.
+func NewSchema(name string, fields ...Field) (*Schema, error) {
+	s := &Schema{
+		name:   name,
+		fields: append([]Field(nil), fields...),
+		index:  make(map[string]int, len(fields)),
+		tsCol:  -1,
+	}
+	for i, f := range fields {
+		key := strings.ToLower(f.Name)
+		if key == "" {
+			return nil, fmt.Errorf("schema %s: column %d has empty name", name, i)
+		}
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("schema %s: duplicate column %q", name, f.Name)
+		}
+		s.index[key] = i
+	}
+	for _, cand := range []string{"read_time", "tagtime", "ts", "timestamp", "time"} {
+		if i, ok := s.index[cand]; ok {
+			s.tsCol = i
+			break
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static declarations in
+// tests and examples.
+func MustSchema(name string, fields ...Field) *Schema {
+	s, err := NewSchema(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the stream/table name the schema was declared with.
+func (s *Schema) Name() string { return s.name }
+
+// Fields returns the column list. The returned slice must not be mutated.
+func (s *Schema) Fields() []Field { return s.fields }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Col resolves a column name (case-insensitive) to its position.
+func (s *Schema) Col(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// TimeColumn returns the designated event-time column index, or -1 when the
+// schema has none (tuples then rely solely on their Tuple.TS field).
+func (s *Schema) TimeColumn() int { return s.tsCol }
+
+// SetTimeColumn designates the event-time column by name.
+func (s *Schema) SetTimeColumn(name string) error {
+	i, ok := s.Col(name)
+	if !ok {
+		return fmt.Errorf("schema %s: no column %q to use as time column", s.name, name)
+	}
+	s.tsCol = i
+	return nil
+}
+
+// String renders the schema as DDL-ish text: name(a, b INT, c).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		if f.Type != TAny {
+			b.WriteByte(' ')
+			b.WriteString(f.Type.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Validate checks a row of values against the declared column types.
+func (s *Schema) Validate(vals []Value) error {
+	if len(vals) != len(s.fields) {
+		return fmt.Errorf("schema %s: got %d values, want %d", s.name, len(vals), len(s.fields))
+	}
+	for i, v := range vals {
+		if !s.fields[i].Type.Admits(v.Kind()) {
+			return fmt.Errorf("schema %s: column %s (%s) cannot hold %s value %s",
+				s.name, s.fields[i].Name, s.fields[i].Type, v.Kind(), v)
+		}
+	}
+	return nil
+}

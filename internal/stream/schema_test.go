@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("readings",
+		Field{Name: "reader_id"}, Field{Name: "tag_id"}, Field{Name: "read_time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "readings" || s.Len() != 3 {
+		t.Fatalf("schema basics wrong: %v", s)
+	}
+	if i, ok := s.Col("TAG_ID"); !ok || i != 1 {
+		t.Errorf("Col should be case-insensitive: %d, %v", i, ok)
+	}
+	if _, ok := s.Col("missing"); ok {
+		t.Error("Col(missing) should fail")
+	}
+	if s.TimeColumn() != 2 {
+		t.Errorf("read_time should auto-designate as time column, got %d", s.TimeColumn())
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("s", Field{Name: "a"}, Field{Name: "A"}); err == nil {
+		t.Error("duplicate (case-insensitive) columns should error")
+	}
+	if _, err := NewSchema("s", Field{Name: ""}); err == nil {
+		t.Error("empty column name should error")
+	}
+}
+
+func TestSchemaSetTimeColumn(t *testing.T) {
+	s := MustSchema("s", Field{Name: "a"}, Field{Name: "when"})
+	if s.TimeColumn() != -1 {
+		t.Fatalf("no auto time column expected, got %d", s.TimeColumn())
+	}
+	if err := s.SetTimeColumn("when"); err != nil || s.TimeColumn() != 1 {
+		t.Fatalf("SetTimeColumn: %v, col=%d", err, s.TimeColumn())
+	}
+	if err := s.SetTimeColumn("nope"); err == nil {
+		t.Error("SetTimeColumn(nope) should error")
+	}
+}
+
+func TestSchemaValidateTypes(t *testing.T) {
+	s := MustSchema("typed",
+		Field{Name: "id", Type: TInt},
+		Field{Name: "name", Type: TString},
+		Field{Name: "w", Type: TFloat})
+	if err := s.Validate([]Value{Int(1), Str("x"), Float(1.5)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.Validate([]Value{Int(1), Str("x"), Int(2)}); err != nil {
+		t.Errorf("int should widen into float column: %v", err)
+	}
+	if err := s.Validate([]Value{Str("no"), Str("x"), Float(1)}); err == nil {
+		t.Error("string in int column should be rejected")
+	}
+	if err := s.Validate([]Value{Null, Null, Null}); err != nil {
+		t.Errorf("NULL admitted everywhere: %v", err)
+	}
+	if err := s.Validate([]Value{Int(1)}); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+}
+
+func TestTypeFromName(t *testing.T) {
+	cases := map[string]Type{
+		"int": TInt, "INTEGER": TInt, "bigint": TInt,
+		"varchar": TString, "TEXT": TString,
+		"float": TFloat, "double": TFloat,
+		"bool": TBool, "timestamp": TTime, "any": TAny,
+	}
+	for name, want := range cases {
+		if got, ok := TypeFromName(name); !ok || got != want {
+			t.Errorf("TypeFromName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := TypeFromName("blob"); ok {
+		t.Error("unknown type should report !ok")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema("t", Field{Name: "a"}, Field{Name: "b", Type: TInt})
+	got := s.String()
+	if !strings.Contains(got, "t(a, b INT)") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTypeAdmits(t *testing.T) {
+	if !TAny.Admits(KindString) || !TAny.Admits(KindNull) {
+		t.Error("TAny admits everything")
+	}
+	if !TTime.Admits(KindInt) {
+		t.Error("TTime should admit raw int nanos")
+	}
+	if TBool.Admits(KindInt) {
+		t.Error("TBool should not admit ints")
+	}
+}

@@ -1,0 +1,186 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("tag-1"), KindString, "tag-1"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Time(TS(5 * time.Second)), KindTime, "5s"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if i, ok := Int(5).AsInt(); !ok || i != 5 {
+		t.Errorf("Int(5).AsInt() = %d, %v", i, ok)
+	}
+	if f, ok := Int(5).AsFloat(); !ok || f != 5 {
+		t.Errorf("Int(5).AsFloat() = %v, %v", f, ok)
+	}
+	if i, ok := Float(2.9).AsInt(); !ok || i != 2 {
+		t.Errorf("Float(2.9).AsInt() = %d, %v (want truncation)", i, ok)
+	}
+	if s, ok := Str("x").AsString(); !ok || s != "x" {
+		t.Errorf("Str.AsString() = %q, %v", s, ok)
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString() should not be ok")
+	}
+	if b, ok := Int(3).AsBool(); !ok || !b {
+		t.Errorf("Int(3).AsBool() = %v, %v (non-zero int is truthy)", b, ok)
+	}
+	if b, ok := Float(0).AsBool(); !ok || b {
+		t.Errorf("Float(0).AsBool() = %v, %v", b, ok)
+	}
+	if _, ok := Str("yes").AsBool(); ok {
+		t.Error("Str.AsBool() should not be ok")
+	}
+	if ts, ok := Time(7).AsTime(); !ok || ts != 7 {
+		t.Errorf("Time.AsTime() = %v, %v", ts, ok)
+	}
+	if ts, ok := Int(7).AsTime(); !ok || ts != 7 {
+		t.Errorf("Int.AsTime() = %v, %v (ints are raw nanos)", ts, ok)
+	}
+	if _, ok := Null.AsInt(); ok {
+		t.Error("Null.AsInt() should not be ok")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(1.5), Int(2), -1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Str("a"), Int(1), 0, false},
+		{Null, Int(1), -1, true},
+		{Int(1), Null, 1, true},
+		{Null, Null, 0, true},
+		{Bool(true), Bool(false), 1, true},
+		{Bool(true), Int(1), 0, true},
+		{Time(5), Time(9), -1, true},
+		{Time(5), Str("x"), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := c.a.Compare(c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d, %v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestValueEqualHashCoherence(t *testing.T) {
+	// Values that compare equal must hash equal, across kinds.
+	pairs := [][2]Value{
+		{Int(2), Float(2.0)},
+		{Int(0), Bool(false)},
+		{Int(1), Bool(true)},
+		{Str("abc"), Str("abc")},
+		{Null, Null},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Errorf("%v should equal %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values hash differently: %v=%d %v=%d", p[0], p[0].Hash(), p[1], p[1].Hash())
+		}
+	}
+	if Str("a").Hash() == Str("b").Hash() {
+		t.Error("distinct strings collide trivially")
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	// Antisymmetry and equal⇒hash-equal over random ints/floats.
+	antisym := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, ok1 := x.Compare(y)
+		c2, ok2 := y.Compare(x)
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	// Equal values must hash equal: Int(a) vs Float(float64(a)) whenever
+	// they compare equal under the cross-kind numeric rules.
+	coherent := func(a int64) bool {
+		f := Float(float64(a))
+		i := Int(a)
+		if !i.Equal(f) {
+			return true
+		}
+		return i.Hash() == f.Hash()
+	}
+	if err := quick.Check(coherent, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"r1", Str("r1")},
+		{"20.1234.5678", Str("20.1234.5678")}, // EPC codes stay strings
+	}
+	for _, c := range cases {
+		if got := ParseValue(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestTimestampArithmetic(t *testing.T) {
+	base := TS(10 * time.Second)
+	if got := base.Add(5 * time.Second); got != TS(15*time.Second) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := base.Sub(TS(4 * time.Second)); got != 6*time.Second {
+		t.Errorf("Sub = %v", got)
+	}
+	if !base.Before(base.Add(time.Nanosecond)) || !base.After(base.Add(-time.Nanosecond)) {
+		t.Error("Before/After ordering wrong")
+	}
+	if MaxTimestamp.Add(time.Hour) != MaxTimestamp {
+		t.Error("Add should saturate at MaxTimestamp")
+	}
+	if MinTimestamp.Add(-time.Hour) != MinTimestamp {
+		t.Error("Add should saturate at MinTimestamp")
+	}
+}

@@ -1,0 +1,335 @@
+// Package window implements the sliding-window machinery of ESL-EV:
+// time-range (RANGE ... PRECEDING / FOLLOWING / PRECEDING AND FOLLOWING) and
+// row-count buffers, plus the earliest-deadline timer queue that provides
+// Active Expiration semantics — windows whose expiry must be detected even
+// when no new tuple arrives (§3.1.3 of the paper).
+package window
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Spec declares a sliding window as written in ESL-EV. For RANGE windows
+// the extent is a time span around the anchor tuple; for ROWS windows it is
+// a count of most-recent rows. Anchor names which event in a multi-stream
+// operator the window is measured from (e.g. OVER [1 HOURS FOLLOWING A2]).
+type Spec struct {
+	Rows      bool          // ROWS window (count-based) instead of RANGE
+	NRows     int           // extent for ROWS windows
+	Preceding time.Duration // span before the anchor (0 = none)
+	Following time.Duration // span after the anchor (0 = none)
+	Anchor    string        // anchoring stream/alias; "" = current tuple
+}
+
+// IsZero reports whether no window was specified.
+func (s Spec) IsZero() bool {
+	return !s.Rows && s.NRows == 0 && s.Preceding == 0 && s.Following == 0 && s.Anchor == ""
+}
+
+// Bounds returns the inclusive event-time range covered by the window when
+// anchored at ts.
+func (s Spec) Bounds(ts stream.Timestamp) (lo, hi stream.Timestamp) {
+	return ts.Add(-s.Preceding), ts.Add(s.Following)
+}
+
+// String renders the spec in the paper's OVER [...] notation.
+func (s Spec) String() string {
+	if s.Rows {
+		return fmt.Sprintf("[%d ROWS PRECEDING %s]", s.NRows, anchorName(s.Anchor))
+	}
+	switch {
+	case s.Preceding > 0 && s.Following > 0:
+		return fmt.Sprintf("[%s PRECEDING AND FOLLOWING %s]", fmtDur(s.Preceding), anchorName(s.Anchor))
+	case s.Following > 0:
+		return fmt.Sprintf("[%s FOLLOWING %s]", fmtDur(s.Following), anchorName(s.Anchor))
+	default:
+		return fmt.Sprintf("[%s PRECEDING %s]", fmtDur(s.Preceding), anchorName(s.Anchor))
+	}
+}
+
+func anchorName(a string) string {
+	if a == "" {
+		return "CURRENT"
+	}
+	return a
+}
+
+// fmtDur renders a duration in the paper's unit spelling when it is a whole
+// number of a standard unit.
+func fmtDur(d time.Duration) string {
+	type unit struct {
+		d    time.Duration
+		name string
+	}
+	for _, u := range []unit{{time.Hour, "HOURS"}, {time.Minute, "MINUTES"}, {time.Second, "SECONDS"}, {time.Millisecond, "MILLISECONDS"}} {
+		if d >= u.d && d%u.d == 0 {
+			return fmt.Sprintf("%d %s", d/u.d, u.name)
+		}
+	}
+	return d.String()
+}
+
+// TimeBuffer retains tuples of one stream ordered by event time, supporting
+// range scans and watermark-driven eviction. Tuples must be added in joint
+// history order (non-decreasing TS; ties by Seq), which the engine
+// guarantees. Eviction is amortized O(1) per tuple.
+type TimeBuffer struct {
+	items []*stream.Tuple
+	start int
+}
+
+// Add appends a tuple. It panics if order is violated, since that indicates
+// an engine bug, not a data error.
+func (b *TimeBuffer) Add(t *stream.Tuple) {
+	if n := b.len(); n > 0 {
+		last := b.items[len(b.items)-1]
+		if t.TS < last.TS {
+			panic(fmt.Sprintf("window: out-of-order add: %s after %s", t.TS, last.TS))
+		}
+	}
+	b.items = append(b.items, t)
+}
+
+func (b *TimeBuffer) len() int { return len(b.items) - b.start }
+
+// Len returns the number of retained tuples.
+func (b *TimeBuffer) Len() int { return b.len() }
+
+// EvictBefore drops all tuples with TS strictly before ts and returns how
+// many were dropped. Storage is compacted once the dead prefix dominates.
+func (b *TimeBuffer) EvictBefore(ts stream.Timestamp) int {
+	n := 0
+	for b.start < len(b.items) && b.items[b.start].TS < ts {
+		b.items[b.start] = nil // release for GC
+		b.start++
+		n++
+	}
+	if b.start > 64 && b.start*2 >= len(b.items) {
+		b.items = append(b.items[:0], b.items[b.start:]...)
+		b.start = 0
+	}
+	return n
+}
+
+// Each visits retained tuples oldest-first; fn returning false stops.
+func (b *TimeBuffer) Each(fn func(*stream.Tuple) bool) {
+	for _, t := range b.items[b.start:] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// EachInRange visits tuples with lo <= TS <= hi oldest-first.
+func (b *TimeBuffer) EachInRange(lo, hi stream.Timestamp, fn func(*stream.Tuple) bool) {
+	live := b.items[b.start:]
+	// Binary search for the first tuple at or after lo.
+	i, j := 0, len(live)
+	for i < j {
+		m := (i + j) / 2
+		if live[m].TS < lo {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	for ; i < len(live) && live[i].TS <= hi; i++ {
+		if !fn(live[i]) {
+			return
+		}
+	}
+}
+
+// EachNewestFirst visits retained tuples newest-first.
+func (b *TimeBuffer) EachNewestFirst(fn func(*stream.Tuple) bool) {
+	for i := len(b.items) - 1; i >= b.start; i-- {
+		if !fn(b.items[i]) {
+			return
+		}
+	}
+}
+
+// Oldest returns the earliest retained tuple, or nil when empty.
+func (b *TimeBuffer) Oldest() *stream.Tuple {
+	if b.len() == 0 {
+		return nil
+	}
+	return b.items[b.start]
+}
+
+// Newest returns the latest retained tuple, or nil when empty.
+func (b *TimeBuffer) Newest() *stream.Tuple {
+	if b.len() == 0 {
+		return nil
+	}
+	return b.items[len(b.items)-1]
+}
+
+// Remove deletes one specific tuple (identity match) from the buffer; it
+// supports CHRONICLE-mode consumption, where participating tuples leave the
+// history once matched. Returns whether the tuple was present.
+func (b *TimeBuffer) Remove(t *stream.Tuple) bool {
+	live := b.items[b.start:]
+	for i, x := range live {
+		if x == t {
+			copy(live[i:], live[i+1:])
+			b.items = b.items[:len(b.items)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Clear drops all retained tuples.
+func (b *TimeBuffer) Clear() {
+	b.items = b.items[:0]
+	b.start = 0
+}
+
+// RowBuffer retains the most recent N tuples of one stream (ROWS windows)
+// in a ring.
+type RowBuffer struct {
+	ring  []*stream.Tuple
+	head  int // next write position
+	count int
+}
+
+// NewRowBuffer builds a buffer holding up to n rows; n must be positive.
+func NewRowBuffer(n int) *RowBuffer {
+	if n <= 0 {
+		panic("window: RowBuffer size must be positive")
+	}
+	return &RowBuffer{ring: make([]*stream.Tuple, n)}
+}
+
+// Add appends a tuple, evicting the oldest when full. It returns the
+// evicted tuple, if any.
+func (b *RowBuffer) Add(t *stream.Tuple) *stream.Tuple {
+	var evicted *stream.Tuple
+	if b.count == len(b.ring) {
+		evicted = b.ring[b.head]
+	} else {
+		b.count++
+	}
+	b.ring[b.head] = t
+	b.head = (b.head + 1) % len(b.ring)
+	return evicted
+}
+
+// Len returns the number of retained rows.
+func (b *RowBuffer) Len() int { return b.count }
+
+// Each visits retained tuples oldest-first.
+func (b *RowBuffer) Each(fn func(*stream.Tuple) bool) {
+	start := b.head - b.count
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < b.count; i++ {
+		if !fn(b.ring[(start+i)%len(b.ring)]) {
+			return
+		}
+	}
+}
+
+// Timer is one scheduled expiration: fire At with an opaque payload.
+type Timer struct {
+	At      stream.Timestamp
+	Payload interface{}
+	seq     uint64 // schedule order, for deterministic same-instant firing
+	index   int
+	dead    bool
+}
+
+// Timers is an earliest-deadline-first queue driving Active Expiration: the
+// engine advances event time (via tuples and heartbeats) and fires every
+// timer whose deadline has passed. Same-deadline timers fire in schedule
+// order, keeping runs deterministic.
+type Timers struct {
+	h   timerHeap
+	seq uint64
+}
+
+// Schedule enqueues a timer and returns a handle for cancellation.
+func (t *Timers) Schedule(at stream.Timestamp, payload interface{}) *Timer {
+	t.seq++
+	tm := &Timer{At: at, Payload: payload, seq: t.seq}
+	heap.Push(&t.h, tm)
+	return tm
+}
+
+// Cancel deactivates a scheduled timer; it is a no-op on an already-fired
+// or already-cancelled timer.
+func (t *Timers) Cancel(tm *Timer) {
+	if tm == nil || tm.dead || tm.index < 0 {
+		return
+	}
+	tm.dead = true
+}
+
+// PopDue removes and returns all live timers with At <= now, in deadline
+// order (ties in schedule order).
+func (t *Timers) PopDue(now stream.Timestamp) []*Timer {
+	var due []*Timer
+	for t.h.Len() > 0 {
+		top := t.h[0]
+		if top.dead {
+			heap.Pop(&t.h)
+			continue
+		}
+		if top.At > now {
+			break
+		}
+		due = append(due, heap.Pop(&t.h).(*Timer))
+	}
+	return due
+}
+
+// Peek returns the next live deadline.
+func (t *Timers) Peek() (stream.Timestamp, bool) {
+	for t.h.Len() > 0 {
+		if t.h[0].dead {
+			heap.Pop(&t.h)
+			continue
+		}
+		return t.h[0].At, true
+	}
+	return 0, false
+}
+
+// Len returns the number of queued timers, including cancelled ones not yet
+// compacted away.
+func (t *Timers) Len() int { return t.h.Len() }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x interface{}) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,250 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stream"
+)
+
+var sch = stream.MustSchema("s", stream.Field{Name: "tag"})
+
+func at(d time.Duration, tag string) *stream.Tuple {
+	return stream.MustTuple(sch, stream.TS(d), stream.Str(tag))
+}
+
+func TestSpecBoundsAndString(t *testing.T) {
+	s := Spec{Preceding: time.Minute, Following: time.Minute, Anchor: "person"}
+	lo, hi := s.Bounds(stream.TS(10 * time.Minute))
+	if lo != stream.TS(9*time.Minute) || hi != stream.TS(11*time.Minute) {
+		t.Errorf("Bounds = %v..%v", lo, hi)
+	}
+	if got := s.String(); got != "[1 MINUTES PRECEDING AND FOLLOWING person]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Spec{Preceding: 30 * time.Minute, Anchor: "C4"}).String(); got != "[30 MINUTES PRECEDING C4]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Spec{Following: time.Hour, Anchor: "A1"}).String(); got != "[1 HOURS FOLLOWING A1]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Spec{Rows: true, NRows: 5}).String(); got != "[5 ROWS PRECEDING CURRENT]" {
+		t.Errorf("String = %q", got)
+	}
+	if !(Spec{}).IsZero() || (Spec{Preceding: 1}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestTimeBufferEvictAndRange(t *testing.T) {
+	var b TimeBuffer
+	for i := 0; i < 10; i++ {
+		b.Add(at(time.Duration(i)*time.Second, "t"))
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if n := b.EvictBefore(stream.TS(4 * time.Second)); n != 4 {
+		t.Fatalf("evicted %d, want 4", n)
+	}
+	if b.Len() != 6 || b.Oldest().TS != stream.TS(4*time.Second) || b.Newest().TS != stream.TS(9*time.Second) {
+		t.Fatalf("post-evict state wrong: len=%d", b.Len())
+	}
+	var seen []stream.Timestamp
+	b.EachInRange(stream.TS(5*time.Second), stream.TS(7*time.Second), func(tu *stream.Tuple) bool {
+		seen = append(seen, tu.TS)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != stream.TS(5*time.Second) || seen[2] != stream.TS(7*time.Second) {
+		t.Errorf("range scan = %v", seen)
+	}
+	// Early stop.
+	count := 0
+	b.Each(func(*stream.Tuple) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("Each early stop visited %d", count)
+	}
+	// Newest-first order.
+	var rev []stream.Timestamp
+	b.EachNewestFirst(func(tu *stream.Tuple) bool { rev = append(rev, tu.TS); return true })
+	if rev[0] != stream.TS(9*time.Second) || rev[len(rev)-1] != stream.TS(4*time.Second) {
+		t.Errorf("newest-first order wrong: %v", rev)
+	}
+}
+
+func TestTimeBufferRemoveAndClear(t *testing.T) {
+	var b TimeBuffer
+	t1, t2, t3 := at(1*time.Second, "a"), at(2*time.Second, "b"), at(3*time.Second, "c")
+	b.Add(t1)
+	b.Add(t2)
+	b.Add(t3)
+	if !b.Remove(t2) {
+		t.Fatal("Remove(t2) failed")
+	}
+	if b.Remove(t2) {
+		t.Fatal("double Remove should fail")
+	}
+	if b.Len() != 2 || b.Oldest() != t1 || b.Newest() != t3 {
+		t.Fatal("buffer corrupted after Remove")
+	}
+	b.Clear()
+	if b.Len() != 0 || b.Oldest() != nil || b.Newest() != nil {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestTimeBufferOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Add must panic")
+		}
+	}()
+	var b TimeBuffer
+	b.Add(at(2*time.Second, "a"))
+	b.Add(at(1*time.Second, "b"))
+}
+
+// Property: after any interleaving of adds (ordered) and evictions, the
+// buffer retains exactly the tuples with TS >= the max eviction watermark.
+func TestTimeBufferEvictionInvariant(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b TimeBuffer
+		var live []*stream.Tuple
+		ts := time.Duration(0)
+		wm := stream.MinTimestamp
+		for i := 0; i < int(nOps); i++ {
+			if rng.Intn(3) < 2 {
+				ts += time.Duration(rng.Intn(1000)) * time.Millisecond
+				tu := at(ts, "x")
+				b.Add(tu)
+				live = append(live, tu)
+			} else {
+				cut := stream.TS(time.Duration(rng.Int63n(int64(ts + 1))))
+				if cut > wm {
+					wm = cut
+				}
+				b.EvictBefore(cut)
+				kept := live[:0]
+				for _, tu := range live {
+					if tu.TS >= cut {
+						kept = append(kept, tu)
+					}
+				}
+				live = kept
+			}
+		}
+		if b.Len() != len(live) {
+			return false
+		}
+		i := 0
+		ok := true
+		b.Each(func(tu *stream.Tuple) bool {
+			if tu != live[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowBuffer(t *testing.T) {
+	b := NewRowBuffer(3)
+	var evicted []*stream.Tuple
+	for i := 0; i < 5; i++ {
+		if ev := b.Add(at(time.Duration(i)*time.Second, "t")); ev != nil {
+			evicted = append(evicted, ev)
+		}
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if len(evicted) != 2 || evicted[0].TS != 0 || evicted[1].TS != stream.TS(time.Second) {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	var order []stream.Timestamp
+	b.Each(func(tu *stream.Tuple) bool { order = append(order, tu.TS); return true })
+	want := []stream.Timestamp{stream.TS(2 * time.Second), stream.TS(3 * time.Second), stream.TS(4 * time.Second)}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestRowBufferZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRowBuffer(0) must panic")
+		}
+	}()
+	NewRowBuffer(0)
+}
+
+func TestTimersOrderAndCancel(t *testing.T) {
+	var ts Timers
+	ts.Schedule(stream.TS(5*time.Second), "b")
+	tm1 := ts.Schedule(stream.TS(3*time.Second), "a")
+	ts.Schedule(stream.TS(9*time.Second), "c")
+	// Same deadline: schedule order.
+	ts.Schedule(stream.TS(5*time.Second), "b2")
+
+	if at, ok := ts.Peek(); !ok || at != stream.TS(3*time.Second) {
+		t.Fatalf("Peek = %v, %v", at, ok)
+	}
+	ts.Cancel(tm1)
+	due := ts.PopDue(stream.TS(6 * time.Second))
+	if len(due) != 2 || due[0].Payload != "b" || due[1].Payload != "b2" {
+		t.Fatalf("due = %v", due)
+	}
+	if due := ts.PopDue(stream.TS(6 * time.Second)); due != nil {
+		t.Fatalf("second pop should be empty, got %v", due)
+	}
+	due = ts.PopDue(stream.MaxTimestamp)
+	if len(due) != 1 || due[0].Payload != "c" {
+		t.Fatalf("final = %v", due)
+	}
+	if _, ok := ts.Peek(); ok {
+		t.Error("queue should be empty")
+	}
+	ts.Cancel(nil) // no-op
+}
+
+// Property: PopDue returns exactly the scheduled deadlines <= now, sorted.
+func TestTimersProperty(t *testing.T) {
+	f := func(deadlines []uint16, cut uint16) bool {
+		var ts Timers
+		for _, d := range deadlines {
+			ts.Schedule(stream.Timestamp(d), int(d))
+		}
+		due := ts.PopDue(stream.Timestamp(cut))
+		// Sorted and all <= cut.
+		for i, tm := range due {
+			if tm.At > stream.Timestamp(cut) {
+				return false
+			}
+			if i > 0 && due[i-1].At > tm.At {
+				return false
+			}
+		}
+		// Count matches.
+		want := 0
+		for _, d := range deadlines {
+			if d <= cut {
+				want++
+			}
+		}
+		return len(due) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
