@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench-smoke bench-json
+
+ci: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A fast pass over every benchmark family to catch bit-rot without paying
+# for full measurement runs.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 50x .
+
+# The sharded-scaling sweep as a machine-readable artifact.
+bench-json:
+	$(GO) run ./cmd/eslev bench -shards 1,2,4,8 -bench-json BENCH_SHARDED.json

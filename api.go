@@ -8,6 +8,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/esl"
 	"repro/internal/rfid"
+	"repro/internal/shard"
 	"repro/internal/stream"
 )
 
@@ -106,6 +107,23 @@ func New() *Engine { return esl.New() }
 // Table is a persistent in-memory relation reachable from stream–DB
 // spanning queries.
 type Table = db.Table
+
+// Of wraps a tuple as a merged stream item.
+func Of(t *Tuple) Item { return stream.Of(t) }
+
+// ---- partition-parallel execution --------------------------------------------
+
+// ShardedEngine runs N independent engine replicas in parallel, hash-routing
+// tuples by the planner-derived partition key: keyed SEQ queries and
+// stateless filter-projections distribute across shards, while global work
+// (aggregates, exception timers, EXISTS windows, table access) runs on
+// shard 0 with an exact serial clock. Output re-merges in timestamp order.
+// The API mirrors Engine; push all input from one goroutine and call Drain
+// (or Close) before reading final results.
+type ShardedEngine = shard.Engine
+
+// NewSharded builds a sharded engine over n replicas (n >= 1).
+func NewSharded(n int) *ShardedEngine { return shard.New(n) }
 
 // ---- the temporal-event core as a direct Go API ------------------------------
 //

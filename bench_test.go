@@ -10,6 +10,7 @@ package eslev
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -632,4 +633,144 @@ func BenchmarkUDAOverhead(b *testing.B) {
 				TERMINATE : { INSERT INTO RETURN SELECT hi FROM state; }
 			};`, `SELECT mymax(bp) FROM vitals`)
 	})
+}
+
+// ---- Sharded scaling: the partition-parallel engine ---------------------------
+
+// benchSharded replays a keyed workload through a ShardedEngine at a given
+// shard count. The container this repo is benchmarked in is single-core
+// (see EXPERIMENTS.md), so shard counts > 1 measure the coordination
+// overhead the architecture adds when no extra cores exist; on multi-core
+// hardware the same benchmark exhibits the scaling curve.
+func benchShardedEX6(b *testing.B, shards int) {
+	e := NewSharded(shards)
+	defer e.Close()
+	if _, err := e.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);
+		CREATE STREAM C3(readerid, tagid, tagtime);
+		CREATE STREAM C4(readerid, tagid, tagtime);`); err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	if _, err := e.RegisterQuery("bench", `
+		SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+		FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		OVER [30 MINUTES PRECEDING C4] MODE CHRONICLE
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+		func(esl.Row) { atomic.AddInt64(&n, 1) }); err != nil {
+		b.Fatal(err)
+	}
+	trace, _ := rfid.QualityLine(rfid.QualityConfig{Items: 2000, DropRate: 0.1, Seed: 4})
+	f := newFeeder(trace)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, at := f.next()
+		if err := e.Push(r.Stream, at, stream.Str(r.ReaderID), stream.Str(r.TagID), stream.Null); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(atomic.LoadInt64(&n))/float64(b.N), "events/op")
+}
+
+// benchShardedContainment runs a multi-line variant of the Figure 1
+// containment query: 8 packing lines keyed by lineid, each staging cases of
+// three products. Intra-line product gaps stay under the 1-second chain
+// bound, so every case yields a containment event.
+func benchShardedContainment(b *testing.B, shards int) {
+	const lines = 8
+	e := NewSharded(shards)
+	defer e.Close()
+	if _, err := e.Exec(`
+		CREATE STREAM R1(lineid, tagid, tagtime);
+		CREATE STREAM R2(lineid, tagid, tagtime);`); err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	if _, err := e.RegisterQuery("bench", `
+		SELECT R2.lineid, COUNT(R1*), R2.tagid, R2.tagtime
+		FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R1.lineid = R2.lineid
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+		AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`,
+		func(esl.Row) { atomic.AddInt64(&n, 1) }); err != nil {
+		b.Fatal(err)
+	}
+	lineNames := make([]string, lines)
+	for l := range lineNames {
+		lineNames[l] = fmt.Sprintf("L%d", l)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := lineNames[i%lines]
+		pos := (i / lines) % 4 // three products then the case read
+		at := stream.TS(time.Duration(i) * 100 * time.Millisecond)
+		var err error
+		if pos < 3 {
+			err = e.Push("R1", at, stream.Str(line), stream.Str(fmt.Sprintf("p%d", i)), stream.Time(at))
+		} else {
+			err = e.Push("R2", at, stream.Str(line), stream.Str(fmt.Sprintf("case%d", i)), stream.Time(at))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(atomic.LoadInt64(&n))/float64(b.N), "events/op")
+}
+
+func BenchmarkShardedScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("EX6/shards=%d", shards), func(b *testing.B) {
+			benchShardedEX6(b, shards)
+		})
+		b.Run(fmt.Sprintf("Containment/shards=%d", shards), func(b *testing.B) {
+			benchShardedContainment(b, shards)
+		})
+	}
+}
+
+// BenchmarkShardedBatchIngest measures the batched ingestion path head to
+// head against per-tuple pushes on the same keyed EX6 workload.
+func BenchmarkShardedBatchIngest(b *testing.B) {
+	for _, batch := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e := NewSharded(2)
+			defer e.Close()
+			if _, err := e.Exec(`
+				CREATE STREAM C1(readerid, tagid, tagtime);
+				CREATE STREAM C2(readerid, tagid, tagtime);
+				CREATE STREAM C3(readerid, tagid, tagtime);
+				CREATE STREAM C4(readerid, tagid, tagtime);`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.RegisterQuery("bench", `
+				SELECT C1.tagid FROM C1, C2, C3, C4
+				WHERE SEQ(C1, C2, C3, C4)
+				AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+				func(esl.Row) {}); err != nil {
+				b.Fatal(err)
+			}
+			e.SetBatchSize(batch)
+			trace, _ := rfid.QualityLine(rfid.QualityConfig{Items: 2000, DropRate: 0.1, Seed: 4})
+			f := newFeeder(trace)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, at := f.next()
+				if err := e.Push(r.Stream, at, stream.Str(r.ReaderID), stream.Str(r.TagID), stream.Null); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := e.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

@@ -6,8 +6,13 @@
 //
 //	eslev demo modes                 reproduce the §3.1.1 walkthrough
 //	eslev demo examples              run paper examples 1-8 on simulated data
-//	eslev run script.esl [s=f.csv]   execute a script, feeding stream s
-//	                                 from CSV file f (repeatable)
+//	eslev run [-shards N] script.esl [s=f.csv]
+//	                                 execute a script, feeding stream s
+//	                                 from CSV file f (repeatable); -shards
+//	                                 runs it on the partition-parallel engine
+//	eslev bench [-shards 1,2,4] [-events N] [-bench-json out.json]
+//	                                 run the sharded-scaling workloads and
+//	                                 report throughput (optionally as JSON)
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
@@ -16,9 +21,12 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,10 +54,20 @@ func main() {
 			usage()
 		}
 	case "run":
-		if len(os.Args) < 3 {
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() < 1 {
 			usage()
 		}
-		err = runScript(os.Args[2], os.Args[3:])
+		err = runScript(*shards, fs.Arg(0), fs.Args()[1:])
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		events := fs.Int("events", 50000, "tuples to push per configuration")
+		jsonPath := fs.String("bench-json", "", "write machine-readable results to this file")
+		_ = fs.Parse(os.Args[2:])
+		err = runBench(*shards, *events, *jsonPath)
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -68,7 +86,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
   eslev demo examples              run the paper's examples on simulated data
-  eslev run script.esl [s=f.csv]   execute a script over CSV streams
+  eslev run [-shards N] script.esl [s=f.csv]
+                                   execute a script over CSV streams
+  eslev bench [-shards 1,2,4] [-events N] [-bench-json out.json]
+                                   sweep the sharded-scaling workloads
   eslev explain script.esl         show the plan of each query in a script`)
 	os.Exit(2)
 }
@@ -343,14 +364,31 @@ func firstLine(s string) string {
 	return s
 }
 
+// engineLike is the surface runScript needs from either engine flavor; both
+// eslev.Engine and eslev.ShardedEngine satisfy it.
+type engineLike interface {
+	Exec(script string) ([]*eslev.Query, error)
+	Subscribe(name string, fn func(*eslev.Tuple)) error
+	StreamSchema(name string) (*eslev.Schema, bool)
+	Push(streamName string, ts eslev.Timestamp, vals ...eslev.Value) error
+}
+
 // runScript executes an .esl file, feeding the named streams from CSVs and
 // printing every row produced by top-level SELECT statements.
-func runScript(path string, feeds []string) error {
+func runScript(shards int, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	e := eslev.New()
+	var e engineLike
+	finish := func() error { return nil }
+	if shards > 1 {
+		se := eslev.NewSharded(shards)
+		finish = se.Close
+		e = se
+	} else {
+		e = eslev.New()
+	}
 	if _, err := e.Exec(string(src)); err != nil {
 		return err
 	}
@@ -371,6 +409,9 @@ func runScript(path string, feeds []string) error {
 	if err != nil {
 		return err
 	}
+	if err := finish(); err != nil { // sharded: drain merged output first
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "eslev: processed %d tuples from %d streams\n", rows, len(fs))
 	return nil
 }
@@ -386,7 +427,7 @@ type csvRow struct {
 	vals   []eslev.Value
 }
 
-func loadCSVs(e *eslev.Engine, feeds []csvFeed) (int, error) {
+func loadCSVs(e engineLike, feeds []csvFeed) (int, error) {
 	var all []csvRow
 	for _, f := range feeds {
 		rows, err := readCSV(e, f.stream, f.file)
@@ -404,7 +445,7 @@ func loadCSVs(e *eslev.Engine, feeds []csvFeed) (int, error) {
 	return len(all), nil
 }
 
-func readCSV(e *eslev.Engine, streamName, file string) ([]csvRow, error) {
+func readCSV(e engineLike, streamName, file string) ([]csvRow, error) {
 	schema, ok := e.StreamSchema(streamName)
 	if !ok {
 		return nil, fmt.Errorf("stream %s not declared by the script", streamName)
@@ -483,4 +524,141 @@ func parseCSVValue(s string) eslev.Value {
 		return eslev.Bool(s == "true")
 	}
 	return eslev.Str(s)
+}
+
+// ---- bench: sharded-scaling sweep -------------------------------------------
+
+type benchResult struct {
+	Workload     string  `json:"workload"`
+	Shards       int     `json:"shards"`
+	Events       int     `json:"events"`
+	Matches      int64   `json:"matches"`
+	WallMs       float64 `json:"wall_ms"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchReport struct {
+	CPUs       int           `json:"cpus"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// runBench sweeps the two keyed workloads of EXPERIMENTS.md over the given
+// shard counts and prints (optionally emits as JSON) throughput per
+// configuration. Matches are also reported so runs can be checked for
+// output equivalence across shard counts.
+func runBench(shardList string, events int, jsonPath string) error {
+	var counts []int
+	for _, part := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	report := benchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Printf("cpus=%d gomaxprocs=%d events=%d\n", report.CPUs, report.GoMaxProcs, events)
+	for _, workload := range []string{"ex6-seq", "containment"} {
+		for _, n := range counts {
+			res, err := benchWorkload(workload, n, events)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, res)
+			fmt.Printf("%-12s shards=%d  %9.1f ms  %10.0f events/s  matches=%d\n",
+				res.Workload, res.Shards, res.WallMs, res.EventsPerSec, res.Matches)
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func benchWorkload(name string, shards, events int) (benchResult, error) {
+	e := eslev.NewSharded(shards)
+	defer e.Close()
+	matches := int64(0)
+	onRow := func(eslev.Row) { matches++ } // combiner serializes callbacks
+	var push func(i int) error
+	switch name {
+	case "ex6-seq":
+		if _, err := e.Exec(`
+			CREATE STREAM C1(readerid, tagid, tagtime);
+			CREATE STREAM C2(readerid, tagid, tagtime);
+			CREATE STREAM C3(readerid, tagid, tagtime);
+			CREATE STREAM C4(readerid, tagid, tagtime);`); err != nil {
+			return benchResult{}, err
+		}
+		if _, err := e.RegisterQuery("bench", `
+			SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+			FROM C1, C2, C3, C4
+			WHERE SEQ(C1, C2, C3, C4)
+			OVER [30 MINUTES PRECEDING C4] MODE CHRONICLE
+			AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`, onRow); err != nil {
+			return benchResult{}, err
+		}
+		trace, _ := eslev.QualityLine(eslev.QualityConfig{Items: 2000, DropRate: 0.1, Seed: 4})
+		readings := trace.Readings
+		last := readings[len(readings)-1].At
+		span := last + eslev.TS(time.Minute)
+		push = func(i int) error {
+			r := readings[i%len(readings)]
+			at := r.At + eslev.Timestamp(i/len(readings))*span
+			return e.Push(r.Stream, at, eslev.Str(r.ReaderID), eslev.Str(r.TagID), eslev.Null)
+		}
+	case "containment":
+		const lines = 8
+		if _, err := e.Exec(`
+			CREATE STREAM R1(lineid, tagid, tagtime);
+			CREATE STREAM R2(lineid, tagid, tagtime);`); err != nil {
+			return benchResult{}, err
+		}
+		if _, err := e.RegisterQuery("bench", `
+			SELECT R2.lineid, COUNT(R1*), R2.tagid, R2.tagtime
+			FROM R1, R2
+			WHERE SEQ(R1*, R2) MODE CHRONICLE
+			AND R1.lineid = R2.lineid
+			AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+			AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`, onRow); err != nil {
+			return benchResult{}, err
+		}
+		push = func(i int) error {
+			line := fmt.Sprintf("L%d", i%lines)
+			at := eslev.TS(time.Duration(i) * 100 * time.Millisecond)
+			if (i/lines)%4 < 3 {
+				return e.Push("R1", at, eslev.Str(line), eslev.Str(fmt.Sprintf("p%d", i)), eslev.Time(at))
+			}
+			return e.Push("R2", at, eslev.Str(line), eslev.Str(fmt.Sprintf("case%d", i)), eslev.Time(at))
+		}
+	default:
+		return benchResult{}, fmt.Errorf("unknown workload %q", name)
+	}
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		if err := push(i); err != nil {
+			return benchResult{}, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return benchResult{}, err
+	}
+	wall := time.Since(start)
+	return benchResult{
+		Workload:     name,
+		Shards:       shards,
+		Events:       events,
+		Matches:      matches,
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		NsPerEvent:   float64(wall) / float64(events),
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}, nil
 }

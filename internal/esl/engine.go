@@ -2,6 +2,7 @@ package esl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -16,10 +17,24 @@ type Row struct {
 	Names []string
 	Vals  []stream.Value
 	TS    stream.Timestamp
+	// idx maps lower-cased column names to positions. The planner builds it
+	// once per query projection and shares it across every emitted row, so
+	// Get is a map probe instead of an O(columns) case-folding scan. A
+	// hand-built Row leaves it nil and falls back to the scan.
+	idx map[string]int
 }
 
 // Get returns the value of the named output column.
 func (r Row) Get(name string) stream.Value {
+	if r.idx != nil {
+		if i, ok := r.idx[name]; ok {
+			return r.Vals[i]
+		}
+		if i, ok := r.idx[strings.ToLower(name)]; ok {
+			return r.Vals[i]
+		}
+		return stream.Null
+	}
 	for i, n := range r.Names {
 		if strings.EqualFold(n, name) {
 			return r.Vals[i]
@@ -84,6 +99,61 @@ type Query struct {
 	// or the user's callback).
 	sink    func(Row) error
 	emitted int
+	// Partition-parallel metadata, set at registration: the streams this
+	// query reads, its sink target, and whether its results are invariant
+	// under key-partitioned input routing (see Shardability).
+	reads         []string
+	target        string
+	targetIsTable bool
+	shard         Shardability
+}
+
+// Shardability reports whether a continuous query's output is invariant
+// when its input streams are hash-partitioned by key across independent
+// engine replicas, each seeing only its key's tuples (plus heartbeats).
+//
+// The planner marks a query shardable when it is a keyed SEQ query (the
+// solved partition equality class covers every step, and matching is fully
+// bind-time checked: windows, gaps and residual predicates all validate on
+// the tuple's own timestamps) or a stateless per-tuple filter/projection
+// (Keys nil: any placement works). Everything whose outcome depends on the
+// global clock or on cross-key state — aggregates, EXCEPTION_SEQ/CLEVEL_SEQ
+// timers, ExpireAfter idling, EXISTS windows, table access, DISTINCT,
+// LIMIT — is unshardable and must run on a single designated replica.
+type Shardability struct {
+	Shardable bool
+	// Keys maps lower-cased input stream names to the lower-cased partition
+	// column the router must hash. Nil on a shardable query means the query
+	// is stateless and indifferent to placement.
+	Keys map[string]string
+}
+
+// Reads returns the lower-cased names of the streams the query consumes
+// (FROM sources and EXISTS sub-query sources).
+func (q *Query) Reads() []string { return append([]string(nil), q.reads...) }
+
+// Target returns the lower-cased sink name ("" when the query only feeds a
+// callback) and whether it is a table rather than a derived stream.
+func (q *Query) Target() (name string, isTable bool) { return q.target, q.targetIsTable }
+
+// Shardability reports the planner's routing classification for the query.
+func (q *Query) Shardability() Shardability {
+	s := q.shard
+	if s.Keys != nil {
+		keys := make(map[string]string, len(s.Keys))
+		for k, v := range s.Keys {
+			keys[k] = v
+		}
+		s.Keys = keys
+	}
+	return s
+}
+
+// Queries returns the registered continuous queries.
+func (e *Engine) Queries() []*Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Query(nil), e.queries...)
 }
 
 // queryOp is a compiled continuous-query runtime.
@@ -393,6 +463,17 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 	for streamName, aliases := range inputs {
 		si := e.streams[strings.ToLower(streamName)]
 		si.readers = append(si.readers, reader{q: q, aliases: aliases})
+		q.reads = append(q.reads, strings.ToLower(streamName))
+	}
+	sort.Strings(q.reads)
+	if target != "" {
+		q.target = strings.ToLower(target)
+		if _, isTable := e.store.Get(target); isTable {
+			q.targetIsTable = true
+			// Stream->DB updates mutate one shared table; replicas would
+			// each apply the update, so the query must stay on one engine.
+			q.shard = Shardability{}
+		}
 	}
 	e.queries = append(e.queries, q)
 	return q, nil
@@ -461,6 +542,58 @@ func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Val
 		return err
 	}
 	return e.routeLocked(si, t)
+}
+
+// PushBatch processes a run of merged items — tuples and heartbeats in
+// joint-history (non-decreasing timestamp) order — under one lock
+// acquisition. Tuples are routed to the stream named by their schema;
+// heartbeats advance event time. This is the amortized ingestion path for
+// high-volume feeds: per-item locking and map dispatch from Push/Feed
+// collapse into one pass.
+func (e *Engine) PushBatch(items []stream.Item) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var (
+		lastSchema *stream.Schema
+		lastInfo   *streamInfo
+	)
+	for _, it := range items {
+		if it.IsHeartbeat() {
+			if it.TS > e.now {
+				e.now = it.TS
+			}
+			if err := e.advanceLocked(e.now); err != nil {
+				return err
+			}
+			continue
+		}
+		si := lastInfo
+		if it.Tuple.Schema != lastSchema {
+			var ok bool
+			si, ok = e.streams[strings.ToLower(it.Tuple.Schema.Name())]
+			if !ok {
+				return fmt.Errorf("esl: unknown stream %s", it.Tuple.Schema.Name())
+			}
+			lastSchema, lastInfo = it.Tuple.Schema, si
+		}
+		if err := e.routeLocked(si, it.Tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamNames returns the declared stream names (sources and derived), in
+// sorted order.
+func (e *Engine) StreamNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.streams))
+	for _, si := range e.streams {
+		names = append(names, si.schema.Name())
+	}
+	sort.Strings(names)
+	return names
 }
 
 // PushTuple appends a pre-built tuple (its schema must be the stream's).

@@ -3,6 +3,7 @@ package esl
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/stream"
@@ -27,11 +28,39 @@ type Env struct {
 	// hooks evaluate planned sub-expressions (EXISTS sub-queries) that the
 	// generic evaluator cannot compute itself. Keyed by AST node identity.
 	hooks map[Expr]func(*Env) (stream.Value, error)
+	// buf inlines the first few bindings so typical environments (one outer
+	// tuple, a handful of SEQ steps) never allocate a separate slice.
+	buf [4]binding
 }
 
+// binding is one named scope entry: a stream tuple (t, possibly nil for the
+// unbound step of a partial match) or a table row (schema+vals). Storing
+// the data directly instead of a per-bind closure keeps BindTuple
+// allocation-free on the hot path.
 type binding struct {
-	alias string
-	get   func(col string) (stream.Value, bool)
+	alias  string
+	t      *stream.Tuple
+	schema *stream.Schema
+	vals   []stream.Value
+}
+
+func (b *binding) get(col string) (stream.Value, bool) {
+	if b.schema != nil { // table row
+		if i, ok := b.schema.Col(col); ok {
+			if i < len(b.vals) {
+				return b.vals[i], true
+			}
+			return stream.Null, true
+		}
+		return stream.Null, false
+	}
+	if b.t == nil {
+		return stream.Null, true // unbound step of a partial match: NULLs
+	}
+	if i, ok := b.t.Schema.Col(col); ok {
+		return b.t.Get(i), true
+	}
+	return stream.Null, false
 }
 
 // NewEnv builds an empty environment using the given function registry
@@ -40,12 +69,55 @@ func NewEnv(funcs *FuncRegistry) *Env {
 	if funcs == nil {
 		funcs = builtinFuncs
 	}
-	return &Env{funcs: funcs}
+	e := &Env{funcs: funcs}
+	e.binds = e.buf[:0]
+	return e
 }
 
 // Child builds a nested scope (inner bindings shadow outer ones).
 func (e *Env) Child() *Env {
-	return &Env{parent: e, funcs: e.funcs, match: e.match, stepOf: e.stepOf, prev: e.prev, hooks: e.hooks}
+	c := &Env{parent: e, funcs: e.funcs, match: e.match, stepOf: e.stepOf, prev: e.prev, hooks: e.hooks}
+	c.binds = c.buf[:0]
+	return c
+}
+
+// envPool recycles environments across per-tuple evaluations. An env may be
+// pooled only when nothing produced during evaluation retains it (rows copy
+// values out; hook closures receive it per call) — true for step filters,
+// residual predicates and match projection, which dominate the hot path.
+var envPool = sync.Pool{New: func() any { return new(Env) }}
+
+// getEnv returns a pooled environment bound to funcs; release it with
+// putEnv when evaluation is done.
+func getEnv(funcs *FuncRegistry) *Env {
+	e := envPool.Get().(*Env)
+	if funcs == nil {
+		funcs = builtinFuncs
+	}
+	e.funcs = funcs
+	e.binds = e.buf[:0]
+	return e
+}
+
+// getChildEnv is Child backed by the pool.
+func getChildEnv(parent *Env) *Env {
+	c := envPool.Get().(*Env)
+	c.parent = parent
+	c.funcs = parent.funcs
+	c.match = parent.match
+	c.stepOf = parent.stepOf
+	c.prev = parent.prev
+	c.hooks = parent.hooks
+	c.binds = c.buf[:0]
+	return c
+}
+
+// putEnv drops all references (tuples, matches, hook maps — child scopes
+// share prev/hooks with their parents, so maps are released, not cleared)
+// and returns the environment to the pool.
+func putEnv(e *Env) {
+	*e = Env{}
+	envPool.Put(e)
 }
 
 // SetHook installs an evaluator for a planned sub-expression node.
@@ -68,28 +140,18 @@ func (e *Env) hook(node Expr) (func(*Env) (stream.Value, error), bool) {
 
 // BindTuple makes a stream tuple visible under alias.
 func (e *Env) BindTuple(alias string, t *stream.Tuple) {
-	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), get: func(col string) (stream.Value, bool) {
-		if t == nil {
-			return stream.Null, true // unbound step of a partial match: NULLs
-		}
-		if i, ok := t.Schema.Col(col); ok {
-			return t.Get(i), true
-		}
-		return stream.Null, false
-	}})
+	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), t: t})
+}
+
+// bindTupleLower is BindTuple for an alias already lowercased by the
+// planner, skipping the per-call strings.ToLower allocation.
+func (e *Env) bindTupleLower(aliasLower string, t *stream.Tuple) {
+	e.binds = append(e.binds, binding{alias: aliasLower, t: t})
 }
 
 // BindRow makes a table row visible under alias with the given schema.
 func (e *Env) BindRow(alias string, schema *stream.Schema, vals []stream.Value) {
-	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), get: func(col string) (stream.Value, bool) {
-		if i, ok := schema.Col(col); ok {
-			if i < len(vals) {
-				return vals[i], true
-			}
-			return stream.Null, true
-		}
-		return stream.Null, false
-	}})
+	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), schema: schema, vals: vals})
 }
 
 // BindMatch attaches a temporal match: each step alias is bound to its last
@@ -97,22 +159,38 @@ func (e *Env) BindRow(alias string, schema *stream.Schema, vals []stream.Value) 
 // tuple; for star steps the last tuple of the run), and star aggregates
 // resolve against the groups.
 func (e *Env) BindMatch(m *core.Match, def *core.Def) {
-	e.match = m
-	e.stepOf = make(map[string]int, len(def.Steps))
+	stepOf := make(map[string]int, len(def.Steps))
+	aliases := make([]string, len(def.Steps))
 	for i, s := range def.Steps {
-		e.stepOf[strings.ToLower(s.Alias)] = i
-		e.BindTuple(s.Alias, m.Last(i))
+		aliases[i] = strings.ToLower(s.Alias)
+		stepOf[aliases[i]] = i
+	}
+	e.BindMatchIndexed(m, def, stepOf, aliases)
+}
+
+// BindMatchIndexed is BindMatch with the step index and lowercased aliases
+// precomputed at plan time, so repeated per-match binding allocates nothing.
+func (e *Env) BindMatchIndexed(m *core.Match, def *core.Def, stepOf map[string]int, lowerAliases []string) {
+	e.match = m
+	e.stepOf = stepOf
+	for i := range def.Steps {
+		e.bindTupleLower(lowerAliases[i], m.Last(i))
 	}
 }
 
 // BindStarTuple rebinds a star alias to one specific tuple of its group
 // (the per-item projection of §3.1.2) along with its predecessor.
 func (e *Env) BindStarTuple(alias string, t, prev *stream.Tuple) {
-	e.BindTuple(alias, t)
+	e.bindStarTupleLower(strings.ToLower(alias), t, prev)
+}
+
+// bindStarTupleLower is BindStarTuple for a pre-lowercased alias.
+func (e *Env) bindStarTupleLower(aliasLower string, t, prev *stream.Tuple) {
+	e.bindTupleLower(aliasLower, t)
 	if e.prev == nil {
 		e.prev = map[string]*stream.Tuple{}
 	}
-	e.prev[strings.ToLower(alias)] = prev
+	e.prev[aliasLower] = prev
 }
 
 // lookup resolves a possibly-qualified column reference: innermost scope

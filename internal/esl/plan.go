@@ -65,13 +65,14 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	}
 
 	op := &filterProjectOp{
-		e:          e,
-		q:          q,
-		outerAlias: outer.Alias,
-		where:      sel.Where,
-		proj:       proj,
-		distinct:   sel.Distinct,
-		limit:      sel.Limit,
+		e:               e,
+		q:               q,
+		outerAlias:      outer.Alias,
+		outerAliasLower: strings.ToLower(outer.Alias),
+		where:           sel.Where,
+		proj:            proj,
+		distinct:        sel.Distinct,
+		limit:           sel.Limit,
 	}
 	inputs := map[string][]string{outer.Source: {outer.Alias}}
 
@@ -87,6 +88,16 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	if err := e.planExists(sel.Where, op, inputs); err != nil {
 		return nil, nil, err
 	}
+	op.buildHooks()
+
+	// A pure per-tuple filter-project holds no cross-tuple state, so any
+	// partitioning of its input reproduces the serial output: shardable with
+	// no key constraint ("indifferent"). DISTINCT, LIMIT, table joins and
+	// EXISTS sub-queries all observe global state and stay serial.
+	if len(op.tables) == 0 && len(op.exists) == 0 && len(op.tableExists) == 0 &&
+		!op.distinct && op.limit < 0 {
+		q.shard = Shardability{Shardable: true}
+	}
 	return op, inputs, nil
 }
 
@@ -99,8 +110,29 @@ type aliasSchema struct {
 
 type projection struct {
 	names []string
+	// idx maps lower-cased output names to positions (first occurrence wins,
+	// matching Row.Get's former first-EqualFold-match scan). Built once at
+	// compile time and shared by every Row this projection emits.
+	idx map[string]int
 	// builders produce one value each; star items expand in place.
 	items []projItem
+}
+
+// buildNameIndex precomputes the lowercase name→position map for Row.Get.
+func buildNameIndex(names []string) map[string]int {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		ln := strings.ToLower(n)
+		if _, ok := idx[ln]; !ok {
+			idx[ln] = i
+		}
+	}
+	return idx
+}
+
+// row assembles an output Row carrying the shared name index.
+func (p *projection) row(vals []stream.Value, ts stream.Timestamp) Row {
+	return Row{Names: p.names, Vals: vals, TS: ts, idx: p.idx}
 }
 
 type projItem struct {
@@ -125,6 +157,7 @@ func (e *Engine) compileProjection(sel *Select, schemas []aliasSchema) (*project
 		p.items = append(p.items, projItem{expr: item.Expr})
 		p.names = append(p.names, projName(item, i))
 	}
+	p.idx = buildNameIndex(p.names)
 	return p, nil
 }
 
@@ -152,7 +185,7 @@ func projName(item SelectItem, i int) string {
 // build evaluates the projection in env. Star items read bound tuples/rows
 // column-wise via the environment.
 func (p *projection) build(env *Env) ([]stream.Value, error) {
-	var out []stream.Value
+	out := make([]stream.Value, 0, len(p.names))
 	for _, item := range p.items {
 		if item.star {
 			for _, as := range item.schemas {
@@ -238,16 +271,21 @@ type filterProjectOp struct {
 	e          *Engine
 	q          *Query
 	outerAlias string
-	where      Expr
-	proj       *projection
-	distinct   bool
-	limit      int
-	emitted    int
-	seen       map[uint64]int
+	// outerAliasLower avoids re-lowercasing the alias on every tuple.
+	outerAliasLower string
+	where           Expr
+	proj            *projection
+	distinct        bool
+	limit           int
+	emitted         int
+	seen            map[uint64]int
 
 	tables      []joinTable
 	exists      []*existsState
 	tableExists []tableExistsState
+	// hooks holds the EXISTS evaluators, built once at compile time and
+	// shared (read-only) by every per-tuple environment.
+	hooks map[Expr]func(*Env) (stream.Value, error)
 
 	// deferred is set when any EXISTS window has a FOLLOWING component:
 	// outer tuples wait in pending until event time passes their deadline.
@@ -305,16 +343,13 @@ func (op *filterProjectOp) advance(ts stream.Timestamp) error {
 
 // emit runs the WHERE clause (with EXISTS hooks bound) and projects.
 func (op *filterProjectOp) emit(t *stream.Tuple) error {
-	env := NewEnv(op.e.funcs)
-	env.BindTuple(op.outerAlias, t)
-	for _, ex := range op.exists {
-		op.bindExistsHook(env, ex)
-	}
-	for i := range op.tableExists {
-		op.bindTableExistsHook(env, &op.tableExists[i])
-	}
+	env := getEnv(op.e.funcs)
+	env.hooks = op.hooks
+	env.bindTupleLower(op.outerAliasLower, t)
 	// Nested-loop (usually index) join over context tables.
-	return op.joinTables(env, t, 0)
+	err := op.joinTables(env, t, 0)
+	putEnv(env)
+	return err
 }
 
 func (op *filterProjectOp) joinTables(env *Env, t *stream.Tuple, i int) error {
@@ -332,7 +367,7 @@ func (op *filterProjectOp) joinTables(env *Env, t *stream.Tuple, i int) error {
 		if err != nil {
 			return err
 		}
-		return op.sinkRow(Row{Names: op.proj.names, Vals: vals, TS: t.TS})
+		return op.sinkRow(op.proj.row(vals, t.TS))
 	}
 	jt := op.tables[i]
 	var rows []*db.Row
@@ -349,9 +384,11 @@ func (op *filterProjectOp) joinTables(env *Env, t *stream.Tuple, i int) error {
 		rows = jt.tbl.Snapshot()
 	}
 	for _, r := range rows {
-		child := env.Child()
+		child := getChildEnv(env)
 		child.BindRow(jt.alias, jt.tbl.Schema(), r.Vals)
-		if err := op.joinTables(child, t, i+1); err != nil {
+		err := op.joinTables(child, t, i+1)
+		putEnv(child)
+		if err != nil {
 			return err
 		}
 	}
@@ -376,9 +413,25 @@ func (op *filterProjectOp) sinkRow(r Row) error {
 	return op.q.sink(r)
 }
 
-// bindExistsHook wires one EXISTS node to its runtime evaluation.
-func (op *filterProjectOp) bindExistsHook(env *Env, ex *existsState) {
-	env.SetHook(ex.node, func(cur *Env) (stream.Value, error) {
+// buildHooks assembles the compile-time EXISTS evaluator map shared by all
+// per-tuple environments.
+func (op *filterProjectOp) buildHooks() {
+	if len(op.exists) == 0 && len(op.tableExists) == 0 {
+		return
+	}
+	op.hooks = make(map[Expr]func(*Env) (stream.Value, error), len(op.exists)+len(op.tableExists))
+	for _, ex := range op.exists {
+		op.hooks[ex.node] = op.existsHook(ex)
+	}
+	for i := range op.tableExists {
+		ex := &op.tableExists[i]
+		op.hooks[ex.node] = op.tableExistsHook(ex)
+	}
+}
+
+// existsHook wires one EXISTS node to its runtime evaluation.
+func (op *filterProjectOp) existsHook(ex *existsState) func(*Env) (stream.Value, error) {
+	return func(cur *Env) (stream.Value, error) {
 		anchorTS, err := resolveAnchorTS(cur, ex.anchorAlias, op.outerAlias)
 		if err != nil {
 			return stream.Null, err
@@ -388,17 +441,20 @@ func (op *filterProjectOp) bindExistsHook(env *Env, ex *existsState) {
 		found := false
 		var scanErr error
 		ex.buffer.EachInRange(lo, hi, func(inner *stream.Tuple) bool {
-			child := cur.Child()
+			child := getChildEnv(cur)
 			child.BindTuple(ex.alias, inner)
 			if ex.inner.Where != nil {
 				ok, known, err := child.EvalBool(ex.inner.Where)
+				putEnv(child)
 				if err != nil {
 					scanErr = err
 					return false
 				}
 				if !ok || !known {
-					return true
+					return true // keep scanning
 				}
+			} else {
+				putEnv(child)
 			}
 			found = true
 			return false
@@ -410,14 +466,14 @@ func (op *filterProjectOp) bindExistsHook(env *Env, ex *existsState) {
 			return stream.Bool(!found), nil
 		}
 		return stream.Bool(found), nil
-	})
+	}
 }
 
-// bindTableExistsHook evaluates [NOT] EXISTS over a persistent table
+// tableExistsHook evaluates [NOT] EXISTS over a persistent table
 // (Example 2's movement check), using an index lookup when the correlation
 // is a simple equality.
-func (op *filterProjectOp) bindTableExistsHook(env *Env, ex *tableExistsState) {
-	env.SetHook(ex.node, func(cur *Env) (stream.Value, error) {
+func (op *filterProjectOp) tableExistsHook(ex *tableExistsState) func(*Env) (stream.Value, error) {
+	return func(cur *Env) (stream.Value, error) {
 		var rows []*db.Row
 		if ex.eqCol != "" {
 			v, err := cur.Eval(ex.eqExpr)
@@ -433,16 +489,19 @@ func (op *filterProjectOp) bindTableExistsHook(env *Env, ex *tableExistsState) {
 		}
 		found := false
 		for _, r := range rows {
-			child := cur.Child()
+			child := getChildEnv(cur)
 			child.BindRow(ex.alias, ex.tbl.Schema(), r.Vals)
 			if ex.inner.Where != nil {
 				ok, known, err := child.EvalBool(ex.inner.Where)
+				putEnv(child)
 				if err != nil {
 					return stream.Null, err
 				}
 				if !ok || !known {
 					continue
 				}
+			} else {
+				putEnv(child)
 			}
 			found = true
 			break
@@ -451,7 +510,7 @@ func (op *filterProjectOp) bindTableExistsHook(env *Env, ex *tableExistsState) {
 			return stream.Bool(!found), nil
 		}
 		return stream.Bool(found), nil
-	})
+	}
 }
 
 func resolveAnchorTS(env *Env, anchorAlias, outerAlias string) (stream.Timestamp, error) {

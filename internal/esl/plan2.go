@@ -327,7 +327,7 @@ func (op *aggregateOp) emitGroup(gs *groupState, env *Env, ts stream.Timestamp) 
 	if err != nil {
 		return err
 	}
-	return op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: ts})
+	return op.q.sink(op.proj.row(vals, ts))
 }
 
 func rowsEqual(a, b []stream.Value) bool {
@@ -465,7 +465,7 @@ func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
 			if err != nil {
 				return err
 			}
-			out = append(out, Row{Names: proj.names, Vals: vals, TS: now})
+			out = append(out, proj.row(vals, now))
 			return nil
 		}
 		// Aggregating: accumulate per group.
@@ -548,7 +548,7 @@ func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, Row{Names: proj.names, Vals: vals, TS: now})
+			out = append(out, proj.row(vals, now))
 		}
 	}
 

@@ -28,6 +28,10 @@ type eventOp struct {
 	seq      *core.Matcher
 	exc      *core.ExceptionMatcher
 	aliases  []string // step aliases in order
+	// stepIdx / lowerAliases are the compile-time index used by
+	// BindMatchIndexed so per-match binding allocates nothing.
+	stepIdx      map[string]int
+	lowerAliases []string
 
 	proj *projection
 	// starItemAlias is set when the projection references a star step's
@@ -78,7 +82,9 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		stepOf[key] = i
 		op.def.Steps = append(op.def.Steps, core.Step{Alias: arg.Alias, Star: arg.Star})
 		op.aliases = append(op.aliases, arg.Alias)
+		op.lowerAliases = append(op.lowerAliases, key)
 	}
+	op.stepIdx = stepOf
 	if se.HasMode {
 		op.def.Mode = se.Mode
 	} else if se.Kind != "SEQ" {
@@ -235,6 +241,26 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 			keyPos := pos
 			op.def.Steps[i].Key = func(t *stream.Tuple) stream.Value { return t.Get(keyPos) }
 		}
+		// A fully-keyed SEQ partitions the stream into independent per-key
+		// sub-instances: hash-routing input by the key column reproduces the
+		// serial match set exactly, because window, mode and gap admission
+		// are all decided at bind time from tuple timestamps. ExpireAfter
+		// idling and the exception kinds depend on the global heartbeat
+		// interleaving, so they stay serial.
+		if se.Kind == "SEQ" && se.ExpireAfter == 0 {
+			keys := map[string]string{}
+			conflict := false
+			for alias, col := range keyCols {
+				src := strings.ToLower(aliasStream[alias])
+				if prev, ok := keys[src]; ok && prev != col {
+					conflict = true // same stream keyed by two different columns
+				}
+				keys[src] = col
+			}
+			if !conflict {
+				q.shard = Shardability{Shardable: true, Keys: keys}
+			}
+		}
 	} else {
 		// No full cover: the equality conjuncts become residual predicates.
 		for _, edge := range partitionEdges {
@@ -262,16 +288,17 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		step := &op.def.Steps[stepIdx]
 		if len(cl.refs) == 1 && !cl.hasPrev && !exprHasStarAgg(cl.expr) && !step.Star {
 			expr := cl.expr
-			alias := step.Alias
+			aliasLower := op.lowerAliases[stepIdx]
 			funcs := e.funcs
 			prevFilter := step.Filter
 			step.Filter = func(t *stream.Tuple) bool {
 				if prevFilter != nil && !prevFilter(t) {
 					return false
 				}
-				env := NewEnv(funcs)
-				env.BindTuple(alias, t)
+				env := getEnv(funcs)
+				env.bindTupleLower(aliasLower, t)
 				ok, known, err := env.EvalBool(expr)
+				putEnv(env)
 				return err == nil && ok && known
 			}
 			continue
@@ -295,22 +322,24 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 	if hasPreds {
 		def := &op.def
 		funcs := e.funcs
+		idx, lowers := op.stepIdx, op.lowerAliases
 		op.def.Pred = func(partial *core.Match, stepIdx int, t *stream.Tuple) bool {
 			for _, cl := range predsByStep[stepIdx] {
-				env := NewEnv(funcs)
-				env.BindMatch(partial, def)
-				step := &def.Steps[stepIdx]
+				env := getEnv(funcs)
+				env.BindMatchIndexed(partial, def, idx, lowers)
 				if cl.hasPrev {
-					env.BindStarTuple(step.Alias, t, partial.Last(stepIdx))
+					env.bindStarTupleLower(lowers[stepIdx], t, partial.Last(stepIdx))
 					// The previous-operator constraint only applies from
 					// the second tuple of a run.
 					if partial.Last(stepIdx) == nil {
+						putEnv(env)
 						continue
 					}
 				} else {
-					env.BindTuple(step.Alias, t)
+					env.bindTupleLower(lowers[stepIdx], t)
 				}
 				ok, known, err := env.EvalBool(cl.expr)
+				putEnv(env)
 				if err != nil || !ok || !known {
 					return false
 				}
@@ -617,28 +646,30 @@ func (op *eventOp) advance(ts stream.Timestamp) error {
 // emitMatch projects one completed SEQ match — one row normally, one row
 // per star tuple in the multi-return form.
 func (op *eventOp) emitMatch(m *core.Match) error {
-	base := NewEnv(op.e.funcs)
-	base.BindMatch(m, &op.def)
+	base := getEnv(op.e.funcs)
+	defer putEnv(base)
+	base.BindMatchIndexed(m, &op.def, op.stepIdx, op.lowerAliases)
 	if op.starItemStep < 0 {
 		vals, err := op.proj.build(base)
 		if err != nil {
 			return err
 		}
-		return op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: m.End()})
+		return op.q.sink(op.proj.row(vals, m.End()))
 	}
 	group := m.Groups[op.starItemStep]
 	for i, t := range group {
-		env := base.Child()
+		env := getChildEnv(base)
 		var prev *stream.Tuple
 		if i > 0 {
 			prev = group[i-1]
 		}
-		env.BindStarTuple(op.starItemAlias, t, prev)
+		env.bindStarTupleLower(op.lowerAliases[op.starItemStep], t, prev)
 		vals, err := op.proj.build(env)
+		putEnv(env)
 		if err != nil {
 			return err
 		}
-		if err := op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: m.End()}); err != nil {
+		if err := op.q.sink(op.proj.row(vals, m.End())); err != nil {
 			return err
 		}
 	}
@@ -652,16 +683,16 @@ func (op *eventOp) emitExceptions(exs []*core.Exception) error {
 		if op.levelFilter != nil && !op.levelFilter(x.Level) {
 			continue
 		}
-		env := NewEnv(op.e.funcs)
+		env := getEnv(op.e.funcs)
 		partial := x.Partial
 		if partial == nil {
 			partial = &core.Match{Groups: make([][]*stream.Tuple, len(op.def.Steps))}
 		}
-		env.BindMatch(partial, &op.def)
+		env.BindMatchIndexed(partial, &op.def, op.stepIdx, op.lowerAliases)
 		if x.Trigger != nil && x.Reason == core.BreakBadStart {
 			// A bad-start trigger is the (failed) first step's tuple; bind
 			// it so projections of the first alias show the offender.
-			env.BindTuple(op.def.Steps[0].Alias, x.Trigger)
+			env.bindTupleLower(op.lowerAliases[0], x.Trigger)
 		}
 		env.BindRow("exception", exceptionSchema, []stream.Value{
 			stream.Int(int64(x.Level)),
@@ -669,10 +700,11 @@ func (op *eventOp) emitExceptions(exs []*core.Exception) error {
 			stream.Time(x.TS),
 		})
 		vals, err := op.proj.build(env)
+		putEnv(env)
 		if err != nil {
 			return err
 		}
-		if err := op.q.sink(Row{Names: op.proj.names, Vals: vals, TS: x.TS}); err != nil {
+		if err := op.q.sink(op.proj.row(vals, x.TS)); err != nil {
 			return err
 		}
 	}

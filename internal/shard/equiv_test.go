@@ -1,0 +1,425 @@
+package shard
+
+// Serial-vs-sharded equivalence: every scenario runs once on a plain
+// esl.Engine and once per sharded configuration (1, 2, 4 shards; varying
+// batch sizes), and the full output — continuous rows, subscribed tuples,
+// snapshot results — must be identical as a sorted multiset. Emission
+// order across shards is not part of the contract (the combiner merges by
+// timestamp, and the serial engine itself emits deferred-window rows
+// late), so fingerprints are compared sorted.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+func sec(d int) stream.Timestamp { return stream.TS(time.Duration(d) * time.Second) }
+
+// sink accumulates output fingerprints; sharded callbacks arrive on worker
+// goroutines, so it locks.
+type sink struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+func (s *sink) row(tag string) func(Row) {
+	return func(r Row) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.rows = append(s.rows, tag+"|"+rowString(r))
+	}
+}
+
+func (s *sink) tup(tag string) func(*stream.Tuple) {
+	return func(t *stream.Tuple) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.rows = append(s.rows, fmt.Sprintf("%s|%s@%d%v", tag, t.Schema.Name(), t.TS, t.Vals))
+	}
+}
+
+func (s *sink) add(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, line)
+}
+
+func (s *sink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.rows...)
+	sort.Strings(out)
+	return out
+}
+
+func rowString(r Row) string {
+	return fmt.Sprintf("%v@%d%v", r.Names, r.TS, r.Vals)
+}
+
+// runner abstracts the two engines behind the operations scenarios need.
+type runner interface {
+	exec(t *testing.T, script string)
+	register(t *testing.T, sql string, onRow func(Row))
+	subscribe(t *testing.T, name string, fn func(*stream.Tuple))
+	push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value)
+	heartbeat(t *testing.T, ts stream.Timestamp)
+	query(t *testing.T, sql string) []Row
+	drain(t *testing.T)
+}
+
+type serialRunner struct{ e *esl.Engine }
+
+func (r *serialRunner) exec(t *testing.T, script string) {
+	t.Helper()
+	if _, err := r.e.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialRunner) register(t *testing.T, sql string, onRow func(Row)) {
+	t.Helper()
+	if _, err := r.e.RegisterQuery("equiv", sql, onRow); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialRunner) subscribe(t *testing.T, name string, fn func(*stream.Tuple)) {
+	t.Helper()
+	if err := r.e.Subscribe(name, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialRunner) push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value) {
+	t.Helper()
+	if err := r.e.Push(name, ts, vals...); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialRunner) heartbeat(t *testing.T, ts stream.Timestamp) {
+	t.Helper()
+	if err := r.e.Heartbeat(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialRunner) query(t *testing.T, sql string) []Row {
+	t.Helper()
+	rows, err := r.e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+func (r *serialRunner) drain(*testing.T) {}
+
+type shardRunner struct{ e *Engine }
+
+func (r *shardRunner) exec(t *testing.T, script string) {
+	t.Helper()
+	if _, err := r.e.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *shardRunner) register(t *testing.T, sql string, onRow func(Row)) {
+	t.Helper()
+	if _, err := r.e.RegisterQuery("equiv", sql, onRow); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *shardRunner) subscribe(t *testing.T, name string, fn func(*stream.Tuple)) {
+	t.Helper()
+	if err := r.e.Subscribe(name, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *shardRunner) push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value) {
+	t.Helper()
+	if err := r.e.Push(name, ts, vals...); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *shardRunner) heartbeat(t *testing.T, ts stream.Timestamp) {
+	t.Helper()
+	if err := r.e.Heartbeat(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *shardRunner) query(t *testing.T, sql string) []Row {
+	t.Helper()
+	rows, err := r.e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+func (r *shardRunner) drain(t *testing.T) {
+	t.Helper()
+	if err := r.e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runEquiv executes the scenario serially and against each sharded
+// configuration, then compares the sorted output multisets.
+func runEquiv(t *testing.T, scenario func(t *testing.T, r runner, s *sink)) {
+	t.Helper()
+	serial := &sink{}
+	sr := &serialRunner{e: esl.New()}
+	scenario(t, sr, serial)
+	sr.drain(t)
+	want := serial.sorted()
+
+	configs := []struct{ shards, batch int }{
+		{1, 0}, {2, 3}, {4, 0}, {4, 1},
+	}
+	for _, cfg := range configs {
+		name := fmt.Sprintf("shards=%d/batch=%d", cfg.shards, cfg.batch)
+		t.Run(name, func(t *testing.T) {
+			e := New(cfg.shards)
+			defer e.Close()
+			if cfg.batch > 0 {
+				e.SetBatchSize(cfg.batch)
+			}
+			got := &sink{}
+			scenario(t, &shardRunner{e: e}, got)
+			if err := e.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			have := got.sorted()
+			if len(have) != len(want) {
+				t.Fatalf("row count: sharded %d vs serial %d\nsharded: %v\nserial: %v",
+					len(have), len(want), have, want)
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("row %d:\nsharded: %s\nserial:  %s", i, have[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+const qcDDL = `
+	CREATE STREAM C1(readerid, tagid, tagtime);
+	CREATE STREAM C2(readerid, tagid, tagtime);
+	CREATE STREAM C3(readerid, tagid, tagtime);
+	CREATE STREAM C4(readerid, tagid, tagtime);`
+
+// TestEquivExample6SEQ: the keyed SEQ query of Example 6 — the flagship
+// sharding case. Tags hash across shards; output must match the serial run
+// exactly, including tags that never complete, duplicate checkpoint reads,
+// and a heartbeat mid-stream.
+func TestEquivExample6SEQ(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, qcDDL)
+		r.register(t, `
+			SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+			FROM C1, C2, C3, C4
+			WHERE SEQ(C1, C2, C3, C4)
+			AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+			AND C1.tagid=C4.tagid`, s.row("ex6"))
+		r.subscribe(t, "C1", s.tup("c1"))
+
+		tags := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+		at := 0
+		push := func(stn, tag string) {
+			at++
+			r.push(t, stn, sec(at), stream.Str(stn), stream.Str(tag), stream.Time(sec(at)))
+		}
+		for _, stn := range []string{"C1", "C2", "C3", "C4"} {
+			for i, tag := range tags {
+				if stn == "C3" && i == 2 {
+					continue // t2 skips C3: no match
+				}
+				push(stn, tag)
+				if stn == "C2" && i == 5 {
+					push(stn, tag) // duplicate C2 read for t5
+				}
+			}
+			if stn == "C2" {
+				r.heartbeat(t, sec(at+1))
+				at++
+			}
+		}
+		// A second full wave for two tags, out of phase.
+		for _, stn := range []string{"C1", "C2", "C3", "C4"} {
+			push(stn, "t0")
+			push(stn, "t7")
+		}
+	})
+}
+
+// TestEquivModesWalkthrough: the §3.1.1 walkthrough history under all four
+// Tuple Pairing Modes at once, with three interleaved tags so keyed routing
+// actually spreads work.
+func TestEquivModesWalkthrough(t *testing.T) {
+	walkthrough := []string{"C1", "C1", "C2", "C3", "C3", "C2", "C4"}
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, qcDDL)
+		for _, mode := range []string{"UNRESTRICTED", "RECENT", "CHRONICLE", "CONSECUTIVE"} {
+			r.register(t, fmt.Sprintf(`
+				SELECT C1.tagid, C1.tagtime, C4.tagtime
+				FROM C1, C2, C3, C4
+				WHERE SEQ(C1, C2, C3, C4)
+				OVER [30 MINUTES PRECEDING C4] MODE %s
+				AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+				AND C1.tagid=C4.tagid`, mode), s.row(mode))
+		}
+		at := 0
+		for rep := 0; rep < 3; rep++ {
+			for _, stn := range walkthrough {
+				for _, tag := range []string{"a", "b", "c"} {
+					at++
+					r.push(t, stn, sec(at), stream.Str(stn), stream.Str(tag), stream.Time(sec(at)))
+				}
+			}
+		}
+	})
+}
+
+// TestEquivExample7Containment: the verbatim star-sequence containment
+// query. It has no per-stream partition key, so the planner pins it to
+// shard 0 — the equivalence contract still holds.
+func TestEquivExample7Containment(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, `
+			CREATE STREAM R1(readerid, tagid, tagtime);
+			CREATE STREAM R2(readerid, tagid, tagtime);`)
+		r.register(t, `
+			SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+			FROM R1, R2
+			WHERE SEQ(R1*, R2) MODE CHRONICLE
+			AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+			AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`, s.row("fig1"))
+		push := func(stn string, ms int, tag string) {
+			at := stream.TS(time.Duration(ms) * time.Millisecond)
+			r.push(t, stn, at, stream.Str(stn), stream.Str(tag), stream.Time(at))
+		}
+		// Figure 1's two cases, then a gap-broken third.
+		push("R1", 1000, "p1")
+		push("R1", 1800, "p2")
+		push("R1", 2500, "p3")
+		push("R2", 4000, "case1")
+		push("R1", 6000, "p4")
+		push("R1", 6500, "p5")
+		push("R2", 8000, "case2")
+		push("R1", 20000, "p6")
+		push("R1", 22500, "p7") // >1s gap: containment chain breaks
+		push("R2", 23000, "case3")
+	})
+}
+
+// TestEquivKeyedContainment: a multi-line variant of the containment query
+// where products and cases carry a line id and the query equi-joins on it —
+// whatever shardability the planner derives, output must stay serial.
+func TestEquivKeyedContainment(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, `
+			CREATE STREAM R1(lineid, tagid, tagtime);
+			CREATE STREAM R2(lineid, tagid, tagtime);`)
+		r.register(t, `
+			SELECT R2.lineid, COUNT(R1*), R2.tagid, R2.tagtime
+			FROM R1, R2
+			WHERE SEQ(R1*, R2) MODE CHRONICLE
+			AND R1.lineid = R2.lineid
+			AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+			AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`, s.row("lines"))
+		at := 0
+		push := func(stn, line, tag string) {
+			at += 300
+			ts := stream.TS(time.Duration(at) * time.Millisecond)
+			r.push(t, stn, ts, stream.Str(line), stream.Str(tag), stream.Time(ts))
+		}
+		// Two packing lines running interleaved.
+		for c := 0; c < 4; c++ {
+			for _, line := range []string{"L1", "L2"} {
+				for p := 0; p < 3; p++ {
+					push("R1", line, fmt.Sprintf("%s-c%d-p%d", line, c, p))
+				}
+			}
+			for _, line := range []string{"L1", "L2"} {
+				push("R2", line, fmt.Sprintf("%s-case%d", line, c))
+			}
+		}
+	})
+}
+
+// TestEquivExample1Dedup: the EXISTS-window duplicate filter writing a
+// derived stream. Unshardable (window over the stream's own history), so it
+// pins; the subscription on the derived stream must still see identical
+// tuples.
+func TestEquivExample1Dedup(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, `
+			CREATE STREAM readings(reader_id, tag_id, read_time);
+			CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+			INSERT INTO cleaned_readings
+			SELECT * FROM readings AS r1
+			WHERE NOT EXISTS
+			  (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+			   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);`)
+		r.subscribe(t, "cleaned_readings", s.tup("clean"))
+		at := 0
+		push := func(ms int, rd, tag string) {
+			at += ms
+			r.push(t, "readings", stream.TS(time.Duration(at)*time.Millisecond),
+				stream.Str(rd), stream.Str(tag), stream.Null)
+		}
+		push(100, "rd1", "x")  // kept
+		push(200, "rd1", "x")  // dup within 1s
+		push(300, "rd2", "x")  // different reader: kept
+		push(600, "rd1", "x")  // still within 1s of first
+		push(900, "rd1", "y")  // kept
+		push(1500, "rd1", "x") // outside the 1s window again: kept
+		push(100, "rd1", "y")  // dup
+	})
+}
+
+// TestEquivStatelessFilter: a pure filter-projection is
+// placement-indifferent; its stream routes round-robin and per-shard rows
+// re-merge to the serial set.
+func TestEquivStatelessFilter(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, `CREATE STREAM readings(reader_id, tag_id, read_time);`)
+		r.register(t, `SELECT tag_id, reader_id FROM readings WHERE tag_id LIKE 'a%'`,
+			s.row("filter"))
+		for i := 0; i < 40; i++ {
+			tag := fmt.Sprintf("a%d", i)
+			if i%3 == 0 {
+				tag = fmt.Sprintf("b%d", i)
+			}
+			r.push(t, "readings", sec(i+1),
+				stream.Str(fmt.Sprintf("rd%d", i%4)), stream.Str(tag), stream.Null)
+		}
+	})
+}
+
+// TestEquivExample2Table: the stream–table spanning query of Example 2 —
+// table access pins to shard 0, whose store is authoritative; the final
+// snapshot of object_movement must match the serial run.
+func TestEquivExample2Table(t *testing.T) {
+	runEquiv(t, func(t *testing.T, r runner, s *sink) {
+		r.exec(t, `
+			STREAM tag_locations(readerid, tid, tagtime, loc);
+			TABLE object_movement(tagid, location, start_time);
+			INSERT INTO object_movement
+			SELECT tid, loc, tagtime
+			FROM tag_locations WHERE NOT EXISTS
+			  (SELECT tagid FROM object_movement
+			   WHERE tagid = tid AND location = loc);`)
+		locs := []string{"dock", "floor", "shelf"}
+		for i := 0; i < 30; i++ {
+			tag := fmt.Sprintf("obj-%d", i%5)
+			loc := locs[(i/5)%len(locs)]
+			r.push(t, "tag_locations", sec(i+1),
+				stream.Str("rd"), stream.Str(tag), stream.Null, stream.Str(loc))
+		}
+		r.drain(t)
+		for _, row := range r.query(t, `SELECT tagid, location, start_time FROM object_movement`) {
+			s.add("table|" + rowString(row))
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"strings"
+
+	"repro/internal/esl"
+)
+
+// routeMode decides where a stream's tuples go.
+type routeMode uint8
+
+const (
+	// routePinned sends every tuple to shard 0, the designated home of all
+	// serial-only work.
+	routePinned routeMode = iota
+	// routeKeyed hashes one column so each key's tuples always land on the
+	// same shard.
+	routeKeyed
+	// routeFree round-robins tuples: only stateless (placement-indifferent)
+	// queries read the stream.
+	routeFree
+)
+
+type route struct {
+	mode   routeMode
+	keyPos int // column index hashed under routeKeyed
+}
+
+// recomputeRoutesLocked rebuilds the stream routing table from the
+// registered queries' shardability metadata. It runs a small fixpoint:
+//
+//   - an unshardable query is pinned, and pins every stream it reads;
+//   - a query writing a derived stream that other queries read is pinned
+//     (its output tuples materialize on whatever shard runs it — fanning
+//     them back out by a different key is not supported);
+//   - two keyed queries demanding different key columns on one stream pin
+//     that stream;
+//   - a keyed query reading a pinned stream becomes pinned itself (all its
+//     input is on shard 0 anyway, and its other streams must follow);
+//   - streams with retained history are pinned so snapshot queries see the
+//     full history on shard 0.
+//
+// Streams left unconstrained by any keyed or pinned reader route free.
+// Queries are also assigned a home (-1 = any shard) used to filter output:
+// pinned queries deliver rows only from shard 0.
+func (e *Engine) recomputeRoutesLocked() {
+	queries := e.replicas[0].Queries()
+	type qinfo struct {
+		shard  esl.Shardability
+		reads  []string
+		pinned bool
+	}
+	infos := make([]qinfo, len(queries))
+	readersOf := map[string]int{} // lower stream name -> reading query count
+	for i, q := range queries {
+		infos[i] = qinfo{shard: q.Shardability(), reads: q.Reads()}
+		infos[i].pinned = !infos[i].shard.Shardable
+		for _, s := range q.Reads() {
+			readersOf[s]++
+		}
+	}
+	for i, q := range queries {
+		if target, isTable := q.Target(); target != "" && !isTable && readersOf[target] > 0 {
+			infos[i].pinned = true
+		}
+	}
+
+	streamPinned := map[string]bool{}
+	for name := range e.retained {
+		streamPinned[name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		// Pinned queries pin their input streams.
+		for _, qi := range infos {
+			if !qi.pinned {
+				continue
+			}
+			for _, s := range qi.reads {
+				if !streamPinned[s] {
+					streamPinned[s] = true
+					changed = true
+				}
+			}
+		}
+		// Key-column conflicts pin the stream.
+		keyCol := map[string]string{}
+		for _, qi := range infos {
+			if qi.pinned || qi.shard.Keys == nil {
+				continue
+			}
+			for s, col := range qi.shard.Keys {
+				if prev, ok := keyCol[s]; ok && prev != col && !streamPinned[s] {
+					streamPinned[s] = true
+					changed = true
+				}
+				keyCol[s] = col
+			}
+		}
+		// Keyed queries reading a pinned stream join it on shard 0.
+		for i, qi := range infos {
+			if qi.pinned || qi.shard.Keys == nil {
+				continue
+			}
+			for s := range qi.shard.Keys {
+				if streamPinned[s] {
+					infos[i].pinned = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Final per-stream key columns from the surviving keyed queries.
+	keyCol := map[string]string{}
+	for _, qi := range infos {
+		if qi.pinned || qi.shard.Keys == nil {
+			continue
+		}
+		for s, col := range qi.shard.Keys {
+			keyCol[s] = col
+		}
+	}
+
+	e.routes = map[string]route{}
+	for _, name := range e.replicas[0].StreamNames() {
+		lower := strings.ToLower(name)
+		switch {
+		case streamPinned[lower]:
+			e.routes[lower] = route{mode: routePinned}
+		case keyCol[lower] != "":
+			schema, _ := e.replicas[0].StreamSchema(lower)
+			if pos, ok := schema.Col(keyCol[lower]); ok {
+				e.routes[lower] = route{mode: routeKeyed, keyPos: pos}
+			} else {
+				e.routes[lower] = route{mode: routePinned}
+			}
+		default:
+			e.routes[lower] = route{mode: routeFree}
+		}
+	}
+
+	// Assign output homes.
+	for i, q := range queries {
+		home := -1
+		if infos[i].pinned {
+			home = 0
+		}
+		e.homes[q] = home
+	}
+	for _, slot := range e.slots {
+		if slot.q != nil {
+			if h, ok := e.homes[slot.q]; ok {
+				slot.home = h
+			}
+		}
+	}
+}

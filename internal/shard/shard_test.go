@@ -1,0 +1,298 @@
+package shard
+
+// White-box tests of the sharding machinery itself: route derivation,
+// actual cross-shard distribution, the combiner's merge order, and
+// lifecycle/error behavior.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func routesOf(e *Engine) map[string]route {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string]route{}
+	for k, v := range e.routes {
+		out[k] = v
+	}
+	return out
+}
+
+func TestRoutingKeyedSEQ(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("q", `
+		SELECT C1.tagid FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+		func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	routes := routesOf(e)
+	for _, s := range []string{"c1", "c2", "c3", "c4"} {
+		rt, ok := routes[s]
+		if !ok || rt.mode != routeKeyed {
+			t.Errorf("%s: route = %+v, want keyed", s, rt)
+		}
+		if rt.keyPos != 1 { // tagid is column 1
+			t.Errorf("%s: keyPos = %d, want 1", s, rt.keyPos)
+		}
+	}
+}
+
+func TestRoutingPinnedStar(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(`
+		CREATE STREAM R1(readerid, tagid, tagtime);
+		CREATE STREAM R2(readerid, tagid, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("q", `
+		SELECT COUNT(R1*), R2.tagid FROM R1, R2
+		WHERE SEQ(R1*, R2) MODE CHRONICLE
+		AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS`,
+		func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	routes := routesOf(e)
+	for _, s := range []string{"r1", "r2"} {
+		if rt := routes[s]; rt.mode != routePinned {
+			t.Errorf("%s: route = %+v, want pinned", s, rt)
+		}
+	}
+}
+
+// TestRoutingKeyConflict: two keyed queries demanding different key columns
+// on one stream force it (and the queries reading it) onto shard 0.
+func TestRoutingKeyConflict(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(`
+		CREATE STREAM S1(a, b, tagtime);
+		CREATE STREAM S2(a, b, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	reg := func(sql string) {
+		t.Helper()
+		if _, err := e.RegisterQuery("q", sql, func(Row) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(`SELECT S1.a FROM S1, S2 WHERE SEQ(S1, S2) AND S1.a = S2.a`)
+	if rt := routesOf(e)["s1"]; rt.mode != routeKeyed {
+		t.Fatalf("single keyed query: s1 route = %+v, want keyed", rt)
+	}
+	reg(`SELECT S1.b FROM S1, S2 WHERE SEQ(S1, S2) AND S1.b = S2.b`)
+	routes := routesOf(e)
+	for _, s := range []string{"s1", "s2"} {
+		if rt := routes[s]; rt.mode != routePinned {
+			t.Errorf("conflicting keys: %s route = %+v, want pinned", s, rt)
+		}
+	}
+}
+
+func TestRoutingFreeStateless(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	if _, err := e.Exec(`CREATE STREAM readings(reader_id, tag_id, read_time);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("q", `SELECT tag_id FROM readings WHERE tag_id LIKE 'a%'`,
+		func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if rt := routesOf(e)["readings"]; rt.mode != routeFree {
+		t.Fatalf("readings route = %+v, want free", rt)
+	}
+}
+
+// TestKeyedWorkDistributes proves the keyed path actually parallelizes:
+// with many tags on 4 shards, more than one replica must emit matches.
+func TestKeyedWorkDistributes(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	n := 0
+	if _, err := e.RegisterQuery("q", `
+		SELECT C1.tagid FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+		func(Row) { mu.Lock(); n++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for _, stn := range []string{"C1", "C2", "C3", "C4"} {
+		for i := 0; i < 16; i++ {
+			at++
+			tag := "tag-" + strings.Repeat("x", i%4) + string(rune('a'+i))
+			if err := e.Push(stn, sec(at), stream.Str(stn), stream.Str(tag), stream.Null); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("merged matches = %d, want 16", n)
+	}
+	busy := 0
+	for _, r := range e.replicas {
+		if st := r.Stats(); len(st) > 0 && st[0].Emitted > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d replica(s) emitted matches; keyed routing did not distribute", busy)
+	}
+}
+
+// TestCombinerMergeOrder drives the combiner directly: events buffered from
+// two shards must release in (ts, seq) order gated by the slower shard's
+// watermark.
+func TestCombinerMergeOrder(t *testing.T) {
+	var got []stream.Timestamp
+	c := newCombiner(2, func(ev rowEvent) { got = append(got, ev.ts) })
+	ev := func(ts int, seq uint64) rowEvent {
+		return rowEvent{ts: stream.Timestamp(ts), seq: seq}
+	}
+	// Shard 0 is ahead: nothing releases until shard 1's watermark catches up.
+	c.offer(0, []rowEvent{ev(10, 1), ev(30, 2)}, 40)
+	if len(got) != 0 {
+		t.Fatalf("released %v before slow shard reported", got)
+	}
+	c.offer(1, []rowEvent{ev(20, 1)}, 25)
+	if want := []stream.Timestamp{10, 20}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after wm 25: released %v, want %v", got, want)
+	}
+	c.offer(1, nil, 100)
+	if len(got) != 3 || got[2] != 30 {
+		t.Fatalf("after wm 100: released %v, want [10 20 30]", got)
+	}
+	c.flushAll()
+	if len(got) != 3 {
+		t.Fatalf("flushAll re-delivered: %v", got)
+	}
+}
+
+// TestCombinerBufferBound: past maxBuffer the oldest events release even
+// though a shard's watermark lags (bounded memory beats perfect order).
+func TestCombinerBufferBound(t *testing.T) {
+	released := 0
+	c := newCombiner(2, func(rowEvent) { released++ })
+	c.maxBuffer = 8
+	evs := make([]rowEvent, 10)
+	for i := range evs {
+		evs[i] = rowEvent{ts: stream.Timestamp(i), seq: uint64(i)}
+	}
+	c.offer(0, evs, 100) // shard 1's watermark still MinTimestamp
+	if released == 0 {
+		t.Fatal("buffer bound did not force release")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	if _, err := e.Exec(`CREATE STREAM s(a);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("s", sec(10), stream.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("s", sec(5), stream.Str("y")); err == nil {
+		t.Fatal("out-of-order push accepted")
+	}
+}
+
+// TestStickyWorkerError: an ingestion failure inside a worker surfaces at
+// the next barrier (Drain) instead of being lost.
+func TestStickyWorkerError(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	schema, err := stream.NewSchema("ghost", stream.Field{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, err := stream.NewTuple(schema, sec(1), stream.Str("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushTuple("ghost", tup); err != nil {
+		t.Fatal(err) // buffered; the replica rejects it at flush
+	}
+	if err := e.Drain(); err == nil {
+		t.Fatal("Drain did not surface the worker's ingestion error")
+	}
+}
+
+func TestCloseIdempotentAndRejecting(t *testing.T) {
+	e := New(2)
+	if _, err := e.Exec(`CREATE STREAM s(a);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := e.Push("s", sec(1), stream.Str("x")); err == nil {
+		t.Fatal("push after Close accepted")
+	}
+	if _, err := e.Exec(`CREATE STREAM t(a);`); err == nil {
+		t.Fatal("Exec after Close accepted")
+	}
+}
+
+// TestHeartbeatBroadcast: punctuation reaches every shard — a windowed
+// query's expirations fire from a heartbeat alone on whatever shard holds
+// the partial match.
+func TestHeartbeatBroadcast(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	n := 0
+	if _, err := e.RegisterQuery("q", `
+		SELECT C1.tagid FROM C1, C2, C3, C4
+		WHERE SEQ(C1, C2, C3, C4)
+		OVER [30 MINUTES PRECEDING C4]
+		AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`,
+		func(Row) { mu.Lock(); n++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	for i, stn := range []string{"C1", "C2", "C3"} {
+		if err := e.Push(stn, sec(i+1), stream.Str(stn), stream.Str("tag"), stream.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push the window far past, then complete the sequence: expired.
+	if err := e.Heartbeat(stream.TS(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("C4", stream.TS(2*time.Hour+time.Second),
+		stream.Str("C4"), stream.Str("tag"), stream.Null); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("expired sequence matched %d times after heartbeat", n)
+	}
+}

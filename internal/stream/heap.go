@@ -1,0 +1,66 @@
+package stream
+
+// Heap is a generic array-backed min-heap ordered by a caller-supplied
+// less function. It backs the Merger's per-source slack reordering and the
+// sharded engine's timestamp-ordered fan-in combiner, which both need the
+// same "release the minimal element once it is safe" shape.
+//
+// The zero value is not usable; build with NewHeap. Heap is not
+// goroutine-safe; callers synchronize externally.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewHeap builds an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len reports the number of buffered elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Min returns the minimal element without removing it. It panics on an
+// empty heap, like indexing an empty slice.
+func (h *Heap[T]) Min() T { return h.items[0] }
+
+// Push adds an element.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the minimal element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	min := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero // drop the reference for the garbage collector
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(h.items[l], h.items[s]) {
+			s = l
+		}
+		if r < n && h.less(h.items[r], h.items[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.items[i], h.items[s] = h.items[s], h.items[i]
+		i = s
+	}
+	return min
+}

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+)
+
+// RFID workloads carry enormous numbers of duplicate identifier strings:
+// every reading repeats one of a small set of reader IDs and one of a
+// bounded population of tag EPCs. Interning collapses those duplicates to
+// one canonical instance each, so parsed traces hold one copy per distinct
+// ID instead of one per reading, and it detaches small identifiers from the
+// large read buffers they were sliced out of.
+
+const (
+	// internMaxLen bounds the length of strings worth interning; longer
+	// strings are unlikely to repeat (free-text payloads, not IDs).
+	internMaxLen = 64
+	// internMaxEntries caps the table so adversarial high-cardinality input
+	// cannot grow it without bound; past the cap, Intern degrades to the
+	// identity function for unseen strings.
+	internMaxEntries = 1 << 20
+)
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string)
+)
+
+// Intern returns the canonical instance of s: repeated calls with equal
+// content return the same string header, letting the runtime share one
+// backing array across all tuples that carry the identifier.
+func Intern(s string) string {
+	if s == "" || len(s) > internMaxLen {
+		return s
+	}
+	internMu.RLock()
+	c, ok := internTab[s]
+	internMu.RUnlock()
+	if ok {
+		return c
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if c, ok := internTab[s]; ok {
+		return c
+	}
+	if len(internTab) >= internMaxEntries {
+		return s
+	}
+	// Clone so the canonical copy never pins a larger parent buffer (CSV
+	// records, network frames) in memory.
+	c = strings.Clone(s)
+	internTab[c] = c
+	return c
+}
+
+// InternedStr builds a string Value from the canonical instance of s.
+func InternedStr(s string) Value { return Str(Intern(s)) }

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -48,12 +47,15 @@ type Merger struct {
 
 type sourceState struct {
 	src     Source
-	pending itemHeap // held back for slack reordering
-	ready   []Item   // released, in order, not yet merged
+	pending *Heap[Item] // held back for slack reordering
+	ready   []Item      // released, in order, not yet merged
 	maxSeen Timestamp
 	closed  bool
 	err     error
 }
+
+// itemLess orders items by event timestamp for the slack-reordering heap.
+func itemLess(a, b Item) bool { return a.TS < b.TS }
 
 // NewMerger builds a merger over the given sources.
 func NewMerger(sources ...Source) *Merger {
@@ -69,7 +71,7 @@ func (m *Merger) Run(emit Emit) error {
 	m.mu.Lock()
 	m.states = make([]*sourceState, len(m.sources))
 	for i, s := range m.sources {
-		m.states[i] = &sourceState{src: s, maxSeen: MinTimestamp}
+		m.states[i] = &sourceState{src: s, maxSeen: MinTimestamp, pending: NewHeap(itemLess)}
 	}
 	m.mu.Unlock()
 
@@ -102,11 +104,11 @@ func (m *Merger) pump(st *sourceState) {
 				if it.TS > st.maxSeen {
 					st.maxSeen = it.TS
 				}
-				heap.Push(&st.pending, it)
+				st.pending.Push(it)
 				// Release everything at or below the source watermark.
 				wm := st.maxSeen.Add(-st.src.Slack)
-				for st.pending.Len() > 0 && st.pending.min().TS <= wm {
-					st.ready = append(st.ready, heap.Pop(&st.pending).(Item))
+				for st.pending.Len() > 0 && st.pending.Min().TS <= wm {
+					st.ready = append(st.ready, st.pending.Pop())
 				}
 			}
 		}
@@ -116,7 +118,7 @@ func (m *Merger) pump(st *sourceState) {
 	m.mu.Lock()
 	st.closed = true
 	for st.pending.Len() > 0 { // flush held-back items at close
-		st.ready = append(st.ready, heap.Pop(&st.pending).(Item))
+		st.ready = append(st.ready, st.pending.Pop())
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -200,19 +202,3 @@ func (m *Merger) emitUnlocked(emit Emit, name string, it Item) error {
 	m.mu.Lock()
 	return err
 }
-
-// itemHeap is a min-heap of items by timestamp.
-type itemHeap []Item
-
-func (h itemHeap) Len() int            { return len(h) }
-func (h itemHeap) Less(i, j int) bool  { return h[i].TS < h[j].TS }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-func (h itemHeap) min() Item { return h[0] }

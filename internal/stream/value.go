@@ -324,7 +324,9 @@ func ParseValue(s string) Value {
 	if s == "true" || s == "false" {
 		return Bool(s == "true")
 	}
-	return Str(s)
+	// Identifier-shaped text (reader IDs, tag EPCs) repeats heavily across a
+	// trace; interning shares one backing copy per distinct string.
+	return Str(Intern(s))
 }
 
 // Timestamp is an event-time instant in nanoseconds since an arbitrary
