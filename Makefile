@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench-json
+.PHONY: ci fmt-check vet build test bench-smoke bench-json bench-compare bench-vectorized
 
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet build test bench-smoke bench-compare
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -27,3 +27,17 @@ bench-smoke:
 # The sharded-scaling sweep as a machine-readable artifact.
 bench-json:
 	$(GO) run ./cmd/eslev bench -shards 1,2,4,8 -bench-json BENCH_SHARDED.json
+
+# Smoke-level regression gate: re-run the EX6/EX7 bench families on HEAD
+# and fail if ns/event regresses more than 15% against the recorded
+# BENCH_SHARDED.json baseline. Fewer events than the full sweep keeps it
+# fast enough for ci; ns/event is count-insensitive at this scale.
+bench-compare:
+	$(GO) run ./cmd/eslev bench -shards 1,2 -events 20000 \
+		-baseline BENCH_SHARDED.json -max-regress 15
+
+# The vectorized-ingestion sweep (batch size x shard count) as a
+# machine-readable artifact.
+bench-vectorized:
+	$(GO) run ./cmd/eslev bench -shards 1,4 -batch 1,32,256,1024 \
+		-bench-json BENCH_VECTORIZED.json

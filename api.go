@@ -111,6 +111,18 @@ type Table = db.Table
 // Of wraps a tuple as a merged stream item.
 func Of(t *Tuple) Item { return stream.Of(t) }
 
+// Batch is a pooled column-of-tuples unit of vectorized execution: a run of
+// same-stream tuples plus a selection vector that fused operator kernels
+// narrow instead of copying survivors. Engine.PushBatch and
+// ShardedEngine.PushBatch move items through the engines batch-at-a-time;
+// Batch itself is the internal carrier, exported for kernel-level tooling
+// and tests.
+type Batch = stream.Batch
+
+// GetBatch leases an empty batch from the shared pool; return it with
+// Release when the tuples are no longer referenced.
+func GetBatch() *Batch { return stream.GetBatch() }
+
 // ---- partition-parallel execution --------------------------------------------
 
 // ShardedEngine runs N independent engine replicas in parallel, hash-routing

@@ -774,3 +774,102 @@ func BenchmarkShardedBatchIngest(b *testing.B) {
 		})
 	}
 }
+
+// ---- vectorized execution ---------------------------------------------------
+
+// BenchmarkFusedFilterProject measures the fused WHERE+projection kernel on
+// a stateless stream-to-stream query: tuple-at-a-time versus batch sizes
+// that let the kernel amortize the environment and output arena. Run with
+// -benchmem; the batch path's allocs/op is the headline number.
+func BenchmarkFusedFilterProject(b *testing.B) {
+	setup := func(b *testing.B) (*esl.Engine, *stream.Schema) {
+		e := mustEngine(b, `
+			CREATE STREAM readings(reader_id, tag_id, read_time);
+			INSERT INTO hot SELECT tag_id, reader_id FROM readings WHERE tag_id LIKE 'a%';`)
+		matched := 0
+		if err := e.Subscribe("hot", func(*stream.Tuple) { matched++ }); err != nil {
+			b.Fatal(err)
+		}
+		schema, _ := e.StreamSchema("readings")
+		return e, schema
+	}
+	tags := [...]stream.Value{stream.Str("a1"), stream.Str("b2"), stream.Str("a3"), stream.Str("c4")}
+
+	b.Run("tuple", func(b *testing.B) {
+		e, _ := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Push("readings", stream.Timestamp(i+1), stream.Str("r1"), tags[i%len(tags)], stream.Null); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, batch := range []int{32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e, schema := setup(b)
+			buf := make([]stream.Item, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp, err := stream.NewTuple(schema, stream.Timestamp(i+1), stream.Str("r1"), tags[i%len(tags)], stream.Null)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = append(buf, stream.Of(tp))
+				if len(buf) == batch {
+					if err := e.PushBatch(buf); err != nil {
+						b.Fatal(err)
+					}
+					buf = buf[:0]
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSerialBatchIngest drives the EX6 keyed SEQ workload through the
+// plain (unsharded) engine's batch path at several batch sizes — the
+// single-replica view of what each shard worker executes.
+func BenchmarkSerialBatchIngest(b *testing.B) {
+	for _, batch := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e := mustEngine(b, `
+				CREATE STREAM C1(readerid, tagid, tagtime);
+				CREATE STREAM C2(readerid, tagid, tagtime);
+				CREATE STREAM C3(readerid, tagid, tagtime);
+				CREATE STREAM C4(readerid, tagid, tagtime);`)
+			matches := 0
+			mustRegister(b, e, `
+				SELECT C1.tagid, C1.tagtime, C2.tagtime, C3.tagtime, C4.tagtime
+				FROM C1, C2, C3, C4
+				WHERE SEQ(C1, C2, C3, C4)
+				OVER [30 MINUTES PRECEDING C4] MODE CHRONICLE
+				AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`, &matches)
+			trace, _ := rfid.QualityLine(rfid.QualityConfig{Items: 2000, DropRate: 0.1, Seed: 4})
+			f := newFeeder(trace)
+			schemas := map[string]*stream.Schema{}
+			for _, s := range []string{"C1", "C2", "C3", "C4"} {
+				schemas[s], _ = e.StreamSchema(s)
+			}
+			buf := make([]stream.Item, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, at := f.next()
+				tp, err := stream.NewTuple(schemas[r.Stream], at, stream.Str(r.ReaderID), stream.Str(r.TagID), stream.Null)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = append(buf, stream.Of(tp))
+				if len(buf) == batch {
+					if err := e.PushBatch(buf); err != nil {
+						b.Fatal(err)
+					}
+					buf = buf[:0]
+				}
+			}
+			b.ReportMetric(float64(matches)/float64(b.N), "events/op")
+		})
+	}
+}

@@ -6,13 +6,15 @@
 //
 //	eslev demo modes                 reproduce the §3.1.1 walkthrough
 //	eslev demo examples              run paper examples 1-8 on simulated data
-//	eslev run [-shards N] script.esl [s=f.csv]
+//	eslev run [-shards N] [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
 //	                                 execute a script, feeding stream s
 //	                                 from CSV file f (repeatable); -shards
 //	                                 runs it on the partition-parallel engine
-//	eslev bench [-shards 1,2,4] [-events N] [-bench-json out.json]
+//	eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
+//	            [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
 //	                                 run the sharded-scaling workloads and
-//	                                 report throughput (optionally as JSON)
+//	                                 report throughput (optionally as JSON);
+//	                                 with -baseline, fail on ns/event regression
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
@@ -27,6 +29,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,18 +60,35 @@ func main() {
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
 		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
+		prof := profileFlags(fs)
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() < 1 {
 			usage()
 		}
-		err = runScript(*shards, fs.Arg(0), fs.Args()[1:])
+		var stop func() error
+		if stop, err = prof.start(); err == nil {
+			err = runScript(*shards, fs.Arg(0), fs.Args()[1:])
+			if serr := stop(); err == nil {
+				err = serr
+			}
+		}
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		batches := fs.String("batch", "", "comma-separated ingestion batch sizes to sweep (default: engine default)")
 		events := fs.Int("events", 50000, "tuples to push per configuration")
 		jsonPath := fs.String("bench-json", "", "write machine-readable results to this file")
+		baseline := fs.String("baseline", "", "bench-json file to compare against; regressions fail the run")
+		maxRegress := fs.Float64("max-regress", 15, "max ns/event regression vs -baseline, in percent")
+		prof := profileFlags(fs)
 		_ = fs.Parse(os.Args[2:])
-		err = runBench(*shards, *events, *jsonPath)
+		var stop func() error
+		if stop, err = prof.start(); err == nil {
+			err = runBench(*shards, *batches, *events, *jsonPath, *baseline, *maxRegress)
+			if serr := stop(); err == nil {
+				err = serr
+			}
+		}
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -86,12 +107,90 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
   eslev demo examples              run the paper's examples on simulated data
-  eslev run [-shards N] script.esl [s=f.csv]
+  eslev run [-shards N] [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
                                    execute a script over CSV streams
-  eslev bench [-shards 1,2,4] [-events N] [-bench-json out.json]
-                                   sweep the sharded-scaling workloads
+  eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
+              [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
+                                   sweep the sharded-scaling workloads;
+                                   with -baseline, fail on ns/event regression
   eslev explain script.esl         show the plan of each query in a script`)
 	os.Exit(2)
+}
+
+// ---- profiling hooks --------------------------------------------------------
+
+type profiler struct {
+	cpu, mem, trc *string
+	cpuFile       *os.File
+	trcFile       *os.File
+}
+
+// profileFlags registers the standard pprof/trace flags on a FlagSet.
+func profileFlags(fs *flag.FlagSet) *profiler {
+	p := &profiler{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	p.trc = fs.String("trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// start begins CPU profiling and tracing if requested; the returned stop
+// flushes them and writes the heap profile.
+func (p *profiler) start() (func() error, error) {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	if *p.trc != "" {
+		f, err := os.Create(*p.trc)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.trcFile = f
+	}
+	return p.stop, nil
+}
+
+func (p *profiler) stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		first = p.cpuFile.Close()
+	}
+	if p.trcFile != nil {
+		trace.Stop()
+		if err := p.trcFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // materialize final live-set before the heap snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // demoModes replays the paper's worked example — the joint tuple history
@@ -531,6 +630,7 @@ func parseCSVValue(s string) eslev.Value {
 type benchResult struct {
 	Workload     string  `json:"workload"`
 	Shards       int     `json:"shards"`
+	Batch        int     `json:"batch,omitempty"` // 0 = engine default
 	Events       int     `json:"events"`
 	Matches      int64   `json:"matches"`
 	WallMs       float64 `json:"wall_ms"`
@@ -545,29 +645,51 @@ type benchReport struct {
 }
 
 // runBench sweeps the two keyed workloads of EXPERIMENTS.md over the given
-// shard counts and prints (optionally emits as JSON) throughput per
-// configuration. Matches are also reported so runs can be checked for
-// output equivalence across shard counts.
-func runBench(shardList string, events int, jsonPath string) error {
-	var counts []int
-	for _, part := range strings.Split(shardList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad -shards entry %q", part)
+// shard counts (and optionally ingestion batch sizes), printing and
+// optionally emitting throughput per configuration as JSON. Matches are
+// also reported so runs can be checked for output equivalence across
+// configurations. With baselinePath set, results are compared to a prior
+// bench-json capture and the run fails on ns/event regressions beyond
+// maxRegress percent.
+func runBench(shardList, batchList string, events int, jsonPath, baselinePath string, maxRegress float64) error {
+	parseInts := func(flag, s string) ([]int, error) {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad %s entry %q", flag, part)
+			}
+			out = append(out, n)
 		}
-		counts = append(counts, n)
+		return out, nil
+	}
+	counts, err := parseInts("-shards", shardList)
+	if err != nil {
+		return err
+	}
+	batches := []int{0} // engine default
+	if batchList != "" {
+		if batches, err = parseInts("-batch", batchList); err != nil {
+			return err
+		}
 	}
 	report := benchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	fmt.Printf("cpus=%d gomaxprocs=%d events=%d\n", report.CPUs, report.GoMaxProcs, events)
 	for _, workload := range []string{"ex6-seq", "containment"} {
 		for _, n := range counts {
-			res, err := benchWorkload(workload, n, events)
-			if err != nil {
-				return err
+			for _, batch := range batches {
+				res, err := benchWorkload(workload, n, batch, events)
+				if err != nil {
+					return err
+				}
+				report.Results = append(report.Results, res)
+				label := ""
+				if batch > 0 {
+					label = fmt.Sprintf(" batch=%-4d", batch)
+				}
+				fmt.Printf("%-12s shards=%d%s  %9.1f ms  %10.0f events/s  matches=%d\n",
+					res.Workload, res.Shards, label, res.WallMs, res.EventsPerSec, res.Matches)
 			}
-			report.Results = append(report.Results, res)
-			fmt.Printf("%-12s shards=%d  %9.1f ms  %10.0f events/s  matches=%d\n",
-				res.Workload, res.Shards, res.WallMs, res.EventsPerSec, res.Matches)
 		}
 	}
 	if jsonPath != "" {
@@ -580,12 +702,66 @@ func runBench(shardList string, events int, jsonPath string) error {
 		}
 		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
 	}
+	if baselinePath != "" {
+		return compareBaseline(report, baselinePath, maxRegress)
+	}
 	return nil
 }
 
-func benchWorkload(name string, shards, events int) (benchResult, error) {
+// compareBaseline checks every result against the matching
+// (workload, shards) entry of a previous bench-json capture. Batch-swept
+// results only compare when the baseline recorded the same batch size.
+func compareBaseline(report benchReport, baselinePath string, maxRegress float64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	find := func(r benchResult) *benchResult {
+		for i := range base.Results {
+			b := &base.Results[i]
+			if b.Workload == r.Workload && b.Shards == r.Shards && b.Batch == r.Batch {
+				return b
+			}
+		}
+		return nil
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range report.Results {
+		b := find(r)
+		if b == nil || b.NsPerEvent <= 0 {
+			continue
+		}
+		compared++
+		deltaPct := (r.NsPerEvent - b.NsPerEvent) / b.NsPerEvent * 100
+		verdict := "ok"
+		if deltaPct > maxRegress {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s shards=%d: %.0f -> %.0f ns/event (%+.1f%%)",
+				r.Workload, r.Shards, b.NsPerEvent, r.NsPerEvent, deltaPct))
+		}
+		fmt.Printf("vs %s: %-12s shards=%d  %8.0f -> %8.0f ns/event  %+6.1f%%  %s\n",
+			baselinePath, r.Workload, r.Shards, b.NsPerEvent, r.NsPerEvent, deltaPct, verdict)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable (workload, shards) entries in %s", baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/event regressed beyond %.0f%%:\n  %s", maxRegress, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+func benchWorkload(name string, shards, batch, events int) (benchResult, error) {
 	e := eslev.NewSharded(shards)
 	defer e.Close()
+	if batch > 0 {
+		e.SetBatchSize(batch)
+	}
 	matches := int64(0)
 	onRow := func(eslev.Row) { matches++ } // combiner serializes callbacks
 	var push func(i int) error
@@ -655,6 +831,7 @@ func benchWorkload(name string, shards, events int) (benchResult, error) {
 	return benchResult{
 		Workload:     name,
 		Shards:       shards,
+		Batch:        batch,
 		Events:       events,
 		Matches:      matches,
 		WallMs:       float64(wall) / float64(time.Millisecond),

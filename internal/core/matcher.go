@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/stream"
 )
@@ -29,11 +30,40 @@ type Matcher struct {
 	single engine
 	parts  map[uint64][]*partition // key hash -> partitions (collision chain)
 	nparts int
+
+	// Scratch storage reused across Push/PushBatch calls so the steady-state
+	// matching path allocates nothing. A Matcher is not safe for concurrent
+	// use (the engine serializes access), so plain fields suffice.
+	stepScratch []int
+	remScratch  []int
+	sameScratch []int
+	stepArena   []int
+	touched     []*partition
+	emitScratch []batchEmit
 }
 
 type partition struct {
 	key stream.Value
 	eng engine
+	// pending queues this partition's share of a PushBatch run; ord
+	// reconstructs the serial emission order across partitions.
+	pending []pendingPush
+}
+
+// pendingPush is one deferred engine.push within a PushBatch: the tuple, its
+// qualifying step indexes (a range into the batch's step arena), and the
+// global visit order the serial path would have used.
+type pendingPush struct {
+	ord    int
+	index  int // position of the tuple in the pushed run
+	lo, hi int // steps arena range
+}
+
+// batchEmit collects the matches of one deferred push for re-sorting.
+type batchEmit struct {
+	ord     int
+	index   int
+	matches []*Match
 }
 
 // NewMatcher validates the pattern and builds a matcher.
@@ -92,7 +122,7 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 	// Resolve aliases to qualifying step indexes (descending for correct
 	// same-arrival processing: a tuple acting as a later step must see
 	// pre-arrival state of earlier steps).
-	var steps []int
+	steps := m.stepScratch[:0]
 	for i := len(m.def.Steps) - 1; i >= 0; i-- {
 		st := &m.def.Steps[i]
 		for _, a := range aliases {
@@ -105,29 +135,172 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 			steps = append(steps, i)
 		}
 	}
+	m.stepScratch = steps
+	return m.pushSteps(steps, t), nil
+}
+
+// Resolved is a precomputed alias→step resolution: the candidate step
+// indexes, in descending order, for tuples arriving under a fixed alias
+// set. Per-tuple step filters still apply at push time. Callers that route
+// a stream to the matcher under a stable alias set (the engine's readers)
+// resolve once and skip the per-push alias scan.
+type Resolved struct {
+	cands []int
+}
+
+// Resolve precomputes the candidate steps for an alias set.
+func (m *Matcher) Resolve(aliases ...string) *Resolved {
+	r := &Resolved{}
+	for i := len(m.def.Steps) - 1; i >= 0; i-- {
+		st := &m.def.Steps[i]
+		for _, a := range aliases {
+			if st.Alias == a {
+				r.cands = append(r.cands, i)
+			}
+		}
+	}
+	return r
+}
+
+// PushResolved is Push with the alias resolution precomputed; the
+// steady-state path allocates nothing.
+func (m *Matcher) PushResolved(r *Resolved, t *stream.Tuple) []*Match {
+	steps := m.filterSteps(r, t, m.stepScratch[:0])
+	m.stepScratch = steps
+	return m.pushSteps(steps, t)
+}
+
+// filterSteps applies the per-tuple step filters to a resolution, appending
+// the qualifying indexes to dst.
+func (m *Matcher) filterSteps(r *Resolved, t *stream.Tuple, dst []int) []int {
+	for _, i := range r.cands {
+		st := &m.def.Steps[i]
+		if st.Filter != nil && !st.Filter(t) {
+			continue
+		}
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// pushSteps feeds one tuple with its qualifying steps to the right
+// partition engines, reusing scratch storage for the key grouping.
+func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) []*Match {
 	if len(steps) == 0 {
-		return nil, nil
+		return nil
 	}
 	if !m.def.Partitioned() {
-		return m.single.push(steps, t), nil
+		return m.single.push(steps, t)
 	}
 	// Partitioned: group qualifying steps by their extracted key.
 	var out []*Match
-	remaining := steps
-	for len(remaining) > 0 {
-		key := m.def.Steps[remaining[0]].Key(t)
-		var same, rest []int
-		for _, si := range remaining {
+	rem := append(m.remScratch[:0], steps...)
+	for len(rem) > 0 {
+		key := m.def.Steps[rem[0]].Key(t)
+		same := m.sameScratch[:0]
+		n := 0
+		for _, si := range rem {
 			if m.def.Steps[si].Key(t).Equal(key) {
 				same = append(same, si)
 			} else {
-				rest = append(rest, si)
+				rem[n] = si
+				n++
 			}
 		}
-		remaining = rest
+		rem = rem[:n]
+		m.sameScratch = same
 		out = append(out, m.partitionFor(key).eng.push(same, t)...)
 	}
-	return out, nil
+	m.remScratch = rem
+	return out
+}
+
+// BatchMatch is one completed match from PushBatch, tagged with the index
+// of the tuple in the pushed run that triggered it.
+type BatchMatch struct {
+	Index int
+	Match *Match
+}
+
+// PushBatch feeds a run of in-order tuples under one resolution. For a
+// partitioned pattern the run is first grouped by partition key, so each
+// partition's state is visited once per batch instead of once per tuple;
+// partitions are independent, so per-partition processing in arrival order
+// reproduces the serial match set, and the returned matches are re-ordered
+// to the exact serial emission order (by triggering tuple, then by the
+// serial key-visit order within a tuple).
+func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) []BatchMatch {
+	var out []BatchMatch
+	if !m.def.Partitioned() {
+		for i, t := range run {
+			steps := m.filterSteps(r, t, m.stepScratch[:0])
+			m.stepScratch = steps
+			for _, match := range m.single.push(steps, t) {
+				out = append(out, BatchMatch{Index: i, Match: match})
+			}
+		}
+		return out
+	}
+	// Pass 1: resolve steps and group by partition, preserving per-tuple
+	// key-visit order in ord.
+	arena := m.stepArena[:0]
+	touched := m.touched[:0]
+	ord := 0
+	for i, t := range run {
+		lo := len(arena)
+		arena = m.filterSteps(r, t, arena)
+		rem := arena[lo:]
+		for len(rem) > 0 {
+			key := m.def.Steps[rem[0]].Key(t)
+			// Partition the remainder in place: qualifying steps for this key
+			// move to the front (order within both halves is preserved).
+			n := 0
+			same := m.sameScratch[:0]
+			for _, si := range rem {
+				if m.def.Steps[si].Key(t).Equal(key) {
+					same = append(same, si)
+				} else {
+					rem[n] = si
+					n++
+				}
+			}
+			m.sameScratch = same
+			copy(rem[n:], same)
+			p := m.partitionFor(key)
+			if len(p.pending) == 0 {
+				touched = append(touched, p)
+			}
+			base := lo + len(rem) - len(same)
+			p.pending = append(p.pending, pendingPush{ord: ord, index: i, lo: base, hi: base + len(same)})
+			ord++
+			rem = rem[:n]
+		}
+	}
+	m.stepArena = arena
+	// Pass 2: drain each touched partition in arrival order.
+	emits := m.emitScratch[:0]
+	for _, p := range touched {
+		for _, pp := range p.pending {
+			matches := p.eng.push(arena[pp.lo:pp.hi], run[pp.index])
+			if len(matches) > 0 {
+				emits = append(emits, batchEmit{ord: pp.ord, index: pp.index, matches: matches})
+			}
+		}
+		p.pending = p.pending[:0]
+	}
+	m.touched = touched[:0]
+	// Pass 3: restore the serial emission order.
+	sort.Slice(emits, func(i, j int) bool { return emits[i].ord < emits[j].ord })
+	for _, em := range emits {
+		for _, match := range em.matches {
+			out = append(out, BatchMatch{Index: em.index, Match: match})
+		}
+	}
+	for i := range emits {
+		emits[i].matches = nil
+	}
+	m.emitScratch = emits[:0]
+	return out
 }
 
 func (m *Matcher) partitionFor(key stream.Value) *partition {

@@ -1,0 +1,254 @@
+package esl
+
+// Batch-boundary edge cases for the vectorized ingestion path: out-of-order
+// tuples at and inside batch seams, empty and single-item batches, window
+// eviction landing mid-batch, and heartbeats interleaved inside a batch.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// bqReadingsEngine builds an engine with one fused filter-project query
+// recording into rows.
+func bqReadingsEngine(t *testing.T, rows *[]string) *Engine {
+	t.Helper()
+	e := New()
+	bqExec(t, e, `CREATE STREAM readings(reader_id, tag_id, read_time);`)
+	if _, err := e.RegisterQuery("f", `SELECT tag_id FROM readings WHERE tag_id LIKE 'a%'`,
+		func(r Row) { *rows = append(*rows, bqRowLine(r)) }); err != nil {
+		t.Fatal(err)
+	}
+	if e.TimeSensitive() {
+		t.Fatal("fused filter must not be time-sensitive")
+	}
+	return e
+}
+
+func bqReading(t *testing.T, e *Engine, ts stream.Timestamp, tag string) stream.Item {
+	t.Helper()
+	schema, _ := e.StreamSchema("readings")
+	tp, err := stream.NewTuple(schema, ts, stream.Str("rd"), stream.Str(tag), stream.Null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream.Of(tp)
+}
+
+// TestBatchOutOfOrderMidBatch: a regression inside a run is detected at its
+// exact position — the in-order prefix is fully processed, the error text
+// matches the per-item path verbatim, and the engine stays usable.
+func TestBatchOutOfOrderMidBatch(t *testing.T) {
+	var rows []string
+	e := bqReadingsEngine(t, &rows)
+	items := []stream.Item{
+		bqReading(t, e, bqSec(5), "a1"),
+		bqReading(t, e, bqSec(10), "a2"),
+		bqReading(t, e, bqSec(7), "a3"), // behind the run's watermark
+		bqReading(t, e, bqSec(12), "a4"),
+	}
+	err := e.PushBatch(items)
+	if err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+
+	// The per-item path on an identical engine must fail identically.
+	var serialRows []string
+	se := bqReadingsEngine(t, &serialRows)
+	var serialErr error
+	for _, ts := range []int{5, 10, 7} {
+		if serialErr = se.Push("readings", bqSec(ts), stream.Str("rd"), stream.Str("x"), stream.Null); serialErr != nil {
+			break
+		}
+	}
+	if serialErr == nil || err.Error() != serialErr.Error() {
+		t.Fatalf("error mismatch:\nbatch:  %v\nserial: %v", err, serialErr)
+	}
+	if len(rows) != 2 || !strings.Contains(rows[0], "a1") || !strings.Contains(rows[1], "a2") {
+		t.Fatalf("prefix rows = %v", rows)
+	}
+	if e.Now() != bqSec(10) {
+		t.Fatalf("engine time = %v, want %v", e.Now(), bqSec(10))
+	}
+	// The engine remains consistent: an in-order arrival still processes.
+	if err := e.PushBatch([]stream.Item{bqReading(t, e, bqSec(11), "a5")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("post-error rows = %v", rows)
+	}
+}
+
+// TestBatchOutOfOrderAtSeam: a tuple stale relative to the previous batch
+// (not just the current run) errors with the serial message and processes
+// nothing from the new batch.
+func TestBatchOutOfOrderAtSeam(t *testing.T) {
+	var rows []string
+	e := bqReadingsEngine(t, &rows)
+	if err := e.PushBatch([]stream.Item{bqReading(t, e, bqSec(20), "a1")}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.PushBatch([]stream.Item{
+		bqReading(t, e, bqSec(15), "a2"), // stale across the seam
+		bqReading(t, e, bqSec(25), "a3"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "out-of-order arrival on readings") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if e.Now() != bqSec(20) {
+		t.Fatalf("engine time moved to %v", e.Now())
+	}
+}
+
+// TestBatchEmptyAndSingle: zero- and one-item batches flow through the
+// fused kernel (and the heartbeat fold) without tripping edge conditions.
+func TestBatchEmptyAndSingle(t *testing.T) {
+	var rows []string
+	e := bqReadingsEngine(t, &rows)
+	if err := e.PushBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushBatch([]stream.Item{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushBatch([]stream.Item{stream.Heartbeat(bqSec(1))}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != bqSec(1) {
+		t.Fatalf("heartbeat-only batch: now = %v", e.Now())
+	}
+	if err := e.PushBatch([]stream.Item{bqReading(t, e, bqSec(2), "a1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushBatch([]stream.Item{bqReading(t, e, bqSec(3), "b1")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "a1") {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestBatchWindowEvictionMidBatch: a single batch spans several window
+// widths, so the aggregate's eviction cut lands mid-batch repeatedly; the
+// running windowed count must match the per-item feed exactly.
+func TestBatchWindowEvictionMidBatch(t *testing.T) {
+	setup := func(e *Engine, rows *[]string) {
+		bqExec(t, e, `CREATE STREAM C1(readerid, tagid, tagtime);`)
+		if _, err := e.RegisterQuery("w",
+			`SELECT COUNT(*) FROM C1 OVER (RANGE 5 SECONDS PRECEDING CURRENT)`,
+			func(r Row) { *rows = append(*rows, bqRowLine(r)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	times := []int{1, 2, 3, 9, 10, 11, 30, 31, 40}
+
+	var want []string
+	se := New()
+	setup(se, &want)
+	for _, at := range times {
+		if err := se.Push("C1", bqSec(at), stream.Str("rd"), stream.Str("x"), stream.Time(bqSec(at))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []string
+	be := New()
+	setup(be, &got)
+	schema, _ := be.StreamSchema("C1")
+	var items []stream.Item
+	for _, at := range times {
+		tp, err := stream.NewTuple(schema, bqSec(at), stream.Str("rd"), stream.Str("x"), stream.Time(bqSec(at)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, stream.Of(tp))
+	}
+	if err := be.PushBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("mid-batch eviction diverged:\nbatch:  %v\nserial: %v", got, want)
+	}
+}
+
+// TestBatchInterleavedHeartbeats: heartbeats inside a batch advance the
+// clock for subsequent runs (derived rows restamp against it) even though
+// per-heartbeat advance work is coalesced on non-sensitive engines.
+func TestBatchInterleavedHeartbeats(t *testing.T) {
+	e := New()
+	bqExec(t, e, `CREATE STREAM readings(reader_id, tag_id, read_time);`)
+	bqExec(t, e, `INSERT INTO hot SELECT tag_id FROM readings WHERE tag_id LIKE 'a%'`)
+	var derived []stream.Timestamp
+	if err := e.Subscribe("hot", func(tp *stream.Tuple) { derived = append(derived, tp.TS) }); err != nil {
+		t.Fatal(err)
+	}
+	items := []stream.Item{
+		bqReading(t, e, bqSec(1), "a1"),
+		stream.Heartbeat(bqSec(5)),
+		bqReading(t, e, bqSec(8), "a2"),
+		stream.Heartbeat(bqSec(12)),
+	}
+	if err := e.PushBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 2 || derived[0] != bqSec(1) || derived[1] != bqSec(8) {
+		t.Fatalf("derived stamps = %v", derived)
+	}
+	if e.Now() != bqSec(12) {
+		t.Fatalf("now = %v", e.Now())
+	}
+
+	// A tuple older than a preceding in-batch heartbeat is out of order,
+	// exactly as the per-item path would report.
+	err := e.PushBatch([]stream.Item{
+		stream.Heartbeat(bqSec(20)),
+		bqReading(t, e, bqSec(15), "a3"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "out-of-order arrival") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestBatchRunSplitsAcrossStreams: alternating schemas split a batch into
+// single-tuple runs; output must still match the contiguous-run case.
+func TestBatchRunSplitsAcrossStreams(t *testing.T) {
+	mk := func() (*Engine, *[]string) {
+		e := New()
+		rows := &[]string{}
+		bqExec(t, e, bqQCDDL)
+		if _, err := e.RegisterQuery("seq", `
+			SELECT C1.tagid FROM C1, C2 WHERE SEQ(C1, C2)
+			AND C1.tagid = C2.tagid`,
+			func(r Row) { *rows = append(*rows, bqRowLine(r)) }); err != nil {
+			t.Fatal(err)
+		}
+		return e, rows
+	}
+	e, rows := mk()
+	var items []stream.Item
+	for i := 0; i < 10; i++ {
+		stn := "C1"
+		if i%2 == 1 {
+			stn = "C2"
+		}
+		schema, _ := e.StreamSchema(stn)
+		tp, err := stream.NewTuple(schema, bqSec(i+1),
+			stream.Str(stn), stream.Str(fmt.Sprintf("t%d", i/2)), stream.Time(bqSec(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, stream.Of(tp))
+	}
+	if err := e.PushBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if len(*rows) != 5 {
+		t.Fatalf("rows = %v", *rows)
+	}
+}

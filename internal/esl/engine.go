@@ -71,6 +71,9 @@ type Engine struct {
 	now     stream.Timestamp
 	seq     uint64
 	depth   int // derived-stream recursion guard
+	// sensitive is set when any registered query is time-sensitive (see
+	// queryOp.timeSensitive); it routes PushBatch to the exact per-item path.
+	sensitive bool
 }
 
 type streamInfo struct {
@@ -161,9 +164,21 @@ type queryOp interface {
 	// push offers one tuple that arrived on a stream this query reads,
 	// with the FROM aliases it is visible under.
 	push(aliases []string, t *stream.Tuple) error
+	// pushBatch offers a run of consecutive same-stream tuples in
+	// joint-history order. Implementations must advance the engine clock
+	// (e.now) to each tuple as they process it — the run router defers the
+	// global bump to the run boundary — and must reproduce push's per-tuple
+	// output exactly.
+	pushBatch(aliases []string, b *stream.Batch) error
 	// advance moves event time (heartbeats and other streams' arrivals),
 	// driving window eviction and active expiration.
 	advance(ts stream.Timestamp) error
+	// timeSensitive reports whether the op can emit output from the passage
+	// of event time alone (deferred FOLLOWING windows, exception timers,
+	// idle expiry). Batched ingestion must keep the exact per-item clock for
+	// such ops; for all others, advance only trims state that bind-time
+	// checks already exclude, so it coalesces to batch boundaries.
+	timeSensitive() bool
 }
 
 // New builds an empty engine.
@@ -476,7 +491,21 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 		}
 	}
 	e.queries = append(e.queries, q)
+	if op.timeSensitive() {
+		e.sensitive = true
+	}
 	return q, nil
+}
+
+// TimeSensitive reports whether any registered query can emit output from
+// the passage of event time alone (FOLLOWING-window deferrals, exception
+// timers, idle expiry). Such engines need heartbeats delivered at their
+// exact per-item positions; for the rest, batched ingestion coalesces clock
+// and eviction work to run boundaries.
+func (e *Engine) TimeSensitive() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sensitive
 }
 
 // sinkFor wires query output to a derived stream or a table. An undeclared
@@ -548,11 +577,23 @@ func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Val
 // joint-history (non-decreasing timestamp) order — under one lock
 // acquisition. Tuples are routed to the stream named by their schema;
 // heartbeats advance event time. This is the amortized ingestion path for
-// high-volume feeds: per-item locking and map dispatch from Push/Feed
-// collapse into one pass.
+// high-volume feeds: when no registered query is time-sensitive, runs of
+// consecutive same-stream tuples flow through the readers' vectorized batch
+// kernels with clock, heartbeat and eviction work coalesced to run
+// boundaries; otherwise every item is processed at its exact position.
 func (e *Engine) PushBatch(items []stream.Item) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.sensitive {
+		return e.pushItemsExactLocked(items)
+	}
+	return e.pushItemsBatchedLocked(items)
+}
+
+// pushItemsExactLocked replays the per-item ingestion path: each tuple and
+// heartbeat is processed at its exact position, preserving every clock
+// observation for time-sensitive queries.
+func (e *Engine) pushItemsExactLocked(items []stream.Item) error {
 	var (
 		lastSchema *stream.Schema
 		lastInfo   *streamInfo
@@ -581,6 +622,140 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 		}
 	}
 	return nil
+}
+
+// pushItemsBatchedLocked is the vectorized ingestion path, used when no
+// registered query is time-sensitive: consecutive same-stream tuples form
+// runs handed to the readers' batch kernels, heartbeats fold into clock
+// bumps, and the per-item trailing advance — eviction only, for these
+// engines — collapses into one advance at the batch boundary.
+func (e *Engine) pushItemsBatchedLocked(items []stream.Item) error {
+	dirty := false
+	i := 0
+	for i < len(items) {
+		it := items[i]
+		if it.IsHeartbeat() {
+			if it.TS > e.now {
+				e.now = it.TS
+				dirty = true
+			}
+			i++
+			continue
+		}
+		schema := it.Tuple.Schema
+		si, ok := e.streams[strings.ToLower(schema.Name())]
+		if !ok {
+			if dirty {
+				_ = e.advanceLocked(e.now)
+			}
+			return fmt.Errorf("esl: unknown stream %s", schema.Name())
+		}
+		j := i + 1
+		for j < len(items) && items[j].Tuple != nil && items[j].Tuple.Schema == schema {
+			j++
+		}
+		dirty = true
+		if err := e.routeRunLocked(si, items[i:j]); err != nil {
+			// Items before the failure were fully processed; fold their
+			// deferred trailing advance in before surfacing the error so
+			// state matches the per-item path.
+			_ = e.advanceLocked(e.now)
+			return err
+		}
+		i = j
+	}
+	if dirty {
+		return e.advanceLocked(e.now)
+	}
+	return nil
+}
+
+// routeRunLocked delivers a run of consecutive same-stream tuples. It
+// reproduces routeLocked per tuple — order check, sequence stamping,
+// history retention, subscriber notification, reader delivery — but
+// amortizes what per-tuple routing repeats: history eviction and the
+// cross-query advance move to the run boundary, and eligible runs reach
+// each reader as one batch.
+func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
+	// Validate joint-history order up front, truncating the run at the
+	// first violation: the in-order prefix is processed exactly as the
+	// per-item path would have before it surfaced the same error.
+	n := len(items)
+	var orderErr error
+	maxTS := e.now
+	for k, it := range items {
+		if it.Tuple.TS < maxTS {
+			orderErr = fmt.Errorf("esl: out-of-order arrival on %s: %s is before engine time %s (merge concurrent sources with stream.Merger and per-source slack)",
+				si.schema.Name(), it.Tuple.TS, maxTS)
+			n = k
+			break
+		}
+		if it.Tuple.TS > maxTS {
+			maxTS = it.Tuple.TS
+		}
+	}
+	items = items[:n]
+	if len(items) == 0 {
+		return orderErr
+	}
+
+	// A run can flow reader-by-reader only when no reader can observe
+	// another's per-tuple interleaving: a single reader, or readers that are
+	// all silent (callback-only — no derived tuples re-entering the engine).
+	vectorize := true
+	if len(si.readers) > 1 {
+		for _, rd := range si.readers {
+			if rd.q.target != "" {
+				vectorize = false
+				break
+			}
+		}
+	}
+	if !vectorize {
+		for _, it := range items {
+			if err := e.routeLocked(si, it.Tuple); err != nil {
+				return err
+			}
+		}
+		return orderErr
+	}
+
+	// Stamp sequence numbers, retain history, notify subscribers. The clock
+	// is not advanced yet: each kernel bumps it tuple-by-tuple so derived
+	// rows emitted mid-run are stamped against the serial clock.
+	for _, it := range items {
+		t := it.Tuple
+		e.seq++
+		t.Seq = e.seq
+		if si.history != nil {
+			si.history.Add(t)
+		}
+		for _, fn := range si.subscribers {
+			fn(t)
+		}
+	}
+	if si.history != nil {
+		si.history.EvictBefore(maxTS.Add(-si.retain))
+	}
+
+	b := stream.GetBatch()
+	for _, it := range items {
+		b.Tuples = append(b.Tuples, it.Tuple)
+	}
+	var err error
+	for _, rd := range si.readers {
+		if err = rd.q.op.pushBatch(rd.aliases, b); err != nil {
+			break
+		}
+	}
+	b.Release()
+	if err != nil {
+		return err
+	}
+	if maxTS > e.now {
+		e.now = maxTS
+	}
+	return orderErr
 }
 
 // StreamNames returns the declared stream names (sources and derived), in

@@ -149,6 +149,15 @@ func (e *Env) bindTupleLower(aliasLower string, t *stream.Tuple) {
 	e.binds = append(e.binds, binding{alias: aliasLower, t: t})
 }
 
+// rebindTupleLower resets the scope to the single binding (aliasLower, t)
+// without a pool round-trip — the batch kernels' per-tuple reset. Hooks and
+// the function registry are left in place; match context and parent scope
+// are not used by the kernels that rebind.
+func (e *Env) rebindTupleLower(aliasLower string, t *stream.Tuple) {
+	e.binds = e.buf[:0]
+	e.binds = append(e.binds, binding{alias: aliasLower, t: t})
+}
+
 // BindRow makes a table row visible under alias with the given schema.
 func (e *Env) BindRow(alias string, schema *stream.Schema, vals []stream.Value) {
 	e.binds = append(e.binds, binding{alias: strings.ToLower(alias), schema: schema, vals: vals})

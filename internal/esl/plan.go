@@ -90,12 +90,16 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	}
 	op.buildHooks()
 
-	// A pure per-tuple filter-project holds no cross-tuple state, so any
-	// partitioning of its input reproduces the serial output: shardable with
-	// no key constraint ("indifferent"). DISTINCT, LIMIT, table joins and
-	// EXISTS sub-queries all observe global state and stay serial.
-	if len(op.tables) == 0 && len(op.exists) == 0 && len(op.tableExists) == 0 &&
-		!op.distinct && op.limit < 0 {
+	// A stateless filter-project (no table joins, no EXISTS state, no
+	// DISTINCT/LIMIT bookkeeping, no deferral) reads nothing but the tuple
+	// itself. That admits the fused batch kernel, and — since any
+	// partitioning of its input reproduces the serial output — marks the
+	// query shardable with no key constraint ("indifferent"). DISTINCT,
+	// LIMIT, table joins and EXISTS sub-queries all observe global state and
+	// stay serial and unfused.
+	op.fused = len(op.tables) == 0 && len(op.exists) == 0 && len(op.tableExists) == 0 &&
+		!op.distinct && op.limit < 0 && !op.deferred
+	if op.fused {
 		q.shard = Shardability{Shardable: true}
 	}
 	return op, inputs, nil
@@ -185,13 +189,19 @@ func projName(item SelectItem, i int) string {
 // build evaluates the projection in env. Star items read bound tuples/rows
 // column-wise via the environment.
 func (p *projection) build(env *Env) ([]stream.Value, error) {
-	out := make([]stream.Value, 0, len(p.names))
+	return p.buildInto(make([]stream.Value, 0, len(p.names)), env)
+}
+
+// buildInto appends the projected row (always len(p.names) values) to dst;
+// batch kernels pass slices of a shared arena so a whole run of output rows
+// costs one allocation.
+func (p *projection) buildInto(dst []stream.Value, env *Env) ([]stream.Value, error) {
 	for _, item := range p.items {
 		if item.star {
 			for _, as := range item.schemas {
 				for _, f := range as.schema.Fields() {
 					v, _ := env.lookup(as.alias, f.Name)
-					out = append(out, v)
+					dst = append(dst, v)
 				}
 			}
 			continue
@@ -200,9 +210,9 @@ func (p *projection) build(env *Env) ([]stream.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // projectionNames infers output column names (for derived-stream schemas).
@@ -293,6 +303,80 @@ type filterProjectOp struct {
 	maxFol   time.Duration
 	maxPre   time.Duration
 	pending  []pendingOuter
+
+	// fused marks a stateless filter-project eligible for the vectorized
+	// batch kernel (set at compile time; see compile).
+	fused bool
+}
+
+// timeSensitive: only deferred FOLLOWING windows emit from the passage of
+// event time alone.
+func (op *filterProjectOp) timeSensitive() bool { return op.deferred }
+
+// pushBatch processes a run of same-stream tuples. The fused kernel handles
+// the stateless filter→project shape: one pooled environment serves the
+// whole run, the WHERE pass records survivors in the batch's selection
+// vector, and the projection pass writes every output row into one shared
+// value arena. Stateful shapes (table joins, EXISTS buffers, DISTINCT,
+// LIMIT, deferral) fall back to the per-tuple path, advancing the clock
+// tuple-by-tuple exactly as serial routing would.
+func (op *filterProjectOp) pushBatch(aliases []string, b *stream.Batch) error {
+	e := op.e
+	if !op.fused || !containsFold(aliases, op.outerAlias) {
+		for _, t := range b.Tuples {
+			if t.TS > e.now {
+				e.now = t.TS
+			}
+			if err := op.push(aliases, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	env := getEnv(e.funcs)
+	defer putEnv(env)
+	sel := b.Sel[:0]
+	if op.where == nil {
+		for i := range b.Tuples {
+			sel = append(sel, int32(i))
+		}
+	} else {
+		for i, t := range b.Tuples {
+			env.rebindTupleLower(op.outerAliasLower, t)
+			ok, known, err := env.EvalBool(op.where)
+			if err != nil {
+				b.Sel = sel
+				return err
+			}
+			if ok && known {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	b.Sel = sel
+	if len(sel) == 0 {
+		return nil
+	}
+	// One arena holds every surviving row; rows are capped sub-slices so
+	// they stay disjoint (the arena never reallocates: capacity is exact).
+	arena := make([]stream.Value, 0, len(sel)*len(op.proj.names))
+	for _, idx := range sel {
+		t := b.Tuples[idx]
+		if t.TS > e.now {
+			e.now = t.TS
+		}
+		env.rebindTupleLower(op.outerAliasLower, t)
+		base := len(arena)
+		var err error
+		arena, err = op.proj.buildInto(arena, env)
+		if err != nil {
+			return err
+		}
+		if err := op.sinkRow(op.proj.row(arena[base:len(arena):len(arena)], t.TS)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (op *filterProjectOp) push(aliases []string, t *stream.Tuple) error {

@@ -58,8 +58,10 @@ type aggregateOp struct {
 	e     *Engine
 	q     *Query
 	alias string
-	where Expr
-	win   *WindowClause
+	// aliasLower avoids re-lowercasing the alias on every tuple.
+	aliasLower string
+	where      Expr
+	win        *WindowClause
 
 	groupBy []Expr
 	aggs    []aggSpec
@@ -80,15 +82,16 @@ type aggregateOp struct {
 func (e *Engine) compileAggregate(sel *Select, outer FromItem, q *Query) (queryOp, error) {
 	si := e.streams[strings.ToLower(outer.Source)]
 	op := &aggregateOp{
-		e:       e,
-		q:       q,
-		alias:   outer.Alias,
-		where:   sel.Where,
-		win:     outer.Window,
-		groupBy: sel.GroupBy,
-		having:  sel.Having,
-		groups:  make(map[uint64][]*groupState),
-		aggIdx:  make(map[*Call]int),
+		e:          e,
+		q:          q,
+		alias:      outer.Alias,
+		aliasLower: strings.ToLower(outer.Alias),
+		where:      sel.Where,
+		win:        outer.Window,
+		groupBy:    sel.GroupBy,
+		having:     sel.Having,
+		groups:     make(map[uint64][]*groupState),
+		aggIdx:     make(map[*Call]int),
 	}
 	// Collect aggregate call sites from items and HAVING.
 	collect := func(n Expr) {
@@ -145,8 +148,43 @@ func (op *aggregateOp) push(aliases []string, t *stream.Tuple) error {
 	if !containsFold(aliases, op.alias) {
 		return nil
 	}
-	env := NewEnv(op.e.funcs)
-	env.BindTuple(op.alias, t)
+	env := getEnv(op.e.funcs)
+	err := op.pushOne(env, t)
+	putEnv(env)
+	return err
+}
+
+// timeSensitive: aggregates emit on arrival only; advance merely trims
+// window state that bind-time checks already exclude.
+func (op *aggregateOp) timeSensitive() bool { return false }
+
+// pushBatch folds a run of arrivals into the running groups with one pooled
+// environment. Per-tuple semantics — window eviction before each emission,
+// one output row per qualifying arrival — are unchanged; only environment
+// setup is amortized across the run.
+func (op *aggregateOp) pushBatch(aliases []string, b *stream.Batch) error {
+	if !containsFold(aliases, op.alias) {
+		return nil
+	}
+	e := op.e
+	env := getEnv(e.funcs)
+	defer putEnv(env)
+	for _, t := range b.Tuples {
+		if t.TS > e.now {
+			e.now = t.TS
+		}
+		if err := op.pushOne(env, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushOne processes one qualifying arrival. env is caller-owned scratch:
+// bindings are reset per tuple and hook entries are overwritten before each
+// emission, so the batch path can reuse one environment across a whole run.
+func (op *aggregateOp) pushOne(env *Env, t *stream.Tuple) error {
+	env.rebindTupleLower(op.aliasLower, t)
 	if op.where != nil {
 		ok, known, err := env.EvalBool(op.where)
 		if err != nil {

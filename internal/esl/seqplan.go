@@ -40,6 +40,16 @@ type eventOp struct {
 	starItemStep  int
 	// levelFilter gates CLEVEL_SEQ emissions (e.g. "< 3").
 	levelFilter func(level int) bool
+
+	// resolved caches the matcher's alias→step resolution per reader alias
+	// slice (reader slices are stable for the life of a query, so slice
+	// identity is the cache key).
+	resolved []resolvedEntry
+}
+
+type resolvedEntry struct {
+	aliases []string
+	res     *core.Resolved
 }
 
 // compileEventQuery plans a SELECT whose WHERE contains a SEQ-family
@@ -641,6 +651,74 @@ func (op *eventOp) advance(ts stream.Timestamp) error {
 		return nil
 	}
 	return op.emitExceptions(op.exc.Advance(ts))
+}
+
+// timeSensitive: exception matchers fire timers from heartbeats alone, and
+// ExpireAfter evicts idle runs whose expiry the per-item clock must observe.
+// A plain SEQ without idle expiry only emits on arrival.
+func (op *eventOp) timeSensitive() bool {
+	return op.exc != nil || op.def.ExpireAfter > 0
+}
+
+func (op *eventOp) resolveFor(aliases []string) *core.Resolved {
+	for i := range op.resolved {
+		re := &op.resolved[i]
+		if len(re.aliases) == len(aliases) && (len(aliases) == 0 || &re.aliases[0] == &aliases[0]) {
+			return re.res
+		}
+	}
+	res := op.seq.Resolve(aliases...)
+	op.resolved = append(op.resolved, resolvedEntry{aliases: aliases, res: res})
+	return res
+}
+
+// pushBatch feeds a run of same-stream tuples to the matcher.
+func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
+	e := op.e
+	if op.seq == nil {
+		// Exception matchers are time-sensitive, so the engine keeps them on
+		// the exact per-item path; this fallback only serves completeness.
+		for _, t := range b.Tuples {
+			if t.TS > e.now {
+				e.now = t.TS
+			}
+			if err := op.push(aliases, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r := op.resolveFor(aliases)
+	if op.q.target != "" {
+		// Derived emission can feed back into this query's own inputs, so
+		// keep the serial push/emit interleaving; only the per-push alias
+		// resolution is amortized (the engine also defers its trailing
+		// advance to the run boundary).
+		for _, t := range b.Tuples {
+			if t.TS > e.now {
+				e.now = t.TS
+			}
+			for _, m := range op.seq.PushResolved(r, t) {
+				if err := op.emitMatch(m); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Callback-only sink: the whole run feeds the NFA key-grouped, so each
+	// partition's state is visited once per run instead of once per tuple.
+	// The matcher returns matches in serial emission order; the clock is
+	// advanced to each trigger before its rows are emitted.
+	for _, bm := range op.seq.PushBatch(r, b.Tuples) {
+		if t := b.Tuples[bm.Index]; t.TS > e.now {
+			e.now = t.TS
+		}
+		if err := op.emitMatch(bm.Match); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitMatch projects one completed SEQ match — one row normally, one row

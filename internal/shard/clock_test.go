@@ -1,0 +1,147 @@
+package shard
+
+// Shard-0 clock regimes: when no pinned query is time-sensitive, the
+// per-foreign-tuple heartbeats that keep shard 0's clock exact coalesce
+// into the single trailing batch-high-water beat; registering a deferred
+// (time-sensitive) query switches routing back to the exact per-item
+// clock. Both regimes are asserted against the routed batch construction
+// itself, with workers idle.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+const ex6SEQ = `
+	SELECT C1.tagid, C4.tagtime FROM C1, C2, C3, C4
+	WHERE SEQ(C1, C2, C3, C4)
+	AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid`
+
+const theftSQL = `
+	SELECT item.tagid
+	FROM tag_readings AS item
+	WHERE item.tagtype = 'item' AND NOT EXISTS
+	  (SELECT * FROM tag_readings AS person
+	   OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+	   WHERE person.tagtype = 'person')`
+
+// feedC1 buffers n keyed C1 tuples with strictly increasing timestamps
+// (no flush: batch size exceeds n) and returns the routed per-shard
+// batches plus the count of tuples that landed off shard 0.
+func feedC1(t *testing.T, e *Engine, n int) (batches [][]stream.Item, foreign int) {
+	t.Helper()
+	e.SetBatchSize(n + 100)
+	schema, ok := e.StreamSchema("C1")
+	if !ok {
+		t.Fatal("C1 not declared")
+	}
+	for i := 0; i < n; i++ {
+		tp, err := stream.NewTuple(schema, sec(i+1),
+			stream.Str("r1"), stream.Str(fmt.Sprintf("tag%02d", i)), stream.Time(sec(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.PushTuple("C1", tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	batches = e.routeBatchesLocked()
+	e.mu.Unlock()
+	for s := 1; s < len(batches); s++ {
+		for _, it := range batches[s] {
+			if !it.IsHeartbeat() {
+				foreign++
+			}
+		}
+	}
+	return batches, foreign
+}
+
+func countBeats(items []stream.Item) int {
+	n := 0
+	for _, it := range items {
+		if it.IsHeartbeat() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestShard0ClockCoalesced(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("ex6", ex6SEQ, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if e.exactClock {
+		t.Fatal("keyed SEQ must not force the exact clock")
+	}
+	batches, foreign := feedC1(t, e, 32)
+	if foreign == 0 {
+		t.Fatal("expected keyed routing to use shards other than 0")
+	}
+	// Shard 0 sees at most the one trailing high-water beat, not one per
+	// foreign tuple.
+	if got := countBeats(batches[0]); got > 1 {
+		t.Fatalf("shard-0 beats = %d, want <= 1 (coalesced)", got)
+	}
+	if last := batches[0][len(batches[0])-1]; last.TS != sec(32) {
+		t.Fatalf("shard-0 batch ends at %v, want high water %v", last.TS, sec(32))
+	}
+}
+
+func TestShard0ClockExact(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL + `
+		CREATE STREAM tag_readings(tagid, tagtype, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("ex6", ex6SEQ, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("theft", theftSQL, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.exactClock {
+		t.Fatal("deferred FOLLOWING window must force the exact clock")
+	}
+	batches, foreign := feedC1(t, e, 32)
+	// Timestamps are strictly increasing, so nothing collapses: shard 0
+	// must carry one beat per tuple routed elsewhere.
+	if got := countBeats(batches[0]); got != foreign {
+		t.Fatalf("shard-0 beats = %d, want one per foreign tuple (%d)", got, foreign)
+	}
+}
+
+// TestShard0ClockRegimeFlip: registration of a time-sensitive query after
+// data has flowed flips the regime for subsequent flushes.
+func TestShard0ClockRegimeFlip(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	if _, err := e.Exec(qcDDL + `
+		CREATE STREAM tag_readings(tagid, tagtype, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("ex6", ex6SEQ, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("C1", sec(1), stream.Str("r1"), stream.Str("a"), stream.Time(sec(1))); err != nil {
+		t.Fatal(err)
+	}
+	if e.exactClock {
+		t.Fatal("premature exact clock")
+	}
+	if _, err := e.RegisterQuery("theft", theftSQL, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.exactClock {
+		t.Fatal("exact clock not enabled by registration")
+	}
+}

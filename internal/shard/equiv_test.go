@@ -173,7 +173,7 @@ func runEquiv(t *testing.T, scenario func(t *testing.T, r runner, s *sink)) {
 	want := serial.sorted()
 
 	configs := []struct{ shards, batch int }{
-		{1, 0}, {2, 3}, {4, 0}, {4, 1},
+		{1, 0}, {2, 3}, {4, 0}, {4, 1}, {1, 7}, {2, 256}, {4, 7},
 	}
 	for _, cfg := range configs {
 		name := fmt.Sprintf("shards=%d/batch=%d", cfg.shards, cfg.batch)

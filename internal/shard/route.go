@@ -156,4 +156,8 @@ func (e *Engine) recomputeRoutesLocked() {
 			}
 		}
 	}
+
+	// Workers are idle here (every registration path barriers first), so
+	// reading the replica is race-free.
+	e.exactClock = e.replicas[0].TimeSensitive()
 }

@@ -107,6 +107,16 @@ type Engine struct {
 	slots    []*querySlot
 	retained map[string]bool
 
+	// exactClock mirrors replicas[0].TimeSensitive(), cached at registration
+	// time (workers idle) so the hot flush path never touches the replica
+	// lock. True when a pinned query defers work against event time —
+	// exception timers, expiry windows, deferred EXISTS — in which case shard
+	// 0 must observe a heartbeat at every foreign tuple's position. False
+	// means the clock only gates space reclamation and derived-tuple
+	// restamping, both insensitive to intermediate beats, so one trailing
+	// batch-high-water beat suffices.
+	exactClock bool
+
 	pending   []stream.Item
 	batchSize int
 	rr        int // round-robin cursor for free streams
@@ -437,16 +447,31 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 // flushLocked routes the pending buffer into per-shard batches and
 // dispatches them.
 //
-// Shard 0 receives a heartbeat at the position (and timestamp) of every
-// tuple routed elsewhere, so its replica — home of all pinned queries —
-// observes the exact event-time sequence the serial engine would: derived
-// tuples restamp identically, deferred windows fire at the same points.
-// Other shards only need the trailing batch-high-water heartbeat to evict
-// windows and advance the combiner watermark.
+// When a pinned query is time-sensitive (exactClock), shard 0 receives a
+// heartbeat at the position (and timestamp) of every tuple routed
+// elsewhere, so its replica — home of all pinned queries — observes the
+// exact event-time sequence the serial engine would: deferred windows and
+// exception timers fire at the same points. Otherwise those per-tuple
+// beats coalesce into the trailing batch-high-water beat that every shard
+// gets anyway — enough to evict windows, restamp derived tuples (input is
+// non-decreasing, so no shard-0 tuple ever lands below a dropped beat),
+// and advance the combiner watermark.
 func (e *Engine) flushLocked() error {
 	if len(e.pending) == 0 {
 		return nil
 	}
+	for s, b := range e.routeBatchesLocked() {
+		if len(b) > 0 {
+			e.workers[s].in <- command{items: b}
+		}
+	}
+	return nil
+}
+
+// routeBatchesLocked splits the pending buffer into per-shard item runs
+// (consuming it) without dispatching — split out of flushLocked so the
+// heartbeat regimes are testable against idle workers.
+func (e *Engine) routeBatchesLocked() [][]stream.Item {
 	batches := make([][]stream.Item, e.n)
 	maxTS := stream.MinTimestamp
 	for _, it := range e.pending {
@@ -461,20 +486,18 @@ func (e *Engine) flushLocked() error {
 		}
 		s := e.shardForLocked(it.Tuple)
 		batches[s] = append(batches[s], it)
-		if s != 0 {
+		if s != 0 && e.exactClock {
 			batches[0] = appendBeat(batches[0], it.TS)
 		}
 	}
 	e.pending = e.pending[:0]
-	for s := 1; s < e.n; s++ {
+	for s := 0; s < e.n; s++ {
+		if s == 0 && e.exactClock {
+			continue // already carries per-tuple beats through maxTS
+		}
 		batches[s] = appendBeat(batches[s], maxTS)
 	}
-	for s, b := range batches {
-		if len(b) > 0 {
-			e.workers[s].in <- command{items: b}
-		}
-	}
-	return nil
+	return batches
 }
 
 // appendBeat appends a heartbeat unless the batch already ends at ts

@@ -1,0 +1,55 @@
+package stream
+
+import "sync"
+
+// Batch is a run of tuples flowing through the vectorized execution path:
+// a slice of tuples plus a selection vector. Filter kernels record the
+// indexes of surviving tuples in Sel instead of compacting or copying
+// Tuples, so a fused filter→project pipeline touches each tuple once and
+// moves no data.
+//
+// A Batch is processed by one goroutine at a time. Kernels that run
+// sequentially over the same batch treat Sel as scratch: each kernel
+// rewrites it from Tuples and must not assume a previous kernel's selection
+// survives.
+type Batch struct {
+	Tuples []*Tuple
+	Sel    []int32
+}
+
+// Len returns the number of tuples in the batch (ignoring the selection).
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Reset empties the batch for reuse, keeping the backing storage.
+func (b *Batch) Reset() {
+	for i := range b.Tuples {
+		b.Tuples[i] = nil
+	}
+	b.Tuples = b.Tuples[:0]
+	b.Sel = b.Sel[:0]
+}
+
+// SelectAll fills the selection vector with every tuple index.
+func (b *Batch) SelectAll() {
+	b.Sel = b.Sel[:0]
+	for i := range b.Tuples {
+		b.Sel = append(b.Sel, int32(i))
+	}
+}
+
+// batchPool recycles batches (and their backing slices) across runs.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty pooled batch; release it with Release when the
+// run has been fully dispatched. The engine must not retain the batch or
+// its slices afterwards (tuples themselves are individually owned and live
+// on).
+func GetBatch() *Batch {
+	return batchPool.Get().(*Batch)
+}
+
+// Release resets the batch and returns it to the pool.
+func (b *Batch) Release() {
+	b.Reset()
+	batchPool.Put(b)
+}

@@ -1,0 +1,50 @@
+package stream
+
+import "testing"
+
+func TestBatchSelectAndReset(t *testing.T) {
+	s := MustSchema("r", Field{Name: "x"})
+	b := GetBatch()
+	if b.Len() != 0 || len(b.Sel) != 0 {
+		t.Fatalf("pooled batch not empty: %d tuples, %d selected", b.Len(), len(b.Sel))
+	}
+	for i := 0; i < 5; i++ {
+		b.Tuples = append(b.Tuples, MustTuple(s, TS(0), Int(int64(i))))
+	}
+	b.SelectAll()
+	if len(b.Sel) != 5 {
+		t.Fatalf("SelectAll picked %d of 5", len(b.Sel))
+	}
+	for i, idx := range b.Sel {
+		if int(idx) != i {
+			t.Fatalf("Sel[%d] = %d", i, idx)
+		}
+	}
+	// A kernel rewriting the selection keeps Tuples intact.
+	b.Sel = b.Sel[:0]
+	b.Sel = append(b.Sel, 1, 3)
+	if b.Len() != 5 {
+		t.Fatalf("selection rewrite changed Len: %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || len(b.Sel) != 0 {
+		t.Fatalf("Reset left %d tuples, %d selected", b.Len(), len(b.Sel))
+	}
+	b.Release()
+}
+
+func TestBatchReleaseClearsTupleRefs(t *testing.T) {
+	s := MustSchema("r", Field{Name: "x"})
+	b := GetBatch()
+	b.Tuples = append(b.Tuples, MustTuple(s, TS(0), Int(1)))
+	b.Release()
+	b2 := GetBatch()
+	// Whether or not the pool hands back the same object, it must be empty.
+	if b2.Len() != 0 || len(b2.Sel) != 0 {
+		t.Fatalf("reused batch not empty: %d tuples, %d selected", b2.Len(), len(b2.Sel))
+	}
+	if cap(b2.Tuples) > 0 && b2.Tuples[:1][0] != nil {
+		t.Fatal("Release kept a tuple reference in the backing slice")
+	}
+	b2.Release()
+}

@@ -100,19 +100,30 @@ func (b *TimeBuffer) len() int { return len(b.items) - b.start }
 func (b *TimeBuffer) Len() int { return b.len() }
 
 // EvictBefore drops all tuples with TS strictly before ts and returns how
-// many were dropped. Storage is compacted once the dead prefix dominates.
+// many were dropped. The eviction cut is found by binary search, so one
+// call at a batch boundary costs O(log n + evicted) rather than a linear
+// probe per tuple. Storage is compacted once the dead prefix dominates.
 func (b *TimeBuffer) EvictBefore(ts stream.Timestamp) int {
-	n := 0
-	for b.start < len(b.items) && b.items[b.start].TS < ts {
-		b.items[b.start] = nil // release for GC
-		b.start++
-		n++
+	live := b.items[b.start:]
+	// First retained index: the earliest tuple with TS >= ts.
+	i, j := 0, len(live)
+	for i < j {
+		m := (i + j) >> 1
+		if live[m].TS < ts {
+			i = m + 1
+		} else {
+			j = m
+		}
 	}
+	for k := 0; k < i; k++ {
+		live[k] = nil // release for GC
+	}
+	b.start += i
 	if b.start > 64 && b.start*2 >= len(b.items) {
 		b.items = append(b.items[:0], b.items[b.start:]...)
 		b.start = 0
 	}
-	return n
+	return i
 }
 
 // Each visits retained tuples oldest-first; fn returning false stops.

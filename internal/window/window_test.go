@@ -248,3 +248,63 @@ func TestTimersProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTimeBufferBinarySearchCut cross-checks the binary-searched eviction
+// cut against a reference linear scan across duplicate-heavy timelines and
+// cut positions (before, between, on, and past every retained timestamp).
+func TestTimeBufferBinarySearchCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		b := &TimeBuffer{}
+		var ref []*stream.Tuple
+		ts := time.Duration(0)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 { // duplicates stay likely
+				ts += time.Duration(rng.Intn(3)) * time.Second
+			}
+			tp := at(ts, "x")
+			b.Add(tp)
+			ref = append(ref, tp)
+		}
+		for probe := 0; probe < 8; probe++ {
+			cut := stream.TS(time.Duration(rng.Intn(int(ts/time.Second)+3)) * time.Second)
+			want := 0
+			for want < len(ref) && ref[want].TS < cut {
+				want++
+			}
+			got := b.EvictBefore(cut)
+			if got != want {
+				t.Fatalf("trial %d: EvictBefore(%s) dropped %d, want %d", trial, cut, got, want)
+			}
+			ref = ref[want:]
+			if b.Len() != len(ref) {
+				t.Fatalf("trial %d: Len = %d, want %d", trial, b.Len(), len(ref))
+			}
+			if len(ref) > 0 && b.Oldest() != ref[0] {
+				t.Fatalf("trial %d: Oldest mismatch after cut at %s", trial, cut)
+			}
+		}
+	}
+}
+
+// TestTimeBufferEvictAtDuplicateBoundary pins the strict-inequality contract:
+// tuples exactly at the cut survive, including when several share it.
+func TestTimeBufferEvictAtDuplicateBoundary(t *testing.T) {
+	b := &TimeBuffer{}
+	for _, d := range []time.Duration{0, time.Second, time.Second, time.Second, 2 * time.Second} {
+		b.Add(at(d, "x"))
+	}
+	if n := b.EvictBefore(stream.TS(time.Second)); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	if b.Len() != 4 || b.Oldest().TS != stream.TS(time.Second) {
+		t.Fatalf("kept %d oldest %s", b.Len(), b.Oldest().TS)
+	}
+	if n := b.EvictBefore(stream.TS(3 * time.Second)); n != 4 {
+		t.Fatalf("dropped %d, want 4", n)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("kept %d, want 0", b.Len())
+	}
+}
