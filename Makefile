@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench-json bench-compare bench-vectorized
+.PHONY: ci fmt-check vet build test chaos-soak bench-smoke bench-json bench-compare bench-vectorized
 
-ci: fmt-check vet build test bench-smoke bench-compare
+ci: fmt-check vet build test chaos-soak bench-smoke bench-compare
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -18,6 +18,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Fault-injection soak: 1M events through the serial and sharded engines
+# with disorder, duplication, corruption, late tuples, and injected UDF
+# panics; fails on any output divergence or dead-letter accounting drift.
+chaos-soak:
+	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 1
+	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 4
 
 # A fast pass over every benchmark family to catch bit-rot without paying
 # for full measurement runs.

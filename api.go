@@ -101,8 +101,63 @@ type ScalarFunc = esl.ScalarFunc
 type Accumulator = esl.Accumulator
 
 // New builds an empty engine with the built-in functions (extract_serial,
-// epc_match, ...) and aggregates (COUNT/SUM/AVG/MIN/MAX) installed.
-func New() *Engine { return esl.New() }
+// epc_match, ...) and aggregates (COUNT/SUM/AVG/MIN/MAX) installed. Options
+// enable the fault-tolerant ingest boundary (WithSlack, WithLateness, ...);
+// with no options the engine runs the strict historical path: in-order
+// arrivals only, disorder rejected with an error.
+func New(opts ...Option) *Engine { return esl.New(opts...) }
+
+// ---- fault tolerance ----------------------------------------------------------
+
+// Option configures an Engine (or the boundary of a ShardedEngine) at
+// construction.
+type Option = esl.Option
+
+// WithSlack absorbs bounded arrival disorder at the ingest boundary: tuples
+// are held back until the high-water mark passes ts+slack, then released to
+// the exact in-order core in (timestamp, arrival) order.
+func WithSlack(d time.Duration) Option { return esl.WithSlack(d) }
+
+// WithLateness selects the fate of tuples behind the watermark: LateError
+// (default), LateDrop, or LateDeadLetter.
+func WithLateness(p LatenessPolicy) Option { return esl.WithLateness(p) }
+
+// WithMaxTupleBytes quarantines rows whose estimated size exceeds the budget.
+func WithMaxTupleBytes(n int) Option { return esl.WithMaxTupleBytes(n) }
+
+// WithExactDedup drops exact duplicate tuples arriving within the reorder
+// horizon.
+func WithExactDedup() Option { return esl.WithExactDedup() }
+
+// LatenessPolicy decides what happens to tuples behind the ingest watermark.
+type LatenessPolicy = stream.LatenessPolicy
+
+// The lateness policies.
+const (
+	LateError      = stream.LateError
+	LateDrop       = stream.LateDrop
+	LateDeadLetter = stream.LateDeadLetter
+)
+
+// DeadLetter is one quarantined record: the offending tuple, the reason
+// code, and — for query panics — the query name and captured stack.
+type DeadLetter = stream.DeadLetter
+
+// DeadReason classifies why a record was quarantined.
+type DeadReason = stream.DeadReason
+
+// The dead-letter reason codes.
+const (
+	DeadLate       = stream.DeadLate
+	DeadMalformed  = stream.DeadMalformed
+	DeadOversized  = stream.DeadOversized
+	DeadQueryPanic = stream.DeadQueryPanic
+)
+
+// EngineStats is the engine-wide robustness counter snapshot; the boundary
+// balance Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered +
+// PendingReorder holds at every instant.
+type EngineStats = esl.EngineStats
 
 // Table is a persistent in-memory relation reachable from stream–DB
 // spanning queries.
@@ -134,8 +189,10 @@ func GetBatch() *Batch { return stream.GetBatch() }
 // (or Close) before reading final results.
 type ShardedEngine = shard.Engine
 
-// NewSharded builds a sharded engine over n replicas (n >= 1).
-func NewSharded(n int) *ShardedEngine { return shard.New(n) }
+// NewSharded builds a sharded engine over n replicas (n >= 1). Options
+// configure the shared fault-tolerant ingest boundary ahead of the hash
+// router; the replicas themselves stay strict.
+func NewSharded(n int, opts ...Option) *ShardedEngine { return shard.New(n, opts...) }
 
 // ---- the temporal-event core as a direct Go API ------------------------------
 //

@@ -15,6 +15,12 @@
 //	                                 run the sharded-scaling workloads and
 //	                                 report throughput (optionally as JSON);
 //	                                 with -baseline, fail on ns/event regression
+//	eslev chaos [-events N] [-shards N] [-slack d] [-disorder f] [-dup f]
+//	            [-corrupt f] [-oversize f] [-late f] [-panic-every N] [-policy P]
+//	                                 fault-injection soak: perturb a deterministic
+//	                                 workload with disorder, duplicates, corruption
+//	                                 and UDF panics, then verify output equivalence
+//	                                 and exact dead-letter accounting
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
@@ -37,6 +43,8 @@ import (
 	"time"
 
 	eslev "repro"
+	"repro/internal/chaos"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -89,6 +97,21 @@ func main() {
 				err = serr
 			}
 		}
+	case "chaos":
+		fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+		events := fs.Int("events", 1_000_000, "clean readings to generate")
+		seed := fs.Int64("seed", 1, "PRNG seed; equal seeds replay identically")
+		slack := fs.Duration("slack", 500*time.Millisecond, "reorder slack; disorder stays within it")
+		disorder := fs.Float64("disorder", 0.25, "fraction of readings arriving out of order")
+		dup := fs.Float64("dup", 0.01, "fraction of readings duplicated exactly")
+		corrupt := fs.Float64("corrupt", 0.001, "fraction of readings shadowed by malformed rows")
+		oversize := fs.Float64("oversize", 0.0005, "fraction of readings shadowed by oversized rows")
+		late := fs.Float64("late", 0.001, "fraction of readings shadowed by late tuples")
+		panicEvery := fs.Int("panic-every", 10_000, "inject a UDF panic every N readings (0 = off)")
+		policy := fs.String("policy", "DEAD_LETTER", "lateness policy: ERROR, DROP, or DEAD_LETTER")
+		shards := fs.Int("shards", 1, "run the perturbed engine with this many shards (1 = serial)")
+		_ = fs.Parse(os.Args[2:])
+		err = runChaos(*events, *seed, *slack, *disorder, *dup, *corrupt, *oversize, *late, *panicEvery, *policy, *shards)
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -113,8 +136,48 @@ func usage() {
               [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
                                    sweep the sharded-scaling workloads;
                                    with -baseline, fail on ns/event regression
+  eslev chaos [-events N] [-seed S] [-slack 500ms] [-disorder 0.25] [-dup 0.01]
+              [-corrupt 0.001] [-oversize 0.0005] [-late 0.001] [-panic-every 10000]
+              [-policy DEAD_LETTER] [-shards N]
+                                   fault-injection soak: perturb a workload and
+                                   verify output equivalence + dead-letter accounting
   eslev explain script.esl         show the plan of each query in a script`)
 	os.Exit(2)
+}
+
+// runChaos executes one fault-injection scenario and prints the summary;
+// a verification failure (equivalence or accounting) is a non-zero exit.
+func runChaos(events int, seed int64, slack time.Duration, disorder, dup, corrupt, oversize, late float64,
+	panicEvery int, policy string, shards int) error {
+	cfg := chaos.Config{
+		Events:     events,
+		Seed:       seed,
+		Slack:      slack,
+		Disorder:   disorder,
+		Duplicate:  dup,
+		Corrupt:    corrupt,
+		Oversize:   oversize,
+		Late:       late,
+		PanicEvery: panicEvery,
+		Shards:     shards,
+		BatchSize:  512,
+	}
+	switch strings.ToUpper(policy) {
+	case "ERROR":
+		cfg.Policy = stream.LateError
+	case "DROP":
+		cfg.Policy = stream.LateDrop
+	case "DEAD_LETTER":
+		cfg.Policy = stream.LateDeadLetter
+	default:
+		return fmt.Errorf("unknown lateness policy %q (want ERROR, DROP, or DEAD_LETTER)", policy)
+	}
+	res, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
 }
 
 // ---- profiling hooks --------------------------------------------------------

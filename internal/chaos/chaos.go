@@ -1,0 +1,453 @@
+// Package chaos is the fault-injection harness: it generates a deterministic
+// RFID workload, perturbs its arrival sequence with bounded disorder, exact
+// duplicates, malformed and oversized rows, deliberately late tuples, and
+// injected UDF panics, runs it through a fault-tolerant engine (serial or
+// sharded), and checks two properties against an unperturbed strict serial
+// run:
+//
+//  1. Output equivalence — every query emits the same row multiset, because
+//     disorder stays within the slack and every injected fault is screened
+//     at the ingest boundary.
+//  2. Dead-letter accounting — the boundary balance holds exactly:
+//     Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Config parameterizes one chaos run. The zero value is useless; start from
+// DefaultConfig.
+type Config struct {
+	// Events is the number of clean source readings to generate.
+	Events int
+	// Seed drives every random choice; equal configs replay identically.
+	Seed int64
+	// Slack is the reorder slack given to the perturbed engine. Disorder
+	// displacement is bounded by it, so no perturbed tuple ever goes late.
+	Slack time.Duration
+	// Disorder is the fraction of readings whose arrival is delayed by a
+	// random amount within the slack.
+	Disorder float64
+	// Duplicate is the fraction of readings re-sent as exact duplicates.
+	Duplicate float64
+	// Corrupt is the fraction of readings shadowed by a malformed row
+	// (wrong arity — fails schema validation at the boundary).
+	Corrupt float64
+	// Oversize is the fraction of readings shadowed by an oversized row.
+	Oversize float64
+	// Late is the fraction of readings shadowed by a deliberately late
+	// tuple (behind the watermark on arrival). Requires a non-ERROR policy.
+	Late float64
+	// PanicEvery injects a UDF panic on every reading whose sequence number
+	// is a positive multiple of it, through a sacrificial probe query
+	// registered only on the perturbed engine. 0 disables.
+	PanicEvery int
+	// Policy is the lateness policy for the perturbed run. Defaults to
+	// DEAD_LETTER when Late > 0 and the policy is left at ERROR.
+	Policy stream.LatenessPolicy
+	// Shards selects the perturbed engine: <= 1 runs the serial esl engine,
+	// otherwise the partition-parallel sharded engine.
+	Shards int
+	// BatchSize sizes the PushBatch chunks fed to the engines.
+	BatchSize int
+}
+
+// DefaultConfig is the standard chaos mix: moderate disorder with 1%
+// duplication, 0.1% corruption, and periodic UDF panics.
+func DefaultConfig() Config {
+	return Config{
+		Events:     100_000,
+		Seed:       1,
+		Slack:      500 * time.Millisecond,
+		Disorder:   0.25,
+		Duplicate:  0.01,
+		Corrupt:    0.001,
+		Oversize:   0.0005,
+		Late:       0.001,
+		PanicEvery: 10_000,
+		Policy:     stream.LateDeadLetter,
+		Shards:     1,
+		BatchSize:  512,
+	}
+}
+
+// Result reports what one run did and verified.
+type Result struct {
+	Events        int // clean readings generated
+	BaselineRows  int // rows the strict serial run emitted
+	PerturbedRows int // rows the perturbed run emitted (probe excluded)
+	Injected      struct {
+		Duplicates int
+		Corrupt    int
+		Oversize   int
+		Late       int
+	}
+	Stats        esl.EngineStats // perturbed engine's boundary counters
+	DeadByReason map[string]int  // dead-letter records by reason code
+	Elapsed      time.Duration
+}
+
+// String renders the run summary for the CLI.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d rows=%d elapsed=%s (%.0f events/s)\n",
+		r.Events, r.PerturbedRows, r.Elapsed.Round(time.Millisecond),
+		float64(r.Events)/r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "injected: dup=%d corrupt=%d oversize=%d late=%d\n",
+		r.Injected.Duplicates, r.Injected.Corrupt, r.Injected.Oversize, r.Injected.Late)
+	s := r.Stats
+	fmt.Fprintf(&b, "boundary: ingested=%d emitted=%d reordered=%d dropped-late=%d dropped-dup=%d dead-lettered=%d quarantined-queries=%d\n",
+		s.Ingested, s.Emitted, s.Reordered, s.DroppedLate, s.DroppedDup, s.DeadLettered, s.QuarantinedQueries)
+	reasons := make([]string, 0, len(r.DeadByReason))
+	for reason := range r.DeadByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(&b, "dead-letter %-11s %d\n", reason+":", r.DeadByReason[reason])
+	}
+	b.WriteString("output equivalence: OK\naccounting balance:  OK")
+	return b.String()
+}
+
+// step is the event-time distance between consecutive readings.
+const step = 10 * time.Millisecond
+
+// numTags spreads readings over this many distinct tag ids.
+const numTags = 64
+
+// arrival is one item tagged with its perturbed arrival position.
+type arrival struct {
+	key stream.Timestamp // arrival order key (event time + jitter)
+	ord int              // tie-break: insertion order
+	it  stream.Item
+}
+
+// engine abstracts the serial and sharded perturbed targets.
+type engine interface {
+	Exec(script string) ([]*esl.Query, error)
+	RegisterQuery(name, sql string, onRow func(esl.Row)) (*esl.Query, error)
+	PushBatch(items []stream.Item) error
+	Heartbeat(ts stream.Timestamp) error
+	StreamSchema(name string) (*stream.Schema, bool)
+	OnDeadLetter(fn func(stream.DeadLetter))
+	EngineStats() esl.EngineStats
+	Drain() error
+}
+
+// sink accumulates row fingerprints; sharded callbacks run on worker
+// goroutines.
+type sink struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+func (s *sink) row(tag string) func(esl.Row) {
+	return func(r esl.Row) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Fingerprint names and values only: emission timestamps of deferred
+		// rows shift with watermark heartbeats and are not part of the
+		// equivalence contract.
+		s.rows = append(s.rows, fmt.Sprintf("%s|%v%v", tag, r.Names, r.Vals))
+	}
+}
+
+func (s *sink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.rows...)
+	sort.Strings(out)
+	return out
+}
+
+const ddl = `
+	CREATE STREAM A(tagid, n);
+	CREATE STREAM B(tagid, n);`
+
+// registerWorkload installs the comparison queries: a stateless filter, a
+// keyed grouped aggregate, and a keyed SEQ pairing readings across the two
+// streams.
+func registerWorkload(e engine, s *sink) error {
+	if _, err := e.Exec(ddl); err != nil {
+		return err
+	}
+	queries := []struct{ name, sql string }{
+		{"filter", `SELECT tagid, n FROM A WHERE n % 3 = 0`},
+		{"agg", `SELECT tagid, COUNT(*), SUM(n) FROM B GROUP BY tagid`},
+		{"seq", `SELECT A.tagid, A.n, B.n FROM A, B WHERE SEQ(A, B) AND A.tagid = B.tagid`},
+	}
+	for _, q := range queries {
+		if _, err := e.RegisterQuery(q.name, q.sql, s.row(q.name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generate builds the clean readings and the perturbed arrival sequence.
+func generate(cfg Config, schemaA, schemaB *stream.Schema, res *Result) (clean, perturbed []stream.Item, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]arrival, 0, cfg.Events+cfg.Events/16)
+	clean = make([]stream.Item, 0, cfg.Events)
+	ord := 0
+	add := func(key stream.Timestamp, it stream.Item) {
+		arrivals = append(arrivals, arrival{key: key, ord: ord, it: it})
+		ord++
+	}
+	// lateGap is how many steps ahead of a reading its late shadow arrives —
+	// far enough that even with every intervening reading maximally delayed
+	// by disorder, the watermark has strictly passed the shadow's timestamp.
+	lateGap := 2*int(cfg.Slack/step) + 3
+
+	for i := 0; i < cfg.Events; i++ {
+		ts := stream.TS(time.Duration(i+1) * step)
+		schema := schemaA
+		if i%2 == 1 {
+			schema = schemaB
+		}
+		tag := stream.Str(fmt.Sprintf("tag%02d", i%numTags))
+		t, terr := stream.NewTuple(schema, ts, tag, stream.Int(int64(i)))
+		if terr != nil {
+			return nil, nil, terr
+		}
+		it := stream.Of(t)
+		clean = append(clean, it)
+
+		key := ts
+		if rng.Float64() < cfg.Disorder && cfg.Slack > 0 {
+			key = ts.Add(time.Duration(rng.Int63n(int64(cfg.Slack))))
+		}
+		add(key, it)
+
+		if rng.Float64() < cfg.Duplicate {
+			// Exact copy arriving right behind the original, still inside
+			// the reorder horizon: dedup must absorb it.
+			dup := *t
+			add(key, stream.Of(&dup))
+			res.Injected.Duplicates++
+		}
+		if rng.Float64() < cfg.Corrupt {
+			// Wrong arity: fails schema validation at the boundary.
+			bad := &stream.Tuple{Schema: schema, TS: ts, Vals: []stream.Value{tag}}
+			add(key, stream.Of(bad))
+			res.Injected.Corrupt++
+		}
+		if rng.Float64() < cfg.Oversize {
+			huge, terr := stream.NewTuple(schema, ts, stream.Str(strings.Repeat("x", 1<<14)), stream.Int(int64(i)))
+			if terr != nil {
+				return nil, nil, terr
+			}
+			add(key, stream.Of(huge))
+			res.Injected.Oversize++
+		}
+		if cfg.Late > 0 && i+lateGap < cfg.Events && rng.Float64() < cfg.Late {
+			// A fresh timestamp between two readings, arriving only after
+			// the watermark has passed it: guaranteed late, never a dup.
+			lt, terr := stream.NewTuple(schema, ts.Add(step/2), tag, stream.Int(int64(-i)))
+			if terr != nil {
+				return nil, nil, terr
+			}
+			lateKey := stream.TS(time.Duration(i+1+lateGap) * step)
+			add(lateKey, stream.Of(lt))
+			res.Injected.Late++
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].key != arrivals[j].key {
+			return arrivals[i].key < arrivals[j].key
+		}
+		return arrivals[i].ord < arrivals[j].ord
+	})
+	perturbed = make([]stream.Item, len(arrivals))
+	for i, a := range arrivals {
+		perturbed[i] = a.it
+	}
+	return clean, perturbed, nil
+}
+
+// Run executes one chaos scenario and verifies equivalence and accounting.
+// A nil error means both properties held.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if cfg.Events <= 0 {
+		return res, fmt.Errorf("chaos: Events must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.Late > 0 && cfg.Policy == stream.LateError {
+		cfg.Policy = stream.LateDeadLetter
+	}
+	if cfg.Disorder > 0 && cfg.Slack <= 0 {
+		return res, fmt.Errorf("chaos: Disorder requires Slack > 0")
+	}
+	res.Events = cfg.Events
+	start := time.Now()
+
+	// Baseline: strict serial engine, clean in-order input.
+	baseSink := &sink{}
+	base := esl.New()
+	if err := registerWorkload(base, baseSink); err != nil {
+		return res, err
+	}
+
+	// Perturbed: fault-tolerant engine, perturbed input.
+	opts := []esl.Option{esl.WithSlack(cfg.Slack), esl.WithLateness(cfg.Policy)}
+	if cfg.Duplicate > 0 {
+		opts = append(opts, esl.WithExactDedup())
+	}
+	if cfg.Oversize > 0 {
+		opts = append(opts, esl.WithMaxTupleBytes(1<<12))
+	}
+	var pert engine
+	var forEachReplica func(func(*esl.Engine) error) error
+	if cfg.Shards > 1 {
+		se := shard.New(cfg.Shards, opts...)
+		defer se.Close()
+		pert = se
+		forEachReplica = se.ForEachReplica
+	} else {
+		ee := esl.New(opts...)
+		pert = ee
+		forEachReplica = func(fn func(*esl.Engine) error) error { return fn(ee) }
+	}
+	pertSink := &sink{}
+	res.DeadByReason = map[string]int{}
+	var deadMu sync.Mutex
+	pert.OnDeadLetter(func(dl stream.DeadLetter) {
+		deadMu.Lock()
+		defer deadMu.Unlock()
+		res.DeadByReason[dl.Reason.String()]++
+	})
+	if err := registerWorkload(pert, pertSink); err != nil {
+		return res, err
+	}
+	if cfg.PanicEvery > 0 {
+		if err := forEachReplica(func(r *esl.Engine) error {
+			every := int64(cfg.PanicEvery)
+			r.Funcs().Register("chaos_probe", func(args []stream.Value) (stream.Value, error) {
+				if n, ok := args[0].AsInt(); ok && n > 0 && n%every == 0 {
+					panic(fmt.Sprintf("chaos: injected UDF panic at n=%d", n))
+				}
+				return args[0], nil
+			})
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		// The probe is sacrificial: registered only on the perturbed engine
+		// and excluded from the equivalence multiset.
+		if _, err := pert.RegisterQuery("chaos-probe", `SELECT chaos_probe(n) FROM A`, nil); err != nil {
+			return res, err
+		}
+	}
+
+	schemaA, _ := base.StreamSchema("A")
+	schemaB, _ := base.StreamSchema("B")
+	clean, perturbed, err := generate(cfg, schemaA, schemaB, &res)
+	if err != nil {
+		return res, err
+	}
+
+	endTS := stream.TS(time.Duration(cfg.Events+1) * step)
+	feed := func(e engine, items []stream.Item) error {
+		for off := 0; off < len(items); off += cfg.BatchSize {
+			hi := off + cfg.BatchSize
+			if hi > len(items) {
+				hi = len(items)
+			}
+			if err := e.PushBatch(items[off:hi]); err != nil {
+				return err
+			}
+		}
+		if err := e.Heartbeat(endTS); err != nil {
+			return err
+		}
+		return e.Drain()
+	}
+	if err := feed(base, clean); err != nil {
+		return res, fmt.Errorf("chaos: baseline run: %w", err)
+	}
+	if err := feed(pert, perturbed); err != nil {
+		return res, fmt.Errorf("chaos: perturbed run: %w", err)
+	}
+	res.Elapsed = time.Since(start)
+
+	// Property 1: output equivalence for in-watermark tuples.
+	want, have := baseSink.sorted(), pertSink.sorted()
+	res.BaselineRows, res.PerturbedRows = len(want), len(have)
+	if len(want) != len(have) {
+		return res, fmt.Errorf("chaos: output mismatch: baseline %d rows, perturbed %d rows (first diff: %s)",
+			len(want), len(have), firstDiff(want, have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			return res, fmt.Errorf("chaos: output mismatch at row %d:\nbaseline:  %s\nperturbed: %s", i, want[i], have[i])
+		}
+	}
+
+	// Property 2: exact dead-letter accounting at the boundary.
+	st := pert.EngineStats()
+	res.Stats = st
+	if st.PendingReorder != 0 {
+		return res, fmt.Errorf("chaos: %d tuples still pending after Drain", st.PendingReorder)
+	}
+	if st.Ingested != st.Emitted+st.DroppedLate+st.DroppedDup+st.DeadLettered {
+		return res, fmt.Errorf("chaos: accounting broken: ingested=%d != emitted=%d + dropped-late=%d + dropped-dup=%d + dead-lettered=%d",
+			st.Ingested, st.Emitted, st.DroppedLate, st.DroppedDup, st.DeadLettered)
+	}
+	wantIngested := uint64(cfg.Events + res.Injected.Duplicates + res.Injected.Corrupt + res.Injected.Oversize + res.Injected.Late)
+	if st.Ingested != wantIngested {
+		return res, fmt.Errorf("chaos: ingested=%d, want %d (events + injected faults)", st.Ingested, wantIngested)
+	}
+	if st.Emitted != uint64(cfg.Events) {
+		return res, fmt.Errorf("chaos: emitted=%d, want %d clean events", st.Emitted, cfg.Events)
+	}
+	deadMu.Lock()
+	panics := res.DeadByReason["QUERY_PANIC"]
+	deadMu.Unlock()
+	if cfg.PanicEvery > 0 && cfg.Events > cfg.PanicEvery {
+		if st.QuarantinedQueries == 0 || panics != st.QuarantinedQueries {
+			return res, fmt.Errorf("chaos: expected every injected panic to quarantine exactly one probe instance: quarantined=%d, QUERY_PANIC records=%d",
+				st.QuarantinedQueries, panics)
+		}
+	}
+	return res, nil
+}
+
+// firstDiff names the first fingerprint present in one multiset but not the
+// other, for mismatch diagnostics.
+func firstDiff(want, have []string) string {
+	counts := map[string]int{}
+	for _, w := range want {
+		counts[w]++
+	}
+	for _, h := range have {
+		counts[h]--
+	}
+	keys := make([]string, 0, len(counts))
+	for k, c := range counts {
+		if c != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if counts[k] > 0 {
+			return fmt.Sprintf("missing from perturbed: %s", k)
+		}
+		return fmt.Sprintf("extra in perturbed: %s", k)
+	}
+	return "sets equal as multisets (ordering artifact)"
+}

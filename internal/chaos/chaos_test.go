@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// small returns a fast deterministic config for unit tests.
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Events = 6000
+	cfg.PanicEvery = 1000
+	return cfg
+}
+
+// TestChaosSerial runs the full fault mix against the serial engine.
+func TestChaosSerial(t *testing.T) {
+	res, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.Duplicates == 0 || res.Injected.Corrupt == 0 || res.Injected.Late == 0 {
+		t.Fatalf("fault mix did not fire: %+v", res.Injected)
+	}
+	if res.Stats.Reordered == 0 {
+		t.Fatal("expected disorder to be absorbed by slack")
+	}
+	if res.Stats.DroppedDup != uint64(res.Injected.Duplicates) {
+		t.Fatalf("dedup absorbed %d of %d duplicates", res.Stats.DroppedDup, res.Injected.Duplicates)
+	}
+	if res.DeadByReason["MALFORMED"] != res.Injected.Corrupt {
+		t.Fatalf("malformed: %d quarantined of %d injected", res.DeadByReason["MALFORMED"], res.Injected.Corrupt)
+	}
+	if res.DeadByReason["LATE"] != res.Injected.Late {
+		t.Fatalf("late: %d quarantined of %d injected", res.DeadByReason["LATE"], res.Injected.Late)
+	}
+	if res.Stats.QuarantinedQueries == 0 || res.DeadByReason["QUERY_PANIC"] == 0 {
+		t.Fatal("injected UDF panics did not quarantine the probe")
+	}
+}
+
+// TestChaosSharded runs the same mix against the partition-parallel engine.
+func TestChaosSharded(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		cfg := small()
+		cfg.Shards = shards
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestChaosDropPolicy swaps DEAD_LETTER for DROP: late tuples count as
+// dropped instead of dead-lettered and the balance still holds.
+func TestChaosDropPolicy(t *testing.T) {
+	cfg := small()
+	cfg.Policy = stream.LateDrop
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DroppedLate != uint64(res.Injected.Late) {
+		t.Fatalf("DROP policy: dropped %d of %d late tuples", res.Stats.DroppedLate, res.Injected.Late)
+	}
+	if res.DeadByReason["LATE"] != 0 {
+		t.Fatal("DROP policy must not dead-letter late tuples")
+	}
+}
+
+// TestChaosDisorderOnly checks a pure reorder scenario: no faults at all,
+// only slack-bounded disorder; nothing may be dropped or quarantined.
+func TestChaosDisorderOnly(t *testing.T) {
+	cfg := Config{
+		Events:   8000,
+		Seed:     7,
+		Slack:    300 * time.Millisecond,
+		Disorder: 0.8,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadLettered != 0 || res.Stats.DroppedLate != 0 || res.Stats.DroppedDup != 0 {
+		t.Fatalf("clean disorder run lost tuples: %+v", res.Stats)
+	}
+	if res.Stats.Emitted != uint64(cfg.Events) {
+		t.Fatalf("emitted %d of %d", res.Stats.Emitted, cfg.Events)
+	}
+}
+
+// TestChaosDeterministic: equal seeds replay identically.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Elapsed, b.Elapsed = 0, 0
+	if a.Injected != b.Injected || a.Stats != b.Stats {
+		t.Fatalf("replay diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChaosSoak is the acceptance soak: >= 1M events with the default fault
+// mix on both engines. Skipped in -short runs; `make chaos-soak` drives the
+// same scenario through the CLI.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for _, shards := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Events = 1_000_000
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		t.Logf("shards=%d: %s", shards, res)
+	}
+}

@@ -28,7 +28,11 @@ func batchFeed(t *testing.T, m *Matcher, batch int, tuples []*stream.Tuple) []*M
 			r = m.Resolve(name)
 			resolved[name] = r
 		}
-		for _, bm := range m.PushBatch(r, tuples[i:j]) {
+		bms, err := m.PushBatch(r, tuples[i:j])
+		if err != nil {
+			panic(err)
+		}
+		for _, bm := range bms {
 			out = append(out, bm.Match)
 		}
 		i = j
@@ -154,7 +158,11 @@ func TestPushBatchSelfSequence(t *testing.T) {
 			if j > len(tuples) {
 				j = len(tuples)
 			}
-			for _, bm := range batched.PushBatch(r, tuples[i:j]) {
+			bms, err := batched.PushBatch(r, tuples[i:j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bm := range bms {
 				got = append(got, bm.Match)
 			}
 		}

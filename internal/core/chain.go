@@ -45,7 +45,7 @@ func newChainEngine(def *Def, key stream.Value) engine {
 	return e
 }
 
-func (e *chainEngine) push(steps []int, t *stream.Tuple) []*Match {
+func (e *chainEngine) push(steps []int, t *stream.Tuple) ([]*Match, error) {
 	var out []*Match
 	last := len(e.def.Steps) - 1
 	for _, si := range steps { // already descending
@@ -57,11 +57,13 @@ func (e *chainEngine) push(steps []int, t *stream.Tuple) []*Match {
 		case ModeRecent:
 			e.extendChain(si, t)
 		default:
-			e.bufs[si].Add(t)
+			if err := e.bufs[si].Add(t); err != nil {
+				return out, err
+			}
 		}
 	}
 	e.evict(t.TS)
-	return out
+	return out, nil
 }
 
 // extendChain implements RECENT binding of t at non-final step si.

@@ -11,8 +11,10 @@ import (
 type engine interface {
 	// push offers a tuple that qualifies for the given step indexes
 	// (filters already applied; descending processing order is the
-	// engine's responsibility) and returns completed matches.
-	push(steps []int, t *stream.Tuple) []*Match
+	// engine's responsibility) and returns completed matches. An error
+	// reports a broken ordering invariant (window.ErrOutOfOrder) — an
+	// upstream engine bug, never a data condition.
+	push(steps []int, t *stream.Tuple) ([]*Match, error)
 	// advance moves event time forward (heartbeats), evicting state whose
 	// window can no longer be satisfied.
 	advance(ts stream.Timestamp)
@@ -136,7 +138,7 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 		}
 	}
 	m.stepScratch = steps
-	return m.pushSteps(steps, t), nil
+	return m.pushSteps(steps, t)
 }
 
 // Resolved is a precomputed alias→step resolution: the candidate step
@@ -164,7 +166,7 @@ func (m *Matcher) Resolve(aliases ...string) *Resolved {
 
 // PushResolved is Push with the alias resolution precomputed; the
 // steady-state path allocates nothing.
-func (m *Matcher) PushResolved(r *Resolved, t *stream.Tuple) []*Match {
+func (m *Matcher) PushResolved(r *Resolved, t *stream.Tuple) ([]*Match, error) {
 	steps := m.filterSteps(r, t, m.stepScratch[:0])
 	m.stepScratch = steps
 	return m.pushSteps(steps, t)
@@ -185,9 +187,9 @@ func (m *Matcher) filterSteps(r *Resolved, t *stream.Tuple, dst []int) []int {
 
 // pushSteps feeds one tuple with its qualifying steps to the right
 // partition engines, reusing scratch storage for the key grouping.
-func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) []*Match {
+func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) ([]*Match, error) {
 	if len(steps) == 0 {
-		return nil
+		return nil, nil
 	}
 	if !m.def.Partitioned() {
 		return m.single.push(steps, t)
@@ -209,10 +211,15 @@ func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) []*Match {
 		}
 		rem = rem[:n]
 		m.sameScratch = same
-		out = append(out, m.partitionFor(key).eng.push(same, t)...)
+		matches, err := m.partitionFor(key).eng.push(same, t)
+		out = append(out, matches...)
+		if err != nil {
+			m.remScratch = rem
+			return out, err
+		}
 	}
 	m.remScratch = rem
-	return out
+	return out, nil
 }
 
 // BatchMatch is one completed match from PushBatch, tagged with the index
@@ -229,17 +236,21 @@ type BatchMatch struct {
 // reproduces the serial match set, and the returned matches are re-ordered
 // to the exact serial emission order (by triggering tuple, then by the
 // serial key-visit order within a tuple).
-func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) []BatchMatch {
+func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, error) {
 	var out []BatchMatch
 	if !m.def.Partitioned() {
 		for i, t := range run {
 			steps := m.filterSteps(r, t, m.stepScratch[:0])
 			m.stepScratch = steps
-			for _, match := range m.single.push(steps, t) {
+			matches, err := m.single.push(steps, t)
+			for _, match := range matches {
 				out = append(out, BatchMatch{Index: i, Match: match})
 			}
+			if err != nil {
+				return out, err
+			}
 		}
-		return out
+		return out, nil
 	}
 	// Pass 1: resolve steps and group by partition, preserving per-tuple
 	// key-visit order in ord.
@@ -279,11 +290,15 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) []BatchMatch {
 	m.stepArena = arena
 	// Pass 2: drain each touched partition in arrival order.
 	emits := m.emitScratch[:0]
+	var pushErr error
 	for _, p := range touched {
 		for _, pp := range p.pending {
-			matches := p.eng.push(arena[pp.lo:pp.hi], run[pp.index])
+			matches, err := p.eng.push(arena[pp.lo:pp.hi], run[pp.index])
 			if len(matches) > 0 {
 				emits = append(emits, batchEmit{ord: pp.ord, index: pp.index, matches: matches})
+			}
+			if err != nil && pushErr == nil {
+				pushErr = err
 			}
 		}
 		p.pending = p.pending[:0]
@@ -300,7 +315,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) []BatchMatch {
 		emits[i].matches = nil
 	}
 	m.emitScratch = emits[:0]
-	return out
+	return out, pushErr
 }
 
 func (m *Matcher) partitionFor(key stream.Value) *partition {

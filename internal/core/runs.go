@@ -50,11 +50,11 @@ func (e *runEngine) level(r *run) int {
 	return r.cur
 }
 
-func (e *runEngine) push(steps []int, t *stream.Tuple) []*Match {
+func (e *runEngine) push(steps []int, t *stream.Tuple) ([]*Match, error) {
 	if e.def.Mode == ModeConsecutive {
-		return e.pushConsecutive(steps, t)
+		return e.pushConsecutive(steps, t), nil
 	}
-	return e.pushPending(steps, t)
+	return e.pushPending(steps, t), nil
 }
 
 // ---- CONSECUTIVE ----------------------------------------------------------

@@ -39,15 +39,6 @@ func Parse(s string) (Code, error) {
 	return Code{Segments: segs}, nil
 }
 
-// MustParse is Parse that panics on error, for static test data.
-func MustParse(s string) Code {
-	c, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Format builds the canonical three-field code used throughout the paper.
 func Format(company, product, serial int64) string {
 	return fmt.Sprintf("%d.%d.%d", company, product, serial)
@@ -175,15 +166,6 @@ func CompilePattern(pat string) (*Pattern, error) {
 		}
 	}
 	return p, nil
-}
-
-// MustCompilePattern is CompilePattern that panics on error.
-func MustCompilePattern(pat string) *Pattern {
-	p, err := CompilePattern(pat)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // String returns the pattern source text.

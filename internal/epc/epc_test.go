@@ -80,7 +80,10 @@ func TestExtractSerial(t *testing.T) {
 
 // The ALE-standard example pattern from the paper's introduction.
 func TestPaperPattern(t *testing.T) {
-	p := MustCompilePattern("20.*.[5000-9999]")
+	p, err := CompilePattern("20.*.[5000-9999]")
+	if err != nil {
+		t.Fatal(err)
+	}
 	match := []string{"20.1.5000", "20.9999.9999", "20.777.7500"}
 	noMatch := []string{
 		"21.1.5000",     // wrong company
@@ -105,7 +108,10 @@ func TestPaperPattern(t *testing.T) {
 }
 
 func TestPatternLiteralAndStar(t *testing.T) {
-	p := MustCompilePattern("20.55.*")
+	p, err := CompilePattern("20.55.*")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !p.Match("20.55.1") || !p.Match("20.55.xyz") {
 		t.Error("star segment should match anything")
 	}
@@ -115,7 +121,10 @@ func TestPatternLiteralAndStar(t *testing.T) {
 }
 
 func TestPatternRangeBoundaries(t *testing.T) {
-	p := MustCompilePattern("*.[10-20].*")
+	p, err := CompilePattern("*.[10-20].*")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for serial, want := range map[string]bool{
 		"1.10.x": true, "1.20.x": true, "1.15.x": true,
 		"1.9.x": false, "1.21.x": false,
@@ -139,7 +148,10 @@ func TestCompilePatternErrors(t *testing.T) {
 // Property: every generated code in range matches; shifting company breaks
 // the match.
 func TestPatternProperty(t *testing.T) {
-	p := MustCompilePattern("20.*.[5000-9999]")
+	p, err := CompilePattern("20.*.[5000-9999]")
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(product uint16, serialOff uint16) bool {
 		serial := 5000 + int64(serialOff)%5000
 		good := Format(20, int64(product), serial)

@@ -74,6 +74,15 @@ type Engine struct {
 	// sensitive is set when any registered query is time-sensitive (see
 	// queryOp.timeSensitive); it routes PushBatch to the exact per-item path.
 	sensitive bool
+
+	// Fault tolerance (robust.go). ingest is the slack/lateness/dedup
+	// boundary stage, nil on a default-configured engine so the strict path
+	// carries no overhead; onDead are the quarantine-stream subscribers;
+	// nquarantined counts queries disabled by panic isolation.
+	ingest        *stream.Ingest
+	ingestScratch []stream.Item
+	onDead        []func(stream.DeadLetter)
+	nquarantined  int
 }
 
 type streamInfo struct {
@@ -109,6 +118,10 @@ type Query struct {
 	target        string
 	targetIsTable bool
 	shard         Shardability
+	// Panic isolation (robust.go): a query that panics during evaluation is
+	// quarantined — it stops receiving input — while the engine keeps going.
+	quarantined bool
+	qErr        error
 }
 
 // Shardability reports whether a continuous query's output is invariant
@@ -181,15 +194,27 @@ type queryOp interface {
 	timeSensitive() bool
 }
 
-// New builds an empty engine.
-func New() *Engine {
+// New builds an empty engine. Options (WithSlack, WithLateness,
+// WithMaxTupleBytes, WithExactDedup) enable the fault-tolerant ingest
+// boundary; with no options the engine keeps its strict historical behavior
+// on the exact same code path.
+func New(opts ...Option) *Engine {
 	funcs := NewFuncRegistry()
-	return &Engine{
+	e := &Engine{
 		streams: make(map[string]*streamInfo),
 		store:   db.NewStore(),
 		funcs:   funcs,
 		aggs:    NewAggRegistry(funcs),
 	}
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.Ingest.IsZero() {
+		cfg.Ingest.OnDead = e.dispatchDeadLocked
+		e.ingest = stream.NewIngest(cfg.Ingest)
+	}
+	return e
 }
 
 // Funcs returns the scalar-function registry (for registering UDFs).
@@ -568,7 +593,18 @@ func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Val
 	}
 	t, err := stream.NewTuple(si.schema, ts, vals...)
 	if err != nil {
+		if e.ingest != nil {
+			// Malformed rows are part of the fault model: quarantine instead
+			// of erroring when a dead-letter route is configured.
+			e.ingest.DeadLetterNow(stream.DeadLetter{
+				Reason: stream.DeadMalformed, Stream: si.schema.Name(), TS: ts, Err: err,
+			})
+			return nil
+		}
 		return err
+	}
+	if e.ingest != nil {
+		return e.offerLocked(stream.Of(t))
 	}
 	return e.routeLocked(si, t)
 }
@@ -584,6 +620,14 @@ func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Val
 func (e *Engine) PushBatch(items []stream.Item) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.ingest != nil {
+		for _, it := range items {
+			if err := e.offerLocked(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if e.sensitive {
 		return e.pushItemsExactLocked(items)
 	}
@@ -728,7 +772,9 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 		e.seq++
 		t.Seq = e.seq
 		if si.history != nil {
-			si.history.Add(t)
+			if err := si.history.Add(t); err != nil {
+				return err
+			}
 		}
 		for _, fn := range si.subscribers {
 			fn(t)
@@ -744,7 +790,7 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 	}
 	var err error
 	for _, rd := range si.readers {
-		if err = rd.q.op.pushBatch(rd.aliases, b); err != nil {
+		if err = e.pushBatchQueryLocked(rd.q, rd.aliases, b); err != nil {
 			break
 		}
 	}
@@ -779,6 +825,9 @@ func (e *Engine) PushTuple(streamName string, t *stream.Tuple) error {
 	if !ok {
 		return fmt.Errorf("esl: unknown stream %s", streamName)
 	}
+	if e.ingest != nil {
+		return e.offerLocked(stream.Of(t))
+	}
 	return e.routeLocked(si, t)
 }
 
@@ -802,14 +851,16 @@ func (e *Engine) routeLocked(si *streamInfo, t *stream.Tuple) error {
 		e.now = t.TS
 	}
 	if si.history != nil {
-		si.history.Add(t)
+		if err := si.history.Add(t); err != nil {
+			return err
+		}
 		si.history.EvictBefore(e.now.Add(-si.retain))
 	}
 	for _, fn := range si.subscribers {
 		fn(t)
 	}
 	for _, rd := range si.readers {
-		if err := rd.q.op.push(rd.aliases, t); err != nil {
+		if err := e.pushQueryLocked(rd.q, rd.aliases, t); err != nil {
 			return err
 		}
 	}
@@ -823,6 +874,11 @@ func (e *Engine) routeLocked(si *streamInfo, t *stream.Tuple) error {
 func (e *Engine) Heartbeat(ts stream.Timestamp) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.ingest != nil {
+		// Punctuation advances the high-water mark; the clock follows the
+		// watermark (ts minus slack) once held-back tuples are released.
+		return e.offerLocked(stream.Heartbeat(ts))
+	}
 	if ts > e.now {
 		e.now = ts
 	}
@@ -831,7 +887,7 @@ func (e *Engine) Heartbeat(ts stream.Timestamp) error {
 
 func (e *Engine) advanceLocked(ts stream.Timestamp) error {
 	for _, q := range e.queries {
-		if err := q.op.advance(ts); err != nil {
+		if err := e.advanceQueryLocked(q, ts); err != nil {
 			return err
 		}
 	}

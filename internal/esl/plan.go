@@ -17,6 +17,9 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	if len(sel.OrderBy) > 0 {
 		return nil, nil, fmt.Errorf("esl: ORDER BY applies to snapshot queries only; a continuous stream has no end to order at")
 	}
+	if err := validateSelect(sel); err != nil {
+		return nil, nil, err
+	}
 	// Temporal event queries are handled by the event planner.
 	if se := findSeqExpr(sel.Where); se != nil {
 		return e.compileEventQuery(sel, se, q)
@@ -391,7 +394,9 @@ func (op *filterProjectOp) push(aliases []string, t *stream.Tuple) error {
 	// Inner roles: feed sub-query buffers.
 	for _, ex := range op.exists {
 		if containsFold(aliases, ex.alias) {
-			ex.buffer.Add(t)
+			if err := ex.buffer.Add(t); err != nil {
+				return err
+			}
 		}
 	}
 	if isOuter && op.deferred {

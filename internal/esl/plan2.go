@@ -229,7 +229,9 @@ func (op *aggregateOp) pushOne(env *Env, t *stream.Tuple) error {
 				}
 			}
 		} else {
-			op.timeBuf.Add(t)
+			if err := op.timeBuf.Add(t); err != nil {
+				return err
+			}
 			op.entries[t] = &winEntry{group: gs, args: args}
 			if err := op.evictBefore(t.TS.Add(-op.win.Preceding)); err != nil {
 				return err

@@ -1,0 +1,253 @@
+package esl
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/stream"
+	"time"
+)
+
+// Config collects the engine's fault-tolerance knobs. The zero value is the
+// strict historical behavior: no slack, ERROR lateness policy, no screening,
+// no dedup.
+type Config struct {
+	Ingest stream.IngestConfig
+}
+
+// Option mutates the engine configuration at construction.
+type Option func(*Config)
+
+// WithSlack absorbs bounded disorder at the ingest boundary: tuples are held
+// back until the per-engine high-water mark passes ts+slack, then released
+// to the exact in-order core in (timestamp, arrival) order. The engine's
+// clock then trails the newest arrival by at most slack; Drain flushes the
+// tail at end of stream.
+func WithSlack(d time.Duration) Option {
+	return func(c *Config) { c.Ingest.Slack = d }
+}
+
+// WithLateness selects the fate of tuples behind the watermark: ERROR (the
+// default — reject with an error), DROP (discard, counted), or DEAD_LETTER
+// (route to the quarantine subscribers with reason codes).
+func WithLateness(p stream.LatenessPolicy) Option {
+	return func(c *Config) { c.Ingest.Policy = p }
+}
+
+// WithMaxTupleBytes quarantines rows whose estimated in-memory size exceeds
+// the budget (reason OVERSIZED) instead of admitting them.
+func WithMaxTupleBytes(n int) Option {
+	return func(c *Config) { c.Ingest.MaxTupleBytes = n }
+}
+
+// WithExactDedup drops exact duplicate tuples (same stream, timestamp and
+// values) arriving within the reorder horizon — the cheap reader-overlap
+// cleaning pass that runs before any query sees the stream.
+func WithExactDedup() Option {
+	return func(c *Config) { c.Ingest.Dedup = true }
+}
+
+// EngineStats is the engine-wide robustness counter snapshot. The ingest
+// boundary balance is
+//
+//	Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered + PendingReorder
+//
+// (PendingReorder drains to Emitted on Drain). QuarantinedQueries counts
+// queries disabled by panic isolation; their dead-letter records carry
+// reason QUERY_PANIC and do not disturb the boundary balance.
+type EngineStats struct {
+	Ingested           uint64
+	Emitted            uint64
+	Reordered          uint64
+	DroppedLate        uint64
+	DroppedDup         uint64
+	DeadLettered       uint64
+	PendingReorder     int
+	QuarantinedQueries int
+	Watermark          stream.Timestamp
+}
+
+// EngineStats returns the robustness counters. On a default-configured
+// engine (no ingest stage) the boundary counters stay zero and Watermark is
+// the engine clock.
+func (e *Engine) EngineStats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := EngineStats{QuarantinedQueries: e.nquarantined, Watermark: e.now}
+	if e.ingest != nil {
+		is := e.ingest.Stats()
+		st.Ingested = is.Ingested
+		st.Emitted = is.Emitted
+		st.Reordered = is.Reordered
+		st.DroppedLate = is.DroppedLate
+		st.DroppedDup = is.DroppedDup
+		st.DeadLettered = is.DeadLettered
+		st.PendingReorder = e.ingest.Pending()
+		if wm := e.ingest.Watermark(); wm > stream.MinTimestamp {
+			st.Watermark = wm
+		}
+	}
+	return st
+}
+
+// OnDeadLetter subscribes to the quarantine stream: every late (under
+// DEAD_LETTER), malformed, oversized, or query-panic record is delivered to
+// fn, synchronously, in ingestion order. fn runs under the engine lock and
+// must not call back into the engine.
+func (e *Engine) OnDeadLetter(fn func(stream.DeadLetter)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onDead = append(e.onDead, fn)
+}
+
+// dispatchDeadLocked fans one quarantine record out to the subscribers.
+func (e *Engine) dispatchDeadLocked(dl stream.DeadLetter) {
+	for _, fn := range e.onDead {
+		fn(dl)
+	}
+}
+
+// Watermark returns the completeness frontier: with slack configured, the
+// ingest watermark (arrivals at or above it are never late); otherwise the
+// engine clock.
+func (e *Engine) Watermark() stream.Timestamp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ingest != nil {
+		if wm := e.ingest.Watermark(); wm > stream.MinTimestamp {
+			return wm
+		}
+	}
+	return e.now
+}
+
+// Drain flushes the reorder stage at end of stream: every held-back tuple is
+// released in order and the engine clock advances to the high-water mark. A
+// no-op on a default-configured engine.
+func (e *Engine) Drain() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ingest == nil {
+		return nil
+	}
+	out := e.ingest.Flush(e.ingestScratch[:0])
+	err := e.deliverLocked(out)
+	e.ingestScratch = out[:0]
+	return err
+}
+
+// offerLocked feeds one item through the ingest stage and delivers whatever
+// the watermark released. The returned error is a lateness rejection (ERROR
+// policy) or a downstream processing failure.
+func (e *Engine) offerLocked(it stream.Item) error {
+	out, lateErr := e.ingest.Offer(it, e.ingestScratch[:0])
+	err := e.deliverLocked(out)
+	e.ingestScratch = out[:0]
+	if err != nil {
+		return err
+	}
+	return lateErr
+}
+
+// deliverLocked routes items the ingest stage released — already in joint
+// history order — through the engine's exact or vectorized path.
+func (e *Engine) deliverLocked(items []stream.Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if e.sensitive {
+		return e.pushItemsExactLocked(items)
+	}
+	return e.pushItemsBatchedLocked(items)
+}
+
+// Quarantined reports whether panic isolation disabled the query, and why.
+func (q *Query) Quarantined() (bool, error) {
+	return q.quarantined, q.qErr
+}
+
+// pushQueryLocked delivers one tuple to a query behind the panic-isolation
+// boundary: a panic in plan evaluation quarantines this query — recording
+// the offending tuple and captured stack on the dead-letter stream — while
+// the engine and every other query keep running.
+func (e *Engine) pushQueryLocked(q *Query, aliases []string, t *stream.Tuple) (err error) {
+	if q.quarantined {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+			e.quarantineQueryLocked(q, t, r)
+		}
+	}()
+	return q.op.push(aliases, t)
+}
+
+// pushBatchQueryLocked is pushQueryLocked for a vectorized run. On a panic
+// the whole remaining run is lost to this query (it is quarantined anyway);
+// other queries see the full run.
+func (e *Engine) pushBatchQueryLocked(q *Query, aliases []string, b *stream.Batch) (err error) {
+	if q.quarantined {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+			var t *stream.Tuple
+			if len(b.Tuples) > 0 {
+				t = b.Tuples[len(b.Tuples)-1]
+			}
+			e.quarantineQueryLocked(q, t, r)
+		}
+	}()
+	return q.op.pushBatch(aliases, b)
+}
+
+// advanceQueryLocked moves one query's clock behind the isolation boundary.
+func (e *Engine) advanceQueryLocked(q *Query, ts stream.Timestamp) (err error) {
+	if q.quarantined {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+			e.quarantineQueryLocked(q, nil, r)
+		}
+	}()
+	return q.op.advance(ts)
+}
+
+// quarantineQueryLocked disables a panicked query and emits the dead-letter
+// record carrying the panic value, the offending tuple, and the stack.
+func (e *Engine) quarantineQueryLocked(q *Query, t *stream.Tuple, r interface{}) {
+	q.quarantined = true
+	q.qErr = fmt.Errorf("esl: query %s quarantined: panic: %v", q.describe(), r)
+	e.nquarantined++
+	dl := stream.DeadLetter{
+		Reason: stream.DeadQueryPanic,
+		Query:  q.describe(),
+		TS:     e.now,
+		Err:    fmt.Errorf("panic: %v", r),
+		Stack:  debug.Stack(),
+	}
+	if t != nil {
+		dl.Tuple = t
+		dl.TS = t.TS
+		if t.Schema != nil {
+			dl.Stream = t.Schema.Name()
+		}
+	}
+	e.dispatchDeadLocked(dl)
+}
+
+// describe names the query for diagnostics: its registered name, or its sink
+// target, or its position.
+func (q *Query) describe() string {
+	if q.Name != "" {
+		return q.Name
+	}
+	if q.target != "" {
+		return "->" + q.target
+	}
+	return "(anonymous)"
+}

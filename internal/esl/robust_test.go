@@ -1,0 +1,409 @@
+package esl
+
+// Tests for the fault-tolerance layer: slack reordering at the ingest
+// boundary, lateness policies, dead-letter routing, per-query panic
+// isolation, and the EngineStats counters. The strict default path is
+// covered by robustness_test.go (TestOutOfOrderPushRejected et al.).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestWithSlackReordersWithinBound: disordered pushes within the slack come
+// out in timestamp order; the engine clock trails by at most the slack until
+// Drain.
+func TestWithSlackReordersWithinBound(t *testing.T) {
+	e := New(WithSlack(2 * time.Second))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	var got []int64
+	if err := e.Subscribe("s", func(tp *stream.Tuple) {
+		n, _ := tp.Get(0).AsInt()
+		got = append(got, n)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival order 3s, 1s, 2s, 5s, 4s — all displacements < 2s of slack.
+	for _, sec := range []int{3, 1, 2, 5, 4} {
+		if err := e.Push("s", ts(time.Duration(sec)*time.Second), stream.Int(int64(sec))); err != nil {
+			t.Fatalf("push %ds: %v", sec, err)
+		}
+	}
+	st := e.EngineStats()
+	if st.PendingReorder == 0 {
+		t.Fatal("expected tuples held back by slack")
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("released order %v, want %v", got, want)
+	}
+	st = e.EngineStats()
+	if st.Reordered == 0 || st.PendingReorder != 0 || st.Emitted != 5 || st.Ingested != 5 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestLatenessPolicies drives a late tuple through each policy.
+func TestLatenessPolicies(t *testing.T) {
+	push := func(e *Engine, sec int) error {
+		return e.Push("s", ts(time.Duration(sec)*time.Second), stream.Int(int64(sec)))
+	}
+	setup := func(opts ...Option) *Engine {
+		e := New(opts...)
+		mustExec(t, e, `CREATE STREAM s(v);`)
+		// Advance the watermark to 8s: high water 10s minus 2s slack.
+		for _, sec := range []int{1, 10} {
+			if err := push(e, sec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+
+	t.Run("ERROR", func(t *testing.T) {
+		e := setup(WithSlack(2 * time.Second)) // default policy
+		err := push(e, 3)
+		if !errors.Is(err, stream.ErrLate) {
+			t.Fatalf("want ErrLate, got %v", err)
+		}
+		if st := e.EngineStats(); st.DeadLettered != 1 {
+			t.Fatalf("rejected tuple must be accounted: %+v", st)
+		}
+		// The engine stays usable after the rejection.
+		if err := push(e, 11); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("DROP", func(t *testing.T) {
+		e := setup(WithSlack(2*time.Second), WithLateness(stream.LateDrop))
+		if err := push(e, 3); err != nil {
+			t.Fatalf("DROP must not error: %v", err)
+		}
+		if st := e.EngineStats(); st.DroppedLate != 1 || st.DeadLettered != 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+	t.Run("DEAD_LETTER", func(t *testing.T) {
+		e := setup(WithSlack(2*time.Second), WithLateness(stream.LateDeadLetter))
+		var dead []stream.DeadLetter
+		e.OnDeadLetter(func(dl stream.DeadLetter) { dead = append(dead, dl) })
+		if err := push(e, 3); err != nil {
+			t.Fatalf("DEAD_LETTER must not error: %v", err)
+		}
+		if len(dead) != 1 || dead[0].Reason != stream.DeadLate || dead[0].Stream != "s" {
+			t.Fatalf("dead letters: %v", dead)
+		}
+		if dead[0].Tuple == nil || !errors.Is(dead[0].Err, stream.ErrLate) {
+			t.Fatalf("record must carry the tuple and cause: %+v", dead[0])
+		}
+		if st := e.EngineStats(); st.DeadLettered != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+// TestMalformedAndOversizedDeadLetter: with an ingest stage configured,
+// screening failures quarantine instead of erroring the push.
+func TestMalformedAndOversizedDeadLetter(t *testing.T) {
+	e := New(WithSlack(time.Second), WithMaxTupleBytes(256))
+	mustExec(t, e, `CREATE STREAM s(v INT, pad);`)
+	var dead []stream.DeadLetter
+	e.OnDeadLetter(func(dl stream.DeadLetter) { dead = append(dead, dl) })
+	if err := e.Push("s", ts(time.Second), stream.Str("not an int"), stream.Null); err != nil {
+		t.Fatalf("malformed row must quarantine, not error: %v", err)
+	}
+	if err := e.PushTuple("s", mustOversized(t, e)); err != nil {
+		t.Fatalf("oversized row must quarantine, not error: %v", err)
+	}
+	if len(dead) != 2 || dead[0].Reason != stream.DeadMalformed || dead[1].Reason != stream.DeadOversized {
+		t.Fatalf("dead letters: %v", dead)
+	}
+	st := e.EngineStats()
+	if st.Ingested != 2 || st.DeadLettered != 2 || st.Emitted != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// mustOversized builds a valid but enormous tuple on stream s's schema.
+func mustOversized(t *testing.T, e *Engine) *stream.Tuple {
+	t.Helper()
+	schema, ok := e.StreamSchema("s")
+	if !ok {
+		t.Fatal("stream s missing")
+	}
+	tup := &stream.Tuple{Schema: schema, TS: ts(2 * time.Second),
+		Vals: []stream.Value{stream.Int(1), stream.Str(strings.Repeat("x", 4096))}}
+	return tup
+}
+
+// TestPanicIsolation: a panicking UDF quarantines only the query evaluating
+// it; the sibling query and the engine keep running, and the dead-letter
+// record carries the query name, offending tuple, and stack.
+func TestPanicIsolation(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	e.Funcs().Register("explode", func(args []stream.Value) (stream.Value, error) {
+		if n, ok := args[0].AsInt(); ok && n == 3 {
+			panic("kaboom")
+		}
+		return args[0], nil
+	})
+	var dead []stream.DeadLetter
+	e.OnDeadLetter(func(dl stream.DeadLetter) { dead = append(dead, dl) })
+	var doomedRows, healthyRows int
+	doomed, err := e.RegisterQuery("doomed", `SELECT explode(v) FROM s`, func(Row) { doomedRows++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("healthy", `SELECT v FROM s`, func(Row) { healthyRows++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := e.Push("s", ts(time.Duration(i)*time.Second), stream.Int(int64(i))); err != nil {
+			t.Fatalf("push %d after panic must succeed: %v", i, err)
+		}
+	}
+	if q, qErr := doomed.Quarantined(); !q || qErr == nil || !strings.Contains(qErr.Error(), "kaboom") {
+		t.Fatalf("doomed not quarantined: %v %v", q, qErr)
+	}
+	if doomedRows != 2 {
+		t.Fatalf("doomed emitted %d rows before the fault, want 2", doomedRows)
+	}
+	if healthyRows != 6 {
+		t.Fatalf("healthy saw %d of 6 tuples", healthyRows)
+	}
+	if len(dead) != 1 || dead[0].Reason != stream.DeadQueryPanic || dead[0].Query != "doomed" {
+		t.Fatalf("dead letters: %v", dead)
+	}
+	if dead[0].Tuple == nil || len(dead[0].Stack) == 0 {
+		t.Fatal("record must carry the offending tuple and captured stack")
+	}
+	if n, _ := dead[0].Tuple.Get(0).AsInt(); n != 3 {
+		t.Fatalf("offending tuple: %v", dead[0].Tuple.Vals)
+	}
+	if st := e.EngineStats(); st.QuarantinedQueries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Stats() surfaces the quarantine flag per query.
+	for _, qs := range e.Stats() {
+		if qs.Name == "doomed" && !qs.Quarantined {
+			t.Fatal("QueryStats.Quarantined not set")
+		}
+		if qs.Name == "healthy" && qs.Quarantined {
+			t.Fatal("healthy query wrongly quarantined")
+		}
+	}
+}
+
+// TestPanicIsolationBatchPath: the vectorized pushBatch path has the same
+// recover boundary.
+func TestPanicIsolationBatchPath(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	e.Funcs().Register("explode", func(args []stream.Value) (stream.Value, error) {
+		if n, ok := args[0].AsInt(); ok && n == 2 {
+			panic("batch kaboom")
+		}
+		return args[0], nil
+	})
+	if _, err := e.RegisterQuery("doomed", `SELECT explode(v) FROM s`, nil); err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := e.StreamSchema("s")
+	items := make([]stream.Item, 0, 4)
+	for i := 1; i <= 4; i++ {
+		tp, err := stream.NewTuple(schema, ts(time.Duration(i)*time.Second), stream.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, stream.Of(tp))
+	}
+	if err := e.PushBatch(items); err != nil {
+		t.Fatalf("batch push across a panic must succeed: %v", err)
+	}
+	if st := e.EngineStats(); st.QuarantinedQueries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Subsequent input still flows.
+	if err := e.Push("s", ts(9*time.Second), stream.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultEngineUnchanged: without options the ingest stage is absent —
+// boundary counters stay zero, Drain is a no-op, and the watermark is the
+// engine clock.
+func TestDefaultEngineUnchanged(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	mustPush(t, e, "s", 5*time.Second, stream.Int(1))
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.EngineStats()
+	if st.Ingested != 0 || st.Emitted != 0 || st.PendingReorder != 0 {
+		t.Fatalf("default engine grew boundary counters: %+v", st)
+	}
+	if st.Watermark != ts(5*time.Second) || e.Watermark() != ts(5*time.Second) {
+		t.Fatalf("watermark should be the engine clock: %+v", st)
+	}
+}
+
+// TestExactDedupOption: duplicates within the horizon are absorbed once the
+// option is on; the accounting identity holds.
+func TestExactDedupOption(t *testing.T) {
+	e := New(WithSlack(time.Second), WithExactDedup())
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	var rows int
+	if _, err := e.RegisterQuery("q", `SELECT v FROM s`, func(Row) { rows++ }); err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := e.StreamSchema("s")
+	tp, err := stream.NewTuple(schema, ts(time.Second), stream.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := *tp
+	for _, it := range []stream.Item{stream.Of(tp), stream.Of(&dup)} {
+		if err := e.PushBatch([]stream.Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 {
+		t.Fatalf("duplicate leaked: %d rows", rows)
+	}
+	st := e.EngineStats()
+	if st.DroppedDup != 1 || st.Ingested != st.Emitted+st.DroppedDup {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestBatchVsSerialEquivalenceWithSlack: the same disordered input fed
+// tuple-at-a-time and as one big batch — through engines with slack — must
+// produce identical output, matching a strict engine fed in order.
+func TestBatchVsSerialEquivalenceWithSlack(t *testing.T) {
+	const n = 500
+	const slack = time.Second
+	type tup struct {
+		ts stream.Timestamp
+		v  int64
+	}
+	// Disordered arrival sequence: displacement bounded by the slack.
+	seq := make([]tup, 0, n)
+	for i := 0; i < n; i++ {
+		seq = append(seq, tup{ts: ts(time.Duration(i) * 100 * time.Millisecond), v: int64(i)})
+	}
+	rngState := uint64(42)
+	for i := len(seq) - 1; i > 0; i-- {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		j := i - int(rngState%4)
+		if j < 0 {
+			j = 0
+		}
+		if seq[i].ts-seq[j].ts < stream.TS(slack) {
+			seq[i], seq[j] = seq[j], seq[i]
+		}
+	}
+
+	setup := func(opts ...Option) (*Engine, *[]string) {
+		e := New(opts...)
+		mustExec(t, e, `CREATE STREAM s(tag, v);`)
+		var rows []string
+		for _, q := range []struct{ name, sql string }{
+			{"filter", `SELECT tag, v FROM s WHERE v % 2 = 0`},
+			{"agg", `SELECT tag, COUNT(*), SUM(v) FROM s GROUP BY tag`},
+		} {
+			name := q.name
+			if _, err := e.RegisterQuery(q.name, q.sql, func(r Row) {
+				rows = append(rows, fmt.Sprintf("%s|%v%v", name, r.Names, r.Vals))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e, &rows
+	}
+	itemsOf := func(e *Engine, src []tup) []stream.Item {
+		schema, _ := e.StreamSchema("s")
+		items := make([]stream.Item, 0, len(src))
+		for _, u := range src {
+			tp, err := stream.NewTuple(schema, u.ts, stream.Str(fmt.Sprintf("t%d", u.v%5)), stream.Int(u.v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			items = append(items, stream.Of(tp))
+		}
+		return items
+	}
+
+	// Strict baseline: sorted input, no options.
+	strict, strictRows := setup()
+	ordered := append([]tup(nil), seq...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ts < ordered[j].ts })
+	if err := strict.PushBatch(itemsOf(strict, ordered)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slack engine, tuple at a time.
+	serial, serialRows := setup(WithSlack(slack))
+	for _, it := range itemsOf(serial, seq) {
+		if err := serial.PushBatch([]stream.Item{it}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := serial.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slack engine, one big batch.
+	batch, batchRows := setup(WithSlack(slack))
+	if err := batch.PushBatch(itemsOf(batch, seq)); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := append([]string(nil), *strictRows...)
+	sort.Strings(want)
+	for label, got := range map[string][]string{"serial": *serialRows, "batch": *batchRows} {
+		have := append([]string(nil), got...)
+		sort.Strings(have)
+		if len(have) != len(want) {
+			t.Fatalf("%s: %d rows vs strict %d", label, len(have), len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("%s row %d: %s vs strict %s", label, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEPCPatternCompileError: a malformed constant EPC pattern fails at
+// query registration, not per tuple (and certainly not with a panic).
+func TestEPCPatternCompileError(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(code);`)
+	_, err := e.RegisterQuery("bad", `SELECT code FROM s WHERE epc_match(code, '20.[9999-5]')`, nil)
+	if err == nil || !strings.Contains(err.Error(), "epc_match pattern") {
+		t.Fatalf("want compile-time pattern error, got %v", err)
+	}
+	// A valid pattern still registers.
+	if _, err := e.RegisterQuery("good", `SELECT code FROM s WHERE epc_match(code, '20.*.[5000-9999]')`, nil); err != nil {
+		t.Fatal(err)
+	}
+}

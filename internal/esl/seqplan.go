@@ -698,7 +698,11 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 			if t.TS > e.now {
 				e.now = t.TS
 			}
-			for _, m := range op.seq.PushResolved(r, t) {
+			matches, err := op.seq.PushResolved(r, t)
+			if err != nil {
+				return err
+			}
+			for _, m := range matches {
 				if err := op.emitMatch(m); err != nil {
 					return err
 				}
@@ -710,7 +714,11 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 	// partition's state is visited once per run instead of once per tuple.
 	// The matcher returns matches in serial emission order; the clock is
 	// advanced to each trigger before its rows are emitted.
-	for _, bm := range op.seq.PushBatch(r, b.Tuples) {
+	bms, err := op.seq.PushBatch(r, b.Tuples)
+	if err != nil {
+		return err
+	}
+	for _, bm := range bms {
 		if t := b.Tuples[bm.Index]; t.TS > e.now {
 			e.now = t.TS
 		}

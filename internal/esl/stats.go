@@ -12,6 +12,8 @@ type QueryStats struct {
 	State int
 	// Kind names the operator family running the query.
 	Kind string
+	// Quarantined reports whether panic isolation disabled the query.
+	Quarantined bool
 }
 
 // stateSizer is implemented by operators that can report retained state.
@@ -60,7 +62,7 @@ func (e *Engine) Stats() []QueryStats {
 	defer e.mu.Unlock()
 	out := make([]QueryStats, 0, len(e.queries))
 	for _, q := range e.queries {
-		st := QueryStats{Name: q.Name, Emitted: q.emitted}
+		st := QueryStats{Name: q.Name, Emitted: q.emitted, Quarantined: q.quarantined}
 		if s, ok := q.op.(stateSizer); ok {
 			st.State = s.stateSize()
 			st.Kind = s.kind()

@@ -1,0 +1,86 @@
+package esl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/epc"
+)
+
+// validateSelect walks a continuous query's expressions at compile time and
+// rejects statically-detectable runtime failures — today, malformed constant
+// EPC patterns in epc_match calls. Catching these at registration turns what
+// used to be a per-tuple evaluation error (or, worse, a process-killing
+// panic in older epc code) into an ordinary query-compile failure.
+func validateSelect(sel *Select) error {
+	if sel == nil {
+		return nil
+	}
+	var check func(ex Expr) error
+	walkSel := func(s *Select) error {
+		if s == nil {
+			return nil
+		}
+		var err error
+		visit := func(ex Expr) {
+			if err == nil {
+				err = check(ex)
+			}
+		}
+		for _, it := range s.Items {
+			visit(it.Expr)
+		}
+		visit(s.Where)
+		for _, g := range s.GroupBy {
+			visit(g)
+		}
+		visit(s.Having)
+		for _, o := range s.OrderBy {
+			visit(o.Expr)
+		}
+		return err
+	}
+	check = func(ex Expr) error {
+		switch x := ex.(type) {
+		case nil:
+			return nil
+		case *Unary:
+			return check(x.X)
+		case *Binary:
+			if err := check(x.L); err != nil {
+				return err
+			}
+			return check(x.R)
+		case *Between:
+			for _, sub := range []Expr{x.X, x.Lo, x.Hi} {
+				if err := check(sub); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *IsNull:
+			return check(x.X)
+		case *Exists:
+			return walkSel(x.Sub)
+		case *Call:
+			for _, a := range x.Args {
+				if err := check(a); err != nil {
+					return err
+				}
+			}
+			if strings.EqualFold(x.Name, "epc_match") && len(x.Args) == 2 {
+				if lit, ok := x.Args[1].(*Literal); ok {
+					if pat, isStr := lit.Val.AsString(); isStr {
+						if _, err := epc.CompilePattern(pat); err != nil {
+							return fmt.Errorf("esl: epc_match pattern: %v", err)
+						}
+					}
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return walkSel(sel)
+}

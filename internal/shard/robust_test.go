@@ -1,0 +1,245 @@
+package shard
+
+// Fault-tolerance tests for the sharded boundary: slack reordering ahead of
+// the hash router, dead-letter fan-in from boundary and replicas, and
+// per-replica query quarantine surfaced through the aggregated stats.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+// disorderedReads builds a deterministic disordered arrival sequence: event
+// times step forward, but arrival order is perturbed by a bounded jitter
+// strictly smaller than the given slack, so no tuple ever goes late.
+func disorderedReads(t *testing.T, e interface {
+	StreamSchema(string) (*stream.Schema, bool)
+}, n int, slack time.Duration) []stream.Item {
+	t.Helper()
+	schema, ok := e.StreamSchema("R")
+	if !ok {
+		t.Fatal("stream R not declared")
+	}
+	items := make([]stream.Item, 0, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < n; i++ {
+		ts := stream.TS(time.Duration(i) * 100 * time.Millisecond)
+		tag := fmt.Sprintf("tag%d", i%7)
+		tup, err := stream.NewTuple(schema, ts, stream.Str(tag), stream.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, stream.Of(tup))
+	}
+	// Perturb arrival order with displacement bounded by slack: swap each
+	// item with a pseudo-random earlier position whose timestamp is within
+	// the slack window.
+	for i := len(items) - 1; i > 0; i-- {
+		j := i - int(next()%3)
+		if j < 0 {
+			j = 0
+		}
+		if items[i].TS-items[j].TS < stream.TS(slack) {
+			items[i], items[j] = items[j], items[i]
+		}
+	}
+	return items
+}
+
+// TestShardedSlackEquivalence feeds a disordered arrival sequence through
+// sharded engines with slack enabled and compares the full output multiset
+// against a strict serial engine fed the same tuples pre-sorted — the
+// reorder stage must make the disorder invisible downstream.
+func TestShardedSlackEquivalence(t *testing.T) {
+	const slack = time.Second
+	ddl := `CREATE STREAM R(tagid, n);`
+	register := func(t *testing.T, exec func(string) ([]*esl.Query, error),
+		reg func(string, string, func(Row)) (*esl.Query, error), s *sink) {
+		t.Helper()
+		if _, err := exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg("filter", `SELECT tagid, n FROM R WHERE n % 3 = 0`, s.row("f")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg("agg", `SELECT tagid, COUNT(*), SUM(n) FROM R GROUP BY tagid`, s.row("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serial strict baseline over the sorted sequence.
+	want := func() []string {
+		e := esl.New()
+		s := &sink{}
+		register(t, e.Exec, e.RegisterQuery, s)
+		items := disorderedReads(t, e, 200, slack)
+		sorted := append([]stream.Item(nil), items...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+		if err := e.PushBatch(sorted); err != nil {
+			t.Fatal(err)
+		}
+		return s.sorted()
+	}()
+
+	for _, cfg := range []struct{ shards, batch int }{{1, 0}, {2, 3}, {4, 16}, {4, 1}} {
+		t.Run(fmt.Sprintf("shards=%d/batch=%d", cfg.shards, cfg.batch), func(t *testing.T) {
+			e := New(cfg.shards, esl.WithSlack(slack))
+			defer e.Close()
+			if cfg.batch > 0 {
+				e.SetBatchSize(cfg.batch)
+			}
+			s := &sink{}
+			register(t, e.Exec, e.RegisterQuery, s)
+			items := disorderedReads(t, e, 200, slack)
+			if err := e.PushBatch(items); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			have := s.sorted()
+			if len(have) != len(want) {
+				t.Fatalf("row count: sharded %d vs serial %d", len(have), len(want))
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("row %d:\nsharded: %s\nserial:  %s", i, have[i], want[i])
+				}
+			}
+			st := e.EngineStats()
+			if st.Reordered == 0 {
+				t.Fatal("expected the boundary to reorder at least one tuple")
+			}
+			if st.Ingested != st.Emitted+uint64(st.PendingReorder) {
+				t.Fatalf("boundary accounting broken: %+v", st)
+			}
+		})
+	}
+}
+
+// TestShardDeadLetterFanIn drives late and malformed input through the
+// sharded boundary under DEAD_LETTER and checks the subscriber sees each
+// record with the right reason while the counters stay balanced.
+func TestShardDeadLetterFanIn(t *testing.T) {
+	e := New(2, esl.WithSlack(time.Second), esl.WithLateness(stream.LateDeadLetter))
+	defer e.Close()
+	if _, err := e.Exec(`CREATE STREAM R(tagid, n);`); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var dead []stream.DeadLetter
+	e.OnDeadLetter(func(dl stream.DeadLetter) {
+		mu.Lock()
+		defer mu.Unlock()
+		dead = append(dead, dl)
+	})
+	push := func(sec int) error {
+		return e.Push("R", stream.TS(time.Duration(sec)*time.Second), stream.Str("t"), stream.Int(int64(sec)))
+	}
+	for _, sec := range []int{1, 2, 5} {
+		if err := push(sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Watermark is now 4s: a tuple at 2s is late and must dead-letter, not
+	// error.
+	if err := push(2); err != nil {
+		t.Fatalf("late tuple under DEAD_LETTER must not error: %v", err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]stream.DeadLetter(nil), dead...)
+	mu.Unlock()
+	if len(got) != 1 || got[0].Reason != stream.DeadLate {
+		t.Fatalf("expected one LATE dead letter, got %v", got)
+	}
+	st := e.EngineStats()
+	if st.DeadLettered != 1 || st.Ingested != 4 || st.Emitted != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Ingested != st.Emitted+st.DeadLettered+uint64(st.PendingReorder) {
+		t.Fatalf("accounting identity broken: %+v", st)
+	}
+}
+
+// TestShardReplicaPanicQuarantine injects a panicking UDF, confirms the
+// owning replica quarantines only that query (with a QUERY_PANIC dead letter
+// carrying the stack), and that the engine keeps processing afterwards.
+func TestShardReplicaPanicQuarantine(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(`CREATE STREAM R(tagid, n);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ForEachReplica(func(r *esl.Engine) error {
+		r.Funcs().Register("boom", func(args []stream.Value) (stream.Value, error) {
+			if n, ok := args[0].AsInt(); ok && n == 13 {
+				panic("injected UDF fault")
+			}
+			return args[0], nil
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var dead []stream.DeadLetter
+	e.OnDeadLetter(func(dl stream.DeadLetter) {
+		mu.Lock()
+		defer mu.Unlock()
+		dead = append(dead, dl)
+	})
+	s := &sink{}
+	if _, err := e.RegisterQuery("doomed", `SELECT boom(n) FROM R`, s.row("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("healthy", `SELECT n FROM R`, s.row("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := e.Push("R", stream.TS(time.Duration(i)*time.Second), stream.Str("t"), stream.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.EngineStats()
+	if st.QuarantinedQueries != 1 {
+		t.Fatalf("expected exactly one quarantined replica query, got %d", st.QuarantinedQueries)
+	}
+	mu.Lock()
+	got := append([]stream.DeadLetter(nil), dead...)
+	mu.Unlock()
+	if len(got) != 1 || got[0].Reason != stream.DeadQueryPanic {
+		t.Fatalf("expected one QUERY_PANIC dead letter, got %v", got)
+	}
+	if len(got[0].Stack) == 0 || !strings.Contains(got[0].Err.Error(), "injected UDF fault") {
+		t.Fatalf("dead letter must carry the panic and stack: %v", got[0])
+	}
+	// The healthy query must have seen every tuple on every shard.
+	healthy := 0
+	for _, line := range s.sorted() {
+		if strings.HasPrefix(line, "healthy|") {
+			healthy++
+		}
+	}
+	if healthy != 20 {
+		t.Fatalf("healthy query emitted %d rows, want 20", healthy)
+	}
+}

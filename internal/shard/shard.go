@@ -122,11 +122,25 @@ type Engine struct {
 	rr        int // round-robin cursor for free streams
 	lastTS    stream.Timestamp
 	closed    bool
+
+	// Fault tolerance: the ingest stage guards the sharded boundary — slack
+	// reordering, lateness policy, screening, and dedup all run once, before
+	// hash routing, so every replica still receives strictly ordered input.
+	// Dead letters (boundary and replica query panics) fan into onDead under
+	// deadMu: replica panics surface on worker goroutines concurrently.
+	ingest        *stream.Ingest
+	ingestScratch []stream.Item
+	deadMu        sync.Mutex
+	onDead        []func(stream.DeadLetter)
 }
 
 // New builds a sharded engine over n independent replicas. n must be >= 1;
-// with n == 1 the engine degenerates to a batched serial engine.
-func New(n int) *Engine {
+// with n == 1 the engine degenerates to a batched serial engine. Options are
+// the serial engine's fault-tolerance options (esl.WithSlack,
+// esl.WithLateness, ...); they configure the shared ingest boundary in front
+// of the router — the replicas themselves stay strict, since the boundary
+// releases tuples already in joint-history order.
+func New(n int, opts ...esl.Option) *Engine {
 	if n < 1 {
 		n = 1
 	}
@@ -138,6 +152,14 @@ func New(n int) *Engine {
 		batchSize: DefaultBatchSize,
 		lastTS:    stream.MinTimestamp,
 	}
+	var cfg esl.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.Ingest.IsZero() {
+		cfg.Ingest.OnDead = e.dispatchDead
+		e.ingest = stream.NewIngest(cfg.Ingest)
+	}
 	e.comb = newCombiner(n, e.deliverEvent)
 	for i := 0; i < n; i++ {
 		w := &worker{
@@ -147,11 +169,55 @@ func New(n int) *Engine {
 			in:   make(chan command, 1),
 			done: make(chan struct{}),
 		}
+		w.eng.OnDeadLetter(e.dispatchDead)
 		e.replicas = append(e.replicas, w.eng)
 		e.workers = append(e.workers, w)
 		go w.run()
 	}
 	return e
+}
+
+// OnDeadLetter subscribes to the quarantine stream: boundary records (late,
+// malformed, oversized) and replica query-panic records all arrive here. fn
+// may be called from worker goroutines; calls are serialized.
+func (e *Engine) OnDeadLetter(fn func(stream.DeadLetter)) {
+	e.deadMu.Lock()
+	defer e.deadMu.Unlock()
+	e.onDead = append(e.onDead, fn)
+}
+
+func (e *Engine) dispatchDead(dl stream.DeadLetter) {
+	e.deadMu.Lock()
+	defer e.deadMu.Unlock()
+	for _, fn := range e.onDead {
+		fn(dl)
+	}
+}
+
+// EngineStats aggregates the robustness counters: the shared boundary's
+// ingest stats plus the replicas' quarantined-query count. Call after Drain
+// for a deterministic snapshot.
+func (e *Engine) EngineStats() esl.EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := esl.EngineStats{Watermark: e.lastTS}
+	if e.ingest != nil {
+		is := e.ingest.Stats()
+		st.Ingested = is.Ingested
+		st.Emitted = is.Emitted
+		st.Reordered = is.Reordered
+		st.DroppedLate = is.DroppedLate
+		st.DroppedDup = is.DroppedDup
+		st.DeadLettered = is.DeadLettered
+		st.PendingReorder = e.ingest.Pending()
+		if wm := e.ingest.Watermark(); wm > stream.MinTimestamp {
+			st.Watermark = wm
+		}
+	}
+	for _, r := range e.replicas {
+		st.QuarantinedQueries += r.EngineStats().QuarantinedQueries
+	}
+	return st
 }
 
 func (e *Engine) deliverEvent(ev rowEvent) {
@@ -426,10 +492,35 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 	if e.closed {
 		return fmt.Errorf("shard: engine closed")
 	}
+	if e.ingest != nil {
+		for _, it := range items {
+			out, lateErr := e.ingest.Offer(it, e.ingestScratch[:0])
+			err := e.enqueueRunLocked(out)
+			e.ingestScratch = out[:0]
+			if err != nil {
+				return err
+			}
+			if lateErr != nil {
+				return lateErr
+			}
+		}
+	} else if err := e.enqueueRunLocked(items); err != nil {
+		return err
+	}
+	if len(e.pending) >= e.batchSize {
+		return e.flushLocked()
+	}
+	return nil
+}
+
+// enqueueRunLocked appends an ordered run of items to the pending buffer,
+// enforcing the joint-history arrival contract. Items released by the ingest
+// stage always satisfy it; direct input must arrive pre-merged.
+func (e *Engine) enqueueRunLocked(items []stream.Item) error {
 	for _, it := range items {
 		if !it.IsHeartbeat() {
 			if it.TS < e.lastTS {
-				return fmt.Errorf("shard: out-of-order arrival on %s: %s is before %s (merge concurrent sources with stream.Merger)",
+				return fmt.Errorf("shard: out-of-order arrival on %s: %s is before %s (merge concurrent sources with stream.Merger, or enable slack with esl.WithSlack)",
 					it.Tuple.Schema.Name(), it.TS, e.lastTS)
 			}
 			e.lastTS = it.TS
@@ -437,9 +528,6 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 			e.lastTS = it.TS
 		}
 		e.pending = append(e.pending, it)
-	}
-	if len(e.pending) >= e.batchSize {
-		return e.flushLocked()
 	}
 	return nil
 }
@@ -537,12 +625,27 @@ func (e *Engine) Flush() error {
 	return e.flushLocked()
 }
 
-// Drain flushes, waits for every worker to finish, and releases all
-// buffered output in merged order. It returns the first ingestion error any
-// shard hit.
+// flushIngestLocked releases every tuple still held back by the reorder
+// stage (end of stream: the frontier has arrived) into the pending buffer.
+func (e *Engine) flushIngestLocked() error {
+	if e.ingest == nil {
+		return nil
+	}
+	out := e.ingest.Flush(e.ingestScratch[:0])
+	err := e.enqueueRunLocked(out)
+	e.ingestScratch = out[:0]
+	return err
+}
+
+// Drain flushes — including tuples held back by the reorder slack — waits
+// for every worker to finish, and releases all buffered output in merged
+// order. It returns the first ingestion error any shard hit.
 func (e *Engine) Drain() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.flushIngestLocked(); err != nil {
+		return err
+	}
 	err := e.barrierLocked()
 	e.comb.flushAll()
 	return err
@@ -555,7 +658,11 @@ func (e *Engine) Close() error {
 	if e.closed {
 		return nil
 	}
+	ferr := e.flushIngestLocked()
 	err := e.barrierLocked()
+	if err == nil {
+		err = ferr
+	}
 	e.comb.flushAll()
 	e.closed = true
 	for _, w := range e.workers {

@@ -1,0 +1,410 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// LatenessPolicy decides what happens to a tuple whose event timestamp has
+// already fallen behind the ingest watermark (high-water mark minus slack).
+type LatenessPolicy int
+
+const (
+	// LateError rejects the tuple with an error — the engine's historical
+	// behavior and the default: disorder is the producer's bug.
+	LateError LatenessPolicy = iota
+	// LateDrop silently discards late tuples, counting them.
+	LateDrop
+	// LateDeadLetter routes late tuples to the dead-letter subscriber with
+	// reason DeadLate.
+	LateDeadLetter
+)
+
+// String names the policy as written in configuration and docs.
+func (p LatenessPolicy) String() string {
+	switch p {
+	case LateError:
+		return "ERROR"
+	case LateDrop:
+		return "DROP"
+	case LateDeadLetter:
+		return "DEAD_LETTER"
+	default:
+		return fmt.Sprintf("LatenessPolicy(%d)", int(p))
+	}
+}
+
+// DeadReason classifies why a record was quarantined.
+type DeadReason int
+
+const (
+	// DeadLate: the tuple arrived behind the watermark under DEAD_LETTER.
+	DeadLate DeadReason = iota
+	// DeadMalformed: the row failed schema validation.
+	DeadMalformed
+	// DeadOversized: the row exceeded the configured size budget.
+	DeadOversized
+	// DeadQueryPanic: a query panicked evaluating this tuple; the query was
+	// quarantined and the offending tuple preserved here with the stack.
+	DeadQueryPanic
+)
+
+// String names the reason code carried on dead-letter records.
+func (r DeadReason) String() string {
+	switch r {
+	case DeadLate:
+		return "LATE"
+	case DeadMalformed:
+		return "MALFORMED"
+	case DeadOversized:
+		return "OVERSIZED"
+	case DeadQueryPanic:
+		return "QUERY_PANIC"
+	default:
+		return fmt.Sprintf("DeadReason(%d)", int(r))
+	}
+}
+
+// DeadLetter is one quarantined record: the offending tuple (when one
+// exists), why it was quarantined, and — for query panics — which query died
+// and its captured stack.
+type DeadLetter struct {
+	Reason DeadReason
+	Stream string    // originating stream name ("" when unknown)
+	Tuple  *Tuple    // offending tuple; nil for malformed rows never built
+	TS     Timestamp // event time of the record
+	Err    error     // underlying error (lateness distance, validation, panic value)
+	Query  string    // quarantined query name (DeadQueryPanic only)
+	Stack  []byte    // captured goroutine stack (DeadQueryPanic only)
+}
+
+// String renders the record for logs and the chaos CLI.
+func (d DeadLetter) String() string {
+	s := fmt.Sprintf("[%s] stream=%s ts=%s", d.Reason, d.Stream, d.TS)
+	if d.Query != "" {
+		s += " query=" + d.Query
+	}
+	if d.Err != nil {
+		s += ": " + d.Err.Error()
+	}
+	return s
+}
+
+// IngestStats counts what happened at the ingest boundary. The invariant
+// checked by the chaos harness is
+//
+//	Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered
+//
+// — every offered tuple is accounted for exactly once. Reordered counts the
+// subset of Emitted that arrived out of timestamp order and was absorbed by
+// slack; it is informational, not part of the balance.
+type IngestStats struct {
+	Ingested     uint64 // tuples offered (heartbeats excluded)
+	Emitted      uint64 // tuples released downstream in order
+	Reordered    uint64 // emitted tuples that arrived out of order
+	DroppedLate  uint64 // late tuples discarded under DROP
+	DroppedDup   uint64 // exact duplicates discarded (dedup enabled)
+	DeadLettered uint64 // tuples quarantined (late/malformed/oversized)
+}
+
+// ErrLate reports a tuple behind the watermark under the ERROR policy.
+var ErrLate = errors.New("stream: tuple arrived behind ingest watermark")
+
+// IngestConfig tunes one Ingest stage.
+type IngestConfig struct {
+	// Slack bounds the disorder absorbed before the exact in-order core:
+	// tuples are held back until the high-water mark passes ts+Slack, then
+	// released in (timestamp, arrival) order. Zero means strict order.
+	Slack time.Duration
+	// Policy decides the fate of tuples behind the watermark.
+	Policy LatenessPolicy
+	// MaxTupleBytes, when positive, quarantines rows whose estimated
+	// in-memory size exceeds it (reason DeadOversized).
+	MaxTupleBytes int
+	// Dedup drops exact duplicates (same stream, timestamp, and values)
+	// arriving within the reorder horizon.
+	Dedup bool
+	// OnDead receives every dead-letter record. Nil discards them (counters
+	// still advance).
+	OnDead func(DeadLetter)
+}
+
+// IsZero reports whether the config requests only the strict default
+// behavior, letting engines skip the stage entirely.
+func (c IngestConfig) IsZero() bool {
+	return c.Slack == 0 && c.Policy == LateError && c.MaxTupleBytes == 0 && !c.Dedup && c.OnDead == nil
+}
+
+// ingestEntry is one held-back item tagged with its arrival order, so that
+// same-timestamp releases preserve arrival order deterministically.
+type ingestEntry struct {
+	it  Item
+	seq uint64
+}
+
+// Ingest is the engine-integrated reorder stage: it absorbs bounded disorder
+// (slack), applies the lateness policy, screens malformed/oversized rows,
+// optionally deduplicates, and releases tuples to the exact in-order core in
+// (timestamp, arrival) order. It is not goroutine-safe; the owning engine
+// serializes access under its own lock.
+type Ingest struct {
+	cfg       IngestConfig
+	pending   *Heap[ingestEntry]
+	arrival   uint64
+	highWater Timestamp
+	started   bool
+	stats     IngestStats
+
+	// dedup tracks tuples still within the reorder horizon, keyed by a
+	// content hash with collision chains compared exactly — a false positive
+	// would silently drop a legitimate reading.
+	dedup map[uint64][]*Tuple
+}
+
+// NewIngest builds the stage. A zero config yields a pass-through stage with
+// strict ordering (ERROR policy), identical to the engine's historic path.
+func NewIngest(cfg IngestConfig) *Ingest {
+	g := &Ingest{cfg: cfg, highWater: MinTimestamp}
+	g.pending = NewHeap(func(a, b ingestEntry) bool {
+		if a.it.TS != b.it.TS {
+			return a.it.TS < b.it.TS
+		}
+		return a.seq < b.seq
+	})
+	if cfg.Dedup {
+		g.dedup = make(map[uint64][]*Tuple)
+	}
+	return g
+}
+
+// Watermark returns the completeness frontier: no tuple at or above it will
+// be released late. Before any input it is MinTimestamp.
+func (g *Ingest) Watermark() Timestamp {
+	if !g.started {
+		return MinTimestamp
+	}
+	return g.highWater.Add(-g.cfg.Slack)
+}
+
+// Pending reports how many tuples are held back awaiting the watermark.
+func (g *Ingest) Pending() int { return g.pending.Len() }
+
+// Stats returns a snapshot of the boundary counters.
+func (g *Ingest) Stats() IngestStats { return g.stats }
+
+// Offer feeds one item (tuple or heartbeat) through the stage, appending any
+// released items to out and returning it. Released items are in global
+// (timestamp, arrival) order across calls. The error is non-nil only under
+// the ERROR policy for a late tuple; the stage stays usable afterwards.
+func (g *Ingest) Offer(it Item, out []Item) ([]Item, error) {
+	if it.IsHeartbeat() {
+		return g.advanceTo(it.TS, out), nil
+	}
+	t := it.Tuple
+	g.stats.Ingested++
+
+	// Screening: malformed and oversized rows never enter the core.
+	if t.Schema != nil {
+		if err := t.Schema.Validate(t.Vals); err != nil {
+			g.quarantine(DeadLetter{Reason: DeadMalformed, Stream: t.Schema.Name(), Tuple: t, TS: t.TS, Err: err})
+			return out, nil
+		}
+	}
+	if g.cfg.MaxTupleBytes > 0 {
+		if n := tupleBytes(t); n > g.cfg.MaxTupleBytes {
+			g.quarantine(DeadLetter{
+				Reason: DeadOversized, Stream: streamName(t), Tuple: t, TS: t.TS,
+				Err: fmt.Errorf("stream: tuple is %d bytes, budget %d", n, g.cfg.MaxTupleBytes),
+			})
+			return out, nil
+		}
+	}
+
+	// Lateness: behind the watermark the tuple cannot be merged in order.
+	if g.started && t.TS < g.Watermark() {
+		err := fmt.Errorf("%w: %s on %s is %s behind watermark %s (slack %s)",
+			ErrLate, t.TS, streamName(t), t.TS.Sub(g.Watermark())*-1, g.Watermark(), g.cfg.Slack)
+		switch g.cfg.Policy {
+		case LateDrop:
+			g.stats.DroppedLate++
+			return out, nil
+		case LateDeadLetter:
+			g.quarantine(DeadLetter{Reason: DeadLate, Stream: streamName(t), Tuple: t, TS: t.TS, Err: err})
+			return out, nil
+		default:
+			// ERROR: reject but keep the stage consistent — the tuple is
+			// accounted as dead-lettered so the balance still holds.
+			g.stats.DeadLettered++
+			return out, err
+		}
+	}
+
+	if g.cfg.Dedup && g.isDuplicate(t) {
+		g.stats.DroppedDup++
+		return out, nil
+	}
+
+	if g.started && t.TS < g.highWater {
+		g.stats.Reordered++
+	}
+	g.arrival++
+	g.pending.Push(ingestEntry{it: it, seq: g.arrival})
+	if t.TS > g.highWater || !g.started {
+		g.started = true
+		if t.TS > g.highWater {
+			g.highWater = t.TS
+		}
+	}
+	return g.release(out), nil
+}
+
+// advanceTo moves the high-water mark to ts (punctuation), releases every
+// tuple the new watermark covers, and appends a heartbeat at the watermark
+// so downstream clocks advance even with no releasable tuples.
+func (g *Ingest) advanceTo(ts Timestamp, out []Item) []Item {
+	if !g.started || ts > g.highWater {
+		g.started = true
+		g.highWater = ts
+	}
+	out = g.release(out)
+	if wm := g.Watermark(); wm > MinTimestamp {
+		out = append(out, Heartbeat(wm))
+	}
+	return out
+}
+
+// release appends all pending tuples at or below the watermark, in
+// (timestamp, arrival) order, and expires dedup state the watermark passed.
+func (g *Ingest) release(out []Item) []Item {
+	wm := g.Watermark()
+	for g.pending.Len() > 0 && g.pending.Min().it.TS <= wm {
+		e := g.pending.Pop()
+		g.stats.Emitted++
+		out = append(out, e.it)
+	}
+	g.expireDedup(wm)
+	return out
+}
+
+// Flush releases every held-back tuple regardless of the watermark — end of
+// stream — and appends a final heartbeat at the high-water mark so the
+// downstream engine observes the full frontier. The stage remains usable;
+// the watermark advances to the high-water mark.
+func (g *Ingest) Flush(out []Item) []Item {
+	for g.pending.Len() > 0 {
+		e := g.pending.Pop()
+		g.stats.Emitted++
+		out = append(out, e.it)
+	}
+	if g.started {
+		g.cfg.Slack = 0 // frontier reached: nothing can be in flight anymore
+		out = append(out, Heartbeat(g.highWater))
+	}
+	g.expireDedup(g.Watermark())
+	return out
+}
+
+// DeadLetterNow records a quarantine decided outside the boundary (the
+// engine's malformed-row and query-panic paths). Records with reason
+// DeadQueryPanic do not disturb the boundary balance — their tuple was
+// already emitted; all others count as an ingested-and-dead-lettered tuple.
+func (g *Ingest) DeadLetterNow(dl DeadLetter) {
+	if dl.Reason != DeadQueryPanic {
+		g.stats.Ingested++
+	}
+	g.quarantine(dl)
+}
+
+func (g *Ingest) quarantine(dl DeadLetter) {
+	if dl.Reason != DeadQueryPanic {
+		g.stats.DeadLettered++
+	}
+	if g.cfg.OnDead != nil {
+		g.cfg.OnDead(dl)
+	}
+}
+
+// isDuplicate reports (and records) whether an exact copy of t — same
+// schema, timestamp, and values — was already admitted within the reorder
+// horizon. Entries expire once the watermark passes their timestamp: beyond
+// that, a copy would be late and handled by the lateness policy anyway.
+func (g *Ingest) isDuplicate(t *Tuple) bool {
+	h := tupleHash(t)
+	for _, prev := range g.dedup[h] {
+		if sameTuple(prev, t) {
+			return true
+		}
+	}
+	g.dedup[h] = append(g.dedup[h], t)
+	return false
+}
+
+// expireDedup drops dedup entries strictly behind the watermark.
+func (g *Ingest) expireDedup(wm Timestamp) {
+	if g.dedup == nil || len(g.dedup) == 0 {
+		return
+	}
+	for h, chain := range g.dedup {
+		n := 0
+		for _, t := range chain {
+			if t.TS >= wm {
+				chain[n] = t
+				n++
+			}
+		}
+		if n == 0 {
+			delete(g.dedup, h)
+		} else {
+			g.dedup[h] = chain[:n]
+		}
+	}
+}
+
+// tupleHash folds the stream name, timestamp, and row values into one
+// 64-bit key for the dedup index.
+func tupleHash(t *Tuple) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(t.TS) * prime64
+	if t.Schema != nil {
+		h = (h ^ Str(t.Schema.Name()).Hash()) * prime64
+	}
+	for _, v := range t.Vals {
+		h = (h ^ v.Hash()) * prime64
+	}
+	return h
+}
+
+// sameTuple reports exact content equality: schema, timestamp, and every
+// value (arrival Seq excluded — duplicates differ there by construction).
+func sameTuple(a, b *Tuple) bool {
+	if a.TS != b.TS || a.Schema != b.Schema || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Vals {
+		if !a.Vals[i].Equal(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleBytes estimates the in-memory footprint of a row: the tuple header,
+// the value headers, and string payloads.
+func tupleBytes(t *Tuple) int {
+	n := 48 // Tuple struct: schema ptr + slice header + TS + Seq
+	for _, v := range t.Vals {
+		n += 40 // Value struct
+		if s, ok := v.AsString(); ok {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+func streamName(t *Tuple) string {
+	if t.Schema == nil {
+		return ""
+	}
+	return t.Schema.Name()
+}

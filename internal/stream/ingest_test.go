@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// offerAll feeds tuples through the stage, failing the test on any error,
+// and returns the released items.
+func offerAll(t *testing.T, g *Ingest, items ...Item) []Item {
+	t.Helper()
+	var out []Item
+	for _, it := range items {
+		var err error
+		out, err = g.Offer(it, out)
+		if err != nil {
+			t.Fatalf("Offer(%v): %v", it.TS, err)
+		}
+	}
+	return out
+}
+
+func tags(items []Item) []string {
+	var out []string
+	for _, it := range items {
+		if it.IsHeartbeat() {
+			continue
+		}
+		out = append(out, it.Tuple.Field("tag_id").String())
+	}
+	return out
+}
+
+func TestIngestZeroSlackPassThrough(t *testing.T) {
+	g := NewIngest(IngestConfig{})
+	out := offerAll(t, g,
+		Of(tup("r", "a", 1*time.Second)),
+		Of(tup("r", "b", 2*time.Second)),
+		Of(tup("r", "c", 2*time.Second))) // equal TS is not late
+	if got := tags(out); strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("released %v", got)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending = %d", g.Pending())
+	}
+	// Strict order: a regression errors under the default policy.
+	_, err := g.Offer(Of(tup("r", "late", 1*time.Second)), nil)
+	if !errors.Is(err, ErrLate) {
+		t.Fatalf("err = %v, want ErrLate", err)
+	}
+	st := g.Stats()
+	if st.Ingested != 4 || st.Emitted != 3 || st.DeadLettered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestSlackReordersWithinBound(t *testing.T) {
+	g := NewIngest(IngestConfig{Slack: 2 * time.Second})
+	out := offerAll(t, g,
+		Of(tup("r", "a", 1*time.Second)),
+		Of(tup("r", "c", 4*time.Second)),
+		Of(tup("r", "b", 3*time.Second)), // 1s disordered, within slack
+		Of(tup("r", "d", 6*time.Second)))
+	// Watermark = 6s-2s = 4s: a(1), b(3), c(4) released; d held.
+	if got := tags(out); strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("released %v", got)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d", g.Pending())
+	}
+	out = g.Flush(nil)
+	if got := tags(out); strings.Join(got, ",") != "d" {
+		t.Fatalf("flush released %v", got)
+	}
+	st := g.Stats()
+	if st.Reordered != 1 {
+		t.Fatalf("reordered = %d", st.Reordered)
+	}
+	if st.Ingested != st.Emitted {
+		t.Fatalf("balance broken: %+v", st)
+	}
+}
+
+func TestIngestEqualTimestampsPreserveArrivalOrder(t *testing.T) {
+	g := NewIngest(IngestConfig{Slack: time.Second})
+	out := offerAll(t, g,
+		Of(tup("r", "a", 2*time.Second)),
+		Of(tup("r", "b", 2*time.Second)),
+		Of(tup("r", "c", 2*time.Second)),
+		Of(tup("r", "z", 5*time.Second)))
+	if got := tags(out); strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("released %v", got)
+	}
+}
+
+func TestIngestLatenessPolicies(t *testing.T) {
+	mk := func(policy LatenessPolicy, onDead func(DeadLetter)) *Ingest {
+		g := NewIngest(IngestConfig{Slack: time.Second, Policy: policy, OnDead: onDead})
+		offerAll(t, g, Of(tup("r", "hw", 10*time.Second))) // watermark = 9s
+		return g
+	}
+	late := Of(tup("r", "late", 3*time.Second))
+
+	g := mk(LateError, nil)
+	if _, err := g.Offer(late, nil); !errors.Is(err, ErrLate) {
+		t.Fatalf("ERROR policy err = %v", err)
+	}
+
+	g = mk(LateDrop, nil)
+	out, err := g.Offer(late, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("DROP policy out=%v err=%v", out, err)
+	}
+	if st := g.Stats(); st.DroppedLate != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var dead []DeadLetter
+	g = mk(LateDeadLetter, func(dl DeadLetter) { dead = append(dead, dl) })
+	if _, err := g.Offer(late, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0].Reason != DeadLate || dead[0].Stream != "readings" {
+		t.Fatalf("dead = %v", dead)
+	}
+	if dead[0].Tuple == nil || dead[0].Tuple.Field("tag_id").String() != "late" {
+		t.Fatalf("dead letter lost the tuple: %v", dead[0])
+	}
+	if st := g.Stats(); st.DeadLettered != 1 || st.Ingested != st.Emitted+st.DeadLettered+uint64(g.Pending()) {
+		t.Fatalf("stats = %+v pending=%d", st, g.Pending())
+	}
+}
+
+func TestIngestMalformedAndOversized(t *testing.T) {
+	typed := MustSchema("typed", Field{Name: "n", Type: TInt})
+	var dead []DeadLetter
+	g := NewIngest(IngestConfig{MaxTupleBytes: 120, OnDead: func(dl DeadLetter) { dead = append(dead, dl) }})
+
+	// Wrong arity never enters the core.
+	bad := &Tuple{Schema: typed, Vals: []Value{Int(1), Int(2)}, TS: TS(time.Second)}
+	out, err := g.Offer(Of(bad), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("malformed: out=%v err=%v", out, err)
+	}
+	// Wrong type too.
+	bad2 := &Tuple{Schema: typed, Vals: []Value{Str("nope")}, TS: TS(time.Second)}
+	if out, _ := g.Offer(Of(bad2), nil); len(out) != 0 {
+		t.Fatalf("type-mismatched row released: %v", out)
+	}
+	// Oversized string payload.
+	huge := &Tuple{Schema: testSchema, TS: TS(2 * time.Second),
+		Vals: []Value{Str("r"), Str(strings.Repeat("x", 4096)), Null}}
+	if out, _ := g.Offer(Of(huge), nil); len(out) != 0 {
+		t.Fatalf("oversized row released: %v", out)
+	}
+
+	if len(dead) != 3 {
+		t.Fatalf("dead letters = %d, want 3", len(dead))
+	}
+	if dead[0].Reason != DeadMalformed || dead[1].Reason != DeadMalformed || dead[2].Reason != DeadOversized {
+		t.Fatalf("reasons = %v %v %v", dead[0].Reason, dead[1].Reason, dead[2].Reason)
+	}
+	st := g.Stats()
+	if st.Ingested != 3 || st.DeadLettered != 3 || st.Emitted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestDedupExactDuplicates(t *testing.T) {
+	g := NewIngest(IngestConfig{Slack: 2 * time.Second, Dedup: true})
+	dup := tup("r", "a", 2*time.Second)
+	out := offerAll(t, g,
+		Of(dup),
+		Of(dup.Clone()),                  // exact duplicate: dropped
+		Of(tup("r", "a", 3*time.Second)), // same content, later TS: kept
+		Of(tup("r", "b", 2*time.Second)), // same TS, different content: kept
+		Of(tup("r", "z", 10*time.Second)))
+	if got := tags(out); strings.Join(got, ",") != "a,b,a" {
+		t.Fatalf("released %v", got)
+	}
+	st := g.Stats()
+	if st.DroppedDup != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Ingested != st.Emitted+st.DroppedDup+1 { // +1: z still pending
+		if st.Ingested != st.Emitted+st.DroppedDup+uint64(g.Pending()) {
+			t.Fatalf("balance broken: %+v pending=%d", st, g.Pending())
+		}
+	}
+	// Past the reorder horizon the dedup index forgets: a copy of the first
+	// tuple is now late, not duplicate.
+	if _, err := g.Offer(Of(dup.Clone()), nil); !errors.Is(err, ErrLate) {
+		t.Fatalf("expected lateness, got %v", err)
+	}
+}
+
+func TestIngestHeartbeatAdvancesWatermark(t *testing.T) {
+	g := NewIngest(IngestConfig{Slack: 2 * time.Second})
+	out := offerAll(t, g, Of(tup("r", "a", 5*time.Second)))
+	if len(out) != 0 {
+		t.Fatalf("nothing should release before the watermark covers 5s: %v", out)
+	}
+	out, err := g.Offer(Heartbeat(TS(8*time.Second)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watermark = 6s: tuple a releases, then punctuation at the watermark.
+	if len(out) != 2 || out[0].IsHeartbeat() || !out[1].IsHeartbeat() {
+		t.Fatalf("out = %v", out)
+	}
+	if out[1].TS != TS(6*time.Second) {
+		t.Fatalf("heartbeat at %v, want 6s (watermark, not raw beat)", out[1].TS)
+	}
+	if g.Watermark() != TS(6*time.Second) {
+		t.Fatalf("watermark = %v", g.Watermark())
+	}
+}
+
+func TestIngestFlushReleasesEverything(t *testing.T) {
+	g := NewIngest(IngestConfig{Slack: time.Hour})
+	offerAll(t, g,
+		Of(tup("r", "b", 2*time.Second)),
+		Of(tup("r", "a", 1*time.Second)),
+		Of(tup("r", "c", 3*time.Second)))
+	out := g.Flush(nil)
+	if got := tags(out); strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("flush order %v", got)
+	}
+	last := out[len(out)-1]
+	if !last.IsHeartbeat() || last.TS != TS(3*time.Second) {
+		t.Fatalf("flush must end with a frontier heartbeat, got %v", last)
+	}
+	st := g.Stats()
+	if st.Ingested != 3 || st.Emitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestQueryPanicAccounting(t *testing.T) {
+	var dead []DeadLetter
+	g := NewIngest(IngestConfig{OnDead: func(dl DeadLetter) { dead = append(dead, dl) }})
+	offerAll(t, g, Of(tup("r", "a", time.Second)))
+	g.DeadLetterNow(DeadLetter{Reason: DeadQueryPanic, Query: "q1", TS: TS(time.Second),
+		Err: errors.New("panic: boom"), Stack: []byte("stack")})
+	st := g.Stats()
+	// Panic records do not disturb the boundary balance: the tuple was
+	// already emitted.
+	if st.Ingested != 1 || st.Emitted != 1 || st.DeadLettered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(dead) != 1 || dead[0].Query != "q1" || len(dead[0].Stack) == 0 {
+		t.Fatalf("dead = %v", dead)
+	}
+	if !strings.Contains(dead[0].String(), "QUERY_PANIC") {
+		t.Fatalf("String() = %q", dead[0].String())
+	}
+}

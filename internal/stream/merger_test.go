@@ -206,3 +206,118 @@ var errBoom = &mergeTestError{}
 type mergeTestError struct{}
 
 func (*mergeTestError) Error() string { return "boom" }
+
+func TestMergerZeroSlackRegressionErrors(t *testing.T) {
+	ch := make(chan Item, 4)
+	m := NewMerger(Source{Name: "s", Ch: ch}) // zero slack: strict order
+	go func() {
+		ch <- Of(tup("s", "a", 2*time.Second))
+		ch <- Of(tup("s", "b", 2*time.Second)) // equal TS is fine
+		ch <- Of(tup("s", "late", 1999*time.Millisecond))
+		close(ch)
+	}()
+	var tags []string
+	err := m.Run(func(name string, it Item) error {
+		tags = append(tags, it.Tuple.Field("tag_id").String())
+		return nil
+	})
+	if err == nil {
+		t.Fatal("1ms regression with zero slack must error")
+	}
+	for _, tag := range tags {
+		if tag == "late" {
+			t.Fatal("late tuple must not be emitted")
+		}
+	}
+}
+
+func TestMergerEqualTimestampsAcrossSources(t *testing.T) {
+	// Two sources deliver tuples at identical timestamps; ties must resolve
+	// by source declaration order, deterministically across runs.
+	for run := 0; run < 5; run++ {
+		c1 := make(chan Item, 4)
+		c2 := make(chan Item, 4)
+		m := NewMerger(Source{Name: "a", Ch: c1}, Source{Name: "b", Ch: c2})
+		got := runMerge(t, m,
+			map[string][]*Tuple{
+				"a": {tup("a", "a1", 1*time.Second), tup("a", "a2", 2*time.Second)},
+				"b": {tup("b", "b1", 1*time.Second), tup("b", "b2", 2*time.Second)},
+			},
+			map[string]chan Item{"a": c1, "b": c2})
+		want := []string{"a1", "b1", "a2", "b2"}
+		for i, w := range want {
+			if tag := got[i].Tuple.Field("tag_id").String(); tag != w {
+				t.Fatalf("run %d position %d = %s, want %s", run, i, tag, w)
+			}
+		}
+		for i, it := range got {
+			if it.Tuple.Seq != uint64(i+1) {
+				t.Fatalf("run %d: seq %d at position %d", run, it.Tuple.Seq, i)
+			}
+		}
+	}
+}
+
+func TestMergerStalledThenResumedSource(t *testing.T) {
+	// Source b stalls after its first item; the merge must hold back a's
+	// later items (no release without every open source decided), then
+	// resume seamlessly when b wakes up.
+	c1 := make(chan Item) // unbuffered: observe consumption precisely
+	c2 := make(chan Item)
+	m := NewMerger(Source{Name: "a", Ch: c1}, Source{Name: "b", Ch: c2})
+	resume := make(chan struct{})
+	go func() {
+		c1 <- Of(tup("a", "a1", 1*time.Second))
+		c1 <- Of(tup("a", "a3", 3*time.Second))
+		c1 <- Of(tup("a", "a5", 5*time.Second))
+		close(c1)
+	}()
+	go func() {
+		c2 <- Of(tup("b", "b2", 2*time.Second))
+		<-resume // stall
+		c2 <- Of(tup("b", "b4", 4*time.Second))
+		close(c2)
+	}()
+	var tags []string
+	err := m.Run(func(name string, it Item) error {
+		tags = append(tags, it.Tuple.Field("tag_id").String())
+		if len(tags) == 2 {
+			// a1 and b2 merged; b is now stalled. a3/a5 must not have
+			// slipped out ahead of b's pending data.
+			close(resume)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b2", "a3", "b4", "a5"}
+	if len(tags) != len(want) {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i, w := range want {
+		if tags[i] != w {
+			t.Fatalf("order = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestMergerEmitErrorDrainsSources(t *testing.T) {
+	// After an emit error, Run must still consume the source channels to
+	// completion (no leaked producer goroutines) and report the error.
+	ch := make(chan Item) // unbuffered: a stuck producer would hang the test
+	m := NewMerger(Source{Name: "s", Ch: ch})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 64; i++ {
+			ch <- Of(tup("s", "t", time.Duration(i)*time.Second))
+		}
+		close(ch)
+	}()
+	err := m.Run(func(string, Item) error { return errBoom })
+	if err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+	<-done // producer finished: channels were drained
+}

@@ -7,11 +7,22 @@ package window
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/stream"
 )
+
+// ErrOutOfOrder reports an attempt to add a tuple behind the buffer's
+// newest retained timestamp. The engine feeds buffers in joint-history
+// order, so callers surface this as an internal consistency error rather
+// than a data error; it is a returned error (not a panic) so one corrupted
+// query can be quarantined without taking the process down.
+var ErrOutOfOrder = errors.New("window: out-of-order add")
+
+// ErrBadSize reports a non-positive ROWS window extent.
+var ErrBadSize = errors.New("window: RowBuffer size must be positive")
 
 // Spec declares a sliding window as written in ESL-EV. For RANGE windows
 // the extent is a time span around the anchor tuple; for ROWS windows it is
@@ -82,16 +93,17 @@ type TimeBuffer struct {
 	start int
 }
 
-// Add appends a tuple. It panics if order is violated, since that indicates
-// an engine bug, not a data error.
-func (b *TimeBuffer) Add(t *stream.Tuple) {
+// Add appends a tuple. It returns ErrOutOfOrder if order is violated, which
+// indicates an engine bug upstream, not a data error.
+func (b *TimeBuffer) Add(t *stream.Tuple) error {
 	if n := b.len(); n > 0 {
 		last := b.items[len(b.items)-1]
 		if t.TS < last.TS {
-			panic(fmt.Sprintf("window: out-of-order add: %s after %s", t.TS, last.TS))
+			return fmt.Errorf("%w: %s after %s", ErrOutOfOrder, t.TS, last.TS)
 		}
 	}
 	b.items = append(b.items, t)
+	return nil
 }
 
 func (b *TimeBuffer) len() int { return len(b.items) - b.start }
@@ -209,12 +221,13 @@ type RowBuffer struct {
 	count int
 }
 
-// NewRowBuffer builds a buffer holding up to n rows; n must be positive.
-func NewRowBuffer(n int) *RowBuffer {
+// NewRowBuffer builds a buffer holding up to n rows; it returns ErrBadSize
+// when n is not positive.
+func NewRowBuffer(n int) (*RowBuffer, error) {
 	if n <= 0 {
-		panic("window: RowBuffer size must be positive")
+		return nil, fmt.Errorf("%w: got %d", ErrBadSize, n)
 	}
-	return &RowBuffer{ring: make([]*stream.Tuple, n)}
+	return &RowBuffer{ring: make([]*stream.Tuple, n)}, nil
 }
 
 // Add appends a tuple, evicting the oldest when full. It returns the

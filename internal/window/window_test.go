@@ -1,6 +1,7 @@
 package window
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -13,6 +14,14 @@ var sch = stream.MustSchema("s", stream.Field{Name: "tag"})
 
 func at(d time.Duration, tag string) *stream.Tuple {
 	return stream.MustTuple(sch, stream.TS(d), stream.Str(tag))
+}
+
+// mustAdd is Add for in-order test data; ordering errors fail the test.
+func mustAdd(t *testing.T, b *TimeBuffer, tu *stream.Tuple) {
+	t.Helper()
+	if err := b.Add(tu); err != nil {
+		t.Fatalf("Add(%s): %v", tu.TS, err)
+	}
 }
 
 func TestSpecBoundsAndString(t *testing.T) {
@@ -41,7 +50,7 @@ func TestSpecBoundsAndString(t *testing.T) {
 func TestTimeBufferEvictAndRange(t *testing.T) {
 	var b TimeBuffer
 	for i := 0; i < 10; i++ {
-		b.Add(at(time.Duration(i)*time.Second, "t"))
+		mustAdd(t, &b, at(time.Duration(i)*time.Second, "t"))
 	}
 	if b.Len() != 10 {
 		t.Fatalf("Len = %d", b.Len())
@@ -77,9 +86,9 @@ func TestTimeBufferEvictAndRange(t *testing.T) {
 func TestTimeBufferRemoveAndClear(t *testing.T) {
 	var b TimeBuffer
 	t1, t2, t3 := at(1*time.Second, "a"), at(2*time.Second, "b"), at(3*time.Second, "c")
-	b.Add(t1)
-	b.Add(t2)
-	b.Add(t3)
+	mustAdd(t, &b, t1)
+	mustAdd(t, &b, t2)
+	mustAdd(t, &b, t3)
 	if !b.Remove(t2) {
 		t.Fatal("Remove(t2) failed")
 	}
@@ -95,15 +104,20 @@ func TestTimeBufferRemoveAndClear(t *testing.T) {
 	}
 }
 
-func TestTimeBufferOutOfOrderPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-order Add must panic")
-		}
-	}()
+func TestTimeBufferOutOfOrderAddRejected(t *testing.T) {
 	var b TimeBuffer
-	b.Add(at(2*time.Second, "a"))
-	b.Add(at(1*time.Second, "b"))
+	mustAdd(t, &b, at(2*time.Second, "a"))
+	err := b.Add(at(1*time.Second, "b"))
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("rejected add must not mutate the buffer: Len = %d", b.Len())
+	}
+	// Equal timestamps are in order (ties broken upstream by Seq).
+	if err := b.Add(at(2*time.Second, "c")); err != nil {
+		t.Fatalf("same-instant add rejected: %v", err)
+	}
 }
 
 // Property: after any interleaving of adds (ordered) and evictions, the
@@ -119,7 +133,9 @@ func TestTimeBufferEvictionInvariant(t *testing.T) {
 			if rng.Intn(3) < 2 {
 				ts += time.Duration(rng.Intn(1000)) * time.Millisecond
 				tu := at(ts, "x")
-				b.Add(tu)
+				if b.Add(tu) != nil {
+					return false
+				}
 				live = append(live, tu)
 			} else {
 				cut := stream.TS(time.Duration(rng.Int63n(int64(ts + 1))))
@@ -157,7 +173,10 @@ func TestTimeBufferEvictionInvariant(t *testing.T) {
 }
 
 func TestRowBuffer(t *testing.T) {
-	b := NewRowBuffer(3)
+	b, err := NewRowBuffer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var evicted []*stream.Tuple
 	for i := 0; i < 5; i++ {
 		if ev := b.Add(at(time.Duration(i)*time.Second, "t")); ev != nil {
@@ -180,13 +199,12 @@ func TestRowBuffer(t *testing.T) {
 	}
 }
 
-func TestRowBufferZeroSizePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewRowBuffer(0) must panic")
+func TestRowBufferZeroSizeRejected(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := NewRowBuffer(n); !errors.Is(err, ErrBadSize) {
+			t.Errorf("NewRowBuffer(%d) err = %v, want ErrBadSize", n, err)
 		}
-	}()
-	NewRowBuffer(0)
+	}
 }
 
 func TestTimersOrderAndCancel(t *testing.T) {
@@ -264,7 +282,7 @@ func TestTimeBufferBinarySearchCut(t *testing.T) {
 				ts += time.Duration(rng.Intn(3)) * time.Second
 			}
 			tp := at(ts, "x")
-			b.Add(tp)
+			mustAdd(t, b, tp)
 			ref = append(ref, tp)
 		}
 		for probe := 0; probe < 8; probe++ {
@@ -293,7 +311,7 @@ func TestTimeBufferBinarySearchCut(t *testing.T) {
 func TestTimeBufferEvictAtDuplicateBoundary(t *testing.T) {
 	b := &TimeBuffer{}
 	for _, d := range []time.Duration{0, time.Second, time.Second, time.Second, 2 * time.Second} {
-		b.Add(at(d, "x"))
+		mustAdd(t, b, at(d, "x"))
 	}
 	if n := b.EvictBefore(stream.TS(time.Second)); n != 1 {
 		t.Fatalf("dropped %d, want 1", n)
