@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak bench-smoke bench-json bench-compare bench-vectorized
+.PHONY: ci fmt-check vet build test chaos-soak bench-smoke bench-json bench-compare bench-vectorized bench-multiquery bench-multiquery-compare
 
-ci: fmt-check vet build test chaos-soak bench-smoke bench-compare
+ci: fmt-check vet build test chaos-soak bench-smoke bench-compare bench-multiquery-compare
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -25,6 +25,7 @@ test:
 chaos-soak:
 	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 1
 	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 4
+	$(GO) run ./cmd/eslev chaos -events 500000 -shards 1 -fanout 64
 
 # A fast pass over every benchmark family to catch bit-rot without paying
 # for full measurement runs.
@@ -48,3 +49,20 @@ bench-compare:
 bench-vectorized:
 	$(GO) run ./cmd/eslev bench -shards 1,4 -batch 1,32,256,1024 \
 		-bench-json BENCH_VECTORIZED.json
+
+# The multi-query fan-out sweep (registered-query count x routing index
+# on/off) as a machine-readable artifact.
+bench-multiquery:
+	$(GO) run ./cmd/eslev bench -multiquery -queries 1,4,16,64,256 \
+		-bench-json BENCH_MULTIQUERY.json
+
+# Regression gate for the routed fan-out path: re-run the sweep on HEAD
+# and fail if ns/event regresses more than 15% against the recorded
+# BENCH_MULTIQUERY.json baseline. Runs at the same event count as the
+# baseline — fan-out ns/event is scale-sensitive, so a reduced-scale
+# rerun would compare apples to oranges. queries=1 is excluded: it is
+# the shortest configuration and the noisiest, and the gate protects
+# the routed fan-out path, which it does not exercise.
+bench-multiquery-compare:
+	$(GO) run ./cmd/eslev bench -multiquery -queries 16,64 -events 50000 \
+		-baseline BENCH_MULTIQUERY.json -max-regress 15

@@ -129,6 +129,11 @@ func WithMaxTupleBytes(n int) Option { return esl.WithMaxTupleBytes(n) }
 // horizon.
 func WithExactDedup() Option { return esl.WithExactDedup() }
 
+// WithoutRouteIndex disables the shared multi-query routing index, forcing
+// every tuple through every query reading its stream (debugging escape
+// hatch; routing is on by default and semantics-preserving).
+func WithoutRouteIndex() Option { return esl.WithoutRouteIndex() }
+
 // LatenessPolicy decides what happens to tuples behind the ingest watermark.
 type LatenessPolicy = stream.LatenessPolicy
 
@@ -158,6 +163,11 @@ const (
 // balance Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered +
 // PendingReorder holds at every instant.
 type EngineStats = esl.EngineStats
+
+// QueryStats is the per-query observability snapshot returned by
+// Engine.Stats: emitted rows, retained state, live partial-match runs, and
+// the routing index's delivered/skipped tuple counts.
+type QueryStats = esl.QueryStats
 
 // Table is a persistent in-memory relation reachable from stream–DB
 // spanning queries.

@@ -775,6 +775,69 @@ func BenchmarkShardedBatchIngest(b *testing.B) {
 	}
 }
 
+// ---- multi-query fan-out: the shared routing index ---------------------------
+
+// BenchmarkMultiQueryFanout registers N keyed SEQ queries, each pinned to
+// its own reader id, and drives a feed whose reader ids cycle so every
+// tuple is relevant to exactly one query. With the routing index on,
+// per-tuple work stays near-flat as N grows; with it off (scan-all
+// dispatch), work grows linearly with N. `eslev bench -multiquery` runs
+// the same sweep as a wall-clock artifact (BENCH_MULTIQUERY.json).
+func BenchmarkMultiQueryFanout(b *testing.B) {
+	for _, nQueries := range []int{1, 4, 16, 64, 256} {
+		for _, route := range []bool{true, false} {
+			b.Run(fmt.Sprintf("queries=%d/route=%v", nQueries, route), func(b *testing.B) {
+				var opts []esl.Option
+				if !route {
+					opts = append(opts, esl.WithoutRouteIndex())
+				}
+				e := esl.New(opts...)
+				if _, err := e.Exec(`
+					CREATE STREAM C1(readerid, tagid, tagtime);
+					CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+					b.Fatal(err)
+				}
+				matches := 0
+				for qi := 0; qi < nQueries; qi++ {
+					reader := fmt.Sprintf("R%d", qi)
+					sql := fmt.Sprintf(`
+						SELECT C2.tagid, C2.tagtime FROM C1, C2
+						WHERE SEQ(C1, C2) OVER [1 SECONDS PRECEDING C2]
+						AND C1.readerid = '%s' AND C2.readerid = '%s'
+						AND C1.tagid = C2.tagid`, reader, reader)
+					if _, err := e.RegisterQuery(fmt.Sprintf("q%03d", qi), sql,
+						func(esl.Row) { matches++ }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				const tags = 16
+				schemas := map[string]*stream.Schema{}
+				for _, s := range []string{"C1", "C2"} {
+					schemas[s], _ = e.StreamSchema(s)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pair := i / 2
+					name := "C1"
+					if i%2 == 1 {
+						name = "C2"
+					}
+					at := stream.TS(time.Duration(i+1) * 10 * time.Millisecond)
+					if err := e.Push(name, at,
+						stream.Str(fmt.Sprintf("R%d", pair%nQueries)),
+						stream.Str(fmt.Sprintf("t%d", pair%tags)),
+						stream.Null); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(matches)/float64(b.N), "events/op")
+			})
+		}
+	}
+}
+
 // ---- vectorized execution ---------------------------------------------------
 
 // BenchmarkFusedFilterProject measures the fused WHERE+projection kernel on

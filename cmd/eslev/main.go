@@ -6,21 +6,29 @@
 //
 //	eslev demo modes                 reproduce the §3.1.1 walkthrough
 //	eslev demo examples              run paper examples 1-8 on simulated data
-//	eslev run [-shards N] [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
+//	eslev run [-shards N] [-stats] [-no-route-index] [-cpuprofile f] [-memprofile f]
+//	          [-trace f] script.esl [s=f.csv]
 //	                                 execute a script, feeding stream s
 //	                                 from CSV file f (repeatable); -shards
-//	                                 runs it on the partition-parallel engine
+//	                                 runs it on the partition-parallel engine;
+//	                                 -stats prints per-query routed/skipped
+//	                                 counters and run gauges afterwards
 //	eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
 //	            [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
 //	                                 run the sharded-scaling workloads and
 //	                                 report throughput (optionally as JSON);
 //	                                 with -baseline, fail on ns/event regression
-//	eslev chaos [-events N] [-shards N] [-slack d] [-disorder f] [-dup f]
+//	eslev bench -multiquery [-queries 1,4,16,64,256] [-events N] [-bench-json out.json]
+//	                                 sweep registered-query fan-out with the
+//	                                 routing index on and off
+//	eslev chaos [-events N] [-shards N] [-fanout N] [-slack d] [-disorder f] [-dup f]
 //	            [-corrupt f] [-oversize f] [-late f] [-panic-every N] [-policy P]
 //	                                 fault-injection soak: perturb a deterministic
 //	                                 workload with disorder, duplicates, corruption
 //	                                 and UDF panics, then verify output equivalence
-//	                                 and exact dead-letter accounting
+//	                                 and exact dead-letter accounting; -fanout adds
+//	                                 N selective queries and pits routed dispatch
+//	                                 against a scan-all baseline
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
@@ -68,6 +76,8 @@ func main() {
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
 		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
+		stats := fs.Bool("stats", false, "print per-query stats (emitted, routed/skipped, runs) after the run")
+		noRoute := fs.Bool("no-route-index", false, "disable the multi-query routing index (scan-all dispatch)")
 		prof := profileFlags(fs)
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() < 1 {
@@ -75,7 +85,7 @@ func main() {
 		}
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runScript(*shards, fs.Arg(0), fs.Args()[1:])
+			err = runScript(*shards, *stats, *noRoute, fs.Arg(0), fs.Args()[1:])
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -85,6 +95,8 @@ func main() {
 		shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
 		batches := fs.String("batch", "", "comma-separated ingestion batch sizes to sweep (default: engine default)")
 		events := fs.Int("events", 50000, "tuples to push per configuration")
+		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
+		queries := fs.String("queries", "1,4,16,64,256", "comma-separated query counts for -multiquery")
 		jsonPath := fs.String("bench-json", "", "write machine-readable results to this file")
 		baseline := fs.String("baseline", "", "bench-json file to compare against; regressions fail the run")
 		maxRegress := fs.Float64("max-regress", 15, "max ns/event regression vs -baseline, in percent")
@@ -92,7 +104,11 @@ func main() {
 		_ = fs.Parse(os.Args[2:])
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runBench(*shards, *batches, *events, *jsonPath, *baseline, *maxRegress)
+			if *multiquery {
+				err = runBenchMultiQuery(*queries, *events, *jsonPath, *baseline, *maxRegress)
+			} else {
+				err = runBench(*shards, *batches, *events, *jsonPath, *baseline, *maxRegress)
+			}
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -110,8 +126,9 @@ func main() {
 		panicEvery := fs.Int("panic-every", 10_000, "inject a UDF panic every N readings (0 = off)")
 		policy := fs.String("policy", "DEAD_LETTER", "lateness policy: ERROR, DROP, or DEAD_LETTER")
 		shards := fs.Int("shards", 1, "run the perturbed engine with this many shards (1 = serial)")
+		fanout := fs.Int("fanout", 0, "register this many extra selective queries; routed dispatch is checked against a scan-all baseline")
 		_ = fs.Parse(os.Args[2:])
-		err = runChaos(*events, *seed, *slack, *disorder, *dup, *corrupt, *oversize, *late, *panicEvery, *policy, *shards)
+		err = runChaos(*events, *seed, *slack, *disorder, *dup, *corrupt, *oversize, *late, *panicEvery, *policy, *shards, *fanout)
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -130,15 +147,19 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
   eslev demo examples              run the paper's examples on simulated data
-  eslev run [-shards N] [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
-                                   execute a script over CSV streams
+  eslev run [-shards N] [-stats] [-no-route-index] [-cpuprofile f] [-memprofile f]
+            [-trace f] script.esl [s=f.csv]
+                                   execute a script over CSV streams; -stats
+                                   prints per-query routed/skipped counters
   eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
               [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
                                    sweep the sharded-scaling workloads;
                                    with -baseline, fail on ns/event regression
+  eslev bench -multiquery [-queries 1,4,16,64,256] [-events N] [-bench-json out.json]
+                                   sweep query fan-out, routing index on vs off
   eslev chaos [-events N] [-seed S] [-slack 500ms] [-disorder 0.25] [-dup 0.01]
               [-corrupt 0.001] [-oversize 0.0005] [-late 0.001] [-panic-every 10000]
-              [-policy DEAD_LETTER] [-shards N]
+              [-policy DEAD_LETTER] [-shards N] [-fanout N]
                                    fault-injection soak: perturb a workload and
                                    verify output equivalence + dead-letter accounting
   eslev explain script.esl         show the plan of each query in a script`)
@@ -148,7 +169,7 @@ func usage() {
 // runChaos executes one fault-injection scenario and prints the summary;
 // a verification failure (equivalence or accounting) is a non-zero exit.
 func runChaos(events int, seed int64, slack time.Duration, disorder, dup, corrupt, oversize, late float64,
-	panicEvery int, policy string, shards int) error {
+	panicEvery int, policy string, shards, fanout int) error {
 	cfg := chaos.Config{
 		Events:     events,
 		Seed:       seed,
@@ -161,6 +182,7 @@ func runChaos(events int, seed int64, slack time.Duration, disorder, dup, corrup
 		PanicEvery: panicEvery,
 		Shards:     shards,
 		BatchSize:  512,
+		Fanout:     fanout,
 	}
 	switch strings.ToUpper(policy) {
 	case "ERROR":
@@ -537,19 +559,23 @@ type engineLike interface {
 
 // runScript executes an .esl file, feeding the named streams from CSVs and
 // printing every row produced by top-level SELECT statements.
-func runScript(shards int, path string, feeds []string) error {
+func runScript(shards int, stats, noRoute bool, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	var opts []eslev.Option
+	if noRoute {
+		opts = append(opts, eslev.WithoutRouteIndex())
+	}
 	var e engineLike
 	finish := func() error { return nil }
 	if shards > 1 {
-		se := eslev.NewSharded(shards)
+		se := eslev.NewSharded(shards, opts...)
 		finish = se.Close
 		e = se
 	} else {
-		e = eslev.New()
+		e = eslev.New(opts...)
 	}
 	if _, err := e.Exec(string(src)); err != nil {
 		return err
@@ -571,11 +597,67 @@ func runScript(shards int, path string, feeds []string) error {
 	if err != nil {
 		return err
 	}
+	if stats {
+		if se, ok := e.(*eslev.ShardedEngine); ok {
+			if err := se.Drain(); err != nil { // settle worker state before reading it
+				return err
+			}
+		}
+		printQueryStats(e)
+	}
 	if err := finish(); err != nil { // sharded: drain merged output first
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "eslev: processed %d tuples from %d streams\n", rows, len(fs))
 	return nil
+}
+
+// printQueryStats renders per-query observability counters — emitted rows,
+// routing-index deliveries and proven skips, retained state, and live
+// partial-match runs. Sharded engines report the sum across replicas.
+func printQueryStats(e engineLike) {
+	var stats []eslev.QueryStats
+	switch x := e.(type) {
+	case *eslev.Engine:
+		stats = x.Stats()
+	case *eslev.ShardedEngine:
+		// Replicas register the same queries in the same order and Stats()
+		// sorts deterministically, so position-wise summing is sound (and,
+		// unlike keying by name, keeps unnamed queries apart).
+		_ = x.ForEachReplica(func(r *eslev.Engine) error {
+			rs := r.Stats()
+			if stats == nil {
+				stats = append(stats, rs...)
+				return nil
+			}
+			for i := range rs {
+				if i >= len(stats) {
+					break
+				}
+				a := &stats[i]
+				a.Emitted += rs[i].Emitted
+				a.State += rs[i].State
+				a.Routed += rs[i].Routed
+				a.Skipped += rs[i].Skipped
+				a.Runs += rs[i].Runs
+				a.Quarantined = a.Quarantined || rs[i].Quarantined
+			}
+			return nil
+		})
+	}
+	fmt.Fprintln(os.Stderr, "eslev: per-query stats (routed+skipped = stream arrivals):")
+	for _, st := range stats {
+		name := st.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		extra := ""
+		if st.Quarantined {
+			extra = "  QUARANTINED"
+		}
+		fmt.Fprintf(os.Stderr, "  %-20s %-18s emitted=%-8d routed=%-8d skipped=%-8d state=%-6d runs=%d%s\n",
+			name, st.Kind, st.Emitted, st.Routed, st.Skipped, st.State, st.Runs, extra)
+	}
 }
 
 type csvFeed struct {
@@ -693,7 +775,9 @@ func parseCSVValue(s string) eslev.Value {
 type benchResult struct {
 	Workload     string  `json:"workload"`
 	Shards       int     `json:"shards"`
-	Batch        int     `json:"batch,omitempty"` // 0 = engine default
+	Batch        int     `json:"batch,omitempty"`   // 0 = engine default
+	Queries      int     `json:"queries,omitempty"` // multiquery sweep only
+	RouteIndex   bool    `json:"route_index,omitempty"`
 	Events       int     `json:"events"`
 	Matches      int64   `json:"matches"`
 	WallMs       float64 `json:"wall_ms"`
@@ -786,7 +870,8 @@ func compareBaseline(report benchReport, baselinePath string, maxRegress float64
 	find := func(r benchResult) *benchResult {
 		for i := range base.Results {
 			b := &base.Results[i]
-			if b.Workload == r.Workload && b.Shards == r.Shards && b.Batch == r.Batch {
+			if b.Workload == r.Workload && b.Shards == r.Shards && b.Batch == r.Batch &&
+				b.Queries == r.Queries && b.RouteIndex == r.RouteIndex {
 				return b
 			}
 		}
@@ -800,15 +885,19 @@ func compareBaseline(report benchReport, baselinePath string, maxRegress float64
 			continue
 		}
 		compared++
+		label := fmt.Sprintf("%s shards=%d", r.Workload, r.Shards)
+		if r.Queries > 0 {
+			label = fmt.Sprintf("%s queries=%d route=%v", r.Workload, r.Queries, r.RouteIndex)
+		}
 		deltaPct := (r.NsPerEvent - b.NsPerEvent) / b.NsPerEvent * 100
 		verdict := "ok"
 		if deltaPct > maxRegress {
 			verdict = "REGRESSION"
-			regressions = append(regressions, fmt.Sprintf("%s shards=%d: %.0f -> %.0f ns/event (%+.1f%%)",
-				r.Workload, r.Shards, b.NsPerEvent, r.NsPerEvent, deltaPct))
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/event (%+.1f%%)",
+				label, b.NsPerEvent, r.NsPerEvent, deltaPct))
 		}
-		fmt.Printf("vs %s: %-12s shards=%d  %8.0f -> %8.0f ns/event  %+6.1f%%  %s\n",
-			baselinePath, r.Workload, r.Shards, b.NsPerEvent, r.NsPerEvent, deltaPct, verdict)
+		fmt.Printf("vs %s: %-32s  %8.0f -> %8.0f ns/event  %+6.1f%%  %s\n",
+			baselinePath, label, b.NsPerEvent, r.NsPerEvent, deltaPct, verdict)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no comparable (workload, shards) entries in %s", baselinePath)
@@ -895,6 +984,155 @@ func benchWorkload(name string, shards, batch, events int) (benchResult, error) 
 		Workload:     name,
 		Shards:       shards,
 		Batch:        batch,
+		Events:       events,
+		Matches:      matches,
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		NsPerEvent:   float64(wall) / float64(events),
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}, nil
+}
+
+// ---- bench -multiquery: registered-query fan-out sweep ----------------------
+
+// multiQueryBatch is the ingestion batch size of the fan-out sweep; routing
+// gains show on both the per-tuple and batched paths, so one size suffices.
+const multiQueryBatch = 256
+
+// multiQueryReps is how many times each fan-out configuration is timed;
+// the best run is reported, which keeps the regression gate stable on
+// noisy single-core machines.
+const multiQueryReps = 3
+
+// runBenchMultiQuery sweeps the number of registered selective SEQ queries,
+// running each count with the shared routing index on and off over an
+// identical pre-built feed. The aggregate-throughput ratio (route on vs
+// off) at each fan-out is the headline number: scan-all dispatch degrades
+// linearly with query count while routed dispatch stays near-flat.
+func runBenchMultiQuery(queriesList string, events int, jsonPath, baselinePath string, maxRegress float64) error {
+	var counts []int
+	for _, part := range strings.Split(queriesList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -queries entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	report := benchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Printf("cpus=%d gomaxprocs=%d events=%d batch=%d\n",
+		report.CPUs, report.GoMaxProcs, events, multiQueryBatch)
+	for _, n := range counts {
+		var withRoute, without benchResult
+		for _, route := range []bool{true, false} {
+			// Best of multiQueryReps runs: single runs of the small
+			// configurations finish in tens of milliseconds and jitter
+			// more than the regression-gate threshold.
+			var res benchResult
+			for rep := 0; rep < multiQueryReps; rep++ {
+				r, err := benchMultiQueryFanout(n, route, events)
+				if err != nil {
+					return err
+				}
+				if rep == 0 || r.NsPerEvent < res.NsPerEvent {
+					res = r
+				}
+			}
+			report.Results = append(report.Results, res)
+			if route {
+				withRoute = res
+			} else {
+				without = res
+			}
+			fmt.Printf("%-16s queries=%-4d route=%-5v  %9.1f ms  %10.0f events/s  matches=%d\n",
+				res.Workload, res.Queries, res.RouteIndex, res.WallMs, res.EventsPerSec, res.Matches)
+		}
+		if without.WallMs > 0 {
+			fmt.Printf("%-16s queries=%-4d speedup: %.1fx\n",
+				"", n, without.NsPerEvent/withRoute.NsPerEvent)
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		return compareBaseline(report, baselinePath, maxRegress)
+	}
+	return nil
+}
+
+// benchMultiQueryFanout times one fan-out configuration: nQueries keyed SEQ
+// queries, each pinned to its own reader id, over a feed whose reader ids
+// cycle so every tuple is relevant to exactly one query. The feed is built
+// before the clock starts; only engine work is measured.
+func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, error) {
+	var opts []eslev.Option
+	if !route {
+		opts = append(opts, eslev.WithoutRouteIndex())
+	}
+	e := eslev.New(opts...)
+	if _, err := e.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+		return benchResult{}, err
+	}
+	var matches int64
+	onRow := func(eslev.Row) { matches++ }
+	for qi := 0; qi < nQueries; qi++ {
+		reader := fmt.Sprintf("R%d", qi)
+		sql := fmt.Sprintf(`
+			SELECT C2.tagid, C2.tagtime FROM C1, C2
+			WHERE SEQ(C1, C2) OVER [1 SECONDS PRECEDING C2]
+			AND C1.readerid = '%s' AND C2.readerid = '%s'
+			AND C1.tagid = C2.tagid`, reader, reader)
+		if _, err := e.RegisterQuery(fmt.Sprintf("q%03d", qi), sql, onRow); err != nil {
+			return benchResult{}, err
+		}
+	}
+	const tags = 16
+	schemas := map[string]*eslev.Schema{}
+	for _, s := range []string{"C1", "C2"} {
+		schemas[s], _ = e.StreamSchema(s)
+	}
+	items := make([]eslev.Item, 0, events)
+	for i := 0; i < events; i++ {
+		pair := i / 2
+		name := "C1"
+		if i%2 == 1 {
+			name = "C2"
+		}
+		at := eslev.TS(time.Duration(i+1) * 10 * time.Millisecond)
+		tu, err := eslev.NewTuple(schemas[name], at,
+			eslev.Str(fmt.Sprintf("R%d", pair%nQueries)),
+			eslev.Str(fmt.Sprintf("t%d", pair%tags)),
+			eslev.Null)
+		if err != nil {
+			return benchResult{}, err
+		}
+		items = append(items, eslev.Of(tu))
+	}
+	start := time.Now()
+	for off := 0; off < len(items); off += multiQueryBatch {
+		hi := off + multiQueryBatch
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := e.PushBatch(items[off:hi]); err != nil {
+			return benchResult{}, err
+		}
+	}
+	wall := time.Since(start)
+	return benchResult{
+		Workload:     "multiquery-seq",
+		Shards:       1,
+		Batch:        multiQueryBatch,
+		Queries:      nQueries,
+		RouteIndex:   route,
 		Events:       events,
 		Matches:      matches,
 		WallMs:       float64(wall) / float64(time.Millisecond),

@@ -60,6 +60,12 @@ type Config struct {
 	Shards int
 	// BatchSize sizes the PushBatch chunks fed to the engines.
 	BatchSize int
+	// Fanout additionally registers this many selective queries — tag
+	// filters and constant-guarded SEQs cycling over the workload's tags —
+	// on both engines. The baseline engine then runs with the routing index
+	// disabled, so equivalence cross-checks routed dispatch against the
+	// scan-all path under the full fault mix.
+	Fanout int
 }
 
 // DefaultConfig is the standard chaos mix: moderate disorder with 1%
@@ -108,6 +114,11 @@ func (r Result) String() string {
 	s := r.Stats
 	fmt.Fprintf(&b, "boundary: ingested=%d emitted=%d reordered=%d dropped-late=%d dropped-dup=%d dead-lettered=%d quarantined-queries=%d\n",
 		s.Ingested, s.Emitted, s.Reordered, s.DroppedLate, s.DroppedDup, s.DeadLettered, s.QuarantinedQueries)
+	if s.RoutedDeliveries+s.SkippedDeliveries > 0 {
+		fmt.Fprintf(&b, "routing: delivered=%d skipped=%d (%.1f%% of scan-all work avoided)\n",
+			s.RoutedDeliveries, s.SkippedDeliveries,
+			100*float64(s.SkippedDeliveries)/float64(s.RoutedDeliveries+s.SkippedDeliveries))
+	}
 	reasons := make([]string, 0, len(r.DeadByReason))
 	for reason := range r.DeadByReason {
 		reasons = append(reasons, reason)
@@ -177,8 +188,13 @@ const ddl = `
 
 // registerWorkload installs the comparison queries: a stateless filter, a
 // keyed grouped aggregate, and a keyed SEQ pairing readings across the two
-// streams.
-func registerWorkload(e engine, s *sink) error {
+// streams. With fanout > 0 it adds that many selective queries cycling
+// over the workload's tags: lenient-guarded tag filters interleaved with
+// strict-guarded SEQs. The generator sends even tag indices to stream A
+// and odd ones to B (readings alternate streams), so the filters pin even
+// tags and each SEQ pairs an even A-tag with the odd B-tag read one step
+// later.
+func registerWorkload(e engine, s *sink, fanout int) error {
 	if _, err := e.Exec(ddl); err != nil {
 		return err
 	}
@@ -189,6 +205,22 @@ func registerWorkload(e engine, s *sink) error {
 	}
 	for _, q := range queries {
 		if _, err := e.RegisterQuery(q.name, q.sql, s.row(q.name)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < fanout; i++ {
+		name := fmt.Sprintf("fan%03d", i)
+		tagA := fmt.Sprintf("tag%02d", (2*i)%numTags)
+		var sql string
+		if i%2 == 0 {
+			sql = fmt.Sprintf(`SELECT tagid, n FROM A WHERE tagid = '%s'`, tagA)
+		} else {
+			tagB := fmt.Sprintf("tag%02d", (2*i+1)%numTags)
+			sql = fmt.Sprintf(`SELECT B.tagid, A.n, B.n FROM A, B
+				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B]
+				AND A.tagid = '%s' AND B.tagid = '%s'`, tagA, tagB)
+		}
+		if _, err := e.RegisterQuery(name, sql, s.row(name)); err != nil {
 			return err
 		}
 	}
@@ -295,10 +327,17 @@ func Run(cfg Config) (Result, error) {
 	res.Events = cfg.Events
 	start := time.Now()
 
-	// Baseline: strict serial engine, clean in-order input.
+	// Baseline: strict serial engine, clean in-order input. Under Fanout
+	// the baseline also disables the routing index, so the equivalence
+	// check pits scan-all delivery against the perturbed engine's routed
+	// dispatch.
 	baseSink := &sink{}
-	base := esl.New()
-	if err := registerWorkload(base, baseSink); err != nil {
+	var baseOpts []esl.Option
+	if cfg.Fanout > 0 {
+		baseOpts = append(baseOpts, esl.WithoutRouteIndex())
+	}
+	base := esl.New(baseOpts...)
+	if err := registerWorkload(base, baseSink, cfg.Fanout); err != nil {
 		return res, err
 	}
 
@@ -330,7 +369,7 @@ func Run(cfg Config) (Result, error) {
 		defer deadMu.Unlock()
 		res.DeadByReason[dl.Reason.String()]++
 	})
-	if err := registerWorkload(pert, pertSink); err != nil {
+	if err := registerWorkload(pert, pertSink, cfg.Fanout); err != nil {
 		return res, err
 	}
 	if cfg.PanicEvery > 0 {

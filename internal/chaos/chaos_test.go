@@ -106,6 +106,28 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosFanout layers 64 selective queries on the fault mix: the
+// perturbed engine routes through the shared stream index while the
+// baseline scans every query, so equivalence certifies guarded dispatch
+// under disorder, duplication, corruption, lateness, and panics.
+func TestChaosFanout(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		cfg := small()
+		cfg.Fanout = 64
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Stats.SkippedDeliveries == 0 {
+			t.Fatalf("shards=%d: fanout run skipped nothing: %+v", shards, res.Stats)
+		}
+		if res.Stats.RoutedDeliveries == 0 {
+			t.Fatalf("shards=%d: no deliveries recorded", shards)
+		}
+	}
+}
+
 // TestChaosSoak is the acceptance soak: >= 1M events with the default fault
 // mix on both engines. Skipped in -short runs; `make chaos-soak` drives the
 // same scenario through the CLI.

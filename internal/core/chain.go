@@ -45,7 +45,7 @@ func newChainEngine(def *Def, key stream.Value) engine {
 	return e
 }
 
-func (e *chainEngine) push(steps []int, t *stream.Tuple) ([]*Match, error) {
+func (e *chainEngine) push(steps []int, _ uint64, t *stream.Tuple) ([]*Match, error) {
 	var out []*Match
 	last := len(e.def.Steps) - 1
 	for _, si := range steps { // already descending
@@ -82,7 +82,10 @@ func (e *chainEngine) extendChain(si int, t *stream.Tuple) {
 		if !windowAdmits(e.def, prev, si, t) || !predAdmits(e.def, prev, si, t) {
 			return
 		}
-		c = prev.clone()
+		// Chains only ever replace whole groups (singletons), never append
+		// into them, so the prefix copy can share group arrays
+		// copy-on-write. Emission still deep-clones (see complete).
+		c = prev.cowClone()
 	}
 	c.Groups[si] = []*stream.Tuple{t}
 	e.chains[si] = c
@@ -215,6 +218,16 @@ func (e *chainEngine) evict(now stream.Timestamp) {
 }
 
 func (e *chainEngine) advance(ts stream.Timestamp) { e.evict(ts) }
+
+func (e *chainEngine) runCount() int {
+	n := 0
+	for _, c := range e.chains {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
 
 func (e *chainEngine) stateSize() int {
 	n := 0

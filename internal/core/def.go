@@ -145,6 +145,10 @@ func (d *Def) Validate() error {
 	if len(d.Steps) == 0 {
 		return fmt.Errorf("core: pattern needs at least one step")
 	}
+	if len(d.Steps) > 64 {
+		// Qualifying steps travel as a uint64 bitmask through push/pushBatch.
+		return fmt.Errorf("core: pattern has %d steps; at most 64 are supported", len(d.Steps))
+	}
 	seen := make(map[string]bool, len(d.Steps))
 	keyed := 0
 	for i, s := range d.Steps {
@@ -240,12 +244,35 @@ func (m *Match) End() stream.Timestamp {
 	return stream.MinTimestamp
 }
 
-// clone deep-copies the group structure (tuples shared).
+// clone deep-copies the group structure (tuples shared). Emitted matches
+// always go through clone, so the public contract — "Group slices are owned
+// by the Match" — holds even when the engine's internal runs share group
+// arrays copy-on-write.
 func (m *Match) clone() *Match {
 	c := &Match{Groups: make([][]*stream.Tuple, len(m.Groups)), Key: m.Key}
 	for i, g := range m.Groups {
 		c.Groups[i] = append([]*stream.Tuple(nil), g...)
 	}
+	return c
+}
+
+// cowInto copies m's bound groups into dst as a copy-on-write fork: the
+// group arrays are shared between the two matches, with both sides capped
+// so that any later append reallocates instead of writing into the
+// sibling's storage. Neither side may mutate group contents in place.
+func (m *Match) cowInto(dst *Match) {
+	for i, g := range m.Groups {
+		g = g[:len(g):len(g)]
+		m.Groups[i] = g
+		dst.Groups[i] = g
+	}
+	dst.Key = m.Key
+}
+
+// cowClone is cowInto with a fresh destination spine.
+func (m *Match) cowClone() *Match {
+	c := &Match{Groups: make([][]*stream.Tuple, len(m.Groups))}
+	m.cowInto(c)
 	return c
 }
 

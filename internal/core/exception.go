@@ -149,29 +149,33 @@ func (m *ExceptionMatcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, [
 	if len(aliases) == 0 {
 		return nil, nil, fmt.Errorf("core: Push without aliases")
 	}
-	// Resolve which steps this tuple may bind (filters applied). Exception
-	// patterns track steps in ascending positions.
-	var steps []int
+	// Resolve which steps this tuple may bind (filters applied) into a
+	// qualifying-step bitmask; the automaton only ever tests membership.
+	var mask uint64
+	first := -1
 	for i := range m.def.Steps {
 		st := &m.def.Steps[i]
 		for _, a := range aliases {
 			if st.Alias == a && (st.Filter == nil || st.Filter(t)) {
-				steps = append(steps, i)
+				mask |= 1 << uint(i)
+				if first < 0 {
+					first = i
+				}
 			}
 		}
 	}
-	if len(steps) == 0 {
+	if mask == 0 {
 		return nil, nil, nil
 	}
 	var matches []*Match
 	var exs []*Exception
 	if m.single != nil {
-		m.step(m.single, steps, t, &matches, &exs)
+		m.step(m.single, mask, t, &matches, &exs)
 		return matches, exs, nil
 	}
-	key := m.def.Steps[steps[0]].Key(t)
+	key := m.def.Steps[first].Key(t)
 	st := m.partitionFor(key)
-	m.step(st, steps, t, &matches, &exs)
+	m.step(st, mask, t, &matches, &exs)
 	return matches, exs, nil
 }
 
@@ -188,10 +192,10 @@ func (m *ExceptionMatcher) partitionFor(key stream.Value) *exState {
 }
 
 // step advances one partition's automaton with an arriving tuple.
-func (m *ExceptionMatcher) step(st *exState, steps []int, t *stream.Tuple, matches *[]*Match, exs *[]*Exception) {
+func (m *ExceptionMatcher) step(st *exState, mask uint64, t *stream.Tuple, matches *[]*Match, exs *[]*Exception) {
 	n := len(m.def.Steps)
 	if st.run == nil {
-		if stepIn(steps, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
+		if maskHas(mask, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
 			m.start(st, t, matches)
 			return
 		}
@@ -200,7 +204,7 @@ func (m *ExceptionMatcher) step(st *exState, steps []int, t *stream.Tuple, match
 		return
 	}
 	// Active run: does t bind the expected next step?
-	if stepIn(steps, st.cur) &&
+	if maskHas(mask, st.cur) &&
 		windowAdmits(&m.def, st.run, st.cur, t) && predAdmits(&m.def, st.run, st.cur, t) {
 		st.run.Groups[st.cur] = []*stream.Tuple{t}
 		m.armTimer(st, st.cur, t)
@@ -215,8 +219,8 @@ func (m *ExceptionMatcher) step(st *exState, steps []int, t *stream.Tuple, match
 		// A repeat of an already-bound step replaces the binding and makes
 		// the previous partial impossible to extend — the paper's RECENT
 		// example ((A,B) then B).
-		for _, s := range steps {
-			if s < st.cur {
+		for s := 0; s < st.cur; s++ {
+			if maskHas(mask, s) {
 				*exs = append(*exs, &Exception{
 					Level: st.cur, Partial: st.run.clone(), Trigger: t,
 					Reason: BreakWrongTuple, TS: t.TS,
@@ -241,7 +245,7 @@ func (m *ExceptionMatcher) step(st *exState, steps []int, t *stream.Tuple, match
 	m.reset(st)
 	// The breaking tuple may itself start a new sequence; otherwise it is
 	// additionally a bad start (scenario 2).
-	if stepIn(steps, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
+	if maskHas(mask, 0) && predAdmits(&m.def, m.emptyMatch(st), 0, t) {
 		m.start(st, t, matches)
 		return
 	}

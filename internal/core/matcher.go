@@ -11,16 +11,20 @@ import (
 type engine interface {
 	// push offers a tuple that qualifies for the given step indexes
 	// (filters already applied; descending processing order is the
-	// engine's responsibility) and returns completed matches. An error
-	// reports a broken ordering invariant (window.ErrOutOfOrder) — an
-	// upstream engine bug, never a data condition.
-	push(steps []int, t *stream.Tuple) ([]*Match, error)
+	// engine's responsibility) and returns completed matches. mask is the
+	// same step set as a bitmask (bit i set ⇔ i ∈ steps), precomputed so
+	// engines test membership in constant time. An error reports a broken
+	// ordering invariant (window.ErrOutOfOrder) — an upstream engine bug,
+	// never a data condition.
+	push(steps []int, mask uint64, t *stream.Tuple) ([]*Match, error)
 	// advance moves event time forward (heartbeats), evicting state whose
 	// window can no longer be satisfied.
 	advance(ts stream.Timestamp)
 	// stateSize counts retained tuples, for benchmarks and tests of the
 	// paper's state-bounding claims.
 	stateSize() int
+	// runCount gauges pending partial matches (runs or RECENT chains).
+	runCount() int
 }
 
 // Matcher evaluates one SEQ pattern incrementally. Feed it the merged joint
@@ -57,8 +61,9 @@ type partition struct {
 // global visit order the serial path would have used.
 type pendingPush struct {
 	ord    int
-	index  int // position of the tuple in the pushed run
-	lo, hi int // steps arena range
+	index  int    // position of the tuple in the pushed run
+	lo, hi int    // steps arena range
+	mask   uint64 // the same step range as a bitmask
 }
 
 // batchEmit collects the matches of one deferred push for re-sorting.
@@ -125,6 +130,7 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 	// same-arrival processing: a tuple acting as a later step must see
 	// pre-arrival state of earlier steps).
 	steps := m.stepScratch[:0]
+	var mask uint64
 	for i := len(m.def.Steps) - 1; i >= 0; i-- {
 		st := &m.def.Steps[i]
 		for _, a := range aliases {
@@ -135,10 +141,11 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 				continue
 			}
 			steps = append(steps, i)
+			mask |= 1 << uint(i)
 		}
 	}
 	m.stepScratch = steps
-	return m.pushSteps(steps, t)
+	return m.pushSteps(steps, mask, t)
 }
 
 // Resolved is a precomputed alias→step resolution: the candidate step
@@ -148,6 +155,9 @@ func (m *Matcher) Push(t *stream.Tuple, aliases ...string) ([]*Match, error) {
 // resolve once and skip the per-push alias scan.
 type Resolved struct {
 	cands []int
+	// mask is the candidate set as a step bitmask, before per-tuple
+	// filtering (bit i set ⇔ i ∈ cands).
+	mask uint64
 }
 
 // Resolve precomputes the candidate steps for an alias set.
@@ -158,41 +168,47 @@ func (m *Matcher) Resolve(aliases ...string) *Resolved {
 		for _, a := range aliases {
 			if st.Alias == a {
 				r.cands = append(r.cands, i)
+				r.mask |= 1 << uint(i)
 			}
 		}
 	}
 	return r
 }
 
+// Steps reports how many candidate steps the resolution covers.
+func (r *Resolved) Steps() int { return len(r.cands) }
+
 // PushResolved is Push with the alias resolution precomputed; the
 // steady-state path allocates nothing.
 func (m *Matcher) PushResolved(r *Resolved, t *stream.Tuple) ([]*Match, error) {
-	steps := m.filterSteps(r, t, m.stepScratch[:0])
+	steps, mask := m.filterSteps(r, t, m.stepScratch[:0])
 	m.stepScratch = steps
-	return m.pushSteps(steps, t)
+	return m.pushSteps(steps, mask, t)
 }
 
 // filterSteps applies the per-tuple step filters to a resolution, appending
-// the qualifying indexes to dst.
-func (m *Matcher) filterSteps(r *Resolved, t *stream.Tuple, dst []int) []int {
+// the qualifying indexes to dst and folding them into a bitmask.
+func (m *Matcher) filterSteps(r *Resolved, t *stream.Tuple, dst []int) ([]int, uint64) {
+	var mask uint64
 	for _, i := range r.cands {
 		st := &m.def.Steps[i]
 		if st.Filter != nil && !st.Filter(t) {
 			continue
 		}
 		dst = append(dst, i)
+		mask |= 1 << uint(i)
 	}
-	return dst
+	return dst, mask
 }
 
 // pushSteps feeds one tuple with its qualifying steps to the right
 // partition engines, reusing scratch storage for the key grouping.
-func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) ([]*Match, error) {
+func (m *Matcher) pushSteps(steps []int, mask uint64, t *stream.Tuple) ([]*Match, error) {
 	if len(steps) == 0 {
 		return nil, nil
 	}
 	if !m.def.Partitioned() {
-		return m.single.push(steps, t)
+		return m.single.push(steps, mask, t)
 	}
 	// Partitioned: group qualifying steps by their extracted key.
 	var out []*Match
@@ -200,10 +216,12 @@ func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) ([]*Match, error) {
 	for len(rem) > 0 {
 		key := m.def.Steps[rem[0]].Key(t)
 		same := m.sameScratch[:0]
+		var sameMask uint64
 		n := 0
 		for _, si := range rem {
 			if m.def.Steps[si].Key(t).Equal(key) {
 				same = append(same, si)
+				sameMask |= 1 << uint(si)
 			} else {
 				rem[n] = si
 				n++
@@ -211,7 +229,7 @@ func (m *Matcher) pushSteps(steps []int, t *stream.Tuple) ([]*Match, error) {
 		}
 		rem = rem[:n]
 		m.sameScratch = same
-		matches, err := m.partitionFor(key).eng.push(same, t)
+		matches, err := m.partitionFor(key).eng.push(same, sameMask, t)
 		out = append(out, matches...)
 		if err != nil {
 			m.remScratch = rem
@@ -240,9 +258,15 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 	var out []BatchMatch
 	if !m.def.Partitioned() {
 		for i, t := range run {
-			steps := m.filterSteps(r, t, m.stepScratch[:0])
+			steps, mask := m.filterSteps(r, t, m.stepScratch[:0])
 			m.stepScratch = steps
-			matches, err := m.single.push(steps, t)
+			if len(steps) == 0 {
+				// Invisible to the pattern — same early-out as Push. Without
+				// it, CONSECUTIVE would treat the tuple as a visible
+				// non-extending arrival and break the active run.
+				continue
+			}
+			matches, err := m.single.push(steps, mask, t)
 			for _, match := range matches {
 				out = append(out, BatchMatch{Index: i, Match: match})
 			}
@@ -259,7 +283,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 	ord := 0
 	for i, t := range run {
 		lo := len(arena)
-		arena = m.filterSteps(r, t, arena)
+		arena, _ = m.filterSteps(r, t, arena)
 		rem := arena[lo:]
 		for len(rem) > 0 {
 			key := m.def.Steps[rem[0]].Key(t)
@@ -267,9 +291,11 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 			// move to the front (order within both halves is preserved).
 			n := 0
 			same := m.sameScratch[:0]
+			var sameMask uint64
 			for _, si := range rem {
 				if m.def.Steps[si].Key(t).Equal(key) {
 					same = append(same, si)
+					sameMask |= 1 << uint(si)
 				} else {
 					rem[n] = si
 					n++
@@ -282,7 +308,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 				touched = append(touched, p)
 			}
 			base := lo + len(rem) - len(same)
-			p.pending = append(p.pending, pendingPush{ord: ord, index: i, lo: base, hi: base + len(same)})
+			p.pending = append(p.pending, pendingPush{ord: ord, index: i, lo: base, hi: base + len(same), mask: sameMask})
 			ord++
 			rem = rem[:n]
 		}
@@ -293,7 +319,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 	var pushErr error
 	for _, p := range touched {
 		for _, pp := range p.pending {
-			matches, err := p.eng.push(arena[pp.lo:pp.hi], run[pp.index])
+			matches, err := p.eng.push(arena[pp.lo:pp.hi], pp.mask, run[pp.index])
 			if len(matches) > 0 {
 				emits = append(emits, batchEmit{ord: pp.ord, index: pp.index, matches: matches})
 			}
@@ -363,6 +389,22 @@ func (m *Matcher) StateSize() int {
 
 // Partitions reports how many distinct keys have live state.
 func (m *Matcher) Partitions() int { return m.nparts }
+
+// RunCount gauges the pending partial matches (runs, or RECENT chains)
+// across all partitions — the live-state counterpart to StateSize's tuple
+// count.
+func (m *Matcher) RunCount() int {
+	if m.single != nil {
+		return m.single.runCount()
+	}
+	n := 0
+	for _, chain := range m.parts {
+		for _, p := range chain {
+			n += p.eng.runCount()
+		}
+	}
+	return n
+}
 
 // windowAdmits checks the sliding window when binding t at step, given the
 // already-bound partial. PRECEDING windows anchored at step a constrain the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/stream"
 )
 
@@ -15,24 +17,114 @@ import (
 // until a tuple of the following step closes it — longest match, per
 // §3.1.2. A trailing star emits online: one event per absorbed tuple, since
 // "there might be no valid indicator to tell us to stop matching".
+//
+// Pending runs live in per-(step, phase) buckets: index cur*2 while the run
+// waits for step cur to bind, cur*2+1 while step cur is an open star group
+// still absorbing. absorb(s) therefore touches only bucket (s, open) and
+// bind(s) only buckets (s, waiting) and (s-1, open), instead of scanning
+// every pending run. Each bucket is kept sorted by the run's creation
+// ordinal, so CHRONICLE's oldest-first and RECENT's newest-first visit
+// orders fall out of a forward or backward merge of two bucket slices —
+// the ordering invariant the pairing modes are defined by. RECENT's
+// replace-at-level substitutes the victim's ordinal into its replacement,
+// preserving the victim's slot in the visit order exactly as the old
+// in-place slice write did.
 type runEngine struct {
-	def  *Def
-	key  stream.Value
-	runs []*run // in start order (oldest first); CONSECUTIVE keeps <= 1
+	def *Def
+	key stream.Value
+
+	buckets [][]*run // [cur*2 + openBit], each ascending by ord
+	cons    *run     // CONSECUTIVE's single active run (buckets unused)
+	count   int      // live runs across buckets (cons excluded)
+	nextOrd uint64
+
+	visit []*run // scratch snapshot for bind's two-bucket merge
+	free  []*run // recycled run+Match shells (group arrays dropped)
 }
 
 type run struct {
 	m    *Match
 	cur  int              // step being filled; groups[cur] empty = waiting, non-empty = open star
 	last stream.Timestamp // event time of the most recently bound tuple
+	ord  uint64           // creation ordinal; RECENT replacement inherits its victim's
+	bkt  int32            // bucket index, -1 while detached
+	pos  int32            // position within the bucket
 }
 
 func newRunEngine(def *Def, key stream.Value) engine {
-	return &runEngine{def: def, key: key}
+	return &runEngine{def: def, key: key, buckets: make([][]*run, 2*len(def.Steps))}
 }
 
+// runPoolCap bounds the free list so a burst of evictions cannot pin
+// memory forever.
+const runPoolCap = 128
+
 func (e *runEngine) newRun() *run {
-	return &run{m: &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key}}
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return r
+	}
+	return &run{
+		m:   &Match{Groups: make([][]*stream.Tuple, len(e.def.Steps)), Key: e.key},
+		bkt: -1,
+	}
+}
+
+// release returns a dead run to the pool. Group arrays are dropped rather
+// than truncated for reuse: under UNRESTRICTED copy-on-write forking they
+// may still be shared with live runs or in-flight forks, and an append
+// into a reused array would corrupt a sibling.
+func (e *runEngine) release(r *run) {
+	if len(e.free) >= runPoolCap {
+		return
+	}
+	for i := range r.m.Groups {
+		r.m.Groups[i] = nil
+	}
+	*r = run{m: r.m, bkt: -1}
+	e.free = append(e.free, r)
+}
+
+// place inserts r into the bucket implied by its cur/open state, keeping
+// the bucket sorted by ord. New runs and forks carry a fresh maximal
+// ordinal and append in O(1); runs migrating between buckets binary-insert.
+func (e *runEngine) place(r *run) {
+	bi := r.cur * 2
+	if e.open(r) {
+		bi++
+	}
+	b := e.buckets[bi]
+	i := len(b)
+	if i > 0 && b[i-1].ord > r.ord {
+		i = sort.Search(len(b), func(j int) bool { return b[j].ord > r.ord })
+	}
+	b = append(b, nil)
+	copy(b[i+1:], b[i:])
+	b[i] = r
+	r.bkt = int32(bi)
+	for j := i; j < len(b); j++ {
+		b[j].pos = int32(j)
+	}
+	e.buckets[bi] = b
+	e.count++
+}
+
+// detach unlinks r from its bucket in O(bucket), preserving the order of
+// the remaining runs.
+func (e *runEngine) detach(r *run) {
+	b := e.buckets[r.bkt]
+	i := int(r.pos)
+	copy(b[i:], b[i+1:])
+	b[len(b)-1] = nil
+	b = b[:len(b)-1]
+	for j := i; j < len(b); j++ {
+		b[j].pos = int32(j)
+	}
+	e.buckets[r.bkt] = b
+	r.bkt = -1
+	e.count--
 }
 
 // open reports whether the run's current step is a star group already
@@ -50,11 +142,11 @@ func (e *runEngine) level(r *run) int {
 	return r.cur
 }
 
-func (e *runEngine) push(steps []int, t *stream.Tuple) ([]*Match, error) {
+func (e *runEngine) push(steps []int, mask uint64, t *stream.Tuple) ([]*Match, error) {
 	if e.def.Mode == ModeConsecutive {
-		return e.pushConsecutive(steps, t), nil
+		return e.pushConsecutive(mask, t), nil
 	}
-	return e.pushPending(steps, t), nil
+	return e.pushPending(steps, mask, t), nil
 }
 
 // ---- CONSECUTIVE ----------------------------------------------------------
@@ -62,21 +154,22 @@ func (e *runEngine) push(steps []int, t *stream.Tuple) ([]*Match, error) {
 // pushConsecutive advances the single active run over the joint history.
 // Every pushed tuple is part of the joint history; one that cannot extend
 // the run breaks it, and may start a fresh run at step 0.
-func (e *runEngine) pushConsecutive(steps []int, t *stream.Tuple) []*Match {
+func (e *runEngine) pushConsecutive(mask uint64, t *stream.Tuple) []*Match {
 	var out []*Match
-	if len(e.runs) == 1 {
-		r := e.runs[0]
-		if done, matched := e.tryExtend(r, steps, t, &out); matched {
+	if r := e.cons; r != nil {
+		if done, matched := e.tryExtend(r, mask, t, &out); matched {
 			if done {
-				e.runs = e.runs[:0]
+				e.cons = nil
+				e.release(r)
 			}
 			return out
 		}
 		// Break: the run dies; the breaking tuple may start a new one.
-		e.runs = e.runs[:0]
+		e.cons = nil
+		e.release(r)
 	}
-	if r, ok := e.tryStart(steps, t, &out); ok {
-		e.runs = append(e.runs, r)
+	if r, ok := e.tryStart(mask, t, &out); ok {
+		e.cons = r
 	}
 	return out
 }
@@ -84,11 +177,11 @@ func (e *runEngine) pushConsecutive(steps []int, t *stream.Tuple) []*Match {
 // tryExtend attempts to absorb t into r's open star group or bind it to the
 // next step. done reports the run completed (emitted); matched reports t
 // was accepted at all.
-func (e *runEngine) tryExtend(r *run, steps []int, t *stream.Tuple, out *[]*Match) (done, matched bool) {
+func (e *runEngine) tryExtend(r *run, mask uint64, t *stream.Tuple, out *[]*Match) (done, matched bool) {
 	last := len(e.def.Steps) - 1
 	// Absorb into the open star group (longest match: prefer absorbing over
 	// closing the group).
-	if e.open(r) && e.def.Steps[r.cur].Star && stepIn(steps, r.cur) {
+	if e.open(r) && e.def.Steps[r.cur].Star && maskHas(mask, r.cur) {
 		g := r.m.Groups[r.cur]
 		st := &e.def.Steps[r.cur]
 		if gapAdmits(st, g[len(g)-1], t) &&
@@ -107,7 +200,7 @@ func (e *runEngine) tryExtend(r *run, steps []int, t *stream.Tuple, out *[]*Matc
 	if e.open(r) {
 		target = r.cur + 1
 	}
-	if target > last || !stepIn(steps, target) {
+	if target > last || !maskHas(mask, target) {
 		return false, false
 	}
 	if !windowAdmits(e.def, r.m, target, t) || !predAdmits(e.def, r.m, target, t) {
@@ -131,12 +224,13 @@ func (e *runEngine) tryExtend(r *run, steps []int, t *stream.Tuple, out *[]*Matc
 }
 
 // tryStart begins a new run with t at step 0.
-func (e *runEngine) tryStart(steps []int, t *stream.Tuple, out *[]*Match) (*run, bool) {
-	if !stepIn(steps, 0) {
+func (e *runEngine) tryStart(mask uint64, t *stream.Tuple, out *[]*Match) (*run, bool) {
+	if mask&1 == 0 {
 		return nil, false
 	}
 	r := e.newRun()
 	if !windowAdmits(e.def, r.m, 0, t) || !predAdmits(e.def, r.m, 0, t) {
+		e.release(r)
 		return nil, false
 	}
 	last := len(e.def.Steps) - 1
@@ -150,6 +244,7 @@ func (e *runEngine) tryStart(steps []int, t *stream.Tuple, out *[]*Match) (*run,
 	}
 	if last == 0 {
 		*out = append(*out, r.m.clone())
+		e.release(r)
 		return nil, false // complete; nothing pending
 	}
 	r.cur = 1
@@ -158,28 +253,22 @@ func (e *runEngine) tryStart(steps []int, t *stream.Tuple, out *[]*Match) (*run,
 
 // ---- UNRESTRICTED / RECENT / CHRONICLE with stars -------------------------
 
-// pushPending maintains a set of pending runs. Mode picks which runs an
-// arriving tuple binds to: CHRONICLE the earliest qualifying run (and the
-// tuple participates only once), RECENT the most recent qualifying run,
-// UNRESTRICTED every qualifying run (advancing forks a copy so the original
-// remains available to later combinations).
-func (e *runEngine) pushPending(steps []int, t *stream.Tuple) []*Match {
+// pushPending maintains the bucketed set of pending runs. Mode picks which
+// runs an arriving tuple binds to: CHRONICLE the earliest qualifying run
+// (and the tuple participates only once), RECENT the most recent qualifying
+// run, UNRESTRICTED every qualifying run (advancing forks a copy-on-write
+// run so the original remains available to later combinations).
+func (e *runEngine) pushPending(steps []int, mask uint64, t *stream.Tuple) []*Match {
 	var out []*Match
-	consumed := false // CHRONICLE: tuple participates at most once
 	for _, s := range steps {
-		if consumed {
-			break
-		}
 		absorbed := e.absorb(s, t, &out)
 		if absorbed && e.def.Mode == ModeChronicle {
-			consumed = true
-			break
+			break // CHRONICLE: tuple participates at most once
 		}
 		bound := false
 		if !absorbed {
 			bound = e.bind(s, t, &out)
 			if bound && e.def.Mode == ModeChronicle {
-				consumed = true
 				break
 			}
 		}
@@ -187,7 +276,7 @@ func (e *runEngine) pushPending(steps []int, t *stream.Tuple) []*Match {
 		// (Non-star step 0 in UNRESTRICTED always forks a new run, since
 		// every choice of step-0 tuple is a distinct combination.)
 		if s == 0 && !absorbed && (!bound || (e.def.Mode == ModeUnrestricted && !e.def.Steps[0].Star)) {
-			if r, ok := e.tryStart(steps, t, &out); ok {
+			if r, ok := e.tryStart(mask, t, &out); ok {
 				e.startRun(r)
 			}
 		}
@@ -195,47 +284,74 @@ func (e *runEngine) pushPending(steps []int, t *stream.Tuple) []*Match {
 	return out
 }
 
-// startRun appends a new run, applying RECENT's one-run-per-level purge.
+// startRun registers a new run, applying RECENT's one-run-per-level purge.
 func (e *runEngine) startRun(r *run) {
 	if e.def.Mode == ModeRecent {
 		e.replaceAtLevel(r)
 		return
 	}
-	e.runs = append(e.runs, r)
+	r.ord = e.nextOrd
+	e.nextOrd++
+	e.place(r)
 }
 
 // replaceAtLevel keeps at most one run per completion level under RECENT:
-// the newest (the "most recent qualifying" candidate).
+// the newest (the "most recent qualifying" candidate) replaces the oldest
+// run at the same level, inheriting its ordinal and therefore its slot in
+// the newest-first visit order.
 func (e *runEngine) replaceAtLevel(r *run) {
 	lvl := e.level(r)
-	for i, x := range e.runs {
-		if e.level(x) == lvl {
-			e.runs[i] = r
-			return
+	// Level lvl runs live in bucket (lvl, waiting) or (lvl-1, open); the
+	// victim is the lowest-ordinal run across both, i.e. each bucket's head.
+	var victim *run
+	if bi := lvl * 2; bi < len(e.buckets) && len(e.buckets[bi]) > 0 {
+		victim = e.buckets[bi][0]
+	}
+	if lvl > 0 {
+		if b := e.buckets[(lvl-1)*2+1]; len(b) > 0 {
+			if c := b[0]; victim == nil || c.ord < victim.ord {
+				victim = c
+			}
 		}
 	}
-	e.runs = append(e.runs, r)
+	if victim != nil {
+		r.ord = victim.ord
+		e.detach(victim)
+		e.release(victim)
+	} else {
+		r.ord = e.nextOrd
+		e.nextOrd++
+	}
+	e.place(r)
 }
 
-// absorb extends open star groups at step s. Returns whether t was absorbed
-// anywhere.
+// absorb extends open star groups at step s — exactly the runs in bucket
+// (s, open). Returns whether t was absorbed anywhere. Absorbing never
+// migrates a run (cur and openness are unchanged), so the bucket is
+// iterated in place.
 func (e *runEngine) absorb(s int, t *stream.Tuple, out *[]*Match) bool {
-	if !e.def.Steps[s].Star {
+	st := &e.def.Steps[s]
+	if !st.Star {
+		return false
+	}
+	b := e.buckets[s*2+1]
+	if len(b) == 0 {
 		return false
 	}
 	last := len(e.def.Steps) - 1
 	any := false
-	// CHRONICLE scans oldest-first, RECENT newest-first; UNRESTRICTED
-	// extends all open groups.
-	e.eachRun(func(r *run) bool {
-		if r.cur != s || !e.open(r) {
-			return true
+	// CHRONICLE extends the oldest qualifying group, RECENT the newest,
+	// UNRESTRICTED all of them.
+	recent := e.def.Mode == ModeRecent
+	for k := 0; k < len(b); k++ {
+		r := b[k]
+		if recent {
+			r = b[len(b)-1-k]
 		}
 		g := r.m.Groups[s]
-		st := &e.def.Steps[s]
 		if !gapAdmits(st, g[len(g)-1], t) ||
 			!windowAdmits(e.def, r.m, s, t) || !predAdmits(e.def, r.m, s, t) {
-			return true
+			continue
 		}
 		r.m.Groups[s] = append(g, t)
 		r.last = t.TS
@@ -243,29 +359,43 @@ func (e *runEngine) absorb(s int, t *stream.Tuple, out *[]*Match) bool {
 		if s == last {
 			*out = append(*out, r.m.clone())
 		}
-		return e.def.Mode == ModeUnrestricted // others bind a single run
-	})
+		if e.def.Mode != ModeUnrestricted {
+			break // others bind a single run
+		}
+	}
 	return any
 }
 
-// bind attaches t at step s to qualifying runs waiting there (group empty
-// and cur == s) or closes an open star group at s-1. Completed runs are
-// emitted; CHRONICLE removes them (participants consumed).
+// bind attaches t at step s to qualifying runs waiting there (bucket
+// (s, waiting)) or closes an open star group at s-1 (bucket (s-1, open)).
+// Completed runs are emitted; CHRONICLE removes them (participants
+// consumed).
 func (e *runEngine) bind(s int, t *stream.Tuple, out *[]*Match) bool {
 	last := len(e.def.Steps) - 1
+	wait := e.buckets[s*2]
+	var opened []*run
+	if s > 0 {
+		opened = e.buckets[(s-1)*2+1]
+	}
+	if len(wait) == 0 && len(opened) == 0 {
+		return false
+	}
+	// Snapshot the ord-merged union first: the loop body migrates in-place
+	// runs between buckets and appends forks, and — like the old slice
+	// snapshot — runs added during the visit must not be visited.
+	cands := e.mergeVisit(wait, opened)
 	bound := false
-	var dead []*run
-	e.eachRun(func(r *run) bool {
-		ready := (r.cur == s && !e.open(r)) || (r.cur == s-1 && e.open(r))
-		if !ready {
-			return true
-		}
+	for _, r := range cands {
 		if !windowAdmits(e.def, r.m, s, t) || !predAdmits(e.def, r.m, s, t) {
-			return true
+			continue
 		}
 		target := r // CHRONICLE/RECENT advance in place
+		forked := false
 		if e.def.Mode == ModeUnrestricted {
-			target = &run{m: r.m.clone(), cur: r.cur}
+			target = e.fork(r)
+			forked = true
+		} else {
+			e.detach(r)
 		}
 		target.m.Groups[s] = []*stream.Tuple{t}
 		target.last = t.TS
@@ -276,79 +406,104 @@ func (e *runEngine) bind(s int, t *stream.Tuple, out *[]*Match) bool {
 			if s == last {
 				*out = append(*out, target.m.clone())
 			}
-			if target != r {
-				e.runs = append(e.runs, target)
-			}
+			e.admit(target, forked)
 		case s == last:
 			*out = append(*out, target.m.clone())
-			if target == r {
-				dead = append(dead, r)
-			}
+			e.release(target) // complete: in-place already detached, forks never placed
 		default:
 			target.cur = s + 1
-			if target != r {
-				e.runs = append(e.runs, target)
-			}
+			e.admit(target, forked)
 		}
 		// RECENT binds the single most recent qualifying run; CHRONICLE the
 		// earliest; UNRESTRICTED continues over all.
-		return e.def.Mode == ModeUnrestricted
-	})
-	for _, d := range dead {
-		e.removeRun(d)
+		if e.def.Mode != ModeUnrestricted {
+			break
+		}
 	}
 	return bound
 }
 
-// eachRun visits pending runs in mode order: CHRONICLE and UNRESTRICTED
-// oldest-first, RECENT newest-first. The visit snapshot tolerates appends
-// made by the callback.
-func (e *runEngine) eachRun(fn func(*run) bool) {
-	snapshot := e.runs
-	if e.def.Mode == ModeRecent {
-		for i := len(snapshot) - 1; i >= 0; i-- {
-			if !fn(snapshot[i]) {
-				return
-			}
-		}
-		return
+// admit places an advanced run back into the buckets: forks are new runs
+// and take a fresh maximal ordinal (the old code appended them to the run
+// slice); in-place advances keep their ordinal, preserving their slot in
+// the mode's visit order.
+func (e *runEngine) admit(r *run, forked bool) {
+	if forked {
+		r.ord = e.nextOrd
+		e.nextOrd++
 	}
-	for _, r := range snapshot {
-		if !fn(r) {
-			return
-		}
-	}
+	e.place(r)
 }
 
-func (e *runEngine) removeRun(r *run) {
-	for i, x := range e.runs {
-		if x == r {
-			e.runs = append(e.runs[:i], e.runs[i+1:]...)
-			return
+// fork builds the UNRESTRICTED copy-on-write copy of r: a fresh (possibly
+// pooled) Match spine sharing r's group arrays, both sides capped so any
+// later append reallocates instead of writing into the sibling's storage.
+func (e *runEngine) fork(r *run) *run {
+	f := e.newRun()
+	r.m.cowInto(f.m)
+	f.cur = r.cur
+	return f
+}
+
+// mergeVisit snapshots the ord-merge of two sorted buckets into the visit
+// scratch: ascending (oldest first) for CHRONICLE/UNRESTRICTED, descending
+// (newest first) for RECENT.
+func (e *runEngine) mergeVisit(a, b []*run) []*run {
+	v := e.visit[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ord < b[j].ord {
+			v = append(v, a[i])
+			i++
+		} else {
+			v = append(v, b[j])
+			j++
 		}
 	}
+	v = append(v, a[i:]...)
+	v = append(v, b[j:]...)
+	if e.def.Mode == ModeRecent {
+		for x, y := 0, len(v)-1; x < y; x, y = x+1, y-1 {
+			v[x], v[y] = v[y], v[x]
+		}
+	}
+	e.visit = v
+	return v
 }
 
 // advance evicts runs whose window can no longer be satisfied at event time
 // ts: with a PRECEDING window anchored at an unbound step, a run whose
 // earliest tuple has fallen out of every possible future window is dead;
 // with a FOLLOWING window whose anchor is bound, the run dies once the span
-// after the anchor has fully elapsed.
+// after the anchor has fully elapsed. Compaction is per bucket, so the
+// ord order within each bucket is preserved.
 func (e *runEngine) advance(ts stream.Timestamp) {
-	if len(e.runs) == 0 || (e.def.Window == nil && e.def.ExpireAfter == 0) {
+	if e.def.Window == nil && e.def.ExpireAfter == 0 {
 		return
 	}
-	kept := e.runs[:0]
-	for _, r := range e.runs {
-		if e.expired(r, ts) || e.idle(r, ts) {
+	if r := e.cons; r != nil && (e.expired(r, ts) || e.idle(r, ts)) {
+		e.cons = nil
+		e.release(r)
+	}
+	for bi, b := range e.buckets {
+		if len(b) == 0 {
 			continue
 		}
-		kept = append(kept, r)
+		kept := b[:0]
+		for _, r := range b {
+			if e.expired(r, ts) || e.idle(r, ts) {
+				e.count--
+				e.release(r)
+				continue
+			}
+			r.pos = int32(len(kept))
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(b); i++ {
+			b[i] = nil
+		}
+		e.buckets[bi] = kept
 	}
-	for i := len(kept); i < len(e.runs); i++ {
-		e.runs[i] = nil
-	}
-	e.runs = kept
 }
 
 // idle applies Def.ExpireAfter to runs that stopped making progress.
@@ -378,19 +533,45 @@ func (e *runEngine) expired(r *run, ts stream.Timestamp) bool {
 
 func (e *runEngine) stateSize() int {
 	n := 0
-	for _, r := range e.runs {
+	e.eachLive(func(r *run) {
 		for _, g := range r.m.Groups {
 			n += len(g)
 		}
+	})
+	return n
+}
+
+func (e *runEngine) runCount() int {
+	n := e.count
+	if e.cons != nil {
+		n++
 	}
 	return n
 }
 
-func stepIn(steps []int, s int) bool {
-	for _, x := range steps {
-		if x == s {
-			return true
+// eachLive visits every pending run (bucket order; for accounting only).
+func (e *runEngine) eachLive(fn func(*run)) {
+	if e.cons != nil {
+		fn(e.cons)
+	}
+	for _, b := range e.buckets {
+		for _, r := range b {
+			fn(r)
 		}
 	}
-	return false
+}
+
+// maskHas tests step membership in a qualifying-step bitmask — the
+// constant-time replacement for the old linear stepIn scan.
+func maskHas(mask uint64, s int) bool {
+	return mask&(1<<uint(s)) != 0
+}
+
+// maskOf folds step indexes into a bitmask.
+func maskOf(steps []int) uint64 {
+	var m uint64
+	for _, s := range steps {
+		m |= 1 << uint(s)
+	}
+	return m
 }

@@ -252,3 +252,57 @@ func TestBatchRunSplitsAcrossStreams(t *testing.T) {
 		t.Fatalf("rows = %v", *rows)
 	}
 }
+
+// TestBatchHeartbeatEvictionExact: a heartbeat's advance must run at its
+// exact position inside a batch. Its eviction prunes the expired star run
+// holding C1@144 BEFORE C1@151 arrives, so C1@151 starts a fresh run and
+// C2@152 completes it; deferring the advance to the batch boundary lets
+// C1@151 join the doomed run and loses the match.
+func TestBatchHeartbeatEvictionExact(t *testing.T) {
+	mk := func(stn string, sec int, rid, tag string) bqEvt {
+		return bqTup(stn, bqSec(sec), stream.Str(rid), stream.Str(tag), stream.Time(bqSec(sec)))
+	}
+	runBatchEquiv(t, bqScenario{
+		evts: []bqEvt{
+			mk("C1", 144, "R3", "t3"),
+			bqBeat(bqSec(150)),
+			mk("C1", 151, "R3", "t4"),
+			mk("C2", 152, "R3", "t3"),
+		},
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, `
+				CREATE STREAM C1(readerid, tagid, tagtime);
+				CREATE STREAM C2(readerid, tagid, tagtime);`)
+			bqRegister(t, e, `
+				SELECT C2.tagid FROM C1, C2
+				WHERE SEQ(C1*, C2)
+				OVER [5 SECONDS PRECEDING C2]
+				AND C1.readerid = 'R3' AND C2.readerid = 'R3'`, "star", rec)
+		},
+	})
+}
+
+// TestBatchInvisibleTupleConsecutive: a tuple qualifying no step (mask 0)
+// is invisible to the pattern and must not break a CONSECUTIVE run on the
+// batched path — the serial Push early-outs before the automaton sees it.
+func TestBatchInvisibleTupleConsecutive(t *testing.T) {
+	mk := func(stn string, sec int, rid, tag string) bqEvt {
+		return bqTup(stn, bqSec(sec), stream.Str(rid), stream.Str(tag), stream.Time(bqSec(sec)))
+	}
+	runBatchEquiv(t, bqScenario{
+		evts: []bqEvt{
+			mk("C1", 329, "R0", "t0"),
+			mk("C2", 331, "R1", "t3"), // fails both step filters: invisible
+			mk("C2", 332, "R0", "t4"),
+		},
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, `
+				CREATE STREAM C1(readerid, tagid, tagtime);
+				CREATE STREAM C2(readerid, tagid, tagtime);`)
+			bqRegister(t, e, `
+				SELECT C2.tagid FROM C1, C2
+				WHERE SEQ(C1, C2) OVER [3 SECONDS PRECEDING C2] MODE CONSECUTIVE
+				AND C1.readerid = 'R0' AND C2.readerid = 'R0'`, "cons", rec)
+		},
+	})
+}

@@ -75,6 +75,14 @@ type Engine struct {
 	// queryOp.timeSensitive); it routes PushBatch to the exact per-item path.
 	sensitive bool
 
+	// Routing index (route.go). noRoute disables guard attachment (the
+	// WithoutRouteIndex escape hatch); routeScratch holds one dispatch
+	// buffer per derived-stream recursion depth; subScratch holds the
+	// per-reader sub-batch spine reused across routeRunLocked calls.
+	noRoute      bool
+	routeScratch [][]int
+	subScratch   []*stream.Batch
+
 	// Fault tolerance (robust.go). ingest is the slack/lateness/dedup
 	// boundary stage, nil on a default-configured engine so the strict path
 	// carries no overhead; onDead are the quarantine-stream subscribers;
@@ -90,6 +98,11 @@ type streamInfo struct {
 	// readers: continuous queries consuming this stream, with the FROM
 	// aliases each one reads it under.
 	readers []reader
+	// route dispatches tuples to the readers that can react (route.go);
+	// rebuilt on each registration. ntuples counts arrivals, so per-query
+	// skip counts derive as ntuples - reader.routed.
+	route   *routeTable
+	ntuples uint64
 	// subscribers receive raw derived tuples (external sinks).
 	subscribers []func(*stream.Tuple)
 	// retain keeps recent history for ad-hoc snapshot queries.
@@ -100,6 +113,11 @@ type streamInfo struct {
 type reader struct {
 	q       *Query
 	aliases []string
+	// guard, when non-nil, is the compile-time routing admission test for
+	// this edge; tuples it rejects are provably no-ops for the query.
+	guard *streamGuard
+	// routed counts tuples actually offered to the query from this stream.
+	routed uint64
 }
 
 // Query is one registered continuous query.
@@ -122,6 +140,9 @@ type Query struct {
 	// quarantined — it stops receiving input — while the engine keeps going.
 	quarantined bool
 	qErr        error
+	// guards maps lower-cased input stream names to the routing admission
+	// tests the planner extracted (route.go); consulted at registration.
+	guards map[string]*streamGuard
 }
 
 // Shardability reports whether a continuous query's output is invariant
@@ -210,6 +231,7 @@ func New(opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	e.noRoute = cfg.NoRouteIndex
 	if !cfg.Ingest.IsZero() {
 		cfg.Ingest.OnDead = e.dispatchDeadLocked
 		e.ingest = stream.NewIngest(cfg.Ingest)
@@ -501,9 +523,15 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 	}
 	q.op = op
 	for streamName, aliases := range inputs {
-		si := e.streams[strings.ToLower(streamName)]
-		si.readers = append(si.readers, reader{q: q, aliases: aliases})
-		q.reads = append(q.reads, strings.ToLower(streamName))
+		key := strings.ToLower(streamName)
+		si := e.streams[key]
+		rd := reader{q: q, aliases: aliases}
+		if !e.noRoute {
+			rd.guard = q.guards[key]
+		}
+		si.readers = append(si.readers, rd)
+		si.route = buildRouteTable(si.readers)
+		q.reads = append(q.reads, key)
 	}
 	sort.Strings(q.reads)
 	if target != "" {
@@ -670,9 +698,13 @@ func (e *Engine) pushItemsExactLocked(items []stream.Item) error {
 
 // pushItemsBatchedLocked is the vectorized ingestion path, used when no
 // registered query is time-sensitive: consecutive same-stream tuples form
-// runs handed to the readers' batch kernels, heartbeats fold into clock
-// bumps, and the per-item trailing advance — eviction only, for these
-// engines — collapses into one advance at the batch boundary.
+// runs handed to the readers' batch kernels, and the per-tuple trailing
+// advance — eviction only, for these engines — collapses into one advance
+// at the batch boundary (the matchers evict internally at each tuple's
+// timestamp, so only the trailing sweep is deferrable). Heartbeats advance
+// at their exact position: heartbeat-time eviction prunes expired runs
+// BEFORE the next tuple can bind into them, which changes which matches
+// form — deferring it is observable, not just a memory detail.
 func (e *Engine) pushItemsBatchedLocked(items []stream.Item) error {
 	dirty := false
 	i := 0
@@ -681,7 +713,10 @@ func (e *Engine) pushItemsBatchedLocked(items []stream.Item) error {
 		if it.IsHeartbeat() {
 			if it.TS > e.now {
 				e.now = it.TS
-				dirty = true
+			}
+			dirty = false
+			if err := e.advanceLocked(e.now); err != nil {
+				return err
 			}
 			i++
 			continue
@@ -743,19 +778,56 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 		return orderErr
 	}
 
-	// A run can flow reader-by-reader only when no reader can observe
-	// another's per-tuple interleaving: a single reader, or readers that are
-	// all silent (callback-only — no derived tuples re-entering the engine).
-	vectorize := true
-	if len(si.readers) > 1 {
-		for _, rd := range si.readers {
-			if rd.q.target != "" {
-				vectorize = false
-				break
+	// Routing dispatch: when any reader is guarded, pre-compute each guarded
+	// reader's admitted sub-run. Unguarded (fallback) readers see the whole
+	// run; guarded readers with an empty sub-run are not delivered at all.
+	rt := si.route
+	guarded := rt != nil && rt.nGuarded > 0
+	var subs []*stream.Batch
+	if guarded {
+		subs = e.subScratch[:0]
+		for range si.readers {
+			subs = append(subs, nil)
+		}
+		e.subScratch = subs[:0]
+		buf := e.routeBuf()
+		for _, it := range items {
+			buf = rt.dispatchGuarded(si.readers, it.Tuple, buf[:0])
+			for _, ri := range buf {
+				if subs[ri] == nil {
+					subs[ri] = stream.GetBatch()
+				}
+				subs[ri].Tuples = append(subs[ri].Tuples, it.Tuple)
+			}
+		}
+		e.routeScratch[e.depth] = buf
+	}
+	releaseSubs := func() {
+		for i, sb := range subs {
+			if sb != nil {
+				sb.Release()
+				subs[i] = nil
 			}
 		}
 	}
-	if !vectorize {
+
+	// A run can flow reader-by-reader only when no delivered reader can
+	// observe another's per-tuple interleaving: a single delivered reader,
+	// or delivered readers that are all silent (callback-only — no derived
+	// tuples re-entering the engine).
+	ndeliv, anyTarget := 0, false
+	for i := range si.readers {
+		rd := &si.readers[i]
+		if rd.guard != nil && (!guarded || subs[i] == nil) {
+			continue
+		}
+		ndeliv++
+		if rd.q.target != "" {
+			anyTarget = true
+		}
+	}
+	if ndeliv > 1 && anyTarget {
+		releaseSubs()
 		for _, it := range items {
 			if err := e.routeLocked(si, it.Tuple); err != nil {
 				return err
@@ -773,6 +845,7 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 		t.Seq = e.seq
 		if si.history != nil {
 			if err := si.history.Add(t); err != nil {
+				releaseSubs()
 				return err
 			}
 		}
@@ -783,18 +856,29 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 	if si.history != nil {
 		si.history.EvictBefore(maxTS.Add(-si.retain))
 	}
+	si.ntuples += uint64(len(items))
 
 	b := stream.GetBatch()
 	for _, it := range items {
 		b.Tuples = append(b.Tuples, it.Tuple)
 	}
 	var err error
-	for _, rd := range si.readers {
-		if err = e.pushBatchQueryLocked(rd.q, rd.aliases, b); err != nil {
+	for i := range si.readers {
+		rd := &si.readers[i]
+		rb := b
+		if rd.guard != nil {
+			if !guarded || subs[i] == nil {
+				continue
+			}
+			rb = subs[i]
+		}
+		rd.routed += uint64(len(rb.Tuples))
+		if err = e.pushBatchQueryLocked(rd.q, rd.aliases, rb); err != nil {
 			break
 		}
 	}
 	b.Release()
+	releaseSubs()
 	if err != nil {
 		return err
 	}
@@ -859,14 +943,39 @@ func (e *Engine) routeLocked(si *streamInfo, t *stream.Tuple) error {
 	for _, fn := range si.subscribers {
 		fn(t)
 	}
-	for _, rd := range si.readers {
-		if err := e.pushQueryLocked(rd.q, rd.aliases, t); err != nil {
-			return err
+	si.ntuples++
+	if rt := si.route; rt != nil && rt.nGuarded > 0 {
+		sel := rt.dispatch(si.readers, t, e.routeBuf())
+		e.routeScratch[e.depth] = sel // keep grown capacity for reuse
+		for _, ri := range sel {
+			rd := &si.readers[ri]
+			rd.routed++
+			if err := e.pushQueryLocked(rd.q, rd.aliases, t); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := range si.readers {
+			rd := &si.readers[i]
+			rd.routed++
+			if err := e.pushQueryLocked(rd.q, rd.aliases, t); err != nil {
+				return err
+			}
 		}
 	}
 	// Event time advanced for everyone (active expiration across queries
 	// that did not see this tuple).
 	return e.advanceLocked(e.now)
+}
+
+// routeBuf returns an empty dispatch buffer for the current recursion
+// depth. Derived-stream emission re-enters routeLocked at depth+1, so each
+// depth owns its buffer and in-flight dispatches are never clobbered.
+func (e *Engine) routeBuf() []int {
+	for len(e.routeScratch) <= e.depth {
+		e.routeScratch = append(e.routeScratch, nil)
+	}
+	return e.routeScratch[e.depth][:0]
 }
 
 // Heartbeat advances event time without a tuple (punctuation), firing

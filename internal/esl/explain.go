@@ -2,6 +2,7 @@ package esl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -136,7 +137,20 @@ func (e *Engine) Explain(sql string) (string, error) {
 	for s, aliases := range inputs {
 		streams = append(streams, fmt.Sprintf("%s as %s", s, strings.Join(aliases, ",")))
 	}
+	sort.Strings(streams)
 	fmt.Fprintf(&b, "  reads: %s\n", strings.Join(streams, "; "))
+	if len(q.guards) > 0 {
+		var guards []string
+		for s, g := range q.guards {
+			mode := "strict"
+			if !g.strict {
+				mode = "lenient"
+			}
+			guards = append(guards, fmt.Sprintf("%s: %s (%s)", s, g.describe(), mode))
+		}
+		sort.Strings(guards)
+		fmt.Fprintf(&b, "  routing guard: %s\n", strings.Join(guards, "; "))
+	}
 	if target != "" {
 		fmt.Fprintf(&b, "  sink: %s\n", target)
 	}

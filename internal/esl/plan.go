@@ -105,6 +105,29 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	if op.fused {
 		q.shard = Shardability{Shardable: true}
 	}
+
+	// Routing-index guard: only the FIRST WHERE conjunct is sargable here.
+	// AND short-circuits solely on a definitively-false left operand, so a
+	// failing first conjunct provably suppresses every later conjunct —
+	// including ones that would error — making the skip serial-equivalent.
+	// The guard is non-strict: a NULL tuple value makes the conjunct unknown
+	// (later conjuncts still run and may error) and a cross-kind '=' is
+	// itself a runtime error, so both must be delivered, not skipped.
+	if sel.Where != nil && len(inputs[outer.Source]) == 1 {
+		var conj []Expr
+		splitConjuncts(sel.Where, &conj)
+		if ref, val, ok := eqConstShape(conj[0]); ok && val.Kind() != stream.KindNull {
+			onOuter := strings.EqualFold(ref.Qualifier, outer.Alias) ||
+				(ref.Qualifier == "" && len(op.tables) == 0 && len(op.exists) == 0 && len(op.tableExists) == 0)
+			if onOuter {
+				if pos, ok := si.schema.Col(ref.Name); ok {
+					g := &streamGuard{strict: false}
+					g.add(strings.ToLower(ref.Name), pos, val)
+					q.guards = map[string]*streamGuard{strings.ToLower(outer.Source): g}
+				}
+			}
+		}
+	}
 	return op, inputs, nil
 }
 

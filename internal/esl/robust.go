@@ -13,6 +13,10 @@ import (
 // no dedup.
 type Config struct {
 	Ingest stream.IngestConfig
+	// NoRouteIndex disables the shared multi-query routing index, forcing
+	// every tuple through every registered reader (the pre-index behavior).
+	// Escape hatch for debugging and for the equivalence test suites.
+	NoRouteIndex bool
 }
 
 // Option mutates the engine configuration at construction.
@@ -47,6 +51,14 @@ func WithExactDedup() Option {
 	return func(c *Config) { c.Ingest.Dedup = true }
 }
 
+// WithoutRouteIndex disables the shared routing index: every tuple is
+// offered to every query reading its stream, as in the pre-index engine.
+// Routing is semantics-preserving, so this exists as a debugging escape
+// hatch and as the reference arm of the equivalence suites.
+func WithoutRouteIndex() Option {
+	return func(c *Config) { c.NoRouteIndex = true }
+}
+
 // EngineStats is the engine-wide robustness counter snapshot. The ingest
 // boundary balance is
 //
@@ -65,6 +77,11 @@ type EngineStats struct {
 	PendingReorder     int
 	QuarantinedQueries int
 	Watermark          stream.Timestamp
+	// RoutedDeliveries counts (tuple, query) deliveries actually made;
+	// SkippedDeliveries counts deliveries the routing index proved
+	// unnecessary. Their sum is what a scan-all engine would have performed.
+	RoutedDeliveries  uint64
+	SkippedDeliveries uint64
 }
 
 // EngineStats returns the robustness counters. On a default-configured
@@ -74,6 +91,13 @@ func (e *Engine) EngineStats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := EngineStats{QuarantinedQueries: e.nquarantined, Watermark: e.now}
+	for _, si := range e.streams {
+		for i := range si.readers {
+			rd := &si.readers[i]
+			st.RoutedDeliveries += rd.routed
+			st.SkippedDeliveries += si.ntuples - rd.routed
+		}
+	}
 	if e.ingest != nil {
 		is := e.ingest.Stats()
 		st.Ingested = is.Ingested

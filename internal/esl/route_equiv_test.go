@@ -1,0 +1,362 @@
+package esl
+
+// Routing-index equivalence: every scenario is driven through a scan-all
+// reference engine (WithoutRouteIndex, serial Push) and compared row-for-row
+// against the routed engine — serially and through PushBatch at several
+// batch sizes — plus a scan-all batched arm as a control. The routing index
+// must be unobservable: same rows, same order, per sink.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// runRouteEquiv drives the scenario through every arm and compares sinks.
+func runRouteEquiv(t *testing.T, sc bqScenario) {
+	t.Helper()
+	want := routeArm(t, sc, []Option{WithoutRouteIndex()}, 0)
+	arms := []struct {
+		name  string
+		opts  []Option
+		batch int
+	}{
+		{"routed/serial", nil, 0},
+		{"routed/batch=1", nil, 1},
+		{"routed/batch=7", nil, 7},
+		{"routed/batch=256", nil, 256},
+		{"scanall/batch=7", []Option{WithoutRouteIndex()}, 7},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			got := routeArm(t, sc, arm.opts, arm.batch)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("diverged from scan-all serial reference:\ngot:  %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// routeArm runs one engine configuration over the scenario feed. batch == 0
+// means tuple-at-a-time Push/Heartbeat; otherwise PushBatch in chunks.
+func routeArm(t *testing.T, sc bqScenario, opts []Option, batch int) map[string][]string {
+	t.Helper()
+	e := New(opts...)
+	got, rec := bqRecorder()
+	sc.setup(t, e, rec)
+	if batch == 0 {
+		for _, ev := range sc.evts {
+			var err error
+			if ev.hb {
+				err = e.Heartbeat(ev.ts)
+			} else {
+				err = e.Push(ev.name, ev.ts, ev.vals...)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	} else {
+		items := bqItems(t, e, sc.evts)
+		for i := 0; i < len(items); i += batch {
+			j := i + batch
+			if j > len(items) {
+				j = len(items)
+			}
+			if err := e.PushBatch(items[i:j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sc.after != nil {
+		sc.after(t, e, rec)
+	}
+	return got
+}
+
+// reFeed builds a deterministic two-checkpoint feed: readers R0..R9 (R8/R9
+// never guarded by any query), tags t0..t4 plus NULL and an integer-typed
+// tag id to stress lenient guards, interleaved heartbeats.
+func reFeed(rng *rand.Rand, n int) []bqEvt {
+	var evts []bqEvt
+	at := 0
+	for i := 0; i < n; i++ {
+		at++
+		stn := []string{"C1", "C2"}[rng.Intn(2)]
+		rid := stream.Str(fmt.Sprintf("R%d", rng.Intn(10)))
+		var tag stream.Value
+		switch k := rng.Intn(10); {
+		case k == 0:
+			tag = stream.Null
+		default:
+			tag = stream.Str(fmt.Sprintf("t%d", rng.Intn(5)))
+		}
+		evts = append(evts, bqTup(stn, bqSec(at), rid, tag, stream.Time(bqSec(at))))
+		if rng.Intn(16) == 0 {
+			at++
+			evts = append(evts, bqBeat(bqSec(at)))
+		}
+	}
+	return evts
+}
+
+const reDDL = `
+	CREATE STREAM C1(readerid, tagid, tagtime);
+	CREATE STREAM C2(readerid, tagid, tagtime);`
+
+// TestRouteEquivSEQModes: guarded keyed and unkeyed SEQ queries under all
+// four pairing modes, mixed with a partially-guarded (hence conservative)
+// query, against a feed where most tuples are irrelevant to most queries.
+func TestRouteEquivSEQModes(t *testing.T) {
+	for _, mode := range []string{"", " MODE RECENT", " MODE CHRONICLE", " MODE CONSECUTIVE"} {
+		t.Run("mode="+mode, func(t *testing.T) {
+			runRouteEquiv(t, bqScenario{
+				evts: reFeed(rand.New(rand.NewSource(7)), 400),
+				setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+					bqExec(t, e, reDDL)
+					for i := 0; i < 4; i++ {
+						rid := fmt.Sprintf("R%d", i)
+						bqRegister(t, e, fmt.Sprintf(`
+							SELECT C1.tagid, C2.tagtime FROM C1, C2
+							WHERE SEQ(C1, C2)%s
+							AND C1.readerid = '%s' AND C2.readerid = '%s'
+							AND C1.tagid = C2.tagid`, mode, rid, rid),
+							"keyed-"+rid, rec)
+						bqRegister(t, e, fmt.Sprintf(`
+							SELECT C2.tagid FROM C1, C2
+							WHERE SEQ(C1, C2) OVER [3 SECONDS PRECEDING C2]%s
+							AND C1.readerid = '%s' AND C2.readerid = '%s'`, mode, rid, rid),
+							"unkeyed-"+rid, rec)
+					}
+					// Only C1 is guarded: the C2 edge must stay conservative.
+					bqRegister(t, e, fmt.Sprintf(`
+						SELECT C1.tagid FROM C1, C2
+						WHERE SEQ(C1, C2) OVER [3 SECONDS PRECEDING C2]%s
+						AND C1.readerid = 'R5' AND C1.tagid = C2.tagid`, mode),
+						"half-guarded", rec)
+				},
+			})
+		})
+	}
+}
+
+// TestRouteEquivStarResidual: a star step's equality lives in the residual
+// predicate closure, extractable only for SEQ outside CONSECUTIVE mode.
+func TestRouteEquivStarResidual(t *testing.T) {
+	runRouteEquiv(t, bqScenario{
+		evts: reFeed(rand.New(rand.NewSource(11)), 300),
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, reDDL)
+			bqRegister(t, e, `
+				SELECT C2.tagid, count(C1*) FROM C1, C2
+				WHERE SEQ(C1*, C2)
+				OVER [5 SECONDS PRECEDING C2]
+				MODE CHRONICLE
+				AND C1.readerid = 'R1' AND C2.readerid = 'R2'
+				AND C1.tagid = C2.tagid`, "star", rec)
+			bqRegister(t, e, `
+				SELECT C2.tagid FROM C1, C2
+				WHERE SEQ(C1*, C2)
+				OVER [5 SECONDS PRECEDING C2]
+				AND C1.readerid = 'R3' AND C2.readerid = 'R3'`, "star-unrestricted", rec)
+		},
+	})
+}
+
+// TestRouteEquivExceptionSeq: exception kinds may only use filter-derived
+// guards (a visible non-extending tuple raises exceptions), which the
+// per-step reader constants here are.
+func TestRouteEquivExceptionSeq(t *testing.T) {
+	runRouteEquiv(t, bqScenario{
+		sensitive: true,
+		evts:      reFeed(rand.New(rand.NewSource(13)), 300),
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, reDDL)
+			bqRegister(t, e, `
+				SELECT C1.tagid FROM C1, C2
+				WHERE EXCEPTION_SEQ(C1, C2) OVER [2 SECONDS FOLLOWING C1]
+				AND C1.readerid = 'R0' AND C2.readerid = 'R0'
+				AND C1.tagid = C2.tagid`, "exc", rec)
+		},
+	})
+}
+
+// TestRouteEquivTransducers: lenient first-conjunct guards on transducers,
+// with NULL tuple values in the feed (unknown does not short-circuit AND,
+// so NULL rows must still be delivered) and guards on later conjuncts
+// deliberately NOT extracted.
+func TestRouteEquivTransducers(t *testing.T) {
+	runRouteEquiv(t, bqScenario{
+		evts: reFeed(rand.New(rand.NewSource(17)), 400),
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, reDDL)
+			for i := 0; i < 5; i++ {
+				tag := fmt.Sprintf("t%d", i)
+				bqRegister(t, e, fmt.Sprintf(
+					`SELECT readerid, tagid FROM C1 WHERE tagid = '%s' AND readerid = 'R1'`, tag),
+					"fp-"+tag, rec)
+			}
+			bqRegister(t, e, `SELECT tagid FROM C2 WHERE 'R2' = readerid`, "fp-flip", rec)
+			bqRegister(t, e, `SELECT tagid FROM C2 WHERE readerid = 'R4' AND tagid = 'missing'`, "fp-none", rec)
+			bqRegister(t, e, `SELECT DISTINCT tagid FROM C1 WHERE readerid = 'R3'`, "fp-distinct", rec)
+		},
+	})
+}
+
+// TestRouteEquivDerivedStreams: guarded readers of a derived stream force
+// dispatch during re-entry (depth > 0) and the non-vectorizable fallback
+// (multiple delivered readers, one with a sink target).
+func TestRouteEquivDerivedStreams(t *testing.T) {
+	runRouteEquiv(t, bqScenario{
+		evts: reFeed(rand.New(rand.NewSource(19)), 300),
+		setup: func(t *testing.T, e *Engine, rec func(tag, line string)) {
+			bqExec(t, e, reDDL)
+			bqExec(t, e, `INSERT INTO hits SELECT readerid, tagid FROM C1 WHERE readerid = 'R1'`)
+			bqExec(t, e, `INSERT INTO echoes SELECT tagid FROM hits WHERE tagid = 't1'`)
+			bqSubscribe(t, e, "echoes", "echo", rec)
+			bqRegister(t, e, `SELECT tagid FROM hits WHERE tagid = 't2'`, "hits-t2", rec)
+			bqRegister(t, e, `SELECT readerid FROM hits`, "hits-all", rec)
+		},
+	})
+}
+
+// TestRouteEquivCrossKindError: a lenient guard must deliver a tuple whose
+// value is kind-incomparable with the literal — the serial semantics are a
+// runtime error from '=', and skipping would suppress it.
+func TestRouteEquivCrossKindError(t *testing.T) {
+	run := func(opts ...Option) (rows []string, errs []string) {
+		e := New(opts...)
+		if _, err := e.Exec(`CREATE STREAM A(tagid);`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.RegisterQuery("q", `SELECT tagid FROM A WHERE tagid = 'x'`,
+			func(r Row) { rows = append(rows, bqRowLine(r)) }); err != nil {
+			t.Fatal(err)
+		}
+		feed := []stream.Value{stream.Str("x"), stream.Int(5), stream.Str("y"), stream.Int(7), stream.Str("x")}
+		for i, v := range feed {
+			if err := e.Push("A", bqSec(i+1), v); err != nil {
+				errs = append(errs, err.Error())
+			}
+		}
+		return rows, errs
+	}
+	gotRows, gotErrs := run()
+	wantRows, wantErrs := run(WithoutRouteIndex())
+	if !reflect.DeepEqual(gotRows, wantRows) || !reflect.DeepEqual(gotErrs, wantErrs) {
+		t.Fatalf("routed arm diverged:\nrows %v vs %v\nerrs %v vs %v", gotRows, wantRows, gotErrs, wantErrs)
+	}
+	if len(wantErrs) != 2 {
+		t.Fatalf("expected 2 cross-kind comparison errors from the serial semantics, got %v", wantErrs)
+	}
+}
+
+// TestRouteEquivFanout64 drives 64 single-tag filter queries plus 16 keyed
+// SEQ queries and checks both equivalence and the stats accounting: the
+// routed engine must record skips, the scan-all engine none.
+func TestRouteEquivFanout64(t *testing.T) {
+	setup := func(t *testing.T, e *Engine, rec func(tag, line string)) {
+		bqExec(t, e, reDDL)
+		for i := 0; i < 64; i++ {
+			tag := fmt.Sprintf("t%d", i%5) // collapses onto the 5 live tags
+			name := fmt.Sprintf("fan-%02d", i)
+			bqRegister(t, e, fmt.Sprintf(
+				`SELECT readerid FROM C1 WHERE tagid = '%s' AND readerid = 'R%d'`, tag, i%10),
+				name, rec)
+		}
+		for i := 0; i < 16; i++ {
+			rid := fmt.Sprintf("R%d", i%10)
+			bqRegister(t, e, fmt.Sprintf(`
+				SELECT C1.tagid FROM C1, C2
+				WHERE SEQ(C1, C2)
+				AND C1.readerid = '%s' AND C2.readerid = '%s'
+				AND C1.tagid = C2.tagid`, rid, rid),
+				fmt.Sprintf("seq-%02d", i), rec)
+		}
+	}
+	sc := bqScenario{evts: reFeed(rand.New(rand.NewSource(23)), 600), setup: setup}
+	runRouteEquiv(t, sc)
+
+	// Stats accounting on a routed engine.
+	e := New()
+	_, rec := bqRecorder()
+	setup(t, e, rec)
+	for _, ev := range sc.evts {
+		if ev.hb {
+			continue
+		}
+		if err := e.Push(ev.name, ev.ts, ev.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := e.EngineStats()
+	if es.SkippedDeliveries == 0 {
+		t.Fatalf("routed engine recorded no skipped deliveries: %+v", es)
+	}
+	var routed, skipped uint64
+	for _, qs := range e.Stats() {
+		routed += qs.Routed
+		skipped += qs.Skipped
+	}
+	if routed != es.RoutedDeliveries || skipped != es.SkippedDeliveries {
+		t.Fatalf("per-query stats disagree with engine stats: %d/%d vs %d/%d",
+			routed, skipped, es.RoutedDeliveries, es.SkippedDeliveries)
+	}
+
+	// The scan-all engine must deliver everything.
+	e2 := New(WithoutRouteIndex())
+	setup(t, e2, rec)
+	for _, ev := range sc.evts {
+		if ev.hb {
+			continue
+		}
+		if err := e2.Push(ev.name, ev.ts, ev.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es2 := e2.EngineStats(); es2.SkippedDeliveries != 0 {
+		t.Fatalf("scan-all engine skipped %d deliveries", es2.SkippedDeliveries)
+	}
+}
+
+// TestRouteExplainGuards: EXPLAIN surfaces the extracted guards.
+func TestRouteExplainGuards(t *testing.T) {
+	e := New()
+	if _, err := e.Exec(reDDL); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Explain(`
+		SELECT C1.tagid FROM C1, C2
+		WHERE SEQ(C1, C2)
+		AND C1.readerid = 'R1' AND C2.readerid = 'R2'
+		AND C1.tagid = C2.tagid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"routing guard:", "c1: readerid IN (R1)", "c2: readerid IN (R2)", "strict"} {
+		if !contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	out, err = e.Explain(`SELECT tagid FROM C1 WHERE readerid = 'R9' AND tagid = 't0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"routing guard:", "readerid IN (R9)", "lenient"} {
+		if !contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -292,11 +292,33 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 
 	// Single-alias conjuncts without previous/star references become step
 	// filters (cheap pushdown); a MaxGap shape becomes the star gap bound.
+	// Along the way, collect each step's sargable `col = literal` shape for
+	// the routing index: stepEq[i] is a constant-equality predicate the step
+	// provably enforces before tuple i can bind (nil when none exists).
+	stepEq := make([]*guardPred, len(op.def.Steps))
+	captureStepEq := func(stepIdx int, expr Expr) {
+		if stepEq[stepIdx] != nil {
+			return
+		}
+		ref, val, ok := eqConstShape(expr)
+		if !ok || val.Kind() == stream.KindNull {
+			return
+		}
+		pos, ok := aliasSchemaMap[op.lowerAliases[stepIdx]].Col(ref.Name)
+		if !ok {
+			return
+		}
+		stepEq[stepIdx] = &guardPred{col: strings.ToLower(ref.Name), pos: pos, vals: []stream.Value{val}}
+	}
 	predsByStep := make([][]classified, len(op.def.Steps))
 	for _, cl := range residual {
 		stepIdx := cl.evalAt
 		step := &op.def.Steps[stepIdx]
 		if len(cl.refs) == 1 && !cl.hasPrev && !exprHasStarAgg(cl.expr) && !step.Star {
+			// A filter failure clears the step's mask bit, and a tuple whose
+			// mask is empty is invisible to every matcher kind and mode — so
+			// filter-derived guards are always skip-safe.
+			captureStepEq(stepIdx, cl.expr)
 			expr := cl.expr
 			aliasLower := op.lowerAliases[stepIdx]
 			funcs := e.funcs
@@ -318,6 +340,16 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 				step.MaxGap = gap
 			}
 			continue
+		}
+		// Residual-predicate failure leaves the mask bit set: the matcher
+		// sees the tuple but refuses the binding. That refusal is a no-op
+		// only for plain SEQ outside CONSECUTIVE mode (a CONSECUTIVE run
+		// breaks on a visible non-binding tuple, and the exception kinds
+		// raise exceptions on one) — so only there may a residual equality
+		// feed the routing index.
+		if se.Kind == "SEQ" && op.def.Mode != core.ModeConsecutive &&
+			len(cl.refs) == 1 && !cl.hasPrev && !exprHasStarAgg(cl.expr) {
+			captureStepEq(stepIdx, cl.expr)
 		}
 		predsByStep[stepIdx] = append(predsByStep[stepIdx], cl)
 	}
@@ -460,6 +492,39 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 	for _, alias := range op.aliases {
 		src := aliasStream[strings.ToLower(alias)]
 		inputs[src] = appendUnique(inputs[src], alias)
+	}
+
+	// Routing-index guards: a stream edge gets a guard only when EVERY step
+	// it feeds carries a constant-equality — then a tuple matching none of
+	// those constants can bind no step at all, and skipping delivery is a
+	// provable no-op. One unguarded step keeps the whole edge conservative.
+	for i := range op.def.Steps {
+		src := strings.ToLower(aliasStream[op.lowerAliases[i]])
+		covered := true
+		for j := range op.def.Steps {
+			if strings.ToLower(aliasStream[op.lowerAliases[j]]) == src && stepEq[j] == nil {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		if q.guards == nil {
+			q.guards = map[string]*streamGuard{}
+		}
+		if q.guards[src] == nil {
+			g := &streamGuard{strict: true}
+			for j := range op.def.Steps {
+				if strings.ToLower(aliasStream[op.lowerAliases[j]]) == src {
+					p := stepEq[j]
+					for _, v := range p.vals {
+						g.add(p.col, p.pos, v)
+					}
+				}
+			}
+			q.guards[src] = g
+		}
 	}
 	return op, inputs, nil
 }

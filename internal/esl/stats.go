@@ -14,6 +14,14 @@ type QueryStats struct {
 	Kind string
 	// Quarantined reports whether panic isolation disabled the query.
 	Quarantined bool
+	// Routed counts tuples the routing index delivered to this query;
+	// Skipped counts arrivals on its input streams the index proved the
+	// query could not react to. Routed+Skipped is the scan-all delivery
+	// count.
+	Routed  uint64
+	Skipped uint64
+	// Runs counts the live partial-match runs held by a SEQ-family query.
+	Runs int
 }
 
 // stateSizer is implemented by operators that can report retained state.
@@ -30,6 +38,13 @@ func (op *eventOp) stateSize() int {
 }
 
 func (op *eventOp) kind() string { return "event(" + op.kindName + ")" }
+
+func (op *eventOp) runCount() int {
+	if op.seq != nil {
+		return op.seq.RunCount()
+	}
+	return 0
+}
 
 func (op *filterProjectOp) stateSize() int {
 	n := len(op.pending)
@@ -60,12 +75,25 @@ func (op *aggregateOp) kind() string { return "aggregate" }
 func (e *Engine) Stats() []QueryStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	routed := make(map[*Query]uint64, len(e.queries))
+	skipped := make(map[*Query]uint64, len(e.queries))
+	for _, si := range e.streams {
+		for i := range si.readers {
+			rd := &si.readers[i]
+			routed[rd.q] += rd.routed
+			skipped[rd.q] += si.ntuples - rd.routed
+		}
+	}
 	out := make([]QueryStats, 0, len(e.queries))
 	for _, q := range e.queries {
-		st := QueryStats{Name: q.Name, Emitted: q.emitted, Quarantined: q.quarantined}
+		st := QueryStats{Name: q.Name, Emitted: q.emitted, Quarantined: q.quarantined,
+			Routed: routed[q], Skipped: skipped[q]}
 		if s, ok := q.op.(stateSizer); ok {
 			st.State = s.stateSize()
 			st.Kind = s.kind()
+		}
+		if rc, ok := q.op.(interface{ runCount() int }); ok {
+			st.Runs = rc.runCount()
 		}
 		out = append(out, st)
 	}

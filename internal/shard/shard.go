@@ -215,7 +215,10 @@ func (e *Engine) EngineStats() esl.EngineStats {
 		}
 	}
 	for _, r := range e.replicas {
-		st.QuarantinedQueries += r.EngineStats().QuarantinedQueries
+		rs := r.EngineStats()
+		st.QuarantinedQueries += rs.QuarantinedQueries
+		st.RoutedDeliveries += rs.RoutedDeliveries
+		st.SkippedDeliveries += rs.SkippedDeliveries
 	}
 	return st
 }
