@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak bench-smoke bench-json bench-compare bench-vectorized bench-multiquery bench-multiquery-compare
+.PHONY: ci fmt-check vet build test chaos-soak recover-soak bench-smoke bench-json bench-compare bench-vectorized bench-multiquery bench-multiquery-compare bench-recovery
 
-ci: fmt-check vet build test chaos-soak bench-smoke bench-compare bench-multiquery-compare
+ci: fmt-check vet build test chaos-soak recover-soak bench-smoke bench-compare bench-multiquery-compare bench-recovery
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -26,6 +26,24 @@ chaos-soak:
 	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 1
 	$(GO) run ./cmd/eslev chaos -events 1000000 -shards 4
 	$(GO) run ./cmd/eslev chaos -events 500000 -shards 1 -fanout 64
+
+# Crash-recovery soak: 500k events through the extended operator workload
+# (all pairing modes, star, EXCEPTION_SEQ timers, transducer chain), killing
+# the perturbed engine every 60k offered readings and recovering it from the
+# latest snapshot plus journal replay; fails unless output is row-for-row
+# identical to the uninterrupted baseline and the dead-letter accounting
+# identity still balances.
+recover-soak:
+	$(GO) run ./cmd/eslev chaos -events 500000 -shards 1 -extended -kill-every 60000
+	$(GO) run ./cmd/eslev chaos -events 500000 -shards 4 -extended -kill-every 60000
+
+# Recovery overhead gate: steady-state throughput with the journal and
+# automatic checkpoints enabled must stay within 10% of the undurable
+# baseline at the default interval. Records the measurement (plus snapshot
+# size and restore latency) in BENCH_RECOVERY.json.
+bench-recovery:
+	$(GO) run ./cmd/eslev bench -recovery -events 50000 -max-overhead 10 \
+		-bench-json BENCH_RECOVERY.json
 
 # A fast pass over every benchmark family to catch bit-rot without paying
 # for full measurement runs.

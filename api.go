@@ -9,6 +9,7 @@ import (
 	"repro/internal/esl"
 	"repro/internal/rfid"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -133,6 +134,64 @@ func WithExactDedup() Option { return esl.WithExactDedup() }
 // every tuple through every query reading its stream (debugging escape
 // hatch; routing is on by default and semantics-preserving).
 func WithoutRouteIndex() Option { return esl.WithoutRouteIndex() }
+
+// ---- durability & recovery ----------------------------------------------------
+//
+// Durable state has two layers: versioned snapshots of all mutable engine
+// state (Engine.Checkpoint / Engine.Restore write and read them on any
+// io.Writer/Reader; both are also methods of ShardedEngine), and an
+// append-only event journal of every offered item. With WithJournal enabled,
+// Engine.Recover(dir) — or ShardedEngine.Recover — loads the newest valid
+// snapshot in dir and replays the journal suffix past its cut, re-emitting
+// exactly the rows the crashed run produced after the snapshot.
+// Engine.CheckpointNow forces a durable snapshot between the automatic
+// WithCheckpointEvery cuts.
+
+// WithJournal enables the append-only event journal in dir: every offered
+// item (tuple or heartbeat) is assigned a log sequence number and appended
+// before the engine processes it, so recovery is snapshot + journal suffix.
+func WithJournal(dir string) Option { return esl.WithJournal(dir) }
+
+// WithCheckpointEvery writes a durable snapshot into the journal directory
+// every n journaled records (requires WithJournal).
+func WithCheckpointEvery(n int) Option { return esl.WithCheckpointEvery(n) }
+
+// WithFsync selects the journal's durability/throughput trade-off; see the
+// FsyncPolicy constants.
+func WithFsync(p FsyncPolicy) Option { return esl.WithFsync(p) }
+
+// FsyncPolicy selects how eagerly journal appends reach stable storage.
+// Records are group-committed — flushed to the OS at every push-call
+// boundary — so a process crash loses at most the unacknowledged call; the
+// policy governs the further page-cache-to-disk step that matters only for
+// OS or power failure.
+type FsyncPolicy = snapshot.FsyncPolicy
+
+// The fsync policies.
+const (
+	// FsyncNever leaves flushing to the OS: fastest, may lose the tail on
+	// power failure.
+	FsyncNever = snapshot.FsyncNever
+	// FsyncInterval syncs once per sync window: bounded loss.
+	FsyncInterval = snapshot.FsyncInterval
+	// FsyncAlways syncs after every record: zero loss, slowest.
+	FsyncAlways = snapshot.FsyncAlways
+)
+
+// Snapshot and recovery failure sentinels (match with errors.Is).
+var (
+	// ErrSnapshotTruncated: the input ended before the declared length.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotCorrupt: framing or checksum failure.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrSnapshotVersion: written by an incompatible codec version.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrStateMismatch: the snapshot does not match the engine's registered
+	// streams, queries, or ingest configuration.
+	ErrStateMismatch = snapshot.ErrStateMismatch
+	// ErrShardMismatch: serial/sharded kind or shard count disagrees.
+	ErrShardMismatch = snapshot.ErrShardMismatch
+)
 
 // LatenessPolicy decides what happens to tuples behind the ingest watermark.
 type LatenessPolicy = stream.LatenessPolicy

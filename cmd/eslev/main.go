@@ -6,13 +6,19 @@
 //
 //	eslev demo modes                 reproduce the §3.1.1 walkthrough
 //	eslev demo examples              run paper examples 1-8 on simulated data
-//	eslev run [-shards N] [-stats] [-no-route-index] [-cpuprofile f] [-memprofile f]
+//	eslev run [-shards N] [-stats] [-no-route-index] [-checkpoint-dir d]
+//	          [-checkpoint-every N] [-restore] [-cpuprofile f] [-memprofile f]
 //	          [-trace f] script.esl [s=f.csv]
 //	                                 execute a script, feeding stream s
 //	                                 from CSV file f (repeatable); -shards
 //	                                 runs it on the partition-parallel engine;
 //	                                 -stats prints per-query routed/skipped
-//	                                 counters and run gauges afterwards
+//	                                 counters and run gauges afterwards;
+//	                                 -checkpoint-dir journals every pushed
+//	                                 item and cuts a durable snapshot when
+//	                                 the run ends (plus every N records with
+//	                                 -checkpoint-every); -restore recovers
+//	                                 state from that directory first
 //	eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
 //	            [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
 //	                                 run the sharded-scaling workloads and
@@ -21,14 +27,25 @@
 //	eslev bench -multiquery [-queries 1,4,16,64,256] [-events N] [-bench-json out.json]
 //	                                 sweep registered-query fan-out with the
 //	                                 routing index on and off
+//	eslev bench -recovery [-events N] [-checkpoint-every N] [-max-overhead pct]
+//	            [-bench-json out.json]
+//	                                 measure journaling overhead vs an undurable
+//	                                 baseline, snapshot size, checkpoint latency,
+//	                                 and restore latency; -max-overhead turns the
+//	                                 measurement into a regression gate
 //	eslev chaos [-events N] [-shards N] [-fanout N] [-slack d] [-disorder f] [-dup f]
 //	            [-corrupt f] [-oversize f] [-late f] [-panic-every N] [-policy P]
+//	            [-extended] [-kill-every N] [-checkpoint-every N] [-journal-dir d]
 //	                                 fault-injection soak: perturb a deterministic
 //	                                 workload with disorder, duplicates, corruption
 //	                                 and UDF panics, then verify output equivalence
 //	                                 and exact dead-letter accounting; -fanout adds
 //	                                 N selective queries and pits routed dispatch
-//	                                 against a scan-all baseline
+//	                                 against a scan-all baseline; -kill-every
+//	                                 crashes the perturbed engine every N offered
+//	                                 readings and recovers it from the latest
+//	                                 snapshot plus journal replay, certifying
+//	                                 exactly-once output across crashes
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
@@ -52,6 +69,7 @@ import (
 
 	eslev "repro"
 	"repro/internal/chaos"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -78,6 +96,9 @@ func main() {
 		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
 		stats := fs.Bool("stats", false, "print per-query stats (emitted, routed/skipped, runs) after the run")
 		noRoute := fs.Bool("no-route-index", false, "disable the multi-query routing index (scan-all dispatch)")
+		ckptDir := fs.String("checkpoint-dir", "", "journal directory: every pushed item is logged and a snapshot is cut when the run ends")
+		ckptEvery := fs.Int("checkpoint-every", 0, "also cut an automatic snapshot every N journaled records (requires -checkpoint-dir)")
+		restore := fs.Bool("restore", false, "recover state from -checkpoint-dir (snapshot + journal replay) before feeding")
 		prof := profileFlags(fs)
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() < 1 {
@@ -85,7 +106,7 @@ func main() {
 		}
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runScript(*shards, *stats, *noRoute, fs.Arg(0), fs.Args()[1:])
+			err = runScript(*shards, *stats, *noRoute, *ckptDir, *ckptEvery, *restore, fs.Arg(0), fs.Args()[1:])
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -97,6 +118,9 @@ func main() {
 		events := fs.Int("events", 50000, "tuples to push per configuration")
 		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
 		queries := fs.String("queries", "1,4,16,64,256", "comma-separated query counts for -multiquery")
+		recovery := fs.Bool("recovery", false, "measure checkpoint/journal overhead, snapshot size, and restore latency instead of the shard workloads")
+		ckptEvery := fs.Int("checkpoint-every", 50_000, "automatic snapshot cadence for -recovery, in journaled records")
+		maxOverhead := fs.Float64("max-overhead", 0, "fail -recovery if journaling overhead exceeds this percent (0 = report only)")
 		jsonPath := fs.String("bench-json", "", "write machine-readable results to this file")
 		baseline := fs.String("baseline", "", "bench-json file to compare against; regressions fail the run")
 		maxRegress := fs.Float64("max-regress", 15, "max ns/event regression vs -baseline, in percent")
@@ -104,9 +128,12 @@ func main() {
 		_ = fs.Parse(os.Args[2:])
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			if *multiquery {
+			switch {
+			case *recovery:
+				err = runBenchRecovery(*events, *ckptEvery, *jsonPath, *maxOverhead)
+			case *multiquery:
 				err = runBenchMultiQuery(*queries, *events, *jsonPath, *baseline, *maxRegress)
-			} else {
+			default:
 				err = runBench(*shards, *batches, *events, *jsonPath, *baseline, *maxRegress)
 			}
 			if serr := stop(); err == nil {
@@ -127,8 +154,33 @@ func main() {
 		policy := fs.String("policy", "DEAD_LETTER", "lateness policy: ERROR, DROP, or DEAD_LETTER")
 		shards := fs.Int("shards", 1, "run the perturbed engine with this many shards (1 = serial)")
 		fanout := fs.Int("fanout", 0, "register this many extra selective queries; routed dispatch is checked against a scan-all baseline")
+		extended := fs.Bool("extended", false, "register the recovery workload variants (all pairing modes, star, EXCEPTION_SEQ timers, transducer chain)")
+		killEvery := fs.Int("kill-every", 0, "crash/recovery mode: kill and recover the perturbed engine every N offered readings (disables -panic-every)")
+		killCkpt := fs.Int("checkpoint-every", 0, "durable checkpoint cadence for -kill-every, in offered readings (0 = kill-every/2+1)")
+		journalDir := fs.String("journal-dir", "", "journal directory for -kill-every (default: a temp dir, removed afterwards)")
 		_ = fs.Parse(os.Args[2:])
-		err = runChaos(*events, *seed, *slack, *disorder, *dup, *corrupt, *oversize, *late, *panicEvery, *policy, *shards, *fanout)
+		cfg := chaos.Config{
+			Events:          *events,
+			Seed:            *seed,
+			Slack:           *slack,
+			Disorder:        *disorder,
+			Duplicate:       *dup,
+			Corrupt:         *corrupt,
+			Oversize:        *oversize,
+			Late:            *late,
+			PanicEvery:      *panicEvery,
+			Shards:          *shards,
+			BatchSize:       512,
+			Fanout:          *fanout,
+			Extended:        *extended,
+			KillEvery:       *killEvery,
+			CheckpointEvery: *killCkpt,
+			JournalDir:      *journalDir,
+		}
+		if cfg.KillEvery > 0 {
+			cfg.PanicEvery = 0 // the sacrificial probe is per-engine state
+		}
+		err = runChaos(cfg, *policy)
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -147,43 +199,40 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
   eslev demo examples              run the paper's examples on simulated data
-  eslev run [-shards N] [-stats] [-no-route-index] [-cpuprofile f] [-memprofile f]
+  eslev run [-shards N] [-stats] [-no-route-index] [-checkpoint-dir d]
+            [-checkpoint-every N] [-restore] [-cpuprofile f] [-memprofile f]
             [-trace f] script.esl [s=f.csv]
                                    execute a script over CSV streams; -stats
-                                   prints per-query routed/skipped counters
+                                   prints per-query routed/skipped counters;
+                                   -checkpoint-dir journals every pushed item
+                                   and cuts durable snapshots; -restore first
+                                   recovers state from that directory
   eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
               [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
                                    sweep the sharded-scaling workloads;
                                    with -baseline, fail on ns/event regression
   eslev bench -multiquery [-queries 1,4,16,64,256] [-events N] [-bench-json out.json]
                                    sweep query fan-out, routing index on vs off
+  eslev bench -recovery [-events N] [-checkpoint-every N] [-max-overhead pct]
+              [-bench-json out.json]
+                                   measure journaling overhead, snapshot size,
+                                   and restore latency; -max-overhead fails the
+                                   run past the given percent
   eslev chaos [-events N] [-seed S] [-slack 500ms] [-disorder 0.25] [-dup 0.01]
               [-corrupt 0.001] [-oversize 0.0005] [-late 0.001] [-panic-every 10000]
-              [-policy DEAD_LETTER] [-shards N] [-fanout N]
+              [-policy DEAD_LETTER] [-shards N] [-fanout N] [-extended]
+              [-kill-every N] [-checkpoint-every N] [-journal-dir d]
                                    fault-injection soak: perturb a workload and
-                                   verify output equivalence + dead-letter accounting
+                                   verify output equivalence + dead-letter accounting;
+                                   -kill-every crashes and recovers the engine every
+                                   N readings and certifies exactly-once output
   eslev explain script.esl         show the plan of each query in a script`)
 	os.Exit(2)
 }
 
 // runChaos executes one fault-injection scenario and prints the summary;
 // a verification failure (equivalence or accounting) is a non-zero exit.
-func runChaos(events int, seed int64, slack time.Duration, disorder, dup, corrupt, oversize, late float64,
-	panicEvery int, policy string, shards, fanout int) error {
-	cfg := chaos.Config{
-		Events:     events,
-		Seed:       seed,
-		Slack:      slack,
-		Disorder:   disorder,
-		Duplicate:  dup,
-		Corrupt:    corrupt,
-		Oversize:   oversize,
-		Late:       late,
-		PanicEvery: panicEvery,
-		Shards:     shards,
-		BatchSize:  512,
-		Fanout:     fanout,
-	}
+func runChaos(cfg chaos.Config, policy string) error {
 	switch strings.ToUpper(policy) {
 	case "ERROR":
 		cfg.Policy = stream.LateError
@@ -555,18 +604,35 @@ type engineLike interface {
 	Subscribe(name string, fn func(*eslev.Tuple)) error
 	StreamSchema(name string) (*eslev.Schema, bool)
 	Push(streamName string, ts eslev.Timestamp, vals ...eslev.Value) error
+	CheckpointNow() error
+	Recover(dir string) error
 }
 
 // runScript executes an .esl file, feeding the named streams from CSVs and
-// printing every row produced by top-level SELECT statements.
-func runScript(shards int, stats, noRoute bool, path string, feeds []string) error {
+// printing every row produced by top-level SELECT statements. With a
+// checkpoint directory, every pushed item is journaled and a durable
+// snapshot is cut when the run ends; -restore recovers the previous run's
+// state (snapshot + journal suffix) before any CSV row is fed.
+func runScript(shards int, stats, noRoute bool, ckptDir string, ckptEvery int, restore bool, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	if restore && ckptDir == "" {
+		return fmt.Errorf("-restore requires -checkpoint-dir")
+	}
+	if ckptEvery > 0 && ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
+	}
 	var opts []eslev.Option
 	if noRoute {
 		opts = append(opts, eslev.WithoutRouteIndex())
+	}
+	if ckptDir != "" {
+		opts = append(opts, eslev.WithJournal(ckptDir))
+		if ckptEvery > 0 {
+			opts = append(opts, eslev.WithCheckpointEvery(ckptEvery))
+		}
 	}
 	var e engineLike
 	finish := func() error { return nil }
@@ -593,9 +659,21 @@ func runScript(shards int, stats, noRoute bool, path string, feeds []string) err
 	for _, name := range []string{"out", "out_alerts", "out_events", "out_rows"} {
 		_ = e.Subscribe(name, func(t *eslev.Tuple) { fmt.Println(t) })
 	}
+	if restore {
+		if err := e.Recover(ckptDir); err != nil {
+			return fmt.Errorf("restore from %s: %w", ckptDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "eslev: restored state from %s\n", ckptDir)
+	}
 	rows, err := loadCSVs(e, fs)
 	if err != nil {
 		return err
+	}
+	if ckptDir != "" {
+		if err := e.CheckpointNow(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "eslev: checkpoint cut in %s\n", ckptDir)
 	}
 	if stats {
 		if se, ok := e.(*eslev.ShardedEngine); ok {
@@ -1139,4 +1217,228 @@ func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, e
 		NsPerEvent:   float64(wall) / float64(events),
 		EventsPerSec: float64(events) / wall.Seconds(),
 	}, nil
+}
+
+// ---- bench -recovery: checkpoint/journal overhead ---------------------------
+
+// recoveryReport is the machine-readable result of `bench -recovery`:
+// journaling overhead on the hot path, the size of one full snapshot, and
+// the latency of cutting a checkpoint and of recovering from one.
+type recoveryReport struct {
+	CPUs                int     `json:"cpus"`
+	Events              int     `json:"events"`
+	CheckpointEvery     int     `json:"checkpoint_every"`
+	BaselineNsPerEvent  float64 `json:"baseline_ns_per_event"`
+	JournaledNsPerEvent float64 `json:"journaled_ns_per_event"`
+	OverheadPct         float64 `json:"overhead_pct"`
+	SnapshotBytes       int64   `json:"snapshot_bytes"`
+	CheckpointMs        float64 `json:"checkpoint_ms"`
+	RestoreMs           float64 `json:"restore_ms"`
+}
+
+// recoveryWorkload builds a serial engine running the representative
+// steady-state query mix the kill/recover chaos matrix certifies: stateless
+// filter, DISTINCT, time- and rows-windowed grouped aggregates, SEQ in all
+// four pairing modes, a star sequence, and EXCEPTION_SEQ timers. Both the
+// baseline and the journaled engine run with the fault-tolerant ingest
+// boundary, the configuration recovery is designed around, so the measured
+// delta isolates the durability cost.
+func recoveryWorkload(opts ...eslev.Option) (*eslev.Engine, error) {
+	e := eslev.New(append([]eslev.Option{
+		eslev.WithSlack(100 * time.Millisecond),
+		eslev.WithLateness(eslev.LateDeadLetter),
+	}, opts...)...)
+	if _, err := e.Exec(`CREATE STREAM A(tagid, n); CREATE STREAM B(tagid, n);`); err != nil {
+		return nil, err
+	}
+	for _, q := range []struct{ name, sql string }{
+		{"filter", `SELECT tagid, n FROM A WHERE n % 3 = 0`},
+		{"distinct", `SELECT DISTINCT tagid FROM A`},
+		{"aggtime", `SELECT tagid, COUNT(*), SUM(n), AVG(n) FROM B
+			OVER (RANGE 200 MILLISECONDS PRECEDING CURRENT) GROUP BY tagid`},
+		{"aggrows", `SELECT MIN(n), MAX(n) FROM A OVER (ROWS 5 PRECEDING)`},
+		{"seq", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B] AND A.tagid = B.tagid`},
+		{"recent", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [300 MILLISECONDS PRECEDING B] MODE RECENT
+			AND A.tagid = B.tagid`},
+		{"chronicle", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B] MODE CHRONICLE
+			AND B.n = A.n + 1`},
+		{"consecutive", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [300 MILLISECONDS PRECEDING B] MODE CONSECUTIVE
+			AND A.tagid = B.tagid`},
+		{"star", `SELECT COUNT(A*), B.tagid FROM A, B
+			WHERE SEQ(A*, B) MODE CHRONICLE AND B.n = A.n + 1`},
+		{"exc", `SELECT A.tagid FROM A, B
+			WHERE EXCEPTION_SEQ(A, B) OVER [25 MILLISECONDS FOLLOWING A]
+			AND B.n = A.n + 1`},
+	} {
+		if _, err := e.RegisterQuery(q.name, q.sql, func(eslev.Row) {}); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// recoveryItems generates the feed: readings alternate streams A and B at a
+// 10ms cadence, each consecutive (A, B) pair sharing one of 64 tags so the
+// keyed SEQ queries pair them; every 11th B reading is withheld so
+// EXCEPTION_SEQ has real timers to fire.
+func recoveryItems(e *eslev.Engine, events int) ([]eslev.Item, error) {
+	sa, _ := e.StreamSchema("A")
+	sb, _ := e.StreamSchema("B")
+	items := make([]eslev.Item, 0, events)
+	for i := 0; len(items) < events; i++ {
+		s := sa
+		if i%2 == 1 {
+			s = sb
+			if i%11 == 0 {
+				continue // missing B reading: lets an exception timer fire
+			}
+		}
+		tu, err := eslev.NewTuple(s, eslev.TS(time.Duration(i+1)*10*time.Millisecond),
+			eslev.Str(fmt.Sprintf("tag%02d", (i/2)%64)), eslev.Int(int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, eslev.Of(tu))
+	}
+	return items, nil
+}
+
+// feedRecoveryItems pushes the feed in 256-item batches and drains.
+func feedRecoveryItems(e *eslev.Engine, items []eslev.Item) (time.Duration, error) {
+	const batch = 256
+	start := time.Now()
+	for off := 0; off < len(items); off += batch {
+		hi := off + batch
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := e.PushBatch(items[off:hi]); err != nil {
+			return 0, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// runBenchRecovery times the same workload with and without the journal
+// (automatic checkpoints at the given cadence), then measures one forced
+// checkpoint, its snapshot size, and a full Recover into a fresh engine.
+// The best of three repetitions is reported per mode, which keeps the
+// overhead figure stable on noisy machines.
+func runBenchRecovery(events, ckptEvery int, jsonPath string, maxOverhead float64) error {
+	const reps = 3
+	probe, err := recoveryWorkload()
+	if err != nil {
+		return err
+	}
+	items, err := recoveryItems(probe, events)
+	if err != nil {
+		return err
+	}
+	root, err := os.MkdirTemp("", "eslev-bench-recovery-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	var baseWall time.Duration
+	for r := 0; r < reps; r++ {
+		e, err := recoveryWorkload()
+		if err != nil {
+			return err
+		}
+		wall, err := feedRecoveryItems(e, items)
+		if err != nil {
+			return err
+		}
+		if baseWall == 0 || wall < baseWall {
+			baseWall = wall
+		}
+	}
+
+	var jWall, ckptDur time.Duration
+	var dir string // journal dir of the best journaled rep, kept for restore
+	for r := 0; r < reps; r++ {
+		d := fmt.Sprintf("%s/rep%d", root, r)
+		e, err := recoveryWorkload(eslev.WithJournal(d), eslev.WithCheckpointEvery(ckptEvery))
+		if err != nil {
+			return err
+		}
+		wall, err := feedRecoveryItems(e, items)
+		if err != nil {
+			return err
+		}
+		ckStart := time.Now()
+		if err := e.CheckpointNow(); err != nil {
+			return err
+		}
+		ck := time.Since(ckStart)
+		if err := e.CloseJournal(); err != nil {
+			return err
+		}
+		if jWall == 0 || wall < jWall {
+			jWall, ckptDur, dir = wall, ck, d
+		}
+	}
+
+	path, _, ok, err := snapshot.LatestSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no snapshot found in %s", dir)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fresh, err := recoveryWorkload(eslev.WithJournal(dir))
+	if err != nil {
+		return err
+	}
+	restoreStart := time.Now()
+	if err := fresh.Recover(dir); err != nil {
+		return err
+	}
+	restoreDur := time.Since(restoreStart)
+	if err := fresh.CloseJournal(); err != nil {
+		return err
+	}
+
+	rep := recoveryReport{
+		CPUs:                runtime.NumCPU(),
+		Events:              events,
+		CheckpointEvery:     ckptEvery,
+		BaselineNsPerEvent:  float64(baseWall) / float64(events),
+		JournaledNsPerEvent: float64(jWall) / float64(events),
+		OverheadPct:         (float64(jWall) - float64(baseWall)) / float64(baseWall) * 100,
+		SnapshotBytes:       info.Size(),
+		CheckpointMs:        float64(ckptDur) / float64(time.Millisecond),
+		RestoreMs:           float64(restoreDur) / float64(time.Millisecond),
+	}
+	fmt.Printf("events=%d checkpoint-every=%d\n", events, ckptEvery)
+	fmt.Printf("baseline:   %8.0f ns/event\n", rep.BaselineNsPerEvent)
+	fmt.Printf("journaled:  %8.0f ns/event  (%+.1f%% overhead)\n", rep.JournaledNsPerEvent, rep.OverheadPct)
+	fmt.Printf("checkpoint: %8.2f ms  snapshot %d bytes\n", rep.CheckpointMs, rep.SnapshotBytes)
+	fmt.Printf("restore:    %8.2f ms  (snapshot + journal suffix replay)\n", rep.RestoreMs)
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	if maxOverhead > 0 && rep.OverheadPct > maxOverhead {
+		return fmt.Errorf("journaling overhead %.1f%% exceeds budget %.0f%%", rep.OverheadPct, maxOverhead)
+	}
+	return nil
 }

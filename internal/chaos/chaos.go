@@ -15,6 +15,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +67,25 @@ type Config struct {
 	// disabled, so equivalence cross-checks routed dispatch against the
 	// scan-all path under the full fault mix.
 	Fanout int
+	// Extended registers the recovery workload variants on both engines:
+	// SEQ in all four pairing modes, a star sequence, EXCEPTION_SEQ with
+	// Active Expiration timers, and a transducer chain through a derived
+	// stream.
+	Extended bool
+	// KillEvery enables crash/recovery mode: after every KillEvery offered
+	// readings the perturbed engine is killed without warning (crash
+	// semantics — buffered and in-flight work discarded), rebuilt from
+	// scratch, and recovered from its journal directory. Output rows not yet
+	// covered by a checkpoint are discarded at the kill and must be
+	// re-emitted exactly once by replay. Requires PanicEvery = 0.
+	KillEvery int
+	// CheckpointEvery is the harness-driven durable-checkpoint cadence in
+	// offered readings (kill mode only). 0 defaults to KillEvery/2 + 1 so
+	// kills land between checkpoints and replay always has work.
+	CheckpointEvery int
+	// JournalDir is the journal/snapshot directory for kill mode. Empty
+	// means a temporary directory, removed when the run ends.
+	JournalDir string
 }
 
 // DefaultConfig is the standard chaos mix: moderate disorder with 1%
@@ -100,6 +120,8 @@ type Result struct {
 	}
 	Stats        esl.EngineStats // perturbed engine's boundary counters
 	DeadByReason map[string]int  // dead-letter records by reason code
+	Kills        int             // crash/recover cycles performed (kill mode)
+	Checkpoints  int             // durable checkpoints cut (kill mode)
 	Elapsed      time.Duration
 }
 
@@ -114,6 +136,9 @@ func (r Result) String() string {
 	s := r.Stats
 	fmt.Fprintf(&b, "boundary: ingested=%d emitted=%d reordered=%d dropped-late=%d dropped-dup=%d dead-lettered=%d quarantined-queries=%d\n",
 		s.Ingested, s.Emitted, s.Reordered, s.DroppedLate, s.DroppedDup, s.DeadLettered, s.QuarantinedQueries)
+	if r.Kills > 0 {
+		fmt.Fprintf(&b, "recovery: kills=%d checkpoints=%d (crash/recover cycles, exactly-once output)\n", r.Kills, r.Checkpoints)
+	}
 	if s.RoutedDeliveries+s.SkippedDeliveries > 0 {
 		fmt.Fprintf(&b, "routing: delivered=%d skipped=%d (%.1f%% of scan-all work avoided)\n",
 			s.RoutedDeliveries, s.SkippedDeliveries,
@@ -154,6 +179,8 @@ type engine interface {
 	OnDeadLetter(fn func(stream.DeadLetter))
 	EngineStats() esl.EngineStats
 	Drain() error
+	CheckpointNow() error
+	Recover(dir string) error
 }
 
 // sink accumulates row fingerprints; sharded callbacks run on worker
@@ -182,6 +209,23 @@ func (s *sink) sorted() []string {
 	return out
 }
 
+func (s *sink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// truncate discards rows past the last committed checkpoint: a crash loses
+// them from the consumer's perspective, and journal replay must re-emit
+// each exactly once.
+func (s *sink) truncate(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < len(s.rows) {
+		s.rows = s.rows[:n]
+	}
+}
+
 const ddl = `
 	CREATE STREAM A(tagid, n);
 	CREATE STREAM B(tagid, n);`
@@ -194,7 +238,7 @@ const ddl = `
 // and odd ones to B (readings alternate streams), so the filters pin even
 // tags and each SEQ pairs an even A-tag with the odd B-tag read one step
 // later.
-func registerWorkload(e engine, s *sink, fanout int) error {
+func registerWorkload(e engine, s *sink, fanout int, extended bool) error {
 	if _, err := e.Exec(ddl); err != nil {
 		return err
 	}
@@ -203,8 +247,49 @@ func registerWorkload(e engine, s *sink, fanout int) error {
 		{"agg", `SELECT tagid, COUNT(*), SUM(n) FROM B GROUP BY tagid`},
 		{"seq", `SELECT A.tagid, A.n, B.n FROM A, B WHERE SEQ(A, B) AND A.tagid = B.tagid`},
 	}
+	if extended {
+		// Recovery workload variants. The generator alternates streams, so
+		// each A reading n=i is followed one step (10ms) later by the B
+		// reading n=i+1; B.n = A.n + 1 pairs them. One pair in eight is
+		// excluded from the EXCEPTION_SEQ completion so its Active
+		// Expiration timer fires a real exception row.
+		if _, err := e.Exec(`CREATE STREAM derived(tagid, n);`); err != nil {
+			return err
+		}
+		queries = append(queries, []struct{ name, sql string }{
+			{"xseq", `SELECT A.tagid, B.n FROM A, B
+				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B]
+				AND B.n = A.n + 1`},
+			{"xrecent", `SELECT A.tagid, B.n FROM A, B
+				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B] MODE RECENT
+				AND B.n = A.n + 1`},
+			{"xchronicle", `SELECT A.n, B.n FROM A, B
+				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B] MODE CHRONICLE
+				AND B.n = A.n + 1`},
+			{"xconsecutive", `SELECT A.tagid, B.tagid FROM A, B
+				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B] MODE CONSECUTIVE
+				AND B.n = A.n + 1`},
+			{"xstar", `SELECT COUNT(A*), B.tagid FROM A, B
+				WHERE SEQ(A*, B) MODE CHRONICLE AND B.n = A.n + 1`},
+			{"xexc", `SELECT A.tagid, A.n FROM A, B
+				WHERE EXCEPTION_SEQ(A, B) OVER [25 MILLISECONDS FOLLOWING A]
+				AND B.n = A.n + 1 AND B.n % 8 <> 3`},
+		}...)
+	}
 	for _, q := range queries {
 		if _, err := e.RegisterQuery(q.name, q.sql, s.row(q.name)); err != nil {
+			return err
+		}
+	}
+	if extended {
+		// Transducer chain: a derived stream fed by one query and consumed
+		// by another, so recovery must also restore mid-pipeline state.
+		if _, err := e.Exec(`INSERT INTO derived SELECT tagid, n FROM A WHERE n % 5 = 0;`); err != nil {
+			return err
+		}
+		if _, err := e.RegisterQuery("xderived",
+			`SELECT tagid, COUNT(*), SUM(n) FROM derived GROUP BY tagid`,
+			s.row("xderived")); err != nil {
 			return err
 		}
 	}
@@ -324,6 +409,22 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Disorder > 0 && cfg.Slack <= 0 {
 		return res, fmt.Errorf("chaos: Disorder requires Slack > 0")
 	}
+	if cfg.KillEvery > 0 {
+		if cfg.PanicEvery > 0 {
+			return res, fmt.Errorf("chaos: kill mode requires PanicEvery = 0 (the sacrificial probe is per-engine state)")
+		}
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = cfg.KillEvery/2 + 1
+		}
+		if cfg.JournalDir == "" {
+			dir, err := os.MkdirTemp("", "eslev-chaos-*")
+			if err != nil {
+				return res, err
+			}
+			defer os.RemoveAll(dir)
+			cfg.JournalDir = dir
+		}
+	}
 	res.Events = cfg.Events
 	start := time.Now()
 
@@ -337,7 +438,7 @@ func Run(cfg Config) (Result, error) {
 		baseOpts = append(baseOpts, esl.WithoutRouteIndex())
 	}
 	base := esl.New(baseOpts...)
-	if err := registerWorkload(base, baseSink, cfg.Fanout); err != nil {
+	if err := registerWorkload(base, baseSink, cfg.Fanout, cfg.Extended); err != nil {
 		return res, err
 	}
 
@@ -349,29 +450,60 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Oversize > 0 {
 		opts = append(opts, esl.WithMaxTupleBytes(1<<12))
 	}
-	var pert engine
-	var forEachReplica func(func(*esl.Engine) error) error
-	if cfg.Shards > 1 {
-		se := shard.New(cfg.Shards, opts...)
-		defer se.Close()
-		pert = se
-		forEachReplica = se.ForEachReplica
-	} else {
-		ee := esl.New(opts...)
-		pert = ee
-		forEachReplica = func(fn func(*esl.Engine) error) error { return fn(ee) }
+	if cfg.KillEvery > 0 {
+		opts = append(opts, esl.WithJournal(cfg.JournalDir))
 	}
 	pertSink := &sink{}
 	res.DeadByReason = map[string]int{}
+	// suppressDead mutes dead-letter counting while journal replay
+	// re-manifests rejections the pre-crash run already counted; the flag is
+	// shared across rebuilds so every engine incarnation sees it.
 	var deadMu sync.Mutex
-	pert.OnDeadLetter(func(dl stream.DeadLetter) {
+	suppressDead := false
+	onDead := func(dl stream.DeadLetter) {
 		deadMu.Lock()
 		defer deadMu.Unlock()
+		if suppressDead {
+			return
+		}
 		res.DeadByReason[dl.Reason.String()]++
-	})
-	if err := registerWorkload(pert, pertSink, cfg.Fanout); err != nil {
+	}
+	// buildPert constructs a fresh perturbed engine with the identical
+	// registration order; killPert abandons the current one with crash
+	// semantics (no drain, no flush — buffered work is lost).
+	var pert engine
+	var killPert func()
+	var forEachReplica func(func(*esl.Engine) error) error
+	buildPert := func() error {
+		if cfg.Shards > 1 {
+			se := shard.New(cfg.Shards, opts...)
+			pert = se
+			killPert = se.Kill
+			forEachReplica = se.ForEachReplica
+		} else {
+			ee := esl.New(opts...)
+			pert = ee
+			// A serial engine has no goroutines to stop: a "crash" is just
+			// abandoning it. Closing the journal handle keeps repeated
+			// kill/recover cycles from leaking descriptors; appended records
+			// are already in the file, exactly as a real crash would leave.
+			killPert = func() { _ = ee.CloseJournal() }
+			forEachReplica = func(fn func(*esl.Engine) error) error { return fn(ee) }
+		}
+		pert.OnDeadLetter(onDead)
+		return registerWorkload(pert, pertSink, cfg.Fanout, cfg.Extended)
+	}
+	if err := buildPert(); err != nil {
 		return res, err
 	}
+	defer func() {
+		// Release the final incarnation (earlier ones were killed in place).
+		if se, ok := pert.(*shard.Engine); ok {
+			se.Close()
+		} else if ee, ok := pert.(*esl.Engine); ok {
+			_ = ee.CloseJournal()
+		}
+	}()
 	if cfg.PanicEvery > 0 {
 		if err := forEachReplica(func(r *esl.Engine) error {
 			every := int64(cfg.PanicEvery)
@@ -418,7 +550,61 @@ func Run(cfg Config) (Result, error) {
 	if err := feed(base, clean); err != nil {
 		return res, fmt.Errorf("chaos: baseline run: %w", err)
 	}
-	if err := feed(pert, perturbed); err != nil {
+	if cfg.KillEvery > 0 {
+		// Kill mode: feed the perturbed sequence while cutting durable
+		// checkpoints and crashing the engine at the configured cadences.
+		// `committed` is the sink length covered by the last durable
+		// checkpoint — everything past it is discarded at a kill and must be
+		// re-emitted exactly once by journal replay. A kill before the next
+		// checkpoint replays the same suffix again, which is still
+		// exactly-once from the consumer's (truncated) perspective.
+		committed := 0
+		sinceCkpt, sinceKill := 0, 0
+		for off := 0; off < len(perturbed); off += cfg.BatchSize {
+			hi := off + cfg.BatchSize
+			if hi > len(perturbed) {
+				hi = len(perturbed)
+			}
+			if err := pert.PushBatch(perturbed[off:hi]); err != nil {
+				return res, fmt.Errorf("chaos: perturbed run: %w", err)
+			}
+			sinceCkpt += hi - off
+			sinceKill += hi - off
+			if sinceCkpt >= cfg.CheckpointEvery {
+				if err := pert.CheckpointNow(); err != nil {
+					return res, fmt.Errorf("chaos: checkpoint: %w", err)
+				}
+				committed = pertSink.len()
+				res.Checkpoints++
+				sinceCkpt = 0
+			}
+			if sinceKill >= cfg.KillEvery && hi < len(perturbed) {
+				killPert()
+				pertSink.truncate(committed)
+				if err := buildPert(); err != nil {
+					return res, fmt.Errorf("chaos: rebuild after kill: %w", err)
+				}
+				deadMu.Lock()
+				suppressDead = true
+				deadMu.Unlock()
+				err := pert.Recover(cfg.JournalDir)
+				deadMu.Lock()
+				suppressDead = false
+				deadMu.Unlock()
+				if err != nil {
+					return res, fmt.Errorf("chaos: recover: %w", err)
+				}
+				res.Kills++
+				sinceCkpt, sinceKill = 0, 0
+			}
+		}
+		if err := pert.Heartbeat(endTS); err != nil {
+			return res, fmt.Errorf("chaos: perturbed run: %w", err)
+		}
+		if err := pert.Drain(); err != nil {
+			return res, fmt.Errorf("chaos: perturbed run: %w", err)
+		}
+	} else if err := feed(pert, perturbed); err != nil {
 		return res, fmt.Errorf("chaos: perturbed run: %w", err)
 	}
 	res.Elapsed = time.Since(start)

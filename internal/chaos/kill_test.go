@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// killCfg is the base crash/recovery scenario: extended workload (all four
+// pairing modes, star, EXCEPTION_SEQ timers, a transducer chain), full fault
+// mix, and a kill cadence that forces several crash/recover cycles.
+func killCfg() Config {
+	cfg := small()
+	cfg.PanicEvery = 0 // probe state is per-engine; kill mode forbids it
+	cfg.Extended = true
+	cfg.KillEvery = 1500
+	return cfg
+}
+
+// TestChaosKillMatrix certifies exactly-once output across the kill/recover
+// matrix: serial and 4-shard engines, batch sizes from single-tuple to bulk.
+// Run's built-in checks do the heavy lifting — row-for-row equivalence
+// against the uninterrupted strict baseline plus the exact accounting
+// identity — so this test only has to demand that crashes actually happened.
+func TestChaosKillMatrix(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, batch := range []int{1, 7, 256} {
+			t.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(t *testing.T) {
+				cfg := killCfg()
+				cfg.Shards = shards
+				cfg.BatchSize = batch
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Kills == 0 {
+					t.Fatal("kill mode performed no kills")
+				}
+				if res.Checkpoints == 0 {
+					t.Fatal("kill mode cut no checkpoints")
+				}
+				if res.Stats.Ingested != res.Stats.Emitted+res.Stats.DroppedLate+res.Stats.DroppedDup+res.Stats.DeadLettered {
+					t.Fatalf("accounting identity broken after recovery: %+v", res.Stats)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosKillBackToBack kills faster than it checkpoints, so some crashes
+// replay a suffix that an earlier crash already replayed once — the truncated
+// sink must still come out exactly-once.
+func TestChaosKillBackToBack(t *testing.T) {
+	cfg := killCfg()
+	cfg.KillEvery = 700
+	cfg.CheckpointEvery = 1900
+	if res, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	} else if res.Kills < 3 {
+		t.Fatalf("expected repeated kills, got %d", res.Kills)
+	}
+}
+
+// TestChaosKillDeterministic: crash/recover cycles do not perturb the final
+// boundary counters — two identical kill-mode runs land on identical stats.
+func TestChaosKillDeterministic(t *testing.T) {
+	a, err := Run(killCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(killCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected || a.Stats != b.Stats || a.Kills != b.Kills {
+		t.Fatalf("kill-mode replay diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChaosKillRejectsPanicProbe: the sacrificial panic probe is per-engine
+// state that a rebuilt engine would not reproduce; combining it with kill
+// mode must be refused up front.
+func TestChaosKillRejectsPanicProbe(t *testing.T) {
+	cfg := killCfg()
+	cfg.PanicEvery = 1000
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("kill mode with PanicEvery accepted")
+	}
+}
+
+// TestChaosRecoverSoak is the recovery acceptance soak: 500k events with
+// periodic kills on both engine shapes. Skipped in -short runs; `make
+// recover-soak` drives the same scenario through the CLI.
+func TestChaosRecoverSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for _, shards := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Events = 500_000
+		cfg.Shards = shards
+		cfg.PanicEvery = 0
+		cfg.Extended = true
+		cfg.KillEvery = 60_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Kills == 0 || res.Checkpoints == 0 {
+			t.Fatalf("shards=%d: soak performed no recovery work: %+v", shards, res)
+		}
+		t.Logf("shards=%d: %s", shards, res)
+	}
+}

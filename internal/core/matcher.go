@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -25,6 +26,9 @@ type engine interface {
 	stateSize() int
 	// runCount gauges pending partial matches (runs or RECENT chains).
 	runCount() int
+	// save/load serialize the engine's mutable state (see snapshot.go).
+	save(enc *snapshot.Encoder)
+	load(dec *snapshot.Decoder) error
 }
 
 // Matcher evaluates one SEQ pattern incrementally. Feed it the merged joint

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Matcher, ExceptionMatcher and the per-partition engines serialize data
+// only: the Def (steps, filters, predicates) is rebuilt by re-executing the
+// same query against a fresh engine, and Load verifies the snapshot's shape
+// against it. Copy-on-write sharing between forked runs is flattened — the
+// cap-limited group slices reallocate on append either way, so a deep
+// restore is behaviorally identical.
+
+// saveMatch serializes a match's bound groups (tuples interned by the
+// encoder, so sharing across runs costs one table entry).
+func saveMatch(enc *snapshot.Encoder, m *Match) {
+	enc.Value(m.Key)
+	enc.Uvarint(uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		enc.Uvarint(uint64(len(g)))
+		for _, t := range g {
+			enc.Tuple(t)
+		}
+	}
+}
+
+func loadMatch(dec *snapshot.Decoder) (*Match, error) {
+	key, err := dec.Value()
+	if err != nil {
+		return nil, err
+	}
+	ng, err := dec.Len()
+	if err != nil {
+		return nil, err
+	}
+	m := &Match{Groups: make([][]*stream.Tuple, ng), Key: key}
+	for i := 0; i < ng; i++ {
+		n, err := dec.Len()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			continue
+		}
+		g := make([]*stream.Tuple, 0, n)
+		for j := 0; j < n; j++ {
+			t, err := dec.Tuple()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, snapshot.Corruptf("nil tuple bound in match group")
+			}
+			g = append(g, t)
+		}
+		m.Groups[i] = g
+	}
+	return m, nil
+}
+
+// --- run engine ---
+
+func (e *runEngine) save(enc *snapshot.Encoder) {
+	enc.Uvarint(uint64(len(e.buckets)))
+	for _, bkt := range e.buckets {
+		enc.Uvarint(uint64(len(bkt)))
+		for _, r := range bkt {
+			saveRun(enc, r)
+		}
+	}
+	enc.Bool(e.cons != nil)
+	if e.cons != nil {
+		saveRun(enc, e.cons)
+	}
+	enc.Int(e.count)
+	enc.Uvarint(e.nextOrd)
+}
+
+func saveRun(enc *snapshot.Encoder, r *run) {
+	saveMatch(enc, r.m)
+	enc.Int(r.cur)
+	enc.TS(r.last)
+	enc.Uvarint(r.ord)
+}
+
+func loadRun(dec *snapshot.Decoder) (*run, error) {
+	m, err := loadMatch(dec)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := dec.Int()
+	if err != nil {
+		return nil, err
+	}
+	last, err := dec.TS()
+	if err != nil {
+		return nil, err
+	}
+	ord, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &run{m: m, cur: cur, last: last, ord: ord}, nil
+}
+
+func (e *runEngine) load(dec *snapshot.Decoder) error {
+	nb, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if nb != len(e.buckets) {
+		return snapshot.Mismatchf("run engine has %d buckets, snapshot has %d", len(e.buckets), nb)
+	}
+	live := 0
+	for bi := range e.buckets {
+		n, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		bkt := e.buckets[bi][:0]
+		for j := 0; j < n; j++ {
+			r, err := loadRun(dec)
+			if err != nil {
+				return err
+			}
+			if len(r.m.Groups) != len(e.def.Steps) {
+				return snapshot.Mismatchf("run has %d groups, pattern has %d steps", len(r.m.Groups), len(e.def.Steps))
+			}
+			r.bkt = int32(bi)
+			r.pos = int32(j)
+			bkt = append(bkt, r)
+		}
+		e.buckets[bi] = bkt
+		live += n
+	}
+	hasCons, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	e.cons = nil
+	if hasCons {
+		r, err := loadRun(dec)
+		if err != nil {
+			return err
+		}
+		r.bkt = -1
+		e.cons = r
+	}
+	count, err := dec.Int()
+	if err != nil {
+		return err
+	}
+	if count != live {
+		return snapshot.Corruptf("run count %d disagrees with %d serialized runs", count, live)
+	}
+	e.count = count
+	if e.nextOrd, err = dec.Uvarint(); err != nil {
+		return err
+	}
+	e.visit = e.visit[:0]
+	return nil
+}
+
+// --- chain engine ---
+
+func (e *chainEngine) save(enc *snapshot.Encoder) {
+	enc.Uvarint(uint64(len(e.bufs)))
+	for _, b := range e.bufs {
+		b.Save(enc)
+	}
+	enc.Uvarint(uint64(len(e.chains)))
+	for _, c := range e.chains {
+		enc.Bool(c != nil)
+		if c != nil {
+			saveMatch(enc, c)
+		}
+	}
+}
+
+func (e *chainEngine) load(dec *snapshot.Decoder) error {
+	nb, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if nb != len(e.bufs) {
+		return snapshot.Mismatchf("chain engine has %d history buffers, snapshot has %d", len(e.bufs), nb)
+	}
+	for _, b := range e.bufs {
+		if err := b.Load(dec); err != nil {
+			return err
+		}
+	}
+	nc, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if nc != len(e.chains) {
+		return snapshot.Mismatchf("chain engine has %d chains, snapshot has %d", len(e.chains), nc)
+	}
+	for i := range e.chains {
+		has, err := dec.Bool()
+		if err != nil {
+			return err
+		}
+		if !has {
+			e.chains[i] = nil
+			continue
+		}
+		if e.chains[i], err = loadMatch(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Matcher ---
+
+// Save serializes the matcher's live state: every partition's engine, in
+// deterministic (key hash, collision-chain position) order so the same
+// logical state always yields the same bytes.
+func (m *Matcher) Save(enc *snapshot.Encoder) {
+	if m.single != nil {
+		enc.Bool(false)
+		m.single.save(enc)
+		return
+	}
+	enc.Bool(true)
+	refs := sortedPartitions(m.parts)
+	enc.Uvarint(uint64(len(refs)))
+	for _, p := range refs {
+		enc.Value(p.key)
+		p.eng.save(enc)
+	}
+}
+
+func sortedPartitions(parts map[uint64][]*partition) []*partition {
+	type ref struct {
+		h uint64
+		i int
+		p *partition
+	}
+	refs := make([]ref, 0, len(parts))
+	for h, chain := range parts {
+		for i, p := range chain {
+			refs = append(refs, ref{h: h, i: i, p: p})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].h != refs[b].h {
+			return refs[a].h < refs[b].h
+		}
+		return refs[a].i < refs[b].i
+	})
+	out := make([]*partition, len(refs))
+	for i, r := range refs {
+		out[i] = r.p
+	}
+	return out
+}
+
+// Load restores state saved by Save into a matcher built from the same
+// pattern. Loading into a differently-shaped matcher (partitioning, step
+// count, mode) returns ErrStateMismatch.
+func (m *Matcher) Load(dec *snapshot.Decoder) error {
+	part, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if part != m.def.Partitioned() {
+		return snapshot.Mismatchf("matcher partitioned=%v, snapshot partitioned=%v", m.def.Partitioned(), part)
+	}
+	if !part {
+		return m.single.load(dec)
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	m.parts = make(map[uint64][]*partition, n)
+	m.nparts = 0
+	for i := 0; i < n; i++ {
+		key, err := dec.Value()
+		if err != nil {
+			return err
+		}
+		if err := m.partitionFor(key).eng.load(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- ExceptionMatcher ---
+
+// Save serializes the exception automaton: per-partition run state plus the
+// pending active-expiration deadlines. Timer schedule ordinals are
+// rank-normalized (1..k over the live timers) so a save→load→save cycle is
+// byte-stable; only relative order among live timers affects firing.
+func (m *ExceptionMatcher) Save(enc *snapshot.Encoder) {
+	ranks := m.timerRanks()
+	if m.single != nil {
+		enc.Bool(false)
+		saveExState(enc, m.single, ranks)
+		return
+	}
+	enc.Bool(true)
+	type ref struct {
+		h uint64
+		i int
+		p *exPartition
+	}
+	refs := make([]ref, 0, len(m.parts))
+	for h, chain := range m.parts {
+		for i, p := range chain {
+			refs = append(refs, ref{h: h, i: i, p: p})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].h != refs[b].h {
+			return refs[a].h < refs[b].h
+		}
+		return refs[a].i < refs[b].i
+	})
+	enc.Uvarint(uint64(len(refs)))
+	for _, r := range refs {
+		enc.Value(r.p.key)
+		saveExState(enc, r.p.st, ranks)
+	}
+}
+
+// timerRanks maps each live timer to its 1-based rank by schedule ordinal.
+func (m *ExceptionMatcher) timerRanks() map[*window.Timer]uint64 {
+	collect := func(st *exState, tms *[]*window.Timer) {
+		if st.timer != nil {
+			*tms = append(*tms, st.timer)
+		}
+	}
+	var tms []*window.Timer
+	if m.single != nil {
+		collect(m.single, &tms)
+	} else {
+		for _, chain := range m.parts {
+			for _, p := range chain {
+				collect(p.st, &tms)
+			}
+		}
+	}
+	sort.Slice(tms, func(i, j int) bool { return tms[i].Seq() < tms[j].Seq() })
+	ranks := make(map[*window.Timer]uint64, len(tms))
+	for i, tm := range tms {
+		ranks[tm] = uint64(i + 1)
+	}
+	return ranks
+}
+
+func saveExState(enc *snapshot.Encoder, st *exState, ranks map[*window.Timer]uint64) {
+	enc.Bool(st.run != nil)
+	if st.run != nil {
+		saveMatch(enc, st.run)
+	}
+	enc.Int(st.cur)
+	enc.Bool(st.timer != nil)
+	if st.timer != nil {
+		enc.TS(st.timer.At)
+		enc.Uvarint(ranks[st.timer])
+	}
+}
+
+type exTimerLoad struct {
+	rank uint64
+	at   stream.Timestamp
+	st   *exState
+}
+
+func loadExState(dec *snapshot.Decoder, st *exState, pend *[]exTimerLoad) error {
+	hasRun, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if hasRun {
+		if st.run, err = loadMatch(dec); err != nil {
+			return err
+		}
+	} else {
+		st.run = nil
+	}
+	if st.cur, err = dec.Int(); err != nil {
+		return err
+	}
+	hasTimer, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if !hasTimer {
+		st.timer = nil
+		return nil
+	}
+	at, err := dec.TS()
+	if err != nil {
+		return err
+	}
+	rank, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	*pend = append(*pend, exTimerLoad{rank: rank, at: at, st: st})
+	return nil
+}
+
+// Load restores state saved by Save into a matcher built from the same
+// pattern, re-arming the expiration timers in their saved relative order.
+func (m *ExceptionMatcher) Load(dec *snapshot.Decoder) error {
+	part, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if part != m.def.Partitioned() {
+		return snapshot.Mismatchf("exception matcher partitioned=%v, snapshot partitioned=%v", m.def.Partitioned(), part)
+	}
+	var pend []exTimerLoad
+	if !part {
+		if err := loadExState(dec, m.single, &pend); err != nil {
+			return err
+		}
+	} else {
+		n, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		m.parts = make(map[uint64][]*exPartition, n)
+		for i := 0; i < n; i++ {
+			key, err := dec.Value()
+			if err != nil {
+				return err
+			}
+			if err := loadExState(dec, m.partitionFor(key), &pend); err != nil {
+				return err
+			}
+		}
+	}
+	// Re-arm in saved rank order: a fresh Timers queue assigns ordinals
+	// 1..k, reproducing both same-instant firing order and the saved ranks.
+	sort.Slice(pend, func(i, j int) bool { return pend[i].rank < pend[j].rank })
+	m.timers = window.Timers{}
+	for _, tl := range pend {
+		tl.st.timer = m.timers.Schedule(tl.at, tl.st)
+	}
+	return nil
+}

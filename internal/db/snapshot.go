@@ -1,0 +1,64 @@
+package db
+
+import (
+	"repro/internal/snapshot"
+)
+
+// Save serializes the table contents: rows in insertion order plus the id
+// counter. Indexes are structural (rebuilt from the schema's CREATE INDEX
+// on restore) and the byID map is derived, so neither is written.
+func (t *Table) Save(enc *snapshot.Encoder) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	enc.Uvarint(t.nextID)
+	enc.Uvarint(uint64(len(t.rows)))
+	for _, r := range t.rows {
+		enc.Uvarint(r.ID)
+		enc.Values(r.Vals)
+	}
+}
+
+// Load replaces the table contents with the serialized rows, rebuilding the
+// id map and any indexes created on this table.
+func (t *Table) Load(dec *snapshot.Decoder) error {
+	nextID, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	rows := make([]*Row, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		vals, err := dec.Values()
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(t.schema.Fields()) {
+			return snapshot.Mismatchf("table %s row has %d values, schema has %d columns",
+				t.schema.Name(), len(vals), len(t.schema.Fields()))
+		}
+		rows = append(rows, &Row{ID: id, Vals: vals})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID = nextID
+	t.rows = rows
+	t.byID = make(map[uint64]int, n)
+	for i, r := range rows {
+		t.byID[r.ID] = i
+	}
+	for pos := range t.indexes {
+		fresh := &index{col: pos, buckets: make(map[uint64][]*Row)}
+		for _, r := range rows {
+			fresh.add(r)
+		}
+		t.indexes[pos] = fresh
+	}
+	return nil
+}

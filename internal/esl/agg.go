@@ -143,13 +143,18 @@ func (a *avgAcc) Result() (stream.Value, error) {
 }
 
 // minmaxAcc keeps a value->count multiset so Remove works for sliding
-// windows.
+// windows. The multiset is a flat slice scanned linearly: the live entry
+// count is bounded by the window's distinct values, and unlike a map the
+// slice's scan cost tracks the live size — a sliding window that inserts
+// and deletes a fresh key per row would otherwise pay for every bucket the
+// map ever grew, which turns long streams quadratic.
 type minmaxAcc struct {
-	min    bool
-	counts map[uint64][]mmEntry
+	min     bool
+	entries []mmEntry
 }
 
 type mmEntry struct {
+	h uint64 // v.Hash(), compared before the (potentially wider) Equal
 	v stream.Value
 	n int
 }
@@ -162,17 +167,14 @@ func (a *minmaxAcc) Add(args []stream.Value) error {
 	if v.IsNull() {
 		return nil
 	}
-	if a.counts == nil {
-		a.counts = make(map[uint64][]mmEntry)
-	}
 	h := v.Hash()
-	for i, e := range a.counts[h] {
-		if e.v.Equal(v) {
-			a.counts[h][i].n++
+	for i := range a.entries {
+		if a.entries[i].h == h && a.entries[i].v.Equal(v) {
+			a.entries[i].n++
 			return nil
 		}
 	}
-	a.counts[h] = append(a.counts[h], mmEntry{v: v, n: 1})
+	a.entries = append(a.entries, mmEntry{h: h, v: v, n: 1})
 	return nil
 }
 
@@ -182,13 +184,12 @@ func (a *minmaxAcc) Remove(args []stream.Value) error {
 		return nil
 	}
 	h := v.Hash()
-	bucket := a.counts[h]
-	for i := range bucket {
-		if bucket[i].v.Equal(v) {
-			bucket[i].n--
-			if bucket[i].n == 0 {
-				bucket[i] = bucket[len(bucket)-1]
-				a.counts[h] = bucket[:len(bucket)-1]
+	for i := range a.entries {
+		if a.entries[i].h == h && a.entries[i].v.Equal(v) {
+			a.entries[i].n--
+			if a.entries[i].n == 0 {
+				a.entries[i] = a.entries[len(a.entries)-1]
+				a.entries = a.entries[:len(a.entries)-1]
 			}
 			return nil
 		}
@@ -198,19 +199,17 @@ func (a *minmaxAcc) Remove(args []stream.Value) error {
 
 func (a *minmaxAcc) Result() (stream.Value, error) {
 	best := stream.Null
-	for _, bucket := range a.counts {
-		for _, e := range bucket {
-			if best.IsNull() {
-				best = e.v
-				continue
-			}
-			c, ok := e.v.Compare(best)
-			if !ok {
-				return stream.Null, fmt.Errorf("esl: MIN/MAX over mixed types")
-			}
-			if (a.min && c < 0) || (!a.min && c > 0) {
-				best = e.v
-			}
+	for _, e := range a.entries {
+		if best.IsNull() {
+			best = e.v
+			continue
+		}
+		c, ok := e.v.Compare(best)
+		if !ok {
+			return stream.Null, fmt.Errorf("esl: MIN/MAX over mixed types")
+		}
+		if (a.min && c < 0) || (!a.min && c > 0) {
+			best = e.v
 		}
 	}
 	return best, nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -91,6 +92,19 @@ type Engine struct {
 	ingestScratch []stream.Item
 	onDead        []func(stream.DeadLetter)
 	nquarantined  int
+
+	// Durability (snapshot.go). journalDir enables the write-ahead event
+	// journal, opened lazily on first journaled item; lsn is the last
+	// journaled (or replayed) record's sequence number; replaying suppresses
+	// journaling and checkpoint cadence while Recover re-applies the suffix.
+	journalDir string
+	jcfg       snapshot.JournalConfig
+	ckptEvery  int
+	journal    *snapshot.Journal
+	journalErr error
+	lsn        uint64
+	sinceCkpt  int
+	replaying  bool
 }
 
 type streamInfo struct {
@@ -232,6 +246,9 @@ func New(opts ...Option) *Engine {
 		opt(&cfg)
 	}
 	e.noRoute = cfg.NoRouteIndex
+	e.journalDir = cfg.JournalDir
+	e.jcfg = cfg.Journal
+	e.ckptEvery = cfg.CheckpointEvery
 	if !cfg.Ingest.IsZero() {
 		cfg.Ingest.OnDead = e.dispatchDeadLocked
 		e.ingest = stream.NewIngest(cfg.Ingest)
@@ -631,10 +648,30 @@ func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Val
 		}
 		return err
 	}
-	if e.ingest != nil {
-		return e.offerLocked(stream.Of(t))
+	return e.pushOneLocked(si, t)
+}
+
+// pushOneLocked is the shared single-tuple tail of Push and PushTuple:
+// journal, offer (or route), group-commit the journal at the call boundary
+// — even on a processing error, so the log holds exactly the offered items —
+// then run the checkpoint cadence.
+func (e *Engine) pushOneLocked(si *streamInfo, t *stream.Tuple) error {
+	if err := e.journalItemLocked(stream.Of(t)); err != nil {
+		return err
 	}
-	return e.routeLocked(si, t)
+	var perr error
+	if e.ingest != nil {
+		perr = e.offerLocked(stream.Of(t))
+	} else {
+		perr = e.routeLocked(si, t)
+	}
+	if ferr := e.flushJournalLocked(); perr == nil {
+		perr = ferr
+	}
+	if perr != nil {
+		return perr
+	}
+	return e.maybeCheckpointLocked()
 }
 
 // PushBatch processes a run of merged items — tuples and heartbeats in
@@ -649,12 +686,46 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ingest != nil {
+		// Journal interleaved with the offer: on a mid-batch rejection the
+		// journal holds exactly the items that were offered. Records stage
+		// in the group-commit buffer and flush once at the call boundary —
+		// including on error, so the offered-iff-journaled invariant holds.
+		var perr error
 		for _, it := range items {
-			if err := e.offerLocked(it); err != nil {
-				return err
+			if perr = e.journalItemLocked(it); perr != nil {
+				break
+			}
+			if perr = e.offerLocked(it); perr != nil {
+				break
 			}
 		}
-		return nil
+		if ferr := e.flushJournalLocked(); perr == nil {
+			perr = ferr
+		}
+		if perr != nil {
+			return perr
+		}
+		return e.maybeCheckpointLocked()
+	}
+	if e.journalDir != "" {
+		// Journaled engines without an ingest boundary take the per-item
+		// path for the same offered-iff-journaled guarantee.
+		var perr error
+		for i := range items {
+			if perr = e.journalItemLocked(items[i]); perr != nil {
+				break
+			}
+			if perr = e.pushItemsExactLocked(items[i : i+1]); perr != nil {
+				break
+			}
+		}
+		if ferr := e.flushJournalLocked(); perr == nil {
+			perr = ferr
+		}
+		if perr != nil {
+			return perr
+		}
+		return e.maybeCheckpointLocked()
 	}
 	if e.sensitive {
 		return e.pushItemsExactLocked(items)
@@ -909,10 +980,7 @@ func (e *Engine) PushTuple(streamName string, t *stream.Tuple) error {
 	if !ok {
 		return fmt.Errorf("esl: unknown stream %s", streamName)
 	}
-	if e.ingest != nil {
-		return e.offerLocked(stream.Of(t))
-	}
-	return e.routeLocked(si, t)
+	return e.pushOneLocked(si, t)
 }
 
 // routeLocked delivers a tuple: sequence-stamp it, advance event time,
@@ -983,15 +1051,24 @@ func (e *Engine) routeBuf() []int {
 func (e *Engine) Heartbeat(ts stream.Timestamp) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.journalItemLocked(stream.Heartbeat(ts)); err != nil {
+		return err
+	}
 	if e.ingest != nil {
 		// Punctuation advances the high-water mark; the clock follows the
 		// watermark (ts minus slack) once held-back tuples are released.
-		return e.offerLocked(stream.Heartbeat(ts))
+		if err := e.offerLocked(stream.Heartbeat(ts)); err != nil {
+			return err
+		}
+		return e.maybeCheckpointLocked()
 	}
 	if ts > e.now {
 		e.now = ts
 	}
-	return e.advanceLocked(e.now)
+	if err := e.advanceLocked(e.now); err != nil {
+		return err
+	}
+	return e.maybeCheckpointLocked()
 }
 
 func (e *Engine) advanceLocked(ts stream.Timestamp) error {

@@ -1,0 +1,79 @@
+package esl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func benchEngine(b *testing.B, opts ...Option) *Engine {
+	b.Helper()
+	e := New(append([]Option{WithSlack(100 * time.Millisecond), WithLateness(stream.LateDeadLetter)}, opts...)...)
+	if _, err := e.Exec("CREATE STREAM A(tagid, n); CREATE STREAM B(tagid, n);"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("filter", "SELECT tagid, n FROM A WHERE n % 3 = 0", func(r Row) {}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchItems(b *testing.B, e *Engine, n int) []stream.Item {
+	b.Helper()
+	schemaA, _ := e.StreamSchema("A")
+	schemaB, _ := e.StreamSchema("B")
+	items := make([]stream.Item, 0, n)
+	for i := 0; i < n; i++ {
+		schema := schemaA
+		if i%2 == 1 {
+			schema = schemaB
+		}
+		tu, err := stream.NewTuple(schema, stream.Timestamp((i+1)*10),
+			stream.Str(fmt.Sprintf("tag%d", i%64)), stream.Int(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, stream.Of(tu))
+	}
+	return items
+}
+
+func feedBench(b *testing.B, e *Engine, items []stream.Item) {
+	b.Helper()
+	const batch = 256
+	for off := 0; off < len(items); off += batch {
+		hi := off + batch
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := e.PushBatch(items[off:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Drain()
+}
+
+func BenchmarkPushBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := benchEngine(b)
+		items := benchItems(b, e, 50000)
+		b.StartTimer()
+		feedBench(b, e, items)
+	}
+}
+
+func BenchmarkPushJournaled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		e := benchEngine(b, WithJournal(dir))
+		items := benchItems(b, e, 50000)
+		b.StartTimer()
+		feedBench(b, e, items)
+		b.StopTimer()
+		_ = e.CloseJournal()
+	}
+}

@@ -3,9 +3,10 @@ package esl
 import (
 	"fmt"
 	"runtime/debug"
-
-	"repro/internal/stream"
 	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/stream"
 )
 
 // Config collects the engine's fault-tolerance knobs. The zero value is the
@@ -17,6 +18,14 @@ type Config struct {
 	// every tuple through every registered reader (the pre-index behavior).
 	// Escape hatch for debugging and for the equivalence test suites.
 	NoRouteIndex bool
+
+	// Durability (snapshot.go): JournalDir enables the write-ahead event
+	// journal; Journal tunes segment rotation and the fsync policy;
+	// CheckpointEvery writes a snapshot into JournalDir every n journaled
+	// items (0 = only on explicit CheckpointNow).
+	JournalDir      string
+	Journal         snapshot.JournalConfig
+	CheckpointEvery int
 }
 
 // Option mutates the engine configuration at construction.
@@ -49,6 +58,29 @@ func WithMaxTupleBytes(n int) Option {
 // cleaning pass that runs before any query sees the stream.
 func WithExactDedup() Option {
 	return func(c *Config) { c.Ingest.Dedup = true }
+}
+
+// WithJournal enables the append-only event journal in dir: every offered
+// item (tuple or heartbeat) is logged, CRC-guarded, before it enters the
+// ingest boundary. Paired with periodic snapshots (WithCheckpointEvery or
+// CheckpointNow), Recover rebuilds the engine after a crash by loading the
+// newest snapshot and replaying the journal suffix.
+func WithJournal(dir string) Option {
+	return func(c *Config) { c.JournalDir = dir }
+}
+
+// WithCheckpointEvery writes a durable snapshot into the journal directory
+// every n journaled items. The snapshot bounds replay work after a crash;
+// smaller n shortens recovery at the cost of more checkpoint I/O.
+func WithCheckpointEvery(n int) Option {
+	return func(c *Config) { c.CheckpointEvery = n }
+}
+
+// WithFsync selects the journal's durability/throughput trade-off:
+// FsyncNever (OS page cache only), FsyncInterval (every SyncEvery records,
+// the default), or FsyncAlways (every record).
+func WithFsync(p snapshot.FsyncPolicy) Option {
+	return func(c *Config) { c.Journal.Fsync = p }
 }
 
 // WithoutRouteIndex disables the shared routing index: every tuple is

@@ -1,0 +1,940 @@
+package esl
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+// Durability (ties into internal/snapshot): Checkpoint serializes every
+// registered query's mutable state — matcher runs, window buffers, group
+// accumulators, deferred outers — plus the ingest boundary, stream counters,
+// and the table store. Snapshots carry data only, never plans: Restore
+// targets a fresh engine whose DDL and queries were re-executed identically,
+// and every section is verified against the live shape (ErrStateMismatch on
+// disagreement). Pairing a snapshot with the event journal (WithJournal)
+// gives crash recovery: Recover loads the newest valid snapshot and replays
+// the journal suffix past its cut point.
+
+// opKind discriminates the three continuous-query plan shapes in a snapshot.
+const (
+	opKindFilterProject = 1
+	opKindAggregate     = 2
+	opKindEvent         = 3
+)
+
+func opKindOf(op queryOp) (uint64, bool) {
+	switch op.(type) {
+	case *filterProjectOp:
+		return opKindFilterProject, true
+	case *aggregateOp:
+		return opKindAggregate, true
+	case *eventOp:
+		return opKindEvent, true
+	}
+	return 0, false
+}
+
+// opState is implemented by every continuous-query plan: serialize the
+// mutable run-time state, excluding anything rebuilt at compile time.
+type opState interface {
+	saveOpState(enc *snapshot.Encoder) error
+	loadOpState(dec *snapshot.Decoder) error
+}
+
+// --- accumulators ---
+
+// accState is implemented by the built-in accumulators and SQL-bodied UDAs.
+// Go-registered UDAs with hidden state cannot be serialized and surface
+// ErrUnsupportedState at checkpoint time.
+type accState interface {
+	saveAccState(enc *snapshot.Encoder)
+	loadAccState(dec *snapshot.Decoder) error
+}
+
+func saveAcc(enc *snapshot.Encoder, acc Accumulator) error {
+	s, ok := acc.(accState)
+	if !ok {
+		return fmt.Errorf("%w: accumulator %T cannot be checkpointed", snapshot.ErrUnsupportedState, acc)
+	}
+	s.saveAccState(enc)
+	return nil
+}
+
+func loadAcc(dec *snapshot.Decoder, acc Accumulator) error {
+	s, ok := acc.(accState)
+	if !ok {
+		return fmt.Errorf("%w: accumulator %T cannot be restored", snapshot.ErrUnsupportedState, acc)
+	}
+	return s.loadAccState(dec)
+}
+
+func (a *countAcc) saveAccState(enc *snapshot.Encoder) { enc.Varint(a.n) }
+func (a *countAcc) loadAccState(dec *snapshot.Decoder) error {
+	n, err := dec.Varint()
+	a.n = n
+	return err
+}
+
+func (a *sumAcc) saveAccState(enc *snapshot.Encoder) {
+	enc.Varint(a.i)
+	enc.Float(a.f)
+	enc.Bool(a.isFloat)
+	enc.Varint(a.n)
+}
+
+func (a *sumAcc) loadAccState(dec *snapshot.Decoder) error {
+	var err error
+	if a.i, err = dec.Varint(); err != nil {
+		return err
+	}
+	if a.f, err = dec.Float(); err != nil {
+		return err
+	}
+	if a.isFloat, err = dec.Bool(); err != nil {
+		return err
+	}
+	a.n, err = dec.Varint()
+	return err
+}
+
+func (a *avgAcc) saveAccState(enc *snapshot.Encoder)       { a.sum.saveAccState(enc) }
+func (a *avgAcc) loadAccState(dec *snapshot.Decoder) error { return a.sum.loadAccState(dec) }
+
+// minmaxAcc's multiset is written in (hash, position) order so the same
+// contents always produce the same bytes regardless of removal history, and
+// re-checkpointing a restored accumulator reproduces the snapshot exactly
+// (the sort is stable, and a freshly loaded slice is already in sorted
+// order).
+func (a *minmaxAcc) saveAccState(enc *snapshot.Encoder) {
+	refs := make([]mmEntry, len(a.entries))
+	copy(refs, a.entries)
+	sort.SliceStable(refs, func(x, y int) bool { return refs[x].h < refs[y].h })
+	enc.Bool(a.entries != nil)
+	enc.Uvarint(uint64(len(refs)))
+	for _, r := range refs {
+		enc.Value(r.v)
+		enc.Int(r.n)
+	}
+}
+
+func (a *minmaxAcc) loadAccState(dec *snapshot.Decoder) error {
+	has, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	a.entries = nil
+	if has {
+		a.entries = []mmEntry{}
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		v, err := dec.Value()
+		if err != nil {
+			return err
+		}
+		c, err := dec.Int()
+		if err != nil {
+			return err
+		}
+		if a.entries == nil {
+			return snapshot.Corruptf("min/max entries on a nil multiset")
+		}
+		a.entries = append(a.entries, mmEntry{h: v.Hash(), v: v, n: c})
+	}
+	return nil
+}
+
+// udaAccum's state is its per-instance scratch tables.
+func (a *udaAccum) saveAccState(enc *snapshot.Encoder) {
+	enc.Bool(a.started)
+	names := make([]string, 0, len(a.tables))
+	for n := range a.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	enc.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		enc.String(n)
+		a.tables[n].Save(enc)
+	}
+}
+
+func (a *udaAccum) loadAccState(dec *snapshot.Decoder) error {
+	started, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	a.started = started
+	n, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if n != len(a.tables) {
+		return snapshot.Mismatchf("UDA %s has %d state tables, snapshot has %d",
+			a.def.decl.Name, len(a.tables), n)
+	}
+	for i := 0; i < n; i++ {
+		name, err := dec.String()
+		if err != nil {
+			return err
+		}
+		tbl, ok := a.tables[name]
+		if !ok {
+			return snapshot.Mismatchf("UDA %s has no state table %s", a.def.decl.Name, name)
+		}
+		if err := tbl.Load(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- hash-count multisets (DISTINCT tracking) ---
+
+func saveHashCounts(enc *snapshot.Encoder, m map[uint64]int) {
+	enc.Bool(m != nil)
+	if m == nil {
+		return
+	}
+	keys := make([]uint64, 0, len(m))
+	for h := range m {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Uvarint(uint64(len(keys)))
+	for _, h := range keys {
+		enc.Uvarint(h)
+		enc.Int(m[h])
+	}
+}
+
+func loadHashCounts(dec *snapshot.Decoder) (map[uint64]int, error) {
+	has, err := dec.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !has {
+		return nil, nil
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		h, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		c, err := dec.Int()
+		if err != nil {
+			return nil, err
+		}
+		m[h] = c
+	}
+	return m, nil
+}
+
+// --- filter/project ---
+
+func (op *filterProjectOp) saveOpState(enc *snapshot.Encoder) error {
+	enc.Int(op.emitted)
+	saveHashCounts(enc, op.seen)
+	enc.Uvarint(uint64(len(op.pending)))
+	for _, p := range op.pending {
+		enc.Tuple(p.t)
+		enc.TS(p.deadline)
+	}
+	enc.Uvarint(uint64(len(op.exists)))
+	for _, ex := range op.exists {
+		ex.buffer.Save(enc)
+	}
+	return nil
+}
+
+func (op *filterProjectOp) loadOpState(dec *snapshot.Decoder) error {
+	var err error
+	if op.emitted, err = dec.Int(); err != nil {
+		return err
+	}
+	if op.seen, err = loadHashCounts(dec); err != nil {
+		return err
+	}
+	np, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	op.pending = nil
+	for i := 0; i < np; i++ {
+		t, err := dec.Tuple()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return snapshot.Corruptf("nil deferred outer tuple")
+		}
+		dl, err := dec.TS()
+		if err != nil {
+			return err
+		}
+		op.pending = append(op.pending, pendingOuter{t: t, deadline: dl})
+	}
+	ne, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if ne != len(op.exists) {
+		return snapshot.Mismatchf("query has %d EXISTS buffers, snapshot has %d", len(op.exists), ne)
+	}
+	for _, ex := range op.exists {
+		if err := ex.buffer.Load(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- aggregate ---
+
+func (op *aggregateOp) saveOpState(enc *snapshot.Encoder) error {
+	// Groups in (hash, insertion) order; the index over that order names
+	// each buffered tuple's group.
+	type ref struct {
+		h  uint64
+		i  int
+		gs *groupState
+	}
+	var refs []ref
+	for h, chain := range op.groups {
+		for i, gs := range chain {
+			refs = append(refs, ref{h: h, i: i, gs: gs})
+		}
+	}
+	sort.Slice(refs, func(x, y int) bool {
+		if refs[x].h != refs[y].h {
+			return refs[x].h < refs[y].h
+		}
+		return refs[x].i < refs[y].i
+	})
+	idx := make(map[*groupState]int, len(refs))
+	enc.Uvarint(uint64(len(refs)))
+	for i, r := range refs {
+		idx[r.gs] = i
+		enc.Values(r.gs.keyVals)
+		enc.Int(r.gs.n)
+		for ai, acc := range r.gs.accs {
+			if err := saveAcc(enc, acc); err != nil {
+				return err
+			}
+			saveHashCounts(enc, r.gs.seen[ai])
+		}
+	}
+	if op.win == nil {
+		return nil
+	}
+	saveEntry := func(t *stream.Tuple) error {
+		entry := op.entries[t]
+		if entry == nil {
+			return snapshot.Corruptf("buffered tuple without a window entry")
+		}
+		gi, ok := idx[entry.group]
+		if !ok {
+			return snapshot.Corruptf("window entry references an unknown group")
+		}
+		enc.Uvarint(uint64(gi))
+		for _, args := range entry.args {
+			enc.Values(args)
+		}
+		return nil
+	}
+	if op.win.Rows {
+		enc.Uvarint(uint64(len(op.rowBuf)))
+		for _, t := range op.rowBuf {
+			enc.Tuple(t)
+		}
+		for _, t := range op.rowBuf {
+			if err := saveEntry(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	op.timeBuf.Save(enc)
+	var err error
+	op.timeBuf.Each(func(t *stream.Tuple) bool {
+		err = saveEntry(t)
+		return err == nil
+	})
+	return err
+}
+
+func (op *aggregateOp) loadOpState(dec *snapshot.Decoder) error {
+	ng, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	op.groups = make(map[uint64][]*groupState, ng)
+	ordered := make([]*groupState, 0, ng)
+	for i := 0; i < ng; i++ {
+		keyVals, err := dec.Values()
+		if err != nil {
+			return err
+		}
+		n, err := dec.Int()
+		if err != nil {
+			return err
+		}
+		gs := &groupState{keyVals: keyVals, n: n}
+		for ai := range op.aggs {
+			acc := op.aggs[ai].factory()
+			if err := loadAcc(dec, acc); err != nil {
+				return err
+			}
+			seen, err := loadHashCounts(dec)
+			if err != nil {
+				return err
+			}
+			gs.accs = append(gs.accs, acc)
+			gs.seen = append(gs.seen, seen)
+		}
+		// Re-derive the hash exactly as groupKey does: ungrouped state
+		// lives under key 0, grouped state under the key-row hash.
+		h := uint64(0)
+		if len(op.groupBy) > 0 {
+			h = hashRow(keyVals)
+		}
+		op.groups[h] = append(op.groups[h], gs)
+		ordered = append(ordered, gs)
+	}
+	if op.win == nil {
+		return nil
+	}
+	loadEntry := func(t *stream.Tuple) (*winEntry, error) {
+		gi, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if gi >= uint64(len(ordered)) {
+			return nil, snapshot.Corruptf("window entry references group %d of %d", gi, len(ordered))
+		}
+		entry := &winEntry{group: ordered[gi], args: make([][]stream.Value, len(op.aggs))}
+		for ai := range op.aggs {
+			if entry.args[ai], err = dec.Values(); err != nil {
+				return nil, err
+			}
+		}
+		return entry, nil
+	}
+	op.entries = make(map[*stream.Tuple]*winEntry)
+	if op.win.Rows {
+		nr, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		op.rowBuf = nil
+		for i := 0; i < nr; i++ {
+			t, err := dec.Tuple()
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				return snapshot.Corruptf("nil tuple in ROWS buffer")
+			}
+			op.rowBuf = append(op.rowBuf, t)
+		}
+		for _, t := range op.rowBuf {
+			if op.entries[t], err = loadEntry(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := op.timeBuf.Load(dec); err != nil {
+		return err
+	}
+	op.timeBuf.Each(func(t *stream.Tuple) bool {
+		op.entries[t], err = loadEntry(t)
+		return err == nil
+	})
+	return err
+}
+
+// --- event (SEQ / EXCEPTION_SEQ / CLEVEL_SEQ) ---
+
+func (op *eventOp) saveOpState(enc *snapshot.Encoder) error {
+	enc.Bool(op.exc != nil)
+	if op.exc != nil {
+		op.exc.Save(enc)
+	} else {
+		op.seq.Save(enc)
+	}
+	return nil
+}
+
+func (op *eventOp) loadOpState(dec *snapshot.Decoder) error {
+	exc, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if exc != (op.exc != nil) {
+		return snapshot.Mismatchf("query %s: exception-automaton snapshot mismatch", op.kindName)
+	}
+	if op.exc != nil {
+		return op.exc.Load(dec)
+	}
+	return op.seq.Load(dec)
+}
+
+// --- engine sections ---
+
+// resolverLocked resolves tuple schemas by stream name for the decoder.
+func (e *Engine) resolverLocked() snapshot.SchemaResolver {
+	return func(name string) (*stream.Schema, bool) {
+		si, ok := e.streams[strings.ToLower(name)]
+		if !ok {
+			return nil, false
+		}
+		return si.schema, true
+	}
+}
+
+func (e *Engine) saveStateLocked(enc *snapshot.Encoder) error {
+	enc.Uvarint(snapshot.SnapSerial)
+	enc.Uvarint(e.lsn)
+	enc.TS(e.now)
+	enc.Uvarint(e.seq)
+	enc.Int(e.nquarantined)
+	enc.Bool(e.ingest != nil)
+	if e.ingest != nil {
+		snapshot.EncodeIngestState(enc, e.ingest.State())
+	}
+	keys := make([]string, 0, len(e.streams))
+	for k := range e.streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		si := e.streams[k]
+		enc.String(k)
+		enc.Uvarint(si.ntuples)
+		enc.Bool(si.history != nil)
+		if si.history != nil {
+			si.history.Save(enc)
+		}
+		enc.Uvarint(uint64(len(si.readers)))
+		for i := range si.readers {
+			enc.Uvarint(si.readers[i].routed)
+		}
+	}
+	enc.Uvarint(uint64(len(e.queries)))
+	for _, q := range e.queries {
+		enc.String(q.Name)
+		kind, ok := opKindOf(q.op)
+		if !ok {
+			return fmt.Errorf("%w: query %s plan %T cannot be checkpointed",
+				snapshot.ErrUnsupportedState, q.describe(), q.op)
+		}
+		enc.Uvarint(kind)
+		enc.Int(q.emitted)
+		enc.Bool(q.quarantined)
+		if err := q.op.(opState).saveOpState(enc); err != nil {
+			return fmt.Errorf("query %s: %w", q.describe(), err)
+		}
+	}
+	names := e.store.Names()
+	sort.Strings(names)
+	enc.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		tbl, _ := e.store.Get(n)
+		enc.String(n)
+		tbl.Save(enc)
+	}
+	return nil
+}
+
+func (e *Engine) loadStateLocked(dec *snapshot.Decoder) error {
+	kind, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	if kind != snapshot.SnapSerial {
+		return fmt.Errorf("%w: snapshot was written by a sharded engine (kind %d)", snapshot.ErrShardMismatch, kind)
+	}
+	if e.lsn, err = dec.Uvarint(); err != nil {
+		return err
+	}
+	if e.now, err = dec.TS(); err != nil {
+		return err
+	}
+	if e.seq, err = dec.Uvarint(); err != nil {
+		return err
+	}
+	if e.nquarantined, err = dec.Int(); err != nil {
+		return err
+	}
+	hasIngest, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if hasIngest != (e.ingest != nil) {
+		return snapshot.Mismatchf("engine ingest boundary=%v, snapshot=%v", e.ingest != nil, hasIngest)
+	}
+	if hasIngest {
+		st, err := snapshot.DecodeIngestState(dec)
+		if err != nil {
+			return err
+		}
+		e.ingest.SetState(st)
+	}
+	ns, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if ns != len(e.streams) {
+		return snapshot.Mismatchf("engine has %d streams, snapshot has %d", len(e.streams), ns)
+	}
+	for i := 0; i < ns; i++ {
+		key, err := dec.String()
+		if err != nil {
+			return err
+		}
+		si, ok := e.streams[key]
+		if !ok {
+			return snapshot.Mismatchf("snapshot stream %s is not declared", key)
+		}
+		if si.ntuples, err = dec.Uvarint(); err != nil {
+			return err
+		}
+		hasHist, err := dec.Bool()
+		if err != nil {
+			return err
+		}
+		if hasHist != (si.history != nil) {
+			return snapshot.Mismatchf("stream %s history retention=%v, snapshot=%v", key, si.history != nil, hasHist)
+		}
+		if hasHist {
+			if err := si.history.Load(dec); err != nil {
+				return err
+			}
+		}
+		nr, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		if nr != len(si.readers) {
+			return snapshot.Mismatchf("stream %s has %d readers, snapshot has %d", key, len(si.readers), nr)
+		}
+		for j := 0; j < nr; j++ {
+			if si.readers[j].routed, err = dec.Uvarint(); err != nil {
+				return err
+			}
+		}
+	}
+	nq, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if nq != len(e.queries) {
+		return snapshot.Mismatchf("engine has %d queries, snapshot has %d", len(e.queries), nq)
+	}
+	for _, q := range e.queries {
+		name, err := dec.String()
+		if err != nil {
+			return err
+		}
+		if name != q.Name {
+			return snapshot.Mismatchf("query %q in snapshot, %q registered (order matters)", name, q.Name)
+		}
+		kind, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		want, ok := opKindOf(q.op)
+		if !ok {
+			return fmt.Errorf("%w: query %s plan %T cannot be restored",
+				snapshot.ErrUnsupportedState, q.describe(), q.op)
+		}
+		if kind != want {
+			return snapshot.Mismatchf("query %s compiled to plan kind %d, snapshot has %d", q.describe(), want, kind)
+		}
+		if q.emitted, err = dec.Int(); err != nil {
+			return err
+		}
+		quar, err := dec.Bool()
+		if err != nil {
+			return err
+		}
+		if quar && !q.quarantined {
+			q.qErr = fmt.Errorf("esl: query %s quarantined before checkpoint", q.describe())
+		}
+		q.quarantined = quar
+		if err := q.op.(opState).loadOpState(dec); err != nil {
+			return fmt.Errorf("query %s: %w", q.describe(), err)
+		}
+	}
+	nt, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if nt != len(e.store.Names()) {
+		return snapshot.Mismatchf("engine has %d tables, snapshot has %d", len(e.store.Names()), nt)
+	}
+	for i := 0; i < nt; i++ {
+		name, err := dec.String()
+		if err != nil {
+			return err
+		}
+		tbl, ok := e.store.Get(name)
+		if !ok {
+			return snapshot.Mismatchf("snapshot table %s is not declared", name)
+		}
+		if err := tbl.Load(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a self-describing snapshot of all mutable engine state
+// to w. The engine is quiescent for the duration (the engine lock is held).
+// The snapshot carries data, not plans: restore it into an engine whose
+// streams, tables, and queries were re-created identically.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	enc := snapshot.NewEncoder()
+	if err := e.saveStateLocked(enc); err != nil {
+		return err
+	}
+	return enc.Finish(w)
+}
+
+// Restore replaces the engine's mutable state with a snapshot written by
+// Checkpoint. The engine must have the same shape — same streams, tables,
+// and queries registered in the same order — or ErrStateMismatch is
+// returned. Corrupt or truncated input returns ErrCorrupt/ErrTruncated
+// without panicking; state is undefined after a failed restore.
+func (e *Engine) Restore(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dec, err := snapshot.NewDecoder(r, e.resolverLocked())
+	if err != nil {
+		return err
+	}
+	if err := e.loadStateLocked(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}
+
+// --- journal + recovery ---
+
+// journalLocked opens the journal on first use (New cannot fail, so the
+// directory is created lazily); the error is sticky.
+func (e *Engine) journalLocked() (*snapshot.Journal, error) {
+	if e.journal == nil && e.journalErr == nil {
+		j, err := snapshot.OpenJournal(e.journalDir, e.jcfg)
+		if err != nil {
+			e.journalErr = err
+		} else {
+			e.journal = j
+			if last := j.LastLSN(); last > e.lsn {
+				e.lsn = last
+			}
+		}
+	}
+	return e.journal, e.journalErr
+}
+
+// journalItemLocked appends one offered item to the event journal before it
+// enters the ingest boundary, so replay re-screens it identically. A no-op
+// unless WithJournal configured a directory, and during replay.
+func (e *Engine) journalItemLocked(it stream.Item) error {
+	if e.journalDir == "" || e.replaying {
+		return nil
+	}
+	j, err := e.journalLocked()
+	if err != nil {
+		return err
+	}
+	e.lsn++
+	if err := j.AppendItemAt(e.lsn, it); err != nil {
+		return err
+	}
+	e.sinceCkpt++
+	return nil
+}
+
+// flushJournalLocked group-commits staged journal records: one write
+// syscall for everything appended since the last flush. The push paths call
+// it at every call boundary, so a successful Push/PushBatch return means
+// the records reached the OS.
+func (e *Engine) flushJournalLocked() error {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Flush()
+}
+
+// maybeCheckpointLocked writes a periodic snapshot once CheckpointEvery
+// journaled items have accumulated since the last one.
+func (e *Engine) maybeCheckpointLocked() error {
+	if e.ckptEvery <= 0 || e.journalDir == "" || e.replaying || e.sinceCkpt < e.ckptEvery {
+		return nil
+	}
+	return e.checkpointDirLocked()
+}
+
+// checkpointDirLocked writes snap-<lsn> into the journal directory, syncing
+// the journal first so the (snapshot, journal suffix) pair on disk is
+// consistent at the cut point.
+func (e *Engine) checkpointDirLocked() error {
+	if e.journalDir == "" {
+		return fmt.Errorf("esl: no journal directory configured (use WithJournal)")
+	}
+	if e.journal != nil {
+		if err := e.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	enc := snapshot.NewEncoder()
+	if err := e.saveStateLocked(enc); err != nil {
+		return err
+	}
+	blob, err := enc.Bytes()
+	if err != nil {
+		return err
+	}
+	if _, err := snapshot.WriteSnapshot(e.journalDir, e.lsn, blob); err != nil {
+		return err
+	}
+	e.sinceCkpt = 0
+	return nil
+}
+
+// CheckpointNow forces a durable snapshot into the journal directory,
+// independent of the CheckpointEvery cadence.
+func (e *Engine) CheckpointNow() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointDirLocked()
+}
+
+// LastLSN reports the sequence number of the last journaled (or replayed)
+// event record.
+func (e *Engine) LastLSN() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lsn
+}
+
+// SyncJournal forces buffered journal records to stable storage (useful
+// before a planned handover when the fsync policy is not FsyncAlways).
+func (e *Engine) SyncJournal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Sync()
+}
+
+// CloseJournal syncs and closes the journal file. Subsequent journaled
+// pushes reopen it.
+func (e *Engine) CloseJournal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.journal == nil {
+		return nil
+	}
+	err := e.journal.Close()
+	e.journal = nil
+	return err
+}
+
+// Recover rebuilds engine state from dir (default: the WithJournal
+// directory): load the newest valid snapshot, then replay the journal
+// suffix past its cut point. Records at or before the snapshot's LSN are
+// skipped, never double-applied. Replay feeds each item back through the
+// ingest boundary, so lateness, dedup, and screening decisions — and any
+// per-item errors the original run reported — re-manifest deterministically;
+// such errors do not abort recovery. Output rows re-emitted during replay
+// are exactly those the original run emitted after the snapshot cut.
+func (e *Engine) Recover(dir string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if dir == "" {
+		dir = e.journalDir
+	}
+	if dir == "" {
+		return fmt.Errorf("esl: no recovery directory (pass one or use WithJournal)")
+	}
+	path, _, ok, err := snapshot.LatestSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		dec, derr := snapshot.NewDecoder(f, e.resolverLocked())
+		if derr == nil {
+			derr = e.loadStateLocked(dec)
+		}
+		if derr == nil {
+			derr = dec.Finish()
+		}
+		f.Close()
+		if derr != nil {
+			return fmt.Errorf("esl: restore %s: %w", path, derr)
+		}
+	}
+	e.replaying = true
+	defer func() { e.replaying = false }()
+	return snapshot.Replay(dir, e.lsn, func(lsn uint64, body []byte) error {
+		it, derr := snapshot.DecodeItem(body, e.resolverLocked())
+		if derr != nil {
+			return derr
+		}
+		e.lsn = lsn
+		e.applyReplayLocked(it)
+		return nil
+	})
+}
+
+// applyReplayLocked re-offers one journaled item. Errors are deterministic
+// re-manifestations of rejections the original run already returned to its
+// caller (the journal holds exactly the items that were offered), so they
+// are not propagated.
+func (e *Engine) applyReplayLocked(it stream.Item) {
+	if e.ingest != nil {
+		_ = e.offerLocked(it)
+		return
+	}
+	if it.IsHeartbeat() {
+		if it.TS > e.now {
+			e.now = it.TS
+		}
+		_ = e.advanceLocked(e.now)
+		return
+	}
+	if it.Tuple == nil || it.Tuple.Schema == nil {
+		return
+	}
+	si, ok := e.streams[strings.ToLower(it.Tuple.Schema.Name())]
+	if !ok {
+		return
+	}
+	_ = e.routeLocked(si, it.Tuple)
+}

@@ -1,0 +1,395 @@
+package esl
+
+// Checkpoint/restore and journal-recovery tests for the serial engine: a
+// checkpoint restored into a freshly built, identically registered engine
+// must be behaviorally indistinguishable from the original (same rows for
+// the same future input), re-checkpointing must be byte-identical, and
+// crash recovery (snapshot + journal suffix replay) must re-emit exactly
+// the rows the original run produced after the snapshot cut.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+// snapSink gathers row fingerprints per query.
+type snapSink struct{ rows []string }
+
+func (s *snapSink) rec(name string) func(Row) {
+	return func(r Row) {
+		s.rows = append(s.rows, fmt.Sprintf("%s|%v%v", name, r.Names, r.Vals))
+	}
+}
+
+func (s *snapSink) reset() { s.rows = nil }
+
+// registerSnapWorkload installs a workload touching every serializable
+// operator family: stateless filter, DISTINCT, time- and rows-windowed
+// grouped aggregates, an SQL-bodied UDA, SEQ in all four pairing modes, a
+// star sequence, EXCEPTION_SEQ timers, and CLEVEL_SEQ.
+func registerSnapWorkload(t *testing.T, e *Engine, s *snapSink) {
+	t.Helper()
+	mustExec(t, e, `
+		CREATE STREAM A(tagid, n);
+		CREATE STREAM B(tagid, n);
+		CREATE AGGREGATE snapsum(nextval INT) : INT {
+			TABLE state(total INT);
+			INITIALIZE : { INSERT INTO state VALUES (nextval); }
+			ITERATE : { UPDATE state SET total = total + nextval; }
+			TERMINATE : { INSERT INTO RETURN SELECT total FROM state; }
+		};`)
+	queries := []struct{ name, sql string }{
+		{"filter", `SELECT tagid, n FROM A WHERE n % 3 = 0`},
+		{"distinct", `SELECT DISTINCT tagid FROM A`},
+		{"aggtime", `SELECT tagid, COUNT(*), SUM(n), AVG(n) FROM B
+			OVER (RANGE 200 MILLISECONDS PRECEDING CURRENT) GROUP BY tagid`},
+		{"aggrows", `SELECT MIN(n), MAX(n) FROM A OVER (ROWS 5 PRECEDING)`},
+		{"uda", `SELECT tagid, snapsum(n) FROM B GROUP BY tagid`},
+		{"seq", `SELECT A.tagid, A.n, B.n FROM A, B
+			WHERE SEQ(A, B) AND A.tagid = B.tagid`},
+		{"recent", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [300 MILLISECONDS PRECEDING B] MODE RECENT
+			AND A.tagid = B.tagid`},
+		{"chronicle", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) MODE CHRONICLE AND A.tagid = B.tagid`},
+		{"consecutive", `SELECT A.tagid, B.n FROM A, B
+			WHERE SEQ(A, B) OVER [300 MILLISECONDS PRECEDING B] MODE CONSECUTIVE
+			AND A.tagid = B.tagid`},
+		{"star", `SELECT COUNT(A*), B.tagid FROM A, B
+			WHERE SEQ(A*, B) MODE CHRONICLE AND A.tagid = B.tagid`},
+		{"exc", `SELECT A.tagid FROM A, B
+			WHERE EXCEPTION_SEQ(A, B) OVER [120 MILLISECONDS FOLLOWING A]
+			AND A.tagid = B.tagid`},
+		{"clevel", `SELECT A.tagid FROM A, B
+			WHERE (CLEVEL_SEQ(A, B) OVER [120 MILLISECONDS FOLLOWING A]) = 1
+			AND A.tagid = B.tagid`},
+	}
+	for _, q := range queries {
+		if _, err := e.RegisterQuery(q.name, q.sql, s.rec(q.name)); err != nil {
+			t.Fatalf("register %s: %v", q.name, err)
+		}
+	}
+}
+
+// snapItems builds deterministic readings [lo, hi): even ordinals on A, odd
+// on B, tags cycling over 7 ids, 10ms apart. Some B readings are withheld
+// (every 11th) so EXCEPTION_SEQ has expirations to time out.
+func snapItems(t *testing.T, e *Engine, lo, hi int) []stream.Item {
+	t.Helper()
+	schemaA, _ := e.StreamSchema("A")
+	schemaB, _ := e.StreamSchema("B")
+	items := make([]stream.Item, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		schema := schemaA
+		if i%2 == 1 {
+			schema = schemaB
+			if i%11 == 0 {
+				continue // missing B reading: lets an exception timer fire
+			}
+		}
+		tu, err := stream.NewTuple(schema, ts(time.Duration(i+1)*10*time.Millisecond),
+			stream.Str(fmt.Sprintf("tag%d", i%7)), stream.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, stream.Of(tu))
+	}
+	return items
+}
+
+func feedSnapItems(t *testing.T, e *Engine, items []stream.Item) {
+	t.Helper()
+	for _, it := range items {
+		if err := e.PushBatch([]stream.Item{it}); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+}
+
+func checkpointBytes(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func compareRows(t *testing.T, label string, want, have []string) {
+	t.Helper()
+	if len(want) != len(have) {
+		t.Fatalf("%s: %d rows, want %d", label, len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("%s: row %d = %s, want %s", label, i, have[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointRestoreEquivalence: checkpoint mid-stream, restore into an
+// identically registered engine, then feed the same suffix to both. Every
+// query must emit identical rows in identical order, and re-checkpointing
+// the restored engine must reproduce the snapshot byte for byte.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	e1, s1 := New(), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	feedSnapItems(t, e1, snapItems(t, e1, 0, 300))
+
+	blob := checkpointBytes(t, e1)
+	if again := checkpointBytes(t, e1); !bytes.Equal(blob, again) {
+		t.Fatal("two checkpoints of unchanged state differ")
+	}
+
+	e2, s2 := New(), &snapSink{}
+	registerSnapWorkload(t, e2, s2)
+	if err := e2.Restore(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if re := checkpointBytes(t, e2); !bytes.Equal(blob, re) {
+		t.Fatal("re-checkpoint after restore is not byte-identical")
+	}
+
+	// Behavioral equivalence on the suffix, including timer expirations
+	// driven by a final heartbeat.
+	s1.reset()
+	suffix := snapItems(t, e1, 300, 600)
+	feedSnapItems(t, e1, suffix)
+	feedSnapItems(t, e2, suffix)
+	end := ts(700 * 10 * time.Millisecond)
+	if err := e1.Heartbeat(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Heartbeat(end); err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.rows) == 0 {
+		t.Fatal("suffix produced no rows; workload too weak")
+	}
+	compareRows(t, "restored engine suffix", s1.rows, s2.rows)
+
+	// And the two engines remain byte-identical after the shared suffix.
+	if b1, b2 := checkpointBytes(t, e1), checkpointBytes(t, e2); !bytes.Equal(b1, b2) {
+		t.Fatal("engines diverged after identical post-restore input")
+	}
+}
+
+// TestCheckpointRestoreWithIngest covers the ingest boundary state: reorder
+// slack, pending heap, dedup set, and boundary counters survive the trip.
+func TestCheckpointRestoreWithIngest(t *testing.T) {
+	opts := []Option{
+		WithSlack(50 * time.Millisecond),
+		WithExactDedup(),
+		WithLateness(stream.LateDeadLetter),
+	}
+	e1, s1 := New(opts...), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	items := snapItems(t, e1, 0, 300)
+	// Sprinkle exact duplicates so the dedup set is non-empty at the cut.
+	withDups := make([]stream.Item, 0, len(items)+len(items)/10)
+	for i, it := range items {
+		withDups = append(withDups, it)
+		if i%10 == 0 {
+			dup := *it.Tuple
+			withDups = append(withDups, stream.Of(&dup))
+		}
+	}
+	feedSnapItems(t, e1, withDups)
+
+	// The reorder stage still holds tuples behind the watermark here —
+	// exactly the state a crash would capture.
+	blob := checkpointBytes(t, e1)
+
+	e2, s2 := New(opts...), &snapSink{}
+	registerSnapWorkload(t, e2, s2)
+	if err := e2.Restore(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	st1, st2 := e1.EngineStats(), e2.EngineStats()
+	if st1 != st2 {
+		t.Fatalf("stats diverge after restore:\n%+v\n%+v", st1, st2)
+	}
+	if st2.DroppedDup == 0 {
+		t.Fatal("expected dropped duplicates in restored stats")
+	}
+
+	s1.reset()
+	suffix := snapItems(t, e1, 300, 600)
+	feedSnapItems(t, e1, suffix)
+	feedSnapItems(t, e2, suffix)
+	for _, e := range []*Engine{e1, e2} {
+		if err := e.Heartbeat(ts(700 * 10 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareRows(t, "ingest restore suffix", s1.rows, s2.rows)
+
+	st1, st2 = e1.EngineStats(), e2.EngineStats()
+	if st1 != st2 {
+		t.Fatalf("stats diverge after suffix:\n%+v\n%+v", st1, st2)
+	}
+	if st2.Ingested != st2.Emitted+st2.DroppedLate+st2.DroppedDup+st2.DeadLettered {
+		t.Fatalf("accounting broken after restore: %+v", st2)
+	}
+}
+
+// TestRestoreShapeMismatch: restoring into an engine whose registration
+// differs must fail with ErrStateMismatch, not garbage state.
+func TestRestoreShapeMismatch(t *testing.T) {
+	e1, s1 := New(), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	feedSnapItems(t, e1, snapItems(t, e1, 0, 50))
+	blob := checkpointBytes(t, e1)
+
+	// Different query set.
+	e2 := New()
+	mustExec(t, e2, `CREATE STREAM A(tagid, n); CREATE STREAM B(tagid, n);`)
+	if _, err := e2.RegisterQuery("only", `SELECT tagid FROM A`, func(Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(bytes.NewReader(blob)); !errors.Is(err, snapshot.ErrStateMismatch) {
+		t.Fatalf("query-set mismatch: err = %v, want ErrStateMismatch", err)
+	}
+
+	// Different ingest configuration.
+	e3, s3 := New(WithSlack(time.Second)), &snapSink{}
+	registerSnapWorkload(t, e3, s3)
+	if err := e3.Restore(bytes.NewReader(blob)); !errors.Is(err, snapshot.ErrStateMismatch) {
+		t.Fatalf("ingest mismatch: err = %v, want ErrStateMismatch", err)
+	}
+}
+
+// TestJournalRecoverExactlyOnceAfterCut: run with a journal, cut a snapshot
+// mid-stream, keep feeding, then "crash" (abandon the engine without
+// draining). Recover must re-emit exactly the rows the original produced
+// after the cut, then track an uninterrupted reference run row for row.
+func TestJournalRecoverExactlyOnceAfterCut(t *testing.T) {
+	dir := t.TempDir()
+	base := []Option{
+		WithSlack(50 * time.Millisecond),
+		WithExactDedup(),
+		WithLateness(stream.LateDeadLetter),
+	}
+	jopts := append(append([]Option{}, base...), WithJournal(dir))
+
+	e1, s1 := New(jopts...), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	feedSnapItems(t, e1, snapItems(t, e1, 0, 300))
+	if err := e1.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	mark := len(s1.rows)
+	feedSnapItems(t, e1, snapItems(t, e1, 300, 400))
+	// Crash: e1 is abandoned — no Drain, no Close, reorder tail lost from
+	// memory but present in the journal.
+
+	e2, s2 := New(jopts...), &snapSink{}
+	registerSnapWorkload(t, e2, s2)
+	if err := e2.Recover(""); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	// Replay of the journal suffix re-emits exactly the post-cut rows.
+	compareRows(t, "replayed suffix", s1.rows[mark:], s2.rows)
+	if got, want := e2.LastLSN(), e1.LastLSN(); got != want {
+		t.Fatalf("recovered LSN = %d, want %d", got, want)
+	}
+
+	// Continue the stream on the recovered engine; an uninterrupted
+	// reference run must match the stitched output exactly.
+	ref, sr := New(base...), &snapSink{}
+	registerSnapWorkload(t, ref, sr)
+	feedSnapItems(t, ref, snapItems(t, ref, 0, 400))
+	tail := snapItems(t, ref, 400, 700)
+	feedSnapItems(t, ref, tail)
+	feedSnapItems(t, e2, tail)
+	end := ts(800 * 10 * time.Millisecond)
+	for _, e := range []*Engine{ref, e2} {
+		if err := e.Heartbeat(end); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stitched := append(append([]string{}, s1.rows[:mark]...), s2.rows...)
+	compareRows(t, "recovered vs uninterrupted", sr.rows, stitched)
+
+	// Accounting identity holds on the recovered engine.
+	st := e2.EngineStats()
+	if st.Ingested != st.Emitted+st.DroppedLate+st.DroppedDup+st.DeadLettered {
+		t.Fatalf("accounting broken after recovery: %+v", st)
+	}
+	refSt := ref.EngineStats()
+	if st != refSt {
+		t.Fatalf("recovered stats %+v != reference %+v", st, refSt)
+	}
+	if err := e2.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverSkipsRecordsAtOrBeforeSnapshot: when the snapshot covers the
+// whole journal, recovery must replay nothing — records at or before the
+// snapshot LSN are skipped, never double-applied.
+func TestRecoverSkipsRecordsAtOrBeforeSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithJournal(dir)}
+	e1, s1 := New(opts...), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	feedSnapItems(t, e1, snapItems(t, e1, 0, 100))
+	if err := e1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	cut := e1.LastLSN()
+	if cut == 0 {
+		t.Fatal("nothing journaled")
+	}
+
+	e2, s2 := New(opts...), &snapSink{}
+	registerSnapWorkload(t, e2, s2)
+	if err := e2.Recover(""); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(s2.rows) != 0 {
+		t.Fatalf("recovery replayed %d rows despite snapshot covering the journal", len(s2.rows))
+	}
+	if got := e2.LastLSN(); got != cut {
+		t.Fatalf("recovered LSN = %d, want %d", got, cut)
+	}
+}
+
+// TestCheckpointEveryCadence: automatic snapshots appear after every n
+// journaled items without any explicit CheckpointNow.
+func TestCheckpointEveryCadence(t *testing.T) {
+	dir := t.TempDir()
+	e1, s1 := New(WithJournal(dir), WithCheckpointEvery(40)), &snapSink{}
+	registerSnapWorkload(t, e1, s1)
+	feedSnapItems(t, e1, snapItems(t, e1, 0, 100))
+	_, lsn, ok, err := snapshot.LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || lsn == 0 {
+		t.Fatal("no automatic snapshot written")
+	}
+
+	// A fresh engine recovers from the cadence snapshot plus the suffix and
+	// then matches the original byte for byte.
+	e2, s2 := New(WithJournal(dir)), &snapSink{}
+	registerSnapWorkload(t, e2, s2)
+	if err := e2.Recover(""); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if b1, b2 := checkpointBytes(t, e1), checkpointBytes(t, e2); !bytes.Equal(b1, b2) {
+		t.Fatal("cadence recovery diverged from original engine state")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/esl"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -132,6 +133,18 @@ type Engine struct {
 	ingestScratch []stream.Item
 	deadMu        sync.Mutex
 	onDead        []func(stream.DeadLetter)
+
+	// Durability (snapshot.go): the journal and checkpoint cadence live at
+	// the sharded boundary — items are logged before routing, and snapshots
+	// stitch one section per shard — so the replicas stay journal-free.
+	journalDir string
+	jcfg       snapshot.JournalConfig
+	ckptEvery  int
+	journal    *snapshot.Journal
+	journalErr error
+	lsn        uint64
+	sinceCkpt  int
+	replaying  bool
 }
 
 // New builds a sharded engine over n independent replicas. n must be >= 1;
@@ -156,6 +169,9 @@ func New(n int, opts ...esl.Option) *Engine {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	e.journalDir = cfg.JournalDir
+	e.jcfg = cfg.Journal
+	e.ckptEvery = cfg.CheckpointEvery
 	if !cfg.Ingest.IsZero() {
 		cfg.Ingest.OnDead = e.dispatchDead
 		e.ingest = stream.NewIngest(cfg.Ingest)
@@ -496,24 +512,56 @@ func (e *Engine) PushBatch(items []stream.Item) error {
 		return fmt.Errorf("shard: engine closed")
 	}
 	if e.ingest != nil {
+		// Journal before the offer: on a mid-batch rejection the journal
+		// holds exactly the offered items, so replay reproduces the
+		// identical boundary state. Records stage in the group-commit
+		// buffer and flush once at the call boundary — including on error.
+		var perr error
 		for _, it := range items {
+			if perr = e.journalItemLocked(it); perr != nil {
+				break
+			}
 			out, lateErr := e.ingest.Offer(it, e.ingestScratch[:0])
-			err := e.enqueueRunLocked(out)
+			perr = e.enqueueRunLocked(out)
 			e.ingestScratch = out[:0]
-			if err != nil {
-				return err
+			if perr == nil {
+				perr = lateErr
 			}
-			if lateErr != nil {
-				return lateErr
+			if perr != nil {
+				break
 			}
+		}
+		if ferr := e.flushJournalLocked(); perr == nil {
+			perr = ferr
+		}
+		if perr != nil {
+			return perr
+		}
+	} else if e.journalDir != "" {
+		var perr error
+		for _, it := range items {
+			if perr = e.journalItemLocked(it); perr != nil {
+				break
+			}
+			if perr = e.enqueueRunLocked([]stream.Item{it}); perr != nil {
+				break
+			}
+		}
+		if ferr := e.flushJournalLocked(); perr == nil {
+			perr = ferr
+		}
+		if perr != nil {
+			return perr
 		}
 	} else if err := e.enqueueRunLocked(items); err != nil {
 		return err
 	}
 	if len(e.pending) >= e.batchSize {
-		return e.flushLocked()
+		if err := e.flushLocked(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return e.maybeCheckpointLocked()
 }
 
 // enqueueRunLocked appends an ordered run of items to the pending buffer,
@@ -673,6 +721,12 @@ func (e *Engine) Close() error {
 	}
 	for _, w := range e.workers {
 		<-w.done
+	}
+	if e.journal != nil {
+		if jerr := e.journal.Close(); err == nil {
+			err = jerr
+		}
+		e.journal = nil
 	}
 	return err
 }

@@ -1,0 +1,118 @@
+package snapshot
+
+import (
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Engine-kind discriminators: the first uvarint of every engine snapshot
+// says which topology wrote it, so restoring into the wrong engine shape
+// fails with ErrShardMismatch instead of a garbled decode.
+const (
+	SnapSerial  = 0 // esl.Engine
+	SnapSharded = 1 // shard.Engine
+)
+
+// EncodeIngestState serializes an ingest-boundary state extracted with
+// stream.Ingest.State. Both the serial and sharded engines carry one such
+// boundary, so the codec lives here rather than in either engine package.
+func EncodeIngestState(enc *Encoder, st stream.IngestState) {
+	enc.Varint(int64(st.Slack))
+	enc.Bool(st.Started)
+	enc.TS(st.HighWater)
+	enc.Uvarint(st.Arrival)
+	enc.Uvarint(st.Stats.Ingested)
+	enc.Uvarint(st.Stats.Emitted)
+	enc.Uvarint(st.Stats.Reordered)
+	enc.Uvarint(st.Stats.DroppedLate)
+	enc.Uvarint(st.Stats.DroppedDup)
+	enc.Uvarint(st.Stats.DeadLettered)
+	enc.Uvarint(uint64(len(st.Pending)))
+	for _, p := range st.Pending {
+		enc.Bool(p.It.IsHeartbeat())
+		enc.TS(p.It.TS)
+		if !p.It.IsHeartbeat() {
+			enc.Tuple(p.It.Tuple)
+		}
+		enc.Uvarint(p.Seq)
+	}
+	enc.Uvarint(uint64(len(st.Dedup)))
+	for _, t := range st.Dedup {
+		enc.Tuple(t)
+	}
+}
+
+// DecodeIngestState reads a state written by EncodeIngestState.
+func DecodeIngestState(dec *Decoder) (stream.IngestState, error) {
+	var st stream.IngestState
+	slack, err := dec.Varint()
+	if err != nil {
+		return st, err
+	}
+	st.Slack = time.Duration(slack)
+	if st.Started, err = dec.Bool(); err != nil {
+		return st, err
+	}
+	if st.HighWater, err = dec.TS(); err != nil {
+		return st, err
+	}
+	if st.Arrival, err = dec.Uvarint(); err != nil {
+		return st, err
+	}
+	for _, p := range []*uint64{
+		&st.Stats.Ingested, &st.Stats.Emitted, &st.Stats.Reordered,
+		&st.Stats.DroppedLate, &st.Stats.DroppedDup, &st.Stats.DeadLettered,
+	} {
+		if *p, err = dec.Uvarint(); err != nil {
+			return st, err
+		}
+	}
+	np, err := dec.Len()
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < np; i++ {
+		hb, err := dec.Bool()
+		if err != nil {
+			return st, err
+		}
+		ts, err := dec.TS()
+		if err != nil {
+			return st, err
+		}
+		var it stream.Item
+		if hb {
+			it = stream.Heartbeat(ts)
+		} else {
+			t, err := dec.Tuple()
+			if err != nil {
+				return st, err
+			}
+			if t == nil {
+				return st, Corruptf("nil tuple pending in ingest state")
+			}
+			it = stream.Item{Tuple: t, TS: ts}
+		}
+		seq, err := dec.Uvarint()
+		if err != nil {
+			return st, err
+		}
+		st.Pending = append(st.Pending, stream.PendingItem{It: it, Seq: seq})
+	}
+	nd, err := dec.Len()
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < nd; i++ {
+		t, err := dec.Tuple()
+		if err != nil {
+			return st, err
+		}
+		if t == nil {
+			return st, Corruptf("nil tuple in dedup set")
+		}
+		st.Dedup = append(st.Dedup, t)
+	}
+	return st, nil
+}

@@ -1,0 +1,64 @@
+package stream
+
+// Memory-growth regression for the exact-dedup set: entries behind the
+// released watermark are evicted, so the set's size is bounded by the
+// reorder horizon, not by stream length.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDedupSetBoundedOverLongStream feeds a long in-order stream (with
+// periodic duplicates) through a dedup-enabled ingest stage and requires the
+// retained dedup window to stay proportional to the slack horizon.
+func TestDedupSetBoundedOverLongStream(t *testing.T) {
+	const (
+		events = 200_000
+		step   = 10 * time.Millisecond
+		slack  = 500 * time.Millisecond
+	)
+	g := NewIngest(IngestConfig{Slack: slack, Dedup: true})
+	// Admissions stay deduplicable until the watermark (highWater - slack)
+	// passes them: about 2*slack/step admissions can be in that horizon,
+	// plus the duplicates riding along. Anything near stream length is a
+	// leak.
+	const bound = 4 * int(slack/step)
+
+	var scratch []Item
+	maxSize := 0
+	for i := 0; i < events; i++ {
+		tu := tup("r", fmt.Sprintf("tag%03d", i%509), time.Duration(i+1)*step)
+		var err error
+		if scratch, err = g.Offer(Of(tu), scratch[:0]); err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+		if i%7 == 0 {
+			dup := *tu
+			if scratch, err = g.Offer(Of(&dup), scratch[:0]); err != nil {
+				t.Fatalf("offer dup %d: %v", i, err)
+			}
+		}
+		if size := g.DedupSize(); size > maxSize {
+			maxSize = size
+		}
+	}
+	if maxSize > bound {
+		t.Fatalf("dedup set peaked at %d entries over %d events; want <= %d (slack-bounded)", maxSize, events, bound)
+	}
+	if maxSize == 0 {
+		t.Fatal("dedup set never held anything; test is vacuous")
+	}
+
+	st := g.Stats()
+	if st.DroppedDup == 0 {
+		t.Fatalf("no duplicates dropped: %+v", st)
+	}
+	// Flush releases the tail and expires the set up to the final watermark;
+	// only admissions at exactly the high-water timestamp may linger.
+	g.Flush(scratch[:0])
+	if got := g.DedupSize(); got > 1 {
+		t.Fatalf("dedup set holds %d entries after Flush, want <= 1", got)
+	}
+}

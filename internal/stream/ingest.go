@@ -158,8 +158,20 @@ type Ingest struct {
 
 	// dedup tracks tuples still within the reorder horizon, keyed by a
 	// content hash with collision chains compared exactly — a false positive
-	// would silently drop a legitimate reading.
-	dedup map[uint64][]*Tuple
+	// would silently drop a legitimate reading. dedupQ remembers admissions
+	// in arrival order so eviction pops an amortized-O(1) queue prefix
+	// instead of rescanning the whole map on every release: each admitted
+	// tuple is enqueued once and dequeued once, which bounds the set to the
+	// reorder horizon instead of the whole stream.
+	dedup     map[uint64][]*Tuple
+	dedupQ    []dedupRef
+	dedupHead int
+}
+
+// dedupRef is one queued dedup admission awaiting watermark expiry.
+type dedupRef struct {
+	hash uint64
+	t    *Tuple
 }
 
 // NewIngest builds the stage. A zero config yields a pass-through stage with
@@ -337,29 +349,46 @@ func (g *Ingest) isDuplicate(t *Tuple) bool {
 		}
 	}
 	g.dedup[h] = append(g.dedup[h], t)
+	g.dedupQ = append(g.dedupQ, dedupRef{hash: h, t: t})
 	return false
 }
 
-// expireDedup drops dedup entries strictly behind the watermark.
+// expireDedup drops dedup entries strictly behind the watermark by popping
+// the arrival-ordered queue prefix. Arrival order is not timestamp order
+// under disorder, so a small-timestamp entry can hide behind a larger one —
+// it is still evicted as soon as the watermark passes its predecessor, and
+// any stale entry is harmless in the interim: tuples behind the watermark
+// are handled by the lateness policy before the dedup probe runs.
 func (g *Ingest) expireDedup(wm Timestamp) {
-	if g.dedup == nil || len(g.dedup) == 0 {
+	if g.dedup == nil {
 		return
 	}
-	for h, chain := range g.dedup {
-		n := 0
-		for _, t := range chain {
-			if t.TS >= wm {
-				chain[n] = t
-				n++
+	for g.dedupHead < len(g.dedupQ) && g.dedupQ[g.dedupHead].t.TS < wm {
+		ref := g.dedupQ[g.dedupHead]
+		g.dedupQ[g.dedupHead] = dedupRef{}
+		g.dedupHead++
+		chain := g.dedup[ref.hash]
+		for i, t := range chain {
+			if t == ref.t {
+				chain = append(chain[:i], chain[i+1:]...)
+				break
 			}
 		}
-		if n == 0 {
-			delete(g.dedup, h)
+		if len(chain) == 0 {
+			delete(g.dedup, ref.hash)
 		} else {
-			g.dedup[h] = chain[:n]
+			g.dedup[ref.hash] = chain
 		}
 	}
+	if g.dedupHead > 64 && g.dedupHead*2 >= len(g.dedupQ) {
+		g.dedupQ = append(g.dedupQ[:0], g.dedupQ[g.dedupHead:]...)
+		g.dedupHead = 0
+	}
 }
+
+// DedupSize reports how many admissions the dedup set currently retains —
+// the gauge the memory-growth regression test watches.
+func (g *Ingest) DedupSize() int { return len(g.dedupQ) - g.dedupHead }
 
 // tupleHash folds the stream name, timestamp, and row values into one
 // 64-bit key for the dedup index.

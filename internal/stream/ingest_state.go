@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"sort"
+	"time"
+)
+
+// PendingItem is one held-back reorder entry in exported form: the item and
+// its arrival ordinal (the release tie-breaker).
+type PendingItem struct {
+	It  Item
+	Seq uint64
+}
+
+// IngestState is the complete mutable state of an Ingest stage in exported,
+// serialization-friendly form. The stream package sits below the snapshot
+// codec in the dependency order, so engines extract this struct and encode
+// it themselves.
+//
+// Pending is sorted by (timestamp, arrival) — the release order — rather
+// than raw heap layout, so two stages holding the same logical state always
+// produce the same serialized bytes. Dedup lists admissions in arrival
+// order; SetState re-admits them in sequence, rebuilding both the hash
+// chains and the expiry queue exactly.
+type IngestState struct {
+	Slack     time.Duration // live slack: Flush zeroes it at end of stream
+	Started   bool
+	HighWater Timestamp
+	Arrival   uint64
+	Stats     IngestStats
+	Pending   []PendingItem
+	Dedup     []*Tuple
+}
+
+// State extracts a copy of the stage's mutable state.
+func (g *Ingest) State() IngestState {
+	st := IngestState{
+		Slack:     g.cfg.Slack,
+		Started:   g.started,
+		HighWater: g.highWater,
+		Arrival:   g.arrival,
+		Stats:     g.stats,
+	}
+	if n := g.pending.Len(); n > 0 {
+		st.Pending = make([]PendingItem, 0, n)
+		for _, e := range g.pending.items {
+			st.Pending = append(st.Pending, PendingItem{It: e.it, Seq: e.seq})
+		}
+		sort.Slice(st.Pending, func(i, j int) bool {
+			if st.Pending[i].It.TS != st.Pending[j].It.TS {
+				return st.Pending[i].It.TS < st.Pending[j].It.TS
+			}
+			return st.Pending[i].Seq < st.Pending[j].Seq
+		})
+	}
+	if live := g.dedupQ[g.dedupHead:]; len(live) > 0 {
+		st.Dedup = make([]*Tuple, 0, len(live))
+		for _, ref := range live {
+			st.Dedup = append(st.Dedup, ref.t)
+		}
+	}
+	return st
+}
+
+// SetState replaces the stage's mutable state. The stage's configuration
+// (policy, budgets, dead-letter sink) is construction-time and unaffected,
+// except for Slack, which Flush mutates and must therefore round-trip.
+func (g *Ingest) SetState(st IngestState) {
+	g.cfg.Slack = st.Slack
+	g.started = st.Started
+	g.highWater = st.HighWater
+	g.arrival = st.Arrival
+	g.stats = st.Stats
+	g.pending.items = g.pending.items[:0]
+	for _, p := range st.Pending {
+		g.pending.Push(ingestEntry{it: p.It, seq: p.Seq})
+	}
+	if g.cfg.Dedup {
+		g.dedup = make(map[uint64][]*Tuple, len(st.Dedup))
+		g.dedupQ = g.dedupQ[:0]
+		g.dedupHead = 0
+		for _, t := range st.Dedup {
+			h := tupleHash(t)
+			g.dedup[h] = append(g.dedup[h], t)
+			g.dedupQ = append(g.dedupQ, dedupRef{hash: h, t: t})
+		}
+	}
+}
