@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak recover-soak bench-smoke bench-json bench-compare bench-vectorized bench-multiquery bench-multiquery-compare bench-recovery
+.PHONY: ci fmt-check vet build test chaos-soak recover-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery perf-trajectory
 
-ci: fmt-check vet build test chaos-soak recover-soak bench-smoke bench-compare bench-multiquery-compare bench-recovery
+ci: fmt-check vet build test chaos-soak recover-soak bench-smoke perf-trajectory
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -68,19 +68,36 @@ bench-vectorized:
 	$(GO) run ./cmd/eslev bench -shards 1,4 -batch 1,32,256,1024 \
 		-bench-json BENCH_VECTORIZED.json
 
-# The multi-query fan-out sweep (registered-query count x routing index
-# on/off) as a machine-readable artifact.
+# The multi-query fan-out sweep (registered-query count x prefix-share
+# ratio; merged vs independent plans, plus a scan-all dispatch control
+# below 1024 queries) as a machine-readable artifact.
 bench-multiquery:
-	$(GO) run ./cmd/eslev bench -multiquery -queries 1,4,16,64,256 \
+	$(GO) run ./cmd/eslev bench -multiquery -queries 1,64,256,1024 -share 0,50,90 \
 		-bench-json BENCH_MULTIQUERY.json
 
-# Regression gate for the routed fan-out path: re-run the sweep on HEAD
-# and fail if ns/event regresses more than 15% against the recorded
-# BENCH_MULTIQUERY.json baseline. Runs at the same event count as the
-# baseline — fan-out ns/event is scale-sensitive, so a reduced-scale
-# rerun would compare apples to oranges. queries=1 is excluded: it is
-# the shortest configuration and the noisiest, and the gate protects
-# the routed fan-out path, which it does not exercise.
+# Regression gate for the multi-query dispatch paths: re-run the mid-size
+# tiers on HEAD — merged, independent, and scan-all arms at every recorded
+# share ratio — and fail if ns/event regresses more than 15% against the
+# recorded BENCH_MULTIQUERY.json baseline. Runs at the same event count as
+# the baseline — fan-out ns/event is scale-sensitive, so a reduced-scale
+# rerun would compare apples to oranges. queries=1 is excluded: it is the
+# shortest configuration and the noisiest, and the gate protects the
+# fan-out paths, which it does not exercise. queries=1024 is excluded for
+# run time (its independent arm alone is ~45s).
 bench-multiquery-compare:
-	$(GO) run ./cmd/eslev bench -multiquery -queries 16,64 -events 50000 \
+	$(GO) run ./cmd/eslev bench -multiquery -queries 64,256 -share 0,50,90 -events 50000 \
 		-baseline BENCH_MULTIQUERY.json -max-regress 15
+
+# Regression gate for batched ingestion: spot-check two batch sizes per
+# shard count against the recorded BENCH_VECTORIZED.json baseline. Runs at
+# the baseline's event count — ex6-seq ns/event is warm-up-sensitive, so a
+# reduced-scale rerun reads 15-30% high against a 50k-event recording.
+bench-vectorized-compare:
+	$(GO) run ./cmd/eslev bench -shards 1,4 -batch 32,256 -events 50000 \
+		-baseline BENCH_VECTORIZED.json -max-regress 15
+
+# Perf-trajectory check: every recorded BENCH_*.json baseline re-validated
+# on HEAD in one run — sharded scaling (BENCH_SHARDED), vectorized
+# ingestion (BENCH_VECTORIZED), multi-query dispatch incl. the merged path
+# (BENCH_MULTIQUERY), and durability overhead (BENCH_RECOVERY).
+perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery

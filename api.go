@@ -135,6 +135,11 @@ func WithExactDedup() Option { return esl.WithExactDedup() }
 // hatch; routing is on by default and semantics-preserving).
 func WithoutRouteIndex() Option { return esl.WithoutRouteIndex() }
 
+// WithoutPlanMerge disables multi-query plan merging, running every SEQ
+// query on its own automaton (debugging escape hatch; merging is on by
+// default and semantics-preserving).
+func WithoutPlanMerge() Option { return esl.WithoutPlanMerge() }
+
 // ---- durability & recovery ----------------------------------------------------
 //
 // Durable state has two layers: versioned snapshots of all mutable engine

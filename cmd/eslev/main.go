@@ -96,6 +96,7 @@ func main() {
 		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
 		stats := fs.Bool("stats", false, "print per-query stats (emitted, routed/skipped, runs) after the run")
 		noRoute := fs.Bool("no-route-index", false, "disable the multi-query routing index (scan-all dispatch)")
+		noMerge := fs.Bool("no-merge", false, "disable multi-query plan merging (every SEQ query runs its own automaton)")
 		ckptDir := fs.String("checkpoint-dir", "", "journal directory: every pushed item is logged and a snapshot is cut when the run ends")
 		ckptEvery := fs.Int("checkpoint-every", 0, "also cut an automatic snapshot every N journaled records (requires -checkpoint-dir)")
 		restore := fs.Bool("restore", false, "recover state from -checkpoint-dir (snapshot + journal replay) before feeding")
@@ -106,7 +107,7 @@ func main() {
 		}
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runScript(*shards, *stats, *noRoute, *ckptDir, *ckptEvery, *restore, fs.Arg(0), fs.Args()[1:])
+			err = runScript(*shards, *stats, *noRoute, *noMerge, *ckptDir, *ckptEvery, *restore, fs.Arg(0), fs.Args()[1:])
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -117,7 +118,8 @@ func main() {
 		batches := fs.String("batch", "", "comma-separated ingestion batch sizes to sweep (default: engine default)")
 		events := fs.Int("events", 50000, "tuples to push per configuration")
 		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
-		queries := fs.String("queries", "1,4,16,64,256", "comma-separated query counts for -multiquery")
+		queries := fs.String("queries", "1,64,256,1024", "comma-separated query counts for -multiquery")
+		share := fs.String("share", "0,50,90", "comma-separated prefix-share percentages for -multiquery")
 		recovery := fs.Bool("recovery", false, "measure checkpoint/journal overhead, snapshot size, and restore latency instead of the shard workloads")
 		ckptEvery := fs.Int("checkpoint-every", 50_000, "automatic snapshot cadence for -recovery, in journaled records")
 		maxOverhead := fs.Float64("max-overhead", 0, "fail -recovery if journaling overhead exceeds this percent (0 = report only)")
@@ -132,7 +134,7 @@ func main() {
 			case *recovery:
 				err = runBenchRecovery(*events, *ckptEvery, *jsonPath, *maxOverhead)
 			case *multiquery:
-				err = runBenchMultiQuery(*queries, *events, *jsonPath, *baseline, *maxRegress)
+				err = runBenchMultiQuery(*queries, *share, *events, *jsonPath, *baseline, *maxRegress)
 			default:
 				err = runBench(*shards, *batches, *events, *jsonPath, *baseline, *maxRegress)
 			}
@@ -199,20 +201,25 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   eslev demo modes                 reproduce the paper's §3.1.1 walkthrough
   eslev demo examples              run the paper's examples on simulated data
-  eslev run [-shards N] [-stats] [-no-route-index] [-checkpoint-dir d]
-            [-checkpoint-every N] [-restore] [-cpuprofile f] [-memprofile f]
-            [-trace f] script.esl [s=f.csv]
+  eslev run [-shards N] [-stats] [-no-route-index] [-no-merge]
+            [-checkpoint-dir d] [-checkpoint-every N] [-restore]
+            [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
                                    execute a script over CSV streams; -stats
-                                   prints per-query routed/skipped counters;
-                                   -checkpoint-dir journals every pushed item
-                                   and cuts durable snapshots; -restore first
-                                   recovers state from that directory
+                                   prints per-query routed/skipped counters and
+                                   the plan-merging report; -no-merge gives every
+                                   SEQ query its own automaton; -checkpoint-dir
+                                   journals every pushed item and cuts durable
+                                   snapshots; -restore first recovers state from
+                                   that directory
   eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
               [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
                                    sweep the sharded-scaling workloads;
                                    with -baseline, fail on ns/event regression
-  eslev bench -multiquery [-queries 1,4,16,64,256] [-events N] [-bench-json out.json]
-                                   sweep query fan-out, routing index on vs off
+  eslev bench -multiquery [-queries 1,64,256,1024] [-share 0,50,90] [-events N]
+              [-bench-json out.json]
+                                   sweep query fan-out and prefix-share ratio:
+                                   merged vs independent plans, plus a scan-all
+                                   control below 1024 queries
   eslev bench -recovery [-events N] [-checkpoint-every N] [-max-overhead pct]
               [-bench-json out.json]
                                    measure journaling overhead, snapshot size,
@@ -613,7 +620,7 @@ type engineLike interface {
 // checkpoint directory, every pushed item is journaled and a durable
 // snapshot is cut when the run ends; -restore recovers the previous run's
 // state (snapshot + journal suffix) before any CSV row is fed.
-func runScript(shards int, stats, noRoute bool, ckptDir string, ckptEvery int, restore bool, path string, feeds []string) error {
+func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEvery int, restore bool, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -627,6 +634,9 @@ func runScript(shards int, stats, noRoute bool, ckptDir string, ckptEvery int, r
 	var opts []eslev.Option
 	if noRoute {
 		opts = append(opts, eslev.WithoutRouteIndex())
+	}
+	if noMerge {
+		opts = append(opts, eslev.WithoutPlanMerge())
 	}
 	if ckptDir != "" {
 		opts = append(opts, eslev.WithJournal(ckptDir))
@@ -682,6 +692,12 @@ func runScript(shards int, stats, noRoute bool, ckptDir string, ckptEvery int, r
 			}
 		}
 		printQueryStats(e)
+		if en, ok := e.(*eslev.Engine); ok {
+			if rep := en.MergeReport(); rep != "" {
+				fmt.Println("plan merging:")
+				fmt.Print(rep)
+			}
+		}
 	}
 	if err := finish(); err != nil { // sharded: drain merged output first
 		return err
@@ -855,7 +871,9 @@ type benchResult struct {
 	Shards       int     `json:"shards"`
 	Batch        int     `json:"batch,omitempty"`   // 0 = engine default
 	Queries      int     `json:"queries,omitempty"` // multiquery sweep only
+	SharePct     int     `json:"share_pct,omitempty"`
 	RouteIndex   bool    `json:"route_index,omitempty"`
+	Merged       bool    `json:"merged,omitempty"`
 	Events       int     `json:"events"`
 	Matches      int64   `json:"matches"`
 	WallMs       float64 `json:"wall_ms"`
@@ -949,7 +967,8 @@ func compareBaseline(report benchReport, baselinePath string, maxRegress float64
 		for i := range base.Results {
 			b := &base.Results[i]
 			if b.Workload == r.Workload && b.Shards == r.Shards && b.Batch == r.Batch &&
-				b.Queries == r.Queries && b.RouteIndex == r.RouteIndex {
+				b.Queries == r.Queries && b.SharePct == r.SharePct &&
+				b.RouteIndex == r.RouteIndex && b.Merged == r.Merged {
 				return b
 			}
 		}
@@ -965,7 +984,8 @@ func compareBaseline(report benchReport, baselinePath string, maxRegress float64
 		compared++
 		label := fmt.Sprintf("%s shards=%d", r.Workload, r.Shards)
 		if r.Queries > 0 {
-			label = fmt.Sprintf("%s queries=%d route=%v", r.Workload, r.Queries, r.RouteIndex)
+			label = fmt.Sprintf("%s queries=%d share=%d route=%v merged=%v",
+				r.Workload, r.Queries, r.SharePct, r.RouteIndex, r.Merged)
 		}
 		deltaPct := (r.NsPerEvent - b.NsPerEvent) / b.NsPerEvent * 100
 		verdict := "ok"
@@ -1081,51 +1101,84 @@ const multiQueryBatch = 256
 // noisy single-core machines.
 const multiQueryReps = 3
 
-// runBenchMultiQuery sweeps the number of registered selective SEQ queries,
-// running each count with the shared routing index on and off over an
-// identical pre-built feed. The aggregate-throughput ratio (route on vs
-// off) at each fan-out is the headline number: scan-all dispatch degrades
-// linearly with query count while routed dispatch stays near-flat.
-func runBenchMultiQuery(queriesList string, events int, jsonPath, baselinePath string, maxRegress float64) error {
-	var counts []int
-	for _, part := range strings.Split(queriesList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad -queries entry %q", part)
+// runBenchMultiQuery sweeps registered-query fan-out crossed with the
+// prefix-share ratio: at share=S, S percent of the queries open with an
+// identical first SEQ step (same stream, predicate, key, and window) so the
+// planner folds them into one shared automaton. Each configuration runs
+// three arms over an identical pre-built feed — merged (default engine),
+// independent (plan merging off), and a scan-all control (routing index
+// off, skipped at >=1024 queries where it is pathological) — and the
+// merged-vs-independent throughput ratio is the headline number. Merged
+// and independent arms must report identical match counts; a mismatch
+// fails the run.
+func runBenchMultiQuery(queriesList, shareList string, events int, jsonPath, baselinePath string, maxRegress float64) error {
+	parseInts := func(flag, s string, min int) ([]int, error) {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < min || n > 100 && flag == "-share" {
+				return nil, fmt.Errorf("bad %s entry %q", flag, part)
+			}
+			out = append(out, n)
 		}
-		counts = append(counts, n)
+		return out, nil
+	}
+	counts, err := parseInts("-queries", queriesList, 1)
+	if err != nil {
+		return err
+	}
+	shares, err := parseInts("-share", shareList, 0)
+	if err != nil {
+		return err
 	}
 	report := benchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	fmt.Printf("cpus=%d gomaxprocs=%d events=%d batch=%d\n",
 		report.CPUs, report.GoMaxProcs, events, multiQueryBatch)
 	for _, n := range counts {
-		var withRoute, without benchResult
-		for _, route := range []bool{true, false} {
-			// Best of multiQueryReps runs: single runs of the small
-			// configurations finish in tens of milliseconds and jitter
-			// more than the regression-gate threshold.
-			var res benchResult
-			for rep := 0; rep < multiQueryReps; rep++ {
-				r, err := benchMultiQueryFanout(n, route, events)
-				if err != nil {
-					return err
-				}
-				if rep == 0 || r.NsPerEvent < res.NsPerEvent {
-					res = r
-				}
+		for _, share := range shares {
+			if share > 0 && n*share/100 == 0 {
+				continue // rounds to zero shared queries: identical to share=0
 			}
-			report.Results = append(report.Results, res)
-			if route {
-				withRoute = res
-			} else {
-				without = res
+			type armSpec struct {
+				name         string
+				route, merge bool
 			}
-			fmt.Printf("%-16s queries=%-4d route=%-5v  %9.1f ms  %10.0f events/s  matches=%d\n",
-				res.Workload, res.Queries, res.RouteIndex, res.WallMs, res.EventsPerSec, res.Matches)
-		}
-		if without.WallMs > 0 {
-			fmt.Printf("%-16s queries=%-4d speedup: %.1fx\n",
-				"", n, without.NsPerEvent/withRoute.NsPerEvent)
+			arms := []armSpec{{"merged", true, true}, {"independent", true, false}}
+			if n < 1024 {
+				arms = append(arms, armSpec{"scan-all", false, true})
+			}
+			byName := map[string]benchResult{}
+			for _, a := range arms {
+				// Best of multiQueryReps runs: single runs of the small
+				// configurations finish in tens of milliseconds and jitter
+				// more than the regression-gate threshold.
+				var res benchResult
+				for rep := 0; rep < multiQueryReps; rep++ {
+					r, err := benchMultiQueryFanout(n, share, a.route, a.merge, events)
+					if err != nil {
+						return err
+					}
+					if rep == 0 || r.NsPerEvent < res.NsPerEvent {
+						res = r
+					}
+				}
+				report.Results = append(report.Results, res)
+				byName[a.name] = res
+				fmt.Printf("%-14s queries=%-4d share=%-2d route=%-5v merged=%-5v  %9.1f ms  %10.0f events/s  matches=%d\n",
+					res.Workload, res.Queries, res.SharePct, res.RouteIndex, res.Merged,
+					res.WallMs, res.EventsPerSec, res.Matches)
+			}
+			merged, indep := byName["merged"], byName["independent"]
+			if merged.Matches != indep.Matches {
+				return fmt.Errorf("queries=%d share=%d: merged arm found %d matches, independent %d",
+					n, share, merged.Matches, indep.Matches)
+			}
+			fmt.Printf("%-14s queries=%-4d share=%-2d merge speedup: %.2fx\n",
+				"", n, share, indep.NsPerEvent/merged.NsPerEvent)
+			if sa, ok := byName["scan-all"]; ok {
+				fmt.Printf("%-14s queries=%-4d share=%-2d route speedup: %.2fx\n",
+					"", n, share, sa.NsPerEvent/merged.NsPerEvent)
+			}
 		}
 	}
 	if jsonPath != "" {
@@ -1145,13 +1198,23 @@ func runBenchMultiQuery(queriesList string, events int, jsonPath, baselinePath s
 }
 
 // benchMultiQueryFanout times one fan-out configuration: nQueries keyed SEQ
-// queries, each pinned to its own reader id, over a feed whose reader ids
-// cycle so every tuple is relevant to exactly one query. The feed is built
-// before the clock starts; only engine work is measured.
-func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, error) {
+// queries over a feed whose reader ids cycle so every C2 tuple is relevant
+// to exactly one query. The first sharePct percent of the queries open with
+// the same first step — C1 at the shared 'DOCK' reader, keyed on tagid,
+// under the same window — so the planner merges them into one automaton
+// with per-query acceptance; the rest pin C1 to their own reader and stay
+// independent. The feed sends C1 through DOCK for pairs aimed at shared
+// queries, which is exactly the fan-out merging collapses: unmerged, every
+// shared query's matcher consumes each DOCK tuple; merged, one does. The
+// feed is built before the clock starts; only engine work is measured.
+func benchMultiQueryFanout(nQueries, sharePct int, route, merge bool, events int) (benchResult, error) {
+	nShared := nQueries * sharePct / 100
 	var opts []eslev.Option
 	if !route {
 		opts = append(opts, eslev.WithoutRouteIndex())
+	}
+	if !merge {
+		opts = append(opts, eslev.WithoutPlanMerge())
 	}
 	e := eslev.New(opts...)
 	if _, err := e.Exec(`
@@ -1162,13 +1225,16 @@ func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, e
 	var matches int64
 	onRow := func(eslev.Row) { matches++ }
 	for qi := 0; qi < nQueries; qi++ {
-		reader := fmt.Sprintf("R%d", qi)
+		c1Reader := fmt.Sprintf("R%d", qi)
+		if qi < nShared {
+			c1Reader = "DOCK"
+		}
 		sql := fmt.Sprintf(`
 			SELECT C2.tagid, C2.tagtime FROM C1, C2
 			WHERE SEQ(C1, C2) OVER [1 SECONDS PRECEDING C2]
-			AND C1.readerid = '%s' AND C2.readerid = '%s'
-			AND C1.tagid = C2.tagid`, reader, reader)
-		if _, err := e.RegisterQuery(fmt.Sprintf("q%03d", qi), sql, onRow); err != nil {
+			AND C1.readerid = '%s' AND C2.readerid = 'R%d'
+			AND C1.tagid = C2.tagid`, c1Reader, qi)
+		if _, err := e.RegisterQuery(fmt.Sprintf("q%04d", qi), sql, onRow); err != nil {
 			return benchResult{}, err
 		}
 	}
@@ -1180,13 +1246,18 @@ func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, e
 	items := make([]eslev.Item, 0, events)
 	for i := 0; i < events; i++ {
 		pair := i / 2
+		q := pair % nQueries
 		name := "C1"
+		reader := fmt.Sprintf("R%d", q)
+		if i%2 == 0 && q < nShared {
+			reader = "DOCK"
+		}
 		if i%2 == 1 {
 			name = "C2"
 		}
 		at := eslev.TS(time.Duration(i+1) * 10 * time.Millisecond)
 		tu, err := eslev.NewTuple(schemas[name], at,
-			eslev.Str(fmt.Sprintf("R%d", pair%nQueries)),
+			eslev.Str(reader),
 			eslev.Str(fmt.Sprintf("t%d", pair%tags)),
 			eslev.Null)
 		if err != nil {
@@ -1210,7 +1281,9 @@ func benchMultiQueryFanout(nQueries int, route bool, events int) (benchResult, e
 		Shards:       1,
 		Batch:        multiQueryBatch,
 		Queries:      nQueries,
+		SharePct:     sharePct,
 		RouteIndex:   route,
+		Merged:       merge,
 		Events:       events,
 		Matches:      matches,
 		WallMs:       float64(wall) / float64(time.Millisecond),

@@ -41,6 +41,15 @@ type Matcher struct {
 	parts  map[uint64][]*partition // key hash -> partitions (collision chain)
 	nparts int
 
+	// clock is the event time the matcher has observed — pushed tuples and
+	// Advance calls alike. Engines evict lazily against the clock as it
+	// stood BEFORE the tuple being pushed: that reproduces, exactly, the
+	// serial interleaving "push tuple, then advance to its timestamp" that
+	// per-item ingestion performs, no matter how pushes are batched. The
+	// ordering is observable: with star steps, eviction decides whether a
+	// step-0 tuple is absorbed into a stale open run or starts a fresh one.
+	clock stream.Timestamp
+
 	// Scratch storage reused across Push/PushBatch calls so the steady-state
 	// matching path allocates nothing. A Matcher is not safe for concurrent
 	// use (the engine serializes access), so plain fields suffice.
@@ -208,10 +217,12 @@ func (m *Matcher) filterSteps(r *Resolved, t *stream.Tuple, dst []int) ([]int, u
 // pushSteps feeds one tuple with its qualifying steps to the right
 // partition engines, reusing scratch storage for the key grouping.
 func (m *Matcher) pushSteps(steps []int, mask uint64, t *stream.Tuple) ([]*Match, error) {
+	pre := m.observe(t.TS)
 	if len(steps) == 0 {
 		return nil, nil
 	}
 	if !m.def.Partitioned() {
+		m.single.advance(pre)
 		return m.single.push(steps, mask, t)
 	}
 	// Partitioned: group qualifying steps by their extracted key.
@@ -233,7 +244,9 @@ func (m *Matcher) pushSteps(steps []int, mask uint64, t *stream.Tuple) ([]*Match
 		}
 		rem = rem[:n]
 		m.sameScratch = same
-		matches, err := m.partitionFor(key).eng.push(same, sameMask, t)
+		p := m.partitionFor(key)
+		p.eng.advance(pre)
+		matches, err := p.eng.push(same, sameMask, t)
 		out = append(out, matches...)
 		if err != nil {
 			m.remScratch = rem
@@ -242,6 +255,17 @@ func (m *Matcher) pushSteps(steps []int, mask uint64, t *stream.Tuple) ([]*Match
 	}
 	m.remScratch = rem
 	return out, nil
+}
+
+// observe folds a pushed tuple's timestamp into the matcher clock and
+// returns the clock as it stood before the tuple — the eviction horizon
+// serial push-then-advance ingestion would have applied by now.
+func (m *Matcher) observe(ts stream.Timestamp) stream.Timestamp {
+	pre := m.clock
+	if ts > m.clock {
+		m.clock = ts
+	}
+	return pre
 }
 
 // BatchMatch is one completed match from PushBatch, tagged with the index
@@ -259,9 +283,23 @@ type BatchMatch struct {
 // to the exact serial emission order (by triggering tuple, then by the
 // serial key-visit order within a tuple).
 func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, error) {
+	return m.PushBatchAt(r, run, nil)
+}
+
+// PushBatchAt is PushBatch with explicit eviction horizons: prev, when
+// non-nil, is parallel to run and prev[i] holds the timestamp of the tuple
+// that immediately preceded run[i] in the full joint history. Callers that
+// drop tuples from a run before pushing (guarded routing) pass the horizons
+// so eviction still tracks every arrival, exactly as serial per-item
+// ingestion would.
+func (m *Matcher) PushBatchAt(r *Resolved, run []*stream.Tuple, prev []stream.Timestamp) ([]BatchMatch, error) {
 	var out []BatchMatch
 	if !m.def.Partitioned() {
 		for i, t := range run {
+			pre := m.observe(t.TS)
+			if len(prev) > 0 && prev[i] > pre {
+				pre = prev[i]
+			}
 			steps, mask := m.filterSteps(r, t, m.stepScratch[:0])
 			m.stepScratch = steps
 			if len(steps) == 0 {
@@ -270,6 +308,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 				// non-extending arrival and break the active run.
 				continue
 			}
+			m.single.advance(pre)
 			matches, err := m.single.push(steps, mask, t)
 			for _, match := range matches {
 				out = append(out, BatchMatch{Index: i, Match: match})
@@ -282,6 +321,7 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 	}
 	// Pass 1: resolve steps and group by partition, preserving per-tuple
 	// key-visit order in ord.
+	entryClock := m.clock
 	arena := m.stepArena[:0]
 	touched := m.touched[:0]
 	ord := 0
@@ -318,11 +358,26 @@ func (m *Matcher) PushBatch(r *Resolved, run []*stream.Tuple) ([]BatchMatch, err
 		}
 	}
 	m.stepArena = arena
-	// Pass 2: drain each touched partition in arrival order.
+	if n := len(run); n > 0 {
+		m.observe(run[n-1].TS)
+	}
+	// Pass 2: drain each touched partition in arrival order, first evicting
+	// to the serial clock horizon — the previous tuple's timestamp — so
+	// state at each push matches the per-item interleaving exactly.
 	emits := m.emitScratch[:0]
 	var pushErr error
 	for _, p := range touched {
 		for _, pp := range p.pending {
+			pre := entryClock
+			if pp.index > 0 {
+				if ts := run[pp.index-1].TS; ts > pre {
+					pre = ts
+				}
+			}
+			if len(prev) > 0 && prev[pp.index] > pre {
+				pre = prev[pp.index]
+			}
+			p.eng.advance(pre)
 			matches, err := p.eng.push(arena[pp.lo:pp.hi], pp.mask, run[pp.index])
 			if len(matches) > 0 {
 				emits = append(emits, batchEmit{ord: pp.ord, index: pp.index, matches: matches})
@@ -364,6 +419,9 @@ func (m *Matcher) partitionFor(key stream.Value) *partition {
 // Advance moves event time to ts (from a heartbeat or a non-participating
 // tuple), evicting expired matching state.
 func (m *Matcher) Advance(ts stream.Timestamp) {
+	if ts > m.clock {
+		m.clock = ts
+	}
 	if m.single != nil {
 		m.single.advance(ts)
 		return

@@ -223,6 +223,7 @@ func (e *chainEngine) load(dec *snapshot.Decoder) error {
 // deterministic (key hash, collision-chain position) order so the same
 // logical state always yields the same bytes.
 func (m *Matcher) Save(enc *snapshot.Encoder) {
+	enc.TS(m.clock)
 	if m.single != nil {
 		enc.Bool(false)
 		m.single.save(enc)
@@ -266,6 +267,11 @@ func sortedPartitions(parts map[uint64][]*partition) []*partition {
 // pattern. Loading into a differently-shaped matcher (partitioning, step
 // count, mode) returns ErrStateMismatch.
 func (m *Matcher) Load(dec *snapshot.Decoder) error {
+	clock, err := dec.TS()
+	if err != nil {
+		return err
+	}
+	m.clock = clock
 	part, err := dec.Bool()
 	if err != nil {
 		return err

@@ -1,0 +1,381 @@
+package esl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Compile-to-closure execution for SEQ step predicates, plus the canonical
+// query renderer the plan-merging layer keys groups by.
+//
+// The planner historically evaluated every pushed-down step filter through
+// the generic expression interpreter: pool an Env, bind the tuple, walk the
+// AST under three-valued logic. For the constant-comparison shapes that
+// dominate real alert workloads (reader equality, range gates) that is all
+// overhead. compileTupleFilter recognizes those shapes at register time and
+// emits a specialized Go closure whose observable behavior is identical to
+// the interpreted filter: a predicate evaluating to NULL (unknown) or to a
+// type error refuses the tuple, exactly as EvalBool's err==nil && ok &&
+// known contract does.
+
+// Closure-compilation tier names, surfaced by EXPLAIN.
+const (
+	tierEqConst     = "eq-const"
+	tierCmpConst    = "cmp-const"
+	tierBetween     = "between-const"
+	tierIsNull      = "is-null"
+	tierInterpreted = "interpreted"
+)
+
+// compiledPred is one conjunct's compiled form.
+type compiledPred struct {
+	fn   func(*stream.Tuple) bool
+	tier string
+	// isEq/eqPos/eqVal expose a `col = literal` shape for acceptance
+	// indexing in merged groups (in addition to fn, which enforces it too).
+	isEq  bool
+	eqPos int
+	eqVal stream.Value
+}
+
+// litOperand unwraps a literal or interval operand to its constant value.
+func litOperand(e Expr) (stream.Value, bool) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, true
+	case *Interval:
+		return stream.Int(x.D.Nanoseconds()), true
+	}
+	return stream.Null, false
+}
+
+// flipCmp mirrors a comparison operator for `lit OP col` → `col OP' lit`.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// compileTupleFilter compiles one single-alias conjunct into a specialized
+// closure over the step's tuple. The fallback tier routes through the
+// interpreter, so every expression the planner accepts as a step filter
+// stays supported.
+func compileTupleFilter(expr Expr, schema *stream.Schema, aliasLower string, funcs *FuncRegistry) compiledPred {
+	interp := func() compiledPred {
+		return compiledPred{tier: tierInterpreted, fn: func(t *stream.Tuple) bool {
+			env := getEnv(funcs)
+			env.bindTupleLower(aliasLower, t)
+			ok, known, err := env.EvalBool(expr)
+			putEnv(env)
+			return err == nil && ok && known
+		}}
+	}
+	switch x := expr.(type) {
+	case *Binary:
+		op := x.Op
+		ref, refOK := x.L.(*ColRef)
+		lit, litOK := litOperand(x.R)
+		if !refOK || !litOK {
+			if ref, refOK = x.R.(*ColRef); refOK {
+				if lit, litOK = litOperand(x.L); litOK {
+					op = flipCmp(op)
+				}
+			}
+		}
+		if !refOK || !litOK {
+			return interp()
+		}
+		if ref.Qualifier != "" && strings.ToLower(ref.Qualifier) != aliasLower {
+			return interp() // references a different scope; not a tuple filter shape
+		}
+		pos, ok := schema.Col(ref.Name)
+		if !ok {
+			return interp() // unknown column: the interpreter's error path rules
+		}
+		if lit.IsNull() {
+			// col OP NULL is unknown for every tuple: constant refusal.
+			return compiledPred{tier: tierCmpConst, fn: func(*stream.Tuple) bool { return false }}
+		}
+		switch op {
+		case "=":
+			return compiledPred{tier: tierEqConst, isEq: true, eqPos: pos, eqVal: lit,
+				fn: func(t *stream.Tuple) bool {
+					v := t.Get(pos)
+					if v.IsNull() {
+						return false
+					}
+					c, ok := v.Compare(lit)
+					return ok && c == 0
+				}}
+		case "<>", "<", "<=", ">", ">=":
+			cmpOp := op
+			return compiledPred{tier: tierCmpConst, fn: func(t *stream.Tuple) bool {
+				v := t.Get(pos)
+				if v.IsNull() {
+					return false
+				}
+				c, ok := v.Compare(lit)
+				if !ok {
+					return false
+				}
+				switch cmpOp {
+				case "<>":
+					return c != 0
+				case "<":
+					return c < 0
+				case "<=":
+					return c <= 0
+				case ">":
+					return c > 0
+				default:
+					return c >= 0
+				}
+			}}
+		}
+		return interp()
+
+	case *Between:
+		ref, refOK := x.X.(*ColRef)
+		lo, loOK := litOperand(x.Lo)
+		hi, hiOK := litOperand(x.Hi)
+		if !refOK || !loOK || !hiOK {
+			return interp()
+		}
+		if ref.Qualifier != "" && strings.ToLower(ref.Qualifier) != aliasLower {
+			return interp()
+		}
+		pos, ok := schema.Col(ref.Name)
+		if !ok {
+			return interp()
+		}
+		if lo.IsNull() || hi.IsNull() {
+			return compiledPred{tier: tierBetween, fn: func(*stream.Tuple) bool { return false }}
+		}
+		neg := x.Negate
+		return compiledPred{tier: tierBetween, fn: func(t *stream.Tuple) bool {
+			v := t.Get(pos)
+			if v.IsNull() {
+				return false
+			}
+			c1, ok1 := v.Compare(lo)
+			c2, ok2 := v.Compare(hi)
+			if !ok1 || !ok2 {
+				return false
+			}
+			in := c1 >= 0 && c2 <= 0
+			if neg {
+				return !in
+			}
+			return in
+		}}
+
+	case *IsNull:
+		ref, refOK := x.X.(*ColRef)
+		if !refOK {
+			return interp()
+		}
+		if ref.Qualifier != "" && strings.ToLower(ref.Qualifier) != aliasLower {
+			return interp()
+		}
+		pos, ok := schema.Col(ref.Name)
+		if !ok {
+			return interp()
+		}
+		neg := x.Negate
+		return compiledPred{tier: tierIsNull, fn: func(t *stream.Tuple) bool {
+			return t.Get(pos).IsNull() != neg
+		}}
+	}
+	return interp()
+}
+
+// fuseFilters chains compiled conjuncts into one step filter (AND). One
+// conjunct returns its closure directly; zero returns nil.
+func fuseFilters(preds []compiledPred) func(*stream.Tuple) bool {
+	switch len(preds) {
+	case 0:
+		return nil
+	case 1:
+		return preds[0].fn
+	}
+	fns := make([]func(*stream.Tuple) bool, len(preds))
+	for i, p := range preds {
+		fns[i] = p.fn
+	}
+	return func(t *stream.Tuple) bool {
+		for _, fn := range fns {
+			if !fn(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ---- canonicalization ------------------------------------------------------
+
+// canonExpr renders an expression with step aliases normalized to "#<ord>",
+// so textually different but structurally identical predicates from separate
+// queries compare equal. ok is false for expressions the merge layer refuses
+// to canonicalize: function calls (possibly impure UDFs) and sub-queries.
+// resolve maps a column reference to its step ordinal.
+func canonExpr(e Expr, resolve func(*ColRef) (int, bool), ord func(alias string) (int, bool)) (string, bool) {
+	var b strings.Builder
+	ok := canonInto(&b, e, resolve, ord)
+	return b.String(), ok
+}
+
+func canonInto(b *strings.Builder, e Expr, resolve func(*ColRef) (int, bool), ord func(alias string) (int, bool)) bool {
+	switch x := e.(type) {
+	case *Literal:
+		b.WriteString(x.Val.Kind().String())
+		b.WriteString(":")
+		b.WriteString(ExprString(x))
+		return true
+	case *Interval:
+		b.WriteString(ExprString(x))
+		return true
+	case *ColRef:
+		i, ok := resolve(x)
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(b, "#%d.%s", i, strings.ToLower(x.Name))
+		return true
+	case *PrevRef:
+		i, ok := ord(x.Alias)
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(b, "#%d.previous.%s", i, strings.ToLower(x.Name))
+		return true
+	case *StarAgg:
+		i, ok := ord(x.Alias)
+		if !ok {
+			return false
+		}
+		fmt.Fprintf(b, "%s(#%d*).%s", strings.ToUpper(x.Fn), i, strings.ToLower(x.Name))
+		return true
+	case *Unary:
+		b.WriteString("(")
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		if !canonInto(b, x.X, resolve, ord) {
+			return false
+		}
+		b.WriteString(")")
+		return true
+	case *Binary:
+		b.WriteString("(")
+		if !canonInto(b, x.L, resolve, ord) {
+			return false
+		}
+		b.WriteString(" " + x.Op + " ")
+		if !canonInto(b, x.R, resolve, ord) {
+			return false
+		}
+		b.WriteString(")")
+		return true
+	case *Between:
+		b.WriteString("(")
+		if !canonInto(b, x.X, resolve, ord) {
+			return false
+		}
+		if x.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		if !canonInto(b, x.Lo, resolve, ord) {
+			return false
+		}
+		b.WriteString(" AND ")
+		if !canonInto(b, x.Hi, resolve, ord) {
+			return false
+		}
+		b.WriteString(")")
+		return true
+	case *IsNull:
+		b.WriteString("(")
+		if !canonInto(b, x.X, resolve, ord) {
+			return false
+		}
+		if x.Negate {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+		return true
+	}
+	// Call (possibly impure UDF), Exists, SeqExpr: not canonicalizable.
+	return false
+}
+
+// canonSet renders a conjunct set order-independently: each conjunct
+// canonicalized, then sorted.
+func canonSet(exprs []string) string {
+	sorted := append([]string(nil), exprs...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, " && ")
+}
+
+// ---- fast projection -------------------------------------------------------
+
+// projSlot is one output column of a fast projection: the last tuple bound
+// to step, column pos.
+type projSlot struct {
+	step int
+	pos  int
+}
+
+// fastProj is a projection whose every item is a plain column reference on a
+// non-star step: rows build by direct tuple indexing, with no environment,
+// no scope walk, and no expression dispatch.
+type fastProj struct {
+	slots []projSlot
+}
+
+func (fp *fastProj) build(m *core.Match) []stream.Value {
+	vals := make([]stream.Value, len(fp.slots))
+	for i, s := range fp.slots {
+		if t := m.Last(s.step); t != nil {
+			vals[i] = t.Get(s.pos)
+		}
+	}
+	return vals
+}
+
+// compileFastProjection recognizes the all-plain-columns select list.
+// resolve maps a column reference to (step ordinal, column position).
+func compileFastProjection(sel *Select, resolve func(*ColRef) (int, int, bool)) *fastProj {
+	if sel.Distinct {
+		return nil
+	}
+	fp := &fastProj{}
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil
+		}
+		ref, ok := item.Expr.(*ColRef)
+		if !ok {
+			return nil
+		}
+		step, pos, ok := resolve(ref)
+		if !ok {
+			return nil
+		}
+		fp.slots = append(fp.slots, projSlot{step: step, pos: pos})
+	}
+	return fp
+}

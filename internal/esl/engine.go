@@ -84,6 +84,13 @@ type Engine struct {
 	routeScratch [][]int
 	subScratch   []*stream.Batch
 
+	// Plan merging (merge.go). groups holds the shared-automaton groups that
+	// callback-only SEQ queries join at registration; noMerge disables the
+	// layer (the WithoutPlanMerge escape hatch).
+	noMerge     bool
+	groups      []*mergeGroup
+	nextGroupID int
+
 	// Fault tolerance (robust.go). ingest is the slack/lateness/dedup
 	// boundary stage, nil on a default-configured engine so the strict path
 	// carries no overhead; onDead are the quarantine-stream subscribers;
@@ -246,6 +253,7 @@ func New(opts ...Option) *Engine {
 		opt(&cfg)
 	}
 	e.noRoute = cfg.NoRouteIndex
+	e.noMerge = cfg.NoPlanMerge
 	e.journalDir = cfg.JournalDir
 	e.jcfg = cfg.Journal
 	e.ckptEvery = cfg.CheckpointEvery
@@ -539,6 +547,25 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 		return nil, err
 	}
 	q.op = op
+	// Plan merging: an eligible callback-only SEQ query joins a shared
+	// automaton group instead of wiring its own matcher into the stream
+	// readers. Derived-sink queries stay independent (their emissions re-enter
+	// the engine mid-push, which the group's deferred attribution would
+	// reorder).
+	if ev, ok := op.(*eventOp); ok && !e.noMerge && target == "" &&
+		ev.merge != nil && ev.merge.eligible {
+		mem, err := e.joinGroupLocked(ev, q, inputs)
+		if err != nil {
+			return nil, err
+		}
+		q.op = mem
+		q.reads = append([]string(nil), mem.g.q.reads...)
+		e.queries = append(e.queries, q)
+		if mem.timeSensitive() {
+			e.sensitive = true
+		}
+		return q, nil
+	}
 	for streamName, aliases := range inputs {
 		key := strings.ToLower(streamName)
 		si := e.streams[key]
@@ -862,6 +889,11 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 		}
 		e.subScratch = subs[:0]
 		buf := e.routeBuf()
+		// prevTS tracks the timestamp of the preceding full-run tuple: a
+		// guarded sub-run carries it per tuple (Batch.Prev) so matchers can
+		// evict to the exact horizon the per-item path would have — arrivals
+		// the guard drops still advance event time.
+		prevTS := e.now
 		for _, it := range items {
 			buf = rt.dispatchGuarded(si.readers, it.Tuple, buf[:0])
 			for _, ri := range buf {
@@ -869,7 +901,9 @@ func (e *Engine) routeRunLocked(si *streamInfo, items []stream.Item) error {
 					subs[ri] = stream.GetBatch()
 				}
 				subs[ri].Tuples = append(subs[ri].Tuples, it.Tuple)
+				subs[ri].Prev = append(subs[ri].Prev, prevTS)
 			}
+			prevTS = it.Tuple.TS
 		}
 		e.routeScratch[e.depth] = buf
 	}
@@ -1074,6 +1108,11 @@ func (e *Engine) Heartbeat(ts stream.Timestamp) error {
 func (e *Engine) advanceLocked(ts stream.Timestamp) error {
 	for _, q := range e.queries {
 		if err := e.advanceQueryLocked(q, ts); err != nil {
+			return err
+		}
+	}
+	for _, g := range e.groups {
+		if err := e.advanceQueryLocked(g.q, ts); err != nil {
 			return err
 		}
 	}

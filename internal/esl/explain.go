@@ -84,6 +84,16 @@ func (e *Engine) Explain(sql string) (string, error) {
 		if x.levelFilter != nil {
 			b.WriteString("  CLEVEL comparison filters emissions by completion level\n")
 		}
+		for i, tiers := range x.filterTiers {
+			if len(tiers) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  step %s filter: %s\n", x.def.Steps[i].Alias, strings.Join(tiers, ", "))
+		}
+		if x.fastProj != nil {
+			b.WriteString("  projection: compiled column-copy fast path\n")
+		}
+		explainMergeLocked(&b, e, x, target)
 
 	case *aggregateOp:
 		b.WriteString("continuous aggregation\n")
@@ -155,6 +165,42 @@ func (e *Engine) Explain(sql string) (string, error) {
 		fmt.Fprintf(&b, "  sink: %s\n", target)
 	}
 	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+// explainMergeLocked renders the plan-merging verdict for a compiled event
+// query: whether registration would share an automaton, at which tier, with
+// whom — or why not.
+func explainMergeLocked(b *strings.Builder, e *Engine, x *eventOp, target string) {
+	switch {
+	case e.noMerge:
+		b.WriteString("  plan merging: disabled (WithoutPlanMerge)\n")
+	case target != "":
+		b.WriteString("  plan merging: not applicable (derived-stream sink)\n")
+	case x.merge == nil:
+		b.WriteString("  plan merging: not applicable (non-SEQ operator)\n")
+	case !x.merge.eligible:
+		fmt.Fprintf(b, "  plan merging: ineligible (%s)\n", x.merge.reason)
+	default:
+		tier := tierIdentical
+		if x.merge.prefixSafe {
+			tier = tierPrefix
+		}
+		fmt.Fprintf(b, "  plan merging: eligible, %s tier", tier)
+		if !x.merge.prefixSafe && x.merge.reason != "" {
+			fmt.Fprintf(b, " (prefix tier out: %s)", x.merge.reason)
+		}
+		b.WriteString("\n")
+		if g := e.mergeGroupForLocked(x.merge); g != nil {
+			names := make([]string, 0, len(g.members))
+			for _, mem := range g.members {
+				names = append(names, mem.ev.q.describe())
+			}
+			fmt.Fprintf(b, "  would join group %d sharing its automaton with: %s\n",
+				g.id, strings.Join(names, ", "))
+		} else {
+			b.WriteString("  no compatible group live: would found a new one\n")
+		}
+	}
 }
 
 // windowText renders a window clause briefly for EXPLAIN.

@@ -18,6 +18,10 @@ type Config struct {
 	// every tuple through every registered reader (the pre-index behavior).
 	// Escape hatch for debugging and for the equivalence test suites.
 	NoRouteIndex bool
+	// NoPlanMerge disables multi-query plan merging: every SEQ query runs
+	// its own automaton (the pre-merge behavior). Escape hatch for debugging
+	// and the reference arm of the merge equivalence suite.
+	NoPlanMerge bool
 
 	// Durability (snapshot.go): JournalDir enables the write-ahead event
 	// journal; Journal tunes segment rotation and the fsync policy;
@@ -91,6 +95,14 @@ func WithoutRouteIndex() Option {
 	return func(c *Config) { c.NoRouteIndex = true }
 }
 
+// WithoutPlanMerge disables multi-query plan merging: every SEQ query runs
+// its own automaton instead of joining a shared-prefix group. Merging is
+// semantics-preserving, so this exists as a debugging escape hatch and as
+// the reference arm of the merge equivalence suite.
+func WithoutPlanMerge() Option {
+	return func(c *Config) { c.NoPlanMerge = true }
+}
+
 // EngineStats is the engine-wide robustness counter snapshot. The ingest
 // boundary balance is
 //
@@ -126,8 +138,15 @@ func (e *Engine) EngineStats() EngineStats {
 	for _, si := range e.streams {
 		for i := range si.readers {
 			rd := &si.readers[i]
-			st.RoutedDeliveries += rd.routed
-			st.SkippedDeliveries += si.ntuples - rd.routed
+			// A merged-group reader delivers to every member at once; weight
+			// its counts by the member count so the totals stay comparable to
+			// per-query engines (and to the sum of per-query Stats).
+			w := uint64(1)
+			if mop, ok := rd.q.op.(*mergedOp); ok {
+				w = uint64(len(mop.g.members))
+			}
+			st.RoutedDeliveries += rd.routed * w
+			st.SkippedDeliveries += (si.ntuples - rd.routed) * w
 		}
 	}
 	if e.ingest != nil {
@@ -276,6 +295,20 @@ func (e *Engine) advanceQueryLocked(q *Query, ts stream.Timestamp) (err error) {
 // quarantineQueryLocked disables a panicked query and emits the dead-letter
 // record carrying the panic value, the offending tuple, and the stack.
 func (e *Engine) quarantineQueryLocked(q *Query, t *stream.Tuple, r interface{}) {
+	if mop, ok := q.op.(*mergedOp); ok {
+		// A panic inside the shared automaton takes the whole group down:
+		// mark the hidden group query (stopping delivery) and quarantine
+		// every member, so per-query accounting and dead letters line up
+		// with N independent queries all hitting the same panic.
+		q.quarantined = true
+		q.qErr = fmt.Errorf("esl: merged group quarantined: panic: %v", r)
+		for _, mem := range mop.g.members {
+			if !mem.ev.q.quarantined {
+				e.quarantineQueryLocked(mem.ev.q, t, r)
+			}
+		}
+		return
+	}
 	q.quarantined = true
 	q.qErr = fmt.Errorf("esl: query %s quarantined: panic: %v", q.describe(), r)
 	e.nquarantined++

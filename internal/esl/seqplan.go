@@ -34,12 +34,21 @@ type eventOp struct {
 	lowerAliases []string
 
 	proj *projection
+	// fastProj short-circuits projection when every select item is a plain
+	// column on a non-star step (nil otherwise).
+	fastProj *fastProj
 	// starItemAlias is set when the projection references a star step's
 	// individual tuples (the multi-return form of §3.1.2).
 	starItemAlias string
 	starItemStep  int
 	// levelFilter gates CLEVEL_SEQ emissions (e.g. "< 3").
 	levelFilter func(level int) bool
+
+	// merge classifies the query for the plan-merging layer (SEQ only; nil
+	// for the exception kinds). filterTiers records each step's pushed-down
+	// filter conjuncts' closure-compilation tiers for EXPLAIN.
+	merge       *mergeSpec
+	filterTiers [][]string
 
 	// resolved caches the matcher's alias→step resolution per reader alias
 	// slice (reader slices are stable for the life of a query, so slice
@@ -50,6 +59,51 @@ type eventOp struct {
 type resolvedEntry struct {
 	aliases []string
 	res     *core.Resolved
+}
+
+// stepConjunct is one classified WHERE conjunct of a SEQ-family query: the
+// step aliases it references, whether it uses the previous operator, and the
+// latest step (evalAt) at which all references are bound.
+type stepConjunct struct {
+	expr    Expr
+	refs    map[string]bool // lower aliases referenced
+	hasPrev bool
+	evalAt  int
+}
+
+// buildPredClosure compiles the residual conjunct lists into the matcher's
+// bind-time predicate. Conjuncts assigned to steps at or beyond upTo are
+// skipped — the plan-merging layer rebuilds a shared prefix predicate with
+// upTo = len(steps)-1 and moves the final step's residuals into per-member
+// acceptance checks.
+func buildPredClosure(funcs *FuncRegistry, def *core.Def, idx map[string]int, lowers []string,
+	predsByStep [][]stepConjunct, upTo int) func(*core.Match, int, *stream.Tuple) bool {
+	return func(partial *core.Match, stepIdx int, t *stream.Tuple) bool {
+		if stepIdx >= upTo {
+			return true
+		}
+		for _, cl := range predsByStep[stepIdx] {
+			env := getEnv(funcs)
+			env.BindMatchIndexed(partial, def, idx, lowers)
+			if cl.hasPrev {
+				env.bindStarTupleLower(lowers[stepIdx], t, partial.Last(stepIdx))
+				// The previous-operator constraint only applies from
+				// the second tuple of a run.
+				if partial.Last(stepIdx) == nil {
+					putEnv(env)
+					continue
+				}
+			} else {
+				env.bindTupleLower(lowers[stepIdx], t)
+			}
+			ok, known, err := env.EvalBool(cl.expr)
+			putEnv(env)
+			if err != nil || !ok || !known {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // compileEventQuery plans a SELECT whose WHERE contains a SEQ-family
@@ -154,13 +208,7 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		return found, nil
 	}
 
-	type classified struct {
-		expr    Expr
-		refs    map[string]bool // lower aliases referenced
-		hasPrev bool
-		evalAt  int
-	}
-	var residual []classified
+	var residual []stepConjunct
 	var partitionEdges [][2]colKey
 
 	var levelCmp *Binary
@@ -198,7 +246,7 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		}
 
 		// General conjunct: find referenced aliases.
-		cl := classified{expr: c, refs: map[string]bool{}}
+		cl := stepConjunct{expr: c, refs: map[string]bool{}}
 		var resolveErr error
 		walkExpr(c, func(n Expr) {
 			switch x := n.(type) {
@@ -240,7 +288,8 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 	}
 
 	// Partition keys: a column-equality class covering every step.
-	if keyCols := solvePartition(partitionEdges, op.aliases); keyCols != nil {
+	keyCols := solvePartition(partitionEdges, op.aliases)
+	if keyCols != nil {
 		for i, alias := range op.aliases {
 			col := keyCols[strings.ToLower(alias)]
 			schema := aliasSchemaMap[strings.ToLower(alias)]
@@ -275,7 +324,7 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		// No full cover: the equality conjuncts become residual predicates.
 		for _, edge := range partitionEdges {
 			l, r := edge[0], edge[1]
-			cl := classified{
+			cl := stepConjunct{
 				expr: &Binary{Op: "=",
 					L: &ColRef{Qualifier: l.alias, Name: l.col},
 					R: &ColRef{Qualifier: r.alias, Name: r.col}},
@@ -310,29 +359,22 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		}
 		stepEq[stepIdx] = &guardPred{col: strings.ToLower(ref.Name), pos: pos, vals: []stream.Value{val}}
 	}
-	predsByStep := make([][]classified, len(op.def.Steps))
+	predsByStep := make([][]stepConjunct, len(op.def.Steps))
+	stepFilters := make([][]compiledPred, len(op.def.Steps))
+	stepFilterExprs := make([][]Expr, len(op.def.Steps))
 	for _, cl := range residual {
 		stepIdx := cl.evalAt
 		step := &op.def.Steps[stepIdx]
 		if len(cl.refs) == 1 && !cl.hasPrev && !exprHasStarAgg(cl.expr) && !step.Star {
 			// A filter failure clears the step's mask bit, and a tuple whose
 			// mask is empty is invisible to every matcher kind and mode — so
-			// filter-derived guards are always skip-safe.
+			// filter-derived guards are always skip-safe. The conjunct
+			// compiles to a specialized closure (constant equality, range,
+			// IS NULL) where its shape allows, interpreted otherwise.
 			captureStepEq(stepIdx, cl.expr)
-			expr := cl.expr
-			aliasLower := op.lowerAliases[stepIdx]
-			funcs := e.funcs
-			prevFilter := step.Filter
-			step.Filter = func(t *stream.Tuple) bool {
-				if prevFilter != nil && !prevFilter(t) {
-					return false
-				}
-				env := getEnv(funcs)
-				env.bindTupleLower(aliasLower, t)
-				ok, known, err := env.EvalBool(expr)
-				putEnv(env)
-				return err == nil && ok && known
-			}
+			cp := compileTupleFilter(cl.expr, aliasSchemaMap[op.lowerAliases[stepIdx]], op.lowerAliases[stepIdx], e.funcs)
+			stepFilters[stepIdx] = append(stepFilters[stepIdx], cp)
+			stepFilterExprs[stepIdx] = append(stepFilterExprs[stepIdx], cl.expr)
 			continue
 		}
 		if gap, ok := maxGapShape(cl.expr, step, aliasSchemaMap); ok && step.Star {
@@ -354,6 +396,16 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		predsByStep[stepIdx] = append(predsByStep[stepIdx], cl)
 	}
 
+	// Fuse each step's compiled filter conjuncts into one closure and record
+	// the tiers for EXPLAIN.
+	op.filterTiers = make([][]string, len(op.def.Steps))
+	for i := range op.def.Steps {
+		op.def.Steps[i].Filter = fuseFilters(stepFilters[i])
+		for _, cp := range stepFilters[i] {
+			op.filterTiers[i] = append(op.filterTiers[i], cp.tier)
+		}
+	}
+
 	// The residual predicate closure.
 	hasPreds := false
 	for _, ps := range predsByStep {
@@ -362,32 +414,7 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 		}
 	}
 	if hasPreds {
-		def := &op.def
-		funcs := e.funcs
-		idx, lowers := op.stepIdx, op.lowerAliases
-		op.def.Pred = func(partial *core.Match, stepIdx int, t *stream.Tuple) bool {
-			for _, cl := range predsByStep[stepIdx] {
-				env := getEnv(funcs)
-				env.BindMatchIndexed(partial, def, idx, lowers)
-				if cl.hasPrev {
-					env.bindStarTupleLower(lowers[stepIdx], t, partial.Last(stepIdx))
-					// The previous-operator constraint only applies from
-					// the second tuple of a run.
-					if partial.Last(stepIdx) == nil {
-						putEnv(env)
-						continue
-					}
-				} else {
-					env.bindTupleLower(lowers[stepIdx], t)
-				}
-				ok, known, err := env.EvalBool(cl.expr)
-				putEnv(env)
-				if err != nil || !ok || !known {
-					return false
-				}
-			}
-			return true
-		}
+		op.def.Pred = buildPredClosure(e.funcs, &op.def, op.stepIdx, op.lowerAliases, predsByStep, len(op.def.Steps))
 	}
 
 	// Build the matcher.
@@ -485,6 +512,45 @@ func (e *Engine) compileEventQuery(sel *Select, se *SeqExpr, q *Query) (queryOp,
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+
+	// Fast projection: when every select item is a plain column reference on
+	// a non-star step, rows build by direct tuple indexing with no
+	// expression-tree walk.
+	if se.Kind == "SEQ" && op.starItemStep < 0 {
+		op.fastProj = compileFastProjection(sel, func(ref *ColRef) (int, int, bool) {
+			alias, rErr := resolveAlias(ref)
+			if rErr != nil {
+				return 0, 0, false
+			}
+			i, ok := stepOf[alias]
+			if !ok || op.def.Steps[i].Star {
+				return 0, 0, false
+			}
+			pos, ok := aliasSchemaMap[alias].Col(ref.Name)
+			if !ok {
+				return 0, 0, false
+			}
+			return i, pos, true
+		})
+	}
+
+	// Classify the query for the plan-merging layer.
+	if se.Kind == "SEQ" {
+		op.merge = buildMergeSpec(op, keyCols, aliasStream, predsByStep, stepFilters, stepFilterExprs,
+			func(ref *ColRef) (int, bool) {
+				a, rErr := resolveAlias(ref)
+				if rErr != nil {
+					return 0, false
+				}
+				i, ok := stepOf[a]
+				return i, ok
+			},
+			func(alias string) (int, bool) {
+				i, ok := stepOf[strings.ToLower(alias)]
+				return i, ok
+			},
+			e.funcs)
 	}
 
 	// Routing: each step's alias reads its FROM source stream.
@@ -759,9 +825,12 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 		// keep the serial push/emit interleaving; only the per-push alias
 		// resolution is amortized (the engine also defers its trailing
 		// advance to the run boundary).
-		for _, t := range b.Tuples {
+		for i, t := range b.Tuples {
 			if t.TS > e.now {
 				e.now = t.TS
+			}
+			if len(b.Prev) > 0 {
+				op.seq.Advance(b.Prev[i])
 			}
 			matches, err := op.seq.PushResolved(r, t)
 			if err != nil {
@@ -779,7 +848,7 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 	// partition's state is visited once per run instead of once per tuple.
 	// The matcher returns matches in serial emission order; the clock is
 	// advanced to each trigger before its rows are emitted.
-	bms, err := op.seq.PushBatch(r, b.Tuples)
+	bms, err := op.seq.PushBatchAt(r, b.Tuples, b.Prev)
 	if err != nil {
 		return err
 	}
@@ -797,6 +866,9 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 // emitMatch projects one completed SEQ match — one row normally, one row
 // per star tuple in the multi-return form.
 func (op *eventOp) emitMatch(m *core.Match) error {
+	if op.fastProj != nil {
+		return op.q.sink(op.proj.row(op.fastProj.build(m), m.End()))
+	}
 	base := getEnv(op.e.funcs)
 	defer putEnv(base)
 	base.BindMatchIndexed(m, &op.def, op.stepIdx, op.lowerAliases)

@@ -21,11 +21,12 @@ import (
 // gives crash recovery: Recover loads the newest valid snapshot and replays
 // the journal suffix past its cut point.
 
-// opKind discriminates the three continuous-query plan shapes in a snapshot.
+// opKind discriminates the continuous-query plan shapes in a snapshot.
 const (
 	opKindFilterProject = 1
 	opKindAggregate     = 2
 	opKindEvent         = 3
+	opKindMergedMember  = 4
 )
 
 func opKindOf(op queryOp) (uint64, bool) {
@@ -36,6 +37,8 @@ func opKindOf(op queryOp) (uint64, bool) {
 		return opKindAggregate, true
 	case *eventOp:
 		return opKindEvent, true
+	case *memberOp:
+		return opKindMergedMember, true
 	}
 	return 0, false
 }
@@ -494,6 +497,29 @@ func (op *eventOp) loadOpState(dec *snapshot.Decoder) error {
 	return op.seq.Load(dec)
 }
 
+// --- merged members ---
+//
+// A merged member's own state is just its registration fence; the shared
+// automaton is serialized once per group in the engine's groups section.
+
+func (op *memberOp) saveOpState(enc *snapshot.Encoder) error {
+	enc.Uvarint(op.joinSeq)
+	return nil
+}
+
+func (op *memberOp) loadOpState(dec *snapshot.Decoder) error {
+	js, err := dec.Uvarint()
+	if err != nil {
+		return err
+	}
+	// The fence was taken against the snapshotted engine's sequence counter;
+	// re-registration on the fresh engine fenced at 0, so re-point the
+	// acceptor at the restored value.
+	op.joinSeq = js
+	op.g.accept.SetMinSeq(op.id, js)
+	return nil
+}
+
 // --- engine sections ---
 
 // resolverLocked resolves tuple schemas by stream name for the decoder.
@@ -550,6 +576,13 @@ func (e *Engine) saveStateLocked(enc *snapshot.Encoder) error {
 		if err := q.op.(opState).saveOpState(enc); err != nil {
 			return fmt.Errorf("query %s: %w", q.describe(), err)
 		}
+	}
+	enc.Uvarint(uint64(len(e.groups)))
+	for _, g := range e.groups {
+		enc.Uvarint(uint64(len(g.members)))
+		enc.Bool(g.virgin)
+		enc.Bool(g.q.quarantined)
+		g.seq.Save(enc)
 	}
 	names := e.store.Names()
 	sort.Strings(names)
@@ -680,6 +713,31 @@ func (e *Engine) loadStateLocked(dec *snapshot.Decoder) error {
 		q.quarantined = quar
 		if err := q.op.(opState).loadOpState(dec); err != nil {
 			return fmt.Errorf("query %s: %w", q.describe(), err)
+		}
+	}
+	ng, err := dec.Len()
+	if err != nil {
+		return err
+	}
+	if ng != len(e.groups) {
+		return snapshot.Mismatchf("engine has %d merged groups, snapshot has %d", len(e.groups), ng)
+	}
+	for _, g := range e.groups {
+		nm, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		if nm != len(g.members) {
+			return snapshot.Mismatchf("merged group %d has %d members, snapshot has %d", g.id, len(g.members), nm)
+		}
+		if g.virgin, err = dec.Bool(); err != nil {
+			return err
+		}
+		if g.q.quarantined, err = dec.Bool(); err != nil {
+			return err
+		}
+		if err := g.seq.Load(dec); err != nil {
+			return fmt.Errorf("merged group %d: %w", g.id, err)
 		}
 	}
 	nt, err := dec.Len()

@@ -80,6 +80,18 @@ func (e *Engine) Stats() []QueryStats {
 	for _, si := range e.streams {
 		for i := range si.readers {
 			rd := &si.readers[i]
+			// A merged-group reader feeds every member of its group: each
+			// member is credited the full delivery counts, exactly what its
+			// own reader would have seen unmerged (the group guard is the
+			// union of member guards, so routed may exceed a single member's
+			// unmerged count — the skip totals stay conservative).
+			if mop, ok := rd.q.op.(*mergedOp); ok {
+				for _, mem := range mop.g.members {
+					routed[mem.ev.q] += rd.routed
+					skipped[mem.ev.q] += si.ntuples - rd.routed
+				}
+				continue
+			}
 			routed[rd.q] += rd.routed
 			skipped[rd.q] += si.ntuples - rd.routed
 		}

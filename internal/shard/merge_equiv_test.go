@@ -1,0 +1,252 @@
+package shard
+
+// Plan-merging equivalence through the sharded engine: the same
+// prefix-sharing SEQ family the esl-level suite uses must produce identical
+// output on 1- and 4-shard engines — replicas merge plans internally by
+// default — as on an unmerged serial engine, across batch sizes and with
+// merging disabled as a control. Unregistering a merged member on a sharded
+// engine must split it out of every replica's shared automaton without
+// disturbing the remaining members.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+type mqEvt struct {
+	hb   bool
+	ts   stream.Timestamp
+	name string
+	vals []stream.Value
+}
+
+// mqFeed builds a DOCK-heavy two-stream feed, deterministic per seed, with
+// interleaved heartbeats.
+func mqFeed(seed int64, n int) []mqEvt {
+	rng := rand.New(rand.NewSource(seed))
+	var evts []mqEvt
+	at := 0
+	for i := 0; i < n; i++ {
+		at++
+		stn := []string{"C1", "C2"}[rng.Intn(2)]
+		rid := fmt.Sprintf("R%d", rng.Intn(6))
+		if stn == "C1" && rng.Intn(3) > 0 {
+			rid = "DOCK"
+		}
+		tag := fmt.Sprintf("t%d", rng.Intn(5))
+		evts = append(evts, mqEvt{ts: sec(at), name: stn,
+			vals: []stream.Value{stream.Str(rid), stream.Str(tag), stream.Time(sec(at))}})
+		if rng.Intn(16) == 0 {
+			at++
+			evts = append(evts, mqEvt{hb: true, ts: sec(at)})
+		}
+	}
+	return evts
+}
+
+const mqDDL = `
+	CREATE STREAM C1(readerid, tagid, tagtime);
+	CREATE STREAM C2(readerid, tagid, tagtime);`
+
+// registerMergeFamily registers the shared-prefix family (keyed on tagid, so
+// it shards across replicas and prefix-merges within each), identical twins
+// (unkeyed: homed on one replica, identical-tier merged there), and a loner.
+func registerMergeFamily(t *testing.T, reg func(name, sql string)) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		reg(fmt.Sprintf("fam-%d", i), fmt.Sprintf(`
+			SELECT C1.tagid, C2.tagtime FROM C1, C2
+			WHERE SEQ(C1, C2)
+			AND C1.readerid = 'DOCK' AND C2.readerid = 'R%d'
+			AND C1.tagid = C2.tagid`, i))
+	}
+	for i := 0; i < 2; i++ {
+		reg(fmt.Sprintf("twin-%d", i), `
+			SELECT C2.tagid FROM C1, C2
+			WHERE SEQ(C1, C2) OVER [4 SECONDS PRECEDING C2]
+			AND C1.readerid = 'DOCK'`)
+	}
+	reg("loner", `
+		SELECT C2.tagid FROM C1, C2
+		WHERE SEQ(C1, C2) OVER [2 SECONDS PRECEDING C2]
+		AND C1.readerid = 'R1'`)
+}
+
+func TestMergeEquivSharded(t *testing.T) {
+	feed := mqFeed(61, 400)
+
+	// Unmerged serial reference.
+	ref := esl.New(esl.WithoutPlanMerge())
+	want := &sink{}
+	if _, err := ref.Exec(mqDDL); err != nil {
+		t.Fatal(err)
+	}
+	registerMergeFamily(t, func(name, sql string) {
+		if _, err := ref.RegisterQuery(name, sql, want.row(name)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, ev := range feed {
+		var err error
+		if ev.hb {
+			err = ref.Heartbeat(ev.ts)
+		} else {
+			err = ref.Push(ev.name, ev.ts, ev.vals...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRows := want.sorted()
+
+	configs := []struct {
+		shards, batch int
+		merge         bool
+	}{
+		{1, 0, true}, {4, 0, true}, {2, 3, true}, {1, 7, true}, {4, 7, true},
+		{4, 7, false},
+	}
+	for _, cfg := range configs {
+		mode := "merged"
+		if !cfg.merge {
+			mode = "nomerge"
+		}
+		t.Run(fmt.Sprintf("shards=%d/batch=%d/%s", cfg.shards, cfg.batch, mode), func(t *testing.T) {
+			var opts []esl.Option
+			if !cfg.merge {
+				opts = append(opts, esl.WithoutPlanMerge())
+			}
+			e := New(cfg.shards, opts...)
+			defer e.Close()
+			if cfg.batch > 0 {
+				e.SetBatchSize(cfg.batch)
+			}
+			if _, err := e.Exec(mqDDL); err != nil {
+				t.Fatal(err)
+			}
+			got := &sink{}
+			registerMergeFamily(t, func(name, sql string) {
+				if _, err := e.RegisterQuery(name, sql, got.row(name)); err != nil {
+					t.Fatal(err)
+				}
+			})
+			for _, ev := range feed {
+				var err error
+				if ev.hb {
+					err = e.Heartbeat(ev.ts)
+				} else {
+					err = e.Push(ev.name, ev.ts, ev.vals...)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			have := got.sorted()
+			if len(have) != len(wantRows) {
+				t.Fatalf("row count: sharded %d vs serial %d\nsharded: %v\nserial: %v",
+					len(have), len(wantRows), have, wantRows)
+			}
+			for i := range wantRows {
+				if have[i] != wantRows[i] {
+					t.Fatalf("row %d:\nsharded: %s\nserial:  %s", i, have[i], wantRows[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardUnregister: unregistering a query removes it from every replica
+// (splitting it out of any shared automaton), leaves its former group
+// members emitting, frees its routes, and errors on a second attempt.
+func TestShardUnregister(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	if _, err := e.Exec(mqDDL); err != nil {
+		t.Fatal(err)
+	}
+	s := &sink{}
+	sql := func(i int) string {
+		return fmt.Sprintf(`
+			SELECT C1.tagid, C2.tagtime FROM C1, C2
+			WHERE SEQ(C1, C2)
+			AND C1.readerid = 'DOCK' AND C2.readerid = 'R%d'
+			AND C1.tagid = C2.tagid`, i)
+	}
+	q0, err := e.RegisterQuery("u-0", sql(0), s.row("u-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery("u-1", sql(1), s.row("u-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	at := 0
+	pair := func(tag string, final int) {
+		t.Helper()
+		at++
+		if err := e.Push("C1", sec(at), stream.Str("DOCK"), stream.Str(tag), stream.Time(sec(at))); err != nil {
+			t.Fatal(err)
+		}
+		at++
+		if err := e.Push("C2", sec(at), stream.Str(fmt.Sprintf("R%d", final)), stream.Str(tag), stream.Time(sec(at))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair("ta", 0)
+	pair("tb", 1)
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	count := func(tag string) int {
+		n := 0
+		for _, r := range s.sorted() {
+			if strings.HasPrefix(r, tag+"|") {
+				n++
+			}
+		}
+		return n
+	}
+	if count("u-0") != 1 || count("u-1") != 1 {
+		t.Fatalf("before unregister: u-0=%d u-1=%d rows, want 1 each\n%v",
+			count("u-0"), count("u-1"), s.sorted())
+	}
+
+	if err := e.Unregister(q0); err != nil {
+		t.Fatal(err)
+	}
+	pair("tc", 0) // would have matched u-0
+	pair("td", 1) // still matches u-1
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if count("u-0") != 1 {
+		t.Fatalf("unregistered query emitted: %v", s.sorted())
+	}
+	if count("u-1") != 2 {
+		t.Fatalf("surviving member lost rows: u-1=%d, want 2\n%v", count("u-1"), s.sorted())
+	}
+
+	if err := e.Unregister(q0); err == nil {
+		t.Fatal("second Unregister succeeded, want error")
+	}
+
+	// The slot is reusable: a fresh registration picks up where q0 left off.
+	if _, err := e.RegisterQuery("u-2", sql(0), s.row("u-2")); err != nil {
+		t.Fatal(err)
+	}
+	pair("te", 0)
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if count("u-2") != 1 {
+		t.Fatalf("re-registered query silent: %v", s.sorted())
+	}
+}

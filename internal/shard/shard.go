@@ -31,8 +31,9 @@ const DefaultBatchSize = 256
 // querySlot is one registered output sink (query callback or stream
 // subscription).
 type querySlot struct {
-	q          *esl.Query // replica-0 instance; nil for subscriptions
-	home       int        // -1 = rows may come from any shard; else only this shard
+	q          *esl.Query   // replica-0 instance; nil for subscriptions
+	perRep     []*esl.Query // per-replica instances (RegisterQuery slots only)
+	home       int          // -1 = rows may come from any shard; else only this shard
 	deliverRow func(Row)
 	deliverTup func(*stream.Tuple)
 }
@@ -176,12 +177,21 @@ func New(n int, opts ...esl.Option) *Engine {
 		cfg.Ingest.OnDead = e.dispatchDead
 		e.ingest = stream.NewIngest(cfg.Ingest)
 	}
+	// The execution escape hatches propagate to the replicas; the ingest and
+	// durability knobs are consumed at the sharded boundary above.
+	var ropts []esl.Option
+	if cfg.NoRouteIndex {
+		ropts = append(ropts, esl.WithoutRouteIndex())
+	}
+	if cfg.NoPlanMerge {
+		ropts = append(ropts, esl.WithoutPlanMerge())
+	}
 	e.comb = newCombiner(n, e.deliverEvent)
 	for i := 0; i < n; i++ {
 		w := &worker{
 			id:   i,
 			par:  e,
-			eng:  esl.New(),
+			eng:  esl.New(ropts...),
 			in:   make(chan command, 1),
 			done: make(chan struct{}),
 		}
@@ -393,11 +403,41 @@ func (e *Engine) RegisterQuery(name, sql string, onRow func(Row)) (*esl.Query, e
 		if i == 0 {
 			q0 = q
 		}
+		slot.perRep = append(slot.perRep, q)
 	}
 	slot.q = q0
 	e.drainRegistrationOutput()
 	e.recomputeRoutesLocked()
 	return q0, nil
+}
+
+// Unregister removes a continuous query — identified by the replica-0
+// handle RegisterQuery returned — from every replica, releasing its share
+// of any merged automaton. Queries registered through Exec cannot be
+// unregistered (their per-replica handles are not retained).
+func (e *Engine) Unregister(q *esl.Query) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.barrierLocked(); err != nil {
+		return err
+	}
+	for _, slot := range e.slots {
+		if slot.q == nil || slot.q != q {
+			continue
+		}
+		for i, rq := range slot.perRep {
+			if err := e.replicas[i].Unregister(rq); err != nil {
+				return fmt.Errorf("shard: replica %d: %w", i, err)
+			}
+		}
+		// The slot index stays live (other slots hold positions after it);
+		// clearing its sinks makes any straggler event a no-op.
+		slot.q, slot.perRep, slot.deliverRow = nil, nil, nil
+		delete(e.homes, q)
+		e.recomputeRoutesLocked()
+		return nil
+	}
+	return fmt.Errorf("shard: query %q is not registered (or was registered via Exec)", q.Name)
 }
 
 // Subscribe delivers every tuple entering the named stream (source or

@@ -37,7 +37,8 @@ import (
 )
 
 // Version is the snapshot format version; bumped on any layout change.
-const Version = 1
+// v2 added the merged-group section (shared automata + member fences).
+const Version = 2
 
 // magic identifies a snapshot file. The trailing newline guards against
 // text-mode corruption, the classic PNG trick.

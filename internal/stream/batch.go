@@ -15,6 +15,13 @@ import "sync"
 type Batch struct {
 	Tuples []*Tuple
 	Sel    []int32
+	// Prev, when non-empty, is parallel to Tuples: Prev[i] is the event
+	// timestamp of the tuple that immediately preceded Tuples[i] in the
+	// full joint history. Routing that drops tuples from a run (guarded
+	// delivery) fills it so downstream matchers can still evict state to
+	// the exact horizon serial per-item ingestion would have applied —
+	// time passes with every arrival, delivered or not.
+	Prev []Timestamp
 }
 
 // Len returns the number of tuples in the batch (ignoring the selection).
@@ -27,6 +34,7 @@ func (b *Batch) Reset() {
 	}
 	b.Tuples = b.Tuples[:0]
 	b.Sel = b.Sel[:0]
+	b.Prev = b.Prev[:0]
 }
 
 // SelectAll fills the selection vector with every tuple index.
