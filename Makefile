@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak recover-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery perf-trajectory
+.PHONY: ci fmt-check vet build test chaos-soak recover-soak cluster-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery bench-cluster perf-trajectory
 
-ci: fmt-check vet build test chaos-soak recover-soak bench-smoke perf-trajectory
+ci: fmt-check vet build test chaos-soak recover-soak cluster-soak bench-smoke perf-trajectory
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -36,6 +36,17 @@ chaos-soak:
 recover-soak:
 	$(GO) run ./cmd/eslev chaos -events 500000 -shards 1 -extended -kill-every 60000
 	$(GO) run ./cmd/eslev chaos -events 500000 -shards 4 -extended -kill-every 60000
+
+# Multi-process loopback soak: spawn real `eslev node` processes at 1, 2,
+# and 4 nodes, run the randomized soak workload (all pairing modes, star,
+# aggregates, a transducer, heartbeats) through `cluster.Client`, and fail
+# unless output is row-for-row identical to the serial engine AND the
+# transport accounting identity is exact (every tuple/beat/row the feed
+# sent equals what the nodes report having seen). The second run varies
+# node-local shards, flush threshold, and seed.
+cluster-soak:
+	$(GO) run ./cmd/eslev cluster-soak -nodes 1,2,4 -events 50000
+	$(GO) run ./cmd/eslev cluster-soak -nodes 2,4 -events 30000 -shards 2 -batch 64 -seed 7
 
 # Recovery overhead gate: steady-state throughput with the journal and
 # automatic checkpoints enabled must stay within 10% of the undurable
@@ -96,8 +107,19 @@ bench-vectorized-compare:
 	$(GO) run ./cmd/eslev bench -shards 1,4 -batch 32,256 -events 50000 \
 		-baseline BENCH_VECTORIZED.json -max-regress 15
 
+# Cluster scale-out gate: spawn loopback node processes and measure the
+# keyed fan-out workload (4096 reader-homed queries) at 1/2/4 nodes against
+# the best single-process arm. Fails below 2x aggregate throughput at 4
+# nodes or above 15% wire overhead at 1 node; records the measurement in
+# BENCH_CLUSTER.json. Best-of-3 passes per arm keep the gate stable on a
+# noisy box.
+bench-cluster:
+	$(GO) run ./cmd/eslev bench -cluster -events 60000 \
+		-min-speedup 2 -max-wire-overhead 15 -bench-json BENCH_CLUSTER.json
+
 # Perf-trajectory check: every recorded BENCH_*.json baseline re-validated
 # on HEAD in one run — sharded scaling (BENCH_SHARDED), vectorized
 # ingestion (BENCH_VECTORIZED), multi-query dispatch incl. the merged path
-# (BENCH_MULTIQUERY), and durability overhead (BENCH_RECOVERY).
-perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery
+# (BENCH_MULTIQUERY), durability overhead (BENCH_RECOVERY), and cluster
+# scale-out (BENCH_CLUSTER).
+perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery bench-cluster

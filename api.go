@@ -379,3 +379,7 @@ const (
 func NewEventCycle(spec ECSpec, onReport func(Report)) (*EventCycle, error) {
 	return ale.NewEventCycle(spec, onReport)
 }
+
+// SplitStatements splits a multi-statement script into individual
+// statements, respecting single-quoted strings and -- line comments.
+func SplitStatements(src string) []string { return esl.SplitStatements(src) }

@@ -1,0 +1,842 @@
+package main
+
+// Cluster subcommands: `eslev node` hosts one engine node, `eslev feed`
+// runs a script over a node set, `eslev cluster-soak` certifies row-for-row
+// equivalence between a multi-process cluster and the serial engine, and
+// `eslev bench -cluster` measures the scale-out headline (see runBenchCluster).
+// Soak and bench spawn their node tier as real child processes of this
+// binary, so the TCP data plane is exercised across process boundaries, not
+// just goroutines.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	eslev "repro"
+	"repro/internal/cluster"
+)
+
+// ---- eslev node -------------------------------------------------------------
+
+// cmdNode hosts one engine node: listen, announce the bound address on
+// stdout (the spawn harness reads it), serve one feed session, exit.
+func cmdNode(args []string) error {
+	fs := flag.NewFlagSet("node", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on (port 0 = ephemeral)")
+	shards := fs.Int("shards", 1, "node-local worker shard count")
+	credit := fs.Int("credit", 0, "byte credit granted to the feed (0 = default)")
+	prof := profileFlags(fs)
+	_ = fs.Parse(args)
+	stop, err := prof.start()
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("LISTENING %s\n", l.Addr())
+	serr := cluster.NewNode(cluster.NodeConfig{Shards: *shards, Credit: *credit}).ListenAndServe(l)
+	if perr := stop(); serr == nil {
+		serr = perr
+	}
+	return serr
+}
+
+// clusterEngine adapts a feed client to the engineLike surface runScript's
+// CSV plumbing expects. Durability is a different layer; the methods exist
+// only to satisfy the interface.
+type clusterEngine struct{ c *cluster.Client }
+
+func (a clusterEngine) Exec(script string) ([]*eslev.Query, error) { return a.c.Exec(script) }
+func (a clusterEngine) Subscribe(name string, fn func(*eslev.Tuple)) error {
+	return a.c.Subscribe(name, fn)
+}
+func (a clusterEngine) StreamSchema(name string) (*eslev.Schema, bool) {
+	return a.c.StreamSchema(name)
+}
+func (a clusterEngine) Push(streamName string, ts eslev.Timestamp, vals ...eslev.Value) error {
+	return a.c.Push(streamName, ts, vals...)
+}
+func (a clusterEngine) CheckpointNow() error {
+	return errors.New("cluster feeds do not support checkpoints")
+}
+func (a clusterEngine) Recover(string) error {
+	return errors.New("cluster feeds do not support recovery")
+}
+
+// ---- eslev feed -------------------------------------------------------------
+
+// cmdFeed executes an .esl script over a running node set, feeding streams
+// from CSVs exactly like `eslev run` and printing out_* derived tuples.
+func cmdFeed(args []string) error {
+	fs := flag.NewFlagSet("feed", flag.ExitOnError)
+	nodeList := fs.String("nodes", "", "comma-separated node addresses (required)")
+	batch := fs.Int("batch", 0, "pending-run length that triggers a flush (0 = default)")
+	stats := fs.Bool("stats", false, "print placement and per-node transport accounting after the run")
+	_ = fs.Parse(args)
+	if *nodeList == "" || fs.NArg() < 1 {
+		return errors.New("usage: eslev feed -nodes host:port,host:port script.esl [stream=file.csv ...]")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	client, err := cluster.Dial(cluster.Config{
+		Nodes:     strings.Split(*nodeList, ","),
+		BatchSize: *batch,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	e := clusterEngine{c: client}
+	if _, err := e.Exec(string(src)); err != nil {
+		return err
+	}
+	var feeds []csvFeed
+	for _, f := range fs.Args()[1:] {
+		parts := strings.SplitN(f, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("feed %q must be stream=file.csv", f)
+		}
+		feeds = append(feeds, csvFeed{stream: parts[0], file: parts[1]})
+	}
+	for _, name := range []string{"out", "out_alerts", "out_events", "out_rows"} {
+		_ = e.Subscribe(name, func(t *eslev.Tuple) { fmt.Println(t) })
+	}
+	rows, err := loadCSVs(e, feeds)
+	if err != nil {
+		return err
+	}
+	if err := client.Drain(); err != nil {
+		return err
+	}
+	if *stats {
+		printClusterStats(client)
+	}
+	fmt.Fprintf(os.Stderr, "eslev: processed %d tuples from %d streams across %d nodes\n",
+		rows, len(feeds), len(strings.Split(*nodeList, ",")))
+	return nil
+}
+
+// printClusterStats renders the sealed placement and per-node accounting.
+func printClusterStats(c *cluster.Client) {
+	if rep, err := c.Placement(); err == nil {
+		fmt.Fprintln(os.Stderr, "eslev: placement:")
+		streams := make([]string, 0, len(rep.Streams))
+		for s := range rep.Streams {
+			streams = append(streams, s)
+		}
+		sort.Strings(streams)
+		for _, s := range streams {
+			fmt.Fprintf(os.Stderr, "  stream %-16s %s\n", s, rep.Streams[s])
+		}
+		queries := make([]string, 0, len(rep.Queries))
+		for q := range rep.Queries {
+			queries = append(queries, q)
+		}
+		sort.Strings(queries)
+		for _, q := range queries {
+			home := "all nodes"
+			if h := rep.Queries[q]; h >= 0 {
+				home = fmt.Sprintf("node %d", h)
+			}
+			fmt.Fprintf(os.Stderr, "  query  %-16s %s\n", q, home)
+		}
+		if rep.ExactClock {
+			fmt.Fprintln(os.Stderr, "  exact clock: node 0 observes every foreign tuple as a heartbeat")
+		}
+	}
+	fmt.Fprintln(os.Stderr, "eslev: per-node transport accounting:")
+	for i, ns := range c.Stats().Nodes {
+		fmt.Fprintf(os.Stderr, "  node %d %-21s sent tuples=%-8d beats=%-6d  rows back=%-8d  node saw tuples=%d beats=%d rows=%d\n",
+			i, ns.Addr, ns.TuplesSent, ns.BeatsSent, ns.RowsReceived,
+			ns.Node.Tuples, ns.Node.Beats, ns.Node.Rows)
+	}
+}
+
+// ---- node-process spawn harness ---------------------------------------------
+
+// nodeProc is one spawned `eslev node` child.
+type nodeProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnNodes launches n node child processes of this binary and returns
+// their announced addresses. stop waits for clean exits (the node exits when
+// its feed session ends) and kills stragglers.
+func spawnNodes(n, shards int) ([]string, func() error, error) {
+	procs := make([]*nodeProc, 0, n)
+	stop := func() error {
+		var firstErr error
+		for _, p := range procs {
+			done := make(chan error, 1)
+			go func(c *exec.Cmd) { done <- c.Wait() }(p.cmd)
+			select {
+			case err := <-done:
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("node %s: %w", p.addr, err)
+				}
+			case <-time.After(10 * time.Second):
+				p.cmd.Process.Kill()
+				<-done
+				if firstErr == nil {
+					firstErr = fmt.Errorf("node %s: did not exit after the session; killed", p.addr)
+				}
+			}
+		}
+		return firstErr
+	}
+	for i := 0; i < n; i++ {
+		nodeArgs := []string{"node", "-listen", "127.0.0.1:0", "-shards", strconv.Itoa(shards)}
+		if dir := os.Getenv("ESLEV_NODE_PROFILE"); dir != "" {
+			nodeArgs = append(nodeArgs, "-cpuprofile",
+				fmt.Sprintf("%s/node-%d-%d.prof", dir, os.Getpid(), i))
+		}
+		cmd := exec.Command(os.Args[0], nodeArgs...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		sc := bufio.NewScanner(out)
+		if !sc.Scan() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			stop()
+			return nil, nil, fmt.Errorf("node %d: no LISTENING line", i)
+		}
+		line := strings.TrimSpace(sc.Text())
+		addr, ok := strings.CutPrefix(line, "LISTENING ")
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			stop()
+			return nil, nil, fmt.Errorf("node %d: unexpected announcement %q", i, line)
+		}
+		go func() { // drain any further stdout so the child never blocks
+			for sc.Scan() {
+			}
+		}()
+		procs = append(procs, &nodeProc{cmd: cmd, addr: addr})
+	}
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.addr
+	}
+	return addrs, stop, nil
+}
+
+// ---- eslev cluster-soak -----------------------------------------------------
+
+// soakSink collects output fingerprints; callbacks arrive serialized by the
+// merge tier (cluster) or inline (serial), but lock anyway.
+type soakSink struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+func (s *soakSink) row(tag string) func(eslev.Row) {
+	return func(r eslev.Row) {
+		s.mu.Lock()
+		s.rows = append(s.rows, fmt.Sprintf("%s|%v@%d%v", tag, r.Names, r.TS, r.Vals))
+		s.mu.Unlock()
+	}
+}
+
+func (s *soakSink) tup(tag string) func(*eslev.Tuple) {
+	return func(t *eslev.Tuple) {
+		s.mu.Lock()
+		s.rows = append(s.rows, fmt.Sprintf("%s|%s@%d%v", tag, t.Schema.Name(), t.TS, t.Vals))
+		s.mu.Unlock()
+	}
+}
+
+func (s *soakSink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.rows...)
+	sort.Strings(out)
+	return out
+}
+
+// soakEvent is one generated input event ("" stream = heartbeat).
+type soakEvent struct {
+	stream string
+	reader string
+	tag    string
+	at     eslev.Timestamp
+}
+
+// soakWorkload generates the randomized soak feed: two SEQ input streams, a
+// pool of readers and tags, occasional heartbeats.
+func soakWorkload(events int, seed int64) []soakEvent {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]soakEvent, 0, events)
+	at := eslev.TS(0)
+	for i := 0; i < events; i++ {
+		at += eslev.TS(time.Duration(rng.Intn(40)+1) * time.Millisecond)
+		if rng.Intn(50) == 0 {
+			out = append(out, soakEvent{at: at})
+			continue
+		}
+		out = append(out, soakEvent{
+			stream: []string{"C1", "C2"}[rng.Intn(2)],
+			reader: fmt.Sprintf("R%d", rng.Intn(24)),
+			tag:    fmt.Sprintf("t%d", rng.Intn(200)),
+			at:     at,
+		})
+	}
+	return out
+}
+
+// soakRegister installs the soak query mix on either runner flavor: 24
+// reader-local SEQ queries (homable), one open keyed SEQ (registers on every
+// node), and a C2 subscription.
+func soakRegister(exec func(string) error, register func(name, sql string, onRow func(eslev.Row)) error,
+	subscribe func(string, func(*eslev.Tuple)) error, sink *soakSink) error {
+	if err := exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+		return err
+	}
+	for i := 0; i < 24; i++ {
+		rd := fmt.Sprintf("R%d", i)
+		if err := register(fmt.Sprintf("local%d", i), fmt.Sprintf(`
+			SELECT C1.tagid, C1.tagtime, C2.tagtime FROM C1, C2
+			WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid
+			AND C1.readerid='%s' AND C2.readerid='%s'`, rd, rd), sink.row(rd)); err != nil {
+			return err
+		}
+	}
+	if err := register("open", `
+		SELECT C1.tagid, C2.tagtime FROM C1, C2
+		WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid`, sink.row("open")); err != nil {
+		return err
+	}
+	return subscribe("C2", sink.tup("c2"))
+}
+
+// runClusterSoak replays one seeded workload on the serial engine and on
+// multi-process clusters of each requested size, comparing output multisets
+// row for row and checking the transport accounting identity. Any
+// divergence is a non-zero exit.
+func runClusterSoak(nodeCounts string, events int, seed int64, shards, batch int) error {
+	counts, err := parseIntList("-nodes", nodeCounts)
+	if err != nil {
+		return err
+	}
+	feed := soakWorkload(events, seed)
+
+	serial := &soakSink{}
+	se := eslev.New()
+	if err := soakRegister(
+		func(s string) error { _, err := se.Exec(s); return err },
+		func(name, sql string, onRow func(eslev.Row)) error {
+			_, err := se.RegisterQuery(name, sql, onRow)
+			return err
+		},
+		se.Subscribe, serial); err != nil {
+		return err
+	}
+	for _, ev := range feed {
+		if ev.stream == "" {
+			err = se.Heartbeat(ev.at)
+		} else {
+			err = se.Push(ev.stream, ev.at, eslev.Str(ev.reader), eslev.Str(ev.tag), eslev.Time(ev.at))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := se.Drain(); err != nil {
+		return err
+	}
+	want := serial.sorted()
+	fmt.Printf("cluster-soak: events=%d seed=%d serial rows=%d\n", events, seed, len(want))
+
+	for _, n := range counts {
+		if err := soakOneCluster(n, shards, batch, feed, want); err != nil {
+			return fmt.Errorf("nodes=%d: %w", n, err)
+		}
+	}
+	fmt.Println("cluster-soak: PASS (row-for-row + accounting identity)")
+	return nil
+}
+
+func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error {
+	addrs, stopNodes, err := spawnNodes(n, shards)
+	if err != nil {
+		return err
+	}
+	client, err := cluster.Dial(cluster.Config{Nodes: addrs, BatchSize: batch})
+	if err != nil {
+		stopNodes()
+		return err
+	}
+	sink := &soakSink{}
+	if err := soakRegister(
+		func(s string) error { _, err := client.Exec(s); return err },
+		func(name, sql string, onRow func(eslev.Row)) error {
+			_, err := client.RegisterQuery(name, sql, onRow)
+			return err
+		},
+		client.Subscribe, sink); err != nil {
+		client.Close()
+		stopNodes()
+		return err
+	}
+	for _, ev := range feed {
+		if ev.stream == "" {
+			err = client.Heartbeat(ev.at)
+		} else {
+			err = client.Push(ev.stream, ev.at, eslev.Str(ev.reader), eslev.Str(ev.tag), eslev.Time(ev.at))
+		}
+		if err != nil {
+			client.Close()
+			stopNodes()
+			return err
+		}
+	}
+	if err := client.Drain(); err != nil {
+		client.Close()
+		stopNodes()
+		return err
+	}
+	var acct []string
+	for i, ns := range client.Stats().Nodes {
+		if ns.TuplesSent != ns.Node.Tuples || ns.BeatsSent != ns.Node.Beats || ns.RowsReceived != ns.Node.Rows {
+			acct = append(acct, fmt.Sprintf(
+				"node %d: sent tuples=%d beats=%d rows back=%d, node saw tuples=%d beats=%d rows=%d",
+				i, ns.TuplesSent, ns.BeatsSent, ns.RowsReceived,
+				ns.Node.Tuples, ns.Node.Beats, ns.Node.Rows))
+		}
+	}
+	if err := client.Close(); err != nil {
+		stopNodes()
+		return err
+	}
+	if err := stopNodes(); err != nil {
+		return err
+	}
+	got := sink.sorted()
+	if len(got) != len(want) {
+		return fmt.Errorf("row count diverged: cluster %d vs serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("row %d diverged:\n  cluster: %s\n  serial:  %s", i, got[i], want[i])
+		}
+	}
+	if len(acct) > 0 {
+		return fmt.Errorf("accounting identity violated:\n  %s", strings.Join(acct, "\n  "))
+	}
+	fmt.Printf("cluster-soak: nodes=%d rows=%d identical, accounting exact\n", n, len(got))
+	return nil
+}
+
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ---- eslev bench -cluster ---------------------------------------------------
+
+// The cluster bench measures the scale-out headline on the keyed fan-out
+// workload: Q reader-local SEQ queries (C1.readerid='Rq' AND
+// C2.readerid='Rq' AND C1.tagid=C2.tagid). Single-process, per-event cost
+// grows with the total registered query count; in the cluster every query
+// homes to one node, so each node carries ~Q/N queries and the aggregate
+// cost drops even though every byte crosses a real TCP connection. The
+// 1-node cluster isolates the wire tax: same query load as single-process,
+// plus the full encode/ship/decode/merge path.
+type clusterBenchResult struct {
+	Arm          string  `json:"arm"`
+	Nodes        int     `json:"nodes"`
+	Queries      int     `json:"queries"`
+	Events       int     `json:"events"`
+	Matches      int64   `json:"matches"`
+	WallMs       float64 `json:"wall_ms"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type clusterBenchReport struct {
+	CPUs               int                  `json:"cpus"`
+	GoMaxProcs         int                  `json:"gomaxprocs"`
+	Queries            int                  `json:"queries"`
+	Events             int                  `json:"events"`
+	Reps               int                  `json:"reps_per_arm"`
+	Results            []clusterBenchResult `json:"results"`
+	BestSingle         string               `json:"best_single_arm"`
+	BestSingleNsPerEv  float64              `json:"best_single_ns_per_event"`
+	SpeedupAtMaxNodes  float64              `json:"speedup_at_max_nodes"`
+	WireOverheadPct    float64              `json:"wire_overhead_pct_at_1_node"`
+	MinSpeedupGate     float64              `json:"min_speedup_gate"`
+	MaxWireOverheadPct float64              `json:"max_wire_overhead_gate_pct"`
+}
+
+// clusterBenchFeed pre-builds the keyed fan-out event list: C1/C2 pairs per
+// query reader, tags cycling, strictly increasing timestamps.
+type clusterFeedEvent struct {
+	stream string
+	reader string
+	tag    string
+	at     eslev.Timestamp
+}
+
+func clusterBenchFeed(queries, events int) []clusterFeedEvent {
+	const tags = 16
+	out := make([]clusterFeedEvent, 0, events)
+	for i := 0; i < events; i++ {
+		pair := i / 2
+		name := "C1"
+		if i%2 == 1 {
+			name = "C2"
+		}
+		out = append(out, clusterFeedEvent{
+			stream: name,
+			reader: fmt.Sprintf("R%d", pair%queries),
+			tag:    fmt.Sprintf("t%d", pair%tags),
+			at:     eslev.TS(time.Duration(i+1) * 10 * time.Millisecond),
+		})
+	}
+	return out
+}
+
+const clusterBenchSQL = `
+	SELECT C2.tagid, C2.tagtime FROM C1, C2
+	WHERE SEQ(C1, C2) OVER [1 SECONDS PRECEDING C2]
+	AND C1.readerid='%[1]s' AND C2.readerid='%[1]s'
+	AND C1.tagid=C2.tagid`
+
+// benchClusterSingle times the workload on one in-process engine (serial
+// for shards=1, sharded otherwise).
+func benchClusterSingle(shards, queries int, feed []clusterFeedEvent) (clusterBenchResult, error) {
+	arm := "serial"
+	if shards > 1 {
+		arm = fmt.Sprintf("shards-%d", shards)
+	}
+	var matches int64
+	onRow := func(eslev.Row) { matches++ }
+	var e engineLike
+	finish := func() error { return nil }
+	if shards > 1 {
+		se := eslev.NewSharded(shards)
+		finish, e = se.Close, se
+	} else {
+		en := eslev.New()
+		finish, e = en.Drain, en
+	}
+	if _, err := e.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+		return clusterBenchResult{}, err
+	}
+	reg := e.(interface {
+		RegisterQuery(name, sql string, onRow func(eslev.Row)) (*eslev.Query, error)
+	})
+	for qi := 0; qi < queries; qi++ {
+		rd := fmt.Sprintf("R%d", qi)
+		if _, err := reg.RegisterQuery(fmt.Sprintf("q%04d", qi),
+			fmt.Sprintf(clusterBenchSQL, rd), onRow); err != nil {
+			return clusterBenchResult{}, err
+		}
+	}
+	// Pre-build the item runs and feed through PushBatch, mirroring how the
+	// cluster feed batches over the wire — the single-process arms get the
+	// same amortization the cluster gets, keeping the comparison honest.
+	schemas := map[string]*eslev.Schema{}
+	for _, s := range []string{"C1", "C2"} {
+		schemas[s], _ = e.StreamSchema(s)
+	}
+	items := make([]eslev.Item, 0, len(feed))
+	for _, ev := range feed {
+		tu, err := eslev.NewTuple(schemas[ev.stream], ev.at,
+			eslev.Str(ev.reader), eslev.Str(ev.tag), eslev.Null)
+		if err != nil {
+			return clusterBenchResult{}, err
+		}
+		items = append(items, eslev.Of(tu))
+	}
+	push := e.(interface{ PushBatch([]eslev.Item) error })
+	start := time.Now()
+	for off := 0; off < len(items); off += cluster.DefaultBatchSize {
+		hi := off + cluster.DefaultBatchSize
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := push.PushBatch(items[off:hi]); err != nil {
+			return clusterBenchResult{}, err
+		}
+	}
+	if err := finish(); err != nil {
+		return clusterBenchResult{}, err
+	}
+	wall := time.Since(start)
+	return clusterBenchResult{
+		Arm: arm, Nodes: 0, Queries: queries, Events: len(feed), Matches: matches,
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		NsPerEvent:   float64(wall) / float64(len(feed)),
+		EventsPerSec: float64(len(feed)) / wall.Seconds(),
+	}, nil
+}
+
+// benchClusterArm times the workload across n spawned node processes.
+func benchClusterArm(n, shards, queries, batch int, feed []clusterFeedEvent) (clusterBenchResult, error) {
+	addrs, stopNodes, err := spawnNodes(n, shards)
+	if err != nil {
+		return clusterBenchResult{}, err
+	}
+	fail := func(err error) (clusterBenchResult, error) {
+		stopNodes()
+		return clusterBenchResult{}, err
+	}
+	client, err := cluster.Dial(cluster.Config{Nodes: addrs, BatchSize: batch})
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := client.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+		client.Close()
+		return fail(err)
+	}
+	var matches int64
+	onRow := func(eslev.Row) { atomic.AddInt64(&matches, 1) }
+	for qi := 0; qi < queries; qi++ {
+		rd := fmt.Sprintf("R%d", qi)
+		if _, err := client.RegisterQuery(fmt.Sprintf("q%04d", qi),
+			fmt.Sprintf(clusterBenchSQL, rd), onRow); err != nil {
+			client.Close()
+			return fail(err)
+		}
+	}
+	if err := client.Seal(); err != nil { // registration RTTs happen off the clock
+		client.Close()
+		return fail(err)
+	}
+	// Pre-build the item runs off the clock, exactly as the single-process
+	// arms do: the timed region measures routing + wire + remote execution,
+	// not input materialization, on both sides of the comparison.
+	schemas := map[string]*eslev.Schema{}
+	for _, s := range []string{"C1", "C2"} {
+		schemas[s], _ = client.StreamSchema(s)
+	}
+	items := make([]eslev.Item, 0, len(feed))
+	for _, ev := range feed {
+		tu, err := eslev.NewTuple(schemas[ev.stream], ev.at,
+			eslev.Str(ev.reader), eslev.Str(ev.tag), eslev.Null)
+		if err != nil {
+			client.Close()
+			return fail(err)
+		}
+		items = append(items, eslev.Of(tu))
+	}
+	start := time.Now()
+	for off := 0; off < len(items); off += cluster.DefaultBatchSize {
+		hi := off + cluster.DefaultBatchSize
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := client.PushBatch(items[off:hi]); err != nil {
+			client.Close()
+			return fail(err)
+		}
+	}
+	if err := client.Drain(); err != nil {
+		client.Close()
+		return fail(err)
+	}
+	wall := time.Since(start)
+	if err := client.Close(); err != nil {
+		return fail(err)
+	}
+	if err := stopNodes(); err != nil {
+		return clusterBenchResult{}, err
+	}
+	return clusterBenchResult{
+		Arm: fmt.Sprintf("cluster-%d", n), Nodes: n, Queries: queries, Events: len(feed),
+		Matches:      atomic.LoadInt64(&matches),
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		NsPerEvent:   float64(wall) / float64(len(feed)),
+		EventsPerSec: float64(len(feed)) / wall.Seconds(),
+	}, nil
+}
+
+// runBenchCluster sweeps single-process configurations and loopback cluster
+// sizes over the keyed fan-out workload, writes BENCH_CLUSTER-style JSON,
+// and gates the two scale-out promises: aggregate speedup at the largest
+// node count vs the best single-process arm, and wire overhead at 1 node.
+func runBenchCluster(queries, events, batch, reps int, nodeList string, jsonPath string,
+	minSpeedup, maxWireOverhead float64) error {
+	nodeCounts, err := parseIntList("-cluster-nodes", nodeList)
+	if err != nil {
+		return err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	feed := clusterBenchFeed(queries, events)
+	report := clusterBenchReport{
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Queries: queries, Events: events, Reps: reps,
+		MinSpeedupGate: minSpeedup, MaxWireOverheadPct: maxWireOverhead,
+	}
+	fmt.Printf("cpus=%d gomaxprocs=%d queries=%d events=%d\n",
+		report.CPUs, report.GoMaxProcs, queries, events)
+
+	// Fixed warm-up: one untimed reduced pass per arm shape before anything
+	// is measured (JIT-free runtime, but page cache, connection setup, and
+	// allocator arenas all settle here).
+	warmFeed := clusterBenchFeed(queries, benchWarmupEvents(events))
+	if _, err := benchClusterSingle(1, queries, warmFeed); err != nil {
+		return err
+	}
+	if _, err := benchClusterArm(1, 1, queries, batch, warmFeed); err != nil {
+		return err
+	}
+
+	var expect int64 = -1
+	record := func(res clusterBenchResult) error {
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-10s  %9.1f ms  %8.0f ns/event  %10.0f events/s  matches=%d\n",
+			res.Arm, res.WallMs, res.NsPerEvent, res.EventsPerSec, res.Matches)
+		if expect == -1 {
+			expect = res.Matches
+		} else if res.Matches != expect {
+			return fmt.Errorf("%s found %d matches, expected %d: cluster output diverged",
+				res.Arm, res.Matches, expect)
+		}
+		return nil
+	}
+
+	// Each arm runs reps times and reports its best pass: on a small shared
+	// machine, GC phase and scheduler luck swing any single pass by 2x, and
+	// the minimum is the standard estimator of an arm's intrinsic cost.
+	bestOf := func(run func() (clusterBenchResult, error)) (clusterBenchResult, error) {
+		var best clusterBenchResult
+		for r := 0; r < reps; r++ {
+			res, err := run()
+			if err != nil {
+				return clusterBenchResult{}, err
+			}
+			if best.Arm == "" || res.NsPerEvent < best.NsPerEvent {
+				best = res
+			}
+		}
+		return best, nil
+	}
+
+	best := clusterBenchResult{}
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		res, err := bestOf(func() (clusterBenchResult, error) {
+			return benchClusterSingle(shards, queries, feed)
+		})
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		if best.Arm == "" || res.NsPerEvent < best.NsPerEvent {
+			best = res
+		}
+	}
+	report.BestSingle, report.BestSingleNsPerEv = best.Arm, best.NsPerEvent
+
+	var at1, atMax clusterBenchResult
+	for _, n := range nodeCounts {
+		n := n
+		res, err := bestOf(func() (clusterBenchResult, error) {
+			return benchClusterArm(n, 1, queries, batch, feed)
+		})
+		if err != nil {
+			return err
+		}
+		if err := record(res); err != nil {
+			return err
+		}
+		if n == 1 {
+			at1 = res
+		}
+		atMax = res
+	}
+
+	if at1.Arm != "" {
+		report.WireOverheadPct = (at1.NsPerEvent - best.NsPerEvent) / best.NsPerEvent * 100
+		fmt.Printf("wire overhead at 1 node vs %s: %+.1f%%\n", best.Arm, report.WireOverheadPct)
+	}
+	if atMax.Arm != "" && atMax.Nodes > 1 {
+		report.SpeedupAtMaxNodes = best.NsPerEvent / atMax.NsPerEvent
+		fmt.Printf("aggregate speedup at %d nodes vs %s: %.2fx\n",
+			atMax.Nodes, best.Arm, report.SpeedupAtMaxNodes)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	var gates []string
+	if minSpeedup > 0 && atMax.Nodes > 1 && report.SpeedupAtMaxNodes < minSpeedup {
+		gates = append(gates, fmt.Sprintf("speedup at %d nodes is %.2fx, need >= %.2fx",
+			atMax.Nodes, report.SpeedupAtMaxNodes, minSpeedup))
+	}
+	if maxWireOverhead > 0 && at1.Arm != "" && report.WireOverheadPct > maxWireOverhead {
+		gates = append(gates, fmt.Sprintf("wire overhead at 1 node is %.1f%%, limit %.1f%%",
+			report.WireOverheadPct, maxWireOverhead))
+	}
+	if len(gates) > 0 {
+		return fmt.Errorf("cluster bench gate failed:\n  %s", strings.Join(gates, "\n  "))
+	}
+	return nil
+}
+
+// benchWarmupEvents is the fixed untimed warm-up size: enough to touch every
+// code path and settle the allocator, small enough to stay cheap.
+func benchWarmupEvents(events int) int {
+	w := events / 5
+	if w > 10_000 {
+		w = 10_000
+	}
+	if w < 100 {
+		w = 100
+	}
+	return w
+}

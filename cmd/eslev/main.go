@@ -117,6 +117,13 @@ func main() {
 		shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
 		batches := fs.String("batch", "", "comma-separated ingestion batch sizes to sweep (default: engine default)")
 		events := fs.Int("events", 50000, "tuples to push per configuration")
+		clusterBench := fs.Bool("cluster", false, "sweep multi-process loopback cluster sizes on the keyed fan-out workload instead of the shard workloads")
+		clusterNodes := fs.String("cluster-nodes", "1,2,4", "comma-separated node counts for -cluster")
+		clusterQueries := fs.Int("cluster-queries", 4096, "registered reader-local queries for -cluster")
+		clusterBatch := fs.Int("cluster-batch", 1024, "feed flush threshold for -cluster (0 = transport default)")
+		clusterReps := fs.Int("cluster-reps", 3, "timed passes per arm for -cluster; each arm reports its best pass")
+		minSpeedup := fs.Float64("min-speedup", 2, "fail -cluster if aggregate speedup at the largest node count is below this (0 = report only)")
+		maxWire := fs.Float64("max-wire-overhead", 15, "fail -cluster if 1-node wire overhead exceeds this percent (0 = report only)")
 		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
 		queries := fs.String("queries", "1,64,256,1024", "comma-separated query counts for -multiquery")
 		share := fs.String("share", "0,50,90", "comma-separated prefix-share percentages for -multiquery")
@@ -131,6 +138,8 @@ func main() {
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
 			switch {
+			case *clusterBench:
+				err = runBenchCluster(*clusterQueries, *events, *clusterBatch, *clusterReps, *clusterNodes, *jsonPath, *minSpeedup, *maxWire)
 			case *recovery:
 				err = runBenchRecovery(*events, *ckptEvery, *jsonPath, *maxOverhead)
 			case *multiquery:
@@ -183,6 +192,19 @@ func main() {
 			cfg.PanicEvery = 0 // the sacrificial probe is per-engine state
 		}
 		err = runChaos(cfg, *policy)
+	case "node":
+		err = cmdNode(os.Args[2:])
+	case "feed":
+		err = cmdFeed(os.Args[2:])
+	case "cluster-soak":
+		fs := flag.NewFlagSet("cluster-soak", flag.ExitOnError)
+		nodes := fs.String("nodes", "1,4", "comma-separated cluster sizes to certify")
+		events := fs.Int("events", 20_000, "randomized events per run")
+		seed := fs.Int64("seed", 1, "PRNG seed; equal seeds replay identically")
+		shards := fs.Int("shards", 1, "node-local worker shard count")
+		batch := fs.Int("batch", 0, "feed flush threshold (0 = default)")
+		_ = fs.Parse(os.Args[2:])
+		err = runClusterSoak(*nodes, *events, *seed, *shards, *batch)
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -225,6 +247,25 @@ func usage() {
                                    measure journaling overhead, snapshot size,
                                    and restore latency; -max-overhead fails the
                                    run past the given percent
+  eslev bench -cluster [-cluster-nodes 1,2,4] [-cluster-queries 4096] [-events N]
+              [-bench-json out.json] [-min-speedup 2] [-max-wire-overhead 15]
+                                   spawn loopback node processes and measure
+                                   scale-out on the keyed fan-out workload:
+                                   aggregate speedup at the largest cluster vs
+                                   the best single-process arm, and the wire
+                                   tax of a 1-node cluster
+  eslev node [-listen 127.0.0.1:0] [-shards N] [-credit B]
+                                   host one engine node: announce the bound
+                                   address as "LISTENING addr", serve one feed
+                                   session, exit
+  eslev feed -nodes a:p,b:p [-batch N] [-stats] script.esl [s=f.csv]
+                                   run a script over a node set: registration
+                                   ships to homed nodes, CSV tuples route by
+                                   placement, merged rows print locally
+  eslev cluster-soak [-nodes 1,4] [-events N] [-seed S] [-shards N]
+                                   certify multi-process clusters against the
+                                   serial engine row for row, plus the exact
+                                   transport accounting identity
   eslev chaos [-events N] [-seed S] [-slack 500ms] [-disorder 0.25] [-dup 0.01]
               [-corrupt 0.001] [-oversize 0.0005] [-late 0.001] [-panic-every 10000]
               [-policy DEAD_LETTER] [-shards N] [-fanout N] [-extended]
@@ -553,44 +594,10 @@ func explainScript(path string) error {
 	return nil
 }
 
-// splitStatements splits a script into statements using the lexer-aware
-// engine parser (comments and quoted strings are respected by a simple
-// state machine over quotes).
+// splitStatements splits a script into statements, respecting quoted
+// strings and line comments (delegates to the engine's splitter).
 func splitStatements(src string) ([]string, error) {
-	var out []string
-	var cur strings.Builder
-	inStr := false
-	inComment := false
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		switch {
-		case inComment:
-			if c == '\n' {
-				inComment = false
-			}
-		case inStr:
-			if c == '\'' {
-				inStr = false
-			}
-		case c == '\'':
-			inStr = true
-		case c == '-' && i+1 < len(src) && src[i+1] == '-':
-			inComment = true
-		case c == ';':
-			if s := strings.TrimSpace(cur.String()); s != "" {
-				out = append(out, s)
-			}
-			cur.Reset()
-			continue
-		}
-		if !inComment {
-			cur.WriteByte(c)
-		}
-	}
-	if s := strings.TrimSpace(cur.String()); s != "" {
-		out = append(out, s)
-	}
-	return out, nil
+	return eslev.SplitStatements(src), nil
 }
 
 func firstLine(s string) string {
@@ -919,6 +926,10 @@ func runBench(shardList, batchList string, events int, jsonPath, baselinePath st
 	report := benchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	fmt.Printf("cpus=%d gomaxprocs=%d events=%d\n", report.CPUs, report.GoMaxProcs, events)
 	for _, workload := range []string{"ex6-seq", "containment"} {
+		// Fixed untimed warm-up per workload family before any timed run.
+		if _, err := benchWorkload(workload, counts[0], batches[0], benchWarmupEvents(events)); err != nil {
+			return err
+		}
 		for _, n := range counts {
 			for _, batch := range batches {
 				res, err := benchWorkload(workload, n, batch, events)
@@ -1146,6 +1157,10 @@ func runBenchMultiQuery(queriesList, shareList string, events int, jsonPath, bas
 			arms := []armSpec{{"merged", true, true}, {"independent", true, false}}
 			if n < 1024 {
 				arms = append(arms, armSpec{"scan-all", false, true})
+			}
+			// Fixed untimed warm-up per configuration before any timed arm.
+			if _, err := benchMultiQueryFanout(n, share, true, true, benchWarmupEvents(events)); err != nil {
+				return err
 			}
 			byName := map[string]benchResult{}
 			for _, a := range arms {

@@ -1,0 +1,917 @@
+package cluster
+
+// The feed client: the ingest tier of the cluster. It owns a *planning
+// replica* — a serial engine that sees every DDL statement and query
+// registration but never a tuple — whose planner metadata (shardability,
+// route guards, schemas) drives placement. Registration is collected
+// locally and shipped at Seal (the first push seals implicitly): homing
+// decisions are made once, against the full query set, so a query never
+// has to migrate between nodes mid-stream.
+//
+// Data flow mirrors the in-process sharded engine one level up: pushes
+// buffer into a pending run, flushes route per-node item runs (with the
+// same trailing/exact-clock heartbeat regimes), and per-node output rows
+// re-merge through the bounded fan-in in timestamp order.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+// Config configures a feed client.
+type Config struct {
+	// Nodes lists the engine node addresses; the index is the node id, and
+	// node 0 is the pinned-work home.
+	Nodes []string
+	// BatchSize is the pending-run length that triggers a flush (0 =
+	// DefaultBatchSize).
+	BatchSize int
+	// VNodes is the consistent-hash ring density (0 = DefaultVNodes).
+	VNodes int
+	// Coalesce is the per-connection sender budget (0 = DefaultCoalesce).
+	Coalesce int
+	// Options are the serial engine's fault-tolerance options
+	// (esl.WithSlack, esl.WithLateness, ...). They configure the ingest
+	// boundary in front of the router, exactly as in the sharded engine.
+	// Durability options are not supported on the data plane.
+	Options []esl.Option
+}
+
+// DefaultBatchSize matches the sharded engine's flush threshold.
+const DefaultBatchSize = 256
+
+// clusterFanInBuffer bounds the merge tier's buffered rows.
+const clusterFanInBuffer = 4096
+
+// feedEvent is one output event flowing through the merge tier.
+type feedEvent struct {
+	slot int
+	row  esl.Row
+	tup  *stream.Tuple
+	ts   stream.Timestamp
+	node int
+	seq  uint64 // per-node arrival sequence, assigned by the reader
+}
+
+func feedLess(a, b feedEvent) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.seq < b.seq
+}
+
+type feedSlot struct {
+	deliverRow func(esl.Row)
+	deliverTup func(*stream.Tuple)
+}
+
+// regSpec is one deferred registration, replayed onto nodes at Seal in the
+// original order (later statements may read streams earlier ones create).
+type specKind uint8
+
+const (
+	specDDL specKind = iota
+	specQuery
+	specSub
+)
+
+type regSpec struct {
+	kind   specKind
+	script string // DDL text
+	name   string // query name
+	sql    string // query text
+	stream string // subscription stream
+	slot   int
+	q      *esl.Query // planning handle, for placement lookup
+}
+
+// Client is a connected feed. Registration and ingestion methods are safe
+// from one goroutine (the feed); output callbacks run on connection reader
+// goroutines, serialized by the merge tier, and must not call back into the
+// Client.
+type Client struct {
+	mu        sync.Mutex
+	plan      *esl.Engine
+	nodes     []*nodeConn
+	ringv     *ring
+	batchSize int
+	sealed    bool
+	closed    bool
+
+	specs []regSpec
+	slots []*feedSlot
+
+	pl      placement
+	fanin   *stream.FanIn[feedEvent]
+	pending []stream.Item
+	outRuns [][]stream.Item // per-node routing scratch
+	lastTS  stream.Timestamp
+	rr      int
+
+	ingest        *stream.Ingest
+	ingestScratch []stream.Item
+	deadMu        sync.Mutex
+	onDead        []func(stream.DeadLetter)
+}
+
+// nodeConn is one node's connection state.
+type nodeConn struct {
+	id   int
+	addr string
+	c    *Client
+	conn net.Conn
+	fr   frameReader
+	snd  *sender
+	enc  *wireEnc
+	dec  *wireDec
+	gate *creditGate
+
+	// Reader-goroutine state (started at Seal).
+	shapes     map[int][]string
+	seq        uint64
+	wm         stream.Timestamp
+	drainCh    chan drainResult
+	readerDone chan struct{}
+
+	errMu sync.Mutex
+	err   error
+
+	// Accounting: sent under Client.mu, received on the reader goroutine
+	// (read after drain synchronization).
+	tuplesSent uint64
+	beatsSent  uint64
+	rowsRecv   uint64
+	lastDrain  NodeCounters
+}
+
+type drainResult struct {
+	wm       stream.Timestamp
+	counters NodeCounters
+	err      error
+}
+
+// Dial connects to every node and performs the hello exchange.
+func Dial(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes configured")
+	}
+	var ecfg esl.Config
+	for _, opt := range cfg.Options {
+		opt(&ecfg)
+	}
+	if ecfg.JournalDir != "" || ecfg.CheckpointEvery != 0 {
+		return nil, errors.New("cluster: durability options are not supported on the data plane (journal shipping is a later layer)")
+	}
+	c := &Client{
+		plan:      esl.New(),
+		batchSize: cfg.BatchSize,
+		lastTS:    stream.MinTimestamp,
+	}
+	if c.batchSize <= 0 {
+		c.batchSize = DefaultBatchSize
+	}
+	if !ecfg.Ingest.IsZero() {
+		ecfg.Ingest.OnDead = c.dispatchDead
+		c.ingest = stream.NewIngest(ecfg.Ingest)
+	}
+	c.ringv = newRing(len(cfg.Nodes), cfg.VNodes)
+	for i, addr := range cfg.Nodes {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
+		}
+		nc := &nodeConn{
+			id:         i,
+			addr:       addr,
+			c:          c,
+			conn:       conn,
+			fr:         frameReader{r: conn},
+			snd:        newSender(conn, cfg.Coalesce),
+			enc:        newWireEnc(),
+			dec:        newWireDec(),
+			shapes:     map[int][]string{},
+			drainCh:    make(chan drainResult, 4),
+			readerDone: make(chan struct{}),
+		}
+		c.nodes = append(c.nodes, nc)
+		nc.enc.reset()
+		encodeHello(nc.enc)
+		if err := nc.snd.send(frameHello, nc.enc.bytes()); err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
+		}
+		if err := nc.snd.flush(); err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
+		}
+		typ, payload, err := nc.fr.next()
+		if err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, err)
+		}
+		if typ != frameHelloAck {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): %w: expected hello ack, got frame %d", i, addr, ErrProtocol, typ)
+		}
+		nc.dec.reset(payload)
+		credit, err := decodeHelloAck(nc.dec)
+		if err != nil {
+			c.teardown()
+			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, err)
+		}
+		nc.gate = newCreditGate(credit)
+	}
+	c.outRuns = make([][]stream.Item, len(c.nodes))
+	return c, nil
+}
+
+func (c *Client) teardown() {
+	for _, nc := range c.nodes {
+		if nc.snd != nil {
+			nc.snd.fail(io.ErrClosedPipe)
+			nc.snd.close()
+		}
+		nc.conn.Close()
+	}
+}
+
+// OnDeadLetter registers a sink for ingest-boundary dead letters.
+func (c *Client) OnDeadLetter(fn func(stream.DeadLetter)) {
+	c.deadMu.Lock()
+	c.onDead = append(c.onDead, fn)
+	c.deadMu.Unlock()
+}
+
+func (c *Client) dispatchDead(d stream.DeadLetter) {
+	c.deadMu.Lock()
+	sinks := append(make([]func(stream.DeadLetter), 0, len(c.onDead)), c.onDead...)
+	c.deadMu.Unlock()
+	for _, fn := range sinks {
+		fn(d)
+	}
+}
+
+// ---- registration -----------------------------------------------------------
+
+// Exec applies a script: DDL/DML statements broadcast to every node,
+// continuous queries (bare SELECT or INSERT INTO ... SELECT reading a
+// stream) register for placement like RegisterQuery with no row callback.
+// All registration must precede the first push.
+func (c *Client) Exec(script string) ([]*esl.Query, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stmts := esl.SplitStatements(script)
+	var queries []*esl.Query
+	for _, text := range stmts {
+		st, err := esl.ParseOne(text)
+		if err != nil {
+			return queries, err
+		}
+		switch st.(type) {
+		case *esl.Select, *esl.InsertSelect:
+			q, err := c.registerLocked(fmt.Sprintf("q%d", len(c.slots)+1), text, nil)
+			if err != nil {
+				return queries, err
+			}
+			queries = append(queries, q)
+		default:
+			if err := c.execDDLLocked(text); err != nil {
+				return queries, err
+			}
+		}
+	}
+	return queries, nil
+}
+
+func (c *Client) execDDLLocked(text string) error {
+	if err := c.checkRegistrableLocked(); err != nil {
+		return err
+	}
+	if _, err := c.plan.Exec(text); err != nil {
+		return err
+	}
+	c.specs = append(c.specs, regSpec{kind: specDDL, script: text})
+	return nil
+}
+
+// RegisterQuery compiles a continuous query on the planning replica and
+// defers node registration to Seal; onRow receives the merged output.
+func (c *Client) RegisterQuery(name, sql string, onRow func(esl.Row)) (*esl.Query, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registerLocked(name, sql, onRow)
+}
+
+func (c *Client) registerLocked(name, sql string, onRow func(esl.Row)) (*esl.Query, error) {
+	if err := c.checkRegistrableLocked(); err != nil {
+		return nil, err
+	}
+	q, err := c.plan.RegisterQuery(name, sql, nil)
+	if err != nil {
+		return nil, err
+	}
+	slot := len(c.slots)
+	c.slots = append(c.slots, &feedSlot{deliverRow: onRow})
+	c.specs = append(c.specs, regSpec{kind: specQuery, name: name, sql: sql, slot: slot, q: q})
+	return q, nil
+}
+
+// Subscribe delivers every tuple entering the named stream (source or
+// derived), merged across nodes in timestamp order.
+func (c *Client) Subscribe(name string, fn func(*stream.Tuple)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkRegistrableLocked(); err != nil {
+		return err
+	}
+	if _, ok := c.plan.StreamSchema(name); !ok {
+		return fmt.Errorf("cluster: unknown stream %s", name)
+	}
+	slot := len(c.slots)
+	c.slots = append(c.slots, &feedSlot{deliverTup: fn})
+	c.specs = append(c.specs, regSpec{kind: specSub, stream: name, slot: slot})
+	return nil
+}
+
+// StreamSchema resolves a stream's schema from the planning replica.
+func (c *Client) StreamSchema(name string) (*stream.Schema, bool) {
+	return c.plan.StreamSchema(name)
+}
+
+func (c *Client) checkRegistrableLocked() error {
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	if c.sealed {
+		return errors.New("cluster: registration after the first push is not supported (placement is sealed; register everything before feeding)")
+	}
+	return nil
+}
+
+// ---- seal -------------------------------------------------------------------
+
+// Seal computes placement and ships every deferred registration to its
+// node(s). Idempotent; the first push seals implicitly.
+func (c *Client) Seal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sealLocked()
+}
+
+func (c *Client) sealLocked() error {
+	if c.sealed {
+		return nil
+	}
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	c.pl = computePlacement(c.plan, c.ringv)
+	for _, spec := range c.specs {
+		var targets []*nodeConn
+		switch spec.kind {
+		case specDDL, specSub:
+			targets = c.nodes
+		case specQuery:
+			home := c.pl.homes[spec.q]
+			if home >= 0 {
+				targets = c.nodes[home : home+1]
+			} else {
+				targets = c.nodes
+			}
+		}
+		var slot *feedSlot
+		if spec.kind != specDDL {
+			slot = c.slots[spec.slot]
+		}
+		for _, nc := range targets {
+			if err := nc.register(spec, slot); err != nil {
+				return err
+			}
+		}
+	}
+	c.fanin = stream.NewFanIn(len(c.nodes), clusterFanInBuffer, feedLess,
+		func(ev feedEvent) stream.Timestamp { return ev.ts }, c.deliverEvent)
+	for _, nc := range c.nodes {
+		go nc.readLoop()
+	}
+	c.sealed = true
+	return nil
+}
+
+// register ships one spec to one node and waits for its OK.
+func (nc *nodeConn) register(spec regSpec, slot *feedSlot) error {
+	nc.enc.reset()
+	var typ byte
+	switch spec.kind {
+	case specDDL:
+		typ = frameExec
+		nc.enc.rawstr(spec.script)
+	case specQuery:
+		typ = frameRegister
+		wantRows := slot != nil && slot.deliverRow != nil
+		encodeRegister(nc.enc, spec.slot, spec.name, spec.sql, wantRows)
+	case specSub:
+		typ = frameSub
+		encodeSubscribe(nc.enc, spec.slot, spec.stream)
+	}
+	if err := nc.snd.send(typ, nc.enc.bytes()); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	}
+	if err := nc.snd.flush(); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	}
+	rtyp, payload, err := nc.fr.next()
+	if err != nil {
+		return fmt.Errorf("cluster: node %d: registration reply: %w", nc.id, err)
+	}
+	switch rtyp {
+	case frameOK:
+		return nil
+	case frameError:
+		nc.dec.reset(payload)
+		msg, derr := nc.dec.rawstr()
+		if derr != nil {
+			msg = "unreadable error frame"
+		}
+		return fmt.Errorf("cluster: node %d: %s", nc.id, msg)
+	default:
+		return fmt.Errorf("cluster: node %d: %w: expected ok, got frame %d", nc.id, ErrProtocol, rtyp)
+	}
+}
+
+// deliverEvent hands one merged event to its slot's callback.
+func (c *Client) deliverEvent(ev feedEvent) {
+	if ev.slot >= len(c.slots) {
+		return
+	}
+	slot := c.slots[ev.slot]
+	if ev.tup != nil {
+		if slot.deliverTup != nil {
+			slot.deliverTup(ev.tup)
+		}
+		return
+	}
+	if slot.deliverRow != nil {
+		slot.deliverRow(ev.row)
+	}
+}
+
+// ---- ingestion --------------------------------------------------------------
+
+// Push appends one tuple to a source stream.
+func (c *Client) Push(streamName string, ts stream.Timestamp, vals ...stream.Value) error {
+	schema, ok := c.plan.StreamSchema(streamName)
+	if !ok {
+		return fmt.Errorf("cluster: unknown stream %s", streamName)
+	}
+	t, err := stream.NewTuple(schema, ts, vals...)
+	if err != nil {
+		return err
+	}
+	return c.PushBatch([]stream.Item{stream.Of(t)})
+}
+
+// PushTuple appends a pre-built tuple; its schema must name the stream.
+func (c *Client) PushTuple(streamName string, t *stream.Tuple) error {
+	if !strings.EqualFold(t.Schema.Name(), streamName) {
+		return fmt.Errorf("cluster: tuple schema %q does not match stream %q", t.Schema.Name(), streamName)
+	}
+	return c.PushBatch([]stream.Item{stream.Of(t)})
+}
+
+// Heartbeat advances event time on every node (punctuation).
+func (c *Client) Heartbeat(ts stream.Timestamp) error {
+	return c.PushBatch([]stream.Item{stream.Heartbeat(ts)})
+}
+
+// Feed connects a stream.Merger emission to the cluster.
+func (c *Client) Feed(name string, it stream.Item) error {
+	if it.IsHeartbeat() {
+		return c.Heartbeat(it.TS)
+	}
+	return c.PushTuple(name, it.Tuple)
+}
+
+// PushBatch buffers a run of merged items — tuples and heartbeats in
+// joint-history order — flushing to the nodes whenever the buffer fills.
+func (c *Client) PushBatch(items []stream.Item) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	if err := c.sealLocked(); err != nil {
+		return err
+	}
+	if c.ingest != nil {
+		for _, it := range items {
+			out, lateErr := c.ingest.Offer(it, c.ingestScratch[:0])
+			err := c.enqueueRunLocked(out)
+			c.ingestScratch = out[:0]
+			if err == nil {
+				err = lateErr
+			}
+			if err != nil {
+				return err
+			}
+		}
+	} else if err := c.enqueueRunLocked(items); err != nil {
+		return err
+	}
+	if len(c.pending) >= c.batchSize {
+		return c.flushLocked(false)
+	}
+	return nil
+}
+
+func (c *Client) enqueueRunLocked(items []stream.Item) error {
+	for _, it := range items {
+		if !it.IsHeartbeat() {
+			if it.TS < c.lastTS {
+				return fmt.Errorf("cluster: out-of-order arrival on %s: %s is before %s (merge concurrent sources with stream.Merger, or enable slack with esl.WithSlack)",
+					it.Tuple.Schema.Name(), it.TS, c.lastTS)
+			}
+			c.lastTS = it.TS
+		} else if it.TS > c.lastTS {
+			c.lastTS = it.TS
+		}
+		c.pending = append(c.pending, it)
+	}
+	return nil
+}
+
+// Flush dispatches buffered input without waiting for node completion.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	if err := c.sealLocked(); err != nil {
+		return err
+	}
+	return c.flushLocked(true)
+}
+
+// flushLocked routes the pending run into per-node batches and sends them,
+// spending credit per batch frame. The heartbeat regimes mirror the
+// sharded engine: idle nodes get a trailing high-water beat per flush
+// (watermark keepalive for the merge tier), and when a pinned query is
+// time-sensitive node 0 additionally observes a beat at every foreign
+// tuple's position.
+//
+// keepalive forces the trailing beat onto every node, busy or not — an
+// exact watermark cut. Explicit Flush and Drain use it; size-triggered
+// flushes do not: a node that received tuples this flush advances its own
+// clock, and beating it anyway costs an O(queries) engine advance per
+// flush per node, which dominates the wire at higher node counts. The
+// merge tier tolerates the slightly lagging watermark — rows buffer for
+// at most one flush span longer.
+func (c *Client) flushLocked(keepalive bool) error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	n := len(c.nodes)
+	runs := c.outRuns
+	for i := range runs {
+		runs[i] = runs[i][:0]
+	}
+	maxTS := stream.MinTimestamp
+	for _, it := range c.pending {
+		if it.TS > maxTS {
+			maxTS = it.TS
+		}
+		if it.IsHeartbeat() {
+			for s := 0; s < n; s++ {
+				runs[s] = appendBeat(runs[s], it.TS)
+			}
+			continue
+		}
+		s, err := c.nodeForLocked(it.Tuple)
+		if err != nil {
+			return err
+		}
+		runs[s] = append(runs[s], it)
+		if s != 0 && c.pl.exactClock {
+			runs[0] = appendBeat(runs[0], it.TS)
+		}
+	}
+	c.pending = c.pending[:0]
+	for s := 0; s < n; s++ {
+		if s == 0 && c.pl.exactClock {
+			continue // already carries per-tuple beats through maxTS
+		}
+		if !keepalive && len(runs[s]) > 0 {
+			continue // its own tuples advance this node's clock
+		}
+		runs[s] = appendBeat(runs[s], maxTS)
+	}
+	for s, nc := range c.nodes {
+		if len(runs[s]) == 0 {
+			continue
+		}
+		if err := nc.sendBatch(runs[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendBeat appends a heartbeat unless the run already ends at ts.
+func appendBeat(run []stream.Item, ts stream.Timestamp) []stream.Item {
+	if n := len(run); n > 0 && run[n-1].TS >= ts {
+		return run
+	}
+	return append(run, stream.Heartbeat(ts))
+}
+
+// sendBatch encodes one item run as a Batch frame and sends it under the
+// node's credit gate.
+func (nc *nodeConn) sendBatch(items []stream.Item) error {
+	if err := nc.failed(); err != nil {
+		return err
+	}
+	nc.enc.reset()
+	encodeBatch(nc.enc, items)
+	wire := nc.enc.len() + 1 + frameOverhead
+	if err := nc.gate.spend(wire); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	}
+	if err := nc.snd.send(frameBatch, nc.enc.bytes()); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	}
+	for _, it := range items {
+		if it.IsHeartbeat() {
+			nc.beatsSent++
+		} else {
+			nc.tuplesSent++
+		}
+	}
+	return nil
+}
+
+func (c *Client) nodeForLocked(t *stream.Tuple) (int, error) {
+	rt, ok := c.pl.routes[strings.ToLower(t.Schema.Name())]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown stream %s", t.Schema.Name())
+	}
+	switch rt.mode {
+	case srKeyed, srGuard:
+		return c.ringv.node(t.Get(rt.keyPos).Hash()), nil
+	case srFree:
+		c.rr++
+		return c.rr % len(c.nodes), nil
+	default:
+		return 0, nil
+	}
+}
+
+// ---- reader -----------------------------------------------------------------
+
+func (nc *nodeConn) readLoop() {
+	defer close(nc.readerDone)
+	for {
+		typ, payload, err := nc.fr.next()
+		if err != nil {
+			nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
+			return
+		}
+		nc.dec.reset(payload)
+		switch typ {
+		case frameRows:
+			events, err := decodeRows(nc.dec, nc.c.plan.StreamSchema, nc.shapes)
+			if err != nil {
+				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
+				return
+			}
+			atomic.AddUint64(&nc.rowsRecv, uint64(len(events)))
+			fevs := make([]feedEvent, len(events))
+			for i, ev := range events {
+				nc.seq++
+				ts := ev.row.TS
+				if ev.tup != nil {
+					ts = ev.tup.TS
+				}
+				fevs[i] = feedEvent{slot: ev.slot, row: ev.row, tup: ev.tup, ts: ts, node: nc.id, seq: nc.seq}
+			}
+			nc.c.fanin.Offer(nc.id, fevs, nc.wm)
+		case frameAck:
+			credit, wm, err := decodeAck(nc.dec)
+			if err != nil {
+				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
+				return
+			}
+			nc.gate.refund(credit)
+			if wm > nc.wm {
+				nc.wm = wm
+			}
+			nc.c.fanin.Offer(nc.id, nil, nc.wm)
+		case frameDrainAck:
+			wm, counters, err := decodeDrainAck(nc.dec)
+			if err != nil {
+				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
+				return
+			}
+			if wm > nc.wm {
+				nc.wm = wm
+			}
+			nc.c.fanin.Offer(nc.id, nil, nc.wm)
+			nc.drainCh <- drainResult{wm: wm, counters: counters}
+		case frameError:
+			msg, derr := nc.dec.rawstr()
+			if derr != nil {
+				msg = "unreadable error frame"
+			}
+			nc.fail(fmt.Errorf("cluster: node %d: %s", nc.id, msg))
+			return
+		default:
+			nc.fail(fmt.Errorf("cluster: node %d: %w: unexpected frame %d", nc.id, ErrProtocol, typ))
+			return
+		}
+	}
+}
+
+// fail records a terminal connection error and wakes every waiter.
+func (nc *nodeConn) fail(err error) {
+	nc.errMu.Lock()
+	if nc.err == nil {
+		nc.err = err
+	}
+	nc.errMu.Unlock()
+	nc.gate.fail(err)
+	nc.snd.fail(err)
+	select {
+	case nc.drainCh <- drainResult{err: err}:
+	default:
+	}
+}
+
+func (nc *nodeConn) failed() error {
+	nc.errMu.Lock()
+	defer nc.errMu.Unlock()
+	return nc.err
+}
+
+// ---- drain / close ----------------------------------------------------------
+
+// Drain flushes everything — including tuples held back by reorder slack —
+// waits for every node's drain acknowledgment, and releases all buffered
+// output in merged order. Accounting from each node lands in Stats().
+func (c *Client) Drain() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: client closed")
+	}
+	if err := c.sealLocked(); err != nil {
+		return err
+	}
+	if c.ingest != nil {
+		out := c.ingest.Flush(c.ingestScratch[:0])
+		err := c.enqueueRunLocked(out)
+		c.ingestScratch = out[:0]
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.flushLocked(true); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, nc := range c.nodes {
+		if err := nc.snd.send(frameDrain, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: node %d: %w", nc.id, err)
+		}
+		if err := nc.snd.flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: node %d: %w", nc.id, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, nc := range c.nodes {
+		res := <-nc.drainCh
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		nc.lastDrain = res.counters
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	c.fanin.FlushAll()
+	return nil
+}
+
+// Close drains best-effort, says goodbye, and tears the connections down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	var firstErr error
+	if c.sealed {
+		c.mu.Unlock()
+		if err := c.Drain(); err != nil {
+			firstErr = err
+		}
+		c.mu.Lock()
+	}
+	c.closed = true
+	for _, nc := range c.nodes {
+		nc.snd.send(frameBye, nil)
+		nc.snd.close()
+		nc.conn.Close()
+	}
+	sealed := c.sealed
+	c.mu.Unlock()
+	if sealed {
+		for _, nc := range c.nodes {
+			<-nc.readerDone
+		}
+	}
+	return firstErr
+}
+
+// ---- observability ----------------------------------------------------------
+
+// NodeStats is one node's transport accounting, feed side and (as of the
+// last drain) node side.
+type NodeStats struct {
+	Addr         string
+	TuplesSent   uint64
+	BeatsSent    uint64
+	RowsReceived uint64
+	Node         NodeCounters
+}
+
+// ClusterStats aggregates per-node accounting.
+type ClusterStats struct {
+	Nodes []NodeStats
+}
+
+// Stats reports transport accounting. Node-side counters are those shipped
+// with the most recent drain acknowledgment; call Drain first for an exact
+// cut. The soak harness checks the identity TuplesSent == Node.Tuples and
+// RowsReceived == Node.Rows per node.
+func (c *Client) Stats() ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClusterStats{}
+	for _, nc := range c.nodes {
+		st.Nodes = append(st.Nodes, NodeStats{
+			Addr:         nc.addr,
+			TuplesSent:   nc.tuplesSent,
+			BeatsSent:    nc.beatsSent,
+			RowsReceived: atomic.LoadUint64(&nc.rowsRecv),
+			Node:         nc.lastDrain,
+		})
+	}
+	return st
+}
+
+// PlacementReport describes the sealed placement for tests and tooling.
+type PlacementReport struct {
+	// Streams maps stream name to a route description, e.g.
+	// "guard-keyed(readerid)", "keyed(tagid)", "pinned", "free".
+	Streams map[string]string
+	// Queries maps query name to its home node (-1 = all nodes).
+	Queries map[string]int
+	// ExactClock reports the node-0 exact heartbeat mirror.
+	ExactClock bool
+}
+
+// Placement seals the client and reports the computed placement.
+func (c *Client) Placement() (PlacementReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sealLocked(); err != nil {
+		return PlacementReport{}, err
+	}
+	rep := PlacementReport{Streams: map[string]string{}, Queries: map[string]int{}, ExactClock: c.pl.exactClock}
+	for name, rt := range c.pl.routes {
+		switch rt.mode {
+		case srKeyed, srGuard:
+			rep.Streams[name] = fmt.Sprintf("%s(%s)", rt.mode, rt.keyCol)
+		default:
+			rep.Streams[name] = rt.mode.String()
+		}
+	}
+	for q, home := range c.pl.homes {
+		rep.Queries[q.Name] = home
+	}
+	return rep, nil
+}

@@ -1,0 +1,682 @@
+package cluster
+
+// Loopback cluster tests: real TCP connections on 127.0.0.1, in-process
+// nodes, and the central contract — a cluster run produces exactly the rows
+// a serial esl.Engine produces, as a sorted multiset, at every node count ×
+// batch size × workload shape. Emission order across nodes is not part of
+// the contract (deferred-window rows are "late" even serially), so
+// fingerprints compare sorted, exactly like the shard equivalence suite.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+// startNodes launches n single-session nodes on loopback listeners and
+// returns their addresses plus a wait function that blocks until every
+// session ended and reports server-side errors.
+func startNodes(t *testing.T, n, shards int) ([]string, func()) {
+	t.Helper()
+	addrs := make([]string, n)
+	errs := make(chan error, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		go func() {
+			defer l.Close()
+			errs <- NewNode(NodeConfig{Shards: shards}).ListenAndServe(l)
+		}()
+	}
+	return addrs, func() {
+		for i := 0; i < n; i++ {
+			if err := <-errs; err != nil {
+				t.Errorf("node session: %v", err)
+			}
+		}
+	}
+}
+
+// csink accumulates fingerprints from callbacks (reader goroutines for the
+// cluster, inline for serial).
+type csink struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+func (s *csink) row(tag string) func(esl.Row) {
+	return func(r esl.Row) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.rows = append(s.rows, fmt.Sprintf("%s|%v@%d%v", tag, r.Names, r.TS, r.Vals))
+	}
+}
+
+func (s *csink) tup(tag string) func(*stream.Tuple) {
+	return func(t *stream.Tuple) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.rows = append(s.rows, fmt.Sprintf("%s|%s@%d%v", tag, t.Schema.Name(), t.TS, t.Vals))
+	}
+}
+
+func (s *csink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.rows...)
+	sort.Strings(out)
+	return out
+}
+
+func (s *csink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// crunner abstracts serial engine vs cluster client for scenarios.
+type crunner interface {
+	exec(t *testing.T, script string)
+	register(t *testing.T, name, sql string, onRow func(esl.Row))
+	subscribe(t *testing.T, name string, fn func(*stream.Tuple))
+	push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value)
+	heartbeat(t *testing.T, ts stream.Timestamp)
+}
+
+type serialCRunner struct{ e *esl.Engine }
+
+func (r *serialCRunner) exec(t *testing.T, script string) {
+	t.Helper()
+	if _, err := r.e.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialCRunner) register(t *testing.T, name, sql string, onRow func(esl.Row)) {
+	t.Helper()
+	if _, err := r.e.RegisterQuery(name, sql, onRow); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialCRunner) subscribe(t *testing.T, name string, fn func(*stream.Tuple)) {
+	t.Helper()
+	if err := r.e.Subscribe(name, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialCRunner) push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value) {
+	t.Helper()
+	if err := r.e.Push(name, ts, vals...); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *serialCRunner) heartbeat(t *testing.T, ts stream.Timestamp) {
+	t.Helper()
+	if err := r.e.Heartbeat(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type clusterCRunner struct{ c *Client }
+
+func (r *clusterCRunner) exec(t *testing.T, script string) {
+	t.Helper()
+	if _, err := r.c.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *clusterCRunner) register(t *testing.T, name, sql string, onRow func(esl.Row)) {
+	t.Helper()
+	if _, err := r.c.RegisterQuery(name, sql, onRow); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *clusterCRunner) subscribe(t *testing.T, name string, fn func(*stream.Tuple)) {
+	t.Helper()
+	if err := r.c.Subscribe(name, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *clusterCRunner) push(t *testing.T, name string, ts stream.Timestamp, vals ...stream.Value) {
+	t.Helper()
+	if err := r.c.Push(name, ts, vals...); err != nil {
+		t.Fatal(err)
+	}
+}
+func (r *clusterCRunner) heartbeat(t *testing.T, ts stream.Timestamp) {
+	t.Helper()
+	if err := r.c.Heartbeat(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clusterEquivConfigs is the node-count × batch-size × node-shard grid every
+// scenario runs under.
+var clusterEquivConfigs = []struct{ nodes, batch, shards int }{
+	{1, 0, 1},
+	{2, 1, 1},
+	{2, 7, 2},
+	{4, 0, 1},
+	{4, 1, 1},
+	{4, 256, 1},
+}
+
+// runClusterEquiv runs the scenario serially, then on each cluster
+// configuration, comparing sorted row multisets and checking the transport
+// accounting identity on every drain.
+func runClusterEquiv(t *testing.T, scenario func(t *testing.T, r crunner, s *csink)) {
+	t.Helper()
+	serial := &csink{}
+	se := esl.New()
+	scenario(t, &serialCRunner{e: se}, serial)
+	if err := se.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := serial.sorted()
+
+	for _, cfg := range clusterEquivConfigs {
+		name := fmt.Sprintf("nodes=%d/batch=%d/shards=%d", cfg.nodes, cfg.batch, cfg.shards)
+		t.Run(name, func(t *testing.T) {
+			addrs, wait := startNodes(t, cfg.nodes, cfg.shards)
+			client, err := Dial(Config{Nodes: addrs, BatchSize: cfg.batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := &csink{}
+			scenario(t, &clusterCRunner{c: client}, got)
+			if err := client.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			checkAccounting(t, client)
+			if err := client.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wait()
+			have := got.sorted()
+			if len(have) != len(want) {
+				t.Fatalf("row count: cluster %d vs serial %d\ncluster: %v\nserial: %v",
+					len(have), len(want), have, want)
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("row %d:\ncluster: %s\nserial:  %s", i, have[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// checkAccounting asserts the transport identity after a drain: every node
+// processed exactly the tuples/beats the feed sent it and the feed received
+// exactly the rows each node shipped.
+func checkAccounting(t *testing.T, c *Client) {
+	t.Helper()
+	for i, ns := range c.Stats().Nodes {
+		if ns.TuplesSent != ns.Node.Tuples {
+			t.Errorf("node %d: sent %d tuples, node ingested %d", i, ns.TuplesSent, ns.Node.Tuples)
+		}
+		if ns.BeatsSent != ns.Node.Beats {
+			t.Errorf("node %d: sent %d beats, node ingested %d", i, ns.BeatsSent, ns.Node.Beats)
+		}
+		if ns.RowsReceived != ns.Node.Rows {
+			t.Errorf("node %d: received %d rows, node shipped %d", i, ns.RowsReceived, ns.Node.Rows)
+		}
+	}
+}
+
+const clusterDDL = `
+	CREATE STREAM C1(readerid, tagid, tagtime);
+	CREATE STREAM C2(readerid, tagid, tagtime);`
+
+// TestClusterEquivGuardHomedSEQ: the flagship workload — reader-local SEQ
+// queries that home to single nodes, data spread across readers.
+func TestClusterEquivGuardHomedSEQ(t *testing.T) {
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, clusterDDL)
+		for i := 0; i < 8; i++ {
+			rd := fmt.Sprintf("R%d", i)
+			r.register(t, fmt.Sprintf("local%d", i), fmt.Sprintf(`
+				SELECT C1.tagid, C1.tagtime, C2.tagtime FROM C1, C2
+				WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid
+				AND C1.readerid='%s' AND C2.readerid='%s'`, rd, rd), s.row(rd))
+		}
+		at := 0
+		push := func(stn string, rd, tag string) {
+			at++
+			r.push(t, stn, ts(at), stream.Str(rd), stream.Str(tag), stream.Time(ts(at)))
+		}
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 8; i++ {
+				rd := fmt.Sprintf("R%d", i)
+				push("C1", rd, fmt.Sprintf("tag-%d-%d", i, round))
+			}
+			if round == 2 {
+				r.heartbeat(t, ts(at+1))
+				at++
+			}
+			for i := 0; i < 8; i++ {
+				rd := fmt.Sprintf("R%d", i)
+				if (round+i)%5 == 0 {
+					continue // some pairs never complete
+				}
+				push("C2", rd, fmt.Sprintf("tag-%d-%d", i, round))
+			}
+		}
+	})
+}
+
+// TestClusterEquivKeyedSEQ: the Example 6 keyed SEQ without guards — the
+// query registers on every node, tuples hash by tagid, and a subscription
+// rides along.
+func TestClusterEquivKeyedSEQ(t *testing.T) {
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, clusterDDL+`
+			CREATE STREAM C3(readerid, tagid, tagtime);`)
+		r.register(t, "ex6", `
+			SELECT C1.tagid, C1.tagtime, C3.tagtime
+			FROM C1, C2, C3
+			WHERE SEQ(C1, C2, C3)
+			AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid`, s.row("ex6"))
+		r.subscribe(t, "C1", s.tup("c1"))
+		tags := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+		at := 0
+		push := func(stn, tag string) {
+			at++
+			r.push(t, stn, ts(at), stream.Str(stn), stream.Str(tag), stream.Time(ts(at)))
+		}
+		for _, stn := range []string{"C1", "C2", "C3"} {
+			for i, tag := range tags {
+				if stn == "C2" && i == 3 {
+					continue // t3 skips C2
+				}
+				push(stn, tag)
+			}
+			if stn == "C2" {
+				r.heartbeat(t, ts(at+1))
+				at++
+			}
+		}
+		for _, stn := range []string{"C1", "C2", "C3"} {
+			push(stn, "t0") // second wave
+		}
+	})
+}
+
+// TestClusterEquivPairingModes: the §3.1.1 walkthrough under all four Tuple
+// Pairing Modes, windowed (time-sensitive, so watermark plumbing matters).
+func TestClusterEquivPairingModes(t *testing.T) {
+	walkthrough := []string{"C1", "C1", "C2", "C3", "C3", "C2", "C4"}
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, clusterDDL+`
+			CREATE STREAM C3(readerid, tagid, tagtime);
+			CREATE STREAM C4(readerid, tagid, tagtime);`)
+		for _, mode := range []string{"UNRESTRICTED", "RECENT", "CHRONICLE", "CONSECUTIVE"} {
+			r.register(t, "mode"+mode, fmt.Sprintf(`
+				SELECT C1.tagid, C1.tagtime, C4.tagtime
+				FROM C1, C2, C3, C4
+				WHERE SEQ(C1, C2, C3, C4)
+				OVER [30 MINUTES PRECEDING C4] MODE %s
+				AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+				AND C1.tagid=C4.tagid`, mode), s.row(mode))
+		}
+		at := 0
+		for rep := 0; rep < 3; rep++ {
+			for _, stn := range walkthrough {
+				for _, tag := range []string{"a", "b", "c"} {
+					at++
+					r.push(t, stn, ts(at), stream.Str(stn), stream.Str(tag), stream.Time(ts(at)))
+				}
+			}
+		}
+	})
+}
+
+// TestClusterEquivPinnedContainment: the star-sequence containment query has
+// no partition key — it pins to node 0, which must still see exact event
+// time (foreign tuples become heartbeats).
+func TestClusterEquivPinnedContainment(t *testing.T) {
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, `
+			CREATE STREAM R1(readerid, tagid, tagtime);
+			CREATE STREAM R2(readerid, tagid, tagtime);`)
+		r.register(t, "contain", `
+			SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+			FROM R1, R2
+			WHERE SEQ(R1*, R2) MODE CHRONICLE
+			AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+			AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS`, s.row("fig1"))
+		push := func(stn string, ms int, tag string) {
+			at := stream.TS(time.Duration(ms) * time.Millisecond)
+			r.push(t, stn, at, stream.Str(stn), stream.Str(tag), stream.Time(at))
+		}
+		push("R1", 1000, "p1")
+		push("R1", 1800, "p2")
+		push("R1", 2500, "p3")
+		push("R2", 4000, "case1")
+		push("R1", 6000, "p4")
+		push("R1", 6500, "p5")
+		push("R2", 8000, "case2")
+		push("R1", 20000, "p6")
+		push("R1", 22500, "p7") // >1s gap breaks the chain
+		push("R2", 23000, "case3")
+	})
+}
+
+// TestClusterEquivDerivedStream: a pinned dedup query writing a derived
+// stream, observed through a subscription — derived tuples are generated
+// node-side and ship back as subscription events.
+func TestClusterEquivDerivedStream(t *testing.T) {
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, `
+			CREATE STREAM readings(reader_id, tag_id, read_time);
+			CREATE STREAM cleaned(reader_id, tag_id, read_time);
+			INSERT INTO cleaned
+			SELECT * FROM readings AS r1
+			WHERE NOT EXISTS
+			  (SELECT * FROM TABLE( readings OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+			   WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);`)
+		r.subscribe(t, "cleaned", s.tup("clean"))
+		at := 0
+		push := func(ms int, rd, tag string) {
+			at += ms
+			r.push(t, "readings", stream.TS(time.Duration(at)*time.Millisecond),
+				stream.Str(rd), stream.Str(tag), stream.Null)
+		}
+		push(100, "rd1", "x")
+		push(200, "rd1", "x") // dup
+		push(300, "rd2", "x")
+		push(600, "rd1", "x") // dup
+		push(900, "rd1", "y")
+		push(1500, "rd1", "x") // window passed: kept
+	})
+}
+
+// TestClusterEquivStatelessFilter: a pure filter routes round-robin; rows
+// re-merge to the serial set.
+func TestClusterEquivStatelessFilter(t *testing.T) {
+	runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+		r.exec(t, `CREATE STREAM readings(reader_id, tag_id, read_time);`)
+		r.register(t, "filter", `SELECT tag_id, reader_id FROM readings WHERE tag_id LIKE 'a%'`,
+			s.row("filter"))
+		for i := 0; i < 40; i++ {
+			tag := fmt.Sprintf("a%d", i)
+			if i%3 == 0 {
+				tag = fmt.Sprintf("b%d", i)
+			}
+			r.push(t, "readings", ts(i+1),
+				stream.Str(fmt.Sprintf("rd%d", i%4)), stream.Str(tag), stream.Null)
+		}
+	})
+}
+
+// TestClusterEquivRandomized: seeded random workloads — a mix of homable
+// reader-local queries, a broadcast keyed query, and a subscription, fed a
+// random interleaving of readers, tags, duplicate reads, skipped steps, and
+// heartbeats. Each seed replays the identical event list serially and on
+// every cluster configuration.
+func TestClusterEquivRandomized(t *testing.T) {
+	type ev struct {
+		stream string // "" = heartbeat
+		rd     string
+		tag    string
+		at     int
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var evs []ev
+			at := 0
+			for i := 0; i < 400; i++ {
+				at += rng.Intn(3) + 1
+				if rng.Intn(20) == 0 {
+					evs = append(evs, ev{at: at})
+					continue
+				}
+				evs = append(evs, ev{
+					stream: []string{"C1", "C2"}[rng.Intn(2)],
+					rd:     fmt.Sprintf("R%d", rng.Intn(6)),
+					tag:    fmt.Sprintf("t%d", rng.Intn(24)),
+					at:     at,
+				})
+			}
+			runClusterEquiv(t, func(t *testing.T, r crunner, s *csink) {
+				r.exec(t, clusterDDL)
+				for i := 0; i < 6; i++ {
+					rd := fmt.Sprintf("R%d", i)
+					r.register(t, fmt.Sprintf("local%d", i), fmt.Sprintf(`
+						SELECT C1.tagid, C2.tagtime FROM C1, C2
+						WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid
+						AND C1.readerid='%s' AND C2.readerid='%s'`, rd, rd), s.row(rd))
+				}
+				r.register(t, "anyreader", `
+					SELECT C1.tagid, C1.tagtime, C2.tagtime FROM C1, C2
+					WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid`, s.row("any"))
+				r.subscribe(t, "C2", s.tup("c2"))
+				for _, e := range evs {
+					if e.stream == "" {
+						r.heartbeat(t, ts(e.at))
+						continue
+					}
+					r.push(t, e.stream, ts(e.at), stream.Str(e.rd), stream.Str(e.tag), stream.Time(ts(e.at)))
+				}
+			})
+		})
+	}
+}
+
+// TestClusterOrderedDelivery: for immediate (non-deferred) emissions the
+// merge tier delivers in non-decreasing timestamp order even though rows
+// arrive from nodes out of phase.
+func TestClusterOrderedDelivery(t *testing.T) {
+	addrs, wait := startNodes(t, 4, 1)
+	client, err := Dial(Config{Nodes: addrs, BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec(`CREATE STREAM readings(reader_id, tag_id, read_time);`); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []stream.Timestamp
+	if _, err := client.RegisterQuery("all", `SELECT tag_id FROM readings`, func(r esl.Row) {
+		mu.Lock()
+		seen = append(seen, r.TS)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := client.Push("readings", ts(i+1),
+			stream.Str(fmt.Sprintf("rd%d", i%7)), stream.Str(fmt.Sprintf("t%d", i)), stream.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 200 {
+		t.Fatalf("got %d rows, want 200", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("row %d: ts %d after %d — merge order violated", i, seen[i], seen[i-1])
+		}
+	}
+}
+
+// TestClusterStalledNodeKeepalive: all data routes to one reader's home;
+// the other nodes see only trailing heartbeats — yet output flows without a
+// drain, because keepalive watermarks let the merge tier release.
+func TestClusterStalledNodeKeepalive(t *testing.T) {
+	addrs, wait := startNodes(t, 2, 1)
+	client, err := Dial(Config{Nodes: addrs, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec(clusterDDL); err != nil {
+		t.Fatal(err)
+	}
+	got := &csink{}
+	if _, err := client.RegisterQuery("hot", `
+		SELECT C1.tagid, C2.tagtime FROM C1, C2
+		WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid
+		AND C1.readerid='HOT' AND C2.readerid='HOT'`, got.row("hot")); err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for i := 0; i < 8; i++ {
+		at++
+		if err := client.Push("C1", ts(at), stream.Str("HOT"), stream.Str(fmt.Sprintf("t%d", i)), stream.Time(ts(at))); err != nil {
+			t.Fatal(err)
+		}
+		at++
+		if err := client.Push("C2", ts(at), stream.Str("HOT"), stream.Str(fmt.Sprintf("t%d", i)), stream.Time(ts(at))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.len() < 8 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := got.len(); n < 8 {
+		t.Errorf("only %d of 8 rows released without a drain — stalled-node keepalive broken", n)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+}
+
+// TestClusterRegistrationAfterPushRejected: placement seals at the first
+// push; later registration is a hard error, not a silent misplacement.
+func TestClusterRegistrationAfterPushRejected(t *testing.T) {
+	addrs, wait := startNodes(t, 2, 1)
+	client, err := Dial(Config{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec(`CREATE STREAM s(a, tagtime);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Push("s", ts(1), stream.Str("x"), stream.Null); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RegisterQuery("late", `SELECT a FROM s`, nil); err == nil {
+		t.Fatal("registration after first push succeeded; want error")
+	}
+	if _, err := client.Exec(`CREATE STREAM s2(a, tagtime);`); err == nil {
+		t.Fatal("DDL after first push succeeded; want error")
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+}
+
+// TestClusterNodeErrorPropagates: a node-side failure (query against a
+// missing stream slips past the planning replica? it can't — so use a bare
+// protocol-level probe: dialing a node and sending garbage) surfaces as a
+// typed error on the feed. Here: registering a query referencing a stream
+// that exists on the plan but executing DDL that fails node-side cannot
+// happen through the client API, so test the node directly.
+func TestClusterNodeErrorPropagates(t *testing.T) {
+	addrs, _ := startNodes(t, 1, 1)
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := newWireEnc()
+	encodeHello(enc)
+	if _, err := conn.Write(appendFrame(nil, frameHello, enc.bytes())); err != nil {
+		t.Fatal(err)
+	}
+	fr := frameReader{r: conn}
+	typ, _, err := fr.next()
+	if err != nil || typ != frameHelloAck {
+		t.Fatalf("hello ack: typ=%d err=%v", typ, err)
+	}
+	enc.reset()
+	enc.rawstr("CREATE NONSENSE;")
+	if _, err := conn.Write(appendFrame(nil, frameExec, enc.bytes())); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := fr.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameError {
+		t.Fatalf("got frame %d, want error frame", typ)
+	}
+	dec := newWireDec()
+	dec.reset(payload)
+	msg, err := dec.rawstr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg == "" {
+		t.Fatal("error frame carries no message")
+	}
+}
+
+// TestClusterPlacementReport: the sealed placement is observable — the
+// flagship workload reports guard-keyed streams and per-node homes.
+func TestClusterPlacementReport(t *testing.T) {
+	addrs, wait := startNodes(t, 4, 1)
+	client, err := Dial(Config{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec(clusterDDL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		rd := fmt.Sprintf("R%d", i)
+		if _, err := client.RegisterQuery(fmt.Sprintf("q%d", i), fmt.Sprintf(`
+			SELECT C1.tagid, C2.tagtime FROM C1, C2
+			WHERE SEQ(C1, C2) AND C1.tagid=C2.tagid
+			AND C1.readerid='%s' AND C2.readerid='%s'`, rd, rd), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := client.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams["c1"] != "guard-keyed(readerid)" {
+		t.Fatalf("c1 route %q, want guard-keyed(readerid)", rep.Streams["c1"])
+	}
+	homes := map[int]bool{}
+	for q, h := range rep.Queries {
+		if h < 0 {
+			t.Fatalf("query %s did not home", q)
+		}
+		homes[h] = true
+	}
+	if len(homes) < 2 {
+		t.Fatalf("16 reader-local queries homed to %v: no distribution", homes)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+}

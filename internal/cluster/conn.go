@@ -1,0 +1,190 @@
+package cluster
+
+// Transport plumbing shared by the feed client and the node server: a
+// double-buffered asynchronous sender with a coalescing byte budget, and a
+// credit gate implementing byte-based backpressure on the feed→node data
+// path. Neither holds an unbounded queue: the sender blocks producers past
+// its budget, and the credit gate blocks batch producers until the node
+// acknowledges consumption.
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultCoalesce is the sender's staging-buffer budget: frames accumulate
+// in the staging buffer while a write is in flight, so consecutive small
+// frames coalesce into one syscall, but a producer outrunning the socket
+// blocks once the budget fills.
+const DefaultCoalesce = 256 << 10
+
+// DefaultCredit is the initial byte credit a node grants its feed: how many
+// batch-frame bytes may be in flight (sent but not yet acknowledged as
+// processed). Two batch-frames' worth of slack at default sizes keeps the
+// pipe full without letting a stalled node absorb unbounded memory.
+const DefaultCredit = 4 << 20
+
+// sender owns one direction of a connection. Producers append complete
+// frames to the staging buffer; one goroutine swaps the staging buffer with
+// a write buffer and writes it out — double buffering: producers never wait
+// for the syscall unless the budget is exhausted.
+type sender struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	w      io.Writer
+	stage  []byte // frames staged for the next write
+	spare  []byte // recycled write buffer
+	budget int
+	err    error
+	closed bool
+	busy   bool // writer goroutine mid-Write
+	done   chan struct{}
+}
+
+func newSender(w io.Writer, budget int) *sender {
+	if budget <= 0 {
+		budget = DefaultCoalesce
+	}
+	s := &sender{w: w, budget: budget, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+func (s *sender) run() {
+	defer close(s.done)
+	s.mu.Lock()
+	for {
+		for len(s.stage) == 0 && !s.closed && s.err == nil {
+			s.cond.Wait()
+		}
+		if len(s.stage) == 0 || s.err != nil {
+			// Closed with nothing staged, or the writer already failed
+			// (producers see s.err; staged bytes are undeliverable).
+			s.mu.Unlock()
+			return
+		}
+		buf := s.stage
+		s.stage = s.spare[:0]
+		s.busy = true
+		s.mu.Unlock()
+
+		_, werr := s.w.Write(buf)
+
+		s.mu.Lock()
+		s.busy = false
+		s.spare = buf[:0]
+		if werr != nil && s.err == nil {
+			s.err = werr
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// send stages one frame, blocking while the staging buffer is over budget
+// (backpressure from the socket propagates to the producer here).
+func (s *sender) send(typ byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.stage) > s.budget && s.err == nil && !s.closed {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return io.ErrClosedPipe
+	}
+	s.stage = appendFrame(s.stage, typ, payload)
+	s.cond.Broadcast()
+	return nil
+}
+
+// flush blocks until every staged frame has been handed to the socket.
+func (s *sender) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for (len(s.stage) > 0 || s.busy) && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// close flushes and stops the writer goroutine.
+func (s *sender) close() error {
+	s.mu.Lock()
+	for (len(s.stage) > 0 || s.busy) && s.err == nil && !s.closed {
+		s.cond.Wait()
+	}
+	s.closed = true
+	err := s.err
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	return err
+}
+
+// fail wakes every producer with a terminal error (connection torn down).
+func (s *sender) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// creditGate is the feed-side half of the batch backpressure protocol. The
+// node grants an initial byte budget in its hello; each batch frame spends
+// its wire size before transmission, and each Ack returns the bytes of the
+// batch the node finished processing. A frame larger than the whole grant
+// is allowed through alone (spend saturates rather than deadlocks).
+type creditGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	credit int
+	grant  int
+	err    error
+}
+
+func newCreditGate(grant int) *creditGate {
+	g := &creditGate{credit: grant, grant: grant}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// spend blocks until n bytes of credit are available (or the full grant is,
+// for oversized frames), then consumes them.
+func (g *creditGate) spend(n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.credit < n && g.credit < g.grant && g.err == nil {
+		g.cond.Wait()
+	}
+	if g.err != nil {
+		return g.err
+	}
+	g.credit -= n
+	return nil
+}
+
+// refund returns n bytes of credit (an Ack arrived).
+func (g *creditGate) refund(n int) {
+	g.mu.Lock()
+	g.credit += n
+	if g.credit > g.grant {
+		g.credit = g.grant // a confused peer cannot mint unbounded credit
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// fail releases every waiter with a terminal error.
+func (g *creditGate) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

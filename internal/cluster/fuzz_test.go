@@ -1,0 +1,132 @@
+package cluster
+
+// Satellite: fuzzing the wire codec. The contract under test is the one the
+// package doc promises — malformed frames (truncated, bit-flipped,
+// oversized, hostile lengths) produce typed errors and never panic or
+// allocate beyond what the input could justify. Seed corpus lives in
+// testdata/fuzz/FuzzDecodeFrame and the seeds below reconstruct the
+// interesting shapes programmatically so the fuzzer starts from valid
+// frames of every type.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// fuzzResolve accepts any stream name, as a hostile payload could name
+// anything; the schema is what an engine with a three-column stream has.
+func fuzzResolve() func(string) (*stream.Schema, bool) {
+	schema, err := stream.NewSchema("readings",
+		stream.Field{Name: "readerid"}, stream.Field{Name: "tagid"}, stream.Field{Name: "tagtime"})
+	if err != nil {
+		panic(err)
+	}
+	return func(string) (*stream.Schema, bool) { return schema, true }
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid frames of every payload-bearing type.
+	enc := newWireEnc()
+	encodeHello(enc)
+	f.Add(appendFrame(nil, frameHello, enc.bytes()))
+	enc.reset()
+	encodeHelloAck(enc, DefaultCredit)
+	f.Add(appendFrame(nil, frameHelloAck, enc.bytes()))
+	enc.reset()
+	enc.rawstr("CREATE STREAM readings(readerid, tagid, tagtime);")
+	f.Add(appendFrame(nil, frameExec, enc.bytes()))
+	enc.reset()
+	encodeRegister(enc, 0, "q1", "SELECT tagid FROM readings", true)
+	f.Add(appendFrame(nil, frameRegister, enc.bytes()))
+	enc.reset()
+	encodeSubscribe(enc, 1, "readings")
+	f.Add(appendFrame(nil, frameSub, enc.bytes()))
+
+	schema, _ := stream.NewSchema("readings",
+		stream.Field{Name: "readerid"}, stream.Field{Name: "tagid"}, stream.Field{Name: "tagtime"})
+	tp, _ := stream.NewTuple(schema, ts(1), stream.Str("R1"), stream.Str("t1"), stream.Time(ts(1)))
+	enc.reset()
+	encodeBatch(enc, []stream.Item{stream.Of(tp), stream.Heartbeat(ts(2))})
+	f.Add(appendFrame(nil, frameBatch, enc.bytes()))
+
+	enc.reset()
+	encodeRows(enc, []outEvent{{slot: 0, tup: tp}}, map[int]*string{})
+	f.Add(appendFrame(nil, frameRows, enc.bytes()))
+
+	enc.reset()
+	encodeAck(enc, 4096, ts(3))
+	f.Add(appendFrame(nil, frameAck, enc.bytes()))
+	enc.reset()
+	encodeDrainAck(enc, ts(9), NodeCounters{Tuples: 7, Beats: 2, Rows: 3})
+	f.Add(appendFrame(nil, frameDrainAck, enc.bytes()))
+
+	// Degenerate shapes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                            // short header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4}) // absurd length
+	f.Add(appendFrame(nil, frameBye, nil)[:5])        // truncated body
+	corrupt := appendFrame(nil, frameBatch, []byte{1, 2, 3})
+	corrupt[len(corrupt)-1] ^= 0xFF // bad CRC
+	f.Add(corrupt)
+
+	resolve := fuzzResolve()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		typ, payload, n, err := decodeFrame(raw)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTooBig) {
+				t.Fatalf("untyped framing error: %v", err)
+			}
+			return
+		}
+		if n > len(raw) || len(payload) > n {
+			t.Fatalf("frame accounting: consumed %d of %d, payload %d", n, len(raw), len(payload))
+		}
+		// A structurally valid frame must re-encode to the same bytes.
+		if re := appendFrame(nil, typ, payload); !bytes.Equal(re, raw[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+
+		// Drive the payload decoders the receiving end would run. Fresh
+		// decoder per attempt: interning state must not leak between
+		// unrelated hostile frames.
+		check := func(err error) {
+			if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) &&
+				!errors.Is(err, ErrTooBig) && !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped payload error for frame type %d: %v", typ, err)
+			}
+		}
+		dec := newWireDec()
+		dec.reset(payload)
+		switch typ {
+		case frameHello:
+			check(decodeHello(dec))
+		case frameHelloAck:
+			_, err := decodeHelloAck(dec)
+			check(err)
+		case frameExec, frameError:
+			_, err := dec.rawstr()
+			check(err)
+		case frameRegister:
+			_, _, _, _, err := decodeRegister(dec)
+			check(err)
+		case frameSub:
+			_, _, err := decodeSubscribe(dec)
+			check(err)
+		case frameBatch:
+			_, err := decodeBatch(dec, resolve, nil)
+			check(err)
+		case frameRows:
+			_, err := decodeRows(dec, resolve, map[int][]string{})
+			check(err)
+		case frameAck:
+			_, _, err := decodeAck(dec)
+			check(err)
+		case frameDrainAck:
+			_, _, err := decodeDrainAck(dec)
+			check(err)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package cluster
+
+// The engine node: one TCP session hosting a sharded engine. The node is
+// deliberately thin — all placement intelligence lives in the feed — and
+// processes frames synchronously: decode a batch, push it through the
+// engine, drain to a deterministic cut, ship the output rows, acknowledge
+// the batch's bytes back as credit. Backpressure is therefore structural:
+// at most one batch is being processed while the next is in flight.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/esl"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// NodeConfig tunes one engine node.
+type NodeConfig struct {
+	// Shards is the node-local worker shard count (the node hosts a full
+	// sharded engine, so in-process partitioning composes with cluster
+	// partitioning). 0 means 1.
+	Shards int
+	// Credit is the byte credit granted to the feed (0 = DefaultCredit).
+	Credit int
+	// Coalesce is the outbound sender budget (0 = DefaultCoalesce).
+	Coalesce int
+}
+
+// Node serves feed sessions. Each session gets a fresh engine: the cluster
+// data plane owns no durable state (fail-over and journal shipping are a
+// later layer).
+type Node struct {
+	cfg NodeConfig
+}
+
+// NewNode returns a node with the given configuration.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Credit <= 0 {
+		cfg.Credit = DefaultCredit
+	}
+	return &Node{cfg: cfg}
+}
+
+// ListenAndServe accepts one feed session on l and serves it to completion.
+// One session per process run keeps the harness honest: a node that
+// outlives its feed is a leak, not a feature, while there is no fail-over.
+func (n *Node) ListenAndServe(l net.Listener) error {
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return n.Serve(conn)
+}
+
+// nodeEngine is the engine surface a session drives. Both the serial
+// esl.Engine and the sharded wrapper satisfy it; a single-shard node runs
+// the serial engine directly — the shard wrapper's worker channels and
+// drain barriers buy nothing at shards=1 and cost real per-batch latency
+// on small machines.
+type nodeEngine interface {
+	Exec(script string) ([]*esl.Query, error)
+	RegisterQuery(name, sql string, onRow func(esl.Row)) (*esl.Query, error)
+	Subscribe(name string, fn func(*stream.Tuple)) error
+	StreamSchema(name string) (*stream.Schema, bool)
+	PushBatch(items []stream.Item) error
+	Drain() error
+	Now() stream.Timestamp
+}
+
+// Serve runs one feed session over conn until Bye, EOF, or a fatal error.
+func (n *Node) Serve(conn net.Conn) error {
+	var eng nodeEngine
+	if n.cfg.Shards == 1 {
+		eng = esl.New()
+	} else {
+		sh := shard.New(n.cfg.Shards)
+		defer sh.Close()
+		eng = sh
+	}
+
+	s := &nodeSession{
+		node:   n,
+		eng:    eng,
+		fr:     frameReader{r: conn},
+		enc:    newWireEnc(),
+		dec:    newWireDec(),
+		snd:    newSender(conn, n.cfg.Coalesce),
+		shapes: map[int]*string{},
+	}
+	defer s.snd.close()
+	err := s.run()
+	if err != nil {
+		s.snd.fail(err)
+	}
+	return err
+}
+
+type nodeSession struct {
+	node *Node
+	eng  nodeEngine
+	fr   frameReader
+	enc  *wireEnc
+	dec  *wireDec
+	snd  *sender
+
+	// rows collects engine output between frames. Callbacks arrive on
+	// worker goroutines during PushBatch/Drain; the per-batch drain
+	// barrier guarantees they have all landed before the buffer is read.
+	rmu    sync.Mutex
+	rows   []outEvent
+	shapes map[int]*string
+
+	counters NodeCounters
+	scratch  []stream.Item
+	arena    tupleArena
+}
+
+func (s *nodeSession) run() error {
+	// Hello exchange pins the protocol version before anything is decoded
+	// against interning state.
+	typ, payload, err := s.fr.next()
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return protof("expected hello, got frame type %d", typ)
+	}
+	s.dec.reset(payload)
+	if err := decodeHello(s.dec); err != nil {
+		return s.fatal(err)
+	}
+	s.enc.reset()
+	encodeHelloAck(s.enc, s.node.cfg.Credit)
+	if err := s.snd.send(frameHelloAck, s.enc.bytes()); err != nil {
+		return err
+	}
+
+	for {
+		typ, payload, err := s.fr.next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // feed vanished between frames: clean enough
+			}
+			return err
+		}
+		s.dec.reset(payload)
+		switch typ {
+		case frameExec:
+			script, err := s.dec.rawstr()
+			if err != nil {
+				return s.fatal(err)
+			}
+			if _, err := s.eng.Exec(script); err != nil {
+				return s.fatal(err)
+			}
+			if err := s.control(frameOK, nil); err != nil {
+				return err
+			}
+		case frameRegister:
+			slot, name, sql, wantRows, err := decodeRegister(s.dec)
+			if err != nil {
+				return s.fatal(err)
+			}
+			var onRow func(esl.Row)
+			if wantRows {
+				onRow = func(row esl.Row) {
+					s.rmu.Lock()
+					s.rows = append(s.rows, outEvent{slot: slot, row: row})
+					s.rmu.Unlock()
+				}
+			}
+			if _, err := s.eng.RegisterQuery(name, sql, onRow); err != nil {
+				return s.fatal(err)
+			}
+			if err := s.control(frameOK, nil); err != nil {
+				return err
+			}
+		case frameSub:
+			slot, streamName, err := decodeSubscribe(s.dec)
+			if err != nil {
+				return s.fatal(err)
+			}
+			if err := s.eng.Subscribe(streamName, func(t *stream.Tuple) {
+				s.rmu.Lock()
+				s.rows = append(s.rows, outEvent{slot: slot, tup: t})
+				s.rmu.Unlock()
+			}); err != nil {
+				return s.fatal(err)
+			}
+			if err := s.control(frameOK, nil); err != nil {
+				return err
+			}
+		case frameBatch:
+			wireBytes := len(payload) + 1 + frameOverhead
+			s.scratch = s.scratch[:0]
+			items, err := decodeBatchArena(s.dec, s.eng.StreamSchema, s.scratch, &s.arena)
+			s.scratch = items
+			if err != nil {
+				return s.fatal(err)
+			}
+			if err := s.dec.finish(); err != nil {
+				return s.fatal(err)
+			}
+			for _, it := range items {
+				if it.IsHeartbeat() {
+					s.counters.Beats++
+				} else {
+					s.counters.Tuples++
+				}
+			}
+			if err := s.eng.PushBatch(items); err != nil {
+				return s.fatal(err)
+			}
+			// Drain to a deterministic cut: all rows for this batch are in
+			// s.rows when Drain returns (worker barrier + combiner flush),
+			// so the Ack watermark can never overrun a pending row.
+			if err := s.eng.Drain(); err != nil {
+				return s.fatal(err)
+			}
+			if err := s.shipRows(); err != nil {
+				return err
+			}
+			s.enc.reset()
+			encodeAck(s.enc, wireBytes, s.eng.Now())
+			if err := s.snd.send(frameAck, s.enc.bytes()); err != nil {
+				return err
+			}
+		case frameDrain:
+			if err := s.eng.Drain(); err != nil {
+				return s.fatal(err)
+			}
+			if err := s.shipRows(); err != nil {
+				return err
+			}
+			s.enc.reset()
+			encodeDrainAck(s.enc, s.eng.Now(), s.counters)
+			if err := s.snd.send(frameDrainAck, s.enc.bytes()); err != nil {
+				return err
+			}
+			if err := s.snd.flush(); err != nil {
+				return err
+			}
+		case frameBye:
+			return s.snd.flush()
+		default:
+			return s.fatal(protof("unexpected frame type %d", typ))
+		}
+	}
+}
+
+// shipRows encodes and sends the buffered output events, if any.
+func (s *nodeSession) shipRows() error {
+	s.rmu.Lock()
+	events := s.rows
+	s.rows = nil
+	s.rmu.Unlock()
+	if len(events) == 0 {
+		return nil
+	}
+	s.counters.Rows += uint64(len(events))
+	s.enc.reset()
+	encodeRows(s.enc, events, s.shapes)
+	return s.snd.send(frameRows, s.enc.bytes())
+}
+
+// control sends a registration-path reply and flushes: the feed blocks on
+// these, so latency matters more than coalescing.
+func (s *nodeSession) control(typ byte, payload []byte) error {
+	if err := s.snd.send(typ, payload); err != nil {
+		return err
+	}
+	return s.snd.flush()
+}
+
+// fatal reports err to the feed on a best-effort Error frame and returns it.
+func (s *nodeSession) fatal(err error) error {
+	s.enc.reset()
+	s.enc.rawstr(err.Error())
+	if serr := s.snd.send(frameError, s.enc.bytes()); serr == nil {
+		s.snd.flush()
+	}
+	return fmt.Errorf("cluster node: %w", err)
+}

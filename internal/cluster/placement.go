@@ -1,0 +1,201 @@
+package cluster
+
+// Cluster placement = the shard router's planner-derived partitioning,
+// lifted onto a consistent-hash ring, plus one extra layer the in-process
+// engine has no use for: query homing.
+//
+// In-process, every replica registers every query — replicas are cheap and
+// the router only decides where *tuples* go. Across a cluster the dominant
+// per-event cost at high query counts is the per-node routing index over
+// all registered queries, so the win is registering each query on as few
+// nodes as possible. A query is *homable* when every stream it reads
+// carries a strict single-value constant guard (e.g. both SEQ steps filter
+// readerid='R7'): the route-guard contract proves tuples failing the guard
+// are no-ops for it, so the query registers only on the ring owner of its
+// guard value, and the stream's tuples route by the guarded column. Every
+// reader of the stream must agree on the guard column for that to be
+// sound; otherwise the stream falls back to shard-style key routing and
+// its queries register on all nodes.
+//
+// Pinned work keeps the in-process shard-0 contract verbatim: unshardable
+// queries and their streams land on node 0, and when a pinned query is
+// time-sensitive node 0 receives a heartbeat at every foreign tuple's
+// position (ExactClock).
+
+import (
+	"strings"
+
+	"repro/internal/esl"
+	"repro/internal/shard"
+)
+
+// streamRouteMode is the cluster-level dispatch decision for one stream.
+type streamRouteMode uint8
+
+const (
+	srPinned streamRouteMode = iota // every tuple to node 0
+	srKeyed                         // ring-hash of the partition key column
+	srGuard                         // ring-hash of the readers' guard column
+	srFree                          // round-robin (stateless readers only)
+)
+
+func (m streamRouteMode) String() string {
+	switch m {
+	case srPinned:
+		return "pinned"
+	case srKeyed:
+		return "keyed"
+	case srGuard:
+		return "guard-keyed"
+	default:
+		return "free"
+	}
+}
+
+type streamRoute struct {
+	mode   streamRouteMode
+	keyPos int // column hashed under srKeyed / srGuard
+	keyCol string
+}
+
+// placement is the sealed cluster plan: one route per stream and one home
+// per query (-1 = register on every node).
+type placement struct {
+	routes     map[string]streamRoute
+	homes      map[*esl.Query]int
+	exactClock bool
+}
+
+// computePlacement derives the cluster plan from the feed's planning
+// replica. It starts from shard.ComputePlacement (pinning, key extraction,
+// exact-clock analysis are identical concerns in and out of process), then
+// runs the guard-homing fixpoint described in the package comment.
+func computePlacement(plan *esl.Engine, rg *ring) placement {
+	base := shard.ComputePlacement(plan, nil)
+	queries := plan.Queries()
+
+	// Preliminary homability: every read stream guarded, none pinned.
+	guards := map[*esl.Query]map[string]esl.ConstGuard{}
+	homable := map[*esl.Query]bool{}
+	readersOf := map[string][]*esl.Query{}
+	for _, q := range queries {
+		if base.Homes[q] != -1 {
+			continue // pinned: handled by the base placement
+		}
+		reads := q.Reads()
+		g := map[string]esl.ConstGuard{}
+		ok := len(reads) > 0
+		for _, s := range reads {
+			readersOf[s] = append(readersOf[s], q)
+			if base.Routes[s].Mode == shard.RoutePinned {
+				ok = false
+				continue
+			}
+			cg, has := plan.RouteGuard(q, s)
+			if !has {
+				ok = false
+				continue
+			}
+			g[s] = cg
+		}
+		homable[q] = ok
+		guards[q] = g
+	}
+
+	// Fixpoint: a stream routes by guard only while all its readers are
+	// homable and agree on the guard column; a query stays homable only
+	// while all its streams guard-route and its guard values agree on one
+	// ring owner. Demoting a query can demote its streams, which demotes
+	// their other readers — iterate to stability.
+	guardOK := map[string]bool{}
+	guardPos := map[string]int{}
+	guardCol := map[string]string{}
+	for changed := true; changed; {
+		changed = false
+		for s, qs := range readersOf {
+			if base.Routes[s].Mode == shard.RoutePinned {
+				guardOK[s] = false
+				continue
+			}
+			pos, col, ok := -1, "", true
+			for _, q := range qs {
+				if !homable[q] {
+					ok = false
+					break
+				}
+				cg := guards[q][s]
+				if pos == -1 {
+					pos, col = cg.Pos, cg.Col
+				} else if pos != cg.Pos {
+					ok = false
+					break
+				}
+			}
+			guardOK[s] = ok
+			guardPos[s] = pos
+			guardCol[s] = col
+		}
+		for q, h := range homable {
+			if !h {
+				continue
+			}
+			node := -1
+			first := true
+			bad := false
+			for s, cg := range guards[q] {
+				if !guardOK[s] {
+					bad = true
+					break
+				}
+				n := rg.node(cg.Val.Hash())
+				if first {
+					node, first = n, false
+				} else if node != n {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				homable[q] = false
+				changed = true
+			}
+		}
+	}
+
+	p := placement{
+		routes:     map[string]streamRoute{},
+		homes:      map[*esl.Query]int{},
+		exactClock: base.ExactClock,
+	}
+	for _, q := range queries {
+		switch {
+		case base.Homes[q] == 0:
+			p.homes[q] = 0
+		case homable[q]:
+			// Every stream agreed on one ring owner; any guard value
+			// names it.
+			for s, cg := range guards[q] {
+				_ = s
+				p.homes[q] = rg.node(cg.Val.Hash())
+				break
+			}
+		default:
+			p.homes[q] = -1
+		}
+	}
+	for _, name := range plan.StreamNames() {
+		lower := strings.ToLower(name)
+		rt := base.Routes[lower]
+		switch {
+		case rt.Mode == shard.RoutePinned:
+			p.routes[lower] = streamRoute{mode: srPinned}
+		case guardOK[lower]:
+			p.routes[lower] = streamRoute{mode: srGuard, keyPos: guardPos[lower], keyCol: guardCol[lower]}
+		case rt.Mode == shard.RouteKeyed:
+			p.routes[lower] = streamRoute{mode: srKeyed, keyPos: rt.KeyPos, keyCol: rt.KeyCol}
+		default:
+			p.routes[lower] = streamRoute{mode: srFree}
+		}
+	}
+	return p
+}

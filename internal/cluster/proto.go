@@ -1,0 +1,446 @@
+package cluster
+
+// Message-level payload codecs over the wire primitives: the hello
+// exchange, tuple batches (timestamp-delta + interned identifiers), and
+// output row events. Shared by the node server and the feed client so the
+// two ends cannot drift.
+
+import (
+	"fmt"
+
+	"repro/internal/esl"
+	"repro/internal/stream"
+)
+
+// ---- hello ------------------------------------------------------------------
+
+func encodeHello(e *wireEnc) {
+	e.buf = append(e.buf, helloMagic...)
+	e.uvarint(Version)
+}
+
+func decodeHello(d *wireDec) error {
+	if d.remaining() < len(helloMagic) {
+		return ErrTruncated
+	}
+	if string(d.buf[d.off:d.off+len(helloMagic)]) != helloMagic {
+		return corruptf("bad hello magic")
+	}
+	d.off += len(helloMagic)
+	ver, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if ver != Version {
+		return fmt.Errorf("%w: peer speaks v%d, this end v%d", ErrVersion, ver, Version)
+	}
+	return nil
+}
+
+func encodeHelloAck(e *wireEnc, credit int) {
+	encodeHello(e)
+	e.uvarint(uint64(credit))
+}
+
+func decodeHelloAck(d *wireDec) (credit int, err error) {
+	if err := decodeHello(d); err != nil {
+		return 0, err
+	}
+	c, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if c > MaxFrame<<8 {
+		return 0, protof("absurd credit grant %d", c)
+	}
+	return int(c), d.finish()
+}
+
+// ---- batches ----------------------------------------------------------------
+
+// encodeBatch appends a run of items (tuples and heartbeats in
+// non-decreasing timestamp order). Timestamps travel as deltas from the
+// previous item in the frame, stream names and string values as interned
+// references — the steady-state cost of a tuple is a few bytes.
+func encodeBatch(e *wireEnc, items []stream.Item) {
+	e.uvarint(uint64(len(items)))
+	prev := int64(0)
+	for _, it := range items {
+		ts := int64(it.TS)
+		if it.IsHeartbeat() {
+			e.byte(0)
+			e.varint(ts - prev)
+		} else {
+			e.byte(1)
+			e.varint(ts - prev)
+			t := it.Tuple
+			e.str(t.Schema.Name())
+			e.uvarint(uint64(len(t.Vals)))
+			for _, v := range t.Vals {
+				e.value(v)
+			}
+		}
+		prev = ts
+	}
+}
+
+// tupleArena hands out tuples and value slices from bounded chunks so a
+// batch of N tuples costs ~N/256 allocations instead of 2N. Chunks are
+// never reused — decoded tuples outlive the frame inside the engine, and a
+// chunk is freed by the GC once every tuple in it dies. Chunk sizes are
+// fixed, so a hostile count cannot make the decoder pre-allocate more than
+// one chunk ahead of what it has actually parsed.
+type tupleArena struct {
+	tuples []stream.Tuple
+	vals   []stream.Value
+}
+
+const (
+	arenaTupleChunk = 256
+	arenaValueChunk = 1024
+)
+
+func (a *tupleArena) tuple() *stream.Tuple {
+	if len(a.tuples) == 0 {
+		a.tuples = make([]stream.Tuple, arenaTupleChunk)
+	}
+	t := &a.tuples[0]
+	a.tuples = a.tuples[1:]
+	return t
+}
+
+func (a *tupleArena) values(n int) []stream.Value {
+	if n > arenaValueChunk {
+		return make([]stream.Value, n)
+	}
+	if len(a.vals) < n {
+		a.vals = make([]stream.Value, arenaValueChunk)
+	}
+	v := a.vals[:n:n]
+	a.vals = a.vals[n:]
+	return v
+}
+
+// decodeBatch parses a batch payload into scratch (reused across frames;
+// the tuples themselves come from the arena — they outlive the frame
+// inside the engine). resolve maps stream names to the receiving engine's
+// schemas.
+func decodeBatch(d *wireDec, resolve func(string) (*stream.Schema, bool), scratch []stream.Item) ([]stream.Item, error) {
+	var arena tupleArena
+	return decodeBatchArena(d, resolve, scratch, &arena)
+}
+
+func decodeBatchArena(d *wireDec, resolve func(string) (*stream.Schema, bool), scratch []stream.Item, arena *tupleArena) ([]stream.Item, error) {
+	count, err := d.length()
+	if err != nil {
+		return scratch, err
+	}
+	prev := int64(0)
+	for i := 0; i < count; i++ {
+		tag, err := d.readByte()
+		if err != nil {
+			return scratch, err
+		}
+		delta, err := d.varint()
+		if err != nil {
+			return scratch, err
+		}
+		ts := prev + delta
+		prev = ts
+		switch tag {
+		case 0:
+			scratch = append(scratch, stream.Heartbeat(stream.Timestamp(ts)))
+		case 1:
+			name, err := d.str()
+			if err != nil {
+				return scratch, err
+			}
+			schema, ok := resolve(name)
+			if !ok {
+				return scratch, protof("batch references unknown stream %q", name)
+			}
+			nvals, err := d.length()
+			if err != nil {
+				return scratch, err
+			}
+			vals := arena.values(nvals)
+			for j := range vals {
+				if vals[j], err = d.value(); err != nil {
+					return scratch, err
+				}
+			}
+			// Materialized verbatim, like snapshot restore: the feed's
+			// boundary already screened the tuple once.
+			t := arena.tuple()
+			*t = stream.Tuple{Schema: schema, Vals: vals, TS: stream.Timestamp(ts)}
+			scratch = append(scratch, stream.Of(t))
+		default:
+			return scratch, corruptf("unknown batch item tag %d", tag)
+		}
+	}
+	return scratch, nil
+}
+
+// ---- output rows ------------------------------------------------------------
+
+// outEvent is one output a node ships back: a query row or a subscribed
+// tuple, tagged with the feed-assigned registration slot. Order within and
+// across Rows frames is the node's emission order; the feed reconstructs
+// per-node sequence numbers from it, so they never travel.
+type outEvent struct {
+	slot int
+	row  esl.Row
+	tup  *stream.Tuple
+}
+
+// encodeRows appends a run of output events. Row column-name shapes are
+// cached per slot on the encoder (the planner shares one Names slice across
+// every row a query emits, so pointer identity is a reliable cache key);
+// steady state ships values only.
+func encodeRows(e *wireEnc, events []outEvent, shapes map[int]*string) {
+	e.uvarint(uint64(len(events)))
+	prev := int64(0)
+	for _, ev := range events {
+		e.uvarint(uint64(ev.slot))
+		if ev.tup != nil {
+			e.byte(1)
+			e.varint(int64(ev.tup.TS) - prev)
+			prev = int64(ev.tup.TS)
+			e.str(ev.tup.Schema.Name())
+			e.uvarint(uint64(len(ev.tup.Vals)))
+			for _, v := range ev.tup.Vals {
+				e.value(v)
+			}
+			continue
+		}
+		e.byte(0)
+		e.varint(int64(ev.row.TS) - prev)
+		prev = int64(ev.row.TS)
+		var key *string
+		if len(ev.row.Names) > 0 {
+			key = &ev.row.Names[0]
+		}
+		if cached, ok := shapes[ev.slot]; ok && cached == key {
+			e.byte(0) // same shape as this slot's previous row
+		} else {
+			e.byte(1)
+			e.uvarint(uint64(len(ev.row.Names)))
+			for _, n := range ev.row.Names {
+				e.str(n)
+			}
+			shapes[ev.slot] = key
+		}
+		e.uvarint(uint64(len(ev.row.Vals)))
+		for _, v := range ev.row.Vals {
+			e.value(v)
+		}
+	}
+}
+
+// decodeRows parses a Rows payload. shapes caches each slot's current
+// column-name slice (shared across rows, mirroring the planner); resolve
+// maps subscribed tuple streams to the feed-side planning schemas.
+func decodeRows(d *wireDec, resolve func(string) (*stream.Schema, bool), shapes map[int][]string) ([]outEvent, error) {
+	count, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	// Cap the up-front capacity: count is screened against the payload
+	// length, but trusting it verbatim would still let a 4-byte-per-event
+	// claim reserve ~20x the frame size in outEvent headers.
+	cap0 := count
+	if cap0 > 4096 {
+		cap0 = 4096
+	}
+	events := make([]outEvent, 0, cap0)
+	var arena tupleArena
+	prev := int64(0)
+	for i := 0; i < count; i++ {
+		slot64, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if slot64 > uint64(maxSlots) {
+			return nil, protof("slot %d out of range", slot64)
+		}
+		slot := int(slot64)
+		kind, err := d.readByte()
+		if err != nil {
+			return nil, err
+		}
+		delta, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		ts := prev + delta
+		prev = ts
+		switch kind {
+		case 1:
+			name, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			schema, ok := resolve(name)
+			if !ok {
+				return nil, protof("rows frame references unknown stream %q", name)
+			}
+			nvals, err := d.length()
+			if err != nil {
+				return nil, err
+			}
+			vals := arena.values(nvals)
+			for j := range vals {
+				if vals[j], err = d.value(); err != nil {
+					return nil, err
+				}
+			}
+			t := arena.tuple()
+			*t = stream.Tuple{Schema: schema, Vals: vals, TS: stream.Timestamp(ts)}
+			events = append(events, outEvent{slot: slot, tup: t})
+		case 0:
+			shaped, err := d.readByte()
+			if err != nil {
+				return nil, err
+			}
+			if shaped == 1 {
+				n, err := d.length()
+				if err != nil {
+					return nil, err
+				}
+				names := make([]string, n)
+				for j := range names {
+					if names[j], err = d.str(); err != nil {
+						return nil, err
+					}
+				}
+				shapes[slot] = names
+			}
+			nvals, err := d.length()
+			if err != nil {
+				return nil, err
+			}
+			vals := arena.values(nvals)
+			for j := range vals {
+				if vals[j], err = d.value(); err != nil {
+					return nil, err
+				}
+			}
+			events = append(events, outEvent{
+				slot: slot,
+				row:  esl.Row{Names: shapes[slot], Vals: vals, TS: stream.Timestamp(ts)},
+			})
+		default:
+			return nil, corruptf("unknown rows event kind %d", kind)
+		}
+	}
+	return events, nil
+}
+
+// maxSlots bounds registration slots per session — far above any real
+// query count, low enough that a corrupt slot id cannot grow feed-side
+// maps without bound.
+const maxSlots = 1 << 20
+
+// ---- control payloads -------------------------------------------------------
+
+func encodeAck(e *wireEnc, credit int, wm stream.Timestamp) {
+	e.uvarint(uint64(credit))
+	e.varint(int64(wm))
+}
+
+func decodeAck(d *wireDec) (credit int, wm stream.Timestamp, err error) {
+	c, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if c > MaxFrame<<8 {
+		return 0, 0, protof("absurd credit return %d", c)
+	}
+	w, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(c), stream.Timestamp(w), d.finish()
+}
+
+// NodeCounters is a node's accounting for one session, shipped in DrainAck
+// frames; the soak harness checks them against the feed's own counts
+// (accounting identity: nothing lost, nothing duplicated in transport).
+type NodeCounters struct {
+	Tuples uint64 // tuples ingested into the node engine
+	Beats  uint64 // heartbeats ingested
+	Rows   uint64 // output events shipped back
+}
+
+func encodeDrainAck(e *wireEnc, wm stream.Timestamp, c NodeCounters) {
+	e.varint(int64(wm))
+	e.uvarint(c.Tuples)
+	e.uvarint(c.Beats)
+	e.uvarint(c.Rows)
+}
+
+func decodeDrainAck(d *wireDec) (wm stream.Timestamp, c NodeCounters, err error) {
+	w, err := d.varint()
+	if err != nil {
+		return 0, c, err
+	}
+	if c.Tuples, err = d.uvarint(); err != nil {
+		return 0, c, err
+	}
+	if c.Beats, err = d.uvarint(); err != nil {
+		return 0, c, err
+	}
+	if c.Rows, err = d.uvarint(); err != nil {
+		return 0, c, err
+	}
+	return stream.Timestamp(w), c, d.finish()
+}
+
+// encodeRegister carries a continuous-query registration. wantRows=false
+// means the feed has no callback for this query — the node still runs it
+// (it may write derived streams others read) but ships no rows back.
+func encodeRegister(e *wireEnc, slot int, name, sql string, wantRows bool) {
+	e.uvarint(uint64(slot))
+	e.rawstr(name)
+	e.rawstr(sql)
+	e.bool(wantRows)
+}
+
+func decodeRegister(d *wireDec) (slot int, name, sql string, wantRows bool, err error) {
+	s, err := d.uvarint()
+	if err != nil {
+		return 0, "", "", false, err
+	}
+	if s > uint64(maxSlots) {
+		return 0, "", "", false, protof("slot %d out of range", s)
+	}
+	if name, err = d.rawstr(); err != nil {
+		return 0, "", "", false, err
+	}
+	if sql, err = d.rawstr(); err != nil {
+		return 0, "", "", false, err
+	}
+	if wantRows, err = d.bool(); err != nil {
+		return 0, "", "", false, err
+	}
+	return int(s), name, sql, wantRows, d.finish()
+}
+
+func encodeSubscribe(e *wireEnc, slot int, streamName string) {
+	e.uvarint(uint64(slot))
+	e.rawstr(streamName)
+}
+
+func decodeSubscribe(d *wireDec) (slot int, streamName string, err error) {
+	s, err := d.uvarint()
+	if err != nil {
+		return 0, "", err
+	}
+	if s > uint64(maxSlots) {
+		return 0, "", protof("slot %d out of range", s)
+	}
+	if streamName, err = d.rawstr(); err != nil {
+		return 0, "", err
+	}
+	return int(s), streamName, d.finish()
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node on the
+// placement ring. 64 points per node keeps the expected load imbalance for
+// random keys within a few percent at single-digit node counts.
+const DefaultVNodes = 64
+
+// ring is a consistent-hash ring over N nodes: each node projects VNodes
+// points onto the 64-bit circle, and a key belongs to the node owning the
+// first point at or after the key's hash. Placement therefore depends only
+// on (node count, vnode count) — every feed computes the identical ring, so
+// routing needs no coordination traffic.
+type ring struct {
+	hashes []uint64
+	owner  []int
+	n      int
+}
+
+func newRing(n, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &ring{n: n}
+	type point struct {
+		h    uint64
+		node int
+	}
+	points := make([]point, 0, n*vnodes)
+	for node := 0; node < n; node++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "node-%d/vnode-%d", node, v)
+			// Finalize for the same reason keys are finalized in node():
+			// raw FNV of these near-identical labels clusters, which makes
+			// the per-node arc shares lopsided at small node counts.
+			points = append(points, point{h: fmix64(h.Sum64()), node: node})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		return points[i].node < points[j].node
+	})
+	r.hashes = make([]uint64, len(points))
+	r.owner = make([]int, len(points))
+	for i, p := range points {
+		r.hashes[i] = p.h
+		r.owner[i] = p.node
+	}
+	return r
+}
+
+// node returns the ring owner of hash h.
+//
+// Key hashes arrive from stream.Value.Hash (FNV-1a), which avalanches
+// poorly in the high bits for short, similar keys — e.g. reader IDs
+// "R0".."R1023" crowd half their mass into ~13% of the 64-bit circle,
+// which collapses a 4-node ring to one hot node. A murmur3-style
+// finalizer spreads the keys uniformly before the arc lookup; it is a
+// fixed bijection, so placement stays deterministic across processes.
+func (r *ring) node(h uint64) int {
+	if r.n == 1 {
+		return 0
+	}
+	return r.lookup(fmix64(h))
+}
+
+// lookup finds the owner of an already-finalized circle position.
+func (r *ring) lookup(h uint64) int {
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap past the last point
+	}
+	return r.owner[i]
+}
+
+// fmix64 is the murmur3 64-bit finalizer: full avalanche, every input
+// bit flips each output bit with ~1/2 probability.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(4, 0)
+	b := newRing(4, 0)
+	for i := 0; i < 1000; i++ {
+		h := stream.Str(fmt.Sprintf("key-%d", i)).Hash()
+		if a.node(h) != b.node(h) {
+			t.Fatalf("key %d: ring placement is not deterministic", i)
+		}
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r := newRing(1, 0)
+	for i := 0; i < 100; i++ {
+		if n := r.node(uint64(i) * 0x9E3779B97F4A7C15); n != 0 {
+			t.Fatalf("single-node ring returned %d", n)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 4, 20000
+	r := newRing(nodes, 0)
+	counts := make([]int, nodes)
+	for i := 0; i < keys; i++ {
+		counts[r.node(stream.Str(fmt.Sprintf("tag-%d", i)).Hash())]++
+	}
+	for n, c := range counts {
+		// With 64 vnodes per node the expected share is 25%; accept a wide
+		// band — the test guards against degenerate skew, not variance.
+		if c < keys/10 || c > keys/2 {
+			t.Fatalf("node %d owns %d of %d keys: degenerate balance %v", n, c, keys, counts)
+		}
+	}
+}
+
+func TestRingCoversFullCircle(t *testing.T) {
+	r := newRing(3, 8)
+	// Hashes above the last ring point must wrap to the first owner.
+	top := r.hashes[len(r.hashes)-1]
+	if top == ^uint64(0) {
+		t.Skip("last vnode landed on the max hash")
+	}
+	if got, want := r.lookup(top+1), r.owner[0]; got != want {
+		t.Fatalf("wrap: got node %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,419 @@
+// Package cluster is the multi-node data plane: a stdlib-TCP wire protocol
+// that streams batches of tuples from an ingest tier (the feed) to N engine
+// nodes and re-merges their output rows in timestamp order. Placement reuses
+// the shard router's planner-derived partition keys via consistent hashing,
+// so keyed SEQ queries distribute across nodes while pinned/global queries
+// land on node 0 under the same exact-heartbeat contract the in-process
+// sharded engine gives its shard 0. Fail-over and journal shipping are out
+// of scope here — this is the data plane only.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// Version is the wire protocol version negotiated in the hello exchange.
+const Version = 1
+
+// helloMagic opens both hello payloads; the trailing newline guards against
+// text-mode corruption, same trick as the snapshot file magic.
+const helloMagic = "ESLWIRE\n"
+
+const (
+	// MaxFrame bounds one frame's body (type byte + payload). A frame is
+	// read fully into memory before decoding, so the bound is the memory
+	// admission control for a connection.
+	MaxFrame = 8 << 20
+	// frameOverhead is the fixed per-frame cost: 4-byte length prefix and
+	// 4-byte CRC trailer.
+	frameOverhead = 8
+	// maxIntern caps each direction's string table; past the cap both sides
+	// stop assigning ids in lockstep and strings travel raw.
+	maxIntern = 1 << 20
+)
+
+// Frame types. The hello exchange pins the protocol version; everything
+// after it is length-prefixed, CRC-checked, and decoded against the
+// connection's interning state.
+const (
+	frameHello    byte = 1  // feed -> node: magic, version
+	frameHelloAck byte = 2  // node -> feed: magic, version, credit grant
+	frameExec     byte = 3  // feed -> node: DDL script (synchronous, expects OK)
+	frameRegister byte = 4  // feed -> node: slot, name, query SQL (expects OK)
+	frameSub      byte = 5  // feed -> node: slot, stream name (expects OK)
+	frameOK       byte = 6  // node -> feed: control-frame success
+	frameBatch    byte = 7  // feed -> node: tuple/heartbeat run
+	frameRows     byte = 8  // node -> feed: output row/tuple events
+	frameAck      byte = 9  // node -> feed: credit return + watermark
+	frameDrain    byte = 10 // feed -> node: flush everything (expects DrainAck)
+	frameDrainAck byte = 11 // node -> feed: final watermark + accounting
+	frameError    byte = 12 // node -> feed: fatal error text; connection dies
+	frameBye      byte = 13 // feed -> node: orderly shutdown
+)
+
+// Typed wire errors. Callers match with errors.Is; the decoder never panics
+// on malformed input and never allocates more than the input could justify.
+var (
+	// ErrTruncated reports a frame or payload that ends before its encoded
+	// structure does.
+	ErrTruncated = errors.New("cluster: truncated frame")
+	// ErrCorrupt reports framing or checksum violations.
+	ErrCorrupt = errors.New("cluster: corrupt frame")
+	// ErrTooBig reports a frame whose declared length exceeds MaxFrame.
+	ErrTooBig = errors.New("cluster: frame exceeds size limit")
+	// ErrVersion reports a peer speaking an incompatible protocol version.
+	ErrVersion = errors.New("cluster: incompatible protocol version")
+	// ErrProtocol reports a semantically invalid frame sequence (bad type,
+	// unknown interning reference, control frame out of order).
+	ErrProtocol = errors.New("cluster: protocol violation")
+)
+
+// corruptf wraps ErrCorrupt with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// protof wraps ErrProtocol with context.
+func protof(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrProtocol}, args...)...)
+}
+
+// ---- framing ----------------------------------------------------------------
+
+// A frame on the wire is
+//
+//	uint32le  n        length of body
+//	byte      type     } body, n bytes
+//	[]byte    payload  }
+//	uint32le  crc      IEEE CRC32 of the body
+//
+// The length prefix is what lets the reader admit exactly one frame into
+// memory; the CRC catches corruption before any payload structure is
+// trusted.
+
+// appendFrame appends the complete wire encoding of one frame to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	n := 1 + len(payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	body := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[body:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// decodeFrame parses one frame from the front of raw, returning its type,
+// its payload (aliasing raw — valid until raw is reused), and the total
+// bytes consumed. It is the single validation point for framing: length
+// bounds, truncation, and checksum.
+func decodeFrame(raw []byte) (typ byte, payload []byte, n int, err error) {
+	if len(raw) < 4 {
+		return 0, nil, 0, ErrTruncated
+	}
+	size := binary.LittleEndian.Uint32(raw)
+	if size < 1 {
+		return 0, nil, 0, corruptf("empty frame body")
+	}
+	if size > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooBig, size, MaxFrame)
+	}
+	total := 4 + int(size) + 4
+	if len(raw) < total {
+		return 0, nil, 0, ErrTruncated
+	}
+	body := raw[4 : 4+size]
+	want := binary.LittleEndian.Uint32(raw[4+size:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, 0, corruptf("checksum mismatch")
+	}
+	return body[0], body[1:], total, nil
+}
+
+// frameReader reads frames off a connection one at a time, reusing one
+// buffer sized to the largest frame seen (and shedding it after a burst so
+// one oversized frame does not pin memory for the connection's lifetime).
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// frameReaderKeepCap bounds the read buffer capacity retained between
+// frames.
+const frameReaderKeepCap = 1 << 20
+
+func (fr *frameReader) next() (typ byte, payload []byte, err error) {
+	var head [4]byte
+	if _, err := io.ReadFull(fr.r, head[:]); err != nil {
+		return 0, nil, err // io.EOF here is a clean between-frames close
+	}
+	size := binary.LittleEndian.Uint32(head[:])
+	if size < 1 {
+		return 0, nil, corruptf("empty frame body")
+	}
+	if size > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrTooBig, size, MaxFrame)
+	}
+	need := int(size) + 4
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	fr.buf = fr.buf[:need]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	body := fr.buf[:size]
+	want := binary.LittleEndian.Uint32(fr.buf[size:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, corruptf("checksum mismatch")
+	}
+	typ, payload = body[0], body[1:]
+	if cap(fr.buf) > frameReaderKeepCap {
+		defer func() { fr.buf = nil }() // shed after this frame is consumed
+	}
+	return typ, payload, nil
+}
+
+// ---- payload encoder --------------------------------------------------------
+
+// wireEnc builds frame payloads for one direction of one connection. Its
+// interning table persists across frames: the first time a string travels
+// it goes raw and both ends assign it the next id in lockstep; afterwards
+// it costs one varint. Stream names, column-bounded identifiers (reader
+// ids, tag EPCs), and row column names all collapse this way.
+type wireEnc struct {
+	buf []byte
+	ids map[string]uint64
+}
+
+func newWireEnc() *wireEnc {
+	return &wireEnc{ids: make(map[string]uint64)}
+}
+
+func (e *wireEnc) reset()        { e.buf = e.buf[:0] }
+func (e *wireEnc) len() int      { return len(e.buf) }
+func (e *wireEnc) bytes() []byte { return e.buf }
+
+func (e *wireEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *wireEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *wireEnc) byte(b byte)      { e.buf = append(e.buf, b) }
+
+func (e *wireEnc) bool(b bool) {
+	if b {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *wireEnc) float(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// rawstr appends a length-prefixed string without interning (scripts, error
+// text — long, unrepeated payloads).
+func (e *wireEnc) rawstr(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// str appends an interned string reference: id (1-based) when the string
+// has traveled before, else 0 followed by the raw bytes, registering it in
+// the lockstep table while capacity remains.
+func (e *wireEnc) str(s string) {
+	if id, ok := e.ids[s]; ok {
+		e.uvarint(id)
+		return
+	}
+	e.uvarint(0)
+	e.rawstr(s)
+	if uint64(len(e.ids)) < maxIntern {
+		e.ids[s] = uint64(len(e.ids)) + 1
+	}
+}
+
+// value appends one SQL value: kind byte + kind payload, strings interned.
+func (e *wireEnc) value(v stream.Value) {
+	k := v.Kind()
+	e.byte(byte(k))
+	switch k {
+	case stream.KindNull:
+	case stream.KindInt:
+		i, _ := v.AsInt()
+		e.varint(i)
+	case stream.KindFloat:
+		f, _ := v.AsFloat()
+		e.float(f)
+	case stream.KindString:
+		s, _ := v.AsString()
+		e.str(s)
+	case stream.KindBool:
+		b, _ := v.AsBool()
+		e.bool(b)
+	case stream.KindTime:
+		ts, _ := v.AsTime()
+		e.varint(int64(ts))
+	default:
+		// Unreachable for values built by the engine; encode as null so the
+		// wire never carries an undecodable kind.
+		e.buf[len(e.buf)-1] = byte(stream.KindNull)
+	}
+}
+
+// ---- payload decoder --------------------------------------------------------
+
+// wireDec decodes frame payloads for one direction of one connection,
+// holding the receive side of the lockstep interning table. Every read is
+// bounds-checked against the remaining payload, so malformed input yields
+// typed errors — never a panic or an allocation larger than the input.
+type wireDec struct {
+	buf []byte
+	off int
+	tab []string
+}
+
+func newWireDec() *wireDec { return &wireDec{} }
+
+func (d *wireDec) reset(payload []byte) {
+	d.buf = payload
+	d.off = 0
+}
+
+func (d *wireDec) remaining() int { return len(d.buf) - d.off }
+
+func (d *wireDec) finish() error {
+	if d.off != len(d.buf) {
+		return corruptf("%d trailing bytes in frame payload", d.remaining())
+	}
+	return nil
+}
+
+func (d *wireDec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *wireDec) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *wireDec) readByte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *wireDec) bool() (bool, error) {
+	b, err := d.readByte()
+	return b != 0, err
+}
+
+func (d *wireDec) float() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+// length reads a collection length and screens it against the bytes
+// actually remaining (every element costs at least one byte), so hostile
+// lengths cannot trigger giant allocations.
+func (d *wireDec) length() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()) {
+		return 0, corruptf("collection length %d exceeds remaining payload", v)
+	}
+	return int(v), nil
+}
+
+// rawstr reads a length-prefixed string without interning.
+func (d *wireDec) rawstr() (string, error) {
+	n, err := d.length()
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// str reads an interned string reference (the counterpart of wireEnc.str).
+// New strings are routed through the engine-wide interning pool so the
+// decode path shares canonical instances with everything else in process —
+// the "zero-copy" property: one allocation per distinct identifier per
+// process, not per frame.
+func (d *wireDec) str() (string, error) {
+	id, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if id == 0 {
+		raw, err := d.rawstr()
+		if err != nil {
+			return "", err
+		}
+		s := stream.Intern(raw)
+		if uint64(len(d.tab)) < maxIntern {
+			d.tab = append(d.tab, s)
+		}
+		return s, nil
+	}
+	if id > uint64(len(d.tab)) {
+		return "", protof("interned string reference %d out of range (table %d)", id, len(d.tab))
+	}
+	return d.tab[id-1], nil
+}
+
+func (d *wireDec) value() (stream.Value, error) {
+	k, err := d.readByte()
+	if err != nil {
+		return stream.Value{}, err
+	}
+	switch stream.Kind(k) {
+	case stream.KindNull:
+		return stream.Value{}, nil
+	case stream.KindInt:
+		i, err := d.varint()
+		return stream.Int(i), err
+	case stream.KindFloat:
+		f, err := d.float()
+		return stream.Float(f), err
+	case stream.KindString:
+		s, err := d.str()
+		return stream.Str(s), err
+	case stream.KindBool:
+		b, err := d.bool()
+		return stream.Bool(b), err
+	case stream.KindTime:
+		ts, err := d.varint()
+		return stream.Time(stream.Timestamp(ts)), err
+	default:
+		return stream.Value{}, corruptf("unknown value kind %d", k)
+	}
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func ts(d int) stream.Timestamp { return stream.TS(time.Duration(d) * time.Second) }
+
+func TestFrameRoundtrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, []byte("hello cluster"), bytes.Repeat([]byte{0xAB}, 4096)}
+	var buf []byte
+	for i, p := range payloads {
+		buf = appendFrame(buf, byte(i+1), p)
+	}
+	off := 0
+	for i, p := range payloads {
+		typ, payload, n, err := decodeFrame(buf[off:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(payload, p) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	full := appendFrame(nil, frameBatch, []byte("payload bytes"))
+	for cut := 0; cut < len(full); cut++ {
+		_, _, _, err := decodeFrame(full[:cut])
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeFrameCorrupt(t *testing.T) {
+	full := appendFrame(nil, frameBatch, []byte("payload bytes"))
+	for i := 4; i < len(full); i++ { // every body/CRC byte position
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		_, _, _, err := decodeFrame(mut)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Zero-length body is corrupt framing, not truncation.
+	zero := binary.LittleEndian.AppendUint32(nil, 0)
+	zero = append(zero, 0, 0, 0, 0)
+	if _, _, _, err := decodeFrame(zero); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero body: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeFrameTooBig(t *testing.T) {
+	raw := binary.LittleEndian.AppendUint32(nil, MaxFrame+1)
+	raw = append(raw, bytes.Repeat([]byte{0}, 16)...)
+	if _, _, _, err := decodeFrame(raw); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("got %v, want ErrTooBig", err)
+	}
+}
+
+func TestValueRoundtrip(t *testing.T) {
+	vals := []stream.Value{
+		stream.Null,
+		stream.Int(0), stream.Int(-7), stream.Int(1 << 40),
+		stream.Float(3.25), stream.Float(-0.5),
+		stream.Str(""), stream.Str("tag-epc-0042"), stream.Str("tag-epc-0042"),
+		stream.Bool(true), stream.Bool(false),
+		stream.Time(ts(99)),
+	}
+	enc := newWireEnc()
+	for _, v := range vals {
+		enc.value(v)
+	}
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	for i, want := range vals {
+		got, err := dec.value()
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("value %d: got %v, want %v", i, got, want)
+		}
+	}
+	if err := dec.finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterningLockstep: the same string costs raw bytes once and a short id
+// reference afterwards, across frame boundaries, on both ends.
+func TestInterningLockstep(t *testing.T) {
+	enc := newWireEnc()
+	dec := newWireDec()
+	names := []string{"readings", "R7", "readings", "R7", "readings", "tag-1", "R7"}
+	var frames [][]byte
+	for _, s := range names {
+		enc.reset()
+		enc.str(s)
+		frames = append(frames, append([]byte(nil), enc.bytes()...))
+	}
+	if len(frames[0]) <= len(frames[2]) {
+		t.Fatalf("interned reference (%d bytes) should beat the raw string (%d bytes)",
+			len(frames[2]), len(frames[0]))
+	}
+	for i, f := range frames {
+		dec.reset(f)
+		got, err := dec.str()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != names[i] {
+			t.Fatalf("frame %d: got %q, want %q", i, got, names[i])
+		}
+		if err := dec.finish(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+func TestInternedReferenceOutOfRange(t *testing.T) {
+	enc := newWireEnc()
+	enc.uvarint(42) // reference into an empty table
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	if _, err := dec.str(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("got %v, want ErrProtocol", err)
+	}
+}
+
+func TestLengthScreensAllocation(t *testing.T) {
+	enc := newWireEnc()
+	enc.uvarint(1 << 40) // collection "length" far beyond the payload
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	if _, err := dec.length(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBatchRoundtrip(t *testing.T) {
+	schema, err := stream.NewSchema("readings",
+		stream.Field{Name: "readerid"}, stream.Field{Name: "tagid"}, stream.Field{Name: "tagtime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(name string) (*stream.Schema, bool) {
+		if name == "readings" {
+			return schema, true
+		}
+		return nil, false
+	}
+	mk := func(at int, rd, tag string) stream.Item {
+		tp, err := stream.NewTuple(schema, ts(at), stream.Str(rd), stream.Str(tag), stream.Time(ts(at)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stream.Of(tp)
+	}
+	items := []stream.Item{
+		mk(1, "R1", "t1"),
+		stream.Heartbeat(ts(2)),
+		mk(2, "R2", "t1"),
+		mk(2, "R1", "t2"), // equal timestamps: delta 0
+		stream.Heartbeat(ts(5)),
+	}
+	enc := newWireEnc()
+	encodeBatch(enc, items)
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	got, err := decodeBatch(dec, resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d items, want %d", len(got), len(items))
+	}
+	for i, it := range items {
+		g := got[i]
+		if g.IsHeartbeat() != it.IsHeartbeat() || g.TS != it.TS {
+			t.Fatalf("item %d: got %+v, want %+v", i, g, it)
+		}
+		if it.IsHeartbeat() {
+			continue
+		}
+		for j, v := range it.Tuple.Vals {
+			if !g.Tuple.Vals[j].Equal(v) {
+				t.Fatalf("item %d val %d: got %v, want %v", i, j, g.Tuple.Vals[j], v)
+			}
+		}
+	}
+}
+
+func TestBatchUnknownStream(t *testing.T) {
+	schema, _ := stream.NewSchema("ghost", stream.Field{Name: "a"})
+	tp, _ := stream.NewTuple(schema, ts(1), stream.Null)
+	enc := newWireEnc()
+	encodeBatch(enc, []stream.Item{stream.Of(tp)})
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	_, err := decodeBatch(dec, func(string) (*stream.Schema, bool) { return nil, false }, nil)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("got %v, want ErrProtocol", err)
+	}
+}
+
+// TestBatchPayloadTruncated: every proper prefix of a batch payload decodes
+// to a typed error, never a panic.
+func TestBatchPayloadTruncated(t *testing.T) {
+	schema, _ := stream.NewSchema("readings",
+		stream.Field{Name: "readerid"}, stream.Field{Name: "tagid"})
+	resolve := func(string) (*stream.Schema, bool) { return schema, true }
+	tp, _ := stream.NewTuple(schema, ts(3), stream.Str("R1"), stream.Str("t9"))
+	enc := newWireEnc()
+	encodeBatch(enc, []stream.Item{stream.Of(tp), stream.Heartbeat(ts(4))})
+	full := enc.bytes()
+	for cut := 0; cut < len(full); cut++ {
+		dec := newWireDec()
+		dec.reset(full[:cut])
+		if _, err := decodeBatch(dec, resolve, nil); err == nil {
+			// A prefix may parse fewer complete items only if finish() then
+			// flags the remainder — but cutting mid-structure must error.
+			if ferr := dec.finish(); ferr == nil && cut != len(full) {
+				t.Fatalf("cut at %d decoded cleanly", cut)
+			}
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrProtocol) {
+			t.Fatalf("cut at %d: untyped error %v", cut, err)
+		}
+	}
+}

@@ -83,6 +83,13 @@ type Engine struct {
 	noRoute      bool
 	routeScratch [][]int
 	subScratch   []*stream.Batch
+	// routesDirty is set when a registration invalidated routing state
+	// (stream route tables, merge-group guard unions). Rebuilding per
+	// registration is O(readers) each — O(q^2) to set up q queries — so
+	// registration only marks dirty and the next push pays one rebuild per
+	// dirty stream (refreshRoutesLocked). Deregistration stays eager where
+	// it must: shrinking a reader list strands stale route ordinals.
+	routesDirty bool
 
 	// Plan merging (merge.go). groups holds the shared-automaton groups that
 	// callback-only SEQ queries join at registration; noMerge disables the
@@ -120,10 +127,12 @@ type streamInfo struct {
 	// aliases each one reads it under.
 	readers []reader
 	// route dispatches tuples to the readers that can react (route.go);
-	// rebuilt on each registration. ntuples counts arrivals, so per-query
-	// skip counts derive as ntuples - reader.routed.
-	route   *routeTable
-	ntuples uint64
+	// registration marks it dirty and the next push rebuilds it once
+	// (refreshRoutesLocked). ntuples counts arrivals, so per-query skip
+	// counts derive as ntuples - reader.routed.
+	route      *routeTable
+	routeDirty bool
+	ntuples    uint64
 	// subscribers receive raw derived tuples (external sinks).
 	subscribers []func(*stream.Tuple)
 	// retain keeps recent history for ad-hoc snapshot queries.
@@ -574,7 +583,8 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 			rd.guard = q.guards[key]
 		}
 		si.readers = append(si.readers, rd)
-		si.route = buildRouteTable(si.readers)
+		si.routeDirty = true
+		e.routesDirty = true
 		q.reads = append(q.reads, key)
 	}
 	sort.Strings(q.reads)
@@ -659,6 +669,7 @@ func (e *Engine) sinkFor(target string, sel *Select) (func(Row) error, error) {
 func (e *Engine) Push(streamName string, ts stream.Timestamp, vals ...stream.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.refreshRoutesLocked()
 	si, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
 		return fmt.Errorf("esl: unknown stream %s", streamName)
@@ -712,6 +723,7 @@ func (e *Engine) pushOneLocked(si *streamInfo, t *stream.Tuple) error {
 func (e *Engine) PushBatch(items []stream.Item) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.refreshRoutesLocked()
 	if e.ingest != nil {
 		// Journal interleaved with the offer: on a mid-batch rejection the
 		// journal holds exactly the items that were offered. Records stage
@@ -1010,6 +1022,7 @@ func (e *Engine) StreamNames() []string {
 func (e *Engine) PushTuple(streamName string, t *stream.Tuple) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.refreshRoutesLocked()
 	si, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
 		return fmt.Errorf("esl: unknown stream %s", streamName)
@@ -1085,6 +1098,7 @@ func (e *Engine) routeBuf() []int {
 func (e *Engine) Heartbeat(ts stream.Timestamp) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.refreshRoutesLocked()
 	if err := e.journalItemLocked(stream.Heartbeat(ts)); err != nil {
 		return err
 	}

@@ -252,6 +252,9 @@ type mergeGroup struct {
 	// virgin is true until the first tuple is delivered; identical-tier
 	// joins are only allowed while virgin.
 	virgin bool
+	// guardsDirty is set when membership changed since the group reader's
+	// routing guards were last recomputed (see refreshRoutesLocked).
+	guardsDirty bool
 
 	acceptBuf []int
 	resolved  []resolvedEntry
@@ -498,7 +501,13 @@ func (e *Engine) joinGroupLocked(ev *eventOp, q *Query, inputs map[string][]stri
 	g.accept.Add(acc)
 	g.members = append(g.members, mem)
 	g.refreshFinalFilter()
-	e.regroupGuardsLocked(g)
+	// Guard regrouping rebuilds the union over ALL members — doing it per
+	// join makes a q-member group O(q^2) to assemble. Mark dirty; the next
+	// push regroups once. The stale guard is only ever too narrow for the
+	// new member, never wrong for tuples it admits, and nothing dispatches
+	// before refreshRoutesLocked runs.
+	g.guardsDirty = true
+	e.routesDirty = true
 	return mem, nil
 }
 
@@ -574,6 +583,14 @@ func (e *Engine) regroupGuardsLocked(g *mergeGroup) {
 		var union *streamGuard
 		if !e.noRoute {
 			union = &streamGuard{strict: true}
+			// Dedup member values by hash instead of streamGuard.add's
+			// linear scan: a q-member union would otherwise cost O(q^2)
+			// value comparisons. Hash collisions fall back to Equal chains.
+			type colSet struct {
+				idx  int
+				seen map[uint64][]stream.Value
+			}
+			sets := map[int]*colSet{}
 			for _, mem := range g.members {
 				mg := mem.ev.q.guards[key]
 				if mg == nil || !mg.strict {
@@ -582,8 +599,22 @@ func (e *Engine) regroupGuardsLocked(g *mergeGroup) {
 				}
 				for i := range mg.preds {
 					p := &mg.preds[i]
+					cs := sets[p.pos]
+					if cs == nil {
+						union.preds = append(union.preds, guardPred{col: p.col, pos: p.pos})
+						cs = &colSet{idx: len(union.preds) - 1, seen: map[uint64][]stream.Value{}}
+						sets[p.pos] = cs
+					}
+				valLoop:
 					for _, v := range p.vals {
-						union.add(p.col, p.pos, v)
+						h := v.Hash()
+						for _, u := range cs.seen[h] {
+							if u.Equal(v) {
+								continue valLoop
+							}
+						}
+						cs.seen[h] = append(cs.seen[h], v)
+						union.preds[cs.idx].vals = append(union.preds[cs.idx].vals, v)
 					}
 				}
 			}
@@ -593,8 +624,32 @@ func (e *Engine) regroupGuardsLocked(g *mergeGroup) {
 				si.readers[i].guard = union
 			}
 		}
-		si.route = buildRouteTable(si.readers)
+		si.routeDirty = true
+		e.routesDirty = true
 	}
+}
+
+// refreshRoutesLocked rebuilds the routing state that registrations since
+// the last push invalidated: dirty merge groups recompute their guard
+// unions, then dirty streams refold their route tables. Called at every
+// ingestion entry point; the common case is a single flag test.
+func (e *Engine) refreshRoutesLocked() {
+	if !e.routesDirty {
+		return
+	}
+	for _, g := range e.groups {
+		if g.guardsDirty {
+			g.guardsDirty = false
+			e.regroupGuardsLocked(g)
+		}
+	}
+	for _, si := range e.streams {
+		if si.routeDirty {
+			si.routeDirty = false
+			si.route = buildRouteTable(si.readers)
+		}
+	}
+	e.routesDirty = false
 }
 
 // ---- deregistration --------------------------------------------------------

@@ -1108,3 +1108,44 @@ func (p *Parser) parseSeqExpr() (Expr, error) {
 	}
 	return se, nil
 }
+
+// SplitStatements splits a script into individual statements on top-level
+// semicolons, respecting single-quoted strings and `--` line comments.
+// Statements come back trimmed and without their terminating semicolon;
+// empty statements are dropped.
+func SplitStatements(src string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	inComment := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			inComment = true
+		case c == ';':
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+			continue
+		}
+		if !inComment {
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -205,6 +205,7 @@ func (e *Engine) Drain() error {
 	if e.ingest == nil {
 		return nil
 	}
+	e.refreshRoutesLocked()
 	out := e.ingest.Flush(e.ingestScratch[:0])
 	err := e.deliverLocked(out)
 	e.ingestScratch = out[:0]

@@ -224,3 +224,40 @@ func eqConstShape(e Expr) (*ColRef, stream.Value, bool) {
 	}
 	return nil, stream.Null, false
 }
+
+// ConstGuard is the shape of a routing guard that makes a query *homable*
+// out of process: on some stream edge, the query reacts only to tuples
+// whose column Col (at schema position Pos) equals the single constant Val.
+type ConstGuard struct {
+	Col string
+	Pos int
+	Val stream.Value
+}
+
+// RouteGuard reports query q's constant-equality admission guard on the
+// named stream, when it has exactly the homable shape: every reader edge q
+// holds on the stream carries a strict guard with one column and one value,
+// and all edges agree on both. Cluster placement uses this to register the
+// query only on the node that owns hash(Val) and route the stream's tuples
+// by the same column — any tuple the other nodes would receive is provably
+// a no-op for q (the guard contract from this file's header).
+//
+// The second return is false when q does not read the stream, the edge is
+// unguarded or non-strict, or the guard spans multiple columns or values
+// (a query reading the stream under several aliases contributes all of them
+// to one guard, so disagreeing aliases surface as multiple values here).
+//
+// The query's own guard map is consulted rather than the stream's reader
+// list: merged SEQ plans register a hidden group query as the stream
+// reader, whose guard is the union over members — per-member admission
+// lives only on the Query.
+func (e *Engine) RouteGuard(q *Query, streamName string) (ConstGuard, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := q.guards[strings.ToLower(streamName)]
+	if g == nil || !g.strict || len(g.preds) != 1 || len(g.preds[0].vals) != 1 {
+		return ConstGuard{}, false
+	}
+	p := &g.preds[0]
+	return ConstGuard{Col: p.col, Pos: p.pos, Val: p.vals[0]}, true
+}

@@ -976,6 +976,7 @@ func (e *Engine) Recover(dir string) error {
 // caller (the journal holds exactly the items that were offered), so they
 // are not propagated.
 func (e *Engine) applyReplayLocked(it stream.Item) {
+	e.refreshRoutesLocked()
 	if e.ingest != nil {
 		_ = e.offerLocked(it)
 		return

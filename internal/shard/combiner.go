@@ -1,10 +1,6 @@
 package shard
 
-import (
-	"sync"
-
-	"repro/internal/stream"
-)
+import "repro/internal/stream"
 
 // rowEvent is one output produced on a shard: a query row or a subscribed
 // tuple, tagged with the registration slot it belongs to and a per-shard
@@ -25,108 +21,18 @@ func eventLess(a, b rowEvent) bool {
 	return a.seq < b.seq
 }
 
-// combiner is the bounded fan-in stage that re-merges per-shard output into
-// one timestamp-ordered delivery sequence. Each shard owns a min-heap of
-// pending events (the same stream.Heap that backs stream.Merger's slack
-// reordering); events release once their timestamp is covered by every
-// shard's watermark — the event time that shard has fully processed — so a
-// slower shard cannot be overtaken by a faster one. Deferred emissions
-// (FOLLOWING windows) legitimately carry timestamps below the watermark;
-// they release immediately, exactly as the serial engine emits them late.
-type combiner struct {
-	// dmu serializes collect+deliver so rows from two workers finishing
-	// concurrently cannot interleave out of merged order. Lock order is
-	// always dmu before mu.
-	dmu sync.Mutex
-	mu  sync.Mutex
+// combinerMaxBuffer bounds total buffered events in the output combiner:
+// past it the oldest events release even ahead of a lagging shard's
+// watermark (bounded memory beats perfect ordering under pathological skew).
+const combinerMaxBuffer = 4096
 
-	queues  []*stream.Heap[rowEvent]
-	wm      []stream.Timestamp
-	pending int
-	// maxBuffer bounds total buffered events: past it the oldest events
-	// release even ahead of a lagging shard's watermark (bounded memory
-	// beats perfect ordering under pathological skew).
-	maxBuffer int
-	deliver   func(rowEvent)
-}
+// combiner re-merges per-shard output into one timestamp-ordered delivery
+// sequence. It is the generic bounded fan-in from the stream package — the
+// same stage the cluster merge tier runs over per-node row streams —
+// specialized to shard row events ordered by (ts, emission seq).
+type combiner = stream.FanIn[rowEvent]
 
-func newCombiner(n int, deliver func(rowEvent)) *combiner {
-	c := &combiner{
-		queues:    make([]*stream.Heap[rowEvent], n),
-		wm:        make([]stream.Timestamp, n),
-		maxBuffer: 4096,
-		deliver:   deliver,
-	}
-	for i := range c.queues {
-		c.queues[i] = stream.NewHeap(eventLess)
-		c.wm[i] = stream.MinTimestamp
-	}
-	return c
-}
-
-// offer ingests one shard's batch output and advances its watermark, then
-// delivers every event the new watermarks release.
-func (c *combiner) offer(shard int, events []rowEvent, wm stream.Timestamp) {
-	c.dmu.Lock()
-	defer c.dmu.Unlock()
-	c.mu.Lock()
-	for _, ev := range events {
-		c.queues[shard].Push(ev)
-	}
-	c.pending += len(events)
-	if wm > c.wm[shard] {
-		c.wm[shard] = wm
-	}
-	rel := c.collectLocked(false)
-	c.mu.Unlock()
-	for _, ev := range rel {
-		c.deliver(ev)
-	}
-}
-
-// flushAll releases every buffered event in merged order (used at Drain,
-// when all shards are quiescent).
-func (c *combiner) flushAll() {
-	c.dmu.Lock()
-	defer c.dmu.Unlock()
-	c.mu.Lock()
-	rel := c.collectLocked(true)
-	c.mu.Unlock()
-	for _, ev := range rel {
-		c.deliver(ev)
-	}
-}
-
-// collectLocked pops releasable events in (ts, shard, seq) order. The shard
-// count is small, so the cross-shard minimum is a linear scan; per-shard
-// order comes from the heaps.
-func (c *combiner) collectLocked(all bool) []rowEvent {
-	minWM := stream.MaxTimestamp
-	for _, w := range c.wm {
-		if w < minWM {
-			minWM = w
-		}
-	}
-	var rel []rowEvent
-	for {
-		best := -1
-		for s, q := range c.queues {
-			if q.Len() == 0 {
-				continue
-			}
-			if best == -1 || q.Min().ts < c.queues[best].Min().ts {
-				best = s // strict < keeps the lower shard index on ties
-			}
-		}
-		if best == -1 {
-			break
-		}
-		head := c.queues[best].Min()
-		if !all && head.ts > minWM && c.pending <= c.maxBuffer {
-			break
-		}
-		rel = append(rel, c.queues[best].Pop())
-		c.pending--
-	}
-	return rel
+func newCombiner(n, maxBuffer int, deliver func(rowEvent)) *combiner {
+	return stream.NewFanIn(n, maxBuffer, eventLess,
+		func(ev rowEvent) stream.Timestamp { return ev.ts }, deliver)
 }

@@ -6,45 +6,69 @@ import (
 	"repro/internal/esl"
 )
 
-// routeMode decides where a stream's tuples go.
-type routeMode uint8
+// RouteMode decides where a stream's tuples go.
+type RouteMode uint8
 
 const (
-	// routePinned sends every tuple to shard 0, the designated home of all
-	// serial-only work.
-	routePinned routeMode = iota
-	// routeKeyed hashes one column so each key's tuples always land on the
-	// same shard.
-	routeKeyed
-	// routeFree round-robins tuples: only stateless (placement-indifferent)
-	// queries read the stream.
-	routeFree
+	// RoutePinned sends every tuple to partition 0, the designated home of
+	// all serial-only work.
+	RoutePinned RouteMode = iota
+	// RouteKeyed hashes one column so each key's tuples always land on the
+	// same partition.
+	RouteKeyed
+	// RouteFree round-robins tuples: only stateless
+	// (placement-indifferent) queries read the stream.
+	RouteFree
 )
 
-type route struct {
-	mode   routeMode
-	keyPos int // column index hashed under routeKeyed
+// Route is one stream's placement decision.
+type Route struct {
+	Mode RouteMode
+	// KeyPos is the column index hashed under RouteKeyed, and KeyCol its
+	// schema name (kept so out-of-process consumers can re-resolve the
+	// column against their own schema instance).
+	KeyPos int
+	KeyCol string
 }
 
-// recomputeRoutesLocked rebuilds the stream routing table from the
-// registered queries' shardability metadata. It runs a small fixpoint:
+// Placement is the full partitioning decision derived from a planning
+// engine's registered queries: where each stream's tuples must go, which
+// queries are confined to partition 0, and whether partition 0 needs an
+// exact clock mirror of foreign arrivals. The in-process sharded engine
+// applies it to worker shards; the cluster data plane applies the same
+// structure to TCP nodes.
+type Placement struct {
+	// Routes maps lower-cased stream name to its route.
+	Routes map[string]Route
+	// Homes maps each query to its output home: -1 = any partition (the
+	// query runs replicated or keyed and every partition's output counts),
+	// 0 = pinned (only partition 0's output is real).
+	Homes map[*esl.Query]int
+	// ExactClock reports that some pinned query is time-sensitive: the
+	// paper's SEQ semantics make time pass with every arrival, so
+	// partition 0 must observe a heartbeat at every foreign tuple's
+	// position, not just a trailing high-water mark per flush.
+	ExactClock bool
+}
+
+// ComputePlacement derives stream routes and query homes from the queries
+// registered on a planning replica. retained names streams whose full
+// history must stay on partition 0 (lower-cased). It runs a small fixpoint:
 //
 //   - an unshardable query is pinned, and pins every stream it reads;
 //   - a query writing a derived stream that other queries read is pinned
-//     (its output tuples materialize on whatever shard runs it — fanning
-//     them back out by a different key is not supported);
+//     (its output tuples materialize on whatever partition runs it —
+//     fanning them back out by a different key is not supported);
 //   - two keyed queries demanding different key columns on one stream pin
 //     that stream;
 //   - a keyed query reading a pinned stream becomes pinned itself (all its
-//     input is on shard 0 anyway, and its other streams must follow);
-//   - streams with retained history are pinned so snapshot queries see the
-//     full history on shard 0.
+//     input is on partition 0 anyway, and its other streams must follow);
+//   - retained streams are pinned so snapshot queries see the full history
+//     on partition 0.
 //
 // Streams left unconstrained by any keyed or pinned reader route free.
-// Queries are also assigned a home (-1 = any shard) used to filter output:
-// pinned queries deliver rows only from shard 0.
-func (e *Engine) recomputeRoutesLocked() {
-	queries := e.replicas[0].Queries()
+func ComputePlacement(replica *esl.Engine, retained map[string]bool) Placement {
+	queries := replica.Queries()
 	type qinfo struct {
 		shard  esl.Shardability
 		reads  []string
@@ -66,7 +90,7 @@ func (e *Engine) recomputeRoutesLocked() {
 	}
 
 	streamPinned := map[string]bool{}
-	for name := range e.retained {
+	for name := range retained {
 		streamPinned[name] = true
 	}
 	for changed := true; changed; {
@@ -97,7 +121,7 @@ func (e *Engine) recomputeRoutesLocked() {
 				keyCol[s] = col
 			}
 		}
-		// Keyed queries reading a pinned stream join it on shard 0.
+		// Keyed queries reading a pinned stream join it on partition 0.
 		for i, qi := range infos {
 			if qi.pinned || qi.shard.Keys == nil {
 				continue
@@ -123,32 +147,47 @@ func (e *Engine) recomputeRoutesLocked() {
 		}
 	}
 
-	e.routes = map[string]route{}
-	for _, name := range e.replicas[0].StreamNames() {
+	p := Placement{
+		Routes: map[string]Route{},
+		Homes:  map[*esl.Query]int{},
+	}
+	for _, name := range replica.StreamNames() {
 		lower := strings.ToLower(name)
 		switch {
 		case streamPinned[lower]:
-			e.routes[lower] = route{mode: routePinned}
+			p.Routes[lower] = Route{Mode: RoutePinned}
 		case keyCol[lower] != "":
-			schema, _ := e.replicas[0].StreamSchema(lower)
+			schema, _ := replica.StreamSchema(lower)
 			if pos, ok := schema.Col(keyCol[lower]); ok {
-				e.routes[lower] = route{mode: routeKeyed, keyPos: pos}
+				p.Routes[lower] = Route{Mode: RouteKeyed, KeyPos: pos, KeyCol: keyCol[lower]}
 			} else {
-				e.routes[lower] = route{mode: routePinned}
+				p.Routes[lower] = Route{Mode: RoutePinned}
 			}
 		default:
-			e.routes[lower] = route{mode: routeFree}
+			p.Routes[lower] = Route{Mode: RouteFree}
 		}
 	}
 
-	// Assign output homes.
 	for i, q := range queries {
 		home := -1
 		if infos[i].pinned {
 			home = 0
 		}
-		e.homes[q] = home
+		p.Homes[q] = home
 	}
+	p.ExactClock = replica.TimeSensitive()
+	return p
+}
+
+// recomputeRoutesLocked rebuilds the stream routing table from the
+// registered queries' shardability metadata via ComputePlacement and applies
+// it to the engine: routes, per-slot output homes, and the exact-clock flag.
+func (e *Engine) recomputeRoutesLocked() {
+	// Workers are idle here (every registration path barriers first), so
+	// reading the replica is race-free.
+	p := ComputePlacement(e.replicas[0], e.retained)
+	e.routes = p.Routes
+	e.homes = p.Homes
 	for _, slot := range e.slots {
 		if slot.q != nil {
 			if h, ok := e.homes[slot.q]; ok {
@@ -156,8 +195,5 @@ func (e *Engine) recomputeRoutesLocked() {
 			}
 		}
 	}
-
-	// Workers are idle here (every registration path barriers first), so
-	// reading the replica is race-free.
-	e.exactClock = e.replicas[0].TimeSensitive()
+	e.exactClock = p.ExactClock
 }

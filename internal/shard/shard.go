@@ -85,12 +85,23 @@ func (w *worker) run() {
 	}
 }
 
+// outBufCap bounds the capacity a worker's output buffer may retain between
+// flushes. The combiner copies events into its heaps during Offer, so the
+// buffer is dead storage afterwards — without the cap, a one-time output
+// burst (a CHRONICLE match fan-out, a backlogged FOLLOWING window firing)
+// would pin a peak-sized slice on every worker forever.
+const outBufCap = 1024
+
 func (w *worker) flushOut() {
 	if len(w.out) == 0 {
 		return
 	}
-	w.par.comb.offer(w.id, w.out, w.eng.Now())
-	w.out = w.out[:0]
+	w.par.comb.Offer(w.id, w.out, w.eng.Now())
+	if cap(w.out) > outBufCap {
+		w.out = nil // drop the burst-sized array; steady state re-grows small
+	} else {
+		w.out = w.out[:0]
+	}
 }
 
 // Engine is the sharded facade. All registration and ingestion methods are
@@ -104,7 +115,7 @@ type Engine struct {
 	workers  []*worker
 	comb     *combiner
 
-	routes   map[string]route
+	routes   map[string]Route
 	homes    map[*esl.Query]int
 	slots    []*querySlot
 	retained map[string]bool
@@ -160,7 +171,7 @@ func New(n int, opts ...esl.Option) *Engine {
 	}
 	e := &Engine{
 		n:         n,
-		routes:    map[string]route{},
+		routes:    map[string]Route{},
 		homes:     map[*esl.Query]int{},
 		retained:  map[string]bool{},
 		batchSize: DefaultBatchSize,
@@ -186,7 +197,7 @@ func New(n int, opts ...esl.Option) *Engine {
 	if cfg.NoPlanMerge {
 		ropts = append(ropts, esl.WithoutPlanMerge())
 	}
-	e.comb = newCombiner(n, e.deliverEvent)
+	e.comb = newCombiner(n, combinerMaxBuffer, e.deliverEvent)
 	for i := 0; i < n; i++ {
 		w := &worker{
 			id:   i,
@@ -693,10 +704,10 @@ func (e *Engine) shardForLocked(t *stream.Tuple) int {
 	if !ok {
 		return 0 // unknown stream: shard 0's replica reports the error
 	}
-	switch rt.mode {
-	case routeKeyed:
-		return int(t.Get(rt.keyPos).Hash() % uint64(e.n))
-	case routeFree:
+	switch rt.Mode {
+	case RouteKeyed:
+		return int(t.Get(rt.KeyPos).Hash() % uint64(e.n))
+	case RouteFree:
 		e.rr++
 		return e.rr % e.n
 	default:
@@ -738,7 +749,7 @@ func (e *Engine) Drain() error {
 		return err
 	}
 	err := e.barrierLocked()
-	e.comb.flushAll()
+	e.comb.FlushAll()
 	return err
 }
 
@@ -754,7 +765,7 @@ func (e *Engine) Close() error {
 	if err == nil {
 		err = ferr
 	}
-	e.comb.flushAll()
+	e.comb.FlushAll()
 	e.closed = true
 	for _, w := range e.workers {
 		close(w.in)

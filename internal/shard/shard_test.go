@@ -13,10 +13,10 @@ import (
 	"repro/internal/stream"
 )
 
-func routesOf(e *Engine) map[string]route {
+func routesOf(e *Engine) map[string]Route {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := map[string]route{}
+	out := map[string]Route{}
 	for k, v := range e.routes {
 		out[k] = v
 	}
@@ -39,11 +39,11 @@ func TestRoutingKeyedSEQ(t *testing.T) {
 	routes := routesOf(e)
 	for _, s := range []string{"c1", "c2", "c3", "c4"} {
 		rt, ok := routes[s]
-		if !ok || rt.mode != routeKeyed {
+		if !ok || rt.Mode != RouteKeyed {
 			t.Errorf("%s: route = %+v, want keyed", s, rt)
 		}
-		if rt.keyPos != 1 { // tagid is column 1
-			t.Errorf("%s: keyPos = %d, want 1", s, rt.keyPos)
+		if rt.KeyPos != 1 { // tagid is column 1
+			t.Errorf("%s: keyPos = %d, want 1", s, rt.KeyPos)
 		}
 	}
 }
@@ -65,7 +65,7 @@ func TestRoutingPinnedStar(t *testing.T) {
 	}
 	routes := routesOf(e)
 	for _, s := range []string{"r1", "r2"} {
-		if rt := routes[s]; rt.mode != routePinned {
+		if rt := routes[s]; rt.Mode != RoutePinned {
 			t.Errorf("%s: route = %+v, want pinned", s, rt)
 		}
 	}
@@ -88,13 +88,13 @@ func TestRoutingKeyConflict(t *testing.T) {
 		}
 	}
 	reg(`SELECT S1.a FROM S1, S2 WHERE SEQ(S1, S2) AND S1.a = S2.a`)
-	if rt := routesOf(e)["s1"]; rt.mode != routeKeyed {
+	if rt := routesOf(e)["s1"]; rt.Mode != RouteKeyed {
 		t.Fatalf("single keyed query: s1 route = %+v, want keyed", rt)
 	}
 	reg(`SELECT S1.b FROM S1, S2 WHERE SEQ(S1, S2) AND S1.b = S2.b`)
 	routes := routesOf(e)
 	for _, s := range []string{"s1", "s2"} {
-		if rt := routes[s]; rt.mode != routePinned {
+		if rt := routes[s]; rt.Mode != RoutePinned {
 			t.Errorf("conflicting keys: %s route = %+v, want pinned", s, rt)
 		}
 	}
@@ -110,7 +110,7 @@ func TestRoutingFreeStateless(t *testing.T) {
 		func(Row) {}); err != nil {
 		t.Fatal(err)
 	}
-	if rt := routesOf(e)["readings"]; rt.mode != routeFree {
+	if rt := routesOf(e)["readings"]; rt.Mode != RouteFree {
 		t.Fatalf("readings route = %+v, want free", rt)
 	}
 }
@@ -164,24 +164,24 @@ func TestKeyedWorkDistributes(t *testing.T) {
 // watermark.
 func TestCombinerMergeOrder(t *testing.T) {
 	var got []stream.Timestamp
-	c := newCombiner(2, func(ev rowEvent) { got = append(got, ev.ts) })
+	c := newCombiner(2, combinerMaxBuffer, func(ev rowEvent) { got = append(got, ev.ts) })
 	ev := func(ts int, seq uint64) rowEvent {
 		return rowEvent{ts: stream.Timestamp(ts), seq: seq}
 	}
 	// Shard 0 is ahead: nothing releases until shard 1's watermark catches up.
-	c.offer(0, []rowEvent{ev(10, 1), ev(30, 2)}, 40)
+	c.Offer(0, []rowEvent{ev(10, 1), ev(30, 2)}, 40)
 	if len(got) != 0 {
 		t.Fatalf("released %v before slow shard reported", got)
 	}
-	c.offer(1, []rowEvent{ev(20, 1)}, 25)
+	c.Offer(1, []rowEvent{ev(20, 1)}, 25)
 	if want := []stream.Timestamp{10, 20}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("after wm 25: released %v, want %v", got, want)
 	}
-	c.offer(1, nil, 100)
+	c.Offer(1, nil, 100)
 	if len(got) != 3 || got[2] != 30 {
 		t.Fatalf("after wm 100: released %v, want [10 20 30]", got)
 	}
-	c.flushAll()
+	c.FlushAll()
 	if len(got) != 3 {
 		t.Fatalf("flushAll re-delivered: %v", got)
 	}
@@ -191,13 +191,12 @@ func TestCombinerMergeOrder(t *testing.T) {
 // though a shard's watermark lags (bounded memory beats perfect order).
 func TestCombinerBufferBound(t *testing.T) {
 	released := 0
-	c := newCombiner(2, func(rowEvent) { released++ })
-	c.maxBuffer = 8
+	c := newCombiner(2, 8, func(rowEvent) { released++ })
 	evs := make([]rowEvent, 10)
 	for i := range evs {
 		evs[i] = rowEvent{ts: stream.Timestamp(i), seq: uint64(i)}
 	}
-	c.offer(0, evs, 100) // shard 1's watermark still MinTimestamp
+	c.Offer(0, evs, 100) // shard 1's watermark still MinTimestamp
 	if released == 0 {
 		t.Fatal("buffer bound did not force release")
 	}

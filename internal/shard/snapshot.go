@@ -27,7 +27,7 @@ func (e *Engine) quiesceLocked() error {
 	if err := e.barrierLocked(); err != nil {
 		return err
 	}
-	e.comb.flushAll()
+	e.comb.FlushAll()
 	return nil
 }
 
