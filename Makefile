@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak recover-soak cluster-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery bench-cluster perf-trajectory
+.PHONY: ci fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery bench-cluster bench-failover perf-trajectory
 
-ci: fmt-check vet build test chaos-soak recover-soak cluster-soak bench-smoke perf-trajectory
+ci: fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak bench-smoke perf-trajectory
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -47,6 +47,22 @@ recover-soak:
 cluster-soak:
 	$(GO) run ./cmd/eslev cluster-soak -nodes 1,2,4 -events 50000
 	$(GO) run ./cmd/eslev cluster-soak -nodes 2,4 -events 30000 -shards 2 -batch 64 -seed 7
+
+# Kill-a-node fail-over soak: SIGKILL live node processes mid-feed and fail
+# unless the surviving cluster's output stays row-for-row identical to the
+# serial engine, the accounting identity holds, and every recovery restored
+# a shipped checkpoint (no genesis replays). The matrix covers a non-zero
+# victim, node 0 (the exact-clock anchor) under sharding, a 4-node kill,
+# and back-to-back kills that leave half the fleet dead.
+failover-soak:
+	$(GO) run ./cmd/eslev cluster-soak -nodes 2 -events 15000 \
+		-kill-every 6000 -kill-nodes 1 -checkpoint-every 4
+	$(GO) run ./cmd/eslev cluster-soak -nodes 2 -events 15000 -shards 2 -batch 64 -seed 7 \
+		-kill-every 6000 -kill-nodes 0 -checkpoint-every 4
+	$(GO) run ./cmd/eslev cluster-soak -nodes 4 -events 20000 \
+		-kill-every 8000 -kill-nodes 0 -checkpoint-every 4
+	$(GO) run ./cmd/eslev cluster-soak -nodes 4 -events 20000 \
+		-kill-every 5000 -kill-nodes 3,1 -checkpoint-every 4
 
 # Recovery overhead gate: steady-state throughput with the journal and
 # automatic checkpoints enabled must stay within 10% of the undurable
@@ -117,9 +133,18 @@ bench-cluster:
 	$(GO) run ./cmd/eslev bench -cluster -events 60000 \
 		-min-speedup 2 -max-wire-overhead 15 -bench-json BENCH_CLUSTER.json
 
+# Fail-over gate: checkpoint shipping must cost at most 15% steady-state
+# throughput, and a SIGKILL of node 0 mid-feed must recover through the
+# snapshot-restore path with zero lost or duplicated rows (all three arms
+# report identical match counts). Records overhead, recovery time to the
+# first post-fail-over row, and the replay window in BENCH_FAILOVER.json.
+bench-failover:
+	$(GO) run ./cmd/eslev bench -failover -events 40000 \
+		-max-overhead 15 -bench-json BENCH_FAILOVER.json
+
 # Perf-trajectory check: every recorded BENCH_*.json baseline re-validated
 # on HEAD in one run — sharded scaling (BENCH_SHARDED), vectorized
 # ingestion (BENCH_VECTORIZED), multi-query dispatch incl. the merged path
-# (BENCH_MULTIQUERY), durability overhead (BENCH_RECOVERY), and cluster
-# scale-out (BENCH_CLUSTER).
-perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery bench-cluster
+# (BENCH_MULTIQUERY), durability overhead (BENCH_RECOVERY), cluster
+# scale-out (BENCH_CLUSTER), and fail-over recovery (BENCH_FAILOVER).
+perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery bench-cluster bench-failover

@@ -175,35 +175,21 @@ func printClusterStats(c *cluster.Client) {
 
 // nodeProc is one spawned `eslev node` child.
 type nodeProc struct {
-	cmd  *exec.Cmd
-	addr string
+	cmd    *exec.Cmd
+	addr   string
+	killed bool
 }
 
-// spawnNodes launches n node child processes of this binary and returns
-// their announced addresses. stop waits for clean exits (the node exits when
-// its feed session ends) and kills stragglers.
-func spawnNodes(n, shards int) ([]string, func() error, error) {
-	procs := make([]*nodeProc, 0, n)
-	stop := func() error {
-		var firstErr error
-		for _, p := range procs {
-			done := make(chan error, 1)
-			go func(c *exec.Cmd) { done <- c.Wait() }(p.cmd)
-			select {
-			case err := <-done:
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("node %s: %w", p.addr, err)
-				}
-			case <-time.After(10 * time.Second):
-				p.cmd.Process.Kill()
-				<-done
-				if firstErr == nil {
-					firstErr = fmt.Errorf("node %s: did not exit after the session; killed", p.addr)
-				}
-			}
-		}
-		return firstErr
-	}
+// nodeFleet is a set of spawned node children the fail-over harness can
+// crash one by one; stop tolerates the corpses it made.
+type nodeFleet struct {
+	procs []*nodeProc
+}
+
+// spawnFleet launches n node child processes of this binary, each
+// announcing its bound address before the next is started.
+func spawnFleet(n, shards int) (*nodeFleet, error) {
+	f := &nodeFleet{procs: make([]*nodeProc, 0, n)}
 	for i := 0; i < n; i++ {
 		nodeArgs := []string{"node", "-listen", "127.0.0.1:0", "-shards", strconv.Itoa(shards)}
 		if dir := os.Getenv("ESLEV_NODE_PROFILE"); dir != "" {
@@ -214,39 +200,86 @@ func spawnNodes(n, shards int) ([]string, func() error, error) {
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err != nil {
-			stop()
-			return nil, nil, err
+			f.stop()
+			return nil, err
 		}
 		if err := cmd.Start(); err != nil {
-			stop()
-			return nil, nil, err
+			f.stop()
+			return nil, err
 		}
 		sc := bufio.NewScanner(out)
 		if !sc.Scan() {
 			cmd.Process.Kill()
 			cmd.Wait()
-			stop()
-			return nil, nil, fmt.Errorf("node %d: no LISTENING line", i)
+			f.stop()
+			return nil, fmt.Errorf("node %d: no LISTENING line", i)
 		}
 		line := strings.TrimSpace(sc.Text())
 		addr, ok := strings.CutPrefix(line, "LISTENING ")
 		if !ok {
 			cmd.Process.Kill()
 			cmd.Wait()
-			stop()
-			return nil, nil, fmt.Errorf("node %d: unexpected announcement %q", i, line)
+			f.stop()
+			return nil, fmt.Errorf("node %d: unexpected announcement %q", i, line)
 		}
 		go func() { // drain any further stdout so the child never blocks
 			for sc.Scan() {
 			}
 		}()
-		procs = append(procs, &nodeProc{cmd: cmd, addr: addr})
+		f.procs = append(f.procs, &nodeProc{cmd: cmd, addr: addr})
 	}
-	addrs := make([]string, len(procs))
-	for i, p := range procs {
+	return f, nil
+}
+
+func (f *nodeFleet) addrs() []string {
+	addrs := make([]string, len(f.procs))
+	for i, p := range f.procs {
 		addrs[i] = p.addr
 	}
-	return addrs, stop, nil
+	return addrs
+}
+
+// kill crashes node i outright (SIGKILL — no shutdown handshake). The
+// child's sockets close with the process; the feed discovers the death
+// through its read/write deadlines and fails the node's origins over.
+func (f *nodeFleet) kill(i int) error {
+	p := f.procs[i]
+	p.killed = true
+	return p.cmd.Process.Kill()
+}
+
+// stop waits for clean exits (a node exits when its feed session ends) and
+// kills stragglers. Nodes crashed via kill are reaped without complaint —
+// their non-zero exit is the harness's own doing.
+func (f *nodeFleet) stop() error {
+	var firstErr error
+	for _, p := range f.procs {
+		done := make(chan error, 1)
+		go func(c *exec.Cmd) { done <- c.Wait() }(p.cmd)
+		select {
+		case err := <-done:
+			if err != nil && !p.killed && firstErr == nil {
+				firstErr = fmt.Errorf("node %s: %w", p.addr, err)
+			}
+		case <-time.After(10 * time.Second):
+			p.cmd.Process.Kill()
+			<-done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node %s: did not exit after the session; killed", p.addr)
+			}
+		}
+	}
+	return firstErr
+}
+
+// spawnNodes launches n node child processes and returns their announced
+// addresses, for callers that never crash anything.
+func spawnNodes(n, shards int) ([]string, func() error, error) {
+	f, err := spawnFleet(n, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.addrs(), f.stop, nil
 }
 
 // ---- eslev cluster-soak -----------------------------------------------------
@@ -342,10 +375,21 @@ func soakRegister(exec func(string) error, register func(name, sql string, onRow
 // runClusterSoak replays one seeded workload on the serial engine and on
 // multi-process clusters of each requested size, comparing output multisets
 // row for row and checking the transport accounting identity. Any
-// divergence is a non-zero exit.
-func runClusterSoak(nodeCounts string, events int, seed int64, shards, batch int) error {
+// divergence is a non-zero exit. An active kill plan crashes node children
+// at its event milestones, so the comparison additionally certifies
+// exactly-once re-emission across fail-over.
+func runClusterSoak(nodeCounts string, events int, seed int64, shards, batch int, plan soakKillPlan) error {
 	counts, err := parseIntList("-nodes", nodeCounts)
 	if err != nil {
+		return err
+	}
+	minNodes := counts[0]
+	for _, n := range counts {
+		if n < minNodes {
+			minNodes = n
+		}
+	}
+	if err := plan.validate(minNodes, events); err != nil {
 		return err
 	}
 	feed := soakWorkload(events, seed)
@@ -378,22 +422,42 @@ func runClusterSoak(nodeCounts string, events int, seed int64, shards, batch int
 	fmt.Printf("cluster-soak: events=%d seed=%d serial rows=%d\n", events, seed, len(want))
 
 	for _, n := range counts {
-		if err := soakOneCluster(n, shards, batch, feed, want); err != nil {
+		if err := soakOneCluster(n, shards, batch, feed, want, plan); err != nil {
 			return fmt.Errorf("nodes=%d: %w", n, err)
 		}
 	}
-	fmt.Println("cluster-soak: PASS (row-for-row + accounting identity)")
+	if plan.active() {
+		fmt.Println("cluster-soak: PASS (row-for-row + accounting identity across kills)")
+	} else {
+		fmt.Println("cluster-soak: PASS (row-for-row + accounting identity)")
+	}
 	return nil
 }
 
-func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error {
-	addrs, stopNodes, err := spawnNodes(n, shards)
+func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string, plan soakKillPlan) error {
+	fleet, err := spawnFleet(n, shards)
 	if err != nil {
 		return err
 	}
-	client, err := cluster.Dial(cluster.Config{Nodes: addrs, BatchSize: batch})
+	cfg := cluster.Config{Nodes: fleet.addrs(), BatchSize: batch}
+	// failovers needs no lock: OnFailover fires on the feed goroutine, which
+	// is this one — fail-over runs inside our own Push/Drain calls.
+	failovers, restored := 0, 0
+	if plan.ckpt > 0 {
+		cfg.CheckpointEvery = plan.ckpt
+		cfg.IOTimeout = 2 * time.Second
+		cfg.OnFailover = func(ev cluster.FailoverEvent) {
+			failovers++
+			if ev.Restored {
+				restored++
+			}
+			fmt.Printf("cluster-soak: nodes=%d fail-over origin %d: node %d -> node %d (ckpt lsn %d, %d batches replayed)\n",
+				n, ev.Origin, ev.From, ev.To, ev.CheckpointLSN, ev.ReplayedBatches)
+		}
+	}
+	client, err := cluster.Dial(cfg)
 	if err != nil {
-		stopNodes()
+		fleet.stop()
 		return err
 	}
 	sink := &soakSink{}
@@ -405,10 +469,31 @@ func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error
 		},
 		client.Subscribe, sink); err != nil {
 		client.Close()
-		stopNodes()
+		fleet.stop()
 		return err
 	}
-	for _, ev := range feed {
+	kills := 0
+	for i, ev := range feed {
+		// Halfway to each kill, force a drain barrier: the drain re-arms a
+		// checkpoint at the drained LSN, so by kill time every origin has a
+		// shipped snapshot and recovery goes through the restore path
+		// instead of replaying from genesis.
+		if plan.active() && kills < len(plan.victims) && i == plan.every*kills+plan.every/2 {
+			if err := client.Drain(); err != nil {
+				client.Close()
+				fleet.stop()
+				return fmt.Errorf("pre-kill drain: %w", err)
+			}
+		}
+		if plan.active() && kills < len(plan.victims) && i == plan.every*(kills+1) {
+			victim := plan.victims[kills]
+			if err := fleet.kill(victim); err != nil {
+				client.Close()
+				fleet.stop()
+				return fmt.Errorf("kill node %d: %w", victim, err)
+			}
+			kills++
+		}
 		if ev.stream == "" {
 			err = client.Heartbeat(ev.at)
 		} else {
@@ -416,13 +501,13 @@ func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error
 		}
 		if err != nil {
 			client.Close()
-			stopNodes()
+			fleet.stop()
 			return err
 		}
 	}
 	if err := client.Drain(); err != nil {
 		client.Close()
-		stopNodes()
+		fleet.stop()
 		return err
 	}
 	var acct []string
@@ -435,10 +520,10 @@ func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error
 		}
 	}
 	if err := client.Close(); err != nil {
-		stopNodes()
+		fleet.stop()
 		return err
 	}
-	if err := stopNodes(); err != nil {
+	if err := fleet.stop(); err != nil {
 		return err
 	}
 	got := sink.sorted()
@@ -453,7 +538,18 @@ func soakOneCluster(n, shards, batch int, feed []soakEvent, want []string) error
 	if len(acct) > 0 {
 		return fmt.Errorf("accounting identity violated:\n  %s", strings.Join(acct, "\n  "))
 	}
-	fmt.Printf("cluster-soak: nodes=%d rows=%d identical, accounting exact\n", n, len(got))
+	if kills > 0 && failovers < kills {
+		return fmt.Errorf("killed %d nodes but observed only %d fail-overs", kills, failovers)
+	}
+	if kills > 0 && restored == 0 {
+		return fmt.Errorf("%d fail-overs but none restored a checkpoint — every recovery replayed from genesis", failovers)
+	}
+	if kills > 0 {
+		fmt.Printf("cluster-soak: nodes=%d rows=%d identical, accounting exact, %d kills -> %d fail-overs (%d restored)\n",
+			n, len(got), kills, failovers, restored)
+	} else {
+		fmt.Printf("cluster-soak: nodes=%d rows=%d identical, accounting exact\n", n, len(got))
+	}
 	return nil
 }
 

@@ -1,0 +1,393 @@
+package main
+
+// Kill-a-node fail-over harness: `eslev cluster-soak -kill-every` crashes
+// real node child processes mid-feed and certifies that the surviving
+// cluster still matches the serial engine row for row (exactly-once
+// re-emission across the kill), and `eslev bench -failover` measures what
+// the availability layer costs — steady-state checkpoint overhead against
+// a checkpoint-free cluster, and the recovery time from a kill to the
+// first post-fail-over output row.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	eslev "repro"
+	"repro/internal/cluster"
+)
+
+// ---- crash scheduling for cluster-soak --------------------------------------
+
+// soakKillPlan schedules crash injection for the cluster soak: victim k is
+// killed after (k+1)*every feed events, with per-origin checkpoints every
+// ckpt accepted batches so the feed can re-home the victim's origins.
+// every==0 with ckpt>0 runs checkpoints without kills (overhead soak).
+type soakKillPlan struct {
+	every   int
+	victims []int
+	ckpt    int
+}
+
+func (p soakKillPlan) active() bool { return p.every > 0 && len(p.victims) > 0 }
+
+// parseSoakKillPlan builds the plan from the cluster-soak flags. The ckpt
+// cadence defaults to 8 batches when kills are requested: fail-over needs
+// checkpoints, and 8 keeps the replay window a few thousand events.
+func parseSoakKillPlan(killEvery int, killNodes string, ckptEvery int) (soakKillPlan, error) {
+	plan := soakKillPlan{ckpt: ckptEvery}
+	if killEvery <= 0 {
+		return plan, nil
+	}
+	victims, err := parseKillList("-kill-nodes", killNodes)
+	if err != nil {
+		return plan, err
+	}
+	plan.every, plan.victims = killEvery, victims
+	if plan.ckpt == 0 {
+		plan.ckpt = 8
+	}
+	return plan, nil
+}
+
+// validate rejects schedules that cannot certify anything: a victim outside
+// the smallest cluster, a repeated victim, a matrix that kills every node
+// (no survivor to adopt the origins), or a kill past the end of the feed.
+func (p soakKillPlan) validate(minNodes, events int) error {
+	if !p.active() {
+		return nil
+	}
+	seen := make(map[int]bool)
+	for _, v := range p.victims {
+		if v >= minNodes {
+			return fmt.Errorf("kill victim %d out of range for a %d-node cluster", v, minNodes)
+		}
+		if seen[v] {
+			return fmt.Errorf("kill victim %d listed twice", v)
+		}
+		seen[v] = true
+	}
+	if len(p.victims) >= minNodes {
+		return fmt.Errorf("killing %d of %d nodes leaves no survivor", len(p.victims), minNodes)
+	}
+	if last := p.every * len(p.victims); last >= events {
+		return fmt.Errorf("last kill at event %d is past the %d-event feed", last, events)
+	}
+	return nil
+}
+
+// parseKillList parses -kill-nodes: like parseIntList, but node 0 is a
+// legal (and important) victim — it anchors the exact-clock placement.
+func parseKillList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ---- eslev bench -failover --------------------------------------------------
+
+// failoverBenchReport is the machine-readable result of `bench -failover`:
+// the steady-state cost of cutting checkpoints on the cluster data plane,
+// and how fast a kill-a-node fail-over produces its first output row.
+type failoverBenchReport struct {
+	CPUs                   int     `json:"cpus"`
+	GoMaxProcs             int     `json:"gomaxprocs"`
+	Nodes                  int     `json:"nodes"`
+	Queries                int     `json:"queries"`
+	Events                 int     `json:"events"`
+	CheckpointEvery        int     `json:"checkpoint_every_batches"`
+	Reps                   int     `json:"reps_per_arm"`
+	BaselineNsPerEvent     float64 `json:"baseline_ns_per_event"`
+	CheckpointedNsPerEvent float64 `json:"checkpointed_ns_per_event"`
+	OverheadPct            float64 `json:"checkpoint_overhead_pct"`
+	Matches                int64   `json:"matches"`
+	KillEvent              int     `json:"kill_event"`
+	KillNode               int     `json:"kill_node"`
+	RecoveryMs             float64 `json:"recovery_ms"`
+	ReplayedBatches        int     `json:"replayed_batches"`
+	CheckpointLSN          uint64  `json:"checkpoint_lsn_at_failover"`
+	Failovers              int     `json:"failovers"`
+	MaxOverheadGate        float64 `json:"max_overhead_gate_pct"`
+}
+
+// failoverProbe carries what the kill arm observed beyond throughput.
+type failoverProbe struct {
+	failovers int
+	replayed  int
+	ckptLSN   uint64
+	recovery  time.Duration
+}
+
+// benchFailoverArm times the keyed fan-out workload across n spawned nodes
+// with the given checkpoint cadence (0 = availability layer off). With
+// killAt > 0, killNode is crashed once the push loop reaches that event
+// offset, and the probe reports the time from the kill to the first output
+// row that arrives after fail-over completed.
+func benchFailoverArm(n, queries, batch, ckptEvery int, feed []clusterFeedEvent,
+	killAt, killNode int) (clusterBenchResult, failoverProbe, error) {
+	var probe failoverProbe
+	fleet, err := spawnFleet(n, 1)
+	if err != nil {
+		return clusterBenchResult{}, probe, err
+	}
+	fail := func(err error) (clusterBenchResult, failoverProbe, error) {
+		fleet.stop()
+		return clusterBenchResult{}, probe, err
+	}
+	// failedOverAt/firstRowAfter cross goroutines: OnFailover fires on the
+	// feed goroutine, onRow on the fan-in merge goroutine.
+	var mu sync.Mutex
+	var failedOverAt, firstRowAfter time.Time
+	cfg := cluster.Config{
+		Nodes:           fleet.addrs(),
+		BatchSize:       batch,
+		CheckpointEvery: ckptEvery,
+		IOTimeout:       2 * time.Second,
+		OnFailover: func(ev cluster.FailoverEvent) {
+			mu.Lock()
+			probe.failovers++
+			probe.replayed += ev.ReplayedBatches
+			probe.ckptLSN = ev.CheckpointLSN
+			failedOverAt = time.Now()
+			mu.Unlock()
+		},
+	}
+	client, err := cluster.Dial(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := client.Exec(`
+		CREATE STREAM C1(readerid, tagid, tagtime);
+		CREATE STREAM C2(readerid, tagid, tagtime);`); err != nil {
+		client.Close()
+		return fail(err)
+	}
+	var matches int64
+	onRow := func(eslev.Row) {
+		atomic.AddInt64(&matches, 1)
+		if killAt > 0 {
+			mu.Lock()
+			if !failedOverAt.IsZero() && firstRowAfter.IsZero() {
+				firstRowAfter = time.Now()
+			}
+			mu.Unlock()
+		}
+	}
+	for qi := 0; qi < queries; qi++ {
+		rd := fmt.Sprintf("R%d", qi)
+		if _, err := client.RegisterQuery(fmt.Sprintf("q%04d", qi),
+			fmt.Sprintf(clusterBenchSQL, rd), onRow); err != nil {
+			client.Close()
+			return fail(err)
+		}
+	}
+	if err := client.Seal(); err != nil { // registration RTTs happen off the clock
+		client.Close()
+		return fail(err)
+	}
+	schemas := map[string]*eslev.Schema{}
+	for _, s := range []string{"C1", "C2"} {
+		schemas[s], _ = client.StreamSchema(s)
+	}
+	items := make([]eslev.Item, 0, len(feed))
+	for _, ev := range feed {
+		tu, err := eslev.NewTuple(schemas[ev.stream], ev.at,
+			eslev.Str(ev.reader), eslev.Str(ev.tag), eslev.Null)
+		if err != nil {
+			client.Close()
+			return fail(err)
+		}
+		items = append(items, eslev.Of(tu))
+	}
+	var killTime time.Time
+	start := time.Now()
+	for off := 0; off < len(items); off += cluster.DefaultBatchSize {
+		if killAt > 0 && killTime.IsZero() && off >= killAt {
+			// Drain first: the barrier re-arms a checkpoint at the drained
+			// LSN, so the kill exercises snapshot restore plus a short
+			// replay tail rather than a replay from genesis. The drain runs
+			// before killTime is taken, so it never inflates recovery time.
+			if err := client.Drain(); err != nil {
+				client.Close()
+				return fail(err)
+			}
+			if err := fleet.kill(killNode); err != nil {
+				client.Close()
+				return fail(err)
+			}
+			killTime = time.Now()
+		}
+		hi := off + cluster.DefaultBatchSize
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if err := client.PushBatch(items[off:hi]); err != nil {
+			client.Close()
+			return fail(err)
+		}
+	}
+	if err := client.Drain(); err != nil {
+		client.Close()
+		return fail(err)
+	}
+	wall := time.Since(start)
+	if err := client.Close(); err != nil {
+		return fail(err)
+	}
+	if err := fleet.stop(); err != nil {
+		return clusterBenchResult{}, probe, err
+	}
+	arm := "ckpt-off"
+	if ckptEvery > 0 {
+		arm = fmt.Sprintf("ckpt-%d", ckptEvery)
+	}
+	if killAt > 0 {
+		arm = "kill"
+		mu.Lock()
+		ref := firstRowAfter
+		mu.Unlock()
+		if probe.failovers == 0 {
+			return clusterBenchResult{}, probe, errors.New("kill produced no fail-over event")
+		}
+		if ref.IsZero() {
+			return clusterBenchResult{}, probe, errors.New("no output row arrived after fail-over")
+		}
+		probe.recovery = ref.Sub(killTime)
+	}
+	return clusterBenchResult{
+		Arm: arm, Nodes: n, Queries: queries, Events: len(feed),
+		Matches:      atomic.LoadInt64(&matches),
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		NsPerEvent:   float64(wall) / float64(len(feed)),
+		EventsPerSec: float64(len(feed)) / wall.Seconds(),
+	}, probe, nil
+}
+
+// runBenchFailover measures the availability layer and writes
+// BENCH_FAILOVER-style JSON. Three arms over one pre-built feed: a
+// checkpoint-free cluster (baseline), the same cluster cutting checkpoints
+// every ckptEvery batches (the overhead under the gate), and a kill arm
+// that crashes node killNode=0 at the feed's midpoint and measures
+// recovery time. All three arms must report identical match counts — the
+// kill arm doing so is the exactly-once guarantee exercised end to end.
+func runBenchFailover(nodes, queries, events, batch, ckptEvery, reps int,
+	jsonPath string, maxOverhead float64) error {
+	if nodes < 2 {
+		return errors.New("bench -failover needs at least 2 nodes (a kill must leave a survivor)")
+	}
+	if ckptEvery < 1 {
+		return errors.New("bench -failover needs -failover-ckpt >= 1")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	feed := clusterBenchFeed(queries, events)
+	report := failoverBenchReport{
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes: nodes, Queries: queries, Events: events,
+		CheckpointEvery: ckptEvery, Reps: reps, MaxOverheadGate: maxOverhead,
+	}
+	fmt.Printf("cpus=%d gomaxprocs=%d nodes=%d queries=%d events=%d checkpoint-every=%d batches\n",
+		report.CPUs, report.GoMaxProcs, nodes, queries, events, ckptEvery)
+
+	prArm := func(res clusterBenchResult) {
+		fmt.Printf("%-10s  %9.1f ms  %8.0f ns/event  %10.0f events/s  matches=%d\n",
+			res.Arm, res.WallMs, res.NsPerEvent, res.EventsPerSec, res.Matches)
+	}
+
+	// Fixed untimed warm-up before any measured arm.
+	warm := clusterBenchFeed(queries, benchWarmupEvents(events))
+	if _, _, err := benchFailoverArm(nodes, queries, batch, 0, warm, 0, 0); err != nil {
+		return err
+	}
+
+	// Best-of-reps for the two timing arms: the overhead gate compares their
+	// minima, the standard estimator of intrinsic cost on a noisy box.
+	bestOf := func(ck int) (clusterBenchResult, error) {
+		var best clusterBenchResult
+		for r := 0; r < reps; r++ {
+			res, _, err := benchFailoverArm(nodes, queries, batch, ck, feed, 0, 0)
+			if err != nil {
+				return clusterBenchResult{}, err
+			}
+			if best.Arm == "" || res.NsPerEvent < best.NsPerEvent {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	base, err := bestOf(0)
+	if err != nil {
+		return err
+	}
+	prArm(base)
+	ckpt, err := bestOf(ckptEvery)
+	if err != nil {
+		return err
+	}
+	prArm(ckpt)
+	if base.Matches != ckpt.Matches {
+		return fmt.Errorf("checkpointed arm found %d matches, baseline %d: output diverged",
+			ckpt.Matches, base.Matches)
+	}
+
+	killAt := len(feed) / 2
+	const killNode = 0 // the exact-clock anchor: the hardest node to lose
+	killRes, probe, err := benchFailoverArm(nodes, queries, batch, ckptEvery, feed, killAt, killNode)
+	if err != nil {
+		return err
+	}
+	prArm(killRes)
+	if killRes.Matches != base.Matches {
+		return fmt.Errorf("exactly-once violated: kill arm found %d matches, baseline %d",
+			killRes.Matches, base.Matches)
+	}
+	if probe.ckptLSN == 0 {
+		return fmt.Errorf("kill-arm recovery replayed from genesis: no checkpoint was cut before the kill")
+	}
+
+	report.BaselineNsPerEvent = base.NsPerEvent
+	report.CheckpointedNsPerEvent = ckpt.NsPerEvent
+	report.OverheadPct = (ckpt.NsPerEvent - base.NsPerEvent) / base.NsPerEvent * 100
+	report.Matches = base.Matches
+	report.KillEvent = killAt
+	report.KillNode = killNode
+	report.RecoveryMs = float64(probe.recovery) / float64(time.Millisecond)
+	report.ReplayedBatches = probe.replayed
+	report.CheckpointLSN = probe.ckptLSN
+	report.Failovers = probe.failovers
+
+	fmt.Printf("checkpoint overhead: %+.1f%% (every %d batches)\n", report.OverheadPct, ckptEvery)
+	fmt.Printf("kill node %d at event %d: %d fail-over(s), checkpoint lsn %d, %d batches replayed\n",
+		killNode, killAt, report.Failovers, report.CheckpointLSN, report.ReplayedBatches)
+	fmt.Printf("recovery: %.1f ms from kill to first post-fail-over row\n", report.RecoveryMs)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	if maxOverhead > 0 && report.OverheadPct > maxOverhead {
+		return fmt.Errorf("checkpoint overhead %.1f%% exceeds budget %.0f%%",
+			report.OverheadPct, maxOverhead)
+	}
+	return nil
+}

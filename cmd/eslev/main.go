@@ -33,6 +33,14 @@
 //	                                 baseline, snapshot size, checkpoint latency,
 //	                                 and restore latency; -max-overhead turns the
 //	                                 measurement into a regression gate
+//	eslev bench -failover [-failover-nodes 2] [-failover-ckpt N] [-events N]
+//	            [-max-overhead pct] [-bench-json out.json]
+//	                                 measure the cluster availability layer:
+//	                                 checkpoint overhead vs a checkpoint-free
+//	                                 cluster, then kill a node mid-feed and
+//	                                 report recovery time to the first
+//	                                 post-fail-over row; all arms must agree
+//	                                 on the output row count (exactly-once)
 //	eslev chaos [-events N] [-shards N] [-fanout N] [-slack d] [-disorder f] [-dup f]
 //	            [-corrupt f] [-oversize f] [-late f] [-panic-every N] [-policy P]
 //	            [-extended] [-kill-every N] [-checkpoint-every N] [-journal-dir d]
@@ -124,6 +132,10 @@ func main() {
 		clusterReps := fs.Int("cluster-reps", 3, "timed passes per arm for -cluster; each arm reports its best pass")
 		minSpeedup := fs.Float64("min-speedup", 2, "fail -cluster if aggregate speedup at the largest node count is below this (0 = report only)")
 		maxWire := fs.Float64("max-wire-overhead", 15, "fail -cluster if 1-node wire overhead exceeds this percent (0 = report only)")
+		failover := fs.Bool("failover", false, "measure checkpoint overhead and kill-a-node recovery on the cluster data plane instead of the shard workloads")
+		failoverNodes := fs.Int("failover-nodes", 2, "cluster size for -failover (the kill must leave a survivor)")
+		failoverQueries := fs.Int("failover-queries", 256, "registered reader-local queries for -failover")
+		failoverCkpt := fs.Int("failover-ckpt", 8, "per-origin checkpoint cadence in accepted batches for -failover")
 		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
 		queries := fs.String("queries", "1,64,256,1024", "comma-separated query counts for -multiquery")
 		share := fs.String("share", "0,50,90", "comma-separated prefix-share percentages for -multiquery")
@@ -138,6 +150,9 @@ func main() {
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
 			switch {
+			case *failover:
+				err = runBenchFailover(*failoverNodes, *failoverQueries, *events, *clusterBatch,
+					*failoverCkpt, *clusterReps, *jsonPath, *maxOverhead)
 			case *clusterBench:
 				err = runBenchCluster(*clusterQueries, *events, *clusterBatch, *clusterReps, *clusterNodes, *jsonPath, *minSpeedup, *maxWire)
 			case *recovery:
@@ -203,8 +218,14 @@ func main() {
 		seed := fs.Int64("seed", 1, "PRNG seed; equal seeds replay identically")
 		shards := fs.Int("shards", 1, "node-local worker shard count")
 		batch := fs.Int("batch", 0, "feed flush threshold (0 = default)")
+		killEvery := fs.Int("kill-every", 0, "kill-a-node chaos: crash the next -kill-nodes victim after every N feed events (0 = off)")
+		killNodes := fs.String("kill-nodes", "0", "comma-separated node indices to crash, in order, for -kill-every")
+		ckptEvery := fs.Int("checkpoint-every", 0, "per-origin checkpoint cadence in accepted batches (0 = 8 when killing, else off)")
 		_ = fs.Parse(os.Args[2:])
-		err = runClusterSoak(*nodes, *events, *seed, *shards, *batch)
+		var plan soakKillPlan
+		if plan, err = parseSoakKillPlan(*killEvery, *killNodes, *ckptEvery); err == nil {
+			err = runClusterSoak(*nodes, *events, *seed, *shards, *batch, plan)
+		}
 	case "explain":
 		if len(os.Args) < 3 {
 			usage()
@@ -254,6 +275,12 @@ func usage() {
                                    aggregate speedup at the largest cluster vs
                                    the best single-process arm, and the wire
                                    tax of a 1-node cluster
+  eslev bench -failover [-failover-nodes 2] [-failover-ckpt N] [-events N]
+              [-max-overhead pct] [-bench-json out.json]
+                                   measure the availability layer: checkpoint
+                                   overhead vs a checkpoint-free cluster, and
+                                   recovery time from a node kill to the first
+                                   post-fail-over output row
   eslev node [-listen 127.0.0.1:0] [-shards N] [-credit B]
                                    host one engine node: announce the bound
                                    address as "LISTENING addr", serve one feed
@@ -263,9 +290,12 @@ func usage() {
                                    ships to homed nodes, CSV tuples route by
                                    placement, merged rows print locally
   eslev cluster-soak [-nodes 1,4] [-events N] [-seed S] [-shards N]
+              [-kill-every N] [-kill-nodes 0,2] [-checkpoint-every B]
                                    certify multi-process clusters against the
                                    serial engine row for row, plus the exact
-                                   transport accounting identity
+                                   transport accounting identity; -kill-every
+                                   crashes node children mid-feed and requires
+                                   the same row-for-row match across fail-over
   eslev chaos [-events N] [-seed S] [-slack 500ms] [-disorder 0.25] [-dup 0.01]
               [-corrupt 0.001] [-oversize 0.0005] [-late 0.001] [-panic-every 10000]
               [-policy DEAD_LETTER] [-shards N] [-fanout N] [-extended]

@@ -9,9 +9,19 @@ package cluster
 // has to migrate between nodes mid-stream.
 //
 // Data flow mirrors the in-process sharded engine one level up: pushes
-// buffer into a pending run, flushes route per-node item runs (with the
-// same trailing/exact-clock heartbeat regimes), and per-node output rows
+// buffer into a pending run, flushes route per-origin item runs (with the
+// same trailing/exact-clock heartbeat regimes), and per-origin output rows
 // re-merge through the bounded fan-in in timestamp order.
+//
+// Fail-over separates *origins* (logical node slots the ring addresses;
+// they never move) from *connections* (the TCP sessions hosting them).
+// When Config.CheckpointEvery is set the feed periodically asks each
+// origin's host to cut and ship an engine checkpoint at a batch-sequence
+// LSN, and retains every batch past the last cut. When a connection dies,
+// each origin it hosted is adopted by a surviving connection: the feed
+// replays the origin's registrations, restores the shipped snapshot,
+// replays the retained batch suffix, and suppresses the re-emitted rows it
+// already delivered — exactly-once output across the kill (failover.go).
 
 import (
 	"errors"
@@ -21,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/esl"
 	"repro/internal/stream"
@@ -28,8 +39,8 @@ import (
 
 // Config configures a feed client.
 type Config struct {
-	// Nodes lists the engine node addresses; the index is the node id, and
-	// node 0 is the pinned-work home.
+	// Nodes lists the engine node addresses; the index is the origin id,
+	// and origin 0 is the pinned-work home.
 	Nodes []string
 	// BatchSize is the pending-run length that triggers a flush (0 =
 	// DefaultBatchSize).
@@ -38,18 +49,96 @@ type Config struct {
 	VNodes int
 	// Coalesce is the per-connection sender budget (0 = DefaultCoalesce).
 	Coalesce int
+	// CheckpointEvery enables fail-over: every CheckpointEvery batches per
+	// origin the feed asks the hosting node to cut and ship a checkpoint,
+	// and retains sent batches past the last cut so a dead node's engine
+	// can be restored and replayed on a surviving peer. 0 disables
+	// fail-over: a dead node surfaces as a node-scoped *NodeError and its
+	// slice of the stream is lost.
+	CheckpointEvery int
+	// IOTimeout bounds every socket operation: writes get per-Write
+	// deadlines, reads get 3×IOTimeout deadlines backed by keepalive pings
+	// every IOTimeout, and a silent peer surfaces as ErrNodeTimeout. 0
+	// disables deadlines (a stalled peer blocks until killed).
+	IOTimeout time.Duration
+	// DialAttempts is how many times Dial tries each node before giving up
+	// (0 or 1 = single attempt).
+	DialAttempts int
+	// DialBackoff is the initial retry backoff, doubling per attempt (0 =
+	// DefaultDialBackoff).
+	DialBackoff time.Duration
+	// OnFailover, when set, observes completed origin adoptions. Called on
+	// the feed goroutine with internal locks held: it must not call back
+	// into the Client.
+	OnFailover func(FailoverEvent)
 	// Options are the serial engine's fault-tolerance options
 	// (esl.WithSlack, esl.WithLateness, ...). They configure the ingest
 	// boundary in front of the router, exactly as in the sharded engine.
-	// Durability options are not supported on the data plane.
+	// Engine durability options are not supported here: cluster fail-over
+	// ships checkpoints in-band (CheckpointEvery) instead of journaling to
+	// local disk.
 	Options []esl.Option
 }
 
 // DefaultBatchSize matches the sharded engine's flush threshold.
 const DefaultBatchSize = 256
 
+// DefaultDialBackoff is the initial redial backoff.
+const DefaultDialBackoff = 50 * time.Millisecond
+
 // clusterFanInBuffer bounds the merge tier's buffered rows.
 const clusterFanInBuffer = 4096
+
+// Typed availability errors. A connection failure always wraps ErrNodeDown;
+// failures detected by a missed deadline additionally match ErrNodeTimeout
+// (which itself wraps ErrNodeDown). Both surface inside *NodeError, which
+// names the node.
+var (
+	ErrNodeDown    = errors.New("cluster: node down")
+	ErrNodeTimeout = fmt.Errorf("%w (i/o timeout)", ErrNodeDown)
+)
+
+// NodeError is a node-scoped failure: only the named node is affected, and
+// with fail-over disabled the rest of the cluster keeps running.
+type NodeError struct {
+	Node int
+	Addr string
+	Err  error
+}
+
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("cluster: node %d (%s): %v", e.Node, e.Addr, e.Err)
+}
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// FailoverEvent describes one completed origin adoption.
+type FailoverEvent struct {
+	Origin          int    // logical node slot that moved
+	From            int    // connection that hosted it and died
+	To              int    // surviving connection that adopted it
+	Addr            string // address of the dead connection
+	Restored        bool   // a shipped checkpoint was restored (false = replay from genesis)
+	CheckpointLSN   uint64 // batch LSN of the restored checkpoint
+	ReplayedBatches int    // retained batches replayed past the cut
+}
+
+// classifyNodeErr wraps a raw connection error in the availability
+// taxonomy: deadline misses become ErrNodeTimeout, everything else
+// ErrNodeDown; already-classified errors pass through.
+func classifyNodeErr(err error) error {
+	if err == nil {
+		return ErrNodeDown
+	}
+	if errors.Is(err, ErrNodeDown) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrNodeTimeout, err)
+	}
+	return fmt.Errorf("%w: %v", ErrNodeDown, err)
+}
 
 // feedEvent is one output event flowing through the merge tier.
 type feedEvent struct {
@@ -58,7 +147,7 @@ type feedEvent struct {
 	tup  *stream.Tuple
 	ts   stream.Timestamp
 	node int
-	seq  uint64 // per-node arrival sequence, assigned by the reader
+	seq  uint64 // per-origin arrival sequence, assigned by the reader
 }
 
 func feedLess(a, b feedEvent) bool {
@@ -78,6 +167,7 @@ type feedSlot struct {
 
 // regSpec is one deferred registration, replayed onto nodes at Seal in the
 // original order (later statements may read streams earlier ones create).
+// The same specs replay again onto an adopting connection at fail-over.
 type specKind uint8
 
 const (
@@ -101,13 +191,17 @@ type regSpec struct {
 // goroutines, serialized by the merge tier, and must not call back into the
 // Client.
 type Client struct {
-	mu        sync.Mutex
-	plan      *esl.Engine
-	nodes     []*nodeConn
-	ringv     *ring
-	batchSize int
-	sealed    bool
-	closed    bool
+	mu         sync.Mutex
+	plan       *esl.Engine
+	conns      []*nodeConn
+	origins    []*originState
+	ringv      *ring
+	batchSize  int
+	ckptEvery  int
+	ioTimeout  time.Duration
+	onFailover func(FailoverEvent)
+	sealed     bool
+	closed     bool
 
 	specs []regSpec
 	slots []*feedSlot
@@ -115,9 +209,11 @@ type Client struct {
 	pl      placement
 	fanin   *stream.FanIn[feedEvent]
 	pending []stream.Item
-	outRuns [][]stream.Item // per-node routing scratch
+	outRuns [][]stream.Item // per-origin routing scratch
 	lastTS  stream.Timestamp
 	rr      int
+
+	failovers int // completed origin adoptions
 
 	ingest        *stream.Ingest
 	ingestScratch []stream.Item
@@ -125,40 +221,77 @@ type Client struct {
 	onDead        []func(stream.DeadLetter)
 }
 
-// nodeConn is one node's connection state.
+// nodeConn is one TCP session. It hosts its own origin plus any origins it
+// adopted after their connections died; all per-origin state lives on
+// originState, so the conn is pure transport.
 type nodeConn struct {
-	id   int
-	addr string
-	c    *Client
-	conn net.Conn
-	fr   frameReader
-	snd  *sender
-	enc  *wireEnc
-	dec  *wireDec
-	gate *creditGate
+	id        int
+	addr      string
+	c         *Client
+	conn      net.Conn
+	fr        frameReader
+	snd       *sender
+	enc       *wireEnc
+	dec       *wireDec
+	gate      *creditGate
+	ioTimeout time.Duration
 
-	// Reader-goroutine state (started at Seal).
-	shapes     map[int][]string
-	seq        uint64
-	wm         stream.Timestamp
-	drainCh    chan drainResult
-	readerDone chan struct{}
+	ctrl       chan error    // control replies (OK) routed by the reader
+	readerDone chan struct{} // closed when the reader goroutine exits
+	stop       chan struct{} // stops the pinger
+	stopOnce   sync.Once
 
+	down  uint32 // atomic: connection condemned
 	errMu sync.Mutex
 	err   error
+}
 
-	// Accounting: sent under Client.mu, received on the reader goroutine
-	// (read after drain synchronization).
+// originState is one logical node slot: the unit the ring addresses, the
+// merge tier's input index, and the thing that survives its connection.
+type originState struct {
+	id   int
+	host *nodeConn // current hosting connection; mutated only under Client.mu
+
+	// mu guards everything below. It is held briefly by the feed (send
+	// path, under Client.mu) and by the hosting connection's reader; it is
+	// never held across a blocking call.
+	mu sync.Mutex
+
+	// Reader-side merge state.
+	shapes   map[int][]string // row shape cache (reader-only; handed off at fail-over)
+	seq      uint64
+	wm       stream.Timestamp
+	suppress uint64 // replayed rows to drop before the fan-in (already delivered)
+
+	// Accounting (the identity checked by the soak harness).
 	tuplesSent uint64
 	beatsSent  uint64
-	rowsRecv   uint64
+	rowsRecv   uint64 // rows committed to the merge tier (suppressed rows excluded)
 	lastDrain  NodeCounters
+
+	// Checkpoint shipping + retention (fail-over enabled only).
+	lsn          uint64 // batches sent to this origin since session start
+	sinceCkpt    int
+	ckptPending  bool
+	ckptLSN      uint64
+	ckptCounters NodeCounters
+	ckptBlob     []byte
+	retained     []retainedBatch // sent batches with lsn > ckptLSN, replay window
+
+	drainCh chan drainResult
+}
+
+// retainedBatch is one sent batch held for possible replay. Items are
+// post-ingest-boundary (lateness, dedup, and dead-letter decisions already
+// made), so replay can never re-screen or re-dead-letter them.
+type retainedBatch struct {
+	lsn   uint64
+	items []stream.Item
 }
 
 type drainResult struct {
 	wm       stream.Timestamp
 	counters NodeCounters
-	err      error
 }
 
 // Dial connects to every node and performs the hello exchange.
@@ -171,12 +304,15 @@ func Dial(cfg Config) (*Client, error) {
 		opt(&ecfg)
 	}
 	if ecfg.JournalDir != "" || ecfg.CheckpointEvery != 0 {
-		return nil, errors.New("cluster: durability options are not supported on the data plane (journal shipping is a later layer)")
+		return nil, errors.New("cluster: engine durability options are not supported on the feed (cluster fail-over ships checkpoints in-band; set Config.CheckpointEvery)")
 	}
 	c := &Client{
-		plan:      esl.New(),
-		batchSize: cfg.BatchSize,
-		lastTS:    stream.MinTimestamp,
+		plan:       esl.New(),
+		batchSize:  cfg.BatchSize,
+		ckptEvery:  cfg.CheckpointEvery,
+		ioTimeout:  cfg.IOTimeout,
+		onFailover: cfg.OnFailover,
+		lastTS:     stream.MinTimestamp,
 	}
 	if c.batchSize <= 0 {
 		c.batchSize = DefaultBatchSize
@@ -187,7 +323,7 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	c.ringv = newRing(len(cfg.Nodes), cfg.VNodes)
 	for i, addr := range cfg.Nodes {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := dialRetry(addr, cfg.DialAttempts, cfg.DialBackoff)
 		if err != nil {
 			c.teardown()
 			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
@@ -198,16 +334,17 @@ func Dial(cfg Config) (*Client, error) {
 			c:          c,
 			conn:       conn,
 			fr:         frameReader{r: conn},
-			snd:        newSender(conn, cfg.Coalesce),
 			enc:        newWireEnc(),
 			dec:        newWireDec(),
-			shapes:     map[int][]string{},
-			drainCh:    make(chan drainResult, 4),
+			ioTimeout:  cfg.IOTimeout,
+			ctrl:       make(chan error, 8),
 			readerDone: make(chan struct{}),
+			stop:       make(chan struct{}),
 		}
-		c.nodes = append(c.nodes, nc)
+		nc.snd = newSenderFunc(conn, cfg.Coalesce, nc.writeDeadline)
+		c.conns = append(c.conns, nc)
 		nc.enc.reset()
-		encodeHello(nc.enc)
+		encodeHello(nc.enc, i)
 		if err := nc.snd.send(frameHello, nc.enc.bytes()); err != nil {
 			c.teardown()
 			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
@@ -216,10 +353,10 @@ func Dial(cfg Config) (*Client, error) {
 			c.teardown()
 			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
 		}
-		typ, payload, err := nc.fr.next()
+		typ, payload, err := nc.readSync()
 		if err != nil {
 			c.teardown()
-			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, err)
+			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, classifyNodeErr(err))
 		}
 		if typ != frameHelloAck {
 			c.teardown()
@@ -232,18 +369,70 @@ func Dial(cfg Config) (*Client, error) {
 			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, err)
 		}
 		nc.gate = newCreditGate(credit)
+		c.origins = append(c.origins, &originState{
+			id:      i,
+			host:    nc,
+			shapes:  map[int][]string{},
+			wm:      stream.MinTimestamp,
+			drainCh: make(chan drainResult, 4),
+		})
 	}
-	c.outRuns = make([][]stream.Item, len(c.nodes))
+	c.outRuns = make([][]stream.Item, len(c.origins))
 	return c, nil
 }
 
+// dialRetry dials with exponential backoff between attempts.
+func dialRetry(addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+		var conn net.Conn
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+	}
+	return nil, err
+}
+
+// writeDeadline is the sender's preWrite hook.
+func (nc *nodeConn) writeDeadline() error {
+	if nc.ioTimeout <= 0 {
+		return nil
+	}
+	return nc.conn.SetWriteDeadline(time.Now().Add(nc.ioTimeout))
+}
+
+// readSync reads one frame synchronously (hello and seal-time registration
+// replies, before the reader goroutine starts), under a read deadline when
+// configured.
+func (nc *nodeConn) readSync() (byte, []byte, error) {
+	if nc.ioTimeout > 0 {
+		nc.conn.SetReadDeadline(time.Now().Add(3 * nc.ioTimeout))
+		defer nc.conn.SetReadDeadline(time.Time{})
+	}
+	return nc.fr.next()
+}
+
 func (c *Client) teardown() {
-	for _, nc := range c.nodes {
+	for _, nc := range c.conns {
 		if nc.snd != nil {
 			nc.snd.fail(io.ErrClosedPipe)
 			nc.snd.close()
 		}
 		nc.conn.Close()
+		nc.stopOnce.Do(func() { close(nc.stop) })
 	}
 }
 
@@ -360,6 +549,20 @@ func (c *Client) checkRegistrableLocked() error {
 	return nil
 }
 
+// specTargetsOrigin reports whether a spec must be present on an origin's
+// engine: DDL and subscriptions everywhere, queries on their home (or
+// everywhere when unhomed). Seal and fail-over adoption share this rule, so
+// an adopted engine is registered exactly as the dead one was.
+func (c *Client) specTargetsOrigin(spec regSpec, origin int) bool {
+	switch spec.kind {
+	case specQuery:
+		home := c.pl.homes[spec.q]
+		return home < 0 || home == origin
+	default:
+		return true
+	}
+}
+
 // ---- seal -------------------------------------------------------------------
 
 // Seal computes placement and ships every deferred registration to its
@@ -379,62 +582,64 @@ func (c *Client) sealLocked() error {
 	}
 	c.pl = computePlacement(c.plan, c.ringv)
 	for _, spec := range c.specs {
-		var targets []*nodeConn
-		switch spec.kind {
-		case specDDL, specSub:
-			targets = c.nodes
-		case specQuery:
-			home := c.pl.homes[spec.q]
-			if home >= 0 {
-				targets = c.nodes[home : home+1]
-			} else {
-				targets = c.nodes
-			}
-		}
 		var slot *feedSlot
 		if spec.kind != specDDL {
 			slot = c.slots[spec.slot]
 		}
-		for _, nc := range targets {
-			if err := nc.register(spec, slot); err != nil {
+		for _, o := range c.origins {
+			if !c.specTargetsOrigin(spec, o.id) {
+				continue
+			}
+			if err := o.host.registerSync(o.id, spec, slot); err != nil {
 				return err
 			}
 		}
 	}
-	c.fanin = stream.NewFanIn(len(c.nodes), clusterFanInBuffer, feedLess,
+	c.fanin = stream.NewFanIn(len(c.origins), clusterFanInBuffer, feedLess,
 		func(ev feedEvent) stream.Timestamp { return ev.ts }, c.deliverEvent)
-	for _, nc := range c.nodes {
+	for _, nc := range c.conns {
 		go nc.readLoop()
+		if c.ioTimeout > 0 {
+			go nc.pinger()
+		}
 	}
 	c.sealed = true
 	return nil
 }
 
-// register ships one spec to one node and waits for its OK.
-func (nc *nodeConn) register(spec regSpec, slot *feedSlot) error {
+// sendSpec encodes and sends one registration spec for one origin.
+func (nc *nodeConn) sendSpec(origin int, spec regSpec, slot *feedSlot) error {
 	nc.enc.reset()
-	var typ byte
 	switch spec.kind {
 	case specDDL:
-		typ = frameExec
+		encodeFor(nc.enc, origin, frameExec)
 		nc.enc.rawstr(spec.script)
 	case specQuery:
-		typ = frameRegister
+		encodeFor(nc.enc, origin, frameRegister)
 		wantRows := slot != nil && slot.deliverRow != nil
 		encodeRegister(nc.enc, spec.slot, spec.name, spec.sql, wantRows)
 	case specSub:
-		typ = frameSub
+		encodeFor(nc.enc, origin, frameSub)
 		encodeSubscribe(nc.enc, spec.slot, spec.stream)
 	}
-	if err := nc.snd.send(typ, nc.enc.bytes()); err != nil {
+	if err := nc.snd.send(frameFor, nc.enc.bytes()); err != nil {
 		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	}
+	return nil
+}
+
+// registerSync ships one spec and waits for its OK synchronously (seal
+// time, before the reader goroutine exists).
+func (nc *nodeConn) registerSync(origin int, spec regSpec, slot *feedSlot) error {
+	if err := nc.sendSpec(origin, spec, slot); err != nil {
+		return err
 	}
 	if err := nc.snd.flush(); err != nil {
 		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
 	}
-	rtyp, payload, err := nc.fr.next()
+	rtyp, payload, err := nc.readSync()
 	if err != nil {
-		return fmt.Errorf("cluster: node %d: registration reply: %w", nc.id, err)
+		return fmt.Errorf("cluster: node %d: registration reply: %w", nc.id, classifyNodeErr(err))
 	}
 	switch rtyp {
 	case frameOK:
@@ -565,25 +770,29 @@ func (c *Client) Flush() error {
 	return c.flushLocked(true)
 }
 
-// flushLocked routes the pending run into per-node batches and sends them,
-// spending credit per batch frame. The heartbeat regimes mirror the
-// sharded engine: idle nodes get a trailing high-water beat per flush
+// flushLocked routes the pending run into per-origin batches and sends
+// them, spending credit per batch frame. The heartbeat regimes mirror the
+// sharded engine: idle origins get a trailing high-water beat per flush
 // (watermark keepalive for the merge tier), and when a pinned query is
-// time-sensitive node 0 additionally observes a beat at every foreign
+// time-sensitive origin 0 additionally observes a beat at every foreign
 // tuple's position.
 //
-// keepalive forces the trailing beat onto every node, busy or not — an
+// keepalive forces the trailing beat onto every origin, busy or not — an
 // exact watermark cut. Explicit Flush and Drain use it; size-triggered
-// flushes do not: a node that received tuples this flush advances its own
-// clock, and beating it anyway costs an O(queries) engine advance per
-// flush per node, which dominates the wire at higher node counts. The
+// flushes do not: an origin that received tuples this flush advances its
+// own clock, and beating it anyway costs an O(queries) engine advance per
+// flush per origin, which dominates the wire at higher node counts. The
 // merge tier tolerates the slightly lagging watermark — rows buffer for
 // at most one flush span longer.
+//
+// A dead host triggers fail-over (when enabled) and the batch retries on
+// the adopting connection; with fail-over disabled the error is
+// node-scoped and the surviving origins still receive their runs.
 func (c *Client) flushLocked(keepalive bool) error {
 	if len(c.pending) == 0 {
 		return nil
 	}
-	n := len(c.nodes)
+	n := len(c.origins)
 	runs := c.outRuns
 	for i := range runs {
 		runs[i] = runs[i][:0]
@@ -614,19 +823,26 @@ func (c *Client) flushLocked(keepalive bool) error {
 			continue // already carries per-tuple beats through maxTS
 		}
 		if !keepalive && len(runs[s]) > 0 {
-			continue // its own tuples advance this node's clock
+			continue // its own tuples advance this origin's clock
 		}
 		runs[s] = appendBeat(runs[s], maxTS)
 	}
-	for s, nc := range c.nodes {
+	var firstErr error
+	for s, o := range c.origins {
 		if len(runs[s]) == 0 {
 			continue
 		}
-		if err := nc.sendBatch(runs[s]); err != nil {
-			return err
+		if err := c.sendOriginRunLocked(o, runs[s]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			var nerr *NodeError
+			if !errors.As(err, &nerr) {
+				return err // cluster-fatal (all nodes down)
+			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // appendBeat appends a heartbeat unless the run already ends at ts.
@@ -637,29 +853,85 @@ func appendBeat(run []stream.Item, ts stream.Timestamp) []stream.Item {
 	return append(run, stream.Heartbeat(ts))
 }
 
-// sendBatch encodes one item run as a Batch frame and sends it under the
-// node's credit gate.
-func (nc *nodeConn) sendBatch(items []stream.Item) error {
-	if err := nc.failed(); err != nil {
-		return err
+// sendOriginRunLocked delivers one item run to an origin's current host,
+// failing over and retrying on the adopting connection when the host is
+// dead. With fail-over disabled a dead host is a node-scoped error.
+func (c *Client) sendOriginRunLocked(o *originState, items []stream.Item) error {
+	for {
+		host := o.host
+		if !host.isDown() {
+			err := host.sendBatchFor(o, items)
+			if err == nil {
+				c.afterBatchLocked(o, host, items)
+				return nil
+			}
+			host.markDown(err)
+		}
+		if !c.failoverEnabled() {
+			return host.nodeErr()
+		}
+		if err := c.failoverLocked(host, nil); err != nil {
+			return err
+		}
 	}
+}
+
+// sendBatchFor encodes one item run as an origin-scoped Batch frame and
+// sends it under the connection's credit gate. Accounting and retention
+// happen in afterBatchLocked, only once the send was accepted.
+func (nc *nodeConn) sendBatchFor(o *originState, items []stream.Item) error {
 	nc.enc.reset()
+	encodeFor(nc.enc, o.id, frameBatch)
 	encodeBatch(nc.enc, items)
 	wire := nc.enc.len() + 1 + frameOverhead
 	if err := nc.gate.spend(wire); err != nil {
-		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
+		return err
 	}
-	if err := nc.snd.send(frameBatch, nc.enc.bytes()); err != nil {
-		return fmt.Errorf("cluster: node %d: %w", nc.id, err)
-	}
+	return nc.snd.send(frameFor, nc.enc.bytes())
+}
+
+// afterBatchLocked records one accepted batch: transport accounting, the
+// per-origin LSN, retention for replay, and the checkpoint cadence. The
+// batch may still be lost in flight — that is exactly what retention and
+// replay-suppression absorb.
+func (c *Client) afterBatchLocked(o *originState, host *nodeConn, items []stream.Item) {
+	ckptDue := false
+	var ckptLSN uint64
+	o.mu.Lock()
 	for _, it := range items {
 		if it.IsHeartbeat() {
-			nc.beatsSent++
+			o.beatsSent++
 		} else {
-			nc.tuplesSent++
+			o.tuplesSent++
 		}
 	}
-	return nil
+	o.lsn++
+	if c.ckptEvery > 0 {
+		o.retained = append(o.retained, retainedBatch{lsn: o.lsn, items: append([]stream.Item(nil), items...)})
+		o.sinceCkpt++
+		if o.sinceCkpt >= c.ckptEvery && !o.ckptPending {
+			o.ckptPending = true
+			o.sinceCkpt = 0
+			ckptDue = true
+			ckptLSN = o.lsn
+		}
+	}
+	o.mu.Unlock()
+	if ckptDue {
+		// Best effort: a failed send means the connection is dying and the
+		// next batch to this origin will fail over anyway.
+		host.sendFor(o.id, frameCkptReq, func(e *wireEnc) { encodeCkptReq(e, ckptLSN) })
+	}
+}
+
+// sendFor sends one origin-scoped control frame.
+func (nc *nodeConn) sendFor(origin int, inner byte, build func(*wireEnc)) error {
+	nc.enc.reset()
+	encodeFor(nc.enc, origin, inner)
+	if build != nil {
+		build(nc.enc)
+	}
+	return nc.snd.send(frameFor, nc.enc.bytes())
 }
 
 func (c *Client) nodeForLocked(t *stream.Tuple) (int, error) {
@@ -672,103 +944,222 @@ func (c *Client) nodeForLocked(t *stream.Tuple) (int, error) {
 		return c.ringv.node(t.Get(rt.keyPos).Hash()), nil
 	case srFree:
 		c.rr++
-		return c.rr % len(c.nodes), nil
+		return c.rr % len(c.origins), nil
 	default:
 		return 0, nil
 	}
 }
 
+func (c *Client) failoverEnabled() bool { return c.ckptEvery > 0 }
+
 // ---- reader -----------------------------------------------------------------
 
 func (nc *nodeConn) readLoop() {
-	defer close(nc.readerDone)
+	err := nc.readFrames()
+	nc.markDown(fmt.Errorf("cluster: node %d: %w", nc.id, err))
+	close(nc.readerDone)
+}
+
+func (nc *nodeConn) readFrames() error {
+	c := nc.c
 	for {
+		if nc.ioTimeout > 0 {
+			nc.conn.SetReadDeadline(time.Now().Add(3 * nc.ioTimeout))
+		}
 		typ, payload, err := nc.fr.next()
 		if err != nil {
-			nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
-			return
+			return err
 		}
 		nc.dec.reset(payload)
 		switch typ {
-		case frameRows:
-			events, err := decodeRows(nc.dec, nc.c.plan.StreamSchema, nc.shapes)
+		case frameFor:
+			origin, inner, err := decodeFor(nc.dec)
 			if err != nil {
-				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
-				return
+				return err
 			}
-			atomic.AddUint64(&nc.rowsRecv, uint64(len(events)))
-			fevs := make([]feedEvent, len(events))
-			for i, ev := range events {
-				nc.seq++
-				ts := ev.row.TS
-				if ev.tup != nil {
-					ts = ev.tup.TS
-				}
-				fevs[i] = feedEvent{slot: ev.slot, row: ev.row, tup: ev.tup, ts: ts, node: nc.id, seq: nc.seq}
+			if origin >= len(c.origins) {
+				return protof("frame for unknown origin %d", origin)
 			}
-			nc.c.fanin.Offer(nc.id, fevs, nc.wm)
-		case frameAck:
-			credit, wm, err := decodeAck(nc.dec)
-			if err != nil {
-				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
-				return
+			if err := nc.readOriginFrame(c.origins[origin], inner); err != nil {
+				return err
 			}
-			nc.gate.refund(credit)
-			if wm > nc.wm {
-				nc.wm = wm
+		case frameOK:
+			select {
+			case nc.ctrl <- nil:
+			default:
+				return protof("unsolicited control reply")
 			}
-			nc.c.fanin.Offer(nc.id, nil, nc.wm)
-		case frameDrainAck:
-			wm, counters, err := decodeDrainAck(nc.dec)
-			if err != nil {
-				nc.fail(fmt.Errorf("cluster: node %d: %w", nc.id, err))
-				return
-			}
-			if wm > nc.wm {
-				nc.wm = wm
-			}
-			nc.c.fanin.Offer(nc.id, nil, nc.wm)
-			nc.drainCh <- drainResult{wm: wm, counters: counters}
 		case frameError:
 			msg, derr := nc.dec.rawstr()
 			if derr != nil {
 				msg = "unreadable error frame"
 			}
-			nc.fail(fmt.Errorf("cluster: node %d: %s", nc.id, msg))
-			return
+			return errors.New(msg)
+		case framePong:
+			// Keepalive response: the read deadline reset is the effect.
 		default:
-			nc.fail(fmt.Errorf("cluster: node %d: %w: unexpected frame %d", nc.id, ErrProtocol, typ))
-			return
+			return fmt.Errorf("%w: unexpected frame %d", ErrProtocol, typ)
 		}
 	}
 }
 
-// fail records a terminal connection error and wakes every waiter.
-func (nc *nodeConn) fail(err error) {
-	nc.errMu.Lock()
-	if nc.err == nil {
-		nc.err = err
-	}
-	nc.errMu.Unlock()
-	nc.gate.fail(err)
-	nc.snd.fail(err)
-	select {
-	case nc.drainCh <- drainResult{err: err}:
+// readOriginFrame handles one origin-scoped frame on the reader goroutine.
+func (nc *nodeConn) readOriginFrame(o *originState, inner byte) error {
+	c := nc.c
+	switch inner {
+	case frameRows:
+		// o.mu is taken before touching o.shapes: the same mutex chain that
+		// hands the origin to an adopting connection publishes the dead
+		// reader's shape-cache writes to this one.
+		o.mu.Lock()
+		events, err := decodeRows(nc.dec, c.plan.StreamSchema, o.shapes)
+		if err != nil {
+			o.mu.Unlock()
+			return err
+		}
+		drop := 0
+		if o.suppress > 0 {
+			drop = len(events)
+			if uint64(drop) > o.suppress {
+				drop = int(o.suppress)
+			}
+			o.suppress -= uint64(drop)
+		}
+		kept := events[drop:]
+		o.rowsRecv += uint64(len(kept))
+		var fevs []feedEvent
+		if len(kept) > 0 {
+			fevs = make([]feedEvent, len(kept))
+			for i, ev := range kept {
+				o.seq++
+				ts := ev.row.TS
+				if ev.tup != nil {
+					ts = ev.tup.TS
+				}
+				fevs[i] = feedEvent{slot: ev.slot, row: ev.row, tup: ev.tup, ts: ts, node: o.id, seq: o.seq}
+			}
+		}
+		wm := o.wm
+		o.mu.Unlock()
+		if len(fevs) > 0 {
+			c.fanin.Offer(o.id, fevs, wm)
+		}
+	case frameAck:
+		credit, wm, err := decodeAck(nc.dec)
+		if err != nil {
+			return err
+		}
+		nc.gate.refund(credit)
+		o.mu.Lock()
+		if wm > o.wm {
+			o.wm = wm
+		}
+		wmNow := o.wm
+		o.mu.Unlock()
+		c.fanin.Offer(o.id, nil, wmNow)
+	case frameDrainAck:
+		wm, counters, err := decodeDrainAck(nc.dec)
+		if err != nil {
+			return err
+		}
+		o.mu.Lock()
+		if wm > o.wm {
+			o.wm = wm
+		}
+		wmNow := o.wm
+		o.mu.Unlock()
+		c.fanin.Offer(o.id, nil, wmNow)
+		select {
+		case o.drainCh <- drainResult{wm: wm, counters: counters}:
+		default:
+			return protof("unsolicited drain ack for origin %d", o.id)
+		}
+	case frameCkpt:
+		lsn, counters, blob, err := decodeSnap(nc.dec)
+		if err != nil {
+			return err
+		}
+		cp := append([]byte(nil), blob...) // blob aliases the frame buffer
+		o.mu.Lock()
+		if lsn >= o.ckptLSN {
+			o.ckptLSN = lsn
+			o.ckptCounters = counters
+			o.ckptBlob = cp
+			i := 0
+			for i < len(o.retained) && o.retained[i].lsn <= lsn {
+				i++
+			}
+			o.retained = append([]retainedBatch(nil), o.retained[i:]...)
+			o.ckptPending = false
+		}
+		o.mu.Unlock()
 	default:
+		return protof("unexpected origin frame %d", inner)
+	}
+	return nil
+}
+
+// pinger keeps the connection's read path alive: one tiny Ping per
+// IOTimeout, so a healthy node always produces bytes inside the reader's
+// 3×IOTimeout deadline even when the feed is idle.
+func (nc *nodeConn) pinger() {
+	t := time.NewTicker(nc.ioTimeout)
+	defer t.Stop()
+	for {
+		select {
+		case <-nc.stop:
+			return
+		case <-t.C:
+			if nc.snd.trySend(framePing, nil) != nil {
+				return
+			}
+		}
 	}
 }
 
-func (nc *nodeConn) failed() error {
+// markDown condemns the connection: classifies and records the cause,
+// wakes every credit/sender waiter, closes the socket (unblocking the
+// reader), and stops the pinger. Idempotent; the first cause wins.
+func (nc *nodeConn) markDown(cause error) {
+	wrapped := classifyNodeErr(cause)
 	nc.errMu.Lock()
-	defer nc.errMu.Unlock()
-	return nc.err
+	if nc.err == nil {
+		nc.err = wrapped
+	} else {
+		wrapped = nc.err
+	}
+	nc.errMu.Unlock()
+	if atomic.CompareAndSwapUint32(&nc.down, 0, 1) {
+		if nc.gate != nil {
+			nc.gate.fail(wrapped)
+		}
+		nc.snd.fail(wrapped)
+		nc.conn.Close()
+		nc.stopOnce.Do(func() { close(nc.stop) })
+	}
+}
+
+func (nc *nodeConn) isDown() bool { return atomic.LoadUint32(&nc.down) != 0 }
+
+// nodeErr reports the connection's terminal error as a node-scoped error.
+func (nc *nodeConn) nodeErr() error {
+	nc.errMu.Lock()
+	err := nc.err
+	nc.errMu.Unlock()
+	if err == nil {
+		err = ErrNodeDown
+	}
+	return &NodeError{Node: nc.id, Addr: nc.addr, Err: err}
 }
 
 // ---- drain / close ----------------------------------------------------------
 
 // Drain flushes everything — including tuples held back by reorder slack —
-// waits for every node's drain acknowledgment, and releases all buffered
-// output in merged order. Accounting from each node lands in Stats().
+// waits for every origin's drain acknowledgment, and releases all buffered
+// output in merged order. Accounting from each origin lands in Stats().
+// A node death during the drain fails over (when enabled) and the drain
+// resends to the adopting connection; with fail-over disabled dead origins
+// contribute a node-scoped error while the survivors still drain.
 func (c *Client) Drain() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -786,36 +1177,102 @@ func (c *Client) Drain() error {
 			return err
 		}
 	}
-	if err := c.flushLocked(true); err != nil {
-		return err
-	}
 	var firstErr error
-	for _, nc := range c.nodes {
-		if err := nc.snd.send(frameDrain, nil); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: node %d: %w", nc.id, err)
-		}
-		if err := nc.snd.flush(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: node %d: %w", nc.id, err)
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	if firstErr != nil {
-		return firstErr
-	}
-	for _, nc := range c.nodes {
-		res := <-nc.drainCh
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
+	record(c.flushLocked(true))
+	// Optimistic broadcast: every live host gets its drains up front so the
+	// round trips overlap; the await loop below resends wherever a host
+	// died in between.
+	sent := make([]*nodeConn, len(c.origins))
+	for _, o := range c.origins {
+		host := o.host
+		if host.isDown() {
+			continue
 		}
-		nc.lastDrain = res.counters
+		if err := host.sendFor(o.id, frameDrain, nil); err == nil {
+			sent[o.id] = host
+		}
 	}
-	if firstErr != nil {
-		return firstErr
+	for _, o := range c.origins {
+		res, err := c.awaitDrainLocked(o, sent[o.id])
+		if err != nil {
+			record(err)
+			continue
+		}
+		o.mu.Lock()
+		o.lastDrain = res.counters
+		cur := o.lsn
+		due := c.ckptEvery > 0 && o.ckptLSN < cur
+		if due {
+			o.ckptPending = true
+			o.sinceCkpt = 0
+		}
+		o.mu.Unlock()
+		if due {
+			// A drain barrier leaves the node idle with every batch applied
+			// (applied == lsn by stream order), so re-arm a checkpoint at the
+			// drained LSN: the retained replay window collapses as soon as
+			// the cut ships back, instead of persisting across quiescence.
+			// Best effort — a failed send means the host is dying and the
+			// next batch fails over anyway.
+			o.host.sendFor(o.id, frameCkptReq, func(e *wireEnc) { encodeCkptReq(e, cur) })
+		}
 	}
-	c.fanin.FlushAll()
-	return nil
+	if c.fanin != nil {
+		c.fanin.FlushAll()
+	}
+	return firstErr
+}
+
+// awaitDrainLocked waits for one origin's drain acknowledgment, failing
+// over and resending when the host dies mid-drain. A host that dies after
+// acking is indistinguishable from one that died before — the resent drain
+// returns identical totals (every batch is applied exactly once in either
+// history), so stale results are simply discarded.
+func (c *Client) awaitDrainLocked(o *originState, sentTo *nodeConn) (drainResult, error) {
+	for round := 0; round <= len(c.conns)+2; round++ {
+		if sentTo == nil || sentTo.isDown() {
+			for {
+				select {
+				case <-o.drainCh:
+					continue
+				default:
+				}
+				break
+			}
+			host := o.host
+			if host.isDown() {
+				if !c.failoverEnabled() {
+					return drainResult{}, host.nodeErr()
+				}
+				if err := c.failoverLocked(host, nil); err != nil {
+					return drainResult{}, err
+				}
+				host = o.host
+			}
+			if err := host.sendFor(o.id, frameDrain, nil); err != nil {
+				host.markDown(err)
+				sentTo = nil
+				continue
+			}
+			sentTo = host
+		}
+		select {
+		case res := <-o.drainCh:
+			return res, nil
+		case <-sentTo.readerDone:
+			sentTo = nil
+		}
+	}
+	return drainResult{}, fmt.Errorf("cluster: origin %d: drain did not settle", o.id)
 }
 
 // Close drains best-effort, says goodbye, and tears the connections down.
+// Idempotent: a second Close returns nil.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -831,15 +1288,16 @@ func (c *Client) Close() error {
 		c.mu.Lock()
 	}
 	c.closed = true
-	for _, nc := range c.nodes {
+	for _, nc := range c.conns {
 		nc.snd.send(frameBye, nil)
 		nc.snd.close()
 		nc.conn.Close()
+		nc.stopOnce.Do(func() { close(nc.stop) })
 	}
 	sealed := c.sealed
 	c.mu.Unlock()
 	if sealed {
-		for _, nc := range c.nodes {
+		for _, nc := range c.conns {
 			<-nc.readerDone
 		}
 	}
@@ -848,37 +1306,45 @@ func (c *Client) Close() error {
 
 // ---- observability ----------------------------------------------------------
 
-// NodeStats is one node's transport accounting, feed side and (as of the
+// NodeStats is one origin's transport accounting, feed side and (as of the
 // last drain) node side.
 type NodeStats struct {
-	Addr         string
+	Addr         string // the origin's original node address
+	Host         int    // connection currently hosting the origin
 	TuplesSent   uint64
 	BeatsSent    uint64
 	RowsReceived uint64
 	Node         NodeCounters
 }
 
-// ClusterStats aggregates per-node accounting.
+// ClusterStats aggregates per-origin accounting.
 type ClusterStats struct {
-	Nodes []NodeStats
+	Nodes     []NodeStats
+	Failovers int
 }
 
 // Stats reports transport accounting. Node-side counters are those shipped
 // with the most recent drain acknowledgment; call Drain first for an exact
 // cut. The soak harness checks the identity TuplesSent == Node.Tuples and
-// RowsReceived == Node.Rows per node.
+// RowsReceived == Node.Rows per origin — an identity that holds across
+// fail-overs, because an adopted engine inherits the dead engine's
+// counters at the checkpoint cut and replayed rows are suppressed before
+// they are counted.
 func (c *Client) Stats() ClusterStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := ClusterStats{}
-	for _, nc := range c.nodes {
+	st := ClusterStats{Failovers: c.failovers}
+	for _, o := range c.origins {
+		o.mu.Lock()
 		st.Nodes = append(st.Nodes, NodeStats{
-			Addr:         nc.addr,
-			TuplesSent:   nc.tuplesSent,
-			BeatsSent:    nc.beatsSent,
-			RowsReceived: atomic.LoadUint64(&nc.rowsRecv),
-			Node:         nc.lastDrain,
+			Addr:         c.conns[o.id].addr,
+			Host:         o.host.id,
+			TuplesSent:   o.tuplesSent,
+			BeatsSent:    o.beatsSent,
+			RowsReceived: o.rowsRecv,
+			Node:         o.lastDrain,
 		})
+		o.mu.Unlock()
 	}
 	return st
 }

@@ -606,7 +606,7 @@ func TestClusterNodeErrorPropagates(t *testing.T) {
 	}
 	defer conn.Close()
 	enc := newWireEnc()
-	encodeHello(enc)
+	encodeHello(enc, 0)
 	if _, err := conn.Write(appendFrame(nil, frameHello, enc.bytes())); err != nil {
 		t.Fatal(err)
 	}
@@ -616,8 +616,9 @@ func TestClusterNodeErrorPropagates(t *testing.T) {
 		t.Fatalf("hello ack: typ=%d err=%v", typ, err)
 	}
 	enc.reset()
+	encodeFor(enc, 0, frameExec)
 	enc.rawstr("CREATE NONSENSE;")
-	if _, err := conn.Write(appendFrame(nil, frameExec, enc.bytes())); err != nil {
+	if _, err := conn.Write(appendFrame(nil, frameFor, enc.bytes())); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload, err := fr.next()

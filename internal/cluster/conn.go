@@ -39,13 +39,22 @@ type sender struct {
 	closed bool
 	busy   bool // writer goroutine mid-Write
 	done   chan struct{}
+
+	// preWrite, when set, runs immediately before each Write syscall on the
+	// writer goroutine — the hook point for write deadlines, so a stalled
+	// peer turns into a timeout error instead of a forever-blocked writer.
+	preWrite func() error
 }
 
 func newSender(w io.Writer, budget int) *sender {
+	return newSenderFunc(w, budget, nil)
+}
+
+func newSenderFunc(w io.Writer, budget int, preWrite func() error) *sender {
 	if budget <= 0 {
 		budget = DefaultCoalesce
 	}
-	s := &sender{w: w, budget: budget, done: make(chan struct{})}
+	s := &sender{w: w, budget: budget, done: make(chan struct{}), preWrite: preWrite}
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
 	return s
@@ -69,7 +78,13 @@ func (s *sender) run() {
 		s.busy = true
 		s.mu.Unlock()
 
-		_, werr := s.w.Write(buf)
+		werr := error(nil)
+		if s.preWrite != nil {
+			werr = s.preWrite()
+		}
+		if werr == nil {
+			_, werr = s.w.Write(buf)
+		}
 
 		s.mu.Lock()
 		s.busy = false
@@ -89,6 +104,23 @@ func (s *sender) send(typ byte, payload []byte) error {
 	for len(s.stage) > s.budget && s.err == nil && !s.closed {
 		s.cond.Wait()
 	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return io.ErrClosedPipe
+	}
+	s.stage = appendFrame(s.stage, typ, payload)
+	s.cond.Broadcast()
+	return nil
+}
+
+// trySend stages one frame without waiting on the budget — for tiny
+// control frames (keepalive pings) that must not block behind a congested
+// data path.
+func (s *sender) trySend(typ byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}

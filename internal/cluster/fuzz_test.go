@@ -30,7 +30,7 @@ func fuzzResolve() func(string) (*stream.Schema, bool) {
 func FuzzDecodeFrame(f *testing.F) {
 	// Valid frames of every payload-bearing type.
 	enc := newWireEnc()
-	encodeHello(enc)
+	encodeHello(enc, 1)
 	f.Add(appendFrame(nil, frameHello, enc.bytes()))
 	enc.reset()
 	encodeHelloAck(enc, DefaultCredit)
@@ -62,6 +62,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	enc.reset()
 	encodeDrainAck(enc, ts(9), NodeCounters{Tuples: 7, Beats: 2, Rows: 3})
 	f.Add(appendFrame(nil, frameDrainAck, enc.bytes()))
+
+	// Availability-layer frames: origin wrapper, checkpoint request, and a
+	// shipped snapshot (opaque blob trailer).
+	enc.reset()
+	encodeFor(enc, 2, frameBatch)
+	encodeBatch(enc, []stream.Item{stream.Of(tp)})
+	f.Add(appendFrame(nil, frameFor, enc.bytes()))
+	enc.reset()
+	encodeFor(enc, 0, frameCkptReq)
+	encodeCkptReq(enc, 42)
+	f.Add(appendFrame(nil, frameFor, enc.bytes()))
+	enc.reset()
+	encodeFor(enc, 1, frameCkpt)
+	encodeSnap(enc, 7, NodeCounters{Tuples: 9, Beats: 1, Rows: 4}, []byte("snapshot-bytes"))
+	f.Add(appendFrame(nil, frameFor, enc.bytes()))
 
 	// Degenerate shapes.
 	f.Add([]byte{})
@@ -102,7 +117,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		dec.reset(payload)
 		switch typ {
 		case frameHello:
-			check(decodeHello(dec))
+			_, err := decodeHello(dec)
+			check(err)
 		case frameHelloAck:
 			_, err := decodeHelloAck(dec)
 			check(err)
@@ -126,6 +142,32 @@ func FuzzDecodeFrame(f *testing.F) {
 			check(err)
 		case frameDrainAck:
 			_, _, err := decodeDrainAck(dec)
+			check(err)
+		case frameFor:
+			_, inner, err := decodeFor(dec)
+			if err != nil {
+				check(err)
+				break
+			}
+			switch inner {
+			case frameBatch:
+				_, err := decodeBatch(dec, resolve, nil)
+				check(err)
+			case frameRows:
+				_, err := decodeRows(dec, resolve, map[int][]string{})
+				check(err)
+			case frameCkptReq:
+				_, err := decodeCkptReq(dec)
+				check(err)
+			case frameCkpt, frameRestore:
+				_, _, _, err := decodeSnap(dec)
+				check(err)
+			}
+		case frameCkptReq:
+			_, err := decodeCkptReq(dec)
+			check(err)
+		case frameCkpt:
+			_, _, _, err := decodeSnap(dec)
 			check(err)
 		}
 	})

@@ -1,18 +1,27 @@
 package cluster
 
-// The engine node: one TCP session hosting a sharded engine. The node is
-// deliberately thin — all placement intelligence lives in the feed — and
-// processes frames synchronously: decode a batch, push it through the
-// engine, drain to a deterministic cut, ship the output rows, acknowledge
-// the batch's bytes back as credit. Backpressure is therefore structural:
-// at most one batch is being processed while the next is in flight.
+// The engine node: one TCP session hosting one engine per *origin* — its
+// own, plus any it adopts when the feed fails a dead peer's work over. The
+// node is deliberately thin: all placement and fail-over intelligence
+// lives in the feed, and the node processes frames synchronously — decode
+// a batch, push it through the addressed engine, drain to a deterministic
+// cut, ship the output rows, acknowledge the batch's bytes back as credit.
+// Backpressure is therefore structural: at most one batch is being
+// processed while the next is in flight.
+//
+// Every v2 data/control frame is origin-scoped (wrapped in a For frame);
+// the availability verbs are Adopt (host a fresh engine for a dead peer's
+// origin), Restore (load a shipped checkpoint into it), and CkptReq (cut a
+// checkpoint at a feed-verified batch LSN and ship it back).
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/esl"
 	"repro/internal/shard"
@@ -23,17 +32,27 @@ import (
 type NodeConfig struct {
 	// Shards is the node-local worker shard count (the node hosts a full
 	// sharded engine, so in-process partitioning composes with cluster
-	// partitioning). 0 means 1.
+	// partitioning). 0 means 1. Adopted engines are built with the same
+	// shard count; a restore shipped from a node with a different count is
+	// rejected by the snapshot codec, the session dies, and the feed
+	// retries the adoption on another survivor — keep counts homogeneous
+	// across a fail-over fleet.
 	Shards int
 	// Credit is the byte credit granted to the feed (0 = DefaultCredit).
 	Credit int
 	// Coalesce is the outbound sender budget (0 = DefaultCoalesce).
 	Coalesce int
+	// IOTimeout bounds socket operations: per-Write deadlines, and a read
+	// deadline of 3×IOTimeout refreshed per frame. The feed pings every
+	// IOTimeout when configured symmetrically, so a healthy-but-idle feed
+	// never trips it, while a vanished feed ends the session instead of
+	// leaking it. 0 disables deadlines.
+	IOTimeout time.Duration
 }
 
-// Node serves feed sessions. Each session gets a fresh engine: the cluster
-// data plane owns no durable state (fail-over and journal shipping are a
-// later layer).
+// Node serves feed sessions. Each session gets fresh engines: the cluster
+// owns no durable node-local state — fail-over ships checkpoints through
+// the feed, which is the retention point.
 type Node struct {
 	cfg NodeConfig
 }
@@ -50,8 +69,9 @@ func NewNode(cfg NodeConfig) *Node {
 }
 
 // ListenAndServe accepts one feed session on l and serves it to completion.
-// One session per process run keeps the harness honest: a node that
-// outlives its feed is a leak, not a feature, while there is no fail-over.
+// One session per process run keeps the harness honest: with IOTimeout set
+// a session whose feed vanishes times out and ends, so the node cannot
+// outlive its feed silently.
 func (n *Node) ListenAndServe(l net.Listener) error {
 	conn, err := l.Accept()
 	if err != nil {
@@ -74,43 +94,19 @@ type nodeEngine interface {
 	PushBatch(items []stream.Item) error
 	Drain() error
 	Now() stream.Timestamp
+	Checkpoint(w io.Writer) error
+	Restore(r io.Reader) error
 }
 
-// Serve runs one feed session over conn until Bye, EOF, or a fatal error.
-func (n *Node) Serve(conn net.Conn) error {
-	var eng nodeEngine
-	if n.cfg.Shards == 1 {
-		eng = esl.New()
-	} else {
-		sh := shard.New(n.cfg.Shards)
-		defer sh.Close()
-		eng = sh
-	}
+// hostedEngine is one origin's engine plus its session-scoped state. All
+// per-origin bookkeeping lives here so an adopted origin is
+// indistinguishable from a native one.
+type hostedEngine struct {
+	eng   nodeEngine
+	close func()
 
-	s := &nodeSession{
-		node:   n,
-		eng:    eng,
-		fr:     frameReader{r: conn},
-		enc:    newWireEnc(),
-		dec:    newWireDec(),
-		snd:    newSender(conn, n.cfg.Coalesce),
-		shapes: map[int]*string{},
-	}
-	defer s.snd.close()
-	err := s.run()
-	if err != nil {
-		s.snd.fail(err)
-	}
-	return err
-}
-
-type nodeSession struct {
-	node *Node
-	eng  nodeEngine
-	fr   frameReader
-	enc  *wireEnc
-	dec  *wireDec
-	snd  *sender
+	applied  uint64 // batches applied (the node-side LSN)
+	counters NodeCounters
 
 	// rows collects engine output between frames. Callbacks arrive on
 	// worker goroutines during PushBatch/Drain; the per-batch drain
@@ -119,15 +115,79 @@ type nodeSession struct {
 	rows   []outEvent
 	shapes map[int]*string
 
-	counters NodeCounters
-	scratch  []stream.Item
-	arena    tupleArena
+	scratch []stream.Item
+	arena   tupleArena
+}
+
+// Serve runs one feed session over conn until Bye, EOF, or a fatal error.
+func (n *Node) Serve(conn net.Conn) error {
+	s := &nodeSession{
+		node:    n,
+		conn:    conn,
+		fr:      frameReader{r: conn},
+		enc:     newWireEnc(),
+		dec:     newWireDec(),
+		engines: map[int]*hostedEngine{},
+	}
+	s.snd = newSenderFunc(conn, n.cfg.Coalesce, s.writeDeadline)
+	defer s.snd.close()
+	defer func() {
+		for _, h := range s.engines {
+			if h.close != nil {
+				h.close()
+			}
+		}
+	}()
+	err := s.run()
+	if err != nil {
+		s.snd.fail(err)
+	}
+	return err
+}
+
+type nodeSession struct {
+	node    *Node
+	conn    net.Conn
+	selfID  int
+	engines map[int]*hostedEngine
+	fr      frameReader
+	enc     *wireEnc
+	dec     *wireDec
+	snd     *sender
+}
+
+func (s *nodeSession) writeDeadline() error {
+	if s.node.cfg.IOTimeout <= 0 {
+		return nil
+	}
+	return s.conn.SetWriteDeadline(time.Now().Add(s.node.cfg.IOTimeout))
+}
+
+// newHosted builds a fresh engine with the node's configured shard count.
+func (s *nodeSession) newHosted() *hostedEngine {
+	h := &hostedEngine{shapes: map[int]*string{}}
+	if s.node.cfg.Shards == 1 {
+		h.eng = esl.New()
+	} else {
+		sh := shard.New(s.node.cfg.Shards)
+		h.eng = sh
+		h.close = func() { sh.Close() }
+	}
+	return h
+}
+
+// next reads one frame under the configured read deadline.
+func (s *nodeSession) next() (byte, []byte, error) {
+	if d := s.node.cfg.IOTimeout; d > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(3 * d))
+	}
+	return s.fr.next()
 }
 
 func (s *nodeSession) run() error {
 	// Hello exchange pins the protocol version before anything is decoded
-	// against interning state.
-	typ, payload, err := s.fr.next()
+	// against interning state, and names this node's own origin.
+	typ, payload, err := s.next()
 	if err != nil {
 		return err
 	}
@@ -135,9 +195,12 @@ func (s *nodeSession) run() error {
 		return protof("expected hello, got frame type %d", typ)
 	}
 	s.dec.reset(payload)
-	if err := decodeHello(s.dec); err != nil {
+	id, err := decodeHello(s.dec)
+	if err != nil {
 		return s.fatal(err)
 	}
+	s.selfID = id
+	s.engines[id] = s.newHosted()
 	s.enc.reset()
 	encodeHelloAck(s.enc, s.node.cfg.Credit)
 	if err := s.snd.send(frameHelloAck, s.enc.bytes()); err != nil {
@@ -145,7 +208,7 @@ func (s *nodeSession) run() error {
 	}
 
 	for {
-		typ, payload, err := s.fr.next()
+		typ, payload, err := s.next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // feed vanished between frames: clean enough
@@ -154,96 +217,16 @@ func (s *nodeSession) run() error {
 		}
 		s.dec.reset(payload)
 		switch typ {
-		case frameExec:
-			script, err := s.dec.rawstr()
+		case frameFor:
+			origin, inner, err := decodeFor(s.dec)
 			if err != nil {
 				return s.fatal(err)
 			}
-			if _, err := s.eng.Exec(script); err != nil {
-				return s.fatal(err)
-			}
-			if err := s.control(frameOK, nil); err != nil {
+			if err := s.originFrame(origin, inner, payload); err != nil {
 				return err
 			}
-		case frameRegister:
-			slot, name, sql, wantRows, err := decodeRegister(s.dec)
-			if err != nil {
-				return s.fatal(err)
-			}
-			var onRow func(esl.Row)
-			if wantRows {
-				onRow = func(row esl.Row) {
-					s.rmu.Lock()
-					s.rows = append(s.rows, outEvent{slot: slot, row: row})
-					s.rmu.Unlock()
-				}
-			}
-			if _, err := s.eng.RegisterQuery(name, sql, onRow); err != nil {
-				return s.fatal(err)
-			}
-			if err := s.control(frameOK, nil); err != nil {
-				return err
-			}
-		case frameSub:
-			slot, streamName, err := decodeSubscribe(s.dec)
-			if err != nil {
-				return s.fatal(err)
-			}
-			if err := s.eng.Subscribe(streamName, func(t *stream.Tuple) {
-				s.rmu.Lock()
-				s.rows = append(s.rows, outEvent{slot: slot, tup: t})
-				s.rmu.Unlock()
-			}); err != nil {
-				return s.fatal(err)
-			}
-			if err := s.control(frameOK, nil); err != nil {
-				return err
-			}
-		case frameBatch:
-			wireBytes := len(payload) + 1 + frameOverhead
-			s.scratch = s.scratch[:0]
-			items, err := decodeBatchArena(s.dec, s.eng.StreamSchema, s.scratch, &s.arena)
-			s.scratch = items
-			if err != nil {
-				return s.fatal(err)
-			}
-			if err := s.dec.finish(); err != nil {
-				return s.fatal(err)
-			}
-			for _, it := range items {
-				if it.IsHeartbeat() {
-					s.counters.Beats++
-				} else {
-					s.counters.Tuples++
-				}
-			}
-			if err := s.eng.PushBatch(items); err != nil {
-				return s.fatal(err)
-			}
-			// Drain to a deterministic cut: all rows for this batch are in
-			// s.rows when Drain returns (worker barrier + combiner flush),
-			// so the Ack watermark can never overrun a pending row.
-			if err := s.eng.Drain(); err != nil {
-				return s.fatal(err)
-			}
-			if err := s.shipRows(); err != nil {
-				return err
-			}
-			s.enc.reset()
-			encodeAck(s.enc, wireBytes, s.eng.Now())
-			if err := s.snd.send(frameAck, s.enc.bytes()); err != nil {
-				return err
-			}
-		case frameDrain:
-			if err := s.eng.Drain(); err != nil {
-				return s.fatal(err)
-			}
-			if err := s.shipRows(); err != nil {
-				return err
-			}
-			s.enc.reset()
-			encodeDrainAck(s.enc, s.eng.Now(), s.counters)
-			if err := s.snd.send(frameDrainAck, s.enc.bytes()); err != nil {
+		case framePing:
+			if err := s.snd.trySend(framePong, nil); err != nil {
 				return err
 			}
 			if err := s.snd.flush(); err != nil {
@@ -257,19 +240,168 @@ func (s *nodeSession) run() error {
 	}
 }
 
+// originFrame dispatches one origin-scoped frame. payload is the full For
+// payload (needed for batch wire-size accounting).
+func (s *nodeSession) originFrame(origin int, inner byte, payload []byte) error {
+	h := s.engines[origin]
+	if inner == frameAdopt {
+		if h != nil {
+			return s.fatal(protof("origin %d is already hosted here", origin))
+		}
+		s.engines[origin] = s.newHosted()
+		return s.control(frameOK, nil)
+	}
+	if h == nil {
+		return s.fatal(protof("frame %d for unhosted origin %d", inner, origin))
+	}
+	switch inner {
+	case frameExec:
+		script, err := s.dec.rawstr()
+		if err != nil {
+			return s.fatal(err)
+		}
+		if _, err := h.eng.Exec(script); err != nil {
+			return s.fatal(err)
+		}
+		return s.control(frameOK, nil)
+	case frameRegister:
+		slot, name, sql, wantRows, err := decodeRegister(s.dec)
+		if err != nil {
+			return s.fatal(err)
+		}
+		var onRow func(esl.Row)
+		if wantRows {
+			onRow = func(row esl.Row) {
+				h.rmu.Lock()
+				h.rows = append(h.rows, outEvent{slot: slot, row: row})
+				h.rmu.Unlock()
+			}
+		}
+		if _, err := h.eng.RegisterQuery(name, sql, onRow); err != nil {
+			return s.fatal(err)
+		}
+		return s.control(frameOK, nil)
+	case frameSub:
+		slot, streamName, err := decodeSubscribe(s.dec)
+		if err != nil {
+			return s.fatal(err)
+		}
+		if err := h.eng.Subscribe(streamName, func(t *stream.Tuple) {
+			h.rmu.Lock()
+			h.rows = append(h.rows, outEvent{slot: slot, tup: t})
+			h.rmu.Unlock()
+		}); err != nil {
+			return s.fatal(err)
+		}
+		return s.control(frameOK, nil)
+	case frameBatch:
+		wireBytes := len(payload) + 1 + frameOverhead
+		h.scratch = h.scratch[:0]
+		items, err := decodeBatchArena(s.dec, h.eng.StreamSchema, h.scratch, &h.arena)
+		h.scratch = items
+		if err != nil {
+			return s.fatal(err)
+		}
+		if err := s.dec.finish(); err != nil {
+			return s.fatal(err)
+		}
+		for _, it := range items {
+			if it.IsHeartbeat() {
+				h.counters.Beats++
+			} else {
+				h.counters.Tuples++
+			}
+		}
+		if err := h.eng.PushBatch(items); err != nil {
+			return s.fatal(err)
+		}
+		// Drain to a deterministic cut: all rows for this batch are in
+		// h.rows when Drain returns (worker barrier + combiner flush), so
+		// the Ack watermark can never overrun a pending row — and a
+		// checkpoint cut after this point captures the batch entirely.
+		if err := h.eng.Drain(); err != nil {
+			return s.fatal(err)
+		}
+		h.applied++
+		if err := s.shipRows(origin, h); err != nil {
+			return err
+		}
+		return s.sendFor(origin, frameAck, func(e *wireEnc) {
+			encodeAck(e, wireBytes, h.eng.Now())
+		})
+	case frameRestore:
+		lsn, counters, blob, err := decodeSnap(s.dec)
+		if err != nil {
+			return s.fatal(err)
+		}
+		if err := h.eng.Restore(bytes.NewReader(blob)); err != nil {
+			return s.fatal(fmt.Errorf("restore origin %d: %w", origin, err))
+		}
+		h.applied = lsn
+		h.counters = counters
+		return s.control(frameOK, nil)
+	case frameCkptReq:
+		lsn, err := decodeCkptReq(s.dec)
+		if err != nil {
+			return s.fatal(err)
+		}
+		// The feed addresses the cut by its own batch LSN; a mismatch means
+		// the two sides disagree about what has been applied, and a
+		// checkpoint cut there would silently corrupt a later replay.
+		if lsn != h.applied {
+			return s.fatal(protof("checkpoint LSN %d does not match applied batch count %d for origin %d", lsn, h.applied, origin))
+		}
+		var buf bytes.Buffer
+		if err := h.eng.Checkpoint(&buf); err != nil {
+			return s.fatal(fmt.Errorf("checkpoint origin %d: %w", origin, err))
+		}
+		if buf.Len()+64 > MaxFrame {
+			return s.fatal(fmt.Errorf("checkpoint origin %d: snapshot (%d bytes) too large to ship in one frame", origin, buf.Len()))
+		}
+		return s.sendFor(origin, frameCkpt, func(e *wireEnc) {
+			encodeSnap(e, h.applied, h.counters, buf.Bytes())
+		})
+	case frameDrain:
+		if err := h.eng.Drain(); err != nil {
+			return s.fatal(err)
+		}
+		if err := s.shipRows(origin, h); err != nil {
+			return err
+		}
+		if err := s.sendFor(origin, frameDrainAck, func(e *wireEnc) {
+			encodeDrainAck(e, h.eng.Now(), h.counters)
+		}); err != nil {
+			return err
+		}
+		return s.snd.flush()
+	default:
+		return s.fatal(protof("unexpected origin frame type %d", inner))
+	}
+}
+
+// sendFor sends one origin-scoped frame built by fn.
+func (s *nodeSession) sendFor(origin int, inner byte, fn func(*wireEnc)) error {
+	s.enc.reset()
+	encodeFor(s.enc, origin, inner)
+	if fn != nil {
+		fn(s.enc)
+	}
+	return s.snd.send(frameFor, s.enc.bytes())
+}
+
 // shipRows encodes and sends the buffered output events, if any.
-func (s *nodeSession) shipRows() error {
-	s.rmu.Lock()
-	events := s.rows
-	s.rows = nil
-	s.rmu.Unlock()
+func (s *nodeSession) shipRows(origin int, h *hostedEngine) error {
+	h.rmu.Lock()
+	events := h.rows
+	h.rows = nil
+	h.rmu.Unlock()
 	if len(events) == 0 {
 		return nil
 	}
-	s.counters.Rows += uint64(len(events))
-	s.enc.reset()
-	encodeRows(s.enc, events, s.shapes)
-	return s.snd.send(frameRows, s.enc.bytes())
+	h.counters.Rows += uint64(len(events))
+	return s.sendFor(origin, frameRows, func(e *wireEnc) {
+		encodeRows(e, events, h.shapes)
+	})
 }
 
 // control sends a registration-path reply and flushes: the feed blocks on

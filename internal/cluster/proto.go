@@ -14,36 +14,47 @@ import (
 
 // ---- hello ------------------------------------------------------------------
 
-func encodeHello(e *wireEnc) {
+// encodeHello opens a session. id is the feed-assigned node id for this
+// connection — it names the connection's *self origin* and lets adopted
+// engines (fail-over) be addressed relative to it.
+func encodeHello(e *wireEnc, id int) {
 	e.buf = append(e.buf, helloMagic...)
 	e.uvarint(Version)
+	e.uvarint(uint64(id))
 }
 
-func decodeHello(d *wireDec) error {
+func decodeHello(d *wireDec) (id int, err error) {
 	if d.remaining() < len(helloMagic) {
-		return ErrTruncated
+		return 0, ErrTruncated
 	}
 	if string(d.buf[d.off:d.off+len(helloMagic)]) != helloMagic {
-		return corruptf("bad hello magic")
+		return 0, corruptf("bad hello magic")
 	}
 	d.off += len(helloMagic)
 	ver, err := d.uvarint()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if ver != Version {
-		return fmt.Errorf("%w: peer speaks v%d, this end v%d", ErrVersion, ver, Version)
+		return 0, fmt.Errorf("%w: peer speaks v%d, this end v%d", ErrVersion, ver, Version)
 	}
-	return nil
+	id64, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if id64 > uint64(maxOrigins) {
+		return 0, protof("node id %d out of range", id64)
+	}
+	return int(id64), nil
 }
 
 func encodeHelloAck(e *wireEnc, credit int) {
-	encodeHello(e)
+	encodeHello(e, 0)
 	e.uvarint(uint64(credit))
 }
 
 func decodeHelloAck(d *wireDec) (credit int, err error) {
-	if err := decodeHello(d); err != nil {
+	if _, err := decodeHello(d); err != nil {
 		return 0, err
 	}
 	c, err := d.uvarint()
@@ -340,6 +351,90 @@ func decodeRows(d *wireDec, resolve func(string) (*stream.Schema, bool), shapes 
 // query count, low enough that a corrupt slot id cannot grow feed-side
 // maps without bound.
 const maxSlots = 1 << 20
+
+// maxOrigins bounds logical origin (node) ids. Origins are assigned densely
+// from the feed's node list, so the bound only screens corrupt frames.
+const maxOrigins = 1 << 16
+
+// ---- fail-over control payloads ---------------------------------------------
+//
+// Fail-over addresses *origins* — logical node slots in the feed's ring —
+// rather than connections. A connection hosts its own origin (the id it was
+// handed in hello) plus any origins it adopted after their node died. Frames
+// that are per-origin travel wrapped in a For frame: uvarint origin, inner
+// type byte, inner payload. Both directions use the same wrapper.
+
+// encodeFor begins a For payload; the caller appends the inner payload to
+// the same encoder immediately after.
+func encodeFor(e *wireEnc, origin int, inner byte) {
+	e.uvarint(uint64(origin))
+	e.byte(inner)
+}
+
+// decodeFor reads the For header; the decoder is left positioned at the
+// inner payload.
+func decodeFor(d *wireDec) (origin int, inner byte, err error) {
+	o, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if o > uint64(maxOrigins) {
+		return 0, 0, protof("origin %d out of range", o)
+	}
+	if inner, err = d.readByte(); err != nil {
+		return 0, 0, err
+	}
+	if inner == frameFor {
+		return 0, 0, protof("nested For frame")
+	}
+	return int(o), inner, nil
+}
+
+// encodeCkptReq asks the hosting node to cut a checkpoint of one origin's
+// engine. lsn is the feed-side batch sequence the engine must have fully
+// applied at the cut — the node verifies it against its own applied count,
+// so a drifted cut surfaces as a protocol error instead of silent row loss
+// after a later restore.
+func encodeCkptReq(e *wireEnc, lsn uint64) {
+	e.uvarint(lsn)
+}
+
+func decodeCkptReq(d *wireDec) (lsn uint64, err error) {
+	if lsn, err = d.uvarint(); err != nil {
+		return 0, err
+	}
+	return lsn, d.finish()
+}
+
+// encodeSnap carries a snapshot blob with its cut coordinates: the batch
+// LSN the engine had applied, the origin's transport counters at the cut,
+// and the engine snapshot itself. The same payload shape serves Ckpt
+// (node -> feed, shipping) and Restore (feed -> node, re-homing).
+func encodeSnap(e *wireEnc, lsn uint64, c NodeCounters, blob []byte) {
+	e.uvarint(lsn)
+	e.uvarint(c.Tuples)
+	e.uvarint(c.Beats)
+	e.uvarint(c.Rows)
+	e.buf = append(e.buf, blob...)
+}
+
+// decodeSnap parses a Ckpt/Restore payload. The returned blob aliases the
+// frame buffer — callers that keep it past the frame must copy.
+func decodeSnap(d *wireDec) (lsn uint64, c NodeCounters, blob []byte, err error) {
+	if lsn, err = d.uvarint(); err != nil {
+		return 0, c, nil, err
+	}
+	if c.Tuples, err = d.uvarint(); err != nil {
+		return 0, c, nil, err
+	}
+	if c.Beats, err = d.uvarint(); err != nil {
+		return 0, c, nil, err
+	}
+	if c.Rows, err = d.uvarint(); err != nil {
+		return 0, c, nil, err
+	}
+	return lsn, c, d.rest(), nil
+}
 
 // ---- control payloads -------------------------------------------------------
 

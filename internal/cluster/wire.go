@@ -4,8 +4,15 @@
 // the shard router's planner-derived partition keys via consistent hashing,
 // so keyed SEQ queries distribute across nodes while pinned/global queries
 // land on node 0 under the same exact-heartbeat contract the in-process
-// sharded engine gives its shard 0. Fail-over and journal shipping are out
-// of scope here — this is the data plane only.
+// sharded engine gives its shard 0.
+//
+// On top of the data plane sits the availability layer: nodes cut periodic
+// per-engine checkpoints at batch-sequence LSNs and ship them back to the
+// feed, the feed retains the in-flight batch window past the last cut, and
+// when a node dies its ring slice re-homes onto a surviving peer as an
+// *adopted engine* — restored from the shipped snapshot, replayed from the
+// retained window, resumed with exactly-once re-emission through the merge
+// tier (see failover.go and DESIGN.md).
 package cluster
 
 import (
@@ -20,7 +27,9 @@ import (
 )
 
 // Version is the wire protocol version negotiated in the hello exchange.
-const Version = 1
+// v2 added the fail-over control plane: node ids in hello, origin-scoped
+// frames, checkpoint shipping, adoption/restore, and keepalive pings.
+const Version = 2
 
 // helloMagic opens both hello payloads; the trailing newline guards against
 // text-mode corruption, same trick as the snapshot file magic.
@@ -56,6 +65,15 @@ const (
 	frameDrainAck byte = 11 // node -> feed: final watermark + accounting
 	frameError    byte = 12 // node -> feed: fatal error text; connection dies
 	frameBye      byte = 13 // feed -> node: orderly shutdown
+
+	// v2 fail-over control plane.
+	frameCkptReq byte = 14 // feed -> node: cut a checkpoint at this LSN
+	frameCkpt    byte = 15 // node -> feed: snapshot blob + counters at the cut
+	frameAdopt   byte = 16 // feed -> node: host a fresh engine for a dead origin
+	frameRestore byte = 17 // feed -> node: restore an adopted engine from a shipped snapshot
+	frameFor     byte = 18 // either direction: origin-scoped wrapper around an inner frame
+	framePing    byte = 19 // feed -> node: keepalive probe
+	framePong    byte = 20 // node -> feed: keepalive response
 )
 
 // Typed wire errors. Callers match with errors.Is; the decoder never panics
@@ -295,6 +313,14 @@ func (d *wireDec) finish() error {
 		return corruptf("%d trailing bytes in frame payload", d.remaining())
 	}
 	return nil
+}
+
+// rest consumes and returns every remaining payload byte. The slice aliases
+// the frame buffer — callers that keep it past the frame must copy.
+func (d *wireDec) rest() []byte {
+	b := d.buf[d.off:]
+	d.off = len(d.buf)
+	return b
 }
 
 func (d *wireDec) uvarint() (uint64, error) {
