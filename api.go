@@ -165,6 +165,24 @@ func WithCheckpointEvery(n int) Option { return esl.WithCheckpointEvery(n) }
 // FsyncPolicy constants.
 func WithFsync(p FsyncPolicy) Option { return esl.WithFsync(p) }
 
+// ---- time travel ---------------------------------------------------------------
+//
+// Every checkpoint names the current state of each table as an immutable
+// version at that checkpoint's LSN. Snapshot queries read any retained
+// version with an AS OF clause —
+//
+//	SELECT * FROM location_history AS OF LSN 2000
+//	SELECT * FROM location_history AS OF TIMESTAMP 30 SECONDS
+//
+// — resolving the anchor down to the newest checkpoint at or before it.
+// Versions survive Engine.Recover: a restored replica serves the same
+// historical reads as the original.
+
+// WithRetainVersions keeps only the newest n checkpoint-cut table versions
+// reachable for AS OF queries (0, the default, retains all). Versions
+// pinned by in-flight readers survive the bound until unpinned.
+func WithRetainVersions(n int) Option { return esl.WithRetainVersions(n) }
+
 // FsyncPolicy selects how eagerly journal appends reach stable storage.
 // Records are group-committed — flushed to the OS at every push-call
 // boundary — so a process crash loses at most the unacknowledged call; the

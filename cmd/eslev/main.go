@@ -108,6 +108,8 @@ func main() {
 		ckptDir := fs.String("checkpoint-dir", "", "journal directory: every pushed item is logged and a snapshot is cut when the run ends")
 		ckptEvery := fs.Int("checkpoint-every", 0, "also cut an automatic snapshot every N journaled records (requires -checkpoint-dir)")
 		restore := fs.Bool("restore", false, "recover state from -checkpoint-dir (snapshot + journal replay) before feeding")
+		query := fs.String("query", "", "run this ad-hoc snapshot SELECT after the feed and print its rows")
+		asOf := fs.String("as-of", "", `AS OF anchor for -query: "LSN 2000" or "30 SECONDS" reads the newest checkpointed table version at or before it`)
 		prof := profileFlags(fs)
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() < 1 {
@@ -115,7 +117,7 @@ func main() {
 		}
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runScript(*shards, *stats, *noRoute, *noMerge, *ckptDir, *ckptEvery, *restore, fs.Arg(0), fs.Args()[1:])
+			err = runScript(*shards, *stats, *noRoute, *noMerge, *ckptDir, *ckptEvery, *restore, *query, *asOf, fs.Arg(0), fs.Args()[1:])
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -139,6 +141,9 @@ func main() {
 		multiquery := fs.Bool("multiquery", false, "sweep registered-query fan-out with routing on/off instead of the shard workloads")
 		queries := fs.String("queries", "1,64,256,1024", "comma-separated query counts for -multiquery")
 		share := fs.String("share", "0,50,90", "comma-separated prefix-share percentages for -multiquery")
+		dbBench := fs.Bool("db", false, "measure stream-DB join probe latency and throughput (legacy vs MVCC arms) instead of the shard workloads")
+		dbSizes := fs.String("db-sizes", "1000,30000,300000", "comma-separated table sizes for -db")
+		dbProbes := fs.Int("db-probes", 200_000, "indexed probes per arm per size for -db")
 		recovery := fs.Bool("recovery", false, "measure checkpoint/journal overhead, snapshot size, and restore latency instead of the shard workloads")
 		ckptEvery := fs.Int("checkpoint-every", 50_000, "automatic snapshot cadence for -recovery, in journaled records")
 		maxOverhead := fs.Float64("max-overhead", 0, "fail -recovery if journaling overhead exceeds this percent (0 = report only)")
@@ -155,6 +160,8 @@ func main() {
 					*failoverCkpt, *clusterReps, *jsonPath, *maxOverhead)
 			case *clusterBench:
 				err = runBenchCluster(*clusterQueries, *events, *clusterBatch, *clusterReps, *clusterNodes, *jsonPath, *minSpeedup, *maxWire)
+			case *dbBench:
+				err = runBenchDB(*dbSizes, *dbProbes, *jsonPath, *baseline, *maxRegress)
 			case *recovery:
 				err = runBenchRecovery(*events, *ckptEvery, *jsonPath, *maxOverhead)
 			case *multiquery:
@@ -246,6 +253,7 @@ func usage() {
   eslev demo examples              run the paper's examples on simulated data
   eslev run [-shards N] [-stats] [-no-route-index] [-no-merge]
             [-checkpoint-dir d] [-checkpoint-every N] [-restore]
+            [-query "SELECT ..."] [-as-of "LSN n" | -as-of "30 SECONDS"]
             [-cpuprofile f] [-memprofile f] [-trace f] script.esl [s=f.csv]
                                    execute a script over CSV streams; -stats
                                    prints per-query routed/skipped counters and
@@ -253,7 +261,9 @@ func usage() {
                                    SEQ query its own automaton; -checkpoint-dir
                                    journals every pushed item and cuts durable
                                    snapshots; -restore first recovers state from
-                                   that directory
+                                   that directory; -query runs an ad-hoc
+                                   snapshot SELECT after the feed, optionally
+                                   AS OF a checkpointed LSN or event time
   eslev bench [-shards 1,2,4] [-batch 1,256] [-events N] [-bench-json out.json]
               [-baseline old.json -max-regress 15] [-cpuprofile f] [-memprofile f] [-trace f]
                                    sweep the sharded-scaling workloads;
@@ -263,6 +273,13 @@ func usage() {
                                    sweep query fan-out and prefix-share ratio:
                                    merged vs independent plans, plus a scan-all
                                    control below 1024 queries
+  eslev bench -db [-db-sizes 1000,30000,300000] [-db-probes N]
+              [-bench-json out.json] [-baseline old.json -max-regress 15]
+                                   measure stream-DB join probes, legacy
+                                   (RWMutex + copy) vs MVCC (pinned version +
+                                   reused buffer) arms; the MVCC indexed probe
+                                   must be allocation-free, and -baseline
+                                   fails the run on probe ns/op regressions
   eslev bench -recovery [-events N] [-checkpoint-every N] [-max-overhead pct]
               [-bench-json out.json]
                                    measure journaling overhead, snapshot size,
@@ -657,13 +674,19 @@ type engineLike interface {
 // checkpoint directory, every pushed item is journaled and a durable
 // snapshot is cut when the run ends; -restore recovers the previous run's
 // state (snapshot + journal suffix) before any CSV row is fed.
-func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEvery int, restore bool, path string, feeds []string) error {
+func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEvery int, restore bool, query, asOf string, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	if restore && ckptDir == "" {
 		return fmt.Errorf("-restore requires -checkpoint-dir")
+	}
+	if asOf != "" && query == "" {
+		return fmt.Errorf("-as-of requires -query")
+	}
+	if query != "" && shards > 1 {
+		return fmt.Errorf("-query needs the serial engine (tables live on one node)")
 	}
 	if ckptEvery > 0 && ckptDir == "" {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
@@ -721,6 +744,17 @@ func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEve
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "eslev: checkpoint cut in %s\n", ckptDir)
+	}
+	if query != "" {
+		en := e.(*eslev.Engine)
+		rows, err := en.QueryAsOf(query, asOf)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Fprintf(os.Stderr, "eslev: query returned %d rows\n", len(rows))
 	}
 	if stats {
 		if se, ok := e.(*eslev.ShardedEngine); ok {

@@ -1,21 +1,28 @@
 // Package db implements the in-memory persistent tables that ESL-EV
 // stream–DB spanning queries read and update: context retrieval (meta-data
 // lookup for tag IDs), movement-history tracking (Example 2), and any other
-// TABLE declared in an ESL-EV script. Tables support hash indexes on single
-// columns, predicate scans in deterministic insertion order, and are safe
-// for concurrent readers (ad-hoc snapshot queries) alongside the engine's
-// single writer.
+// TABLE declared in an ESL-EV script.
+//
+// Tables are MVCC: every mutation publishes a new immutable Version (see
+// version.go) through an atomic pointer, so any number of concurrent
+// readers — continuous-query join probes, ad-hoc snapshot queries, AS OF
+// historical reads — proceed lock-free against a consistent state while
+// the single writer advances the head. Versions cut at checkpoint LSNs
+// (CutVersion) are retained for time-travel queries until watermark GC
+// (ReleaseBefore) passes them.
 package db
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stream"
 )
 
-// Row is one stored record. Vals must be treated as immutable by readers;
-// updates replace the slice.
+// Row is one stored record. Rows are immutable once published: updates
+// replace the row object, so a reader holding a *Row from any version sees
+// that version's values forever.
 type Row struct {
 	ID   uint64
 	Vals []stream.Value
@@ -29,41 +36,37 @@ func (r *Row) Get(i int) stream.Value {
 	return r.Vals[i]
 }
 
-// Table is an indexed, insertion-ordered in-memory relation.
+// Table is an indexed, insertion-ordered in-memory relation with MVCC
+// versioning. Readers are lock-free (Head / Scan / LookupEqual / Probe);
+// writers serialize on an internal mutex that readers never touch.
 type Table struct {
-	mu      sync.RWMutex
-	schema  *stream.Schema
-	rows    []*Row
-	byID    map[uint64]int // row id -> position in rows
-	nextID  uint64
-	indexes map[int]*index // column position -> index
-}
+	schema *stream.Schema
+	head   atomic.Pointer[Version]
 
-type index struct {
-	col     int
-	buckets map[uint64][]*Row
+	mu        sync.Mutex // serializes writers; guards cuts/watermark
+	cuts      []cut      // named versions, ascending LSN
+	watermark uint64
 }
 
 // NewTable builds an empty table with the given schema.
 func NewTable(schema *stream.Schema) *Table {
-	return &Table{
-		schema:  schema,
-		byID:    make(map[uint64]int),
-		indexes: make(map[int]*index),
-	}
+	t := &Table{schema: schema}
+	t.head.Store(&Version{tbl: t})
+	return t
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *stream.Schema { return t.schema }
 
+// Head returns the current version: one atomic load pins a consistent
+// snapshot of the whole table for as long as the caller holds it.
+func (t *Table) Head() *Version { return t.head.Load() }
+
 // Len returns the current row count.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
-}
+func (t *Table) Len() int { return t.head.Load().nrows }
 
 // CreateIndex builds (or rebuilds) a hash index on the named column.
+// Versions published before the index exists keep answering by scan.
 func (t *Table) CreateIndex(col string) error {
 	pos, ok := t.schema.Col(col)
 	if !ok {
@@ -71,158 +74,190 @@ func (t *Table) CreateIndex(col string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := &index{col: pos, buckets: make(map[uint64][]*Row)}
-	for _, r := range t.rows {
-		idx.add(r)
+	h := t.head.Load()
+	var root *hnode
+	h.Each(func(r *Row) bool {
+		root = hinsert(root, 0, r.Vals[pos].Hash(), r)
+		return true
+	})
+	indexes := make([]colIndex, 0, len(h.indexes)+1)
+	for _, ix := range h.indexes {
+		if ix.pos != pos {
+			indexes = append(indexes, ix)
+		}
 	}
-	t.indexes[pos] = idx
+	indexes = append(indexes, colIndex{pos: pos, root: root})
+	t.head.Store(&Version{tbl: t, spine: h.spine, nrows: h.nrows, nextID: h.nextID, indexes: indexes})
 	return nil
 }
 
-func (ix *index) add(r *Row) {
-	h := r.Vals[ix.col].Hash()
-	ix.buckets[h] = append(ix.buckets[h], r)
-}
-
-func (ix *index) remove(r *Row) {
-	h := r.Vals[ix.col].Hash()
-	b := ix.buckets[h]
-	for i, x := range b {
-		if x == r {
-			b[i] = b[len(b)-1]
-			b = b[:len(b)-1]
-			break
-		}
-	}
-	if len(b) == 0 {
-		delete(ix.buckets, h)
-	} else {
-		ix.buckets[h] = b
-	}
-}
-
-// Insert validates and appends a row, returning its id.
+// Insert validates and appends a row, returning its id. The new row is
+// written into spine/chunk slots beyond every published version's reach,
+// so no chunk is copied: an append costs one Row, one Version, and one
+// index path-copy per index.
 func (t *Table) Insert(vals []stream.Value) (uint64, error) {
 	if err := t.schema.Validate(vals); err != nil {
 		return 0, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.nextID++
-	r := &Row{ID: t.nextID, Vals: append([]stream.Value(nil), vals...)}
-	t.byID[r.ID] = len(t.rows)
-	t.rows = append(t.rows, r)
-	for _, ix := range t.indexes {
-		ix.add(r)
+	h := t.head.Load()
+	r := &Row{ID: h.nextID + 1, Vals: append([]stream.Value(nil), vals...)}
+	spine := h.spine
+	if h.nrows&chunkMask == 0 {
+		ch := &chunk{}
+		ch.rows[0] = r
+		spine = append(spine, ch)
+	} else {
+		spine[h.nrows>>chunkShift].rows[h.nrows&chunkMask] = r
 	}
+	indexes := h.indexes
+	if len(indexes) > 0 {
+		indexes = make([]colIndex, len(h.indexes))
+		copy(indexes, h.indexes)
+		for i := range indexes {
+			ix := &indexes[i]
+			ix.root = hinsert(ix.root, 0, r.Vals[ix.pos].Hash(), r)
+		}
+	}
+	t.head.Store(&Version{tbl: t, spine: spine, nrows: h.nrows + 1, nextID: r.ID, indexes: indexes})
 	return r.ID, nil
 }
 
-// Scan visits all rows in insertion order; fn returning false stops. The
-// table lock is held for reading throughout, so fn must not call mutating
-// table methods.
+// Scan visits all rows of the current version in insertion order; fn
+// returning false stops. No lock is held: fn may freely call mutating
+// table methods, whose effects the scan will not observe.
 func (t *Table) Scan(fn func(*Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, r := range t.rows {
-		if !fn(r) {
-			return
-		}
-	}
+	t.head.Load().Each(fn)
 }
 
 // LookupEqual returns rows whose column equals v, using a hash index when
 // one exists and falling back to a scan otherwise. The result slice is
-// fresh and owned by the caller; rows appear in arbitrary (indexed) or
-// insertion (scanned) order.
+// fresh and owned by the caller; hot paths should use Version.Probe with a
+// reused buffer instead.
 func (t *Table) LookupEqual(col string, v stream.Value) ([]*Row, error) {
 	pos, ok := t.schema.Col(col)
 	if !ok {
 		return nil, fmt.Errorf("db: table %s: no column %q", t.schema.Name(), col)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if ix, indexed := t.indexes[pos]; indexed {
-		var out []*Row
-		for _, r := range ix.buckets[v.Hash()] {
-			if r.Vals[pos].Equal(v) {
-				out = append(out, r)
-			}
-		}
-		return out, nil
-	}
-	var out []*Row
-	for _, r := range t.rows {
-		if r.Vals[pos].Equal(v) {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return t.head.Load().Probe(pos, v, nil), nil
 }
 
-// Update applies set (column position -> new value) to every row satisfying
-// pred and returns the number updated.
+// Update applies set (column position -> new value) to every row
+// satisfying pred and returns the number updated. Only chunks holding
+// updated rows are copied; indexes on columns outside set keep their keys
+// and get a pointer swap (hreplace) instead of a remove/re-add.
 func (t *Table) Update(pred func(*Row) bool, set map[int]stream.Value) (int, error) {
+	for pos, v := range set {
+		if pos < 0 || pos >= len(t.schema.Fields()) {
+			return 0, fmt.Errorf("db: table %s: update position %d out of range", t.schema.Name(), pos)
+		}
+		if !t.schema.Fields()[pos].Type.Admits(v.Kind()) {
+			return 0, fmt.Errorf("db: table %s: column %s cannot hold %s",
+				t.schema.Name(), t.schema.Fields()[pos].Name, v.Kind())
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	h := t.head.Load()
+	var spine []*chunk     // lazily COW'd on first hit
+	var indexes []colIndex // lazily copied with spine
 	n := 0
-	for _, r := range t.rows {
+	for i := 0; i < h.nrows; i++ {
+		r := h.spine[i>>chunkShift].rows[i&chunkMask]
 		if !pred(r) {
 			continue
 		}
 		vals := append([]stream.Value(nil), r.Vals...)
 		for pos, v := range set {
-			if pos < 0 || pos >= len(vals) {
-				return n, fmt.Errorf("db: table %s: update position %d out of range", t.schema.Name(), pos)
-			}
-			if !t.schema.Fields()[pos].Type.Admits(v.Kind()) {
-				return n, fmt.Errorf("db: table %s: column %s cannot hold %s",
-					t.schema.Name(), t.schema.Fields()[pos].Name, v.Kind())
-			}
 			vals[pos] = v
 		}
-		for _, ix := range t.indexes {
-			ix.remove(r)
+		nr := &Row{ID: r.ID, Vals: vals}
+		if spine == nil {
+			spine = make([]*chunk, len(h.spine))
+			copy(spine, h.spine)
+			indexes = make([]colIndex, len(h.indexes))
+			copy(indexes, h.indexes)
 		}
-		r.Vals = vals
-		for _, ix := range t.indexes {
-			ix.add(r)
+		ci := i >> chunkShift
+		if spine[ci] == h.spine[ci] {
+			cc := &chunk{}
+			*cc = *h.spine[ci]
+			spine[ci] = cc
+		}
+		spine[ci].rows[i&chunkMask] = nr
+		for j := range indexes {
+			ix := &indexes[j]
+			if _, touched := set[ix.pos]; touched {
+				ix.root = hremove(ix.root, 0, r.Vals[ix.pos].Hash(), r)
+				ix.root = hinsert(ix.root, 0, nr.Vals[ix.pos].Hash(), nr)
+			} else {
+				ix.root = hreplace(ix.root, 0, r.Vals[ix.pos].Hash(), r, nr)
+			}
 		}
 		n++
+	}
+	if n > 0 {
+		t.head.Store(&Version{tbl: t, spine: spine, nrows: h.nrows, nextID: h.nextID, indexes: indexes})
 	}
 	return n, nil
 }
 
 // Delete removes every row satisfying pred and returns the number removed.
+// Chunks wholly before the first removal are shared with the old version;
+// only the suffix from the first removal onward is repacked, so cost is
+// proportional to the tail, not the table.
 func (t *Table) Delete(pred func(*Row) bool) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	kept := t.rows[:0]
-	n := 0
-	for _, r := range t.rows {
+	h := t.head.Load()
+	var spine []*chunk
+	var indexes []colIndex
+	n, kept := 0, 0
+	for i := 0; i < h.nrows; i++ {
+		r := h.spine[i>>chunkShift].rows[i&chunkMask]
 		if pred(r) {
-			for _, ix := range t.indexes {
-				ix.remove(r)
+			if spine == nil {
+				nfull := i >> chunkShift
+				spine = make([]*chunk, nfull, len(h.spine))
+				copy(spine, h.spine[:nfull])
+				if i&chunkMask != 0 {
+					cc := &chunk{}
+					copy(cc.rows[:i&chunkMask], h.spine[nfull].rows[:i&chunkMask])
+					spine = append(spine, cc)
+				}
+				kept = i
+				indexes = make([]colIndex, len(h.indexes))
+				copy(indexes, h.indexes)
 			}
-			delete(t.byID, r.ID)
+			for j := range indexes {
+				ix := &indexes[j]
+				ix.root = hremove(ix.root, 0, r.Vals[ix.pos].Hash(), r)
+			}
 			n++
 			continue
 		}
-		kept = append(kept, r)
+		if spine != nil {
+			if kept&chunkMask == 0 {
+				spine = append(spine, &chunk{})
+			}
+			spine[kept>>chunkShift].rows[kept&chunkMask] = r
+			kept++
+		}
 	}
-	t.rows = kept
-	for i, r := range t.rows {
-		t.byID[r.ID] = i
+	if n == 0 {
+		return 0
 	}
+	t.head.Store(&Version{tbl: t, spine: spine, nrows: kept, nextID: h.nextID, indexes: indexes})
 	return n
 }
 
 // Snapshot returns a copy of all rows (values shared, slice fresh), giving
-// ad-hoc queries a stable view.
+// ad-hoc callers a stable view. Hot paths should hold a Version from Head
+// instead — a pinned version is the snapshot, with no copy at all.
 func (t *Table) Snapshot() []*Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append([]*Row(nil), t.rows...)
+	h := t.head.Load()
+	return h.AppendAll(make([]*Row, 0, h.nrows))
 }
 
 // Store is a named-table registry: the "persistent database" side of the
@@ -267,4 +302,26 @@ func (s *Store) Names() []string {
 		names = append(names, n)
 	}
 	return names
+}
+
+// CutVersions names the current head of every table as the state at
+// checkpoint lsn (see Table.CutVersion).
+func (s *Store) CutVersions(lsn uint64, ts stream.Timestamp) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tables {
+		t.CutVersion(lsn, ts)
+	}
+}
+
+// ReleaseBefore advances every table's retention watermark to lsn,
+// returning the total number of named versions released.
+func (s *Store) ReleaseBefore(lsn uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, t := range s.tables {
+		n += t.ReleaseBefore(lsn)
+	}
+	return n
 }

@@ -1,0 +1,208 @@
+package db
+
+import "math/bits"
+
+// A persistent hash array mapped trie keyed by stream.Value.Hash(). It is
+// the index half of a table version: probes walk bitmap-packed nodes
+// without locking or allocating, and writers path-copy the 2-4 nodes from
+// root to leaf so every published version keeps its own consistent index
+// while sharing everything it didn't touch.
+//
+// Keys are full 64-bit hashes consumed 6 bits per level (11 levels max);
+// distinct values that collide on the full hash share one leaf and are
+// told apart by Value.Equal at probe time.
+
+const (
+	hamtBits = 6
+	hamtMask = (1 << hamtBits) - 1
+)
+
+// hleaf holds every row whose indexed column hashes to hash.
+type hleaf struct {
+	hash uint64
+	rows []*Row
+}
+
+// hchild is one packed slot: a branch when node is non-nil, else a leaf.
+type hchild struct {
+	node *hnode
+	leaf *hleaf
+}
+
+type hnode struct {
+	bitmap uint64
+	kids   []hchild // packed in bit order; len == popcount(bitmap)
+}
+
+func (n *hnode) slot(bit uint64) int {
+	return bits.OnesCount64(n.bitmap & (bit - 1))
+}
+
+// hlookup returns the leaf for hash, or nil. Allocation-free.
+func hlookup(n *hnode, hash uint64) *hleaf {
+	shift := uint(0)
+	for n != nil {
+		bit := uint64(1) << ((hash >> shift) & hamtMask)
+		if n.bitmap&bit == 0 {
+			return nil
+		}
+		c := &n.kids[n.slot(bit)]
+		if c.leaf != nil {
+			if c.leaf.hash == hash {
+				return c.leaf
+			}
+			return nil
+		}
+		n = c.node
+		shift += hamtBits
+	}
+	return nil
+}
+
+// hinsert returns a new root with r filed under hash. No existing node is
+// mutated; the path from root to the touched leaf is copied.
+func hinsert(n *hnode, shift uint, hash uint64, r *Row) *hnode {
+	if n == nil {
+		return &hnode{
+			bitmap: 1 << ((hash >> shift) & hamtMask),
+			kids:   []hchild{{leaf: &hleaf{hash: hash, rows: []*Row{r}}}},
+		}
+	}
+	bit := uint64(1) << ((hash >> shift) & hamtMask)
+	i := n.slot(bit)
+	if n.bitmap&bit == 0 {
+		nn := &hnode{bitmap: n.bitmap | bit, kids: make([]hchild, len(n.kids)+1)}
+		copy(nn.kids[:i], n.kids[:i])
+		nn.kids[i] = hchild{leaf: &hleaf{hash: hash, rows: []*Row{r}}}
+		copy(nn.kids[i+1:], n.kids[i:])
+		return nn
+	}
+	nn := &hnode{bitmap: n.bitmap, kids: make([]hchild, len(n.kids))}
+	copy(nn.kids, n.kids)
+	c := n.kids[i]
+	switch {
+	case c.node != nil:
+		nn.kids[i] = hchild{node: hinsert(c.node, shift+hamtBits, hash, r)}
+	case c.leaf.hash == hash:
+		rows := make([]*Row, len(c.leaf.rows)+1)
+		copy(rows, c.leaf.rows)
+		rows[len(rows)-1] = r
+		nn.kids[i] = hchild{leaf: &hleaf{hash: hash, rows: rows}}
+	default:
+		// Two hashes share this 6-bit group: push the resident leaf one
+		// level down and re-insert under it.
+		sub := &hnode{
+			bitmap: 1 << ((c.leaf.hash >> (shift + hamtBits)) & hamtMask),
+			kids:   []hchild{{leaf: c.leaf}},
+		}
+		nn.kids[i] = hchild{node: hinsert(sub, shift+hamtBits, hash, r)}
+	}
+	return nn
+}
+
+// hremove returns a root without row r (pointer identity) under hash.
+// Returns n unchanged if r is absent.
+func hremove(n *hnode, shift uint, hash uint64, r *Row) *hnode {
+	if n == nil {
+		return nil
+	}
+	bit := uint64(1) << ((hash >> shift) & hamtMask)
+	if n.bitmap&bit == 0 {
+		return n
+	}
+	i := n.slot(bit)
+	c := n.kids[i]
+	if c.node != nil {
+		sub := hremove(c.node, shift+hamtBits, hash, r)
+		if sub == c.node {
+			return n
+		}
+		if sub == nil {
+			return hdrop(n, bit, i)
+		}
+		nn := &hnode{bitmap: n.bitmap, kids: make([]hchild, len(n.kids))}
+		copy(nn.kids, n.kids)
+		nn.kids[i] = hchild{node: sub}
+		return nn
+	}
+	if c.leaf.hash != hash {
+		return n
+	}
+	at := -1
+	for j, x := range c.leaf.rows {
+		if x == r {
+			at = j
+			break
+		}
+	}
+	if at < 0 {
+		return n
+	}
+	if len(c.leaf.rows) == 1 {
+		return hdrop(n, bit, i)
+	}
+	rows := make([]*Row, 0, len(c.leaf.rows)-1)
+	rows = append(rows, c.leaf.rows[:at]...)
+	rows = append(rows, c.leaf.rows[at+1:]...)
+	nn := &hnode{bitmap: n.bitmap, kids: make([]hchild, len(n.kids))}
+	copy(nn.kids, n.kids)
+	nn.kids[i] = hchild{leaf: &hleaf{hash: hash, rows: rows}}
+	return nn
+}
+
+// hdrop removes child slot i (bit) from n, collapsing to nil when empty.
+func hdrop(n *hnode, bit uint64, i int) *hnode {
+	if len(n.kids) == 1 {
+		return nil
+	}
+	nn := &hnode{bitmap: n.bitmap &^ bit, kids: make([]hchild, len(n.kids)-1)}
+	copy(nn.kids[:i], n.kids[:i])
+	copy(nn.kids[i:], n.kids[i+1:])
+	return nn
+}
+
+// hreplace swaps old for nr in the leaf under hash, path-copying. The key
+// is unchanged, so unlike remove+insert it never rehashes or rebuckets —
+// this is the cheap maintenance path for indexes whose column an UPDATE
+// did not touch. Returns n unchanged if old is absent.
+func hreplace(n *hnode, shift uint, hash uint64, old, nr *Row) *hnode {
+	if n == nil {
+		return nil
+	}
+	bit := uint64(1) << ((hash >> shift) & hamtMask)
+	if n.bitmap&bit == 0 {
+		return n
+	}
+	i := n.slot(bit)
+	c := n.kids[i]
+	if c.node != nil {
+		sub := hreplace(c.node, shift+hamtBits, hash, old, nr)
+		if sub == c.node {
+			return n
+		}
+		nn := &hnode{bitmap: n.bitmap, kids: make([]hchild, len(n.kids))}
+		copy(nn.kids, n.kids)
+		nn.kids[i] = hchild{node: sub}
+		return nn
+	}
+	if c.leaf.hash != hash {
+		return n
+	}
+	at := -1
+	for j, x := range c.leaf.rows {
+		if x == old {
+			at = j
+			break
+		}
+	}
+	if at < 0 {
+		return n
+	}
+	rows := make([]*Row, len(c.leaf.rows))
+	copy(rows, c.leaf.rows)
+	rows[at] = nr
+	nn := &hnode{bitmap: n.bitmap, kids: make([]hchild, len(n.kids))}
+	copy(nn.kids, n.kids)
+	nn.kids[i] = hchild{leaf: &hleaf{hash: hash, rows: rows}}
+	return nn
+}

@@ -2,24 +2,109 @@ package db
 
 import (
 	"repro/internal/snapshot"
+	"repro/internal/stream"
 )
 
-// Save serializes the table contents: rows in insertion order plus the id
-// counter. Indexes are structural (rebuilt from the schema's CREATE INDEX
-// on restore) and the byID map is derived, so neither is written.
+// Table sections encode the whole version history, not just the head: every
+// named version (checkpoint cut) plus the current state, delta-compressed
+// against its predecessor. Distinct rows are interned once (first-appearance
+// order) and versions reference them by id, so the structural sharing that
+// keeps the in-memory history cheap is preserved on the wire and rebuilt on
+// restore — a restored replica serves AS OF reads at any retained LSN.
+//
+// Layout (inside the engine snapshot body):
+//
+//	nextID
+//	nInterned, then per row: ID, Values
+//	watermark
+//	nCuts
+//	per version, oldest cut -> newest cut -> head:
+//	  (cuts only) lsn, ts
+//	  sharedPrefix (row count shared with the previous encoded version)
+//	  nrows
+//	  row refs for positions [sharedPrefix, nrows)
+//
+// Encoding is deterministic given the version chain, so encode -> decode ->
+// encode is byte-identical (the codec fuzz property).
+
+// sharedPrefix returns the length of the longest common row-pointer prefix
+// of a and b, skipping chunk-at-a-time where the spines share storage.
+func sharedPrefix(a, b *Version) int {
+	n := a.nrows
+	if b.nrows < n {
+		n = b.nrows
+	}
+	i := 0
+	for i < n {
+		if a.spine[i>>chunkShift] == b.spine[i>>chunkShift] {
+			i += chunkSize - (i & chunkMask)
+			continue
+		}
+		if a.spine[i>>chunkShift].rows[i&chunkMask] != b.spine[i>>chunkShift].rows[i&chunkMask] {
+			break
+		}
+		i++
+	}
+	if i > n {
+		i = n
+	}
+	return i
+}
+
+// Save serializes the table: interned rows, then every named version and
+// the head as deltas. Indexes are structural (rebuilt from the schema's
+// CREATE INDEX on restore) and are not written.
 func (t *Table) Save(enc *snapshot.Encoder) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	enc.Uvarint(t.nextID)
-	enc.Uvarint(uint64(len(t.rows)))
-	for _, r := range t.rows {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.head.Load()
+	versions := make([]*Version, 0, len(t.cuts)+1)
+	for _, c := range t.cuts {
+		versions = append(versions, c.v)
+	}
+	versions = append(versions, h)
+
+	ids := make(map[*Row]uint64)
+	var order []*Row
+	prefixes := make([]int, len(versions))
+	prev := &Version{}
+	for vi, v := range versions {
+		p := sharedPrefix(prev, v)
+		prefixes[vi] = p
+		for i := p; i < v.nrows; i++ {
+			r := v.At(i)
+			if _, seen := ids[r]; !seen {
+				ids[r] = uint64(len(order) + 1)
+				order = append(order, r)
+			}
+		}
+		prev = v
+	}
+
+	enc.Uvarint(h.nextID)
+	enc.Uvarint(uint64(len(order)))
+	for _, r := range order {
 		enc.Uvarint(r.ID)
 		enc.Values(r.Vals)
 	}
+	enc.Uvarint(t.watermark)
+	enc.Uvarint(uint64(len(t.cuts)))
+	for vi, v := range versions {
+		if vi < len(t.cuts) {
+			enc.Uvarint(t.cuts[vi].lsn)
+			enc.TS(t.cuts[vi].ts)
+		}
+		enc.Uvarint(uint64(prefixes[vi]))
+		enc.Uvarint(uint64(v.nrows))
+		for i := prefixes[vi]; i < v.nrows; i++ {
+			enc.Uvarint(ids[v.At(i)])
+		}
+	}
 }
 
-// Load replaces the table contents with the serialized rows, rebuilding the
-// id map and any indexes created on this table.
+// Load replaces the table contents with the serialized version history,
+// rebuilding spines with structural sharing (pure-append deltas extend the
+// predecessor in place) and one index per column indexed on this table.
 func (t *Table) Load(dec *snapshot.Decoder) error {
 	nextID, err := dec.Uvarint()
 	if err != nil {
@@ -29,7 +114,7 @@ func (t *Table) Load(dec *snapshot.Decoder) error {
 	if err != nil {
 		return err
 	}
-	rows := make([]*Row, 0, n)
+	interned := make([]*Row, n)
 	for i := 0; i < n; i++ {
 		id, err := dec.Uvarint()
 		if err != nil {
@@ -43,22 +128,144 @@ func (t *Table) Load(dec *snapshot.Decoder) error {
 			return snapshot.Mismatchf("table %s row has %d values, schema has %d columns",
 				t.schema.Name(), len(vals), len(t.schema.Fields()))
 		}
-		rows = append(rows, &Row{ID: id, Vals: vals})
+		interned[i] = &Row{ID: id, Vals: vals}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.nextID = nextID
-	t.rows = rows
-	t.byID = make(map[uint64]int, n)
-	for i, r := range rows {
-		t.byID[r.ID] = i
+	watermark, err := dec.Uvarint()
+	if err != nil {
+		return err
 	}
-	for pos := range t.indexes {
-		fresh := &index{col: pos, buckets: make(map[uint64][]*Row)}
-		for _, r := range rows {
-			fresh.add(r)
+	ncuts, err := dec.Len()
+	if err != nil {
+		return err
+	}
+
+	// Index set comes from the live table (CREATE INDEX DDL re-ran before
+	// restore); every rebuilt version carries the same columns.
+	positions := make([]int, 0, len(t.head.Load().indexes))
+	for _, ix := range t.head.Load().indexes {
+		positions = append(positions, ix.pos)
+	}
+
+	cuts := make([]cut, 0, ncuts)
+	prev := &Version{tbl: t, indexes: make([]colIndex, len(positions))}
+	for i, pos := range positions {
+		prev.indexes[i] = colIndex{pos: pos}
+	}
+	var lastLSN uint64
+	for vi := 0; vi <= ncuts; vi++ {
+		var lsn uint64
+		var ts stream.Timestamp
+		if vi < ncuts {
+			if lsn, err = dec.Uvarint(); err != nil {
+				return err
+			}
+			if vi > 0 && lsn <= lastLSN {
+				return snapshot.Corruptf("table %s versions out of order: lsn %d after %d",
+					t.schema.Name(), lsn, lastLSN)
+			}
+			lastLSN = lsn
+			if ts, err = dec.TS(); err != nil {
+				return err
+			}
 		}
-		t.indexes[pos] = fresh
+		prefix, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		nrows, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		if prefix > uint64(prev.nrows) || prefix > nrows {
+			return snapshot.Corruptf("table %s version prefix %d exceeds bounds (prev %d rows, this %d)",
+				t.schema.Name(), prefix, prev.nrows, nrows)
+		}
+		delta := nrows - prefix
+		if delta > uint64(dec.Remaining()) {
+			return snapshot.Corruptf("table %s version claims %d delta rows, %d bytes remain",
+				t.schema.Name(), delta, dec.Remaining())
+		}
+		rows := make([]*Row, 0, delta)
+		for i := uint64(0); i < delta; i++ {
+			ref, err := dec.Uvarint()
+			if err != nil {
+				return err
+			}
+			if ref == 0 || ref > uint64(len(interned)) {
+				return snapshot.Corruptf("table %s row ref %d out of range (%d interned)",
+					t.schema.Name(), ref, len(interned))
+			}
+			rows = append(rows, interned[ref-1])
+		}
+		v := t.rebuildVersion(prev, int(prefix), rows, positions)
+		if vi < ncuts {
+			cuts = append(cuts, cut{lsn: lsn, ts: ts, v: v})
+		} else {
+			v.nextID = nextID
+			t.mu.Lock()
+			t.cuts = cuts
+			t.watermark = watermark
+			t.head.Store(v)
+			t.mu.Unlock()
+		}
+		prev = v
 	}
 	return nil
+}
+
+// rebuildVersion materializes one decoded version: prefix rows shared with
+// prev, then rows appended. A pure-append delta (prefix == prev.nrows)
+// extends prev's spine and indexes structurally, exactly as live inserts
+// would; anything else shares whole chunks below the prefix and rebuilds
+// the rest, including indexes.
+func (t *Table) rebuildVersion(prev *Version, prefix int, rows []*Row, positions []int) *Version {
+	if prefix == prev.nrows {
+		spine := prev.spine
+		indexes := make([]colIndex, len(prev.indexes))
+		copy(indexes, prev.indexes)
+		n := prev.nrows
+		for _, r := range rows {
+			if n&chunkMask == 0 {
+				spine = append(spine, &chunk{})
+			}
+			spine[n>>chunkShift].rows[n&chunkMask] = r
+			n++
+			for j := range indexes {
+				ix := &indexes[j]
+				ix.root = hinsert(ix.root, 0, r.Vals[ix.pos].Hash(), r)
+			}
+		}
+		return &Version{tbl: t, spine: spine, nrows: n, indexes: indexes}
+	}
+	nfull := prefix >> chunkShift
+	spine := make([]*chunk, nfull, nfull+(len(rows)+prefix&chunkMask)/chunkSize+1)
+	copy(spine, prev.spine[:nfull])
+	if prefix&chunkMask != 0 {
+		cc := &chunk{}
+		copy(cc.rows[:prefix&chunkMask], prev.spine[nfull].rows[:prefix&chunkMask])
+		spine = append(spine, cc)
+	}
+	n := prefix
+	for _, r := range rows {
+		if n&chunkMask == 0 {
+			spine = append(spine, &chunk{})
+		}
+		spine[n>>chunkShift].rows[n&chunkMask] = r
+		n++
+	}
+	return t.reindexVersion(&Version{tbl: t, spine: spine, nrows: n}, positions)
+}
+
+// reindexVersion builds fresh indexes on the given column positions.
+func (t *Table) reindexVersion(v *Version, positions []int) *Version {
+	v.indexes = make([]colIndex, 0, len(positions))
+	for _, pos := range positions {
+		var root *hnode
+		v.Each(func(r *Row) bool {
+			root = hinsert(root, 0, r.Vals[pos].Hash(), r)
+			return true
+		})
+		v.indexes = append(v.indexes, colIndex{pos: pos, root: root})
+	}
+	return v
 }

@@ -1,0 +1,263 @@
+package db
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// A Version is one immutable point-in-time state of a table: a chunked row
+// vector plus one persistent hash index per indexed column. Readers pin a
+// version with a single atomic load (Table.Head) and then read it with no
+// locks and no allocations; writers never mutate a published version, they
+// publish a successor that structurally shares everything untouched.
+//
+// Storage layout: rows live in fixed-size chunks referenced by a spine
+// slice. Appends write in place into spine/chunk slots that no published
+// version covers (slots at index >= every published version's length are
+// unreachable from those versions, so the single writer may fill them
+// without copying); updates and deletes copy only the affected chunks.
+
+const (
+	chunkShift = 8
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+type chunk struct {
+	rows [chunkSize]*Row
+}
+
+// colIndex pairs a column position with its persistent index root.
+// root == nil means the index exists but is empty.
+type colIndex struct {
+	pos  int
+	root *hnode
+}
+
+// Version is an immutable table state. The zero value is an empty table.
+type Version struct {
+	tbl     *Table
+	spine   []*chunk
+	nrows   int
+	nextID  uint64
+	indexes []colIndex
+	pins    atomic.Int32
+}
+
+// Len returns the row count of this version.
+func (v *Version) Len() int { return v.nrows }
+
+// At returns the row at position i in insertion order, nil out of range.
+func (v *Version) At(i int) *Row {
+	if i < 0 || i >= v.nrows {
+		return nil
+	}
+	return v.spine[i>>chunkShift].rows[i&chunkMask]
+}
+
+// Each visits rows in insertion order; fn returning false stops. No lock
+// is held: fn may call mutating table methods, which this version will
+// not observe.
+func (v *Version) Each(fn func(*Row) bool) {
+	done := 0
+	for ci := 0; done < v.nrows; ci++ {
+		ch := v.spine[ci]
+		n := v.nrows - done
+		if n > chunkSize {
+			n = chunkSize
+		}
+		for s := 0; s < n; s++ {
+			if !fn(ch.rows[s]) {
+				return
+			}
+		}
+		done += n
+	}
+}
+
+// AppendAll appends every row in insertion order to buf and returns it.
+// With a caller-reused buffer this is allocation-free at steady state.
+func (v *Version) AppendAll(buf []*Row) []*Row {
+	done := 0
+	for ci := 0; done < v.nrows; ci++ {
+		ch := v.spine[ci]
+		n := v.nrows - done
+		if n > chunkSize {
+			n = chunkSize
+		}
+		buf = append(buf, ch.rows[:n]...)
+		done += n
+	}
+	return buf
+}
+
+// index returns the index root for column position pos. The second result
+// distinguishes an empty index (nil, true) from no index at all.
+func (v *Version) index(pos int) (*hnode, bool) {
+	for i := range v.indexes {
+		if v.indexes[i].pos == pos {
+			return v.indexes[i].root, true
+		}
+	}
+	return nil, false
+}
+
+// Indexed reports whether this version carries an index on column pos.
+func (v *Version) Indexed(pos int) bool {
+	_, ok := v.index(pos)
+	return ok
+}
+
+// Probe appends every row whose column pos equals val to buf and returns
+// it, using the column's hash index when one exists and scanning
+// otherwise. Lock-free; allocation-free once buf has warmed to the match
+// cardinality. Rows surface in insertion order on the scan path and in
+// index order (stable per version) on the indexed path.
+func (v *Version) Probe(pos int, val stream.Value, buf []*Row) []*Row {
+	if root, ok := v.index(pos); ok {
+		if l := hlookup(root, val.Hash()); l != nil {
+			for _, r := range l.rows {
+				if r.Vals[pos].Equal(val) {
+					buf = append(buf, r)
+				}
+			}
+		}
+		return buf
+	}
+	done := 0
+	for ci := 0; done < v.nrows; ci++ {
+		ch := v.spine[ci]
+		n := v.nrows - done
+		if n > chunkSize {
+			n = chunkSize
+		}
+		for s := 0; s < n; s++ {
+			if r := ch.rows[s]; r.Get(pos).Equal(val) {
+				buf = append(buf, r)
+			}
+		}
+		done += n
+	}
+	return buf
+}
+
+// Pin marks the version in use so watermark GC (Table.ReleaseBefore)
+// retains it even after its cut LSN falls behind the watermark. Head
+// versions reached via Table.Head need no pin — the Go runtime keeps them
+// alive for as long as the reader holds the pointer; Pin matters for named
+// versions whose retention the table manages.
+func (v *Version) Pin() { v.pins.Add(1) }
+
+// Unpin releases a Pin. When the last pin drops on a version already past
+// the watermark, its cut entry is released immediately.
+func (v *Version) Unpin() {
+	if v.pins.Add(-1) <= 0 && v.tbl != nil {
+		v.tbl.mu.Lock()
+		v.tbl.releaseLocked()
+		v.tbl.mu.Unlock()
+	}
+}
+
+// cut is one named version: the table state when checkpoint lsn was taken.
+type cut struct {
+	lsn uint64
+	ts  stream.Timestamp // event time of the checkpoint
+	v   *Version
+}
+
+// VersionInfo describes one retained named version.
+type VersionInfo struct {
+	LSN    uint64
+	TS     stream.Timestamp
+	Rows   int
+	Pinned bool
+}
+
+// CutVersion names the current head as the table state at checkpoint lsn.
+// Re-cutting the newest LSN (or an LSN at/below it, as journal replay may
+// do) replaces the stale entries. Named versions are retained until
+// ReleaseBefore passes them.
+func (t *Table) CutVersion(lsn uint64, ts stream.Timestamp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := len(t.cuts); n > 0 && t.cuts[n-1].lsn >= lsn; n = len(t.cuts) {
+		t.cuts[n-1] = cut{}
+		t.cuts = t.cuts[:n-1]
+	}
+	t.cuts = append(t.cuts, cut{lsn: lsn, ts: ts, v: t.head.Load()})
+}
+
+// AsOf returns the newest named version cut at or before lsn. The second
+// result is false when no retained version is that old.
+func (t *Table) AsOf(lsn uint64) (*Version, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.cuts), func(i int) bool { return t.cuts[i].lsn > lsn }) - 1
+	if i < 0 {
+		return nil, false
+	}
+	return t.cuts[i].v, true
+}
+
+// AsOfTime returns the newest named version cut at or before ts.
+func (t *Table) AsOfTime(ts stream.Timestamp) (*Version, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.cuts), func(i int) bool { return t.cuts[i].ts > ts }) - 1
+	if i < 0 {
+		return nil, false
+	}
+	return t.cuts[i].v, true
+}
+
+// OldestLSN returns the LSN of the oldest retained named version.
+func (t *Table) OldestLSN() (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.cuts) == 0 {
+		return 0, false
+	}
+	return t.cuts[0].lsn, true
+}
+
+// Versions lists the retained named versions, oldest first.
+func (t *Table) Versions() []VersionInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]VersionInfo, len(t.cuts))
+	for i, c := range t.cuts {
+		out[i] = VersionInfo{LSN: c.lsn, TS: c.ts, Rows: c.v.nrows, Pinned: c.v.pins.Load() > 0}
+	}
+	return out
+}
+
+// ReleaseBefore advances the retention watermark to lsn and releases every
+// unpinned named version cut strictly before it, returning how many were
+// released. Pinned versions survive the watermark and are released by
+// their final Unpin.
+func (t *Table) ReleaseBefore(lsn uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lsn > t.watermark {
+		t.watermark = lsn
+	}
+	return t.releaseLocked()
+}
+
+func (t *Table) releaseLocked() int {
+	kept := t.cuts[:0]
+	for _, c := range t.cuts {
+		if c.lsn < t.watermark && c.v.pins.Load() <= 0 {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	n := len(t.cuts) - len(kept)
+	for i := len(kept); i < len(t.cuts); i++ {
+		t.cuts[i] = cut{}
+	}
+	t.cuts = kept
+	return n
+}

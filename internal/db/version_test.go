@@ -1,0 +1,474 @@
+package db
+
+// MVCC-specific tests: version isolation, the zero-allocation probe
+// contract the join hot path depends on, AS OF resolution, watermark GC
+// (including an actual reachability check that released history is freed),
+// the versioned snapshot codec, and a -race reader/writer stress.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+func intRow(tag int64, loc string, at int64) []stream.Value {
+	return []stream.Value{stream.Int(tag), stream.Str(loc), stream.Int(at)}
+}
+
+func intSchema() *stream.Schema {
+	return stream.MustSchema("history",
+		stream.Field{Name: "tagid", Type: stream.TInt},
+		stream.Field{Name: "location", Type: stream.TString},
+		stream.Field{Name: "start_time", Type: stream.TInt})
+}
+
+// versionRows flattens a version to comparable fingerprints.
+func versionRows(v *Version) []string {
+	var out []string
+	v.Each(func(r *Row) bool {
+		out = append(out, fmt.Sprintf("%d|%v", r.ID, r.Vals))
+		return true
+	})
+	return out
+}
+
+// TestVersionIsolation: a version pinned before a write never changes,
+// regardless of which mutation follows — insert, update, or delete.
+func TestVersionIsolation(t *testing.T) {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 10; i++ {
+		tbl.Insert(intRow(int64(i), "dock", int64(i)))
+	}
+	before := tbl.Head()
+	want := versionRows(before)
+
+	tbl.Insert(intRow(99, "gate", 99))
+	tbl.Update(func(r *Row) bool { return true }, map[int]stream.Value{1: stream.Str("moved")})
+	tbl.Delete(func(r *Row) bool { v, _ := r.Get(0).AsInt(); return v%2 == 0 })
+
+	got := versionRows(before)
+	if len(got) != len(want) {
+		t.Fatalf("pinned version mutated: %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pinned version row %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// The old version still probes its own index state.
+	buf := before.Probe(0, stream.Int(4), nil)
+	if len(buf) != 1 || buf[0].Get(1).String() != "dock" {
+		t.Fatalf("old version probe = %v", buf)
+	}
+	// And the head sees all three mutations.
+	h := tbl.Head()
+	if h.Len() != 6 { // 10 + 1 insert - 5 even-tag deletes (0,2,4,6,8)
+		t.Fatalf("head len = %d", h.Len())
+	}
+	if rows := h.Probe(0, stream.Int(4), nil); len(rows) != 0 {
+		t.Fatalf("deleted row still probeable at head: %v", rows)
+	}
+	if rows := h.Probe(0, stream.Int(3), nil); len(rows) != 1 || rows[0].Get(1).String() != "moved" {
+		t.Fatalf("head probe after update = %v", rows)
+	}
+}
+
+// TestProbeZeroAlloc: with a warmed caller-owned buffer, indexed probes and
+// full scans allocate nothing. This is the contract the join hot path (and
+// the bench -db gate) relies on.
+func TestProbeZeroAlloc(t *testing.T) {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 2000; i++ {
+		tbl.Insert(intRow(int64(i%500), "dock", int64(i)))
+	}
+	ver := tbl.Head()
+	buf := make([]*Row, 0, 8)
+	key := stream.Int(123)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = ver.Probe(0, key, buf[:0])
+	}); avg != 0 {
+		t.Errorf("Probe allocates %.2f allocs/op, want 0", avg)
+	}
+	if len(buf) != 4 {
+		t.Fatalf("probe hit %d rows, want 4", len(buf))
+	}
+	scan := make([]*Row, 0, tbl.Len())
+	if avg := testing.AllocsPerRun(50, func() {
+		scan = ver.AppendAll(scan[:0])
+	}); avg != 0 {
+		t.Errorf("AppendAll allocates %.2f allocs/op, want 0", avg)
+	}
+	if len(scan) != 2000 {
+		t.Fatalf("scan saw %d rows", len(scan))
+	}
+}
+
+// TestAsOfResolution: anchors resolve DOWN to the newest cut at or before
+// them, in both LSN and event-time coordinates.
+func TestAsOfResolution(t *testing.T) {
+	tbl := NewTable(intSchema())
+	for i, lsn := range []uint64{10, 20, 30} {
+		tbl.Insert(intRow(int64(i), "dock", int64(i)))
+		tbl.CutVersion(lsn, stream.TS(time.Duration(lsn)*time.Second))
+	}
+	if _, ok := tbl.AsOf(9); ok {
+		t.Error("AsOf(9) should fail: nothing that old")
+	}
+	for anchor, wantRows := range map[uint64]int{10: 1, 15: 1, 20: 2, 29: 2, 30: 3, 99: 3} {
+		v, ok := tbl.AsOf(anchor)
+		if !ok || v.Len() != wantRows {
+			t.Errorf("AsOf(%d): ok=%v len=%d, want %d rows", anchor, ok, v.Len(), wantRows)
+		}
+	}
+	v, ok := tbl.AsOfTime(stream.TS(25 * time.Second))
+	if !ok || v.Len() != 2 {
+		t.Errorf("AsOfTime(25s) = %d rows, want 2", v.Len())
+	}
+	if _, ok := tbl.AsOfTime(stream.TS(1 * time.Second)); ok {
+		t.Error("AsOfTime(1s) should fail")
+	}
+	// Re-cutting an LSN at/below the newest replaces stale entries (journal
+	// replay does this).
+	tbl.Insert(intRow(77, "gate", 77))
+	tbl.CutVersion(20, stream.TS(20*time.Second))
+	if vs := tbl.Versions(); len(vs) != 2 || vs[1].LSN != 20 || vs[1].Rows != 4 {
+		t.Fatalf("re-cut versions = %+v", vs)
+	}
+}
+
+// TestVersionGCRelease: ReleaseBefore frees unpinned cuts behind the
+// watermark, pinned cuts survive until their last Unpin, and a released
+// version's rows really become unreachable (checked with a finalizer).
+func TestVersionGCRelease(t *testing.T) {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 8; i++ {
+		tbl.Insert(intRow(int64(i), "old", int64(i)))
+	}
+	tbl.CutVersion(10, stream.TS(10*time.Second))
+
+	// Rows from the cut version get a finalizer; after the cut is released
+	// and the rows are deleted from the head, GC must reclaim them.
+	freed := make(chan struct{}, 8)
+	if v, ok := tbl.AsOf(10); ok {
+		v.Each(func(r *Row) bool {
+			runtime.SetFinalizer(r, func(*Row) { freed <- struct{}{} })
+			return true
+		})
+	}
+	tbl.Delete(func(*Row) bool { return true }) // head drops every old row
+	tbl.Insert(intRow(100, "new", 100))
+	tbl.CutVersion(20, stream.TS(20*time.Second))
+
+	pinned, ok := tbl.AsOf(20)
+	if !ok {
+		t.Fatal("AsOf(20) missing")
+	}
+	pinned.Pin()
+
+	if n := tbl.ReleaseBefore(30); n != 1 {
+		t.Fatalf("ReleaseBefore released %d cuts, want 1 (the pinned one must survive)", n)
+	}
+	if vs := tbl.Versions(); len(vs) != 1 || vs[0].LSN != 20 || !vs[0].Pinned {
+		t.Fatalf("versions after GC = %+v", vs)
+	}
+	// The pinned version still reads consistently behind the watermark.
+	if rows := pinned.Probe(0, stream.Int(100), nil); len(rows) != 1 {
+		t.Fatalf("pinned version probe = %v", rows)
+	}
+	// Last Unpin past the watermark releases immediately.
+	pinned.Unpin()
+	if vs := tbl.Versions(); len(vs) != 0 {
+		t.Fatalf("unpinned version not released: %+v", vs)
+	}
+
+	// Reachability: every row that existed only in the released lsn-10
+	// version must be collected. (The head deleted them; no cut holds them.)
+	deadline := time.After(5 * time.Second)
+	for got := 0; got < 8; {
+		runtime.GC()
+		select {
+		case <-freed:
+			got++
+		case <-deadline:
+			t.Fatalf("released version leaks rows: only %d of 8 finalized", got)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSaveLoadVersionHistory: the snapshot codec round-trips the whole
+// version chain — every cut and the head — byte-identically, and a loaded
+// table keeps serving AS OF reads and indexed probes at every retained LSN.
+func TestSaveLoadVersionHistory(t *testing.T) {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	type cutState struct {
+		lsn  uint64
+		rows []string
+	}
+	var cuts []cutState
+	for i := 0; i < 300; i++ { // crosses a chunk boundary (256)
+		tbl.Insert(intRow(int64(i), "dock", int64(i)))
+	}
+	cut := func(lsn uint64) {
+		tbl.CutVersion(lsn, stream.TS(time.Duration(lsn)*time.Millisecond))
+		v, _ := tbl.AsOf(lsn)
+		cuts = append(cuts, cutState{lsn, versionRows(v)})
+	}
+	cut(100)
+	tbl.Update(func(r *Row) bool { v, _ := r.Get(0).AsInt(); return v < 10 }, map[int]stream.Value{1: stream.Str("gate")})
+	cut(200)
+	tbl.Delete(func(r *Row) bool { v, _ := r.Get(0).AsInt(); return v >= 290 })
+	tbl.Insert(intRow(1000, "truck", 1000))
+	cut(300)
+	tbl.Insert(intRow(1001, "truck", 1001))
+	headRows := versionRows(tbl.Head())
+
+	encode := func(tb *Table) []byte {
+		enc := snapshot.NewEncoder()
+		tb.Save(enc)
+		blob, err := enc.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	blob := encode(tbl)
+
+	restored := NewTable(intSchema())
+	restored.CreateIndex("tagid")
+	dec, err := snapshot.NewDecoderBytes(blob, func(string) (*stream.Schema, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(dec); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkRows := func(label string, v *Version, want []string) {
+		t.Helper()
+		got := versionRows(v)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d = %s, want %s", label, i, got[i], want[i])
+			}
+		}
+	}
+	for _, c := range cuts {
+		v, ok := restored.AsOf(c.lsn)
+		if !ok {
+			t.Fatalf("restored table lost lsn %d", c.lsn)
+		}
+		checkRows(fmt.Sprintf("AS OF %d", c.lsn), v, c.rows)
+	}
+	checkRows("head", restored.Head(), headRows)
+	// Indexes were rebuilt on every restored version.
+	if v, _ := restored.AsOf(100); len(v.Probe(0, stream.Int(295), nil)) != 1 {
+		t.Error("restored cut 100 lost its index")
+	}
+	if len(restored.Head().Probe(0, stream.Int(295), nil)) != 0 {
+		t.Error("restored head resurrects deleted row")
+	}
+	// Determinism: encode(decode(encode(x))) == encode(x).
+	if !bytes.Equal(blob, encode(restored)) {
+		t.Fatal("re-encoding a restored table is not byte-identical")
+	}
+	// Mutating the restored table preserves structural-sharing invariants.
+	restored.Insert(intRow(2000, "shelf", 2000))
+	if restored.Head().Len() != len(headRows)+1 {
+		t.Fatal("restored table broken after insert")
+	}
+	if v, _ := restored.AsOf(300); v.Len() != len(cuts[2].rows) {
+		t.Fatal("insert after restore mutated a named version")
+	}
+}
+
+// TestConcurrentVersionStress: readers probe pinned head versions and AS OF
+// cuts while one writer inserts, updates, deletes, cuts and releases
+// versions. Run under -race (the Makefile's test target). Readers verify
+// probe results still satisfy the probe predicate and that a version's row
+// count never changes once obtained.
+func TestConcurrentVersionStress(t *testing.T) {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 64; i++ {
+		tbl.Insert(intRow(int64(i%16), "dock", int64(i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			buf := make([]*Row, 0, 32)
+			scan := make([]*Row, 0, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ver := tbl.Head()
+				n := ver.Len()
+				key := stream.Int((seed + int64(i)) % 16)
+				buf = ver.Probe(0, key, buf[:0])
+				for _, row := range buf {
+					if !row.Get(0).Equal(key) {
+						errs <- fmt.Errorf("probe returned tag %v for key %v", row.Get(0), key)
+						return
+					}
+				}
+				scan = ver.AppendAll(scan[:0])
+				if len(scan) != n || ver.Len() != n {
+					errs <- fmt.Errorf("version changed size: %d then %d", n, ver.Len())
+					return
+				}
+				if v, ok := tbl.AsOf(^uint64(0)); ok {
+					v.Pin()
+					m := v.Len()
+					v.Each(func(*Row) bool { m--; return true })
+					if m != 0 {
+						errs <- fmt.Errorf("AS OF scan mismatch: %d rows unvisited", m)
+						v.Unpin()
+						return
+					}
+					v.Unpin()
+				}
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 400; i++ {
+		switch i % 4 {
+		case 0:
+			tbl.Insert(intRow(int64(i%16), "dock", int64(i)))
+		case 1:
+			tbl.Update(func(r *Row) bool { v, _ := r.Get(2).AsInt(); return v%7 == 0 },
+				map[int]stream.Value{1: stream.Str(fmt.Sprintf("loc%d", i))})
+		case 2:
+			tbl.Delete(func(r *Row) bool { v, _ := r.Get(2).AsInt(); return v == int64(i-300) })
+		case 3:
+			tbl.CutVersion(uint64(i), stream.TS(time.Duration(i)*time.Millisecond))
+			if i%16 == 3 && i > 100 {
+				tbl.ReleaseBefore(uint64(i - 100))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// typedErr reports whether err is a declared codec failure mode; anything
+// else escaping Load on hostile bytes is a bug.
+func typedErr(err error) bool {
+	return errors.Is(err, snapshot.ErrTruncated) || errors.Is(err, snapshot.ErrCorrupt) ||
+		errors.Is(err, snapshot.ErrVersion) || errors.Is(err, snapshot.ErrStateMismatch)
+}
+
+// tableSeedBlobs builds the FuzzTableLoad seed corpus: a real versioned
+// table section plus characteristic corruptions. Checked in under
+// testdata/fuzz/FuzzTableLoad via TestGenerateTableSeedCorpus.
+func tableSeedBlobs() [][]byte {
+	tbl := NewTable(intSchema())
+	tbl.CreateIndex("tagid")
+	for i := 0; i < 20; i++ {
+		tbl.Insert(intRow(int64(i), "dock", int64(i)))
+	}
+	tbl.CutVersion(5, stream.TS(5*time.Second))
+	tbl.Update(func(r *Row) bool { v, _ := r.Get(0).AsInt(); return v == 3 },
+		map[int]stream.Value{1: stream.Str("gate")})
+	tbl.CutVersion(9, stream.TS(9*time.Second))
+	tbl.Delete(func(r *Row) bool { v, _ := r.Get(0).AsInt(); return v > 17 })
+	enc := snapshot.NewEncoder()
+	tbl.Save(enc)
+	valid, err := enc.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	trunc := valid[:len(valid)*2/3]
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x04
+	return [][]byte{valid, trunc, flipped, {}}
+}
+
+// FuzzTableLoad: arbitrary bytes never panic the versioned-table decoder,
+// and every failure is a typed sentinel error. When the blob decodes, the
+// rebuilt table must be internally consistent: monotone version LSNs and a
+// head that scans exactly Len() rows.
+func FuzzTableLoad(f *testing.F) {
+	for _, blob := range tableSeedBlobs() {
+		f.Add(blob)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := snapshot.NewDecoderBytes(data, func(string) (*stream.Schema, bool) { return nil, false })
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("untyped decoder error: %v", err)
+			}
+			return
+		}
+		tbl := NewTable(intSchema())
+		tbl.CreateIndex("tagid")
+		if err := tbl.Load(dec); err != nil {
+			if !typedErr(err) {
+				t.Fatalf("untyped load error: %v", err)
+			}
+			return
+		}
+		var last uint64
+		for i, vi := range tbl.Versions() {
+			if i > 0 && vi.LSN <= last {
+				t.Fatalf("decoded versions out of order: %d after %d", vi.LSN, last)
+			}
+			last = vi.LSN
+		}
+		n := 0
+		tbl.Scan(func(*Row) bool { n++; return true })
+		if n != tbl.Len() {
+			t.Fatalf("decoded table scans %d rows, Len says %d", n, tbl.Len())
+		}
+	})
+}
+
+// TestGenerateTableSeedCorpus writes the seed blobs into the checked-in
+// fuzz corpus. Run with GEN_FUZZ_CORPUS=1 after changing tableSeedBlobs.
+func TestGenerateTableSeedCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz/FuzzTableLoad")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTableLoad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, blob := range tableSeedBlobs() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", blob)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package esl
+
+// AS OF time-travel tests: grammar, snapshot-query resolution at checkpoint
+// granularity, byte-identity of historical reads against recorded state
+// (including after recovery into a fresh replica), version retention, and
+// the per-batch version pin that keeps stream-table joins consistent while
+// ad-hoc writers mutate the table.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/stream"
+)
+
+func TestParseAsOfClause(t *testing.T) {
+	s, err := ParseOne(`SELECT tagid FROM location_history AS OF LSN 2000 WHERE tagid = 't1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.(*Select)
+	if sel.AsOf == nil || !sel.AsOf.HasLSN || sel.AsOf.LSN != 2000 {
+		t.Fatalf("AsOf = %+v", sel.AsOf)
+	}
+	s, err = ParseOne(`SELECT * FROM t AS OF TIMESTAMP 30 SECONDS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = s.(*Select)
+	if sel.AsOf == nil || sel.AsOf.HasLSN || sel.AsOf.TS != stream.TS(30*time.Second) {
+		t.Fatalf("AsOf = %+v", sel.AsOf)
+	}
+	// TIMESTAMP keyword is optional in the anchor.
+	if s, err = ParseOne(`SELECT * FROM t AS OF 500 MILLISECONDS`); err != nil {
+		t.Fatal(err)
+	}
+	if ao := s.(*Select).AsOf; ao == nil || ao.TS != stream.TS(500*time.Millisecond) {
+		t.Fatalf("AsOf = %+v", ao)
+	}
+	// String() round-trips through the parser.
+	for _, src := range []string{
+		`SELECT a FROM t AS OF LSN 42 WHERE a = 1`,
+		`SELECT a FROM t AS OF TIMESTAMP 2 SECONDS`,
+	} {
+		st, err := ParseOne(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := SelectString(st.(*Select))
+		st2, err := ParseOne(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		if s2 := SelectString(st2.(*Select)); s1 != s2 {
+			t.Fatalf("round trip: %q != %q", s1, s2)
+		}
+	}
+	// `AS alias` still works — only the word OF after AS means time travel.
+	s, err = ParseOne(`SELECT i.owner FROM tag_info AS i WHERE i.owner = 'a'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias := s.(*Select).From[0].Alias; alias != "i" {
+		t.Fatalf("alias = %q", alias)
+	}
+	// ParseAsOf accepts the bare anchor forms QueryAsOf takes.
+	for anchor, wantLSN := range map[string]bool{"LSN 7": true, "30 SECONDS": false, "TIMESTAMP 1 MINUTES": false} {
+		ao, err := ParseAsOf(anchor)
+		if err != nil || ao.HasLSN != wantLSN {
+			t.Fatalf("ParseAsOf(%q) = %+v, %v", anchor, ao, err)
+		}
+	}
+	for _, bad := range []string{"", "LSN", "LSN x", "7 PARSECS", "LSN 7 extra"} {
+		if _, err := ParseAsOf(bad); err == nil {
+			t.Errorf("ParseAsOf(%q) should fail", bad)
+		}
+	}
+}
+
+// asofFingerprint runs a snapshot query (optionally anchored to the past)
+// and flattens the result for byte-identity comparison.
+func asofFingerprint(t *testing.T, eng *Engine, sql, anchor string) string {
+	t.Helper()
+	rows, err := eng.QueryAsOf(sql, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%v%v;", r.Names, r.Vals)
+	}
+	return b.String()
+}
+
+// registerAsOfShape declares the stream/table shape shared by the primary
+// engine and its recovered replica.
+func registerAsOfShape(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `
+		CREATE STREAM moves(tagid, loc);
+		CREATE TABLE location_history(tagid, loc, since);
+		CREATE INDEX ON location_history(tagid);
+	`)
+}
+
+// TestAsOfEndToEnd: checkpoint the engine at several LSNs while the table
+// mutates, record each state, and verify AS OF returns byte-identical rows
+// for every retained anchor — from the live engine and from a replica
+// recovered off the same journal directory.
+func TestAsOfEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	e := New(WithJournal(dir))
+	registerAsOfShape(t, e)
+
+	const q = `SELECT tagid, loc, since FROM location_history`
+	type epoch struct {
+		lsn   uint64
+		at    time.Duration
+		state string
+	}
+	var epochs []epoch
+	push := func(i int, at time.Duration) {
+		mustPush(t, e, "moves", at, stream.Str(fmt.Sprintf("t%d", i)), stream.Str("dock"))
+	}
+	for ep := 1; ep <= 3; ep++ {
+		mustExec(t, e, fmt.Sprintf(
+			`INSERT INTO location_history VALUES ('t%d', 'dock', %d), ('t%d', 'gate', %d)`,
+			ep, ep, ep+10, ep))
+		if ep == 2 { // some history rewrites an earlier epoch's rows
+			mustExec(t, e, `UPDATE location_history SET loc = 'truck' WHERE tagid = 't1'`)
+		}
+		at := time.Duration(ep) * 10 * time.Second
+		for i := 0; i < 3; i++ {
+			push(ep*10+i, at+time.Duration(i)*time.Second)
+		}
+		if err := e.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, epoch{e.LastLSN(), at + 2*time.Second, asofFingerprint(t, e, q, "")})
+	}
+	// Uncheckpointed head motion after the last cut.
+	mustExec(t, e, `INSERT INTO location_history VALUES ('t99', 'er', 9)`)
+	head := asofFingerprint(t, e, q, "")
+	if head == epochs[2].state {
+		t.Fatal("head should differ from the last checkpoint")
+	}
+
+	checkHistory := func(label string, eng *Engine) {
+		t.Helper()
+		for i, ep := range epochs {
+			got := asofFingerprint(t, eng, q, fmt.Sprintf("LSN %d", ep.lsn))
+			if got != ep.state {
+				t.Fatalf("%s: AS OF LSN %d = %s, want %s", label, ep.lsn, got, ep.state)
+			}
+			// The equivalent event-time anchor lands on the same cut.
+			got = asofFingerprint(t, eng, q, fmt.Sprintf("%d MILLISECONDS", ep.at.Milliseconds()))
+			if got != ep.state {
+				t.Fatalf("%s: AS OF TIMESTAMP epoch %d diverges", label, i+1)
+			}
+		}
+		// Anchors between checkpoints resolve DOWN to the older cut.
+		got := asofFingerprint(t, eng, q, fmt.Sprintf("LSN %d", epochs[1].lsn-1))
+		if got != epochs[0].state {
+			t.Fatalf("%s: between-checkpoint anchor did not resolve down", label)
+		}
+	}
+	checkHistory("live", e)
+
+	// An anchor at/after the present reads the head.
+	if got := asofFingerprint(t, e, q, fmt.Sprintf("LSN %d", e.LastLSN()+100)); got != head {
+		t.Fatal("future anchor should read head")
+	}
+	// Too-old anchors name the oldest retained checkpoint.
+	if _, err := e.QueryAsOf(q, "LSN 0"); err == nil || !strings.Contains(err.Error(), "oldest checkpoint") {
+		t.Fatalf("too-old anchor error = %v", err)
+	}
+	// Streams have no versioned past.
+	if _, err := e.Query(`SELECT * FROM moves AS OF LSN 1`); err == nil || !strings.Contains(err.Error(), "no versioned past") {
+		t.Fatalf("stream AS OF error = %v", err)
+	}
+	// Continuous queries must not carry AS OF.
+	if _, err := e.RegisterQuery("c", `SELECT f.loc FROM moves, location_history AS OF LSN 1 AS f WHERE moves.tagid = f.tagid`, func(Row) {}); err == nil {
+		t.Fatal("continuous AS OF should be rejected")
+	}
+
+	if err := e.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A replica recovered from the same journal directory serves the same
+	// history: the snapshot carries every retained version, not just heads.
+	r := New(WithJournal(dir))
+	registerAsOfShape(t, r)
+	if err := r.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	checkHistory("recovered", r)
+	// The replica's head is the last checkpoint: the t99 insert was ad-hoc
+	// DML after the final cut, outside the journal, so replay cannot (and
+	// must not pretend to) restore it.
+	if got := asofFingerprint(t, r, q, ""); got != epochs[2].state {
+		t.Fatal("recovered head should be the last checkpointed state")
+	}
+}
+
+// TestAsOfNeedsCheckpoint: without any checkpoint there is no history to
+// anchor to, and the error says how to get some.
+func TestAsOfNeedsCheckpoint(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM s(k);
+		CREATE TABLE ti(k, v);
+		INSERT INTO ti VALUES (1, 'a');
+	`)
+	mustPush(t, e, "s", 10*time.Second, stream.Int(1))
+	_, err := e.Query(`SELECT * FROM ti AS OF TIMESTAMP 1 SECONDS`)
+	if err == nil || !strings.Contains(err.Error(), "no checkpointed versions") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAsOfRetentionBound: WithRetainVersions(n) keeps the n newest
+// checkpoint cuts; older anchors fail once the watermark passes them.
+func TestAsOfRetentionBound(t *testing.T) {
+	e := New(WithJournal(t.TempDir()), WithRetainVersions(2))
+	mustExec(t, e, `
+		CREATE STREAM s(k);
+		CREATE TABLE ti(k, v);
+	`)
+	var lsns []uint64
+	for i := 0; i < 4; i++ {
+		mustExec(t, e, fmt.Sprintf(`INSERT INTO ti VALUES (%d, 'v%d')`, i, i))
+		mustPush(t, e, "s", time.Duration(i+1)*time.Second, stream.Int(int64(i)))
+		if err := e.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, e.LastLSN())
+	}
+	for i, lsn := range lsns {
+		_, err := e.Query(fmt.Sprintf(`SELECT k FROM ti AS OF LSN %d`, lsn))
+		if i < 2 && err == nil {
+			t.Errorf("lsn %d should have been released (retain 2)", lsn)
+		}
+		if i >= 2 && err != nil {
+			t.Errorf("lsn %d should be retained: %v", lsn, err)
+		}
+	}
+}
+
+// TestMidBatchPinConsistency: a stream-table join batch reads exactly one
+// DB version even while an external writer rewrites the whole table
+// between (and during) batches. Every row emitted for one batch must carry
+// the same generation marker — a batch that observed two versions would
+// mix them. Run under -race.
+func TestMidBatchPinConsistency(t *testing.T) {
+	e := New()
+	mustExec(t, e, `
+		CREATE STREAM s(k);
+		CREATE TABLE flags(k, gen);
+		CREATE INDEX ON flags(k);
+	`)
+	const nrows = 8
+	for i := 0; i < nrows; i++ {
+		mustExec(t, e, fmt.Sprintf(`INSERT INTO flags VALUES (%d, 'gen0')`, i))
+	}
+	var rows []string
+	if _, err := e.RegisterQuery("j", `SELECT f.gen FROM s, flags AS f WHERE s.k = f.k`,
+		func(r Row) { rows = append(rows, r.Get("gen").String()) }); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl, ok := e.store.Get("flags")
+	if !ok {
+		t.Fatal("flags table missing")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // rewrite every row's generation as fast as possible
+		defer wg.Done()
+		for g := 1; ; g++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gen := stream.Str(fmt.Sprintf("gen%d", g))
+			if _, err := tbl.Update(func(*db.Row) bool { return true }, map[int]stream.Value{1: gen}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	schema, _ := e.StreamSchema("s")
+	const batches, perBatch = 200, 16
+	for b := 0; b < batches; b++ {
+		items := make([]stream.Item, perBatch)
+		for i := range items {
+			tu, err := stream.NewTuple(schema, ts(time.Duration(b*perBatch+i+1)*time.Millisecond),
+				stream.Int(int64(i%nrows)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			items[i] = stream.Of(tu)
+		}
+		before := len(rows)
+		if err := e.PushBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		seg := rows[before:]
+		if len(seg) != perBatch {
+			t.Fatalf("batch %d emitted %d rows, want %d", b, len(seg), perBatch)
+		}
+		for _, g := range seg[1:] {
+			if g != seg[0] {
+				t.Fatalf("batch %d tore across versions: %v", b, seg)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentAsOfReads: ad-hoc current-state and AS OF queries race a
+// feeding engine that checkpoints as it goes. Run under -race; the test
+// asserts the queries stay well-formed, the race detector asserts the
+// lock-free version reads are sound.
+func TestConcurrentAsOfReads(t *testing.T) {
+	e := New(WithJournal(t.TempDir()))
+	registerAsOfShape(t, e)
+	mustExec(t, e, `INSERT INTO location_history VALUES ('t0', 'dock', 0)`)
+	mustPush(t, e, "moves", time.Millisecond, stream.Str("t0"), stream.Str("dock"))
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	firstLSN := e.LastLSN()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rows, err := e.Query(`SELECT tagid FROM location_history`); err != nil || len(rows) == 0 {
+					t.Errorf("query: %d rows, %v", len(rows), err)
+					return
+				}
+				rows, err := e.QueryAsOf(`SELECT tagid FROM location_history`, fmt.Sprintf("LSN %d", firstLSN))
+				if err != nil || len(rows) != 1 {
+					t.Errorf("as-of query: %d rows, %v", len(rows), err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 60; i++ {
+		mustExec(t, e, fmt.Sprintf(`INSERT INTO location_history VALUES ('t%d', 'dock', %d)`, i, i))
+		mustPush(t, e, "moves", time.Duration(i+1)*10*time.Millisecond,
+			stream.Str(fmt.Sprintf("t%d", i)), stream.Str("dock"))
+		if i%20 == 0 {
+			if err := e.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

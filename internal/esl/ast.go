@@ -93,11 +93,23 @@ type Select struct {
 	Distinct bool
 	Items    []SelectItem
 	From     []FromItem
+	AsOf     *AsOfClause // historical table read; snapshot queries only
 	Where    Expr
 	GroupBy  []Expr
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    int // -1 when absent
+}
+
+// AsOfClause is a time-travel anchor for snapshot queries over tables:
+// AS OF LSN <n> reads the table state at journal position n, AS OF
+// [TIMESTAMP] <interval> at the given event time since the simulation
+// epoch. Both resolve DOWN to the newest checkpointed version at or
+// before the anchor.
+type AsOfClause struct {
+	HasLSN bool
+	LSN    uint64
+	TS     stream.Timestamp
 }
 
 // OrderItem is one ORDER BY key (snapshot queries only; a continuous
@@ -368,6 +380,13 @@ func SelectString(s *Select) string {
 		}
 		if f.Window != nil {
 			b.WriteString(" OVER " + windowString(f.Window))
+		}
+	}
+	if s.AsOf != nil {
+		if s.AsOf.HasLSN {
+			fmt.Fprintf(&b, " AS OF LSN %d", s.AsOf.LSN)
+		} else {
+			b.WriteString(" AS OF TIMESTAMP " + intervalString(time.Duration(s.AsOf.TS)))
 		}
 	}
 	if s.Where != nil {

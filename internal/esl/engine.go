@@ -75,6 +75,12 @@ type Engine struct {
 	// sensitive is set when any registered query is time-sensitive (see
 	// queryOp.timeSensitive); it routes PushBatch to the exact per-item path.
 	sensitive bool
+	// tableWriters counts registered queries whose sink inserts into a store
+	// table. While zero, filterProjectOp.pushBatch may pin table versions
+	// once per batch (no same-batch write could become visible anyway);
+	// otherwise joins re-pin per tuple to keep a query's own inserts visible
+	// to later tuples.
+	tableWriters int
 
 	// Routing index (route.go). noRoute disables guard attachment (the
 	// WithoutRouteIndex escape hatch); routeScratch holds one dispatch
@@ -119,6 +125,11 @@ type Engine struct {
 	lsn        uint64
 	sinceCkpt  int
 	replaying  bool
+	// retainVers bounds the named table versions kept for AS OF reads
+	// (Config.RetainVersions); ckptLSNs lists the checkpoint LSNs that cut
+	// versions, newest last, so retention can find the release watermark.
+	retainVers int
+	ckptLSNs   []uint64
 }
 
 type streamInfo struct {
@@ -266,6 +277,7 @@ func New(opts ...Option) *Engine {
 	e.journalDir = cfg.JournalDir
 	e.jcfg = cfg.Journal
 	e.ckptEvery = cfg.CheckpointEvery
+	e.retainVers = cfg.RetainVersions
 	if !cfg.Ingest.IsZero() {
 		cfg.Ingest.OnDead = e.dispatchDeadLocked
 		e.ingest = stream.NewIngest(cfg.Ingest)
@@ -592,6 +604,7 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 		q.target = strings.ToLower(target)
 		if _, isTable := e.store.Get(target); isTable {
 			q.targetIsTable = true
+			e.tableWriters++
 			// Stream->DB updates mutate one shared table; replicas would
 			// each apply the update, so the query must stay on one engine.
 			q.shard = Shardability{}

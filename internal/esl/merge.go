@@ -693,6 +693,9 @@ func (e *Engine) Unregister(q *Query) error {
 	if q.quarantined {
 		e.nquarantined--
 	}
+	if q.targetIsTable {
+		e.tableWriters--
+	}
 	e.recomputeSensitiveLocked()
 	return nil
 }

@@ -86,6 +86,13 @@ func (p *Parser) expect(text string) error {
 	return nil
 }
 
+// isWord reports whether t is the identifier w (case-insensitive). AS OF
+// grammar words (OF, LSN, TIMESTAMP) are matched this way instead of being
+// reserved, so schemas keep columns named "timestamp" or "lsn".
+func isWord(t Token, w string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, w)
+}
+
 // ident consumes an identifier (or non-reserved keyword usable as a name).
 func (p *Parser) ident() (string, error) {
 	t := p.cur()
@@ -467,6 +474,18 @@ func (p *Parser) parseSelect() (*Select, error) {
 		}
 		break
 	}
+	// AS OF LSN <n> | AS OF [TIMESTAMP] <interval>: time-travel anchor for
+	// snapshot queries. OF/LSN/TIMESTAMP are matched as plain identifiers,
+	// not keywords, so they stay usable as column names.
+	if p.cur().Is("AS") && isWord(p.peek(), "OF") {
+		p.next()
+		p.next()
+		ao, err := p.parseAsOfBody()
+		if err != nil {
+			return nil, err
+		}
+		s.AsOf = ao
+	}
 	if p.accept("WHERE") {
 		e, err := p.parseExpr()
 		if err != nil {
@@ -534,6 +553,52 @@ func (p *Parser) parseSelect() (*Select, error) {
 	return s, nil
 }
 
+// parseAsOfBody parses an AS OF anchor after the AS OF words themselves:
+// LSN <n>, or [TIMESTAMP] <interval>.
+func (p *Parser) parseAsOfBody() (*AsOfClause, error) {
+	ao := &AsOfClause{}
+	if isWord(p.cur(), "LSN") {
+		p.next()
+		if p.cur().Kind != TokNumber {
+			return nil, p.errf("expected number after AS OF LSN")
+		}
+		n, err := strconv.ParseUint(p.next().Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad AS OF LSN value")
+		}
+		ao.HasLSN = true
+		ao.LSN = n
+		return ao, nil
+	}
+	if isWord(p.cur(), "TIMESTAMP") {
+		p.next()
+	}
+	d, err := p.parseIntervalLiteral()
+	if err != nil {
+		return nil, err
+	}
+	ao.TS = stream.TS(d)
+	return ao, nil
+}
+
+// ParseAsOf parses a standalone AS OF anchor — "LSN 2000", "TIMESTAMP 30
+// SECONDS", or "30 SECONDS" — for Engine.QueryAsOf and the -as-of flag.
+func ParseAsOf(src string) (*AsOfClause, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	ao, err := p.parseAsOfBody()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after AS OF anchor", p.cur())
+	}
+	return ao, nil
+}
+
 // parseFromItem handles: name [AS alias] [OVER window]
 // and TABLE( name OVER (RANGE ...) ) [AS alias].
 func (p *Parser) parseFromItem() (*FromItem, error) {
@@ -564,13 +629,16 @@ func (p *Parser) parseFromItem() (*FromItem, error) {
 		}
 		f.Source = name
 	}
-	if p.accept("AS") {
+	// "AS OF" after a FROM item is the time-travel clause, not an alias
+	// named "of" — leave it for parseSelect.
+	if p.cur().Is("AS") && !isWord(p.peek(), "OF") {
+		p.next()
 		a, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
 		f.Alias = a
-	} else if p.cur().Kind == TokIdent {
+	} else if p.cur().Kind == TokIdent && !isWord(p.cur(), "OF") {
 		f.Alias = p.next().Text
 	}
 	if f.Alias == "" {

@@ -17,6 +17,9 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 	if len(sel.OrderBy) > 0 {
 		return nil, nil, fmt.Errorf("esl: ORDER BY applies to snapshot queries only; a continuous stream has no end to order at")
 	}
+	if sel.AsOf != nil {
+		return nil, nil, fmt.Errorf("esl: AS OF applies to snapshot queries only; a continuous query always reads current table state")
+	}
 	if err := validateSelect(sel); err != nil {
 		return nil, nil, err
 	}
@@ -84,6 +87,9 @@ func (e *Engine) compile(sel *Select, q *Query) (queryOp, map[string][]string, e
 		tbl, _ := e.store.Get(ti.Source)
 		jt := joinTable{alias: ti.Alias, tbl: tbl}
 		jt.eqCol, jt.eqExpr = findEqualityLookup(sel.Where, ti.Alias, tbl.Schema())
+		if jt.eqCol != "" {
+			jt.eqPos, _ = tbl.Schema().Col(jt.eqCol)
+		}
 		op.tables = append(op.tables, jt)
 	}
 
@@ -278,9 +284,16 @@ type joinTable struct {
 	tbl   *db.Table
 	// eqCol/eqExpr, when set, drive an index lookup instead of a scan: the
 	// WHERE clause contains alias.eqCol = eqExpr with eqExpr free of inner
-	// references.
+	// references. eqPos is eqCol's resolved column position.
 	eqCol  string
 	eqExpr Expr
+	eqPos  int
+	// ver is the pinned table version probes read (set by pinTables once per
+	// tuple, or once per batch when no registered query writes tables), and
+	// buf is the reused probe buffer — together they make the join hot path
+	// lock-free and allocation-free at steady state.
+	ver *db.Version
+	buf []*db.Row
 }
 
 // existsState is one windowed stream sub-query inside [NOT] EXISTS.
@@ -333,6 +346,24 @@ type filterProjectOp struct {
 	// fused marks a stateless filter-project eligible for the vectorized
 	// batch kernel (set at compile time; see compile).
 	fused bool
+
+	// vpinned is set while pushBatch holds one table version for a whole
+	// batch (legal only when no registered query writes tables); emit then
+	// skips its per-tuple re-pin so every tuple of the batch joins against
+	// the same consistent DB state.
+	vpinned bool
+}
+
+// pinTables pins the current head version of every joined table and every
+// table-EXISTS target: one atomic load each, no locks, no copies. All
+// probes until the next pin read this consistent state.
+func (op *filterProjectOp) pinTables() {
+	for i := range op.tables {
+		op.tables[i].ver = op.tables[i].tbl.Head()
+	}
+	for i := range op.tableExists {
+		op.tableExists[i].ver = op.tableExists[i].tbl.Head()
+	}
 }
 
 // timeSensitive: only deferred FOLLOWING windows emit from the passage of
@@ -349,6 +380,16 @@ func (op *filterProjectOp) timeSensitive() bool { return op.deferred }
 func (op *filterProjectOp) pushBatch(aliases []string, b *stream.Batch) error {
 	e := op.e
 	if !op.fused || !containsFold(aliases, op.outerAlias) {
+		// Pin table versions once for the whole batch when no registered
+		// query writes tables: every tuple then joins against one consistent
+		// DB state, and concurrent ad-hoc writers never tear a batch. With
+		// table-writing queries registered, emit re-pins per tuple so a
+		// query's own inserts stay visible to later tuples in the batch.
+		if (len(op.tables) > 0 || len(op.tableExists) > 0) && e.tableWriters == 0 {
+			op.pinTables()
+			op.vpinned = true
+			defer func() { op.vpinned = false }()
+		}
 		for _, t := range b.Tuples {
 			if t.TS > e.now {
 				e.now = t.TS
@@ -455,6 +496,9 @@ func (op *filterProjectOp) advance(ts stream.Timestamp) error {
 
 // emit runs the WHERE clause (with EXISTS hooks bound) and projects.
 func (op *filterProjectOp) emit(t *stream.Tuple) error {
+	if !op.vpinned {
+		op.pinTables()
+	}
 	env := getEnv(op.e.funcs)
 	env.hooks = op.hooks
 	env.bindTupleLower(op.outerAliasLower, t)
@@ -481,20 +525,18 @@ func (op *filterProjectOp) joinTables(env *Env, t *stream.Tuple, i int) error {
 		}
 		return op.sinkRow(op.proj.row(vals, t.TS))
 	}
-	jt := op.tables[i]
-	var rows []*db.Row
+	jt := &op.tables[i]
+	rows := jt.buf[:0]
 	if jt.eqCol != "" {
 		v, err := env.Eval(jt.eqExpr)
 		if err != nil {
 			return err
 		}
-		rows, err = jt.tbl.LookupEqual(jt.eqCol, v)
-		if err != nil {
-			return err
-		}
+		rows = jt.ver.Probe(jt.eqPos, v, rows)
 	} else {
-		rows = jt.tbl.Snapshot()
+		rows = jt.ver.AppendAll(rows)
 	}
+	jt.buf = rows
 	for _, r := range rows {
 		child := getChildEnv(env)
 		child.BindRow(jt.alias, jt.tbl.Schema(), r.Vals)
@@ -586,19 +628,21 @@ func (op *filterProjectOp) existsHook(ex *existsState) func(*Env) (stream.Value,
 // is a simple equality.
 func (op *filterProjectOp) tableExistsHook(ex *tableExistsState) func(*Env) (stream.Value, error) {
 	return func(cur *Env) (stream.Value, error) {
-		var rows []*db.Row
+		ver := ex.ver
+		if ver == nil {
+			ver = ex.tbl.Head()
+		}
+		rows := ex.buf[:0]
 		if ex.eqCol != "" {
 			v, err := cur.Eval(ex.eqExpr)
 			if err != nil {
 				return stream.Null, err
 			}
-			rows, err = ex.tbl.LookupEqual(ex.eqCol, v)
-			if err != nil {
-				return stream.Null, err
-			}
+			rows = ver.Probe(ex.eqPos, v, rows)
 		} else {
-			rows = ex.tbl.Snapshot()
+			rows = ver.AppendAll(rows)
 		}
+		ex.buf = rows
 		found := false
 		for _, r := range rows {
 			child := getChildEnv(cur)
@@ -700,11 +744,16 @@ func (e *Engine) planExists(where Expr, op *filterProjectOp, inputs map[string][
 		if tbl, isTable := e.store.Get(f.Source); isTable {
 			// Table EXISTS: evaluated against current table contents.
 			eqCol, eqExpr := findEqualityLookup(sub.Where, f.Alias, tbl.Schema())
+			eqPos := 0
+			if eqCol != "" {
+				eqPos, _ = tbl.Schema().Col(eqCol)
+			}
 			node := node
 			f := f
 			sub := sub
 			op.tableExists = append(op.tableExists, tableExistsState{
-				node: node, alias: f.Alias, tbl: tbl, inner: sub, eqCol: eqCol, eqExpr: eqExpr,
+				node: node, alias: f.Alias, tbl: tbl, inner: sub,
+				eqCol: eqCol, eqExpr: eqExpr, eqPos: eqPos,
 			})
 			continue
 		}
@@ -720,6 +769,10 @@ type tableExistsState struct {
 	inner  *Select
 	eqCol  string
 	eqExpr Expr
+	eqPos  int
+	// Pinned version + reused probe buffer, maintained like joinTable's.
+	ver *db.Version
+	buf []*db.Row
 }
 
 func collectExists(x Expr, out *[]*Exists) {

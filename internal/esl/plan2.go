@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/db"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -399,6 +400,68 @@ func (e *Engine) Query(sql string) ([]Row, error) {
 	return e.snapshotSelect(sel)
 }
 
+// QueryAsOf runs an ad-hoc snapshot SELECT against historical table state.
+// The anchor is an AS OF body — "LSN 2000", "TIMESTAMP 30 SECONDS", or just
+// "30 SECONDS" — and overrides any AS OF clause written in the query.
+func (e *Engine) QueryAsOf(sql, anchor string) ([]Row, error) {
+	s, err := ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("esl: QueryAsOf needs a SELECT, got %T", s)
+	}
+	if anchor != "" {
+		ao, err := ParseAsOf(anchor)
+		if err != nil {
+			return nil, err
+		}
+		sel.AsOf = ao
+	}
+	return e.snapshotSelect(sel)
+}
+
+// resolveAsOfLocked maps an AS OF clause to a table version. A nil clause
+// (or an anchor strictly after the present) reads the head; otherwise the
+// anchor resolves DOWN to the newest version cut at or before it —
+// checkpoint granularity, exactly the states a restored replica could also
+// serve. An anchor exactly at a checkpoint's LSN returns that cut even
+// when the head has since moved through non-journaled DML: AS OF names the
+// recorded state, not whatever came after it at the same journal position.
+func (e *Engine) resolveAsOfLocked(tbl *db.Table, ao *AsOfClause) (*db.Version, error) {
+	if ao == nil {
+		return tbl.Head(), nil
+	}
+	if ao.HasLSN {
+		if ao.LSN > e.lsn {
+			return tbl.Head(), nil
+		}
+		if v, ok := tbl.AsOf(ao.LSN); ok {
+			return v, nil
+		}
+		if ao.LSN >= e.lsn {
+			return tbl.Head(), nil // anchor is "now" and nothing was ever cut
+		}
+	} else {
+		if ao.TS > e.now {
+			return tbl.Head(), nil
+		}
+		if v, ok := tbl.AsOfTime(ao.TS); ok {
+			return v, nil
+		}
+		if ao.TS >= e.now {
+			return tbl.Head(), nil
+		}
+	}
+	if oldest, ok := tbl.OldestLSN(); ok {
+		return nil, fmt.Errorf("esl: no retained version of table %s that old (oldest checkpoint is lsn %d)",
+			tbl.Schema().Name(), oldest)
+	}
+	return nil, fmt.Errorf("esl: table %s has no checkpointed versions; AS OF needs a checkpoint (enable journaling or call CheckpointNow)",
+		tbl.Schema().Name())
+}
+
 // snapshotSelect evaluates a SELECT once against current state.
 func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
 	e.mu.Lock()
@@ -415,6 +478,9 @@ func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
 	var schemas []aliasSchema
 	for _, f := range sel.From {
 		if si, isStream := e.streams[strings.ToLower(f.Source)]; isStream {
+			if sel.AsOf != nil {
+				return nil, fmt.Errorf("esl: AS OF reads table history; stream source %q has no versioned past", f.Source)
+			}
 			if si.history == nil {
 				return nil, fmt.Errorf("esl: stream %s has no retained history; call RetainHistory or use TABLE(%s OVER (...)) on a retained stream", f.Source, f.Source)
 			}
@@ -435,10 +501,20 @@ func (e *Engine) snapshotSelect(sel *Select) ([]Row, error) {
 			continue
 		}
 		if tbl, isTable := e.store.Get(f.Source); isTable {
-			src := sourceRows{alias: f.Alias, schema: tbl.Schema()}
-			for _, r := range tbl.Snapshot() {
-				src.rows = append(src.rows, r.Vals)
+			// Pin one version — the head, or the AS OF anchor's checkpoint
+			// cut — and read it lock-free; no row copy is taken.
+			ver, err := e.resolveAsOfLocked(tbl, sel.AsOf)
+			if err != nil {
+				return nil, err
 			}
+			ver.Pin()
+			defer ver.Unpin()
+			src := sourceRows{alias: f.Alias, schema: tbl.Schema()}
+			src.rows = make([][]stream.Value, 0, ver.Len())
+			ver.Each(func(r *db.Row) bool {
+				src.rows = append(src.rows, r.Vals)
+				return true
+			})
 			sources = append(sources, src)
 			schemas = append(schemas, aliasSchema{alias: f.Alias, schema: tbl.Schema()})
 			continue

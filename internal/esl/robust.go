@@ -30,6 +30,12 @@ type Config struct {
 	JournalDir      string
 	Journal         snapshot.JournalConfig
 	CheckpointEvery int
+
+	// RetainVersions bounds the table history kept for AS OF queries: each
+	// checkpoint names the current state of every table, and only the newest
+	// n named versions stay reachable (0 = retain all). Versions pinned by
+	// in-flight readers survive the bound until unpinned.
+	RetainVersions int
 }
 
 // Option mutates the engine configuration at construction.
@@ -78,6 +84,14 @@ func WithJournal(dir string) Option {
 // smaller n shortens recovery at the cost of more checkpoint I/O.
 func WithCheckpointEvery(n int) Option {
 	return func(c *Config) { c.CheckpointEvery = n }
+}
+
+// WithRetainVersions keeps only the newest n checkpoint-cut table versions
+// reachable for AS OF queries, releasing older history to the garbage
+// collector (0, the default, retains all). Pinned versions outlive the
+// bound until their readers finish.
+func WithRetainVersions(n int) Option {
+	return func(c *Config) { c.RetainVersions = n }
 }
 
 // WithFsync selects the journal's durability/throughput trade-off:

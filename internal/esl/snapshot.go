@@ -760,6 +760,21 @@ func (e *Engine) loadStateLocked(dec *snapshot.Decoder) error {
 			return err
 		}
 	}
+	// Rebuild the checkpoint-LSN list retention tracks (cutVersionsLocked)
+	// from the restored table history: the union of every table's retained
+	// cut LSNs, ascending.
+	seen := map[uint64]bool{}
+	e.ckptLSNs = e.ckptLSNs[:0]
+	for _, name := range e.store.Names() {
+		tbl, _ := e.store.Get(name)
+		for _, vi := range tbl.Versions() {
+			if !seen[vi.LSN] {
+				seen[vi.LSN] = true
+				e.ckptLSNs = append(e.ckptLSNs, vi.LSN)
+			}
+		}
+	}
+	sort.Slice(e.ckptLSNs, func(i, j int) bool { return e.ckptLSNs[i] < e.ckptLSNs[j] })
 	return nil
 }
 
@@ -865,6 +880,10 @@ func (e *Engine) checkpointDirLocked() error {
 			return err
 		}
 	}
+	// Name every table's current state as the version at this checkpoint's
+	// LSN *before* encoding, so the snapshot carries the cut and a restored
+	// replica can serve AS OF reads at it too.
+	e.cutVersionsLocked()
 	enc := snapshot.NewEncoder()
 	if err := e.saveStateLocked(enc); err != nil {
 		return err
@@ -878,6 +897,23 @@ func (e *Engine) checkpointDirLocked() error {
 	}
 	e.sinceCkpt = 0
 	return nil
+}
+
+// cutVersionsLocked names the current state of every store table as the
+// version at the current LSN and applies the RetainVersions bound: once
+// more than retainVers checkpoints have cut versions, the watermark
+// advances past the oldest and unpinned history is released.
+func (e *Engine) cutVersionsLocked() {
+	e.store.CutVersions(e.lsn, e.now)
+	for n := len(e.ckptLSNs); n > 0 && e.ckptLSNs[n-1] >= e.lsn; n = len(e.ckptLSNs) {
+		e.ckptLSNs = e.ckptLSNs[:n-1]
+	}
+	e.ckptLSNs = append(e.ckptLSNs, e.lsn)
+	if e.retainVers > 0 && len(e.ckptLSNs) > e.retainVers {
+		drop := len(e.ckptLSNs) - e.retainVers
+		e.store.ReleaseBefore(e.ckptLSNs[drop])
+		e.ckptLSNs = append(e.ckptLSNs[:0], e.ckptLSNs[drop:]...)
+	}
 }
 
 // CheckpointNow forces a durable snapshot into the journal directory,

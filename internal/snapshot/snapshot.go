@@ -37,8 +37,11 @@ import (
 )
 
 // Version is the snapshot format version; bumped on any layout change.
-// v2 added the merged-group section (shared automata + member fences).
-const Version = 2
+// v2 added the merged-group section (shared automata + member fences);
+// v3 replaced flat table sections with the delta-compressed version
+// history (interned rows + per-version shared prefixes) that carries the
+// MVCC AS OF cuts across a restore.
+const Version = 3
 
 // magic identifies a snapshot file. The trailing newline guards against
 // text-mode corruption, the classic PNG trick.
