@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery bench-cluster bench-failover bench-db bench-db-json perf-trajectory
+.PHONY: ci fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak spec-soak bench-smoke bench-json bench-compare bench-vectorized bench-vectorized-compare bench-multiquery bench-multiquery-compare bench-recovery bench-cluster bench-failover bench-db bench-db-json bench-speculation perf-trajectory
 
-ci: fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak bench-smoke perf-trajectory
+ci: fmt-check vet build test chaos-soak recover-soak cluster-soak failover-soak spec-soak bench-smoke perf-trajectory
 
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -63,6 +63,19 @@ failover-soak:
 		-kill-every 8000 -kill-nodes 0 -checkpoint-every 4
 	$(GO) run ./cmd/eslev cluster-soak -nodes 4 -events 20000 \
 		-kill-every 5000 -kill-nodes 3,1 -checkpoint-every 4
+
+# Speculation soak: the full fault mix plus the bursty LateHeavy disorder
+# profile (20-30% of readings delayed near the slack bound, clustered by
+# reader) with every base-stream query running FAST or MIDDLE. Fails unless
+# the compensated record stream — retractions folded against their
+# assertions — is row-for-row identical to the strict baseline, and the
+# run actually exercised speculation (assertions emitted). The third run
+# adds crash/recovery: in-flight assertions must survive snapshot restore
+# and retract correctly after replay.
+spec-soak:
+	$(GO) run ./cmd/eslev chaos -events 500000 -consistency FAST -late-heavy
+	$(GO) run ./cmd/eslev chaos -events 500000 -consistency MIDDLE -late-heavy
+	$(GO) run ./cmd/eslev chaos -events 300000 -consistency FAST -late-heavy -kill-every 60000
 
 # Recovery overhead gate: steady-state throughput with the journal and
 # automatic checkpoints enabled must stay within 10% of the undurable
@@ -163,10 +176,20 @@ bench-db:
 	$(GO) run ./cmd/eslev bench -db -db-sizes 1000,30000 -db-probes 100000 \
 		-baseline BENCH_DB.json -max-regress 25
 
+# Speculation latency/overhead gate: FAST first-answer p99 latency must be
+# at most half of STRICT's watermark wait, and the retraction path must
+# cost at most 15% wall time over a clean-feed FAST run. Records the
+# measurement in BENCH_SPECULATION.json.
+bench-speculation:
+	$(GO) run ./cmd/eslev bench -speculation -events 30000 \
+		-spec-max-p99-ratio 0.5 -spec-max-overhead 15 \
+		-bench-json BENCH_SPECULATION.json
+
 # Perf-trajectory check: every recorded BENCH_*.json baseline re-validated
 # on HEAD in one run — sharded scaling (BENCH_SHARDED), vectorized
 # ingestion (BENCH_VECTORIZED), multi-query dispatch incl. the merged path
 # (BENCH_MULTIQUERY), durability overhead (BENCH_RECOVERY), cluster
-# scale-out (BENCH_CLUSTER), fail-over recovery (BENCH_FAILOVER), and the
-# stream-DB join probe hot path (BENCH_DB).
-perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery bench-cluster bench-failover bench-db
+# scale-out (BENCH_CLUSTER), fail-over recovery (BENCH_FAILOVER), the
+# stream-DB join probe hot path (BENCH_DB), and the consistency-level
+# latency/retraction gates (BENCH_SPECULATION).
+perf-trajectory: bench-compare bench-vectorized-compare bench-multiquery-compare bench-recovery bench-cluster bench-failover bench-db bench-speculation

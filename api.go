@@ -10,6 +10,7 @@ import (
 	"repro/internal/rfid"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -240,6 +241,73 @@ const (
 	DeadOversized  = stream.DeadOversized
 	DeadQueryPanic = stream.DeadQueryPanic
 )
+
+// ---- speculative execution -----------------------------------------------------
+//
+// On a slack-configured engine, queries registered FAST or MIDDLE (via
+// WithConsistency or a trailing CONSISTENCY clause in the SQL) emit
+// speculative rows ahead of the watermark and compensate disorder with
+// retractions. Every delivered row then carries a polarity (+/−/final) and
+// a stable match identity; folding retractions against their assertions
+// reproduces the STRICT output exactly.
+
+// ConsistencyLevel is the per-query speculation/latency trade-off.
+type ConsistencyLevel = spec.Level
+
+// The consistency levels.
+const (
+	// Strict is the watermark-gated default: rows emit only once the
+	// reorder boundary proves their inputs final.
+	Strict = spec.Strict
+	// Middle emits after a short speculation horizon with bounded
+	// retraction depth.
+	Middle = spec.Middle
+	// Fast emits on arrival and compensates with retractions.
+	Fast = spec.Fast
+)
+
+// ParseConsistencyLevel parses a level name ("STRICT", "MIDDLE", "FAST"),
+// case-insensitively.
+func ParseConsistencyLevel(s string) (ConsistencyLevel, bool) { return spec.ParseLevel(s) }
+
+// Polarity is the sign a delivered record carries: Assert (+1) adds a
+// speculative row, Retract (−1) cancels a prior assertion with the same
+// match identity, Final (0) is a watermark-proven row.
+type Polarity = spec.Polarity
+
+// The record polarities.
+const (
+	PolarityAssert  = spec.Assert
+	PolarityRetract = spec.Retract
+	PolarityFinal   = spec.Final
+)
+
+// QueryOption tunes one RegisterQueryOpts registration.
+type QueryOption = esl.QueryOption
+
+// WithConsistency selects the query's speculation level at register time,
+// overriding any CONSISTENCY clause in the SQL.
+func WithConsistency(l ConsistencyLevel) QueryOption { return esl.WithConsistency(l) }
+
+// WithRetractionDepth caps how many unconfirmed assertions a MIDDLE query
+// may have outstanding (default 64): beyond it, speculative emission is
+// suppressed until the strict path catches up.
+func WithRetractionDepth(n int) QueryOption { return esl.WithRetractionDepth(n) }
+
+// RecordTags reports a delivered row's speculation tags: its polarity plus
+// the (sequence, provenance-hash) pair forming the stable match identity a
+// retraction shares with the assertion it cancels. Strict rows report
+// (PolarityFinal, 0, 0).
+func RecordTags(r Row) (pol Polarity, seq, hash uint64) { return esl.RecordTags(r) }
+
+// TagRecord returns a copy of r carrying the given record tags — the
+// decode-side constructor for transports that ship polarity out of band.
+func TagRecord(r Row, pol Polarity, seq, hash uint64) Row { return esl.TagRecord(r, pol, seq, hash) }
+
+// SpecStats is the per-query speculation counter snapshot returned by
+// Engine.SpecStats: assertions, confirmations, retractions, late finals,
+// suppressed emissions, and the level's gate gauges.
+type SpecStats = esl.SpecStats
 
 // EngineStats is the engine-wide robustness counter snapshot; the boundary
 // balance Ingested = Emitted + DroppedLate + DroppedDup + DeadLettered +

@@ -1,0 +1,267 @@
+package main
+
+// bench -speculation: the consistency-level latency/overhead benchmark
+// behind BENCH_SPECULATION.json.
+//
+// One windowed aggregate runs over the same disordered feed (slack 500ms) at
+// each consistency level. Two properties are measured and gated:
+//
+//   - First-answer latency, in event time: how far the arrival clock has
+//     advanced past a row's timestamp when the first record for that input
+//     reaches the sink — a strict final, or a speculative assertion. STRICT
+//     rows wait out the full reorder slack; FAST rows emit on arrival.
+//     Corrections (late finals re-emitted after a retraction) are not first
+//     answers; they are reported separately as the retraction rate. Gate:
+//     FAST p99 must be at most -spec-max-p99-ratio (default 0.5) of STRICT
+//     p99.
+//   - Retraction overhead, in wall time: the FAST arm also runs on a clean
+//     in-order copy of the feed — same speculation machinery, but every
+//     assertion confirms and nothing retracts. The ns/event delta between
+//     the disordered and clean FAST runs is the price of the compensation
+//     path (retraction emission, reconciler churn, re-assertion). Gate: at
+//     most -spec-max-overhead percent (default 15).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/spec"
+	"repro/internal/stream"
+)
+
+const (
+	specBenchSlack = 500 * time.Millisecond
+	specBenchStep  = 10 * time.Millisecond
+	// Eight tags at a 10ms step put same-tag readings 80ms apart: a delay
+	// drawn up to 200ms displaces a reading past one or two same-tag
+	// successors, so a real fraction of the per-tag counts assert wrong and
+	// must be retracted — without making every assertion wrong the way a
+	// cross-tag window would.
+	specBenchTags = 8
+	// Disorder delay is bounded by 2/5 of the slack: deep enough to force
+	// retractions, shallow enough that FAST arrival latency stays well under
+	// the strict slack wait the p99 gate compares against.
+	specBenchMaxDelay = specBenchSlack * 2 / 5
+	specBenchDisorder = 0.25
+)
+
+type specBenchResult struct {
+	Arm          string  `json:"arm"` // consistency level, lower-case
+	Events       int     `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Rows         int     `json:"rows"` // records delivered (incl. retractions)
+	Asserted     uint64  `json:"asserted"`
+	Retracted    uint64  `json:"retracted"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"` // event-time emission latency
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+type specBenchReport struct {
+	CPUs               int               `json:"cpus"`
+	Events             int               `json:"events"`
+	SlackMs            float64           `json:"slack_ms"`
+	DisorderFrac       float64           `json:"disorder_frac"`
+	Results            []specBenchResult `json:"results"`
+	FastCleanNsPerEv   float64           `json:"fast_clean_ns_per_event"` // FAST arm, in-order feed
+	P99Ratio           float64           `json:"p99_ratio_fast_vs_strict"`
+	RetractOverheadPct float64           `json:"retraction_overhead_pct"`
+	GateMaxP99Ratio    float64           `json:"gate_max_p99_ratio"`
+	GateMaxOverheadPct float64           `json:"gate_max_overhead_pct"`
+}
+
+// specBenchInput is the arrival sequence: (event time, tag, n) in perturbed
+// arrival order. Deterministic for a given events count.
+type specBenchInput struct {
+	ts  stream.Timestamp
+	tag int
+	n   int64
+}
+
+func specBenchFeed(events int, disordered bool) []specBenchInput {
+	type keyed struct {
+		key stream.Timestamp
+		ord int
+		in  specBenchInput
+	}
+	rng := rand.New(rand.NewSource(99))
+	arr := make([]keyed, events)
+	for i := 0; i < events; i++ {
+		ts := stream.TS(time.Duration(i+1) * specBenchStep)
+		key := ts
+		if disordered && rng.Float64() < specBenchDisorder {
+			key = ts.Add(time.Duration(rng.Int63n(int64(specBenchMaxDelay))))
+		}
+		arr[i] = keyed{key: key, ord: i, in: specBenchInput{ts: ts, tag: i % specBenchTags, n: int64(i)}}
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].key != arr[j].key {
+			return arr[i].key < arr[j].key
+		}
+		return arr[i].ord < arr[j].ord
+	})
+	out := make([]specBenchInput, events)
+	for i, k := range arr {
+		out[i] = k.in
+	}
+	return out
+}
+
+// specBenchArm runs one (level, feed) combination and reports best-of-reps
+// wall time plus the deterministic latency/record profile of the last pass.
+func specBenchArm(level spec.Level, feed []specBenchInput, reps int) (specBenchResult, error) {
+	res := specBenchResult{Arm: level.String(), Events: len(feed)}
+	sql := `SELECT tagid, COUNT(*), SUM(n) FROM s GROUP BY tagid`
+	if level != spec.Strict {
+		sql += " CONSISTENCY " + level.String()
+	}
+	bestNs := 0.0
+	for rep := 0; rep < reps; rep++ {
+		e := esl.New(esl.WithSlack(specBenchSlack))
+		if _, err := e.Exec(`CREATE STREAM s(tagid, n);`); err != nil {
+			return res, err
+		}
+		// arrival tracks the feed clock; serial callbacks run on the pushing
+		// goroutine, so a plain variable is race-free.
+		var arrival stream.Timestamp
+		var lats []int64
+		rows, asserted, retracted := 0, uint64(0), uint64(0)
+		if _, err := e.RegisterQuery("bench", sql, func(r esl.Row) {
+			rows++
+			pol, seq, _ := esl.RecordTags(r)
+			switch {
+			case pol == spec.Retract:
+				retracted++
+				return // cancels an earlier answer; not an emission
+			case pol == spec.Assert:
+				asserted++
+			case seq != 0:
+				return // correction: a late final re-issued after a retraction
+			}
+			lat := int64(arrival) - int64(r.TS)
+			if lat < 0 {
+				lat = 0
+			}
+			lats = append(lats, lat)
+		}); err != nil {
+			return res, err
+		}
+		schema, _ := e.StreamSchema("s")
+		start := time.Now()
+		for _, in := range feed {
+			if in.ts > arrival {
+				arrival = in.ts
+			}
+			t, err := stream.NewTuple(schema, in.ts, stream.Int(int64(in.tag)), stream.Int(in.n))
+			if err != nil {
+				return res, err
+			}
+			if err := e.PushTuple("s", t); err != nil {
+				return res, err
+			}
+		}
+		if err := e.Drain(); err != nil {
+			return res, err
+		}
+		ns := float64(time.Since(start)) / float64(len(feed))
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == reps-1 {
+			res.Rows, res.Asserted, res.Retracted = rows, asserted, retracted
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			pct := func(p float64) float64 {
+				if len(lats) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(lats)-1))
+				return float64(lats[i]) / float64(time.Millisecond)
+			}
+			res.LatencyP50Ms, res.LatencyP99Ms = pct(0.50), pct(0.99)
+		}
+	}
+	res.NsPerEvent = bestNs
+	return res, nil
+}
+
+// runBenchSpeculation sweeps STRICT, MIDDLE, and FAST over the disordered
+// feed (plus FAST over a clean feed for the retraction-overhead delta),
+// writes BENCH_SPECULATION.json, and enforces the two gates.
+func runBenchSpeculation(events, reps int, jsonPath string, maxP99Ratio, maxOverhead float64) error {
+	if reps < 1 {
+		reps = 1
+	}
+	report := specBenchReport{
+		CPUs:    runtime.NumCPU(),
+		Events:  events,
+		SlackMs: float64(specBenchSlack) / float64(time.Millisecond),
+
+		DisorderFrac:       specBenchDisorder,
+		GateMaxP99Ratio:    maxP99Ratio,
+		GateMaxOverheadPct: maxOverhead,
+	}
+	fmt.Printf("cpus=%d events=%d slack=%s disorder=%.0f%% (delay <= %s)\n",
+		report.CPUs, events, specBenchSlack, 100*specBenchDisorder, specBenchMaxDelay)
+	disordered := specBenchFeed(events, true)
+	var strict, fast specBenchResult
+	for _, level := range []spec.Level{spec.Strict, spec.Middle, spec.Fast} {
+		r, err := specBenchArm(level, disordered, reps)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("%-7s %8.0f ns/event   latency p50 %7.1fms p99 %7.1fms   rows=%d asserted=%d retracted=%d\n",
+			r.Arm, r.NsPerEvent, r.LatencyP50Ms, r.LatencyP99Ms, r.Rows, r.Asserted, r.Retracted)
+		switch level {
+		case spec.Strict:
+			strict = r
+		case spec.Fast:
+			fast = r
+		}
+	}
+	clean, err := specBenchArm(spec.Fast, specBenchFeed(events, false), reps)
+	if err != nil {
+		return err
+	}
+	report.FastCleanNsPerEv = clean.NsPerEvent
+	if clean.Retracted != 0 {
+		return fmt.Errorf("clean in-order FAST run retracted %d assertions; the overhead delta is not attributable to retractions", clean.Retracted)
+	}
+
+	if strict.LatencyP99Ms > 0 {
+		report.P99Ratio = fast.LatencyP99Ms / strict.LatencyP99Ms
+	}
+	if clean.NsPerEvent > 0 {
+		report.RetractOverheadPct = (fast.NsPerEvent - clean.NsPerEvent) / clean.NsPerEvent * 100
+	}
+	fmt.Printf("fast/strict p99 ratio: %.2f (gate <= %.2f)\n", report.P99Ratio, maxP99Ratio)
+	fmt.Printf("retraction overhead:   %+.1f%% vs clean-feed FAST %.0f ns/event (gate <= %.0f%%)\n",
+		report.RetractOverheadPct, clean.NsPerEvent, maxOverhead)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "eslev: wrote %s\n", jsonPath)
+	}
+	if maxP99Ratio > 0 && report.P99Ratio > maxP99Ratio {
+		return fmt.Errorf("FAST p99 %.1fms exceeds %.2fx STRICT p99 %.1fms",
+			fast.LatencyP99Ms, maxP99Ratio, strict.LatencyP99Ms)
+	}
+	if maxOverhead > 0 && report.RetractOverheadPct > maxOverhead {
+		return fmt.Errorf("retraction overhead %.1f%% exceeds %.0f%% gate", report.RetractOverheadPct, maxOverhead)
+	}
+	if fast.Retracted == 0 {
+		return fmt.Errorf("disordered FAST run produced no retractions; the bench is not exercising compensation")
+	}
+	return nil
+}

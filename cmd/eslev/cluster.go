@@ -120,7 +120,7 @@ func cmdFeed(args []string) error {
 	for _, name := range []string{"out", "out_alerts", "out_events", "out_rows"} {
 		_ = e.Subscribe(name, func(t *eslev.Tuple) { fmt.Println(t) })
 	}
-	rows, err := loadCSVs(e, feeds)
+	rows, err := loadCSVs(e, feeds, false)
 	if err != nil {
 		return err
 	}

@@ -6,14 +6,19 @@
 //
 //	eslev demo modes                 reproduce the §3.1.1 walkthrough
 //	eslev demo examples              run paper examples 1-8 on simulated data
-//	eslev run [-shards N] [-stats] [-no-route-index] [-checkpoint-dir d]
+//	eslev run [-shards N] [-stats] [-slack d] [-no-route-index] [-checkpoint-dir d]
 //	          [-checkpoint-every N] [-restore] [-cpuprofile f] [-memprofile f]
 //	          [-trace f] script.esl [s=f.csv]
 //	                                 execute a script, feeding stream s
 //	                                 from CSV file f (repeatable); -shards
 //	                                 runs it on the partition-parallel engine;
+//	                                 -slack enables the reorder boundary and
+//	                                 feeds rows in recorded arrival order, so
+//	                                 out-of-order feeds work and CONSISTENCY
+//	                                 FAST/MIDDLE clauses speculate;
 //	                                 -stats prints per-query routed/skipped
-//	                                 counters and run gauges afterwards;
+//	                                 counters, run gauges, and speculation
+//	                                 pending/retracted counts afterwards;
 //	                                 -checkpoint-dir journals every pushed
 //	                                 item and cuts a durable snapshot when
 //	                                 the run ends (plus every N records with
@@ -41,9 +46,18 @@
 //	                                 report recovery time to the first
 //	                                 post-fail-over row; all arms must agree
 //	                                 on the output row count (exactly-once)
+//	eslev bench -speculation [-events N] [-spec-reps N] [-spec-max-p99-ratio r]
+//	            [-spec-max-overhead pct] [-bench-json out.json]
+//	                                 measure consistency-level first-answer
+//	                                 latency (STRICT/MIDDLE/FAST arms over the
+//	                                 same disordered feed) and the wall-time
+//	                                 overhead of the retraction path vs a
+//	                                 clean-feed FAST run; both gates fail the
+//	                                 run when exceeded
 //	eslev chaos [-events N] [-shards N] [-fanout N] [-slack d] [-disorder f] [-dup f]
 //	            [-corrupt f] [-oversize f] [-late f] [-panic-every N] [-policy P]
 //	            [-extended] [-kill-every N] [-checkpoint-every N] [-journal-dir d]
+//	            [-consistency L] [-late-heavy]
 //	                                 fault-injection soak: perturb a deterministic
 //	                                 workload with disorder, duplicates, corruption
 //	                                 and UDF panics, then verify output equivalence
@@ -53,11 +67,17 @@
 //	                                 crashes the perturbed engine every N offered
 //	                                 readings and recovers it from the latest
 //	                                 snapshot plus journal replay, certifying
-//	                                 exactly-once output across crashes
+//	                                 exactly-once output across crashes;
+//	                                 -consistency MIDDLE|FAST runs the workload
+//	                                 speculatively and proves the compensated
+//	                                 (retraction-folded) stream equals the strict
+//	                                 baseline row for row; -late-heavy swaps in
+//	                                 bursty reader-clustered near-horizon lateness
 //
 // CSV files carry a header row naming the stream's columns; a column named
 // read_time/tagtime/ts holds the event time as a Go duration ("1.5s") or
-// integer nanoseconds. Rows must be in non-decreasing time order.
+// integer nanoseconds. Rows must be in non-decreasing time order unless
+// -slack covers the recorded disorder.
 package main
 
 import (
@@ -78,6 +98,7 @@ import (
 	eslev "repro"
 	"repro/internal/chaos"
 	"repro/internal/snapshot"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -102,7 +123,8 @@ func main() {
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
 		shards := fs.Int("shards", 1, "run on the partition-parallel engine with this many shards")
-		stats := fs.Bool("stats", false, "print per-query stats (emitted, routed/skipped, runs) after the run")
+		stats := fs.Bool("stats", false, "print per-query stats (emitted, routed/skipped, runs, speculation gauges) after the run")
+		slack := fs.Duration("slack", 0, "reorder slack for the ingest boundary; enables out-of-order feeds and CONSISTENCY FAST/MIDDLE queries")
 		noRoute := fs.Bool("no-route-index", false, "disable the multi-query routing index (scan-all dispatch)")
 		noMerge := fs.Bool("no-merge", false, "disable multi-query plan merging (every SEQ query runs its own automaton)")
 		ckptDir := fs.String("checkpoint-dir", "", "journal directory: every pushed item is logged and a snapshot is cut when the run ends")
@@ -117,7 +139,7 @@ func main() {
 		}
 		var stop func() error
 		if stop, err = prof.start(); err == nil {
-			err = runScript(*shards, *stats, *noRoute, *noMerge, *ckptDir, *ckptEvery, *restore, *query, *asOf, fs.Arg(0), fs.Args()[1:])
+			err = runScript(*shards, *stats, *noRoute, *noMerge, *slack, *ckptDir, *ckptEvery, *restore, *query, *asOf, fs.Arg(0), fs.Args()[1:])
 			if serr := stop(); err == nil {
 				err = serr
 			}
@@ -144,6 +166,10 @@ func main() {
 		dbBench := fs.Bool("db", false, "measure stream-DB join probe latency and throughput (legacy vs MVCC arms) instead of the shard workloads")
 		dbSizes := fs.String("db-sizes", "1000,30000,300000", "comma-separated table sizes for -db")
 		dbProbes := fs.Int("db-probes", 200_000, "indexed probes per arm per size for -db")
+		speculation := fs.Bool("speculation", false, "measure consistency-level emission latency and retraction overhead (STRICT/MIDDLE/FAST arms) instead of the shard workloads")
+		specReps := fs.Int("spec-reps", 3, "timed passes per arm for -speculation; each arm reports its best pass")
+		specMaxP99 := fs.Float64("spec-max-p99-ratio", 0.5, "fail -speculation if FAST p99 emission latency exceeds this fraction of STRICT p99 (0 = report only)")
+		specMaxOverhead := fs.Float64("spec-max-overhead", 15, "fail -speculation if the retraction-path overhead exceeds this percent (0 = report only)")
 		recovery := fs.Bool("recovery", false, "measure checkpoint/journal overhead, snapshot size, and restore latency instead of the shard workloads")
 		ckptEvery := fs.Int("checkpoint-every", 50_000, "automatic snapshot cadence for -recovery, in journaled records")
 		maxOverhead := fs.Float64("max-overhead", 0, "fail -recovery if journaling overhead exceeds this percent (0 = report only)")
@@ -162,6 +188,8 @@ func main() {
 				err = runBenchCluster(*clusterQueries, *events, *clusterBatch, *clusterReps, *clusterNodes, *jsonPath, *minSpeedup, *maxWire)
 			case *dbBench:
 				err = runBenchDB(*dbSizes, *dbProbes, *jsonPath, *baseline, *maxRegress)
+			case *speculation:
+				err = runBenchSpeculation(*events, *specReps, *jsonPath, *specMaxP99, *specMaxOverhead)
 			case *recovery:
 				err = runBenchRecovery(*events, *ckptEvery, *jsonPath, *maxOverhead)
 			case *multiquery:
@@ -191,7 +219,14 @@ func main() {
 		killEvery := fs.Int("kill-every", 0, "crash/recovery mode: kill and recover the perturbed engine every N offered readings (disables -panic-every)")
 		killCkpt := fs.Int("checkpoint-every", 0, "durable checkpoint cadence for -kill-every, in offered readings (0 = kill-every/2+1)")
 		journalDir := fs.String("journal-dir", "", "journal directory for -kill-every (default: a temp dir, removed afterwards)")
+		consistency := fs.String("consistency", "STRICT", "register base-stream queries at this consistency level (STRICT, MIDDLE, or FAST); the fold check proves retractions compensate exactly")
+		lateHeavy := fs.Bool("late-heavy", false, "replace uniform disorder with bursty reader-clustered lateness near the slack bound")
 		_ = fs.Parse(os.Args[2:])
+		level, ok := spec.ParseLevel(*consistency)
+		if !ok {
+			err = fmt.Errorf("chaos: unknown consistency level %q (want STRICT, MIDDLE, or FAST)", *consistency)
+			break
+		}
 		cfg := chaos.Config{
 			Events:          *events,
 			Seed:            *seed,
@@ -209,6 +244,8 @@ func main() {
 			KillEvery:       *killEvery,
 			CheckpointEvery: *killCkpt,
 			JournalDir:      *journalDir,
+			Speculation:     level,
+			LateHeavy:       *lateHeavy,
 		}
 		if cfg.KillEvery > 0 {
 			cfg.PanicEvery = 0 // the sacrificial probe is per-engine state
@@ -674,7 +711,7 @@ type engineLike interface {
 // checkpoint directory, every pushed item is journaled and a durable
 // snapshot is cut when the run ends; -restore recovers the previous run's
 // state (snapshot + journal suffix) before any CSV row is fed.
-func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEvery int, restore bool, query, asOf string, path string, feeds []string) error {
+func runScript(shards int, stats, noRoute, noMerge bool, slack time.Duration, ckptDir string, ckptEvery int, restore bool, query, asOf string, path string, feeds []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -692,6 +729,9 @@ func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEve
 		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
 	}
 	var opts []eslev.Option
+	if slack > 0 {
+		opts = append(opts, eslev.WithSlack(slack))
+	}
 	if noRoute {
 		opts = append(opts, eslev.WithoutRouteIndex())
 	}
@@ -735,7 +775,7 @@ func runScript(shards int, stats, noRoute, noMerge bool, ckptDir string, ckptEve
 		}
 		fmt.Fprintf(os.Stderr, "eslev: restored state from %s\n", ckptDir)
 	}
-	rows, err := loadCSVs(e, fs)
+	rows, err := loadCSVs(e, fs, slack > 0)
 	if err != nil {
 		return err
 	}
@@ -805,6 +845,8 @@ func printQueryStats(e engineLike) {
 				a.Routed += rs[i].Routed
 				a.Skipped += rs[i].Skipped
 				a.Runs += rs[i].Runs
+				a.SpecPending += rs[i].SpecPending
+				a.SpecRetracted += rs[i].SpecRetracted
 				a.Quarantined = a.Quarantined || rs[i].Quarantined
 			}
 			return nil
@@ -817,11 +859,24 @@ func printQueryStats(e engineLike) {
 			name = "(unnamed)"
 		}
 		extra := ""
+		if st.Consistency != eslev.Strict {
+			extra = fmt.Sprintf("  consistency=%s pending=%d retracted=%d",
+				st.Consistency, st.SpecPending, st.SpecRetracted)
+		}
 		if st.Quarantined {
-			extra = "  QUARANTINED"
+			extra += "  QUARANTINED"
 		}
 		fmt.Fprintf(os.Stderr, "  %-20s %-18s emitted=%-8d routed=%-8d skipped=%-8d state=%-6d runs=%d%s\n",
 			name, st.Kind, st.Emitted, st.Routed, st.Skipped, st.State, st.Runs, extra)
+	}
+	if es, ok := e.(interface{ EngineStats() eslev.EngineStats }); ok {
+		st := es.EngineStats()
+		fmt.Fprintf(os.Stderr, "eslev: engine gauges: watermark=%v reorder-heap=%d gate-pending=%d\n",
+			time.Duration(st.Watermark), st.PendingReorder, st.GatePending)
+		if st.SpecAsserted > 0 || st.SpecPending > 0 {
+			fmt.Fprintf(os.Stderr, "eslev: speculation: pending=%d asserted=%d confirmed=%d retracted=%d late-finals=%d clamped=%d\n",
+				st.SpecPending, st.SpecAsserted, st.SpecConfirmed, st.SpecRetracted, st.SpecLateFinals, st.GateClamped)
+		}
 	}
 }
 
@@ -836,7 +891,12 @@ type csvRow struct {
 	vals   []eslev.Value
 }
 
-func loadCSVs(e engineLike, feeds []csvFeed) (int, error) {
+// loadCSVs feeds the recorded rows. Without slack the strict engine needs
+// one global time order, so rows from all files are merged by timestamp;
+// with slack the recorded arrival order is the point (the boundary absorbs
+// the disorder, and CONSISTENCY queries speculate over it), so rows feed in
+// file order, files concatenated as given.
+func loadCSVs(e engineLike, feeds []csvFeed, arrivalOrder bool) (int, error) {
 	var all []csvRow
 	for _, f := range feeds {
 		rows, err := readCSV(e, f.stream, f.file)
@@ -845,7 +905,9 @@ func loadCSVs(e engineLike, feeds []csvFeed) (int, error) {
 		}
 		all = append(all, rows...)
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	if !arrivalOrder {
+		sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	}
 	for _, r := range all {
 		if err := e.Push(r.stream, r.at, r.vals...); err != nil {
 			return 0, err

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/esl"
 	"repro/internal/shard"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -86,6 +87,21 @@ type Config struct {
 	// JournalDir is the journal/snapshot directory for kill mode. Empty
 	// means a temporary directory, removed when the run ends.
 	JournalDir string
+	// Speculation registers every base-stream query at this consistency
+	// level (CONSISTENCY FAST/MIDDLE). The perturbed output then carries
+	// polarity-tagged records, and the equivalence check folds them first:
+	// every retraction must cancel a prior assertion with the same MatchID,
+	// and the compensated multiset must equal the strict baseline row for
+	// row. Queries over derived streams stay strict (speculation reads base
+	// streams only). Strict (the zero value) disables.
+	Speculation spec.Level
+	// LateHeavy replaces the uniform disorder draw with the bursty profile:
+	// bursts of a few hundred readings during which 20–30% of the workload —
+	// whole reader (tag) groups at a time — arrives delayed near the slack
+	// bound, separated by calm stretches. Clustered near-horizon lateness is
+	// the worst case for speculation: assertions made during a burst are
+	// mostly wrong and must be retracted in bulk.
+	LateHeavy bool
 }
 
 // DefaultConfig is the standard chaos mix: moderate disorder with 1%
@@ -117,7 +133,10 @@ type Result struct {
 		Corrupt    int
 		Oversize   int
 		Late       int
+		Bursty     int // readings delayed by the LateHeavy burst profile
 	}
+	Asserted     int             // speculative assertions the perturbed run emitted
+	Retracted    int             // assertions cancelled by retractions before the fold
 	Stats        esl.EngineStats // perturbed engine's boundary counters
 	DeadByReason map[string]int  // dead-letter records by reason code
 	Kills        int             // crash/recover cycles performed (kill mode)
@@ -131,8 +150,16 @@ func (r Result) String() string {
 	fmt.Fprintf(&b, "events=%d rows=%d elapsed=%s (%.0f events/s)\n",
 		r.Events, r.PerturbedRows, r.Elapsed.Round(time.Millisecond),
 		float64(r.Events)/r.Elapsed.Seconds())
-	fmt.Fprintf(&b, "injected: dup=%d corrupt=%d oversize=%d late=%d\n",
+	fmt.Fprintf(&b, "injected: dup=%d corrupt=%d oversize=%d late=%d",
 		r.Injected.Duplicates, r.Injected.Corrupt, r.Injected.Oversize, r.Injected.Late)
+	if r.Injected.Bursty > 0 {
+		fmt.Fprintf(&b, " bursty=%d (%.0f%%)", r.Injected.Bursty, 100*float64(r.Injected.Bursty)/float64(r.Events))
+	}
+	b.WriteByte('\n')
+	if r.Asserted > 0 || r.Retracted > 0 {
+		fmt.Fprintf(&b, "speculation: asserted=%d retracted=%d (%.1f%% compensated, fold == strict)\n",
+			r.Asserted, r.Retracted, 100*float64(r.Retracted)/float64(r.Asserted))
+	}
 	s := r.Stats
 	fmt.Fprintf(&b, "boundary: ingested=%d emitted=%d reordered=%d dropped-late=%d dropped-dup=%d dead-lettered=%d quarantined-queries=%d\n",
 		s.Ingested, s.Emitted, s.Reordered, s.DroppedLate, s.DroppedDup, s.DeadLettered, s.QuarantinedQueries)
@@ -183,30 +210,92 @@ type engine interface {
 	Recover(dir string) error
 }
 
+// sinkRec is one captured record: the fingerprint plus the polarity tags a
+// speculative query stamps on it (plain finals carry the zero tags).
+type sinkRec struct {
+	pol spec.Polarity
+	seq uint64
+	tag string
+	fp  string
+}
+
 // sink accumulates row fingerprints; sharded callbacks run on worker
 // goroutines.
 type sink struct {
 	mu   sync.Mutex
-	rows []string
+	rows []sinkRec
 }
 
 func (s *sink) row(tag string) func(esl.Row) {
 	return func(r esl.Row) {
+		pol, seq, _ := esl.RecordTags(r)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		// Fingerprint names and values only: emission timestamps of deferred
 		// rows shift with watermark heartbeats and are not part of the
-		// equivalence contract.
-		s.rows = append(s.rows, fmt.Sprintf("%s|%v%v", tag, r.Names, r.Vals))
+		// equivalence contract (and assertions are confirmed by content, with
+		// the timestamp excluded, for the same reason).
+		s.rows = append(s.rows, sinkRec{pol: pol, seq: seq, tag: tag,
+			fp: fmt.Sprintf("%s|%v%v", tag, r.Names, r.Vals)})
 	}
 }
 
 func (s *sink) sorted() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := append([]string(nil), s.rows...)
+	out := make([]string, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = r.fp
+	}
 	sort.Strings(out)
 	return out
+}
+
+// folded compensates the record stream: retractions cancel the prior
+// assertion with the same (query, MatchID); surviving assertions and finals
+// form the result multiset. Malformed streams — a retraction naming no open
+// assertion, or a duplicate open MatchID — are errors, not rows: the fold
+// property is exactly what makes speculative output consumable.
+func (s *sink) folded() (out []string, asserted, retracted int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type key struct {
+		tag string
+		seq uint64
+	}
+	open := map[key]int{} // open assertion -> index in out
+	for i, r := range s.rows {
+		switch r.pol {
+		case spec.Assert:
+			asserted++
+			k := key{r.tag, r.seq}
+			if _, dup := open[k]; dup {
+				return nil, 0, 0, fmt.Errorf("record %d: duplicate open assertion %s#%d", i, r.tag, r.seq)
+			}
+			open[k] = len(out)
+			out = append(out, r.fp)
+		case spec.Retract:
+			retracted++
+			k := key{r.tag, r.seq}
+			at, ok := open[k]
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("record %d: retraction names no open assertion %s#%d", i, r.tag, r.seq)
+			}
+			delete(open, k)
+			out[at] = "" // tombstone, compacted below
+		default:
+			out = append(out, r.fp)
+		}
+	}
+	live := out[:0]
+	for _, fp := range out {
+		if fp != "" {
+			live = append(live, fp)
+		}
+	}
+	out = live
+	sort.Strings(out)
+	return out, asserted, retracted, nil
 }
 
 func (s *sink) len() int {
@@ -238,14 +327,27 @@ const ddl = `
 // and odd ones to B (readings alternate streams), so the filters pin even
 // tags and each SEQ pairs an even A-tag with the odd B-tag read one step
 // later.
-func registerWorkload(e engine, s *sink, fanout int, extended bool) error {
+func registerWorkload(e engine, s *sink, fanout int, extended bool, level spec.Level) error {
 	if _, err := e.Exec(ddl); err != nil {
 		return err
+	}
+	// Base-stream queries get the CONSISTENCY clause at the requested level;
+	// the derived-stream consumer stays strict (speculation reads base
+	// streams only — the transducer output is already watermark-final).
+	clause := ""
+	if level != spec.Strict {
+		clause = " CONSISTENCY " + level.String()
 	}
 	queries := []struct{ name, sql string }{
 		{"filter", `SELECT tagid, n FROM A WHERE n % 3 = 0`},
 		{"agg", `SELECT tagid, COUNT(*), SUM(n) FROM B GROUP BY tagid`},
 		{"seq", `SELECT A.tagid, A.n, B.n FROM A, B WHERE SEQ(A, B) AND A.tagid = B.tagid`},
+		// The sliding window is the speculation stressor: its content depends
+		// on event order within the window span, so disordered arrivals make
+		// FAST/MIDDLE assertions genuinely wrong (the per-tag aggregate above
+		// is insensitive — tag revisit spacing exceeds the slack bound, so
+		// disorder never swaps same-tag readings).
+		{"win", `SELECT COUNT(*), SUM(n) FROM B OVER (RANGE 100 MILLISECONDS PRECEDING CURRENT)`},
 	}
 	if extended {
 		// Recovery workload variants. The generator alternates streams, so
@@ -277,7 +379,7 @@ func registerWorkload(e engine, s *sink, fanout int, extended bool) error {
 		}...)
 	}
 	for _, q := range queries {
-		if _, err := e.RegisterQuery(q.name, q.sql, s.row(q.name)); err != nil {
+		if _, err := e.RegisterQuery(q.name, q.sql+clause, s.row(q.name)); err != nil {
 			return err
 		}
 	}
@@ -305,7 +407,7 @@ func registerWorkload(e engine, s *sink, fanout int, extended bool) error {
 				WHERE SEQ(A, B) OVER [15 MILLISECONDS PRECEDING B]
 				AND A.tagid = '%s' AND B.tagid = '%s'`, tagA, tagB)
 		}
-		if _, err := e.RegisterQuery(name, sql, s.row(name)); err != nil {
+		if _, err := e.RegisterQuery(name, sql+clause, s.row(name)); err != nil {
 			return err
 		}
 	}
@@ -327,6 +429,16 @@ func generate(cfg Config, schemaA, schemaB *stream.Schema, res *Result) (clean, 
 	// by disorder, the watermark has strictly passed the shadow's timestamp.
 	lateGap := 2*int(cfg.Slack/step) + 3
 
+	// LateHeavy burst state: while a burst is live, readings whose reader
+	// (tag) group matches the burst's cluster arrive delayed to 70–100% of
+	// the slack. Bursts of 100–300 readings alternate with calm stretches of
+	// the same scale and the cluster covers half the tag groups, so 20–30%
+	// of the workload lands near the reorder horizon, clustered by reader.
+	burstLeft, calmLeft, burstParity := 0, 0, 0
+	if cfg.LateHeavy {
+		calmLeft = 50 + rng.Intn(100) // short lead-in before the first burst
+	}
+
 	for i := 0; i < cfg.Events; i++ {
 		ts := stream.TS(time.Duration(i+1) * step)
 		schema := schemaA
@@ -342,7 +454,28 @@ func generate(cfg Config, schemaA, schemaB *stream.Schema, res *Result) (clean, 
 		clean = append(clean, it)
 
 		key := ts
-		if rng.Float64() < cfg.Disorder && cfg.Slack > 0 {
+		bursty := false
+		if cfg.LateHeavy && cfg.Slack > 0 {
+			if burstLeft == 0 && calmLeft == 0 {
+				burstLeft = 100 + rng.Intn(200)
+				burstParity = rng.Intn(2)
+			}
+			if burstLeft > 0 {
+				burstLeft--
+				if burstLeft == 0 {
+					calmLeft = 100 + rng.Intn(200)
+				}
+				if ((i%numTags)/8)%2 == burstParity {
+					lo := int64(cfg.Slack) * 7 / 10
+					key = ts.Add(time.Duration(lo + rng.Int63n(int64(cfg.Slack)-lo)))
+					bursty = true
+					res.Injected.Bursty++
+				}
+			} else {
+				calmLeft--
+			}
+		}
+		if !bursty && rng.Float64() < cfg.Disorder && cfg.Slack > 0 {
 			key = ts.Add(time.Duration(rng.Int63n(int64(cfg.Slack))))
 		}
 		add(key, it)
@@ -438,7 +571,7 @@ func Run(cfg Config) (Result, error) {
 		baseOpts = append(baseOpts, esl.WithoutRouteIndex())
 	}
 	base := esl.New(baseOpts...)
-	if err := registerWorkload(base, baseSink, cfg.Fanout, cfg.Extended); err != nil {
+	if err := registerWorkload(base, baseSink, cfg.Fanout, cfg.Extended, spec.Strict); err != nil {
 		return res, err
 	}
 
@@ -491,7 +624,7 @@ func Run(cfg Config) (Result, error) {
 			forEachReplica = func(fn func(*esl.Engine) error) error { return fn(ee) }
 		}
 		pert.OnDeadLetter(onDead)
-		return registerWorkload(pert, pertSink, cfg.Fanout, cfg.Extended)
+		return registerWorkload(pert, pertSink, cfg.Fanout, cfg.Extended, cfg.Speculation)
 	}
 	if err := buildPert(); err != nil {
 		return res, err
@@ -609,8 +742,20 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 
-	// Property 1: output equivalence for in-watermark tuples.
-	want, have := baseSink.sorted(), pertSink.sorted()
+	// Property 1: output equivalence for in-watermark tuples. The perturbed
+	// record stream folds first: retractions cancel their assertions, and
+	// the compensated multiset is what must match the strict baseline. On a
+	// strict run every record is a plain final and the fold is the identity.
+	want := baseSink.sorted()
+	have, asserted, retracted, err := pertSink.folded()
+	if err != nil {
+		return res, fmt.Errorf("chaos: record stream malformed: %w", err)
+	}
+	res.Asserted, res.Retracted = asserted, retracted
+	// (Sharded runs degrade CONSISTENCY to strict — no assertions expected.)
+	if cfg.Speculation != spec.Strict && cfg.Shards <= 1 && cfg.Slack > 0 && asserted == 0 {
+		return res, fmt.Errorf("chaos: %s speculation emitted no assertions — speculation never engaged", cfg.Speculation)
+	}
 	res.BaselineRows, res.PerturbedRows = len(want), len(have)
 	if len(want) != len(have) {
 		return res, fmt.Errorf("chaos: output mismatch: baseline %d rows, perturbed %d rows (first diff: %s)",

@@ -1,0 +1,132 @@
+package chaos
+
+// Speculation chaos: the perturbed engine runs every base-stream query at
+// FAST or MIDDLE consistency under the full fault mix (plus the LateHeavy
+// burst profile), and Run's fold check proves the compensated record stream
+// equals the strict baseline row for row — including across crash/recover
+// cycles in kill mode.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// TestChaosSpeculationFold: FAST and MIDDLE under the standard fault mix.
+// Run itself enforces the fold property; the test additionally demands that
+// speculation really engaged and really compensated.
+func TestChaosSpeculationFold(t *testing.T) {
+	for _, level := range []spec.Level{spec.Fast, spec.Middle} {
+		cfg := small()
+		cfg.Speculation = level
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if res.Asserted == 0 {
+			t.Fatalf("%s: no assertions emitted", level)
+		}
+		if res.Retracted == 0 {
+			t.Fatalf("%s: fault mix produced no retractions (%d asserted)", level, res.Asserted)
+		}
+		t.Logf("%s: asserted=%d retracted=%d", level, res.Asserted, res.Retracted)
+	}
+}
+
+// TestChaosLateHeavy: the bursty reader-clustered profile hits its 20-30%
+// target and the fold still closes — clustered near-horizon lateness is the
+// adversarial case for FAST speculation.
+func TestChaosLateHeavy(t *testing.T) {
+	cfg := small()
+	cfg.LateHeavy = true
+	cfg.Speculation = spec.Fast
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Injected.Bursty) / float64(res.Events)
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("bursty fraction %.1f%% outside the 20-30%% band (injected=%d)", 100*frac, res.Injected.Bursty)
+	}
+	if res.Retracted == 0 {
+		t.Fatal("burst profile produced no retractions")
+	}
+}
+
+// TestChaosLateHeavyStrict: the profile is speculation-independent — a
+// strict run under the same bursts must also hold equivalence (boundary
+// reorder alone absorbs them).
+func TestChaosLateHeavyStrict(t *testing.T) {
+	cfg := small()
+	cfg.LateHeavy = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.Bursty == 0 {
+		t.Fatal("burst profile did not fire")
+	}
+	if res.Asserted != 0 {
+		t.Fatal("strict run emitted assertions")
+	}
+}
+
+// TestChaosSpeculationExtended: speculation composes with the recovery
+// workload variants (pairing modes, star SEQ, EXCEPTION_SEQ timers); the
+// derived-stream consumer stays strict by construction.
+func TestChaosSpeculationExtended(t *testing.T) {
+	cfg := small()
+	cfg.Extended = true
+	cfg.Speculation = spec.Fast
+	cfg.LateHeavy = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSpeculationKill: crash/recover cycles under FAST speculation.
+// Snapshot v4 persists the in-flight speculative state, journal replay
+// re-emits the truncated record suffix exactly once, and the fold must
+// still close over the stitched stream.
+func TestChaosSpeculationKill(t *testing.T) {
+	cfg := Config{
+		Events:      12_000,
+		Seed:        3,
+		Slack:       500 * time.Millisecond,
+		Disorder:    0.25,
+		Duplicate:   0.01,
+		Policy:      0,
+		LateHeavy:   true,
+		Speculation: spec.Fast,
+		KillEvery:   2500,
+		BatchSize:   256,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills == 0 {
+		t.Fatal("kill mode performed no kills")
+	}
+	if res.Retracted == 0 {
+		t.Fatal("no retractions across crash/recover cycles")
+	}
+	t.Logf("kills=%d checkpoints=%d asserted=%d retracted=%d", res.Kills, res.Checkpoints, res.Asserted, res.Retracted)
+}
+
+// TestChaosSpeculationShardedDegrades: on the sharded engine CONSISTENCY
+// degrades to strict (replicas have no per-replica boundary) — the run must
+// succeed with zero assertions rather than fail or speculate.
+func TestChaosSpeculationShardedDegrades(t *testing.T) {
+	cfg := small()
+	cfg.Shards = 2
+	cfg.Speculation = spec.Fast
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Asserted != 0 {
+		t.Fatalf("sharded run emitted %d assertions; replicas must degrade to strict", res.Asserted)
+	}
+}

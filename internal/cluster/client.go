@@ -213,6 +213,11 @@ type Client struct {
 	lastTS  stream.Timestamp
 	rr      int
 
+	// nodesReorder is true when every node advertised a reorder boundary in
+	// its hello ack: the feed may then ship out-of-order tuples verbatim
+	// (node-side slack absorbs them, enabling node-side speculation).
+	nodesReorder bool
+
 	failovers int // completed origin adoptions
 
 	ingest        *stream.Ingest
@@ -313,6 +318,9 @@ func Dial(cfg Config) (*Client, error) {
 		ioTimeout:  cfg.IOTimeout,
 		onFailover: cfg.OnFailover,
 		lastTS:     stream.MinTimestamp,
+		// ANDed with each node's hello ack below; a single node without a
+		// reorder boundary pins the feed back to strict arrival order.
+		nodesReorder: true,
 	}
 	if c.batchSize <= 0 {
 		c.batchSize = DefaultBatchSize
@@ -363,11 +371,12 @@ func Dial(cfg Config) (*Client, error) {
 			return nil, fmt.Errorf("cluster: node %d (%s): %w: expected hello ack, got frame %d", i, addr, ErrProtocol, typ)
 		}
 		nc.dec.reset(payload)
-		credit, err := decodeHelloAck(nc.dec)
+		credit, reorders, err := decodeHelloAck(nc.dec)
 		if err != nil {
 			c.teardown()
 			return nil, fmt.Errorf("cluster: node %d (%s): hello: %w", i, addr, err)
 		}
+		c.nodesReorder = c.nodesReorder && reorders
 		nc.gate = newCreditGate(credit)
 		c.origins = append(c.origins, &originState{
 			id:      i,
@@ -743,13 +752,14 @@ func (c *Client) PushBatch(items []stream.Item) error {
 
 func (c *Client) enqueueRunLocked(items []stream.Item) error {
 	for _, it := range items {
-		if !it.IsHeartbeat() {
-			if it.TS < c.lastTS {
-				return fmt.Errorf("cluster: out-of-order arrival on %s: %s is before %s (merge concurrent sources with stream.Merger, or enable slack with esl.WithSlack)",
-					it.Tuple.Schema.Name(), it.TS, c.lastTS)
-			}
-			c.lastTS = it.TS
-		} else if it.TS > c.lastTS {
+		// When every node runs a reorder boundary (hello-ack advertised),
+		// out-of-order tuples ship verbatim and node-side slack absorbs
+		// them; lastTS then tracks the high-water mark for trailing beats.
+		if !it.IsHeartbeat() && it.TS < c.lastTS && !c.nodesReorder {
+			return fmt.Errorf("cluster: out-of-order arrival on %s: %s is before %s (merge concurrent sources with stream.Merger, or enable slack with esl.WithSlack)",
+				it.Tuple.Schema.Name(), it.TS, c.lastTS)
+		}
+		if it.TS > c.lastTS {
 			c.lastTS = it.TS
 		}
 		c.pending = append(c.pending, it)

@@ -557,7 +557,7 @@ func stallServer(t *testing.T) string {
 			switch typ {
 			case frameHello:
 				enc.reset()
-				encodeHelloAck(enc, DefaultCredit)
+				encodeHelloAck(enc, DefaultCredit, false)
 				conn.Write(appendFrame(nil, frameHelloAck, enc.bytes()))
 			case frameFor:
 				// Registration frames need OKs for Seal to complete; data

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/esl"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -33,7 +35,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	encodeHello(enc, 1)
 	f.Add(appendFrame(nil, frameHello, enc.bytes()))
 	enc.reset()
-	encodeHelloAck(enc, DefaultCredit)
+	encodeHelloAck(enc, DefaultCredit, true)
 	f.Add(appendFrame(nil, frameHelloAck, enc.bytes()))
 	enc.reset()
 	enc.rawstr("CREATE STREAM readings(readerid, tagid, tagtime);")
@@ -54,6 +56,15 @@ func FuzzDecodeFrame(f *testing.F) {
 
 	enc.reset()
 	encodeRows(enc, []outEvent{{slot: 0, tup: tp}}, map[int]*string{})
+	f.Add(appendFrame(nil, frameRows, enc.bytes()))
+
+	// Polarity-tagged rows (wire v3): an assertion and its retraction.
+	enc.reset()
+	specRow := esl.Row{Names: []string{"n"}, Vals: []stream.Value{stream.Int(1)}, TS: ts(4)}
+	encodeRows(enc, []outEvent{
+		{slot: 0, row: esl.TagRecord(specRow, spec.Assert, 1, 0xfeed)},
+		{slot: 0, row: esl.TagRecord(specRow, spec.Retract, 1, 0xfeed)},
+	}, map[int]*string{})
 	f.Add(appendFrame(nil, frameRows, enc.bytes()))
 
 	enc.reset()
@@ -120,7 +131,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			_, err := decodeHello(dec)
 			check(err)
 		case frameHelloAck:
-			_, err := decodeHelloAck(dec)
+			_, _, err := decodeHelloAck(dec)
 			check(err)
 		case frameExec, frameError:
 			_, err := dec.rawstr()

@@ -48,6 +48,13 @@ type NodeConfig struct {
 	// never trips it, while a vanished feed ends the session instead of
 	// leaking it. 0 disables deadlines.
 	IOTimeout time.Duration
+	// Options configures each hosted serial engine (esl.WithSlack,
+	// esl.WithLateness, ...). A node-local reorder boundary lets queries
+	// registered with CONSISTENCY FAST/MIDDLE speculate on the node: their
+	// +/− records ship to the feed tagged with polarity (wire v3). Ignored
+	// when Shards > 1 — the sharded engine sits behind its own boundary and
+	// runs such queries strict.
+	Options []esl.Option
 }
 
 // Node serves feed sessions. Each session gets fresh engines: the cluster
@@ -167,7 +174,7 @@ func (s *nodeSession) writeDeadline() error {
 func (s *nodeSession) newHosted() *hostedEngine {
 	h := &hostedEngine{shapes: map[int]*string{}}
 	if s.node.cfg.Shards == 1 {
-		h.eng = esl.New()
+		h.eng = esl.New(s.node.cfg.Options...)
 	} else {
 		sh := shard.New(s.node.cfg.Shards)
 		h.eng = sh
@@ -200,9 +207,18 @@ func (s *nodeSession) run() error {
 		return s.fatal(err)
 	}
 	s.selfID = id
-	s.engines[id] = s.newHosted()
+	host := s.newHosted()
+	s.engines[id] = host
+	// Advertise the reorder boundary so the feed knows it may ship
+	// out-of-order tuples for this node's boundary to absorb. Only the
+	// serial engine exposes the probe; sharded nodes reorder behind their
+	// own merge tier and keep the strict contract, so they advertise false.
+	reorders := false
+	if e, ok := host.eng.(*esl.Engine); ok {
+		reorders = e.Reorders()
+	}
 	s.enc.reset()
-	encodeHelloAck(s.enc, s.node.cfg.Credit)
+	encodeHelloAck(s.enc, s.node.cfg.Credit, reorders)
 	if err := s.snd.send(frameHelloAck, s.enc.bytes()); err != nil {
 		return err
 	}

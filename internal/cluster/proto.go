@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/esl"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -48,23 +49,32 @@ func decodeHello(d *wireDec) (id int, err error) {
 	return int(id64), nil
 }
 
-func encodeHelloAck(e *wireEnc, credit int) {
+// encodeHelloAck grants the initial credit and (v3) advertises whether the
+// node's hosted engines run a reorder boundary. A feed whose nodes all
+// reorder may ship out-of-order tuples verbatim instead of rejecting them —
+// that is what lets node-side CONSISTENCY speculation see real disorder.
+func encodeHelloAck(e *wireEnc, credit int, reorders bool) {
 	encodeHello(e, 0)
 	e.uvarint(uint64(credit))
+	e.bool(reorders)
 }
 
-func decodeHelloAck(d *wireDec) (credit int, err error) {
+func decodeHelloAck(d *wireDec) (credit int, reorders bool, err error) {
 	if _, err := decodeHello(d); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	c, err := d.uvarint()
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if c > MaxFrame<<8 {
-		return 0, protof("absurd credit grant %d", c)
+		return 0, false, protof("absurd credit grant %d", c)
 	}
-	return int(c), d.finish()
+	ro, err := d.bool()
+	if err != nil {
+		return 0, false, err
+	}
+	return int(c), ro, d.finish()
 }
 
 // ---- batches ----------------------------------------------------------------
@@ -227,6 +237,24 @@ func encodeRows(e *wireEnc, events []outEvent, shapes map[int]*string) {
 		e.byte(0)
 		e.varint(int64(ev.row.TS) - prev)
 		prev = int64(ev.row.TS)
+		// Record tag (wire v3): 0 = plain strict final (nothing follows),
+		// else polarity + MatchID so the feed reconstructs the speculative
+		// record stream exactly.
+		pol, mseq, mhash := esl.RecordTags(ev.row)
+		if pol == spec.Final && mseq == 0 && mhash == 0 {
+			e.byte(0)
+		} else {
+			switch pol {
+			case spec.Assert:
+				e.byte(1)
+			case spec.Retract:
+				e.byte(2)
+			default:
+				e.byte(3) // tagged final (late final of a speculative query)
+			}
+			e.uvarint(mseq)
+			e.uvarint(mhash)
+		}
 		var key *string
 		if len(ev.row.Names) > 0 {
 			key = &ev.row.Names[0]
@@ -309,6 +337,31 @@ func decodeRows(d *wireDec, resolve func(string) (*stream.Schema, bool), shapes 
 			*t = stream.Tuple{Schema: schema, Vals: vals, TS: stream.Timestamp(ts)}
 			events = append(events, outEvent{slot: slot, tup: t})
 		case 0:
+			tag, err := d.readByte()
+			if err != nil {
+				return nil, err
+			}
+			var pol spec.Polarity
+			var mseq, mhash uint64
+			switch tag {
+			case 0:
+				// plain strict final: no record identity travels
+			case 1, 2, 3:
+				if mseq, err = d.uvarint(); err != nil {
+					return nil, err
+				}
+				if mhash, err = d.uvarint(); err != nil {
+					return nil, err
+				}
+				switch tag {
+				case 1:
+					pol = spec.Assert
+				case 2:
+					pol = spec.Retract
+				}
+			default:
+				return nil, corruptf("unknown record tag %d", tag)
+			}
 			shaped, err := d.readByte()
 			if err != nil {
 				return nil, err
@@ -336,10 +389,11 @@ func decodeRows(d *wireDec, resolve func(string) (*stream.Schema, bool), shapes 
 					return nil, err
 				}
 			}
-			events = append(events, outEvent{
-				slot: slot,
-				row:  esl.Row{Names: shapes[slot], Vals: vals, TS: stream.Timestamp(ts)},
-			})
+			row := esl.Row{Names: shapes[slot], Vals: vals, TS: stream.Timestamp(ts)}
+			if tag != 0 {
+				row = esl.TagRecord(row, pol, mseq, mhash)
+			}
+			events = append(events, outEvent{slot: slot, row: row})
 		default:
 			return nil, corruptf("unknown rows event kind %d", kind)
 		}

@@ -1,0 +1,175 @@
+package cluster
+
+// End-to-end speculation over the wire (tentpole): a node configured with a
+// reorder boundary (NodeConfig.Options) hosts a CONSISTENCY FAST query; the
+// feed ships disordered tuples with no feed-side slack, so disorder reaches
+// the node and the hosted engine speculates. Wire v3 carries the record
+// polarity back, and the compensated fold of the tagged record stream must
+// equal the strict rows a serial engine produces from the same input.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/esl"
+	"repro/internal/spec"
+	"repro/internal/stream"
+)
+
+type taggedRec struct {
+	pol spec.Polarity
+	seq uint64
+	fp  string
+}
+
+// specInput builds a mildly disordered run: 40 tuples 100ms apart with v
+// cycling 0..3, adjacent pairs swapped by the seed. Lateness stays under the
+// node's 500ms slack so nothing dead-letters.
+func specInput(seed int64) []struct {
+	ts stream.Timestamp
+	v  int64
+} {
+	const n = 40
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i+1 < n; i++ {
+		if rng.Intn(100) < 30 {
+			order[i], order[i+1] = order[i+1], order[i]
+			i++
+		}
+	}
+	out := make([]struct {
+		ts stream.Timestamp
+		v  int64
+	}, n)
+	for i, idx := range order {
+		out[i].ts = stream.TS(time.Duration(idx) * 100 * time.Millisecond)
+		out[i].v = int64(idx % 4)
+	}
+	return out
+}
+
+const specSQL = `SELECT v, count(*) AS n FROM s OVER (RANGE 1 SECONDS PRECEDING CURRENT) CONSISTENCY FAST`
+
+func TestClusterSpeculationEndToEnd(t *testing.T) {
+	// Strict baseline: a serial engine over the same disordered input with
+	// the same reorder boundary (no speculation clause).
+	input := specInput(11)
+	baseline := func() []string {
+		e := esl.New(esl.WithSlack(500 * time.Millisecond))
+		if _, err := e.Exec("CREATE STREAM s(v);"); err != nil {
+			t.Fatal(err)
+		}
+		var rows []string
+		strictSQL := `SELECT v, count(*) AS n FROM s OVER (RANGE 1 SECONDS PRECEDING CURRENT)`
+		if _, err := e.RegisterQuery("spec", strictSQL, func(r esl.Row) {
+			rows = append(rows, fmt.Sprintf("%v|%v", r.Names, r.Vals))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range input {
+			if err := e.Push("s", in.ts, stream.Int(in.v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(rows)
+		return rows
+	}()
+
+	// Cluster run: slack lives on the node, not the feed.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		defer l.Close()
+		errs <- NewNode(NodeConfig{
+			Shards:  1,
+			Options: []esl.Option{esl.WithSlack(500 * time.Millisecond)},
+		}).ListenAndServe(l)
+	}()
+	client, err := Dial(Config{Nodes: []string{l.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("CREATE STREAM s(v);"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var recs []taggedRec
+	if _, err := client.RegisterQuery("spec", specSQL, func(r esl.Row) {
+		pol, seq, _ := esl.RecordTags(r)
+		mu.Lock()
+		recs = append(recs, taggedRec{pol, seq, fmt.Sprintf("%v|%v", r.Names, r.Vals)})
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range input {
+		if err := client.Push("s", in.ts, stream.Int(in.v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, client)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Errorf("node session: %v", err)
+	}
+
+	// The record stream must contain live assertions (speculation actually
+	// ran node-side) and fold row-for-row into the strict baseline.
+	mu.Lock()
+	defer mu.Unlock()
+	var asserts int
+	open := map[uint64]string{}
+	var fold []string
+	for i, r := range recs {
+		switch r.pol {
+		case spec.Assert:
+			asserts++
+			if _, dup := open[r.seq]; dup {
+				t.Fatalf("record %d: duplicate open assertion seq %d", i, r.seq)
+			}
+			open[r.seq] = r.fp
+		case spec.Retract:
+			if _, ok := open[r.seq]; !ok {
+				t.Fatalf("record %d: retraction for unknown assertion seq %d", i, r.seq)
+			}
+			delete(open, r.seq)
+		default:
+			fold = append(fold, r.fp)
+		}
+	}
+	if asserts == 0 {
+		t.Fatal("no assertions crossed the wire: node-side speculation never engaged")
+	}
+	for _, fp := range open {
+		fold = append(fold, fp)
+	}
+	sort.Strings(fold)
+	if len(fold) != len(baseline) {
+		t.Fatalf("fold size %d vs strict %d\nfold: %v\nstrict: %v", len(fold), len(baseline), fold, baseline)
+	}
+	for i := range baseline {
+		if fold[i] != baseline[i] {
+			t.Fatalf("fold row %d: %s vs strict %s", i, fold[i], baseline[i])
+		}
+	}
+}

@@ -29,7 +29,10 @@ import (
 // Version is the wire protocol version negotiated in the hello exchange.
 // v2 added the fail-over control plane: node ids in hello, origin-scoped
 // frames, checkpoint shipping, adoption/restore, and keepalive pings.
-const Version = 2
+// v3 added record polarity to Rows frames: speculative queries ship
+// assertions and retractions with their MatchIDs, one tag byte per row
+// (zero-cost for strict finals).
+const Version = 3
 
 // helloMagic opens both hello payloads; the trailing newline guards against
 // text-mode corruption, same trick as the snapshot file magic.

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/esl"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -244,5 +246,45 @@ func TestBatchPayloadTruncated(t *testing.T) {
 		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrProtocol) {
 			t.Fatalf("cut at %d: untyped error %v", cut, err)
 		}
+	}
+}
+
+// TestRowsRecordTagRoundtrip (wire v3): polarity-tagged rows survive the
+// Rows codec — assertion, retraction, tagged late final, and an untagged
+// strict final that must stay tag-free.
+func TestRowsRecordTagRoundtrip(t *testing.T) {
+	names := []string{"v", "n"}
+	mkRow := func(ts stream.Timestamp, v int64) esl.Row {
+		return esl.Row{Names: names, Vals: []stream.Value{stream.Int(v), stream.Int(v + 1)}, TS: ts}
+	}
+	in := []outEvent{
+		{slot: 0, row: esl.TagRecord(mkRow(ts(1), 1), spec.Assert, 7, 0xabc)},
+		{slot: 0, row: esl.TagRecord(mkRow(ts(2), 2), spec.Final, 8, 0)},
+		{slot: 0, row: esl.TagRecord(mkRow(ts(1), 1), spec.Retract, 7, 0xabc)},
+		{slot: 0, row: mkRow(ts(3), 3)}, // plain strict final
+	}
+	enc := newWireEnc()
+	encodeRows(enc, in, map[int]*string{})
+	dec := newWireDec()
+	dec.reset(enc.bytes())
+	out, err := decodeRows(dec, func(string) (*stream.Schema, bool) { return nil, false }, map[int][]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		wp, ws, wh := esl.RecordTags(in[i].row)
+		gp, gs, gh := esl.RecordTags(out[i].row)
+		if wp != gp || ws != gs || wh != gh {
+			t.Fatalf("event %d tags: got (%v,%d,%x), want (%v,%d,%x)", i, gp, gs, gh, wp, ws, wh)
+		}
+		if out[i].row.TS != in[i].row.TS || len(out[i].row.Vals) != len(in[i].row.Vals) {
+			t.Fatalf("event %d body diverged", i)
+		}
+	}
+	if pol, seq, hash := esl.RecordTags(out[3].row); pol != spec.Final || seq != 0 || hash != 0 {
+		t.Fatalf("strict final grew tags: (%v,%d,%x)", pol, seq, hash)
 	}
 }

@@ -244,6 +244,24 @@ func (m *Match) End() stream.Timestamp {
 	return stream.MinTimestamp
 }
 
+// Prov returns the match's provenance hash: the XOR fold of every bound
+// tuple's content hash. XOR is order-independent, so two replicas that bind
+// the same tuples — in different arrival orders, through different run-store
+// paths — derive the same identity. The speculation layer uses it as the
+// stable MatchID component that lets a retraction name exactly the rows it
+// cancels; the run stores retain the bound tuples themselves (Groups), so
+// provenance survives copy-on-write forks and snapshot round-trips for
+// free.
+func (m *Match) Prov() uint64 {
+	var h uint64
+	for _, g := range m.Groups {
+		for _, t := range g {
+			h ^= stream.ContentHash(t)
+		}
+	}
+	return h
+}
+
 // clone deep-copies the group structure (tuples shared). Emitted matches
 // always go through clone, so the public contract — "Group slices are owned
 // by the Match" — holds even when the engine's internal runs share group

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -99,6 +100,9 @@ type Select struct {
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    int // -1 when absent
+	// Consistency is the speculation level the trailing CONSISTENCY clause
+	// selected (STRICT — today's watermark-gated behavior — when absent).
+	Consistency spec.Level
 }
 
 // AsOfClause is a time-travel anchor for snapshot queries over tables:

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/snapshot"
+	"repro/internal/spec"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -23,6 +24,13 @@ type Row struct {
 	// Get is a map probe instead of an O(columns) case-folding scan. A
 	// hand-built Row leaves it nil and falls back to the scan.
 	idx map[string]int
+	// Speculation record tags (spec.go): pol is the record polarity (Final
+	// for strict rows), mseq/mprov the MatchID components. They ride the Row
+	// by value through sinks, the sharded combiner, and the cluster wire, so
+	// every existing row path carries polarity without separate plumbing.
+	pol   spec.Polarity
+	mseq  uint64
+	mprov uint64
 }
 
 // Get returns the value of the named output column.
@@ -113,6 +121,14 @@ type Engine struct {
 	onDead        []func(stream.DeadLetter)
 	nquarantined  int
 
+	// Speculation (spec.go). spc owns the shadow replicas, arrival gates and
+	// per-query reconcilers for FAST/MIDDLE queries; nil until the first
+	// speculative registration, so strict engines carry no overhead.
+	// specSlack remembers the configured reorder slack (the MIDDLE horizon
+	// defaults to a fraction of it).
+	spc       *speculator
+	specSlack time.Duration
+
 	// Durability (snapshot.go). journalDir enables the write-ahead event
 	// journal, opened lazily on first journaled item; lsn is the last
 	// journaled (or replayed) record's sequence number; replaying suppresses
@@ -184,6 +200,11 @@ type Query struct {
 	// guards maps lower-cased input stream names to the routing admission
 	// tests the planner extracted (route.go); consulted at registration.
 	guards map[string]*streamGuard
+	// wantProv marks a speculative registration's replica (primary or
+	// shadow): SEQ emissions carry the match provenance hash, and the query
+	// stays out of merged plan groups (the group emission path does not
+	// thread provenance).
+	wantProv bool
 }
 
 // Shardability reports whether a continuous query's output is invariant
@@ -281,6 +302,7 @@ func New(opts ...Option) *Engine {
 	if !cfg.Ingest.IsZero() {
 		cfg.Ingest.OnDead = e.dispatchDeadLocked
 		e.ingest = stream.NewIngest(cfg.Ingest)
+		e.specSlack = cfg.Ingest.Slack
 	}
 	return e
 }
@@ -441,7 +463,13 @@ func (e *Engine) execStatement(s Statement) (*Query, error) {
 
 	case *InsertSelect:
 		if e.selectReadsStream(st.Sel) {
-			return e.registerContinuous(st.Target, st.Sel, nil)
+			if st.Sel.Consistency != spec.Strict {
+				// Route through the speculation-aware path: it degrades to
+				// strict without a reorder boundary and rejects derived-sink
+				// speculation with a precise error.
+				return e.registerQueryParsed("", st.Target, st.Sel, nil)
+			}
+			return e.registerContinuous(st.Target, st.Sel, nil, spec.Strict)
 		}
 		// Table-only source: run once now.
 		rows, err := e.snapshotSelect(st.Sel)
@@ -463,7 +491,13 @@ func (e *Engine) execStatement(s Statement) (*Query, error) {
 
 	case *Select:
 		if e.selectReadsStream(st) {
-			return e.registerContinuous("", st, func(Row) error { return nil })
+			if st.Consistency != spec.Strict {
+				// A script-registered speculative query has no callback, but
+				// the full reconciliation machinery still runs: SpecStats and
+				// EngineStats expose its assertion/retraction counters.
+				return e.registerQueryParsed("", "", st, nil)
+			}
+			return e.registerContinuous("", st, func(Row) error { return nil }, spec.Strict)
 		}
 		return nil, fmt.Errorf("esl: table-only SELECT in a script has no destination; use Engine.Query")
 
@@ -512,39 +546,24 @@ func (e *Engine) selectReadsStream(sel *Select) bool {
 }
 
 // RegisterQuery compiles a continuous SELECT and routes its rows to onRow.
+// A trailing CONSISTENCY clause in the SQL selects the speculation level
+// (see RegisterQueryOpts).
 func (e *Engine) RegisterQuery(name, sql string, onRow func(Row)) (*Query, error) {
-	s, err := ParseOne(sql)
-	if err != nil {
-		return nil, err
-	}
-	var target string
-	var sel *Select
-	switch st := s.(type) {
-	case *Select:
-		sel = st
-	case *InsertSelect:
-		target, sel = st.Target, st.Sel
-	default:
-		return nil, fmt.Errorf("esl: RegisterQuery needs a SELECT, got %T", s)
-	}
-	var sink func(Row) error
-	if onRow != nil {
-		sink = func(r Row) error { onRow(r); return nil }
-	}
-	q, err := e.registerContinuous(target, sel, sink)
-	if err != nil {
-		return nil, err
-	}
-	q.Name = name
-	return q, nil
+	return e.RegisterQueryOpts(name, sql, onRow)
 }
 
 // registerContinuous compiles and wires a continuous query. extraSink, when
-// non-nil, also receives every row (in addition to the target).
-func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(Row) error) (*Query, error) {
+// non-nil, also receives every row (in addition to the target). lvl marks
+// the query as a replica of a speculative registration (primary or shadow):
+// such queries skip plan merging and tag emitted rows with match provenance;
+// the reconciliation wiring itself lives in RegisterQueryOpts.
+func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(Row) error, lvl spec.Level) (*Query, error) {
+	if sel.Consistency != spec.Strict && lvl == spec.Strict {
+		return nil, fmt.Errorf("esl: CONSISTENCY %s requires RegisterQuery (a script statement has no record sink)", sel.Consistency)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	q := &Query{stmt: sel}
+	q := &Query{stmt: sel, wantProv: lvl != spec.Strict}
 	targetSink := func(Row) error { return nil }
 	if target != "" {
 		var err error
@@ -573,7 +592,7 @@ func (e *Engine) registerContinuous(target string, sel *Select, extraSink func(R
 	// readers. Derived-sink queries stay independent (their emissions re-enter
 	// the engine mid-push, which the group's deferred attribution would
 	// reorder).
-	if ev, ok := op.(*eventOp); ok && !e.noMerge && target == "" &&
+	if ev, ok := op.(*eventOp); ok && !e.noMerge && target == "" && !q.wantProv &&
 		ev.merge != nil && ev.merge.eligible {
 		mem, err := e.joinGroupLocked(ev, q, inputs)
 		if err != nil {

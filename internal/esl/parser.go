@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -549,6 +550,20 @@ func (p *Parser) parseSelect() (*Select, error) {
 			return nil, p.errf("bad LIMIT value")
 		}
 		s.Limit = n
+	}
+	// CONSISTENCY FAST|MIDDLE|STRICT: the per-query speculation level.
+	// CONSISTENCY is reserved (it would otherwise parse as a source alias);
+	// the level names stay plain identifiers, usable as column names.
+	if p.accept("CONSISTENCY") {
+		w, err := p.ident()
+		if err != nil {
+			return nil, p.errf("expected FAST, MIDDLE or STRICT after CONSISTENCY")
+		}
+		lvl, ok := spec.ParseLevel(w)
+		if !ok {
+			return nil, p.errf("unknown consistency level %q (want FAST, MIDDLE or STRICT)", w)
+		}
+		s.Consistency = lvl
 	}
 	return s, nil
 }

@@ -140,6 +140,19 @@ type EngineStats struct {
 	// unnecessary. Their sum is what a scan-all engine would have performed.
 	RoutedDeliveries  uint64
 	SkippedDeliveries uint64
+	// Speculation gauges (zero unless FAST/MIDDLE queries are registered):
+	// SpecPending is live unconfirmed assertions across all speculative
+	// queries; the cumulative counters sum their reconcilers; GateClamped
+	// and GatePending sum the per-level arrival gates (reorder depth the
+	// speculation horizon is absorbing right now).
+	SpecPending    int
+	SpecAsserted   uint64
+	SpecConfirmed  uint64
+	SpecRetracted  uint64
+	SpecLateFinals uint64
+	SpecSuppressed uint64
+	GateClamped    uint64
+	GatePending    int
 }
 
 // EngineStats returns the robustness counters. On a default-configured
@@ -176,6 +189,21 @@ func (e *Engine) EngineStats() EngineStats {
 			st.Watermark = wm
 		}
 	}
+	if e.spc != nil {
+		for _, sq := range e.spc.qs {
+			rs := sq.rec.Stats()
+			st.SpecPending += rs.Pending
+			st.SpecAsserted += rs.Asserted
+			st.SpecConfirmed += rs.Confirmed
+			st.SpecRetracted += rs.Retracted
+			st.SpecLateFinals += rs.LateFinals
+			st.SpecSuppressed += rs.Suppressed
+		}
+		for _, rep := range e.spc.reps {
+			st.GateClamped += rep.gate.Clamped()
+			st.GatePending += rep.gate.Pending()
+		}
+	}
 	return st
 }
 
@@ -210,6 +238,17 @@ func (e *Engine) Watermark() stream.Timestamp {
 	return e.now
 }
 
+// Reorders reports whether the engine has an ingest boundary that absorbs
+// out-of-order arrivals (WithSlack). Upstream feeders use it to decide
+// whether disordered input may be handed over as-is: a cluster node
+// advertises this in its hello ack so the feed can ship disorder for the
+// node-side boundary (and any CONSISTENCY speculation behind it) to absorb.
+func (e *Engine) Reorders() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingest != nil && e.specSlack > 0
+}
+
 // Drain flushes the reorder stage at end of stream: every held-back tuple is
 // released in order and the engine clock advances to the high-water mark. A
 // no-op on a default-configured engine.
@@ -220,9 +259,20 @@ func (e *Engine) Drain() error {
 		return nil
 	}
 	e.refreshRoutesLocked()
+	if e.spc != nil {
+		// Gates flush into the shadows first so every assertion that can
+		// still be made lands before the strict finals that confirm it.
+		e.spc.drainLocked()
+	}
 	out := e.ingest.Flush(e.ingestScratch[:0])
 	err := e.deliverLocked(out)
 	e.ingestScratch = out[:0]
+	if e.spc != nil {
+		e.spc.finishLocked()
+		if err == nil {
+			err = e.spc.err
+		}
+	}
 	return err
 }
 
@@ -231,12 +281,26 @@ func (e *Engine) Drain() error {
 // policy) or a downstream processing failure.
 func (e *Engine) offerLocked(it stream.Item) error {
 	out, lateErr := e.ingest.Offer(it, e.ingestScratch[:0])
+	var specErr error
+	if e.spc != nil {
+		// Advance the speculation gates to the new arrival frontier before
+		// the strict path runs, then retire disproven assertions after it —
+		// so a final at the watermark confirms its assertion rather than
+		// racing the retraction for it.
+		specErr = e.spc.tickLocked()
+	}
 	err := e.deliverLocked(out)
 	e.ingestScratch = out[:0]
+	if e.spc != nil {
+		e.spc.retireLocked(e.ingest.Watermark())
+	}
 	if err != nil {
 		return err
 	}
-	return lateErr
+	if lateErr != nil {
+		return lateErr
+	}
+	return specErr
 }
 
 // deliverLocked routes items the ingest stage released — already in joint

@@ -866,8 +866,18 @@ func (op *eventOp) pushBatch(aliases []string, b *stream.Batch) error {
 // emitMatch projects one completed SEQ match — one row normally, one row
 // per star tuple in the multi-return form.
 func (op *eventOp) emitMatch(m *core.Match) error {
+	// Speculative replicas carry the match's provenance hash on every row —
+	// the arrival-order-independent identity reconciliation pairs records
+	// by. Computed once per match, and only when the query asked for it, so
+	// strict queries pay one branch.
+	var prov uint64
+	if op.q.wantProv {
+		prov = m.Prov()
+	}
 	if op.fastProj != nil {
-		return op.q.sink(op.proj.row(op.fastProj.build(m), m.End()))
+		r := op.proj.row(op.fastProj.build(m), m.End())
+		r.mprov = prov
+		return op.q.sink(r)
 	}
 	base := getEnv(op.e.funcs)
 	defer putEnv(base)
@@ -877,7 +887,9 @@ func (op *eventOp) emitMatch(m *core.Match) error {
 		if err != nil {
 			return err
 		}
-		return op.q.sink(op.proj.row(vals, m.End()))
+		r := op.proj.row(vals, m.End())
+		r.mprov = prov
+		return op.q.sink(r)
 	}
 	group := m.Groups[op.starItemStep]
 	for i, t := range group {
@@ -892,7 +904,9 @@ func (op *eventOp) emitMatch(m *core.Match) error {
 		if err != nil {
 			return err
 		}
-		if err := op.q.sink(op.proj.row(vals, m.End())); err != nil {
+		r := op.proj.row(vals, m.End())
+		r.mprov = prov
+		if err := op.q.sink(r); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/snapshot"
+	"repro/internal/spec"
 	"repro/internal/stream"
 )
 
@@ -592,6 +593,31 @@ func (e *Engine) saveStateLocked(enc *snapshot.Encoder) error {
 		enc.String(n)
 		tbl.Save(enc)
 	}
+	// Speculation section (format v4): per-query reconciler state, then each
+	// consistency level's arrival gate and shadow replica. The shadow is a
+	// full nested engine snapshot — deterministic journal replay across a
+	// kill lands it in the identical state, so recovery neither re-asserts
+	// under fresh sequence numbers nor re-emits retracted rows as finals.
+	enc.Bool(e.spc != nil)
+	if e.spc != nil {
+		enc.Uvarint(uint64(len(e.spc.qs)))
+		for _, sq := range e.spc.qs {
+			enc.String(sq.q.Name)
+			enc.Uvarint(uint64(sq.level))
+			snapshot.EncodeReconcilerState(enc, sq.rec.State())
+		}
+		enc.Uvarint(uint64(len(e.spc.reps)))
+		for _, rep := range e.spc.reps {
+			enc.Uvarint(uint64(rep.level))
+			snapshot.EncodeGateState(enc, rep.gate.State())
+			rep.eng.mu.Lock()
+			err := rep.eng.saveStateLocked(enc)
+			rep.eng.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("%s shadow replica: %w", rep.level, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -775,6 +801,70 @@ func (e *Engine) loadStateLocked(dec *snapshot.Decoder) error {
 		}
 	}
 	sort.Slice(e.ckptLSNs, func(i, j int) bool { return e.ckptLSNs[i] < e.ckptLSNs[j] })
+	hasSpec, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if hasSpec != (e.spc != nil) {
+		return snapshot.Mismatchf("engine speculation=%v, snapshot=%v (re-register FAST/MIDDLE queries before Restore)", e.spc != nil, hasSpec)
+	}
+	if hasSpec {
+		nsq, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		if nsq != len(e.spc.qs) {
+			return snapshot.Mismatchf("engine has %d speculative queries, snapshot has %d", len(e.spc.qs), nsq)
+		}
+		for _, sq := range e.spc.qs {
+			name, err := dec.String()
+			if err != nil {
+				return err
+			}
+			if name != sq.q.Name {
+				return snapshot.Mismatchf("speculative query %q in snapshot, %q registered (order matters)", name, sq.q.Name)
+			}
+			lvl, err := dec.Uvarint()
+			if err != nil {
+				return err
+			}
+			if spec.Level(lvl) != sq.level {
+				return snapshot.Mismatchf("query %s registered %s, snapshot has %s", name, sq.level, spec.Level(lvl))
+			}
+			rst, err := snapshot.DecodeReconcilerState(dec)
+			if err != nil {
+				return err
+			}
+			sq.rec.SetState(rst)
+		}
+		nrep, err := dec.Len()
+		if err != nil {
+			return err
+		}
+		if nrep != len(e.spc.reps) {
+			return snapshot.Mismatchf("engine has %d shadow replicas, snapshot has %d", len(e.spc.reps), nrep)
+		}
+		for _, rep := range e.spc.reps {
+			lvl, err := dec.Uvarint()
+			if err != nil {
+				return err
+			}
+			if spec.Level(lvl) != rep.level {
+				return snapshot.Mismatchf("shadow replica level %s, snapshot has %s", rep.level, spec.Level(lvl))
+			}
+			gst, err := snapshot.DecodeGateState(dec)
+			if err != nil {
+				return err
+			}
+			rep.gate.SetState(gst)
+			rep.eng.mu.Lock()
+			err = rep.eng.loadStateLocked(dec)
+			rep.eng.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("%s shadow replica: %w", rep.level, err)
+			}
+		}
+	}
 	return nil
 }
 

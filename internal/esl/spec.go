@@ -1,0 +1,462 @@
+package esl
+
+// Speculative out-of-order execution (CEDR-style). A query registered at
+// consistency FAST or MIDDLE runs twice:
+//
+//   - a shadow replica — a strict engine private to the speculation layer —
+//     is fed admitted arrivals straight off the ingest boundary (before the
+//     reorder slack releases them), through a per-level arrival gate: FAST
+//     feeds on arrival, MIDDLE after a short speculation horizon. Shadow
+//     emissions become + records (assertions).
+//   - the primary replica is the ordinary watermark-gated query. Its rows
+//     reconcile against the outstanding assertions: a content-equal
+//     assertion is confirmed silently (the + already stands for the row);
+//     anything else emits as a final. Assertions the watermark proves wrong
+//     are retired with − records (retractions) naming the assertion's
+//     MatchID.
+//
+// The compensated record stream — assertions minus retractions plus finals
+// — therefore equals the strict stream row-for-row by construction; the
+// chaos harness's speculation mode certifies it under the full fault mix.
+//
+// Engines without a reorder boundary (WithSlack absent — including the
+// sharded engine's worker replicas, which sit behind the shard-level
+// boundary) have no disorder to speculate over: FAST and MIDDLE degrade to
+// STRICT there, and every emitted row is a final.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/stream"
+)
+
+// Polarity returns the record polarity this row carries: spec.Final for
+// strict rows (and for speculative queries' late finals), spec.Assert for
+// speculative rows, spec.Retract for compensating retractions.
+func (r Row) Polarity() spec.Polarity { return r.pol }
+
+// MatchID returns the row's stable record identity. Zero for strict rows,
+// which never retract and need none.
+func (r Row) MatchID() spec.MatchID {
+	return spec.MatchID{Seq: r.mseq, Hash: r.mprov}
+}
+
+// TagRecord returns a copy of r carrying the given record tags — the
+// decode-side constructor for transports (the cluster wire) that ship
+// polarity out of band.
+func TagRecord(r Row, pol spec.Polarity, seq, hash uint64) Row {
+	r.pol, r.mseq, r.mprov = pol, seq, hash
+	return r
+}
+
+// RecordTags is the encode-side accessor paired with TagRecord.
+func RecordTags(r Row) (pol spec.Polarity, seq, hash uint64) {
+	return r.pol, r.mseq, r.mprov
+}
+
+// QueryOption tunes one RegisterQueryOpts registration.
+type QueryOption func(*queryOpts)
+
+type queryOpts struct {
+	level    spec.Level
+	levelSet bool
+	depth    int
+}
+
+// WithConsistency selects the query's speculation level at register time,
+// overriding any CONSISTENCY clause in the SQL.
+func WithConsistency(l spec.Level) QueryOption {
+	return func(o *queryOpts) { o.level = l; o.levelSet = true }
+}
+
+// WithRetractionDepth bounds the number of unconfirmed assertions a MIDDLE
+// query may have outstanding (default 64): beyond it, speculative emission
+// is suppressed until the strict path catches up, so a consumer's exposure
+// to retractions stays capped. Ignored at other levels.
+func WithRetractionDepth(n int) QueryOption {
+	return func(o *queryOpts) { o.depth = n }
+}
+
+// defaultRetractionDepth caps MIDDLE's outstanding assertions when
+// WithRetractionDepth is not given.
+const defaultRetractionDepth = 64
+
+// RegisterQueryOpts is RegisterQuery with per-registration options. At
+// consistency FAST or MIDDLE, onRow receives the full polarity-carrying
+// record stream (inspect Row.Polarity and Row.MatchID); at STRICT it
+// receives exactly what RegisterQuery always delivered.
+func (e *Engine) RegisterQueryOpts(name, sql string, onRow func(Row), opts ...QueryOption) (*Query, error) {
+	s, err := ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	var target string
+	var sel *Select
+	switch st := s.(type) {
+	case *Select:
+		sel = st
+	case *InsertSelect:
+		target, sel = st.Target, st.Sel
+	default:
+		return nil, fmt.Errorf("esl: RegisterQuery needs a SELECT, got %T", s)
+	}
+	return e.registerQueryParsed(name, target, sel, onRow, opts...)
+}
+
+// registerQueryParsed is RegisterQueryOpts past parsing — also the entry
+// point for script statements carrying a CONSISTENCY clause.
+func (e *Engine) registerQueryParsed(name, target string, sel *Select, onRow func(Row), opts ...QueryOption) (*Query, error) {
+	var o queryOpts
+	o.level = sel.Consistency
+	for _, opt := range opts {
+		opt(&o)
+	}
+	lvl := o.level
+	if e.ingest == nil || e.specSlack == 0 {
+		// No reorder boundary: input is already strict order, there is no
+		// watermark stall to speculate past. FAST/MIDDLE degrade to STRICT.
+		lvl = spec.Strict
+	}
+	if lvl == spec.Strict {
+		sel.Consistency = spec.Strict // degraded or overridden: run plain
+		var sink func(Row) error
+		if onRow != nil {
+			sink = func(r Row) error { onRow(r); return nil }
+		}
+		q, err := e.registerContinuous(target, sel, sink, spec.Strict)
+		if err != nil {
+			return nil, err
+		}
+		q.Name = name
+		return q, nil
+	}
+	if target != "" {
+		return nil, fmt.Errorf("esl: CONSISTENCY %s queries must be callback-only: INSERT INTO %s would re-ingest retractable rows", lvl, target)
+	}
+	if o.depth == 0 {
+		o.depth = defaultRetractionDepth
+	}
+	if lvl == spec.Fast {
+		o.depth = 0 // FAST is the unbounded end of the spectrum
+	}
+
+	sq := &specQuery{level: lvl, onRow: onRow}
+	extra := func(r Row) error { return e.spcFinal(sq, r) }
+	q, err := e.registerContinuous(target, sel, extra, lvl)
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name
+	if err := e.wireSpeculation(sq, q, name, sel, o); err != nil {
+		_ = e.Unregister(q)
+		return nil, err
+	}
+	return q, nil
+}
+
+// specQuery ties one speculative query's primary, shadow, and reconciler.
+type specQuery struct {
+	q     *Query
+	sq    *Query
+	rep   *shadowRep
+	rec   *spec.Reconciler
+	level spec.Level
+	onRow func(Row)
+}
+
+func (sq *specQuery) deliver(r Row) {
+	if sq.onRow != nil {
+		sq.onRow(r)
+	}
+}
+
+// shadowRep is one consistency level's shadow replica: a strict private
+// engine fed through an arrival gate.
+type shadowRep struct {
+	level spec.Level
+	gate  *spec.Gate
+	eng   *Engine
+	reads map[string]bool // stream keys the shadow declares
+}
+
+// speculator owns an engine's speculation state.
+type speculator struct {
+	e       *Engine
+	qs      []*specQuery
+	reps    []*shadowRep // at most one per level, creation order
+	scratch []*stream.Tuple
+	err     error // first shadow-side processing error, surfaced on tick
+}
+
+// wireSpeculation builds the shadow side of a freshly registered primary.
+// Called without e.mu held; the primary is unregistered on error. The
+// shadow compiles the same Select AST as the primary — compilation reads
+// the AST without mutating it, so sharing is safe.
+func (e *Engine) wireSpeculation(sq *specQuery, q *Query, name string, sel *Select, o queryOpts) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spc == nil {
+		e.spc = &speculator{e: e}
+		e.ingest.OnAdmit(e.spc.admitLocked)
+	}
+	s := e.spc
+	// Speculative queries must read base streams only: a derived stream is
+	// fed by another query's watermark-gated output, which does not exist
+	// yet at arrival time — the shadow would have nothing to read.
+	for _, key := range q.reads {
+		for _, q2 := range e.queries {
+			if q2 != q && q2.target == key {
+				return fmt.Errorf("esl: CONSISTENCY %s query %s reads derived stream %s (fed by %s); speculation needs base streams",
+					sq.level, q.describe(), key, q2.describe())
+			}
+		}
+	}
+	rep, err := s.repFor(sq.level)
+	if err != nil {
+		return err
+	}
+	// Mirror every base-stream schema into the shadow so the query (and any
+	// EXISTS sub-sources) compiles there; schema objects are shared.
+	for key, si := range e.streams {
+		derived := false
+		for _, q2 := range e.queries {
+			if q2.target == key {
+				derived = true
+				break
+			}
+		}
+		if !derived {
+			rep.ensureStream(key, si.schema)
+		}
+	}
+	for _, key := range q.reads {
+		rep.reads[key] = true
+	}
+	rec := spec.NewReconciler(name, o.depth)
+	assert := func(r Row) error {
+		vals := append([]stream.Value(nil), r.Vals...)
+		seq, ok := rec.Assert(r.Names, vals, r.TS, r.mprov)
+		if !ok {
+			return nil // suppressed by the retraction-depth bound
+		}
+		r.Vals = vals
+		r.pol, r.mseq = spec.Assert, seq
+		sq.deliver(r)
+		return nil
+	}
+	shadowQ, err := rep.eng.registerContinuous("", sel, assert, sq.level)
+	if err != nil {
+		return fmt.Errorf("esl: query %s cannot run speculatively: %w", q.describe(), err)
+	}
+	shadowQ.Name = name
+	sq.q, sq.sq, sq.rep, sq.rec = q, shadowQ, rep, rec
+	s.qs = append(s.qs, sq)
+	return nil
+}
+
+// repFor returns (creating on demand) the shadow replica for a level.
+func (s *speculator) repFor(lvl spec.Level) (*shadowRep, error) {
+	for _, rep := range s.reps {
+		if rep.level == lvl {
+			return rep, nil
+		}
+	}
+	var horizon time.Duration
+	if lvl == spec.Middle {
+		horizon = s.e.specSlack / 4
+		if horizon <= 0 {
+			horizon = s.e.specSlack
+		}
+	}
+	sh := New()
+	// The shadow shares the primary's registries so UDFs/UDAs resolve; it
+	// keeps a private empty store — speculative queries that read tables
+	// fail shadow compilation with a clear error rather than speculating
+	// over state the strict path sees differently.
+	sh.funcs = s.e.funcs
+	sh.aggs = NewAggRegistry(sh.funcs)
+	rep := &shadowRep{level: lvl, gate: spec.NewGate(horizon), eng: sh, reads: map[string]bool{}}
+	s.reps = append(s.reps, rep)
+	return rep, nil
+}
+
+func (rep *shadowRep) ensureStream(key string, schema *stream.Schema) {
+	rep.eng.mu.Lock()
+	if _, ok := rep.eng.streams[key]; !ok {
+		rep.eng.streams[key] = &streamInfo{schema: schema}
+	}
+	rep.eng.mu.Unlock()
+}
+
+// feed pushes gate releases into the shadow replica. Each tuple is pushed
+// as a copy: the primary re-stamps Tuple.Seq when the watermark releases
+// the original, and the shadow must not observe (or cause) that mutation.
+// Releases behind the shadow clock (the gate counted them as clamped) have
+// the copy's timestamp coerced up to the clock — the shadow requires
+// monotone input, and dropping them would leave its cumulative state
+// permanently diverged from the strict path.
+func (rep *shadowRep) feed(ts []*stream.Tuple) error {
+	for _, t := range ts {
+		if !rep.reads[strings.ToLower(t.Schema.Name())] {
+			continue
+		}
+		ct := *t
+		if now := rep.eng.Now(); ct.TS < now {
+			ct.TS = now
+		}
+		if err := rep.eng.PushTuple(ct.Schema.Name(), &ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admitLocked observes one tuple admitted to the primary reorder heap
+// (called from the ingest boundary, under the engine lock) and feeds the
+// gates.
+func (s *speculator) admitLocked(t *stream.Tuple) {
+	for _, rep := range s.reps {
+		if !rep.reads[strings.ToLower(t.Schema.Name())] {
+			continue
+		}
+		s.scratch = rep.gate.Offer(t, s.scratch[:0])
+		if err := rep.feed(s.scratch); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+}
+
+// tickLocked advances the gates and shadow clocks to the primary arrival
+// frontier. Called after every ingest offer, before delivery.
+func (s *speculator) tickLocked() error {
+	hw := s.e.ingest.HighWater()
+	if hw == stream.MinTimestamp {
+		return s.err
+	}
+	for _, rep := range s.reps {
+		s.scratch = rep.gate.Advance(hw, s.scratch[:0])
+		if err := rep.feed(s.scratch); err != nil && s.err == nil {
+			s.err = err
+		}
+		front := hw
+		if rep.level == spec.Middle {
+			front = rep.gate.Clock()
+			if p := rep.gate.Pending(); p == 0 {
+				// Nothing held: the horizon is clear up to hw−horizon, and
+				// deferred shadow decisions (timers, FOLLOWING windows) may
+				// fire that far.
+				front = hw.Add(-(s.e.specSlack / 4))
+			}
+		}
+		if front > rep.eng.Now() {
+			rep.gate.SyncClock(front)
+			if err := rep.eng.Heartbeat(front); err != nil && s.err == nil {
+				s.err = err
+			}
+		}
+	}
+	return s.err
+}
+
+// retireLocked retracts assertions the watermark has proven wrong. Called
+// after delivery, so finals at the watermark confirm first.
+func (s *speculator) retireLocked(wm stream.Timestamp) {
+	if wm == stream.MinTimestamp {
+		return
+	}
+	for _, sq := range s.qs {
+		for _, p := range sq.rec.Retire(wm) {
+			sq.deliver(retractRow(p))
+		}
+	}
+}
+
+// drainLocked finishes speculation at end of stream: gates flush into the
+// shadows before the primary flushes (so late assertions land before their
+// finals), and every assertion still unconfirmed afterwards is retracted by
+// finishLocked.
+func (s *speculator) drainLocked() {
+	hw := s.e.ingest.HighWater()
+	for _, rep := range s.reps {
+		s.scratch = rep.gate.Flush(s.scratch[:0])
+		if err := rep.feed(s.scratch); err != nil && s.err == nil {
+			s.err = err
+		}
+		if hw > rep.eng.Now() {
+			if err := rep.eng.Heartbeat(hw); err != nil && s.err == nil {
+				s.err = err
+			}
+		}
+	}
+}
+
+// finishLocked retracts everything still outstanding (after the primary's
+// end-of-stream flush has had its chance to confirm).
+func (s *speculator) finishLocked() {
+	for _, sq := range s.qs {
+		for _, p := range sq.rec.Drain() {
+			sq.deliver(retractRow(p))
+		}
+	}
+}
+
+func retractRow(p spec.PendingRow) Row {
+	return Row{Names: p.Names, Vals: p.Vals, TS: p.TS,
+		pol: spec.Retract, mseq: p.Seq, mprov: p.Prov}
+}
+
+// spcFinal reconciles one primary (strict-path) row of a speculative query.
+func (e *Engine) spcFinal(sq *specQuery, r Row) error {
+	matched, _ := sq.rec.ConfirmFinal(r.Names, r.Vals, r.mprov)
+	if matched {
+		return nil // the assertion already stands for this row
+	}
+	r.pol = spec.Final
+	r.mseq = sq.rec.NextSeq()
+	sq.deliver(r)
+	return nil
+}
+
+// SpecStats reports one speculative query's reconciliation counters, plus
+// the gate clamps its level's shadow replica has accrued.
+type SpecStats struct {
+	Level spec.Level
+	spec.Stats
+	// GateClamped counts admitted arrivals behind the shadow clock (disorder
+	// beyond the speculation horizon) whose shadow copy had its timestamp
+	// coerced forward so cumulative shadow state stays convergent with the
+	// strict path. Per level, not per query.
+	GateClamped uint64
+	// GatePending counts arrivals the speculation horizon is holding back
+	// (MIDDLE only). Per level, not per query.
+	GatePending int
+}
+
+// SpecStats returns the speculation counters for a query registered through
+// RegisterQueryOpts, and ok=false for strict queries.
+func (e *Engine) SpecStats(q *Query) (SpecStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spc == nil {
+		return SpecStats{}, false
+	}
+	for _, sq := range e.spc.qs {
+		if sq.q == q {
+			return SpecStats{Level: sq.level, Stats: sq.rec.Stats(),
+				GateClamped: sq.rep.gate.Clamped(), GatePending: sq.rep.gate.Pending()}, true
+		}
+	}
+	return SpecStats{}, false
+}
+
+func (s *speculator) find(q *Query) *specQuery {
+	for _, sq := range s.qs {
+		if sq.q == q {
+			return sq
+		}
+	}
+	return nil
+}

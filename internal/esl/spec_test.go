@@ -1,0 +1,423 @@
+package esl
+
+// Tests for speculative out-of-order execution: FAST/MIDDLE consistency
+// levels, the +/− record contract, fold equivalence against STRICT, and
+// degradation on engines without a reorder boundary.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/stream"
+)
+
+// recordLog collects the polarity-tagged record stream of one query.
+type recordLog struct {
+	rows []Row
+}
+
+func (l *recordLog) add(r Row) { l.rows = append(l.rows, r) }
+
+// fold compensates the record stream: asserts open by MatchID, retracts
+// close them (and must name a prior assert), finals are unconditional. The
+// result is the surviving multiset, fingerprinted names|vals (timestamps
+// are excluded: a deferred strict row can carry a later TS than the
+// assertion that stands for it).
+func fold(t *testing.T, rows []Row) map[string]int {
+	t.Helper()
+	open := map[spec.MatchID]Row{}
+	out := map[string]int{}
+	for _, r := range rows {
+		switch r.Polarity() {
+		case spec.Assert:
+			id := r.MatchID()
+			if _, dup := open[id]; dup {
+				t.Fatalf("duplicate assert id %v", id)
+			}
+			open[id] = r
+		case spec.Retract:
+			id := r.MatchID()
+			if _, ok := open[id]; !ok {
+				t.Fatalf("retract %v without a prior assert", id)
+			}
+			delete(open, id)
+		case spec.Final:
+			out[rowFP(r)]++
+		default:
+			t.Fatalf("unknown polarity %d", r.Polarity())
+		}
+	}
+	for _, r := range open {
+		out[rowFP(r)]++
+	}
+	return out
+}
+
+func rowFP(r Row) string { return fmt.Sprintf("%v|%v", r.Names, r.Vals) }
+
+func diffFP(a, b map[string]int) string {
+	for k, n := range a {
+		if b[k] != n {
+			return fmt.Sprintf("%q: %d vs %d", k, n, b[k])
+		}
+	}
+	for k, n := range b {
+		if a[k] != n {
+			return fmt.Sprintf("%q: %d vs %d", k, a[k], n)
+		}
+	}
+	return ""
+}
+
+// feedDisordered pushes a deterministic disordered load: timestamps
+// 1s..n*100ms with ~25% of tuples displaced backwards by up to 400ms of
+// arrival position (all within the 500ms slack).
+func feedDisordered(t *testing.T, e *Engine, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		if rng.Intn(4) == 0 && order[i-1] < order[i] {
+			order[i-1], order[i] = order[i], order[i-1]
+		}
+	}
+	for _, i := range order {
+		tsv := time.Second + time.Duration(i)*100*time.Millisecond
+		if err := e.Push("s", ts(tsv), stream.Int(int64(i%5))); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runLevel runs the windowed-count query at one consistency level over the
+// standard disordered load and returns its record log.
+func runLevel(t *testing.T, lvl spec.Level, seed int64) []Row {
+	t.Helper()
+	e := New(WithSlack(500 * time.Millisecond))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	log := &recordLog{}
+	_, err := e.RegisterQueryOpts("w",
+		`SELECT v, count(*) AS n FROM s OVER (RANGE 1 SECONDS PRECEDING CURRENT)`,
+		log.add, WithConsistency(lvl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDisordered(t, e, 60, seed)
+	return log.rows
+}
+
+// TestSpecFoldEquivalence: the compensated FAST and MIDDLE record streams
+// fold row-for-row into the STRICT output under disordered input.
+func TestSpecFoldEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		strict := fold(t, runLevel(t, spec.Strict, seed))
+		for _, lvl := range []spec.Level{spec.Fast, spec.Middle} {
+			got := fold(t, runLevel(t, lvl, seed))
+			if d := diffFP(strict, got); d != "" {
+				t.Fatalf("seed %d: %s fold diverges from STRICT at %s", seed, lvl, d)
+			}
+		}
+	}
+}
+
+// TestSpecStrictRecordsAreFinals: a STRICT registration through
+// RegisterQueryOpts yields only Final records with zero MatchIDs —
+// bit-for-bit the legacy contract.
+func TestSpecStrictRecordsAreFinals(t *testing.T) {
+	rows := runLevel(t, spec.Strict, 1)
+	if len(rows) == 0 {
+		t.Fatal("no output")
+	}
+	for _, r := range rows {
+		if r.Polarity() != spec.Final || r.MatchID() != (spec.MatchID{}) {
+			t.Fatalf("strict row carries record tags: pol=%v id=%v", r.Polarity(), r.MatchID())
+		}
+	}
+}
+
+// TestSpecFastAssertsEarly: FAST emits assertions before the watermark
+// releases anything, and late input forces at least one retraction.
+func TestSpecFastAssertsEarly(t *testing.T) {
+	e := New(WithSlack(2 * time.Second))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	log := &recordLog{}
+	q, err := e.RegisterQueryOpts("w",
+		`SELECT v, count(*) AS n FROM s OVER (RANGE 5 SECONDS PRECEDING CURRENT) CONSISTENCY FAST`,
+		log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("s", ts(3*time.Second), stream.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.rows) != 1 || log.rows[0].Polarity() != spec.Assert {
+		t.Fatalf("expected an immediate assertion, got %+v", log.rows)
+	}
+	// A late-but-in-slack arrival rewrites history: the shadow asserted
+	// (v=1, n=1) for ts=3s, but once ts=2s exists the strict stream says
+	// (v=2, n=1) then (v=1, n=2) — the assertion's content never appears
+	// and must be retracted.
+	if err := e.Push("s", ts(2*time.Second), stream.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var nr int
+	for _, r := range log.rows {
+		if r.Polarity() == spec.Retract {
+			nr++
+		}
+	}
+	if nr == 0 {
+		t.Fatalf("late arrival should force a retraction; records: %+v", log.rows)
+	}
+	st, ok := e.SpecStats(q)
+	if !ok || st.Level != spec.Fast || st.Retracted == 0 || st.Asserted == 0 {
+		t.Fatalf("SpecStats = %+v ok=%v", st, ok)
+	}
+	want := map[string]int{
+		rowFP(Row{Names: []string{"v", "n"}, Vals: []stream.Value{stream.Int(2), stream.Int(1)}}): 1,
+		rowFP(Row{Names: []string{"v", "n"}, Vals: []stream.Value{stream.Int(1), stream.Int(2)}}): 1,
+	}
+	if d := diffFP(fold(t, log.rows), want); d != "" {
+		t.Fatalf("fold diverges from strict at %s (records %+v)", d, log.rows)
+	}
+}
+
+// TestSpecMiddleBoundsRetractionDepth: with depth 1, at most one assertion
+// is outstanding at a time; suppressed rows still arrive as finals.
+func TestSpecMiddleBoundsRetractionDepth(t *testing.T) {
+	e := New(WithSlack(500 * time.Millisecond))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	log := &recordLog{}
+	q, err := e.RegisterQueryOpts("w",
+		`SELECT v FROM s CONSISTENCY MIDDLE`, log.add, WithRetractionDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for i := 0; i < 40; i++ {
+		if err := e.Push("s", ts(time.Second+time.Duration(i)*50*time.Millisecond), stream.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		// Pending counts unconfirmed (still-retractable) assertions — the
+		// quantity the depth bound caps. Confirmed assertions stay silent in
+		// the record log but can never retract.
+		if st, ok := e.SpecStats(q); ok && st.Pending > peak {
+			peak = st.Pending
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 1 {
+		t.Fatalf("retraction depth 1 violated: %d outstanding assertions", peak)
+	}
+	st, _ := e.SpecStats(q)
+	if st.Suppressed == 0 {
+		t.Fatalf("expected suppressed assertions at depth 1: %+v", st)
+	}
+	// Every input row still surfaces exactly once after compensation.
+	if got := fold(t, log.rows); len(got) != 40 {
+		t.Fatalf("fold has %d distinct rows, want 40", len(got))
+	}
+}
+
+// TestSpecDegradesWithoutSlack: FAST on an engine with no ingest boundary
+// silently runs STRICT.
+func TestSpecDegradesWithoutSlack(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	log := &recordLog{}
+	q, err := e.RegisterQueryOpts("w", `SELECT v FROM s CONSISTENCY FAST`, log.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push("s", ts(time.Second), stream.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.rows) != 1 || log.rows[0].Polarity() != spec.Final {
+		t.Fatalf("degraded query should emit plain finals, got %+v", log.rows)
+	}
+	if _, ok := e.SpecStats(q); ok {
+		t.Fatal("degraded query should not report SpecStats")
+	}
+}
+
+// TestSpecScriptStatement: a CONSISTENCY clause on a script SELECT wires
+// the full speculation machinery even though the statement has no callback
+// — the counters surface through EngineStats. INSERT INTO from a
+// speculative query stays rejected: it would re-ingest retractable rows.
+func TestSpecScriptStatement(t *testing.T) {
+	e := New(WithSlack(time.Second))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	qs, err := e.Exec(`SELECT v FROM s CONSISTENCY FAST`)
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("script-statement CONSISTENCY: %v (%d queries)", err, len(qs))
+	}
+	for i, at := range []time.Duration{time.Second, 2 * time.Second} {
+		if err := e.Push("s", ts(at), stream.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.EngineStats(); st.SpecAsserted == 0 {
+		t.Fatalf("script-registered FAST query never asserted: %+v", st)
+	}
+	if _, err := e.RegisterQueryOpts("bad", `INSERT INTO d SELECT v FROM s CONSISTENCY FAST`, nil); err == nil {
+		t.Fatal("INSERT INTO at FAST should be rejected")
+	}
+	// Same guard on the script path.
+	if _, err := e.Exec(`INSERT INTO d SELECT v FROM s CONSISTENCY FAST`); err == nil {
+		t.Fatal("script INSERT INTO at FAST should be rejected")
+	}
+}
+
+// TestSpecDerivedStreamRejected: speculation needs base streams; reading
+// another query's derived output is refused.
+func TestSpecDerivedStreamRejected(t *testing.T) {
+	e := New(WithSlack(time.Second))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	mustExec(t, e, `INSERT INTO d SELECT v FROM s`)
+	if _, err := e.RegisterQueryOpts("bad", `SELECT v FROM d CONSISTENCY FAST`, nil); err == nil {
+		t.Fatal("derived-stream speculation should be rejected")
+	}
+}
+
+// TestSpecConsistencyParse: clause parsing accepts each level and rejects
+// junk.
+func TestSpecConsistencyParse(t *testing.T) {
+	for _, c := range []struct {
+		sql string
+		lvl spec.Level
+	}{
+		{`SELECT v FROM s`, spec.Strict},
+		{`SELECT v FROM s CONSISTENCY STRICT`, spec.Strict},
+		{`SELECT v FROM s CONSISTENCY MIDDLE`, spec.Middle},
+		{`SELECT v FROM s CONSISTENCY FAST`, spec.Fast},
+	} {
+		st, err := ParseOne(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if sel := st.(*Select); sel.Consistency != c.lvl {
+			t.Fatalf("%s: level %v, want %v", c.sql, sel.Consistency, c.lvl)
+		}
+	}
+	if _, err := ParseOne(`SELECT v FROM s CONSISTENCY EVENTUAL`); err == nil {
+		t.Fatal("unknown consistency level should fail to parse")
+	}
+}
+
+// TestSpecCheckpointRestoreContinuity: checkpoint mid-stream with
+// assertions in flight, restore into a fresh identically-shaped engine, and
+// feed the same suffix — the record streams (polarity, MatchID, content)
+// must be identical from the cut onward. This is the exactly-once property
+// fail-over leans on: no re-assertion under fresh sequences, no retracted
+// row resurfacing as a final.
+func TestSpecCheckpointRestoreContinuity(t *testing.T) {
+	type rec struct {
+		pol  spec.Polarity
+		id   spec.MatchID
+		body string
+	}
+	snap := func(r Row) rec { return rec{r.Polarity(), r.MatchID(), rowFP(r)} }
+	build := func(log *recordLog) *Engine {
+		e := New(WithSlack(500 * time.Millisecond))
+		mustExec(t, e, `CREATE STREAM s(v);`)
+		if _, err := e.RegisterQueryOpts("w",
+			`SELECT v, count(*) AS n FROM s OVER (RANGE 1 SECONDS PRECEDING CURRENT) CONSISTENCY MIDDLE`,
+			log.add); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	push := func(e *Engine, i int) {
+		tsv := time.Second + time.Duration(i)*100*time.Millisecond
+		if i%7 == 3 {
+			tsv -= 250 * time.Millisecond // in-slack disorder
+		}
+		if err := e.Push("s", ts(tsv), stream.Int(int64(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	logA := &recordLog{}
+	a := build(logA)
+	for i := 0; i < 25; i++ {
+		push(a, i)
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(logA.rows)
+	st := a.EngineStats()
+	if st.SpecPending == 0 {
+		t.Fatal("test needs in-flight assertions at the checkpoint")
+	}
+
+	logB := &recordLog{}
+	b := build(logB)
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < 50; i++ {
+		push(a, i)
+		push(b, i)
+	}
+	if err := a.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	tail := logA.rows[cut:]
+	if len(tail) != len(logB.rows) {
+		t.Fatalf("restored engine emitted %d records, original emitted %d after the cut", len(logB.rows), len(tail))
+	}
+	for i := range tail {
+		if snap(tail[i]) != snap(logB.rows[i]) {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, snap(tail[i]), snap(logB.rows[i]))
+		}
+	}
+}
+
+// TestSpecStatsSurface: EngineStats exposes live speculation gauges.
+func TestSpecStatsSurface(t *testing.T) {
+	e := New(WithSlack(time.Second))
+	mustExec(t, e, `CREATE STREAM s(v);`)
+	log := &recordLog{}
+	if _, err := e.RegisterQueryOpts("w", `SELECT v FROM s CONSISTENCY FAST`, log.add); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Push("s", ts(time.Duration(i+1)*time.Second), stream.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.EngineStats()
+	if st.SpecAsserted == 0 || st.SpecPending == 0 {
+		t.Fatalf("engine stats missing speculation gauges: %+v", st)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st = e.EngineStats()
+	if st.SpecPending != 0 {
+		t.Fatalf("pending assertions after drain: %+v", st)
+	}
+}

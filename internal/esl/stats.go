@@ -1,6 +1,10 @@
 package esl
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/spec"
+)
 
 // QueryStats is an observability snapshot for one continuous query.
 type QueryStats struct {
@@ -22,6 +26,13 @@ type QueryStats struct {
 	Skipped uint64
 	// Runs counts the live partial-match runs held by a SEQ-family query.
 	Runs int
+	// Consistency is the query's speculation level (STRICT unless registered
+	// FAST or MIDDLE through RegisterQueryOpts on a slack-configured engine).
+	Consistency spec.Level
+	// SpecPending / SpecRetracted gauge the speculation layer for FAST and
+	// MIDDLE queries: live unconfirmed assertions and cumulative − records.
+	SpecPending   int
+	SpecRetracted uint64
 }
 
 // stateSizer is implemented by operators that can report retained state.
@@ -106,6 +117,14 @@ func (e *Engine) Stats() []QueryStats {
 		}
 		if rc, ok := q.op.(interface{ runCount() int }); ok {
 			st.Runs = rc.runCount()
+		}
+		if e.spc != nil {
+			if sq := e.spc.find(q); sq != nil {
+				st.Consistency = sq.level
+				rs := sq.rec.Stats()
+				st.SpecPending = rs.Pending
+				st.SpecRetracted = rs.Retracted
+			}
 		}
 		out = append(out, st)
 	}

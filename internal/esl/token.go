@@ -70,7 +70,7 @@ var keywords = map[string]bool{
 	"RETURN": true, "EXPIRE": true, "AFTER": true, "DISTINCT": true,
 	"MILLISECONDS": true, "SECONDS": true, "MINUTES": true, "HOURS": true, "DAYS": true,
 	"MILLISECOND": true, "SECOND": true, "MINUTE": true, "HOUR": true, "DAY": true,
-	"LIMIT": true,
+	"LIMIT": true, "CONSISTENCY": true,
 }
 
 // timeUnits maps interval unit keywords to nanoseconds.

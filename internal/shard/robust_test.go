@@ -243,3 +243,68 @@ func TestShardReplicaPanicQuarantine(t *testing.T) {
 		t.Fatalf("healthy query emitted %d rows, want 20", healthy)
 	}
 }
+
+// TestShardConsistencyDegradesStrict: worker replicas run without a
+// per-replica ingest boundary, so a CONSISTENCY FAST query on a sharded
+// engine degrades to strict execution instead of erroring — identical rows
+// to a serial strict engine over the same disordered input, every record a
+// plain final with no polarity tags.
+func TestShardConsistencyDegradesStrict(t *testing.T) {
+	const ddl = `CREATE STREAM R(tagid, n);`
+	const specSQL = `SELECT tagid, count(*) AS c FROM R OVER (RANGE 1 SECONDS PRECEDING CURRENT) CONSISTENCY FAST`
+	const strictSQL = `SELECT tagid, count(*) AS c FROM R OVER (RANGE 1 SECONDS PRECEDING CURRENT)`
+
+	serial := esl.New(esl.WithSlack(time.Second))
+	if _, err := serial.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	if _, err := serial.RegisterQuery("q", strictSQL, func(r Row) {
+		want = append(want, fmt.Sprintf("%v@%d%v", r.Names, r.TS, r.Vals))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.PushBatch(disorderedReads(t, serial, 40, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+
+	e := New(3, esl.WithSlack(time.Second))
+	defer e.Close()
+	if _, err := e.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	if _, err := e.RegisterQuery("q", specSQL, func(r Row) {
+		pol, seq, hash := esl.RecordTags(r)
+		mu.Lock()
+		defer mu.Unlock()
+		if seq != 0 || hash != 0 || pol != 0 {
+			t.Errorf("degraded query emitted tagged record (%v,%d,%x)", pol, seq, hash)
+		}
+		got = append(got, fmt.Sprintf("%v@%d%v", r.Names, r.TS, r.Vals))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushBatch(disorderedReads(t, e, 40, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("sharded %d rows vs serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: sharded %s vs serial %s", i, got[i], want[i])
+		}
+	}
+}

@@ -3,8 +3,10 @@ package snapshot
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -216,6 +218,32 @@ func TestCodecVersionCheck(t *testing.T) {
 	mut = fixupCRC(mut)
 	if _, err := NewDecoderBytes(mut, resolverFor(s)); !errors.Is(err, ErrVersion) {
 		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestCodecRejectsOlderVersions: the v4 reader refuses v2 and v3 snapshots
+// (the speculation section changed the layout) with a typed error whose
+// message names both the snapshot's version and the decoder's.
+func TestCodecRejectsOlderVersions(t *testing.T) {
+	s := testSchema(t)
+	enc := NewEncoder()
+	enc.Uvarint(1)
+	blob, err := enc.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range []byte{2, 3} {
+		mut := append([]byte(nil), blob...)
+		mut[len(magic)] = old
+		mut = fixupCRC(mut)
+		_, err := NewDecoderBytes(mut, resolverFor(s))
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("v%d snapshot: err = %v, want ErrVersion", old, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, fmt.Sprintf("v%d", old)) || !strings.Contains(msg, fmt.Sprintf("v%d", Version)) {
+			t.Fatalf("v%d snapshot: error %q must name both the snapshot and decoder versions", old, msg)
+		}
 	}
 }
 

@@ -46,12 +46,19 @@ func seedBlobs() [][]byte {
 	trunc := valid[:len(valid)/2]
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/3] ^= 0x10
+	// A structurally valid blob stamped with the previous format version:
+	// keeps the version-negotiation rejection (v4 reader vs v3 snapshot) in
+	// the corpus permanently.
+	stale := append([]byte(nil), valid...)
+	stale[len(magic)] = Version - 1
+	stale = fixupCRC(stale)
 	return [][]byte{
 		valid,
 		trunc,
 		flipped,
 		[]byte("ESLSNP1\njunk after a valid magic"),
 		{},
+		stale,
 	}
 }
 

@@ -40,8 +40,11 @@ import (
 // v2 added the merged-group section (shared automata + member fences);
 // v3 replaced flat table sections with the delta-compressed version
 // history (interned rows + per-version shared prefixes) that carries the
-// MVCC AS OF cuts across a restore.
-const Version = 3
+// MVCC AS OF cuts across a restore; v4 appended the speculation section
+// (per-query reconciler state + per-level arrival gates and shadow-replica
+// state), so in-flight FAST/MIDDLE assertions survive fail-over without
+// double emission.
+const Version = 4
 
 // magic identifies a snapshot file. The trailing newline guards against
 // text-mode corruption, the classic PNG trick.

@@ -1,0 +1,136 @@
+package snapshot
+
+// Speculation-state codecs (format v4): the per-query reconciler state
+// (outstanding assertions and their counters) and the per-level arrival
+// gate state persist across checkpoint/restore so recovery neither re-emits
+// a retracted result as final nor re-asserts under a fresh sequence.
+
+import (
+	"repro/internal/spec"
+	"repro/internal/stream"
+)
+
+// EncodeReconcilerState writes one query's reconciler state.
+func EncodeReconcilerState(enc *Encoder, st spec.State) {
+	enc.Uvarint(st.NextSeq)
+	enc.Int(st.Stats.Pending)
+	enc.Uvarint(st.Stats.Asserted)
+	enc.Uvarint(st.Stats.Confirmed)
+	enc.Uvarint(st.Stats.Retracted)
+	enc.Uvarint(st.Stats.LateFinals)
+	enc.Uvarint(st.Stats.Suppressed)
+	enc.Uvarint(uint64(len(st.Pending)))
+	for _, p := range st.Pending {
+		enc.Uvarint(p.Seq)
+		enc.Uvarint(p.Prov)
+		enc.TS(p.TS)
+		enc.Uvarint(uint64(len(p.Names)))
+		for _, n := range p.Names {
+			enc.String(n)
+		}
+		enc.Values(p.Vals)
+	}
+}
+
+// DecodeReconcilerState reads a state written by EncodeReconcilerState.
+func DecodeReconcilerState(dec *Decoder) (spec.State, error) {
+	var st spec.State
+	var err error
+	if st.NextSeq, err = dec.Uvarint(); err != nil {
+		return st, err
+	}
+	if st.Stats.Pending, err = dec.Int(); err != nil {
+		return st, err
+	}
+	for _, p := range []*uint64{
+		&st.Stats.Asserted, &st.Stats.Confirmed, &st.Stats.Retracted,
+		&st.Stats.LateFinals, &st.Stats.Suppressed,
+	} {
+		if *p, err = dec.Uvarint(); err != nil {
+			return st, err
+		}
+	}
+	np, err := dec.Len()
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < np; i++ {
+		var p spec.PendingRow
+		if p.Seq, err = dec.Uvarint(); err != nil {
+			return st, err
+		}
+		if p.Prov, err = dec.Uvarint(); err != nil {
+			return st, err
+		}
+		if p.TS, err = dec.TS(); err != nil {
+			return st, err
+		}
+		nn, err := dec.Len()
+		if err != nil {
+			return st, err
+		}
+		p.Names = make([]string, nn)
+		for j := 0; j < nn; j++ {
+			if p.Names[j], err = dec.String(); err != nil {
+				return st, err
+			}
+		}
+		if p.Vals, err = dec.Values(); err != nil {
+			return st, err
+		}
+		st.Pending = append(st.Pending, p)
+	}
+	return st, nil
+}
+
+// EncodeGateState writes one speculation gate's state. Gate entries are
+// always tuples (never heartbeats), already sorted in release order.
+func EncodeGateState(enc *Encoder, st spec.GateState) {
+	enc.Uvarint(st.Arrival)
+	enc.TS(st.HW)
+	enc.TS(st.Clock)
+	enc.Bool(st.Started)
+	enc.Uvarint(st.Clamped)
+	enc.Uvarint(uint64(len(st.Pending)))
+	for _, p := range st.Pending {
+		enc.Tuple(p.It.Tuple)
+		enc.Uvarint(p.Seq)
+	}
+}
+
+// DecodeGateState reads a state written by EncodeGateState.
+func DecodeGateState(dec *Decoder) (spec.GateState, error) {
+	var st spec.GateState
+	var err error
+	if st.Arrival, err = dec.Uvarint(); err != nil {
+		return st, err
+	}
+	if st.HW, err = dec.TS(); err != nil {
+		return st, err
+	}
+	if st.Clock, err = dec.TS(); err != nil {
+		return st, err
+	}
+	if st.Started, err = dec.Bool(); err != nil {
+		return st, err
+	}
+	if st.Clamped, err = dec.Uvarint(); err != nil {
+		return st, err
+	}
+	np, err := dec.Len()
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < np; i++ {
+		t, err := dec.Tuple()
+		if err != nil {
+			return st, err
+		}
+		seq, err := dec.Uvarint()
+		if err != nil {
+			return st, err
+		}
+		st.Pending = append(st.Pending, stream.PendingItem{It: stream.Of(t), Seq: seq})
+	}
+	return st, nil
+}

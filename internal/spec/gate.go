@@ -1,0 +1,164 @@
+package spec
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Gate is the speculation-side admission stage: it decides when an admitted
+// arrival reaches the shadow replica. A zero horizon (FAST) releases every
+// tuple on arrival; a positive horizon (MIDDLE) holds tuples until the
+// arrival high-water mark passes ts+horizon, absorbing most disorder before
+// any speculative emission — the short speculation horizon that keeps
+// retractions rare.
+//
+// The shadow replica is a strict engine and requires monotone input, so
+// releases that would regress its clock (arrivals more than the horizon out
+// of order) are still emitted but flagged as clamped: the caller coerces
+// their timestamp up to the shadow clock before pushing. Clamping keeps the
+// shadow's cumulative state convergent with the strict path — dropping such
+// arrivals instead would leave running aggregates permanently short by one,
+// turning every later assertion for the same group into a retraction.
+// Not goroutine-safe.
+type Gate struct {
+	horizon time.Duration
+	pending *stream.Heap[gateEntry]
+	arrival uint64
+	hw      stream.Timestamp // arrival high-water mark
+	clock   stream.Timestamp // shadow feed frontier (monotone)
+	started bool
+	clamped uint64
+}
+
+type gateEntry struct {
+	t   *stream.Tuple
+	seq uint64
+}
+
+// NewGate builds a gate with the given speculation horizon (0 = FAST).
+func NewGate(horizon time.Duration) *Gate {
+	g := &Gate{horizon: horizon, hw: stream.MinTimestamp, clock: stream.MinTimestamp}
+	g.pending = stream.NewHeap(func(a, b gateEntry) bool {
+		if a.t.TS != b.t.TS {
+			return a.t.TS < b.t.TS
+		}
+		return a.seq < b.seq
+	})
+	return g
+}
+
+// Clamped counts released arrivals that were behind the shadow clock
+// (disorder beyond the speculation horizon) and had their timestamp coerced
+// forward by the caller. Their speculative rows carry the clamped time;
+// confirmation matches on content, not timestamps, so they still confirm
+// when the strict path agrees.
+func (g *Gate) Clamped() uint64 { return g.clamped }
+
+// Pending reports how many arrivals the horizon is still holding back.
+func (g *Gate) Pending() int { return g.pending.Len() }
+
+// Clock returns the shadow feed frontier: the timestamp of the newest tuple
+// released to the shadow replica.
+func (g *Gate) Clock() stream.Timestamp { return g.clock }
+
+// Offer feeds one admitted arrival, appending any releases to out. With a
+// zero horizon the tuple itself is released immediately.
+func (g *Gate) Offer(t *stream.Tuple, out []*stream.Tuple) []*stream.Tuple {
+	if !g.started || t.TS > g.hw {
+		g.started = true
+		g.hw = t.TS
+	}
+	g.arrival++
+	g.pending.Push(gateEntry{t: t, seq: g.arrival})
+	return g.release(out)
+}
+
+// Advance moves the arrival high-water mark (heartbeats and the primary
+// boundary's own frontier), releasing what the horizon now covers.
+func (g *Gate) Advance(ts stream.Timestamp, out []*stream.Tuple) []*stream.Tuple {
+	if !g.started || ts > g.hw {
+		g.started = true
+		g.hw = ts
+	}
+	return g.release(out)
+}
+
+// SyncClock raises the shadow feed frontier to ts without emitting. The
+// caller uses it when heartbeating the shadow replica past the last release
+// (e.g. to hw−horizon while nothing is held): a later release below the
+// heartbeat would regress the shadow's clock, so emit must learn the
+// frontier and count such stragglers as clamped.
+func (g *Gate) SyncClock(ts stream.Timestamp) {
+	if ts > g.clock {
+		g.clock = ts
+	}
+}
+
+// Flush releases everything held back — end of stream.
+func (g *Gate) Flush(out []*stream.Tuple) []*stream.Tuple {
+	for g.pending.Len() > 0 {
+		out = g.emit(g.pending.Pop().t, out)
+	}
+	return out
+}
+
+func (g *Gate) release(out []*stream.Tuple) []*stream.Tuple {
+	if !g.started {
+		return out
+	}
+	lim := g.hw.Add(-g.horizon)
+	for g.pending.Len() > 0 && g.pending.Min().t.TS <= lim {
+		out = g.emit(g.pending.Pop().t, out)
+	}
+	return out
+}
+
+func (g *Gate) emit(t *stream.Tuple, out []*stream.Tuple) []*stream.Tuple {
+	if t.TS < g.clock {
+		g.clamped++ // caller coerces the copy's timestamp up to the shadow clock
+		return append(out, t)
+	}
+	g.clock = t.TS
+	return append(out, t)
+}
+
+// GateState is the gate's mutable state in serialization-friendly form,
+// with held-back tuples in release order so equal logical states serialize
+// identically.
+type GateState struct {
+	Arrival uint64
+	HW      stream.Timestamp
+	Clock   stream.Timestamp
+	Started bool
+	Clamped uint64
+	Pending []stream.PendingItem
+}
+
+// State extracts a copy of the gate's mutable state.
+func (g *Gate) State() GateState {
+	st := GateState{Arrival: g.arrival, HW: g.hw, Clock: g.clock, Started: g.started, Clamped: g.clamped}
+	if n := g.pending.Len(); n > 0 {
+		st.Pending = make([]stream.PendingItem, 0, n)
+		for _, e := range g.pending.Items() {
+			st.Pending = append(st.Pending, stream.PendingItem{It: stream.Of(e.t), Seq: e.seq})
+		}
+		sort.Slice(st.Pending, func(i, j int) bool {
+			if st.Pending[i].It.TS != st.Pending[j].It.TS {
+				return st.Pending[i].It.TS < st.Pending[j].It.TS
+			}
+			return st.Pending[i].Seq < st.Pending[j].Seq
+		})
+	}
+	return st
+}
+
+// SetState replaces the gate's mutable state.
+func (g *Gate) SetState(st GateState) {
+	g.arrival, g.hw, g.clock, g.started, g.clamped = st.Arrival, st.HW, st.Clock, st.Started, st.Clamped
+	g.pending.Reset()
+	for _, p := range st.Pending {
+		g.pending.Push(gateEntry{t: p.It.Tuple, seq: p.Seq})
+	}
+}

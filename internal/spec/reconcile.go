@@ -1,0 +1,251 @@
+package spec
+
+import "repro/internal/stream"
+
+// PendingRow is one outstanding speculative assertion: emitted as a + record
+// and not yet confirmed by the strict path nor retired by a retraction.
+type PendingRow struct {
+	Seq   uint64
+	Prov  uint64
+	Names []string
+	Vals  []stream.Value
+	TS    stream.Timestamp
+}
+
+// Stats counts one query's speculation activity.
+type Stats struct {
+	// Pending is the live count of unconfirmed assertions.
+	Pending int
+	// Asserted counts speculative + records emitted.
+	Asserted uint64
+	// Confirmed counts assertions the strict path validated (no record is
+	// emitted — the + already stands for the row).
+	Confirmed uint64
+	// Retracted counts − records emitted for assertions the strict path
+	// never produced.
+	Retracted uint64
+	// LateFinals counts strict rows emitted as finals because no matching
+	// assertion was outstanding (the shadow missed the inputs — typically a
+	// late tuple the speculation gate dropped).
+	LateFinals uint64
+	// Suppressed counts assertions withheld by the MIDDLE retraction-depth
+	// bound; their rows emit as finals when the strict path reaches them.
+	Suppressed uint64
+}
+
+// pendingEntry is PendingRow plus its lifecycle bit. Entries are tombstoned
+// on confirm/retire rather than spliced so the FIFO stays index-stable.
+type pendingEntry struct {
+	PendingRow
+	done bool
+}
+
+// Reconciler folds one query's strict finals against its outstanding
+// speculative assertions. Not goroutine-safe; the owning engine serializes
+// access.
+type Reconciler struct {
+	query    string
+	maxDepth int // cap on live assertions (0 = unbounded)
+	nextSeq  uint64
+
+	order  []*pendingEntry // assertion order (timestamps non-decreasing)
+	head   int
+	byHash map[uint64][]*pendingEntry // content hash → live entries
+
+	stats Stats
+}
+
+// NewReconciler builds the bookkeeping for one query. maxDepth, when
+// positive, bounds the number of unconfirmed assertions outstanding (the
+// MIDDLE level's retraction-depth cap); further assertions are suppressed
+// until confirmations or retirements free slots.
+func NewReconciler(query string, maxDepth int) *Reconciler {
+	return &Reconciler{query: query, maxDepth: maxDepth, byHash: map[uint64][]*pendingEntry{}}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Reconciler) Stats() Stats {
+	st := r.stats
+	st.Pending = r.live()
+	return st
+}
+
+func (r *Reconciler) live() int {
+	n := 0
+	for _, es := range r.byHash {
+		n += len(es)
+	}
+	return n
+}
+
+// NextSeq allocates the next record sequence number — shared between
+// assertions and late finals so MatchIDs stay unique per query.
+func (r *Reconciler) NextSeq() uint64 {
+	r.nextSeq++
+	return r.nextSeq
+}
+
+// Assert registers a speculative row about to be emitted as a + record and
+// returns its sequence number. ok=false means the assertion is suppressed by
+// the retraction-depth bound: the caller must not emit, and the row will
+// surface as a final from the strict path instead.
+func (r *Reconciler) Assert(names []string, vals []stream.Value, ts stream.Timestamp, prov uint64) (seq uint64, ok bool) {
+	if r.maxDepth > 0 && r.live() >= r.maxDepth {
+		r.stats.Suppressed++
+		return 0, false
+	}
+	e := &pendingEntry{PendingRow: PendingRow{
+		Seq: r.NextSeq(), Prov: prov,
+		Names: names, Vals: vals, TS: ts,
+	}}
+	r.order = append(r.order, e)
+	h := RowHash(names, vals)
+	r.byHash[h] = append(r.byHash[h], e)
+	r.stats.Asserted++
+	r.stats.Pending = r.live()
+	return e.Seq, true
+}
+
+// ConfirmFinal reconciles one strict-path row. When a content-equal
+// assertion is outstanding it is consumed silently (the + record already
+// stands for this row) and matched is true. Otherwise the caller must emit
+// the row as a final. Among content-equal candidates the one sharing the
+// final's provenance is preferred, so the consumed MatchID names the same
+// tuple combination whenever provenance is available.
+func (r *Reconciler) ConfirmFinal(names []string, vals []stream.Value, prov uint64) (matched bool, seq uint64) {
+	h := RowHash(names, vals)
+	es := r.byHash[h]
+	pick := -1
+	for i, e := range es {
+		if !RowEqual(e.Names, e.Vals, names, vals) {
+			continue
+		}
+		if prov != 0 && e.Prov == prov {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		r.stats.LateFinals++
+		return false, 0
+	}
+	e := es[pick]
+	r.removeHash(h, pick)
+	e.done = true
+	r.stats.Confirmed++
+	r.stats.Pending = r.live()
+	return true, e.Seq
+}
+
+// Retire returns the assertions the watermark has proven wrong — every
+// outstanding row with timestamp strictly before wm, in assertion order. The
+// caller emits one − record per returned row.
+func (r *Reconciler) Retire(wm stream.Timestamp) []PendingRow {
+	var out []PendingRow
+	for r.head < len(r.order) {
+		e := r.order[r.head]
+		if e.done {
+			r.order[r.head] = nil
+			r.head++
+			continue
+		}
+		if e.TS >= wm {
+			break
+		}
+		out = append(out, r.retireEntryAt(r.head))
+	}
+	r.compact()
+	return out
+}
+
+// Drain retires every outstanding assertion — end of stream.
+func (r *Reconciler) Drain() []PendingRow {
+	var out []PendingRow
+	for r.head < len(r.order) {
+		if r.order[r.head] == nil || r.order[r.head].done {
+			r.order[r.head] = nil
+			r.head++
+			continue
+		}
+		out = append(out, r.retireEntryAt(r.head))
+	}
+	r.order = r.order[:0]
+	r.head = 0
+	return out
+}
+
+func (r *Reconciler) retireEntryAt(i int) PendingRow {
+	e := r.order[i]
+	h := RowHash(e.Names, e.Vals)
+	for j, cand := range r.byHash[h] {
+		if cand == e {
+			r.removeHash(h, j)
+			break
+		}
+	}
+	e.done = true
+	r.order[i] = nil
+	if i == r.head {
+		r.head++
+	}
+	r.stats.Retracted++
+	r.stats.Pending = r.live()
+	return e.PendingRow
+}
+
+func (r *Reconciler) removeHash(h uint64, i int) {
+	es := r.byHash[h]
+	es = append(es[:i], es[i+1:]...)
+	if len(es) == 0 {
+		delete(r.byHash, h)
+	} else {
+		r.byHash[h] = es
+	}
+}
+
+func (r *Reconciler) compact() {
+	if r.head > 64 && r.head*2 >= len(r.order) {
+		r.order = append(r.order[:0], r.order[r.head:]...)
+		r.head = 0
+	}
+}
+
+// State is the Reconciler's mutable state in serialization-friendly form
+// (snapshot v4 persists it so recovery never re-emits a retracted result as
+// final, and never re-asserts under a different sequence).
+type State struct {
+	NextSeq uint64
+	Stats   Stats
+	Pending []PendingRow // live assertions in assertion order
+}
+
+// State extracts a copy of the mutable state.
+func (r *Reconciler) State() State {
+	st := State{NextSeq: r.nextSeq, Stats: r.stats}
+	st.Stats.Pending = r.live()
+	for _, e := range r.order[r.head:] {
+		if e != nil && !e.done {
+			st.Pending = append(st.Pending, e.PendingRow)
+		}
+	}
+	return st
+}
+
+// SetState replaces the mutable state with a previously extracted copy.
+func (r *Reconciler) SetState(st State) {
+	r.nextSeq = st.NextSeq
+	r.stats = st.Stats
+	r.order = r.order[:0]
+	r.head = 0
+	r.byHash = make(map[uint64][]*pendingEntry, len(st.Pending))
+	for _, p := range st.Pending {
+		e := &pendingEntry{PendingRow: p}
+		r.order = append(r.order, e)
+		h := RowHash(p.Names, p.Vals)
+		r.byHash[h] = append(r.byHash[h], e)
+	}
+	r.stats.Pending = r.live()
+}

@@ -1,0 +1,159 @@
+// Package spec implements CEDR-style speculative execution: per-query
+// consistency levels, polarity-carrying output records, and the
+// reconciliation bookkeeping that folds a speculative (+/−) record stream
+// back into the strict watermark-gated stream.
+//
+// The subsystem sits between the ingest boundary and the matchers. A query
+// registered at a speculative level runs twice: a shadow replica is fed
+// tuples in arrival order (before the reorder slack releases them) and
+// emits speculative assertions (+); the primary strict replica emits the
+// authoritative finals, which either confirm an outstanding assertion
+// (silently — the + already stands for the row) or are emitted as late
+// finals. Assertions the primary never confirms are retired with a
+// compensating retraction (−) once the watermark proves them wrong. By
+// construction the compensated stream — the multiset of + records minus the
+// rows named by − records, plus finals — equals the strict stream
+// row-for-row; the chaos harness certifies exactly that.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Level is a per-query consistency level, the speculation/latency trade-off
+// selected at register time (WithConsistency or the ESL CONSISTENCY
+// clause).
+type Level int
+
+const (
+	// Strict is today's watermark-gated behavior, bit-for-bit unchanged:
+	// rows emit only once the reorder boundary proves their inputs final.
+	Strict Level = iota
+	// Middle emits after a short speculation horizon (a fraction of the
+	// reorder slack) with bounded retraction depth: most disorder is
+	// absorbed before emission, so retractions stay rare and the number
+	// outstanding is capped.
+	Middle
+	// Fast emits on arrival and compensates late or duplicate input with
+	// retractions — the minimum-latency end of the spectrum.
+	Fast
+)
+
+// String names the level as written in the CONSISTENCY clause.
+func (l Level) String() string {
+	switch l {
+	case Strict:
+		return "STRICT"
+	case Middle:
+		return "MIDDLE"
+	case Fast:
+		return "FAST"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel parses a consistency-level name, case-insensitively.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToUpper(s) {
+	case "STRICT":
+		return Strict, true
+	case "MIDDLE":
+		return Middle, true
+	case "FAST":
+		return Fast, true
+	default:
+		return Strict, false
+	}
+}
+
+// Polarity is the sign a record carries: an assertion adds a row to the
+// result, a retraction cancels a previously asserted row, and a final is an
+// assertion the strict path has already proven (it will never retract).
+type Polarity int8
+
+const (
+	// Retract cancels the earlier assertion named by the record's MatchID.
+	Retract Polarity = -1
+	// Final is a strict-path row: authoritative on emission. Rows from a
+	// STRICT query are all finals, as are late finals a speculative query
+	// emits for matches its shadow never asserted.
+	Final Polarity = 0
+	// Assert is a speculative row: it stands unless a retraction with the
+	// same MatchID follows.
+	Assert Polarity = 1
+)
+
+// Sign is the fold weight: +1 for assertions and finals, −1 for
+// retractions. Summing sign × row over a record stream yields the strict
+// result multiset.
+func (p Polarity) Sign() int {
+	if p == Retract {
+		return -1
+	}
+	return 1
+}
+
+// String renders the polarity as the conventional sink prefix.
+func (p Polarity) String() string {
+	switch p {
+	case Retract:
+		return "-"
+	case Assert:
+		return "+"
+	case Final:
+		return "="
+	default:
+		return fmt.Sprintf("Polarity(%d)", int8(p))
+	}
+}
+
+// MatchID is the stable identity of one emitted row, so a retraction names
+// exactly the assertion it cancels. Seq is unique per query (assigned in
+// emission order, persisted across recovery); Hash is the match provenance —
+// for SEQ-family queries the order-independent fold of the bound tuples'
+// content hashes, otherwise the row's content hash — stable across the
+// shadow and primary replicas regardless of arrival order.
+type MatchID struct {
+	Query string
+	Seq   uint64
+	Hash  uint64
+}
+
+// String renders the identity for logs and dead-letter postmortems.
+func (id MatchID) String() string {
+	return fmt.Sprintf("%s#%d:%016x", id.Query, id.Seq, id.Hash)
+}
+
+// RowHash folds an output row's shape and values into the content identity
+// used to pair assertions with finals. The row timestamp is excluded:
+// deferred emissions are re-stamped at the emitting replica's clock, which
+// legitimately differs between the shadow (arrival time) and the primary
+// (watermark time) for the same logical row.
+func RowHash(names []string, vals []stream.Value) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i, n := range names {
+		h = (h ^ stream.Str(n).Hash()) * prime64
+		h = (h ^ vals[i].Hash()) * prime64
+	}
+	return h
+}
+
+// RowEqual reports content equality of two rows (timestamps excluded, same
+// convention as RowHash). Confirmation requires it — a hash collision must
+// not pair an assertion with a different row's final.
+func RowEqual(an []string, av []stream.Value, bn []string, bv []stream.Value) bool {
+	if len(an) != len(bn) || len(av) != len(bv) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] || !av[i].Equal(bv[i]) {
+			return false
+		}
+	}
+	return true
+}

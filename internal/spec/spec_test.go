@@ -1,0 +1,234 @@
+package spec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func mkTuple(t *testing.T, name string, ts time.Duration, v int64) *stream.Tuple {
+	t.Helper()
+	sch, err := stream.NewSchema(name, stream.Field{Name: "v", Type: stream.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stream.Tuple{Schema: sch, TS: stream.TS(ts), Vals: []stream.Value{stream.Int(v)}}
+}
+
+func TestLevelParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		in  string
+		lvl Level
+		ok  bool
+	}{
+		{"STRICT", Strict, true}, {"strict", Strict, true},
+		{"MIDDLE", Middle, true}, {"Middle", Middle, true},
+		{"FAST", Fast, true}, {"fast", Fast, true},
+		{"EVENTUAL", Strict, false}, {"", Strict, false},
+	} {
+		lvl, ok := ParseLevel(c.in)
+		if ok != c.ok || (ok && lvl != c.lvl) {
+			t.Fatalf("ParseLevel(%q) = %v, %v", c.in, lvl, ok)
+		}
+	}
+	for _, lvl := range []Level{Strict, Middle, Fast} {
+		if got, ok := ParseLevel(lvl.String()); !ok || got != lvl {
+			t.Fatalf("String/Parse round-trip broke for %v", lvl)
+		}
+	}
+}
+
+func TestRowHashAndEqual(t *testing.T) {
+	n := []string{"a", "b"}
+	v1 := []stream.Value{stream.Int(1), stream.Str("x")}
+	v2 := []stream.Value{stream.Int(1), stream.Str("x")}
+	v3 := []stream.Value{stream.Int(2), stream.Str("x")}
+	if RowHash(n, v1) != RowHash(n, v2) {
+		t.Fatal("equal rows must hash equal")
+	}
+	if !RowEqual(n, v1, n, v2) {
+		t.Fatal("equal rows must compare equal")
+	}
+	if RowEqual(n, v1, n, v3) {
+		t.Fatal("different vals must not compare equal")
+	}
+	if RowEqual(n, v1, []string{"a"}, v1[:1]) {
+		t.Fatal("different widths must not compare equal")
+	}
+}
+
+func TestReconcilerConfirmPrefersProvenance(t *testing.T) {
+	r := NewReconciler("q", 0)
+	n := []string{"v"}
+	row := []stream.Value{stream.Int(7)}
+	s1, ok1 := r.Assert(n, row, stream.TS(time.Second), 111)
+	s2, ok2 := r.Assert(n, row, stream.TS(2*time.Second), 222)
+	if !ok1 || !ok2 {
+		t.Fatal("unbounded reconciler suppressed an assert")
+	}
+	// Content-equal candidates: the final carrying prov 222 must consume the
+	// second assertion, not the first.
+	matched, seq := r.ConfirmFinal(n, row, 222)
+	if !matched || seq != s2 {
+		t.Fatalf("ConfirmFinal picked seq %d, want %d", seq, s2)
+	}
+	matched, seq = r.ConfirmFinal(n, row, 999)
+	if !matched || seq != s1 {
+		t.Fatalf("fallback ConfirmFinal picked seq %d, want %d", seq, s1)
+	}
+	if matched, _ := r.ConfirmFinal(n, row, 0); matched {
+		t.Fatal("nothing outstanding should remain")
+	}
+	st := r.Stats()
+	if st.Confirmed != 2 || st.LateFinals != 1 || st.Pending != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestReconcilerRetireOrderAndDepth(t *testing.T) {
+	r := NewReconciler("q", 2)
+	n := []string{"v"}
+	mk := func(i int64) []stream.Value { return []stream.Value{stream.Int(i)} }
+	if _, ok := r.Assert(n, mk(1), stream.TS(1*time.Second), 0); !ok {
+		t.Fatal("first assert suppressed")
+	}
+	if _, ok := r.Assert(n, mk(2), stream.TS(2*time.Second), 0); !ok {
+		t.Fatal("second assert suppressed")
+	}
+	if _, ok := r.Assert(n, mk(3), stream.TS(3*time.Second), 0); ok {
+		t.Fatal("third assert should hit the depth bound")
+	}
+	if st := r.Stats(); st.Suppressed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Retire everything below 2s: exactly the first assertion, then a slot
+	// frees and asserting works again.
+	out := r.Retire(stream.TS(2 * time.Second))
+	if len(out) != 1 || out[0].Vals[0].Equal(stream.Int(1)) == false {
+		t.Fatalf("retired %+v", out)
+	}
+	if _, ok := r.Assert(n, mk(4), stream.TS(4*time.Second), 0); !ok {
+		t.Fatal("slot should be free after retirement")
+	}
+	// Drain retires the rest in assertion order.
+	rest := r.Drain()
+	if len(rest) != 2 || rest[0].Vals[0].Equal(stream.Int(2)) == false || rest[1].Vals[0].Equal(stream.Int(4)) == false {
+		t.Fatalf("drained %+v", rest)
+	}
+	if st := r.Stats(); st.Pending != 0 || st.Retracted != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestReconcilerStateRoundTrip(t *testing.T) {
+	r := NewReconciler("q", 3)
+	n := []string{"v"}
+	r.Assert(n, []stream.Value{stream.Int(1)}, stream.TS(time.Second), 11)
+	r.Assert(n, []stream.Value{stream.Int(2)}, stream.TS(2*time.Second), 22)
+	r.ConfirmFinal(n, []stream.Value{stream.Int(1)}, 11)
+	st := r.State()
+
+	r2 := NewReconciler("q", 3)
+	r2.SetState(st)
+	if r2.Stats() != r.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", r2.Stats(), r.Stats())
+	}
+	// The restored reconciler continues identically: the outstanding row
+	// confirms, sequence numbering resumes without reuse.
+	matched, seq := r2.ConfirmFinal(n, []stream.Value{stream.Int(2)}, 22)
+	if !matched || seq != 2 {
+		t.Fatalf("restored confirm = %v, %d", matched, seq)
+	}
+	if next := r2.NextSeq(); next != 3 {
+		t.Fatalf("restored NextSeq = %d, want 3", next)
+	}
+}
+
+func TestGateFastReleasesOnArrival(t *testing.T) {
+	g := NewGate(0)
+	var out []*stream.Tuple
+	out = g.Offer(mkTuple(t, "s", time.Second, 1), out[:0])
+	if len(out) != 1 {
+		t.Fatalf("FAST gate held back an arrival: %d released", len(out))
+	}
+	// A clock-regressing arrival is still released (the caller clamps its
+	// copy's timestamp to the shadow clock) and counted; the gate's own
+	// clock does not regress.
+	out = g.Offer(mkTuple(t, "s", 500*time.Millisecond, 2), out[:0])
+	if len(out) != 1 || g.Clamped() != 1 {
+		t.Fatalf("regressing arrival: released %d, clamped %d", len(out), g.Clamped())
+	}
+	if g.Clock() != stream.TS(time.Second) {
+		t.Fatalf("clamp regressed the gate clock to %v", g.Clock())
+	}
+}
+
+func TestGateMiddleHoldsHorizon(t *testing.T) {
+	g := NewGate(time.Second)
+	var out []*stream.Tuple
+	out = g.Offer(mkTuple(t, "s", 1*time.Second, 1), out[:0])
+	if len(out) != 0 {
+		t.Fatal("tuple released before the horizon cleared")
+	}
+	// hw 2.5s → frontier 1.5s → the 1s tuple clears; disorder below the
+	// frontier was absorbed silently.
+	out = g.Offer(mkTuple(t, "s", 1200*time.Millisecond, 2), out[:0])
+	out = g.Advance(stream.TS(2500*time.Millisecond), out)
+	if len(out) != 2 || out[0].TS != stream.TS(time.Second) || out[1].TS != stream.TS(1200*time.Millisecond) {
+		t.Fatalf("released %d tuples", len(out))
+	}
+	if g.Pending() != 0 || g.Clamped() != 0 {
+		t.Fatalf("pending %d clamped %d", g.Pending(), g.Clamped())
+	}
+}
+
+func TestGateSyncClockClampsStragglers(t *testing.T) {
+	g := NewGate(time.Second)
+	g.SyncClock(stream.TS(5 * time.Second))
+	var out []*stream.Tuple
+	out = g.Offer(mkTuple(t, "s", 3*time.Second, 1), out[:0])
+	out = g.Advance(stream.TS(10*time.Second), out)
+	if len(out) != 1 || g.Clamped() != 1 {
+		t.Fatalf("straggler below the synced clock must release as clamped: released %d, clamped %d", len(out), g.Clamped())
+	}
+	if g.Clock() != stream.TS(5*time.Second) {
+		t.Fatalf("straggler moved the synced clock to %v", g.Clock())
+	}
+}
+
+func TestGateStateRoundTrip(t *testing.T) {
+	g := NewGate(time.Second)
+	var out []*stream.Tuple
+	g.Offer(mkTuple(t, "s", 1*time.Second, 1), out[:0])
+	g.Offer(mkTuple(t, "s", 2*time.Second, 2), out[:0])
+	st := g.State()
+	g2 := NewGate(time.Second)
+	g2.SetState(st)
+	if g2.Pending() != g.Pending() || g2.Clock() != g.Clock() {
+		t.Fatalf("restored gate diverges: pending %d/%d clock %v/%v",
+			g2.Pending(), g.Pending(), g2.Clock(), g.Clock())
+	}
+	// The second offer advanced hw to 2s, releasing the 1s tuple already;
+	// only the 2s tuple is still held.
+	a := g.Flush(nil)
+	b := g2.Flush(nil)
+	if len(a) != len(b) || len(a) != 1 {
+		t.Fatalf("flush diverges: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TS != b[i].TS {
+			t.Fatalf("flush order diverges at %d", i)
+		}
+	}
+}
+
+func TestMatchIDString(t *testing.T) {
+	id := MatchID{Query: "q1", Seq: 7, Hash: 0xdeadbeef}
+	if id.String() == "" {
+		t.Fatal("empty MatchID string")
+	}
+	if Assert.Sign() != 1 || Retract.Sign() != -1 || Final.Sign() != 1 {
+		t.Fatalf("polarity signs: %d %d %d", Assert.Sign(), Retract.Sign(), Final.Sign())
+	}
+}

@@ -38,6 +38,20 @@ func (h *Heap[T]) Push(x T) {
 	}
 }
 
+// Items exposes the backing array in heap layout — for state extraction
+// only; callers must not mutate it and must sort a copy when a canonical
+// order matters.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Reset discards every buffered element, keeping the backing storage.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
 // Pop removes and returns the minimal element. It panics on an empty heap.
 func (h *Heap[T]) Pop() T {
 	min := h.items[0]

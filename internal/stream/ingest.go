@@ -77,11 +77,20 @@ type DeadLetter struct {
 	Err    error     // underlying error (lateness distance, validation, panic value)
 	Query  string    // quarantined query name (DeadQueryPanic only)
 	Stack  []byte    // captured goroutine stack (DeadQueryPanic only)
+	// Arrival is the boundary's arrival ordinal for the offer that produced
+	// this record — the tuple's position in raw arrival order, before any
+	// reordering — so postmortems can reconstruct the late-vs-duplicate
+	// interleaving. Zero for records that never crossed the boundary
+	// (query panics).
+	Arrival uint64
 }
 
 // String renders the record for logs and the chaos CLI.
 func (d DeadLetter) String() string {
 	s := fmt.Sprintf("[%s] stream=%s ts=%s", d.Reason, d.Stream, d.TS)
+	if d.Arrival != 0 {
+		s += fmt.Sprintf(" arrival=%d", d.Arrival)
+	}
 	if d.Query != "" {
 		s += " query=" + d.Query
 	}
@@ -156,6 +165,12 @@ type Ingest struct {
 	started   bool
 	stats     IngestStats
 
+	// onAdmit, when set, observes every tuple admitted to the reorder heap
+	// — after screening, lateness, and dedup, before the watermark releases
+	// it. The speculation subsystem feeds shadow replicas from here: what it
+	// sees is exactly the strict core's future input, in arrival order.
+	onAdmit func(*Tuple)
+
 	// dedup tracks tuples still within the reorder horizon, keyed by a
 	// content hash with collision chains compared exactly — a false positive
 	// would silently drop a legitimate reading. dedupQ remembers admissions
@@ -190,6 +205,18 @@ func NewIngest(cfg IngestConfig) *Ingest {
 	return g
 }
 
+// OnAdmit installs the admitted-tuple observer (see the field comment).
+func (g *Ingest) OnAdmit(fn func(*Tuple)) { g.onAdmit = fn }
+
+// HighWater returns the raw arrival frontier — the newest event timestamp
+// seen, before slack is subtracted. MinTimestamp before any input.
+func (g *Ingest) HighWater() Timestamp {
+	if !g.started {
+		return MinTimestamp
+	}
+	return g.highWater
+}
+
 // Watermark returns the completeness frontier: no tuple at or above it will
 // be released late. Before any input it is MinTimestamp.
 func (g *Ingest) Watermark() Timestamp {
@@ -215,11 +242,17 @@ func (g *Ingest) Offer(it Item, out []Item) ([]Item, error) {
 	}
 	t := it.Tuple
 	g.stats.Ingested++
+	// Every offered tuple consumes an arrival ordinal — including ones that
+	// are screened, dropped, or dead-lettered — so quarantine records can
+	// name their exact position in the raw arrival interleaving. Relative
+	// order among admitted tuples is unchanged, so release tie-breaking and
+	// replay determinism are unaffected.
+	g.arrival++
 
 	// Screening: malformed and oversized rows never enter the core.
 	if t.Schema != nil {
 		if err := t.Schema.Validate(t.Vals); err != nil {
-			g.quarantine(DeadLetter{Reason: DeadMalformed, Stream: t.Schema.Name(), Tuple: t, TS: t.TS, Err: err})
+			g.quarantine(DeadLetter{Reason: DeadMalformed, Stream: t.Schema.Name(), Tuple: t, TS: t.TS, Err: err, Arrival: g.arrival})
 			return out, nil
 		}
 	}
@@ -227,7 +260,8 @@ func (g *Ingest) Offer(it Item, out []Item) ([]Item, error) {
 		if n := tupleBytes(t); n > g.cfg.MaxTupleBytes {
 			g.quarantine(DeadLetter{
 				Reason: DeadOversized, Stream: streamName(t), Tuple: t, TS: t.TS,
-				Err: fmt.Errorf("stream: tuple is %d bytes, budget %d", n, g.cfg.MaxTupleBytes),
+				Err:     fmt.Errorf("stream: tuple is %d bytes, budget %d", n, g.cfg.MaxTupleBytes),
+				Arrival: g.arrival,
 			})
 			return out, nil
 		}
@@ -242,7 +276,7 @@ func (g *Ingest) Offer(it Item, out []Item) ([]Item, error) {
 			g.stats.DroppedLate++
 			return out, nil
 		case LateDeadLetter:
-			g.quarantine(DeadLetter{Reason: DeadLate, Stream: streamName(t), Tuple: t, TS: t.TS, Err: err})
+			g.quarantine(DeadLetter{Reason: DeadLate, Stream: streamName(t), Tuple: t, TS: t.TS, Err: err, Arrival: g.arrival})
 			return out, nil
 		default:
 			// ERROR: reject but keep the stage consistent — the tuple is
@@ -260,13 +294,15 @@ func (g *Ingest) Offer(it Item, out []Item) ([]Item, error) {
 	if g.started && t.TS < g.highWater {
 		g.stats.Reordered++
 	}
-	g.arrival++
 	g.pending.Push(ingestEntry{it: it, seq: g.arrival})
 	if t.TS > g.highWater || !g.started {
 		g.started = true
 		if t.TS > g.highWater {
 			g.highWater = t.TS
 		}
+	}
+	if g.onAdmit != nil {
+		g.onAdmit(t)
 	}
 	return g.release(out), nil
 }
@@ -324,6 +360,8 @@ func (g *Ingest) Flush(out []Item) []Item {
 func (g *Ingest) DeadLetterNow(dl DeadLetter) {
 	if dl.Reason != DeadQueryPanic {
 		g.stats.Ingested++
+		g.arrival++
+		dl.Arrival = g.arrival
 	}
 	g.quarantine(dl)
 }
@@ -389,6 +427,12 @@ func (g *Ingest) expireDedup(wm Timestamp) {
 // DedupSize reports how many admissions the dedup set currently retains —
 // the gauge the memory-growth regression test watches.
 func (g *Ingest) DedupSize() int { return len(g.dedupQ) - g.dedupHead }
+
+// ContentHash folds a tuple's stream name, timestamp, and values into a
+// 64-bit content identity. The speculation subsystem XORs these over a
+// match's bound tuples to derive an arrival-order-independent provenance
+// hash that is stable across replicas.
+func ContentHash(t *Tuple) uint64 { return tupleHash(t) }
 
 // tupleHash folds the stream name, timestamp, and row values into one
 // 64-bit key for the dedup index.

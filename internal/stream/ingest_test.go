@@ -128,6 +128,15 @@ func TestIngestLatenessPolicies(t *testing.T) {
 	if dead[0].Tuple == nil || dead[0].Tuple.Field("tag_id").String() != "late" {
 		t.Fatalf("dead letter lost the tuple: %v", dead[0])
 	}
+	// The record carries the original arrival ordinal (second offer on this
+	// boundary) and renders it, so quarantined rows can be located in the
+	// arrival sequence long after the fact.
+	if dead[0].Arrival != 2 {
+		t.Fatalf("dead letter arrival = %d, want 2", dead[0].Arrival)
+	}
+	if !strings.Contains(dead[0].String(), "arrival=2") {
+		t.Fatalf("dead letter string %q lacks the arrival ordinal", dead[0].String())
+	}
 	if st := g.Stats(); st.DeadLettered != 1 || st.Ingested != st.Emitted+st.DeadLettered+uint64(g.Pending()) {
 		t.Fatalf("stats = %+v pending=%d", st, g.Pending())
 	}
